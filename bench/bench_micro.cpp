@@ -1,0 +1,135 @@
+// google-benchmark micro benchmarks for the compute substrates: field
+// arithmetic, AES primitives, Shamir dealing/reconstruction, and the
+// simulator's hot loop. These pin the constant factors behind every
+// simulated round.
+#include <benchmark/benchmark.h>
+
+#include "core/protocol.hpp"
+#include "core/shamir.hpp"
+#include "crypto/aes_ctr.hpp"
+#include "crypto/bigint.hpp"
+#include "crypto/cmac.hpp"
+#include "crypto/prng.hpp"
+#include "ct/minicast.hpp"
+#include "field/lagrange.hpp"
+#include "net/testbeds.hpp"
+
+using namespace mpciot;
+
+static void BM_Fp61Mul(benchmark::State& state) {
+  field::Fp61 a{0x123456789ABCDEFull};
+  const field::Fp61 b{0xFEDCBA987654321ull};
+  for (auto _ : state) {
+    a *= b;
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_Fp61Mul);
+
+static void BM_Fp61Inverse(benchmark::State& state) {
+  const field::Fp61 a{0x123456789ABCDEFull};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.inverse());
+  }
+}
+BENCHMARK(BM_Fp61Inverse);
+
+static void BM_PolynomialEvaluate(benchmark::State& state) {
+  crypto::CtrDrbg drbg(1, 0);
+  const auto poly = field::Polynomial::random_with_secret(
+      field::Fp61{7}, static_cast<std::size_t>(state.range(0)),
+      [&] { return drbg.next_fp61(); });
+  const field::Fp61 x{12345};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(poly.evaluate(x));
+  }
+}
+BENCHMARK(BM_PolynomialEvaluate)->Arg(8)->Arg(15)->Arg(31);
+
+static void BM_LagrangeAtZero(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  crypto::Xoshiro256 rng(2);
+  std::vector<field::Sample> samples;
+  for (std::size_t i = 0; i <= k; ++i) {
+    samples.push_back(field::Sample{field::Fp61{i + 1}, rng.next_fp61()});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(field::interpolate_at_zero(samples));
+  }
+}
+BENCHMARK(BM_LagrangeAtZero)->Arg(8)->Arg(15)->Arg(31);
+
+static void BM_AesEncryptBlock(benchmark::State& state) {
+  const crypto::Aes128 aes(crypto::Aes128::Key{});
+  crypto::Aes128::Block block{};
+  for (auto _ : state) {
+    block = aes.encrypt_block(block);
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_AesEncryptBlock);
+
+static void BM_AesCtr64Bytes(benchmark::State& state) {
+  const crypto::AesCtr ctr(crypto::Aes128::Key{});
+  std::vector<std::uint8_t> buf(64, 0xAB);
+  const auto nonce = crypto::AesCtr::make_nonce(1, 2, 3, 4);
+  for (auto _ : state) {
+    ctr.crypt(nonce, buf, buf);
+    benchmark::DoNotOptimize(buf);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_AesCtr64Bytes);
+
+static void BM_Cmac16Bytes(benchmark::State& state) {
+  const crypto::Cmac mac(crypto::Aes128::Key{});
+  const std::vector<std::uint8_t> msg(16, 0x5A);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mac.compute(msg));
+  }
+}
+BENCHMARK(BM_Cmac16Bytes);
+
+static void BM_ShamirDealAllShares(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = core::paper_degree(n);
+  for (auto _ : state) {
+    crypto::CtrDrbg drbg(3, 0);
+    const core::ShamirDealer dealer(field::Fp61{42}, k, drbg);
+    for (NodeId h = 0; h < n; ++h) {
+      benchmark::DoNotOptimize(dealer.share_for(h));
+    }
+  }
+}
+BENCHMARK(BM_ShamirDealAllShares)->Arg(26)->Arg(45);
+
+static void BM_BigIntPowmod256(benchmark::State& state) {
+  crypto::Xoshiro256 rng(4);
+  const crypto::BigInt base = crypto::BigInt::random_bits(256, rng);
+  const crypto::BigInt exp = crypto::BigInt::random_bits(256, rng);
+  const crypto::BigInt mod = crypto::BigInt::random_bits(256, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::BigInt::powmod(base, exp, mod));
+  }
+}
+BENCHMARK(BM_BigIntPowmod256);
+
+static void BM_MiniCastRoundFlocklab(benchmark::State& state) {
+  const net::Topology topo = net::testbeds::flocklab();
+  std::vector<ct::ChainEntry> entries;
+  for (NodeId i = 0; i < topo.size(); ++i) {
+    for (std::size_t j = 0; j < 9; ++j) entries.push_back(ct::ChainEntry{i});
+  }
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    crypto::Xoshiro256 rng(++seed);
+    ct::MiniCastConfig cfg;
+    cfg.initiator = topo.center_node();
+    cfg.ntx = 6;
+    benchmark::DoNotOptimize(run_minicast(topo, entries, cfg, rng));
+  }
+}
+BENCHMARK(BM_MiniCastRoundFlocklab);
+
+BENCHMARK_MAIN();

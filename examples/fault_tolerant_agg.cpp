@@ -1,0 +1,84 @@
+// Fault tolerance in the field: structural-health sensors on a bridge.
+//
+// Sensors fail (battery, weather), yet the aggregate must keep flowing.
+// §III's observation: with a degree-k polynomial, any k+1 point-sums
+// reconstruct — so S4 with a little holder slack rides through failures
+// that would require re-provisioning a naive deployment. This example
+// kills an escalating number of nodes and watches the aggregate survive,
+// then degrade gracefully.
+//
+//   $ ./fault_tolerant_agg [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/protocol.hpp"
+#include "crypto/keystore.hpp"
+#include "metrics/experiment.hpp"
+#include "net/testbeds.hpp"
+#include "sim/simulator.hpp"
+
+using namespace mpciot;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 99;
+
+  const net::Topology bridge = net::testbeds::flocklab();
+  const crypto::KeyStore keys(seed, bridge.size());
+  std::vector<NodeId> sensors(bridge.size());
+  for (NodeId i = 0; i < bridge.size(); ++i) sensors[i] = i;
+  const std::size_t degree = core::paper_degree(sensors.size());
+
+  // Strain readings, micro-strain units.
+  const std::vector<field::Fp61> strain =
+      metrics::random_secrets(seed, sensors.size(), /*bound=*/500);
+
+  std::printf("bridge: %zu sensors, degree %zu (any %zu sums reconstruct)\n",
+              bridge.size(), degree, degree + 1);
+  std::printf("%-14s %-10s %-12s %-12s %s\n", "failed nodes", "success",
+              "holders up", "latency ms", "verdict");
+
+  auto base_cfg = core::make_s4_config(bridge, sensors, degree, 6,
+                                       /*holder_slack=*/2);
+
+  crypto::Xoshiro256 pick(seed * 3 + 1);
+  std::vector<NodeId> doomed;
+  for (std::size_t kill_count : {0u, 1u, 2u, 4u, 6u, 10u}) {
+    // Escalate the same failure set (a storm front moving across).
+    while (doomed.size() < kill_count) {
+      const NodeId victim =
+          static_cast<NodeId>(pick.next_below(bridge.size()));
+      if (victim == base_cfg.initiator) continue;
+      if (std::find(doomed.begin(), doomed.end(), victim) != doomed.end()) {
+        continue;
+      }
+      doomed.push_back(victim);
+    }
+    auto cfg = base_cfg;
+    cfg.failed_nodes = doomed;
+    const core::SssProtocol proto(bridge, keys, cfg);
+    sim::Simulator sim(seed + kill_count);
+    const core::AggregationResult res = proto.run(strain, sim);
+
+    std::size_t holders_alive = 0;
+    for (NodeId h : cfg.share_holders) {
+      if (std::find(doomed.begin(), doomed.end(), h) == doomed.end()) {
+        ++holders_alive;
+      }
+    }
+    const double success = res.success_ratio();
+    const char* verdict =
+        success > 0.95
+            ? "aggregate intact"
+            : (success > 0.5 ? "degraded" : "round lost — re-provision");
+    std::printf("%-14zu %-10.1f %zu/%-10zu %-12.1f %s\n", kill_count,
+                success * 100.0, holders_alive, cfg.share_holders.size(),
+                static_cast<double>(res.max_latency_us()) / 1e3, verdict);
+  }
+
+  std::printf("\nthe paper's point: the trimmed S4 keeps the any-(k+1)"
+              " reconstruction property, so holder slack translates "
+              "directly into failure headroom without re-running the "
+              "bootstrapping phase.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Quickstart: privacy-preserving sum of sensor readings on a simulated
+// 26-node FlockLab-class testbed, comparing the paper's two protocols.
+//
+//   $ ./quickstart [seed]
+//
+// Walks through the whole public API surface: build a testbed topology,
+// provision keys, configure S3 (naive) and S4 (scalable), run one round
+// of each, and print what every node learned and what it cost.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/protocol.hpp"
+#include "crypto/keystore.hpp"
+#include "metrics/experiment.hpp"
+#include "net/testbeds.hpp"
+#include "sim/simulator.hpp"
+
+using namespace mpciot;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+  // 1. A testbed: 26 nodes shaped like the FlockLab deployment.
+  const net::Topology topo = net::testbeds::flocklab();
+  std::printf("testbed: %zu nodes, diameter %u hops, initiator n%u\n",
+              topo.size(), topo.diameter(), topo.center_node());
+
+  // 2. Deployment-time key provisioning (pairwise AES-128 keys).
+  const crypto::KeyStore keys(/*deployment_seed=*/seed, topo.size());
+
+  // 3. Every node contributes one secret sensor reading.
+  std::vector<NodeId> sources(topo.size());
+  for (NodeId i = 0; i < topo.size(); ++i) sources[i] = i;
+  const std::vector<field::Fp61> secrets =
+      metrics::random_secrets(seed, sources.size(), /*bound=*/1000);
+  field::Fp61 expected;
+  for (const auto& s : secrets) expected += s;
+  std::printf("true sum of %zu secrets: %llu (no node may learn inputs)\n",
+              secrets.size(),
+              static_cast<unsigned long long>(expected.value()));
+
+  // 4. The paper's degree heuristic (collusion threshold n/3).
+  const std::size_t degree = core::paper_degree(sources.size());
+
+  // 5a. Naive S3: holders = all sources, full-coverage NTX (calibrated).
+  crypto::Xoshiro256 cal_rng(seed);
+  const std::uint32_t ntx_full =
+      core::suggest_s3_ntx(topo, sources, /*trials=*/10, cal_rng);
+  const core::SssProtocol s3(topo, keys,
+                             core::make_s3_config(topo, sources, degree,
+                                                  ntx_full));
+
+  // 5b. Scalable S4: m = degree+2 elected holders, low NTX, early off.
+  const core::SssProtocol s4(topo, keys,
+                             core::make_s4_config(topo, sources, degree,
+                                                  /*ntx_low=*/6));
+
+  std::printf("degree k=%zu  |  S3: ntx=%u holders=%zu  |  S4: ntx=6 holders=%zu\n",
+              degree, ntx_full, s3.config().share_holders.size(),
+              s4.config().share_holders.size());
+
+  // 6. Run one round of each.
+  for (const auto* proto : {&s3, &s4}) {
+    sim::Simulator sim(seed);
+    const core::AggregationResult res = proto->run(secrets, sim);
+    const bool is_s4 = proto == &s4;
+    std::printf("\n[%s] round complete in %.1f ms (share %.1f + recon %.1f)\n",
+                is_s4 ? "S4" : "S3",
+                static_cast<double>(res.total_duration_us) / 1e3,
+                static_cast<double>(res.sharing_duration_us) / 1e3,
+                static_cast<double>(res.reconstruction_duration_us) / 1e3);
+    std::printf("  nodes with correct aggregate: %.0f%%\n",
+                res.success_ratio() * 100.0);
+    std::printf("  share delivery: %.1f%%  complete holders: %u\n",
+                res.share_delivery_ratio * 100.0, res.complete_holders);
+    std::printf("  latency  (max node): %.1f ms\n",
+                static_cast<double>(res.max_latency_us()) / 1e3);
+    std::printf("  radio-on (max node): %.1f ms, (mean): %.1f ms\n",
+                static_cast<double>(res.max_radio_on_us()) / 1e3,
+                res.mean_radio_on_us() / 1e3);
+    if (res.nodes[0].has_aggregate) {
+      std::printf("  node 0 reconstructed: %llu (expected %llu) from %u sums\n",
+                  static_cast<unsigned long long>(
+                      res.nodes[0].aggregate.value()),
+                  static_cast<unsigned long long>(res.expected_sum.value()),
+                  res.nodes[0].sums_used);
+    }
+  }
+  return 0;
+}

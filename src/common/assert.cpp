@@ -1,0 +1,18 @@
+#include "common/assert.hpp"
+
+#include <sstream>
+
+namespace mpciot::detail {
+
+void raise_contract_violation(const char* kind, const char* expr,
+                              const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw ContractViolation(os.str());
+}
+
+}  // namespace mpciot::detail

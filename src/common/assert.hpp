@@ -1,0 +1,50 @@
+// Lightweight contract checking for mpciot.
+//
+// MPCIOT_REQUIRE / MPCIOT_ENSURE throw `mpciot::ContractViolation` so that
+// precondition failures are testable (gtest EXPECT_THROW) instead of
+// aborting the process. MPCIOT_DCHECK compiles out in release builds and is
+// meant for internal invariants on hot paths.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mpciot {
+
+/// Thrown when a documented precondition or postcondition is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void raise_contract_violation(const char* kind, const char* expr,
+                                           const char* file, int line,
+                                           const std::string& msg);
+}  // namespace detail
+
+}  // namespace mpciot
+
+#define MPCIOT_REQUIRE(expr, msg)                                              \
+  do {                                                                         \
+    if (!(expr)) {                                                             \
+      ::mpciot::detail::raise_contract_violation("precondition", #expr,        \
+                                                 __FILE__, __LINE__, (msg));   \
+    }                                                                          \
+  } while (false)
+
+#define MPCIOT_ENSURE(expr, msg)                                               \
+  do {                                                                         \
+    if (!(expr)) {                                                             \
+      ::mpciot::detail::raise_contract_violation("postcondition", #expr,       \
+                                                 __FILE__, __LINE__, (msg));   \
+    }                                                                          \
+  } while (false)
+
+#ifdef NDEBUG
+#define MPCIOT_DCHECK(expr, msg) \
+  do {                           \
+  } while (false)
+#else
+#define MPCIOT_DCHECK(expr, msg) MPCIOT_REQUIRE(expr, msg)
+#endif

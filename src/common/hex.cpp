@@ -1,0 +1,52 @@
+#include "common/hex.hpp"
+
+#include <cctype>
+
+#include "common/assert.hpp"
+
+namespace mpciot {
+
+namespace {
+constexpr char kDigits[] = "0123456789abcdef";
+
+int nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string to_hex(std::span<const std::uint8_t> bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0x0F]);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> from_hex(std::string_view hex) {
+  std::vector<std::uint8_t> out;
+  out.reserve(hex.size() / 2);
+  int hi = -1;
+  for (char c : hex) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      MPCIOT_REQUIRE(hi < 0, "whitespace inside a hex byte pair");
+      continue;
+    }
+    const int v = nibble(c);
+    MPCIOT_REQUIRE(v >= 0, "invalid hex character");
+    if (hi < 0) {
+      hi = v;
+    } else {
+      out.push_back(static_cast<std::uint8_t>((hi << 4) | v));
+      hi = -1;
+    }
+  }
+  MPCIOT_REQUIRE(hi < 0, "odd number of hex digits");
+  return out;
+}
+
+}  // namespace mpciot

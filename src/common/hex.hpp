@@ -1,0 +1,20 @@
+// Hex encoding/decoding helpers, used by crypto tests (FIPS/RFC vectors)
+// and by debug logging.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpciot {
+
+/// Encode bytes as lowercase hex ("deadbeef").
+std::string to_hex(std::span<const std::uint8_t> bytes);
+
+/// Decode a hex string (case-insensitive, optional whitespace between byte
+/// pairs). Throws ContractViolation on malformed input.
+std::vector<std::uint8_t> from_hex(std::string_view hex);
+
+}  // namespace mpciot

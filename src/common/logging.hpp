@@ -1,0 +1,35 @@
+// Minimal leveled logger. Disabled (Warn) by default so simulations stay
+// quiet; examples flip it to Info for narrative output.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mpciot {
+
+enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}  // namespace detail
+
+}  // namespace mpciot
+
+#define MPCIOT_LOG(level, stream_expr)                          \
+  do {                                                          \
+    if (static_cast<int>(level) >=                              \
+        static_cast<int>(::mpciot::log_level())) {              \
+      std::ostringstream mpciot_log_os;                         \
+      mpciot_log_os << stream_expr;                             \
+      ::mpciot::detail::log_emit(level, mpciot_log_os.str());   \
+    }                                                           \
+  } while (false)
+
+#define MPCIOT_LOG_DEBUG(s) MPCIOT_LOG(::mpciot::LogLevel::Debug, s)
+#define MPCIOT_LOG_INFO(s) MPCIOT_LOG(::mpciot::LogLevel::Info, s)
+#define MPCIOT_LOG_WARN(s) MPCIOT_LOG(::mpciot::LogLevel::Warn, s)
+#define MPCIOT_LOG_ERROR(s) MPCIOT_LOG(::mpciot::LogLevel::Error, s)

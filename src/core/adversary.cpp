@@ -1,0 +1,49 @@
+#include "core/adversary.hpp"
+
+#include "common/assert.hpp"
+#include "field/lagrange.hpp"
+
+namespace mpciot::core {
+
+std::optional<field::Polynomial> consistent_polynomial_for(
+    const CollusionView& view, std::size_t degree,
+    field::Fp61 candidate_secret) {
+  const std::size_t observed = view.observed_shares.size();
+
+  if (observed > degree) {
+    // The view over-determines the polynomial: interpolate and check.
+    std::vector<field::Sample> samples;
+    samples.reserve(observed);
+    for (const Share& s : view.observed_shares) {
+      samples.push_back(field::Sample{public_point(s.holder), s.value});
+    }
+    const field::Polynomial p = field::interpolate(samples);
+    if (p.constant_term() == candidate_secret) return p;
+    return std::nullopt;
+  }
+
+  // Underdetermined: pin (0, candidate) plus the observed shares and pad
+  // with arbitrary extra points until degree+1 constraints, then
+  // interpolate. Any padding works; we use deterministic points beyond
+  // the observed holders' x-range.
+  std::vector<field::Sample> samples;
+  samples.reserve(degree + 1);
+  samples.push_back(field::Sample{field::Fp61::zero(), candidate_secret});
+  std::uint64_t next_free_x = 1;
+  for (const Share& s : view.observed_shares) {
+    const field::Fp61 x = public_point(s.holder);
+    samples.push_back(field::Sample{x, s.value});
+    next_free_x = std::max(next_free_x, x.value() + 1);
+  }
+  while (samples.size() < degree + 1) {
+    samples.push_back(
+        field::Sample{field::Fp61{next_free_x}, field::Fp61{next_free_x}});
+    ++next_free_x;
+  }
+  field::Polynomial p = field::interpolate(samples);
+  MPCIOT_ENSURE(p.constant_term() == candidate_secret,
+                "adversary: constructed polynomial must hit the candidate");
+  return p;
+}
+
+}  // namespace mpciot::core

@@ -1,0 +1,51 @@
+// Semi-honest adversary model and privacy checks.
+//
+// The paper's privacy claim is the standard SSS one: any coalition of at
+// most `degree` point-holders learns nothing about an honest node's
+// secret. This module makes that claim *testable*:
+//
+//  * `CollusionView` collects exactly what a coalition observes in a
+//    round (the shares addressed to its members);
+//  * `consistent_polynomial_for` exhibits, for ANY candidate secret, a
+//    polynomial consistent with the coalition's view — the
+//    information-theoretic argument that the view reveals nothing;
+//  * `can_reconstruct` is the threshold predicate.
+//
+// The eavesdropper case (no coalition membership, only the air
+// interface) is handled by AES-128: an eavesdropper sees only
+// ciphertext; tests/core/privacy_test exercises both adversaries.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/shamir.hpp"
+#include "field/polynomial.hpp"
+
+namespace mpciot::core {
+
+/// The shares of one honest dealer observed by a coalition.
+struct CollusionView {
+  NodeId dealer = kInvalidNode;
+  std::vector<Share> observed_shares;  // one per colluding holder
+};
+
+/// Threshold predicate: a coalition holding `shares_held` distinct
+/// shares of a degree-`degree` polynomial can recover the secret iff
+/// shares_held >= degree + 1.
+constexpr bool can_reconstruct(std::size_t degree, std::size_t shares_held) {
+  return shares_held >= degree + 1;
+}
+
+/// For a view with at most `degree` shares, return a degree-`degree`
+/// polynomial that matches every observed share AND has constant term
+/// `candidate_secret` — i.e. the view is consistent with any secret.
+/// Returns nullopt when the view already determines the secret
+/// (|shares| > degree) and the candidate doesn't match.
+std::optional<field::Polynomial> consistent_polynomial_for(
+    const CollusionView& view, std::size_t degree,
+    field::Fp61 candidate_secret);
+
+}  // namespace mpciot::core

@@ -1,0 +1,452 @@
+#include "core/protocol.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/assert.hpp"
+#include "core/bootstrap.hpp"
+#include "core/wire.hpp"
+#include "ct/chain_schedule.hpp"
+#include "ct/glossy.hpp"
+
+namespace mpciot::core {
+
+namespace {
+
+/// Index lookup: node id -> position in a schedule list.
+std::unordered_map<NodeId, std::size_t> index_of(
+    const std::vector<NodeId>& nodes) {
+  std::unordered_map<NodeId, std::size_t> map;
+  map.reserve(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) map.emplace(nodes[i], i);
+  return map;
+}
+
+/// A MiniCast round must start from a node that owns at least one chain
+/// entry (an empty first chain would trigger nobody). Pick the candidate
+/// closest to the preferred initiator, skipping dead nodes.
+NodeId pick_phase_initiator(const net::Topology& topo, NodeId preferred,
+                            const std::vector<NodeId>& candidates,
+                            const std::vector<char>& dead) {
+  NodeId best = kInvalidNode;
+  std::uint32_t best_h = net::Topology::kInvalidHops;
+  for (NodeId c : candidates) {
+    if (dead[c]) continue;
+    if (c == preferred) return c;
+    const std::uint32_t h = topo.hops(preferred, c);
+    if (h < best_h || (h == best_h && c < best)) {
+      best_h = h;
+      best = c;
+    }
+  }
+  MPCIOT_REQUIRE(best != kInvalidNode,
+                 "protocol: no live node can initiate the phase");
+  return best;
+}
+
+}  // namespace
+
+double AggregationResult::success_ratio() const {
+  if (nodes.empty()) return 0.0;
+  std::size_t live = 0;
+  std::size_t ok = 0;
+  for (const NodeOutcome& o : nodes) {
+    if (o.radio_on_us == 0 && !o.has_aggregate && o.latency_us == 0) {
+      // dead node (never participated)
+      continue;
+    }
+    ++live;
+    if (o.has_aggregate && o.aggregate_correct) ++ok;
+  }
+  return live == 0 ? 0.0 : static_cast<double>(ok) / static_cast<double>(live);
+}
+
+SimTime AggregationResult::max_latency_us() const {
+  SimTime best = 0;
+  for (const NodeOutcome& o : nodes) best = std::max(best, o.latency_us);
+  return best;
+}
+
+double AggregationResult::mean_latency_us() const {
+  if (nodes.empty()) return 0.0;
+  double total = 0.0;
+  std::size_t count = 0;
+  for (const NodeOutcome& o : nodes) {
+    if (o.latency_us > 0) {
+      total += static_cast<double>(o.latency_us);
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : total / static_cast<double>(count);
+}
+
+SimTime AggregationResult::max_radio_on_us() const {
+  SimTime best = 0;
+  for (const NodeOutcome& o : nodes) best = std::max(best, o.radio_on_us);
+  return best;
+}
+
+double AggregationResult::mean_radio_on_us() const {
+  if (nodes.empty()) return 0.0;
+  double total = 0.0;
+  for (const NodeOutcome& o : nodes) {
+    total += static_cast<double>(o.radio_on_us);
+  }
+  return total / static_cast<double>(nodes.size());
+}
+
+SssProtocol::SssProtocol(const net::Topology& topo,
+                         const crypto::KeyStore& keys, ProtocolConfig config)
+    : topo_(&topo), keys_(&keys), config_(std::move(config)) {
+  MPCIOT_REQUIRE(!config_.sources.empty(), "protocol: no sources");
+  MPCIOT_REQUIRE(config_.sources.size() <= 64,
+                 "protocol: at most 64 sources per round");
+  MPCIOT_REQUIRE(!config_.share_holders.empty(), "protocol: no holders");
+  MPCIOT_REQUIRE(config_.degree >= 1, "protocol: degree must be >= 1");
+  MPCIOT_REQUIRE(config_.degree < config_.sources.size() ||
+                     config_.degree < config_.share_holders.size(),
+                 "protocol: degree+1 sums must be collectible");
+  MPCIOT_REQUIRE(config_.degree + 1 <= config_.share_holders.size(),
+                 "protocol: need at least degree+1 share holders");
+  std::unordered_set<NodeId> seen;
+  for (NodeId s : config_.sources) {
+    MPCIOT_REQUIRE(s < topo.size(), "protocol: source id out of range");
+    MPCIOT_REQUIRE(seen.insert(s).second, "protocol: duplicate source");
+  }
+  seen.clear();
+  for (NodeId h : config_.share_holders) {
+    MPCIOT_REQUIRE(h < topo.size(), "protocol: holder id out of range");
+    MPCIOT_REQUIRE(seen.insert(h).second, "protocol: duplicate holder");
+  }
+  MPCIOT_REQUIRE(config_.initiator < topo.size(),
+                 "protocol: initiator out of range");
+}
+
+AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
+                                   sim::Simulator& sim) const {
+  MPCIOT_REQUIRE(secrets.size() == config_.sources.size(),
+                 "protocol: one secret per source required");
+  const std::size_t n = topo_->size();
+  const std::size_t num_sources = config_.sources.size();
+  const std::size_t num_holders = config_.share_holders.size();
+  const std::size_t k = config_.degree;
+
+  std::vector<char> dead(n, 0);
+  for (NodeId f : config_.failed_nodes) {
+    MPCIOT_REQUIRE(f < n, "protocol: failed node id out of range");
+    dead[f] = 1;
+  }
+  MPCIOT_REQUIRE(!dead[config_.initiator],
+                 "protocol: the round initiator must be alive");
+
+  const auto src_index = index_of(config_.sources);
+  const auto holder_index = index_of(config_.share_holders);
+
+  // ---- Stage 0: deal shares locally (live sources only) ----
+  std::vector<std::optional<ShamirDealer>> dealers(num_sources);
+  field::Fp61 expected_sum;
+  std::uint64_t live_source_mask = 0;
+  for (std::size_t i = 0; i < num_sources; ++i) {
+    const NodeId src = config_.sources[i];
+    if (dead[src]) continue;
+    // Domain-separate the DRBG by (round, node).
+    crypto::CtrDrbg drbg(
+        sim.seed(),
+        0x5EC0000000000000ull |
+            (static_cast<std::uint64_t>(config_.round) << 32) | src);
+    dealers[i].emplace(secrets[i], k, drbg);
+    expected_sum += secrets[i];
+    live_source_mask |= (std::uint64_t{1} << i);
+  }
+
+  // ---- Stage 0b: round-start sync flood ----
+  ct::GlossyConfig sync_cfg;
+  sync_cfg.initiator = config_.initiator;
+  sync_cfg.ntx = 3;
+  sync_cfg.payload_bytes = 8;
+  const ct::GlossyResult sync =
+      run_glossy(*topo_, sync_cfg, sim.channel_rng());
+
+  // Every live data owner is slot-synchronized: Glossy-class systems
+  // maintain network-wide time across rounds, so even a node that missed
+  // *this* round's sync flood still knows the TDMA slot boundaries from
+  // earlier rounds (clock drift per round is microseconds).
+  const auto synced = [&](const std::vector<NodeId>& owners) {
+    std::vector<NodeId> out;
+    out.reserve(owners.size());
+    for (NodeId o : owners) {
+      if (!dead[o]) out.push_back(o);
+    }
+    return out;
+  };
+
+  // ---- Stage 1: sharing phase ----
+  const ct::SharingSchedule sharing =
+      ct::make_sharing_schedule(config_.sources, config_.share_holders);
+
+  ct::MiniCastConfig share_cfg;
+  share_cfg.initiator =
+      pick_phase_initiator(*topo_, config_.initiator, config_.sources, dead);
+  share_cfg.ntx = config_.ntx_sharing;
+  share_cfg.payload_bytes = SharePacket::kWireSize;
+  share_cfg.max_chain_slots = config_.max_chain_slots;
+  share_cfg.radio_policy = config_.early_radio_off
+                               ? ct::RadioPolicy::kEarlyOff
+                               : ct::RadioPolicy::kUntilQuiescence;
+  share_cfg.disabled = dead;
+  share_cfg.scheduled_owners = synced(config_.sources);
+  share_cfg.done = [&](NodeId node, const std::vector<char>& have) {
+    const auto it = holder_index.find(node);
+    if (it == holder_index.end()) return true;  // relays: no data to await
+    const std::size_t dst_idx = it->second;
+    for (std::size_t s = 0; s < num_sources; ++s) {
+      if (dead[config_.sources[s]]) continue;  // dead sources never deal
+      if (!have[sharing.entry_index(s, dst_idx)]) return false;
+    }
+    return true;
+  };
+
+  const ct::MiniCastResult share_round = run_minicast(
+      *topo_, sharing.entries, share_cfg, sim.channel_rng());
+
+  // ---- Stage 1b: holders decrypt and sum what they got ----
+  struct HolderSum {
+    field::Fp61 sum;
+    std::uint64_t contributors = 0;
+    bool valid = false;
+  };
+  std::vector<HolderSum> holder_sums(num_holders);
+  std::size_t delivered = 0;
+  std::size_t deliverable = 0;
+
+  for (std::size_t h = 0; h < num_holders; ++h) {
+    const NodeId holder = config_.share_holders[h];
+    if (dead[holder]) continue;
+    HolderSum& acc = holder_sums[h];
+    acc.valid = true;
+    for (std::size_t s = 0; s < num_sources; ++s) {
+      const NodeId src = config_.sources[s];
+      if (dead[src]) continue;
+      ++deliverable;
+      const std::size_t entry = sharing.entry_index(s, h);
+      if (src == holder) {
+        // Own share never travels on air.
+        acc.sum += dealers[s]->share_for(holder).value;
+        acc.contributors |= (std::uint64_t{1} << s);
+        ++delivered;
+        continue;
+      }
+      if (!share_round.node_has(holder, entry)) continue;
+      // Decode the actual wire bytes the source would have sent.
+      SharePacket pkt;
+      pkt.source = src;
+      pkt.destination = holder;
+      pkt.round = config_.round;
+      pkt.share = dealers[s]->share_for(holder).value;
+      const Bytes wire = pkt.encode(*keys_);
+      const std::optional<SharePacket> decoded =
+          SharePacket::decode(wire, *keys_);
+      MPCIOT_ENSURE(decoded.has_value(),
+                    "protocol: AES/CMAC round-trip must succeed");
+      acc.sum += decoded->share;
+      acc.contributors |= (std::uint64_t{1} << s);
+      ++delivered;
+    }
+  }
+
+  // ---- Stage 2: reconstruction phase ----
+  const ct::ReconstructionSchedule recon =
+      ct::make_reconstruction_schedule(config_.share_holders);
+
+  // A holder with no live sum cannot inject its entry: model by marking
+  // the holder disabled iff dead (a live holder with a partial sum still
+  // transmits; receivers filter by the contributor bitmap).
+  // Usable entries for the done-predicate: the largest group of live
+  // holders with identical contributor sets.
+  std::unordered_map<std::uint64_t, std::uint32_t> group_size;
+  for (std::size_t h = 0; h < num_holders; ++h) {
+    if (holder_sums[h].valid) ++group_size[holder_sums[h].contributors];
+  }
+  std::uint64_t best_mask = 0;
+  std::uint32_t best_count = 0;
+  for (const auto& [mask, count] : group_size) {
+    const int pc = std::popcount(mask);
+    if (count > best_count ||
+        (count == best_count && pc > std::popcount(best_mask))) {
+      best_count = count;
+      best_mask = mask;
+    }
+  }
+  std::vector<char> usable_entry(num_holders, 0);
+  for (std::size_t h = 0; h < num_holders; ++h) {
+    if (holder_sums[h].valid && holder_sums[h].contributors == best_mask) {
+      usable_entry[h] = 1;
+    }
+  }
+
+  ct::MiniCastConfig recon_cfg;
+  recon_cfg.initiator = pick_phase_initiator(*topo_, config_.initiator,
+                                             config_.share_holders, dead);
+  recon_cfg.ntx = config_.ntx_reconstruction;
+  recon_cfg.payload_bytes = SumPacket::kWireSize;
+  recon_cfg.max_chain_slots = config_.max_chain_slots;
+  recon_cfg.radio_policy = share_cfg.radio_policy;
+  recon_cfg.disabled = dead;
+  recon_cfg.scheduled_owners = synced(config_.share_holders);
+  recon_cfg.done = [&](NodeId /*node*/, const std::vector<char>& have) {
+    std::size_t got = 0;
+    for (std::size_t h = 0; h < num_holders; ++h) {
+      if (usable_entry[h] && have[h]) ++got;
+    }
+    return got >= k + 1;
+  };
+
+  const ct::MiniCastResult recon_round = run_minicast(
+      *topo_, recon.entries, recon_cfg, sim.channel_rng());
+
+  // ---- Stage 3: per-node reconstruction from decoded SumPackets ----
+  AggregationResult result;
+  result.nodes.assign(n, NodeOutcome{});
+  result.expected_sum = expected_sum;
+  result.sync_duration_us = sync.duration_us;
+  result.sharing_duration_us = share_round.duration_us;
+  result.reconstruction_duration_us = recon_round.duration_us;
+  result.total_duration_us =
+      sync.duration_us + share_round.duration_us + recon_round.duration_us;
+  result.share_delivery_ratio =
+      deliverable == 0
+          ? 1.0
+          : static_cast<double>(delivered) / static_cast<double>(deliverable);
+  for (std::size_t h = 0; h < num_holders; ++h) {
+    if (holder_sums[h].valid &&
+        holder_sums[h].contributors == live_source_mask) {
+      ++result.complete_holders;
+    }
+  }
+
+  const SimTime prefix_us = sync.duration_us + share_round.duration_us;
+  for (NodeId node = 0; node < n; ++node) {
+    NodeOutcome& out = result.nodes[node];
+    if (dead[node]) continue;
+    out.radio_on_us = sync.radio_on_us[node] + share_round.radio_on_us[node] +
+                      recon_round.radio_on_us[node];
+
+    // Collect the sums this node decoded (own sum included for holders).
+    std::unordered_map<std::uint64_t, std::vector<Share>> groups;
+    for (std::size_t h = 0; h < num_holders; ++h) {
+      if (!holder_sums[h].valid) continue;
+      const NodeId holder = config_.share_holders[h];
+      const bool own = (holder == node);
+      if (!own && !recon_round.node_has(node, h)) continue;
+      // Decode the wire bytes the holder would have broadcast.
+      SumPacket pkt;
+      pkt.holder = holder;
+      pkt.contribution_count = static_cast<std::uint8_t>(
+          std::popcount(holder_sums[h].contributors));
+      pkt.round = config_.round;
+      pkt.sum = holder_sums[h].sum;
+      pkt.contributors = holder_sums[h].contributors;
+      const std::optional<SumPacket> decoded = SumPacket::decode(pkt.encode());
+      MPCIOT_ENSURE(decoded.has_value(), "protocol: SumPacket round-trip");
+      groups[decoded->contributors].push_back(
+          Share{decoded->holder, decoded->sum});
+    }
+
+    // Pick the consistent group with the most contributors that has
+    // enough points.
+    const std::vector<Share>* chosen = nullptr;
+    std::uint64_t chosen_mask = 0;
+    for (const auto& [mask, shares] : groups) {
+      if (shares.size() < k + 1) continue;
+      if (chosen == nullptr ||
+          std::popcount(mask) > std::popcount(chosen_mask)) {
+        chosen = &shares;
+        chosen_mask = mask;
+      }
+    }
+    if (chosen == nullptr) continue;
+
+    out.has_aggregate = true;
+    out.sums_used = static_cast<std::uint32_t>(chosen->size());
+    out.aggregate = reconstruct(*chosen, k);
+    out.aggregate_correct =
+        (chosen_mask == live_source_mask) && (out.aggregate == expected_sum);
+
+    const std::int32_t done_slot = recon_round.done_slot[node];
+    if (done_slot >= 0) {
+      out.latency_us = prefix_us + static_cast<SimTime>(done_slot + 1) *
+                                       recon_round.chain_slot_us;
+    } else {
+      out.latency_us = result.total_duration_us;
+    }
+  }
+
+  return result;
+}
+
+ProtocolConfig make_s3_config(const net::Topology& topo,
+                              const std::vector<NodeId>& sources,
+                              std::size_t degree, std::uint32_t ntx_full) {
+  ProtocolConfig cfg;
+  cfg.sources = sources;
+  cfg.share_holders = sources;
+  cfg.degree = degree;
+  cfg.ntx_sharing = ntx_full;
+  cfg.ntx_reconstruction = ntx_full;
+  cfg.initiator = topo.center_node();
+  cfg.early_radio_off = false;
+  return cfg;
+}
+
+ProtocolConfig make_s4_config(const net::Topology& topo,
+                              const std::vector<NodeId>& sources,
+                              std::size_t degree, std::uint32_t ntx_low,
+                              std::size_t holder_slack) {
+  ProtocolConfig cfg;
+  cfg.sources = sources;
+  const std::size_t m =
+      std::min(degree + 1 + holder_slack, topo.size());
+  cfg.share_holders = elect_share_holders(topo, sources, m);
+  cfg.degree = degree;
+  cfg.ntx_sharing = ntx_low;
+  cfg.ntx_reconstruction = ntx_low;
+  cfg.initiator = topo.center_node();
+  cfg.early_radio_off = true;
+  return cfg;
+}
+
+std::size_t paper_degree(std::size_t source_count) {
+  return std::max<std::size_t>(1, source_count / 3);
+}
+
+std::uint32_t suggest_s3_ntx(const net::Topology& topo,
+                             const std::vector<NodeId>& sources,
+                             std::uint32_t trials, crypto::Xoshiro256& rng,
+                             std::uint32_t max_ntx) {
+  const ct::SharingSchedule sharing =
+      ct::make_sharing_schedule(sources, sources);
+
+  ct::MiniCastConfig base;
+  base.initiator = pick_phase_initiator(
+      topo, topo.center_node(), sources,
+      std::vector<char>(topo.size(), 0));
+  base.payload_bytes = SharePacket::kWireSize;
+  base.max_chain_slots = 512;
+  base.scheduled_owners = sources;  // slot-synced sources may self-trigger
+  // The naive protocol runs the flood "to attain full network coverage"
+  // (§III): every node — holder or relay — ends up with the entire chain.
+  // That is the condition we calibrate NTX against.
+  base.done = [](NodeId, const std::vector<char>& have) {
+    return std::all_of(have.begin(), have.end(),
+                       [](char c) { return c != 0; });
+  };
+
+  const NtxCalibration cal = calibrate_ntx(
+      topo, sharing.entries, base, /*required_done_ratio=*/1.0, trials,
+      max_ntx, rng);
+  return cal.ntx;
+}
+
+}  // namespace mpciot::core

@@ -1,0 +1,136 @@
+// The paper's two protocols, S3 (naive SSS over MiniCast) and S4
+// (scalable SSS), as one parameterized engine.
+//
+// A round runs three stages on the simulated CT network:
+//   0. sync     — a short Glossy flood from the initiator (round start);
+//   1. sharing  — MiniCast round over the (source x holder) chain, every
+//                 sub-slot carrying an AES-128-protected SharePacket;
+//   2. reconstruction — MiniCast round over the holder chain, carrying
+//                 plaintext SumPackets.
+// Aggregates are then reconstructed per node from whatever sums that node
+// decoded, exactly as a deployed node would.
+//
+// S3 and S4 differ only in configuration:
+//            holders            NTX                 radio policy
+//   S3       all sources        full-coverage NTX   listen to round end
+//   S4       m elected nodes    low (paper: 6/5)    early off
+//
+// Latency (paper metric 1) is per node: the time from round start until
+// the node first holds >= degree+1 consistent sums. Radio-on time (paper
+// metric 2) is summed over the stages.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/shamir.hpp"
+#include "crypto/keystore.hpp"
+#include "ct/minicast.hpp"
+#include "field/fp61.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace mpciot::core {
+
+struct ProtocolConfig {
+  /// Nodes contributing a secret, in schedule order (max 64 per round —
+  /// the SumPacket contributor bitmap width).
+  std::vector<NodeId> sources;
+  /// Share-holder (public-point) nodes, in schedule order. S3: the
+  /// sources themselves. S4: the elected collector set.
+  std::vector<NodeId> share_holders;
+  /// Polynomial degree k (collusion threshold; k+1 sums reconstruct).
+  std::size_t degree = 1;
+  std::uint32_t ntx_sharing = 6;
+  std::uint32_t ntx_reconstruction = 6;
+  /// Round counter (keys the AES-CTR nonces; reuse across rounds with the
+  /// same counter would break confidentiality).
+  std::uint16_t round = 0;
+  NodeId initiator = 0;
+  /// S4's energy optimization: radios off once NTX spent and local
+  /// completion reached.
+  bool early_radio_off = false;
+  std::uint32_t max_chain_slots = 512;
+  /// Failure injection: nodes dead for the entire round.
+  std::vector<NodeId> failed_nodes;
+};
+
+struct NodeOutcome {
+  bool has_aggregate = false;
+  /// Aggregate equals the sum of the secrets of all live sources.
+  bool aggregate_correct = false;
+  field::Fp61 aggregate;
+  /// Number of consistent sums the node reconstructed from.
+  std::uint32_t sums_used = 0;
+  SimTime latency_us = 0;
+  SimTime radio_on_us = 0;
+};
+
+struct AggregationResult {
+  std::vector<NodeOutcome> nodes;  // one per network node
+  field::Fp61 expected_sum;        // sum over live sources
+  SimTime sync_duration_us = 0;
+  SimTime sharing_duration_us = 0;
+  SimTime reconstruction_duration_us = 0;
+  SimTime total_duration_us = 0;
+  /// Sharing-phase delivery: fraction of (live source -> live holder)
+  /// shares that arrived.
+  double share_delivery_ratio = 0.0;
+  /// Holders that assembled a complete sum (all live sources).
+  std::uint32_t complete_holders = 0;
+
+  /// Fraction of live nodes holding a correct aggregate.
+  double success_ratio() const;
+  SimTime max_latency_us() const;
+  double mean_latency_us() const;
+  SimTime max_radio_on_us() const;
+  double mean_radio_on_us() const;
+};
+
+class SssProtocol {
+ public:
+  /// Preconditions: sources/holders non-empty, ids in range and unique,
+  /// 1 <= degree < sources.size() (degree >= sources would make even the
+  /// all-sources holder set unable to reconstruct), sources <= 64.
+  SssProtocol(const net::Topology& topo, const crypto::KeyStore& keys,
+              ProtocolConfig config);
+
+  /// Run one aggregation round. secrets[i] belongs to config.sources[i].
+  AggregationResult run(const std::vector<field::Fp61>& secrets,
+                        sim::Simulator& sim) const;
+
+  const ProtocolConfig& config() const { return config_; }
+
+ private:
+  const net::Topology* topo_;
+  const crypto::KeyStore* keys_;
+  ProtocolConfig config_;
+};
+
+/// Naive S3: holders = sources, no early radio-off. `ntx_full` should be
+/// the full-coverage NTX (see bootstrap::calibrate_ntx or
+/// suggest_s3_ntx).
+ProtocolConfig make_s3_config(const net::Topology& topo,
+                              const std::vector<NodeId>& sources,
+                              std::size_t degree, std::uint32_t ntx_full);
+
+/// Scalable S4: m = degree+1+slack elected holders, low NTX, early off.
+ProtocolConfig make_s4_config(const net::Topology& topo,
+                              const std::vector<NodeId>& sources,
+                              std::size_t degree, std::uint32_t ntx_low,
+                              std::size_t holder_slack = 2);
+
+/// The paper's degree heuristic: k = max(1, floor(n/3)).
+std::size_t paper_degree(std::size_t source_count);
+
+/// Calibrate the full-coverage NTX for S3 on this topology/source set
+/// (smallest NTX for which every holder assembles every share in
+/// `trials` consecutive trials).
+std::uint32_t suggest_s3_ntx(const net::Topology& topo,
+                             const std::vector<NodeId>& sources,
+                             std::uint32_t trials, crypto::Xoshiro256& rng,
+                             std::uint32_t max_ntx = 24);
+
+}  // namespace mpciot::core

@@ -1,0 +1,45 @@
+#include "core/shamir.hpp"
+
+#include "common/assert.hpp"
+
+namespace mpciot::core {
+
+ShamirDealer::ShamirDealer(field::Fp61 secret, std::size_t degree,
+                           crypto::CtrDrbg& drbg) {
+  MPCIOT_REQUIRE(degree >= 1, "ShamirDealer: degree must be >= 1");
+  poly_ = field::Polynomial::random_with_secret(
+      secret, degree, [&drbg] { return drbg.next_fp61(); });
+}
+
+Share ShamirDealer::share_for(NodeId holder) const {
+  return Share{holder, poly_.evaluate(public_point(holder))};
+}
+
+std::vector<Share> ShamirDealer::shares_for(
+    const std::vector<NodeId>& holders) const {
+  std::vector<Share> out;
+  out.reserve(holders.size());
+  for (NodeId h : holders) out.push_back(share_for(h));
+  return out;
+}
+
+field::Fp61 reconstruct(const std::vector<Share>& shares,
+                        std::size_t degree) {
+  MPCIOT_REQUIRE(shares.size() >= degree + 1,
+                 "reconstruct: need at least degree+1 shares");
+  std::vector<field::Sample> samples;
+  samples.reserve(degree + 1);
+  for (std::size_t i = 0; i <= degree; ++i) {
+    samples.push_back(
+        field::Sample{public_point(shares[i].holder), shares[i].value});
+  }
+  return field::interpolate_at_zero(samples);
+}
+
+field::Fp61 sum_shares(const std::vector<field::Fp61>& values) {
+  field::Fp61 acc;
+  for (field::Fp61 v : values) acc += v;
+  return acc;
+}
+
+}  // namespace mpciot::core

@@ -1,0 +1,69 @@
+// Shamir Secret Sharing over Fp61 (Shamir, CACM 1979), in the additive
+// aggregation arrangement the paper uses:
+//
+//   * every node n_i holds a random degree-k polynomial P_i with
+//     P_i(0) = S_i (its secret);
+//   * node n_i's share *for public point x_j* is P_i(x_j);
+//   * point-holder j sums the shares it received: sum_j = Σ_i P_i(x_j)
+//     — a point of the sum polynomial P_s = Σ_i P_i;
+//   * any k+1 complete sums reconstruct P_s(0) = Σ_i S_i.
+//
+// Public point for node id v is x = v + 1 (never 0 — x = 0 would leak
+// the secret directly).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "crypto/prng.hpp"
+#include "field/lagrange.hpp"
+#include "field/polynomial.hpp"
+
+namespace mpciot::core {
+
+/// The public evaluation point assigned to a node id.
+inline field::Fp61 public_point(NodeId node) {
+  return field::Fp61{static_cast<std::uint64_t>(node) + 1};
+}
+
+/// One share: the evaluation of a (sum of) secret polynomial(s) at the
+/// public point of `holder`.
+struct Share {
+  NodeId holder = kInvalidNode;
+  field::Fp61 value;
+};
+
+/// A dealer-side sharing of one secret.
+class ShamirDealer {
+ public:
+  /// Sample a fresh degree-`degree` polynomial with constant term
+  /// `secret`, drawing coefficients from `drbg`.
+  /// Precondition: degree >= 1 (degree 0 would broadcast the secret).
+  ShamirDealer(field::Fp61 secret, std::size_t degree, crypto::CtrDrbg& drbg);
+
+  /// The share destined for `holder`.
+  Share share_for(NodeId holder) const;
+
+  /// Shares for an explicit holder list.
+  std::vector<Share> shares_for(const std::vector<NodeId>& holders) const;
+
+  std::size_t degree() const {
+    return static_cast<std::size_t>(poly_.degree());
+  }
+  const field::Polynomial& polynomial() const { return poly_; }
+
+ private:
+  field::Polynomial poly_;
+};
+
+/// Reconstruct the secret (the value at x = 0) from at least degree+1
+/// shares at distinct points. Preconditions: shares.size() >= degree+1,
+/// holders distinct.
+field::Fp61 reconstruct(const std::vector<Share>& shares, std::size_t degree);
+
+/// Add share values pointwise — the aggregation step. All shares must be
+/// for the same holder.
+field::Fp61 sum_shares(const std::vector<field::Fp61>& values);
+
+}  // namespace mpciot::core

@@ -1,0 +1,81 @@
+#include "core/small_shamir.hpp"
+
+#include <unordered_set>
+
+#include "common/assert.hpp"
+
+namespace mpciot::core {
+
+SmallShamirDealer::SmallShamirDealer(const field::PrimeField& fieldd,
+                                     std::uint64_t secret, std::size_t degree,
+                                     crypto::CtrDrbg& drbg)
+    : field_(&fieldd) {
+  MPCIOT_REQUIRE(degree >= 1, "SmallShamir: degree must be >= 1");
+  MPCIOT_REQUIRE(secret < fieldd.modulus(),
+                 "SmallShamir: secret must be < field modulus");
+  MPCIOT_REQUIRE(degree + 1 < fieldd.modulus(),
+                 "SmallShamir: field too small for this degree");
+  coeffs_.resize(degree + 1);
+  coeffs_[0] = secret;
+  for (std::size_t i = 1; i <= degree; ++i) {
+    coeffs_[i] = drbg.next_below(fieldd.modulus());
+  }
+  while (coeffs_[degree] == 0) {
+    coeffs_[degree] = drbg.next_below(fieldd.modulus());
+  }
+}
+
+SmallShare SmallShamirDealer::share_for(NodeId holder) const {
+  const std::uint64_t x = field_->reduce(static_cast<std::uint64_t>(holder) + 1);
+  MPCIOT_REQUIRE(x != 0, "SmallShamir: holder id maps to point 0");
+  // Horner.
+  std::uint64_t acc = 0;
+  for (std::size_t i = coeffs_.size(); i-- > 0;) {
+    acc = field_->add(field_->mul(acc, x), coeffs_[i]);
+  }
+  return SmallShare{holder, acc};
+}
+
+std::uint64_t small_reconstruct(const field::PrimeField& fieldd,
+                                const std::vector<SmallShare>& shares,
+                                std::size_t degree) {
+  MPCIOT_REQUIRE(shares.size() >= degree + 1,
+                 "SmallShamir: need at least degree+1 shares");
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<std::uint64_t> xs;
+  xs.reserve(degree + 1);
+  for (std::size_t i = 0; i <= degree; ++i) {
+    const std::uint64_t x =
+        fieldd.reduce(static_cast<std::uint64_t>(shares[i].holder) + 1);
+    MPCIOT_REQUIRE(x != 0, "SmallShamir: share at point 0");
+    MPCIOT_REQUIRE(seen.insert(x).second,
+                   "SmallShamir: duplicate holder point");
+    xs.push_back(x);
+  }
+  // Lagrange at zero.
+  std::uint64_t result = 0;
+  for (std::size_t i = 0; i <= degree; ++i) {
+    std::uint64_t numer = 1;
+    std::uint64_t denom = 1;
+    for (std::size_t j = 0; j <= degree; ++j) {
+      if (j == i) continue;
+      numer = fieldd.mul(numer, xs[j]);
+      denom = fieldd.mul(denom, fieldd.sub(xs[j], xs[i]));
+    }
+    const std::uint64_t basis = fieldd.mul(numer, fieldd.inv(denom));
+    result = fieldd.add(result, fieldd.mul(shares[i].value, basis));
+  }
+  return result;
+}
+
+std::size_t small_share_bytes(const field::PrimeField& fieldd) {
+  std::size_t bits = 0;
+  std::uint64_t p = fieldd.modulus() - 1;
+  while (p) {
+    ++bits;
+    p >>= 1;
+  }
+  return (bits + 7) / 8;
+}
+
+}  // namespace mpciot::core

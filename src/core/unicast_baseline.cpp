@@ -1,0 +1,277 @@
+#include "core/unicast_baseline.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "common/assert.hpp"
+#include "core/wire.hpp"
+
+namespace mpciot::core {
+
+namespace {
+
+/// Next hop on a shortest good-link path src -> dst, or kInvalidNode.
+NodeId next_hop(const net::Topology& topo, NodeId from, NodeId dst) {
+  if (from == dst) return dst;
+  const std::uint32_t d = topo.hops(from, dst);
+  if (d == net::Topology::kInvalidHops) return kInvalidNode;
+  for (NodeId nb : topo.neighbors(from)) {
+    if (topo.prr(from, nb) < 0.5) continue;
+    if (topo.hops(nb, dst) + 1 == d) return nb;
+  }
+  return kInvalidNode;
+}
+
+struct Message {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  NodeId at = kInvalidNode;  // current hop position
+  std::uint32_t payload_bytes = 0;
+  bool is_sum = false;
+  std::size_t src_idx = 0;     // schedule index of the source (shares)
+  std::size_t holder_idx = 0;  // schedule index of the holder (sums)
+  bool delivered = false;
+  bool dropped = false;
+};
+
+}  // namespace
+
+double UnicastResult::success_ratio() const {
+  if (nodes.empty()) return 0.0;
+  std::size_t ok = 0;
+  for (const NodeOutcome& o : nodes) {
+    if (o.has_aggregate && o.aggregate_correct) ++ok;
+  }
+  return static_cast<double>(ok) / static_cast<double>(nodes.size());
+}
+
+SimTime UnicastResult::max_radio_on_us() const {
+  SimTime best = 0;
+  for (SimTime t : radio_on_us) best = std::max(best, t);
+  return best;
+}
+
+UnicastResult run_unicast_sss(const net::Topology& topo,
+                              const ProtocolConfig& config,
+                              const std::vector<field::Fp61>& secrets,
+                              const UnicastParams& params,
+                              sim::Simulator& sim) {
+  MPCIOT_REQUIRE(secrets.size() == config.sources.size(),
+                 "unicast: one secret per source");
+  const std::size_t n = topo.size();
+  const net::RadioParams& radio = topo.radio();
+  const std::size_t k = config.degree;
+
+  // Deal shares exactly like the CT protocol does.
+  std::vector<ShamirDealer> dealers;
+  dealers.reserve(config.sources.size());
+  field::Fp61 expected_sum;
+  for (std::size_t i = 0; i < config.sources.size(); ++i) {
+    crypto::CtrDrbg drbg(
+        sim.seed(),
+        0x0D1C000000000000ull |
+            (static_cast<std::uint64_t>(config.round) << 32) |
+            config.sources[i]);
+    dealers.emplace_back(secrets[i], k, drbg);
+    expected_sum += secrets[i];
+  }
+
+  // Build the message list: sharing then reconstruction (sums go to every
+  // node, matching the CT protocol's "everyone obtains the aggregate").
+  std::deque<Message> queue;
+  for (std::size_t s = 0; s < config.sources.size(); ++s) {
+    for (std::size_t h = 0; h < config.share_holders.size(); ++h) {
+      if (config.sources[s] == config.share_holders[h]) continue;
+      Message m;
+      m.src = config.sources[s];
+      m.dst = config.share_holders[h];
+      m.at = m.src;
+      m.payload_bytes = SharePacket::kWireSize;
+      m.src_idx = s;
+      m.holder_idx = h;
+      queue.push_back(m);
+    }
+  }
+
+  UnicastResult result;
+  result.radio_on_us.assign(n, 0);
+  result.nodes.assign(n, NodeOutcome{});
+
+  // Single collision domain: process messages hop-by-hop, serialized.
+  // (An event-queue formulation with a busy-channel token; the queue
+  //  drains deterministically.)
+  sim::EventQueue& events = sim.events();
+  std::size_t delivered = 0;
+  std::size_t total_messages = queue.size();
+
+  // holder sums filled as share messages arrive
+  std::vector<field::Fp61> holder_sum(config.share_holders.size());
+  std::vector<std::uint64_t> holder_mask(config.share_holders.size(), 0);
+  // own shares are local
+  for (std::size_t h = 0; h < config.share_holders.size(); ++h) {
+    for (std::size_t s = 0; s < config.sources.size(); ++s) {
+      if (config.sources[s] == config.share_holders[h]) {
+        holder_sum[h] += dealers[s].share_for(config.share_holders[h]).value;
+        holder_mask[h] |= (std::uint64_t{1} << s);
+      }
+    }
+  }
+
+  const SimTime data_us = radio.airtime_us(SharePacket::kWireSize);
+  const SimTime ack_us = radio.airtime_us(params.ack_payload_bytes);
+  // Each hop first rendezvouses with the duty-cycled receiver (expected
+  // strobe time: half the wake-up interval), then exchanges data + ack.
+  const SimTime exchange_us =
+      data_us + radio.turnaround_us + ack_us + radio.turnaround_us;
+  const SimTime hop_us = params.wakeup_interval_us / 2 + exchange_us;
+
+  // Phase 1: drain sharing messages.
+  auto process_queue = [&](std::deque<Message>& q) {
+    while (!q.empty()) {
+      Message m = q.front();
+      q.pop_front();
+      while (!m.delivered && !m.dropped) {
+        const NodeId hop = next_hop(topo, m.at, m.dst);
+        if (hop == kInvalidNode) {
+          m.dropped = true;
+          break;
+        }
+        const double prr = topo.prr(m.at, hop);
+        bool hop_ok = false;
+        for (std::uint32_t attempt = 0;
+             attempt <= params.max_retries_per_hop; ++attempt) {
+          // One attempt occupies the channel for data + ack airtime.
+          events.schedule_in(hop_us, [] {});
+          events.step();
+          // The sender strobes for the whole rendezvous; the receiver's
+          // radio only opens for the actual exchange.
+          result.radio_on_us[m.at] += hop_us;
+          result.radio_on_us[hop] += exchange_us;
+          if (sim.channel_rng().next_bool(prr)) {
+            hop_ok = true;
+            break;
+          }
+        }
+        if (!hop_ok) {
+          m.dropped = true;
+          break;
+        }
+        m.at = hop;
+        if (m.at == m.dst) m.delivered = true;
+      }
+      if (m.delivered) {
+        ++delivered;
+        if (!m.is_sum) {
+          holder_sum[m.holder_idx] +=
+              dealers[m.src_idx].share_for(m.dst).value;
+          holder_mask[m.holder_idx] |= (std::uint64_t{1} << m.src_idx);
+        }
+      }
+    }
+  };
+  process_queue(queue);
+
+  // Phase 2: every holder unicasts its sum to every other node.
+  std::deque<Message> sum_queue;
+  // received sums per node: (holder schedule idx -> present)
+  std::vector<std::vector<char>> got_sum(
+      n, std::vector<char>(config.share_holders.size(), 0));
+  for (std::size_t h = 0; h < config.share_holders.size(); ++h) {
+    got_sum[config.share_holders[h]][h] = 1;
+    for (NodeId dst = 0; dst < n; ++dst) {
+      if (dst == config.share_holders[h]) continue;
+      Message m;
+      m.src = config.share_holders[h];
+      m.dst = dst;
+      m.at = m.src;
+      m.payload_bytes = SumPacket::kWireSize;
+      m.is_sum = true;
+      m.holder_idx = h;
+      sum_queue.push_back(m);
+    }
+  }
+  total_messages += sum_queue.size();
+
+  while (!sum_queue.empty()) {
+    Message m = sum_queue.front();
+    sum_queue.pop_front();
+    while (!m.delivered && !m.dropped) {
+      const NodeId hop = next_hop(topo, m.at, m.dst);
+      if (hop == kInvalidNode) {
+        m.dropped = true;
+        break;
+      }
+      const double prr = topo.prr(m.at, hop);
+      bool hop_ok = false;
+      for (std::uint32_t attempt = 0; attempt <= params.max_retries_per_hop;
+           ++attempt) {
+        events.schedule_in(hop_us, [] {});
+        events.step();
+        result.radio_on_us[m.at] += hop_us;
+        result.radio_on_us[hop] += exchange_us;
+        if (sim.channel_rng().next_bool(prr)) {
+          hop_ok = true;
+          break;
+        }
+      }
+      if (!hop_ok) {
+        m.dropped = true;
+        break;
+      }
+      m.at = hop;
+      if (m.at == m.dst) m.delivered = true;
+    }
+    if (m.delivered) {
+      ++delivered;
+      got_sum[m.dst][m.holder_idx] = 1;
+    }
+  }
+
+  result.total_duration_us = events.now();
+  result.delivery_ratio =
+      total_messages == 0
+          ? 1.0
+          : static_cast<double>(delivered) / static_cast<double>(total_messages);
+
+  // Idle-listening overhead.
+  for (NodeId i = 0; i < n; ++i) {
+    result.radio_on_us[i] += static_cast<SimTime>(
+        params.idle_duty_cycle * static_cast<double>(result.total_duration_us));
+  }
+
+  // Per-node reconstruction, grouped by contributor mask like the CT path.
+  const std::uint64_t full_mask =
+      config.sources.size() == 64
+          ? ~std::uint64_t{0}
+          : ((std::uint64_t{1} << config.sources.size()) - 1);
+  for (NodeId node = 0; node < n; ++node) {
+    std::unordered_map<std::uint64_t, std::vector<Share>> groups;
+    for (std::size_t h = 0; h < config.share_holders.size(); ++h) {
+      if (!got_sum[node][h]) continue;
+      groups[holder_mask[h]].push_back(
+          Share{config.share_holders[h], holder_sum[h]});
+    }
+    const std::vector<Share>* chosen = nullptr;
+    std::uint64_t chosen_mask = 0;
+    for (const auto& [mask, shares] : groups) {
+      if (shares.size() < k + 1) continue;
+      if (chosen == nullptr || mask == full_mask) {
+        chosen = &shares;
+        chosen_mask = mask;
+      }
+    }
+    NodeOutcome& out = result.nodes[node];
+    out.radio_on_us = result.radio_on_us[node];
+    if (chosen == nullptr) continue;
+    out.has_aggregate = true;
+    out.sums_used = static_cast<std::uint32_t>(chosen->size());
+    out.aggregate = reconstruct(*chosen, k);
+    out.aggregate_correct =
+        (chosen_mask == full_mask) && (out.aggregate == expected_sum);
+    out.latency_us = result.total_duration_us;
+  }
+  return result;
+}
+
+}  // namespace mpciot::core

@@ -1,0 +1,110 @@
+#include "core/wire.hpp"
+
+#include <cstring>
+
+#include "common/assert.hpp"
+
+namespace mpciot::core {
+
+namespace {
+
+void put_u16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v);
+}
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+void put_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<std::uint8_t>(v >> (56 - 8 * i));
+  }
+}
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+Bytes SharePacket::encode(const crypto::KeyStore& keys) const {
+  MPCIOT_REQUIRE(source != destination,
+                 "SharePacket: self-shares do not travel on air");
+  Bytes wire(kWireSize);
+  wire[0] = static_cast<std::uint8_t>(source);
+  wire[1] = static_cast<std::uint8_t>(destination);
+  put_u16(wire.data() + 2, round);
+
+  // Encrypt the 8-byte share value with AES-CTR under the pairwise key.
+  const auto key = keys.pairwise_key(source, destination);
+  const crypto::AesCtr ctr(key);
+  std::uint8_t plain[8];
+  put_u64(plain, share.value());
+  const auto nonce = crypto::AesCtr::make_nonce(source, destination, round,
+                                                /*sequence=*/0);
+  ctr.crypt(nonce, std::span<const std::uint8_t>{plain, 8},
+            std::span<std::uint8_t>{wire.data() + 4, 8});
+
+  // Truncated CMAC over header + ciphertext.
+  const crypto::Cmac mac(key);
+  const auto tag =
+      mac.compute(std::span<const std::uint8_t>{wire.data(), 12});
+  std::memcpy(wire.data() + 12, tag.data(), 4);
+  return wire;
+}
+
+std::optional<SharePacket> SharePacket::decode(const Bytes& wire,
+                                               const crypto::KeyStore& keys) {
+  if (wire.size() != kWireSize) return std::nullopt;
+  SharePacket pkt;
+  pkt.source = wire[0];
+  pkt.destination = wire[1];
+  pkt.round = get_u16(wire.data() + 2);
+  if (pkt.source == pkt.destination) return std::nullopt;
+  if (pkt.source >= keys.node_count() || pkt.destination >= keys.node_count()) {
+    return std::nullopt;
+  }
+
+  const auto key = keys.pairwise_key(pkt.source, pkt.destination);
+  const crypto::Cmac mac(key);
+  const auto tag =
+      mac.compute(std::span<const std::uint8_t>{wire.data(), 12});
+  crypto::Cmac::Tag sent{};
+  std::memcpy(sent.data(), wire.data() + 12, 4);
+  crypto::Cmac::Tag expect{};
+  std::memcpy(expect.data(), tag.data(), 4);
+  if (!crypto::Cmac::verify(sent, expect)) return std::nullopt;
+
+  const crypto::AesCtr ctr(key);
+  std::uint8_t plain[8];
+  const auto nonce = crypto::AesCtr::make_nonce(pkt.source, pkt.destination,
+                                                pkt.round, /*sequence=*/0);
+  ctr.crypt(nonce, std::span<const std::uint8_t>{wire.data() + 4, 8},
+            std::span<std::uint8_t>{plain, 8});
+  pkt.share = field::Fp61{get_u64(plain)};
+  return pkt;
+}
+
+Bytes SumPacket::encode() const {
+  Bytes wire(kWireSize);
+  wire[0] = static_cast<std::uint8_t>(holder);
+  wire[1] = contribution_count;
+  put_u16(wire.data() + 2, round);
+  put_u64(wire.data() + 4, sum.value());
+  put_u64(wire.data() + 12, contributors);
+  return wire;
+}
+
+std::optional<SumPacket> SumPacket::decode(const Bytes& wire) {
+  if (wire.size() != kWireSize) return std::nullopt;
+  SumPacket pkt;
+  pkt.holder = wire[0];
+  pkt.contribution_count = wire[1];
+  pkt.round = get_u16(wire.data() + 2);
+  pkt.sum = field::Fp61{get_u64(wire.data() + 4)};
+  pkt.contributors = get_u64(wire.data() + 12);
+  return pkt;
+}
+
+}  // namespace mpciot::core

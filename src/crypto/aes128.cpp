@@ -1,0 +1,205 @@
+#include "crypto/aes128.hpp"
+
+#include <cstring>
+
+namespace mpciot::crypto {
+
+namespace {
+
+// --- GF(2^8) arithmetic modulo the AES polynomial x^8+x^4+x^3+x+1 ---
+
+constexpr std::uint8_t xtime(std::uint8_t a) {
+  return static_cast<std::uint8_t>((a << 1) ^ ((a & 0x80) ? 0x1B : 0x00));
+}
+
+constexpr std::uint8_t gmul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t result = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (b & 1) result ^= a;
+    a = xtime(a);
+    b >>= 1;
+  }
+  return result;
+}
+
+// a^254 == a^-1 in GF(2^8)* (and maps 0 -> 0, as FIPS-197 requires).
+constexpr std::uint8_t ginv(std::uint8_t a) {
+  std::uint8_t result = 1;
+  std::uint8_t acc = a;
+  int e = 254;
+  while (e) {
+    if (e & 1) result = gmul(result, acc);
+    acc = gmul(acc, acc);
+    e >>= 1;
+  }
+  return result;
+}
+
+constexpr std::uint8_t rotl8(std::uint8_t x, int n) {
+  return static_cast<std::uint8_t>((x << n) | (x >> (8 - n)));
+}
+
+constexpr std::uint8_t affine(std::uint8_t x) {
+  return static_cast<std::uint8_t>(x ^ rotl8(x, 1) ^ rotl8(x, 2) ^
+                                   rotl8(x, 3) ^ rotl8(x, 4) ^ 0x63);
+}
+
+struct SboxTables {
+  std::array<std::uint8_t, 256> fwd{};
+  std::array<std::uint8_t, 256> inv{};
+};
+
+constexpr SboxTables make_sboxes() {
+  SboxTables t{};
+  for (int i = 0; i < 256; ++i) {
+    const auto s = affine(ginv(static_cast<std::uint8_t>(i)));
+    t.fwd[static_cast<std::size_t>(i)] = s;
+    t.inv[s] = static_cast<std::uint8_t>(i);
+  }
+  return t;
+}
+
+constexpr SboxTables kSbox = make_sboxes();
+
+// Round constants for AES-128 key expansion.
+constexpr std::array<std::uint8_t, 10> kRcon = {0x01, 0x02, 0x04, 0x08, 0x10,
+                                                0x20, 0x40, 0x80, 0x1B, 0x36};
+
+using State = std::array<std::uint8_t, 16>;  // column-major, FIPS order
+
+void add_round_key(State& s, const std::uint8_t* rk) {
+  for (int i = 0; i < 16; ++i) s[static_cast<std::size_t>(i)] ^= rk[i];
+}
+
+void sub_bytes(State& s) {
+  for (auto& b : s) b = kSbox.fwd[b];
+}
+
+void inv_sub_bytes(State& s) {
+  for (auto& b : s) b = kSbox.inv[b];
+}
+
+// State layout: s[4*c + r] is row r, column c (matches the byte order of
+// the input block: block[i] -> s[i]).
+void shift_rows(State& s) {
+  State t = s;
+  for (int c = 0; c < 4; ++c) {
+    for (int r = 1; r < 4; ++r) {
+      s[static_cast<std::size_t>(4 * c + r)] =
+          t[static_cast<std::size_t>(4 * ((c + r) % 4) + r)];
+    }
+  }
+}
+
+void inv_shift_rows(State& s) {
+  State t = s;
+  for (int c = 0; c < 4; ++c) {
+    for (int r = 1; r < 4; ++r) {
+      s[static_cast<std::size_t>(4 * ((c + r) % 4) + r)] =
+          t[static_cast<std::size_t>(4 * c + r)];
+    }
+  }
+}
+
+void mix_columns(State& s) {
+  for (int c = 0; c < 4; ++c) {
+    std::uint8_t* col = s.data() + 4 * c;
+    const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = static_cast<std::uint8_t>(xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3);
+    col[1] = static_cast<std::uint8_t>(a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3);
+    col[2] = static_cast<std::uint8_t>(a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3));
+    col[3] = static_cast<std::uint8_t>((xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3));
+  }
+}
+
+void inv_mix_columns(State& s) {
+  for (int c = 0; c < 4; ++c) {
+    std::uint8_t* col = s.data() + 4 * c;
+    const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = static_cast<std::uint8_t>(gmul(a0, 0x0E) ^ gmul(a1, 0x0B) ^
+                                       gmul(a2, 0x0D) ^ gmul(a3, 0x09));
+    col[1] = static_cast<std::uint8_t>(gmul(a0, 0x09) ^ gmul(a1, 0x0E) ^
+                                       gmul(a2, 0x0B) ^ gmul(a3, 0x0D));
+    col[2] = static_cast<std::uint8_t>(gmul(a0, 0x0D) ^ gmul(a1, 0x09) ^
+                                       gmul(a2, 0x0E) ^ gmul(a3, 0x0B));
+    col[3] = static_cast<std::uint8_t>(gmul(a0, 0x0B) ^ gmul(a1, 0x0D) ^
+                                       gmul(a2, 0x09) ^ gmul(a3, 0x0E));
+  }
+}
+
+}  // namespace
+
+std::uint8_t Aes128::sbox(std::uint8_t x) { return kSbox.fwd[x]; }
+std::uint8_t Aes128::inv_sbox(std::uint8_t x) { return kSbox.inv[x]; }
+
+Aes128::Aes128(const Key& key) {
+  // FIPS-197 key expansion, word-oriented (4 bytes per word).
+  std::memcpy(round_keys_.data(), key.data(), kKeySize);
+  for (int i = 4; i < 4 * (kRounds + 1); ++i) {
+    std::uint8_t temp[4];
+    std::memcpy(temp, round_keys_.data() + 4 * (i - 1), 4);
+    if (i % 4 == 0) {
+      // RotWord + SubWord + Rcon
+      const std::uint8_t t0 = temp[0];
+      temp[0] = static_cast<std::uint8_t>(kSbox.fwd[temp[1]] ^
+                                          kRcon[static_cast<std::size_t>(i / 4 - 1)]);
+      temp[1] = kSbox.fwd[temp[2]];
+      temp[2] = kSbox.fwd[temp[3]];
+      temp[3] = kSbox.fwd[t0];
+    }
+    for (int b = 0; b < 4; ++b) {
+      round_keys_[static_cast<std::size_t>(4 * i + b)] =
+          static_cast<std::uint8_t>(round_keys_[static_cast<std::size_t>(4 * (i - 4) + b)] ^ temp[b]);
+    }
+  }
+}
+
+void Aes128::encrypt_block(std::span<const std::uint8_t, kBlockSize> in,
+                           std::span<std::uint8_t, kBlockSize> out) const {
+  State s;
+  std::memcpy(s.data(), in.data(), kBlockSize);
+  add_round_key(s, round_keys_.data());
+  for (int round = 1; round < kRounds; ++round) {
+    sub_bytes(s);
+    shift_rows(s);
+    mix_columns(s);
+    add_round_key(s, round_keys_.data() + 16 * round);
+  }
+  sub_bytes(s);
+  shift_rows(s);
+  add_round_key(s, round_keys_.data() + 16 * kRounds);
+  std::memcpy(out.data(), s.data(), kBlockSize);
+}
+
+void Aes128::decrypt_block(std::span<const std::uint8_t, kBlockSize> in,
+                           std::span<std::uint8_t, kBlockSize> out) const {
+  State s;
+  std::memcpy(s.data(), in.data(), kBlockSize);
+  add_round_key(s, round_keys_.data() + 16 * kRounds);
+  for (int round = kRounds - 1; round >= 1; --round) {
+    inv_shift_rows(s);
+    inv_sub_bytes(s);
+    add_round_key(s, round_keys_.data() + 16 * round);
+    inv_mix_columns(s);
+  }
+  inv_shift_rows(s);
+  inv_sub_bytes(s);
+  add_round_key(s, round_keys_.data());
+  std::memcpy(out.data(), s.data(), kBlockSize);
+}
+
+Aes128::Block Aes128::encrypt_block(const Block& in) const {
+  Block out{};
+  encrypt_block(std::span<const std::uint8_t, kBlockSize>{in},
+                std::span<std::uint8_t, kBlockSize>{out});
+  return out;
+}
+
+Aes128::Block Aes128::decrypt_block(const Block& in) const {
+  Block out{};
+  decrypt_block(std::span<const std::uint8_t, kBlockSize>{in},
+                std::span<std::uint8_t, kBlockSize>{out});
+  return out;
+}
+
+}  // namespace mpciot::crypto

@@ -1,0 +1,52 @@
+// AES-128 block cipher, implemented from the FIPS-197 specification.
+//
+// The S-box is *derived* at compile time from its algebraic definition
+// (multiplicative inverse in GF(2^8) modulo x^8+x^4+x^3+x+1 followed by
+// the affine transform) instead of a transcribed table; the FIPS-197 and
+// NIST SP 800-38A known-answer vectors in tests/crypto pin the result.
+//
+// This models the AES hardware block of the nRF52840 used by the paper:
+// the sharing phase encrypts every share packet with a pairwise AES key.
+// It is a straightforward table-free byte-oriented implementation —
+// portable and constant-code-path, not optimized with T-tables or AES-NI.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace mpciot::crypto {
+
+class Aes128 {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+  static constexpr std::size_t kKeySize = 16;
+  static constexpr int kRounds = 10;
+
+  using Block = std::array<std::uint8_t, kBlockSize>;
+  using Key = std::array<std::uint8_t, kKeySize>;
+
+  /// Expand the key schedule once; encrypt/decrypt reuse it.
+  explicit Aes128(const Key& key);
+
+  /// Encrypt one 16-byte block (out may alias in).
+  void encrypt_block(std::span<const std::uint8_t, kBlockSize> in,
+                     std::span<std::uint8_t, kBlockSize> out) const;
+
+  /// Decrypt one 16-byte block (out may alias in).
+  void decrypt_block(std::span<const std::uint8_t, kBlockSize> in,
+                     std::span<std::uint8_t, kBlockSize> out) const;
+
+  Block encrypt_block(const Block& in) const;
+  Block decrypt_block(const Block& in) const;
+
+  /// Forward S-box value (exposed for tests pinning the derivation).
+  static std::uint8_t sbox(std::uint8_t x);
+  static std::uint8_t inv_sbox(std::uint8_t x);
+
+ private:
+  // 11 round keys of 16 bytes each.
+  std::array<std::uint8_t, kBlockSize*(kRounds + 1)> round_keys_{};
+};
+
+}  // namespace mpciot::crypto

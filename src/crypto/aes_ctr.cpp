@@ -1,0 +1,59 @@
+#include "crypto/aes_ctr.hpp"
+
+#include "common/assert.hpp"
+
+namespace mpciot::crypto {
+
+namespace {
+void increment_be(Aes128::Block& ctr) {
+  for (std::size_t i = ctr.size(); i-- > 0;) {
+    if (++ctr[i] != 0) break;
+  }
+}
+
+void put_be32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+}  // namespace
+
+void AesCtr::crypt(const Nonce& nonce, std::span<const std::uint8_t> data,
+                   std::span<std::uint8_t> out) const {
+  MPCIOT_REQUIRE(out.size() >= data.size(), "AesCtr: output too small");
+  Aes128::Block counter = nonce;
+  Aes128::Block keystream{};
+  std::size_t off = 0;
+  while (off < data.size()) {
+    cipher_.encrypt_block(
+        std::span<const std::uint8_t, Aes128::kBlockSize>{counter},
+        std::span<std::uint8_t, Aes128::kBlockSize>{keystream});
+    const std::size_t chunk =
+        std::min<std::size_t>(Aes128::kBlockSize, data.size() - off);
+    for (std::size_t i = 0; i < chunk; ++i) {
+      out[off + i] = static_cast<std::uint8_t>(data[off + i] ^ keystream[i]);
+    }
+    increment_be(counter);
+    off += chunk;
+  }
+}
+
+std::vector<std::uint8_t> AesCtr::crypt(
+    const Nonce& nonce, std::span<const std::uint8_t> data) const {
+  std::vector<std::uint8_t> out(data.size());
+  crypt(nonce, data, out);
+  return out;
+}
+
+AesCtr::Nonce AesCtr::make_nonce(std::uint32_t sender, std::uint32_t receiver,
+                                 std::uint32_t round, std::uint32_t sequence) {
+  Nonce n{};
+  put_be32(n.data() + 0, sender);
+  put_be32(n.data() + 4, receiver);
+  put_be32(n.data() + 8, round);
+  put_be32(n.data() + 12, sequence);
+  return n;
+}
+
+}  // namespace mpciot::crypto

@@ -1,0 +1,394 @@
+#include "crypto/bigint.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/assert.hpp"
+
+namespace mpciot::crypto {
+
+namespace {
+constexpr std::uint64_t kBase = std::uint64_t{1} << 32;
+}
+
+BigInt::BigInt(std::uint64_t v) {
+  if (v != 0) {
+    limbs_.push_back(static_cast<std::uint32_t>(v));
+    if (v >> 32) limbs_.push_back(static_cast<std::uint32_t>(v >> 32));
+  }
+}
+
+void BigInt::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+int BigInt::cmp(const BigInt& a, const BigInt& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::size_t BigInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  std::uint32_t top = limbs_.back();
+  while (top) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigInt::bit(std::size_t i) const {
+  const std::size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1u;
+}
+
+std::uint64_t BigInt::to_u64() const {
+  std::uint64_t v = 0;
+  if (!limbs_.empty()) v = limbs_[0];
+  if (limbs_.size() > 1) v |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  return v;
+}
+
+BigInt operator+(const BigInt& a, const BigInt& b) {
+  BigInt out;
+  const std::size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  out.limbs_.resize(n);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t s = carry;
+    if (i < a.limbs_.size()) s += a.limbs_[i];
+    if (i < b.limbs_.size()) s += b.limbs_[i];
+    out.limbs_[i] = static_cast<std::uint32_t>(s);
+    carry = s >> 32;
+  }
+  if (carry) out.limbs_.push_back(static_cast<std::uint32_t>(carry));
+  return out;
+}
+
+BigInt operator-(const BigInt& a, const BigInt& b) {
+  MPCIOT_REQUIRE(a >= b, "BigInt: subtraction underflow (magnitude-only)");
+  BigInt out;
+  out.limbs_.resize(a.limbs_.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::int64_t s = static_cast<std::int64_t>(a.limbs_[i]) - borrow;
+    if (i < b.limbs_.size()) s -= b.limbs_[i];
+    if (s < 0) {
+      s += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(s);
+  }
+  out.trim();
+  return out;
+}
+
+BigInt operator*(const BigInt& a, const BigInt& b) {
+  if (a.is_zero() || b.is_zero()) return BigInt{};
+  BigInt out;
+  out.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t ai = a.limbs_[i];
+    for (std::size_t j = 0; j < b.limbs_.size(); ++j) {
+      std::uint64_t cur = out.limbs_[i + j] + ai * b.limbs_[j] + carry;
+      out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + b.limbs_.size();
+    while (carry) {
+      std::uint64_t cur = out.limbs_[k] + carry;
+      out.limbs_[k] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.trim();
+  return out;
+}
+
+BigInt operator<<(const BigInt& a, std::size_t bits) {
+  if (a.is_zero() || bits == 0) {
+    BigInt out = a;
+    return out;
+  }
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  BigInt out;
+  out.limbs_.assign(a.limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    const std::uint64_t v = static_cast<std::uint64_t>(a.limbs_[i])
+                            << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<std::uint32_t>(v);
+    out.limbs_[i + limb_shift + 1] |= static_cast<std::uint32_t>(v >> 32);
+  }
+  out.trim();
+  return out;
+}
+
+BigInt operator>>(const BigInt& a, std::size_t bits) {
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  if (limb_shift >= a.limbs_.size()) return BigInt{};
+  BigInt out;
+  out.limbs_.resize(a.limbs_.size() - limb_shift);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    std::uint64_t v = a.limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < a.limbs_.size()) {
+      v |= static_cast<std::uint64_t>(a.limbs_[i + limb_shift + 1])
+           << (32 - bit_shift);
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(v);
+  }
+  out.trim();
+  return out;
+}
+
+BigIntDivMod BigInt::divmod(const BigInt& num, const BigInt& den) {
+  MPCIOT_REQUIRE(!den.is_zero(), "BigInt: division by zero");
+  if (num < den) return {BigInt{}, num};
+
+  // Single-limb divisor fast path.
+  if (den.limbs_.size() == 1) {
+    const std::uint64_t d = den.limbs_[0];
+    BigInt q;
+    q.limbs_.resize(num.limbs_.size());
+    std::uint64_t rem = 0;
+    for (std::size_t i = num.limbs_.size(); i-- > 0;) {
+      const std::uint64_t cur = (rem << 32) | num.limbs_[i];
+      q.limbs_[i] = static_cast<std::uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    q.trim();
+    return {q, BigInt{rem}};
+  }
+
+  // Knuth Algorithm D (TAOCP vol. 2, 4.3.1) with 32-bit digits.
+  const int shift =
+      static_cast<int>(32 - (den.bit_length() - (den.limbs_.size() - 1) * 32));
+  const BigInt u = num << static_cast<std::size_t>(shift);
+  const BigInt v = den << static_cast<std::size_t>(shift);
+  const std::size_t n = v.limbs_.size();
+  const std::size_t m = u.limbs_.size() - n;
+
+  std::vector<std::uint32_t> un(u.limbs_);
+  un.resize(u.limbs_.size() + 1, 0);  // extra high digit
+  const std::vector<std::uint32_t>& vn = v.limbs_;
+
+  BigInt q;
+  q.limbs_.assign(m + 1, 0);
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // Estimate qhat from the top two digits of the current remainder.
+    const std::uint64_t numerator =
+        (static_cast<std::uint64_t>(un[j + n]) << 32) | un[j + n - 1];
+    std::uint64_t qhat = numerator / vn[n - 1];
+    std::uint64_t rhat = numerator % vn[n - 1];
+    if (qhat >= kBase) {
+      qhat = kBase - 1;
+      rhat = numerator - qhat * vn[n - 1];
+    }
+    while (rhat < kBase &&
+           qhat * vn[n - 2] > ((rhat << 32) | un[j + n - 2])) {
+      --qhat;
+      rhat += vn[n - 1];
+    }
+
+    // Multiply-subtract qhat * v from un[j .. j+n].
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t p = qhat * vn[i] + carry;
+      carry = p >> 32;
+      std::int64_t t = static_cast<std::int64_t>(un[i + j]) -
+                       static_cast<std::int64_t>(p & 0xFFFFFFFFu) - borrow;
+      if (t < 0) {
+        t += static_cast<std::int64_t>(kBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      un[i + j] = static_cast<std::uint32_t>(t);
+    }
+    std::int64_t t = static_cast<std::int64_t>(un[j + n]) -
+                     static_cast<std::int64_t>(carry) - borrow;
+    if (t < 0) {
+      // qhat was one too large: add v back and decrement qhat.
+      t += static_cast<std::int64_t>(kBase);
+      --qhat;
+      std::uint64_t c2 = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t s = static_cast<std::uint64_t>(un[i + j]) +
+                                vn[i] + c2;
+        un[i + j] = static_cast<std::uint32_t>(s);
+        c2 = s >> 32;
+      }
+      t += static_cast<std::int64_t>(c2);
+      t &= static_cast<std::int64_t>(0xFFFFFFFFll);
+    }
+    un[j + n] = static_cast<std::uint32_t>(t);
+    q.limbs_[j] = static_cast<std::uint32_t>(qhat);
+  }
+
+  q.trim();
+  BigInt r;
+  r.limbs_.assign(un.begin(), un.begin() + static_cast<std::ptrdiff_t>(n));
+  r.trim();
+  r = r >> static_cast<std::size_t>(shift);
+  return {q, r};
+}
+
+BigInt operator/(const BigInt& a, const BigInt& b) {
+  return BigInt::divmod(a, b).quotient;
+}
+
+BigInt operator%(const BigInt& a, const BigInt& b) {
+  return BigInt::divmod(a, b).remainder;
+}
+
+BigInt BigInt::mulmod(const BigInt& a, const BigInt& b, const BigInt& m) {
+  return (a * b) % m;
+}
+
+BigInt BigInt::powmod(const BigInt& base, const BigInt& exp, const BigInt& m) {
+  MPCIOT_REQUIRE(!m.is_zero(), "BigInt: powmod modulus is zero");
+  if (m == BigInt{1}) return BigInt{};
+  BigInt result{1};
+  BigInt acc = base % m;
+  const std::size_t bits = exp.bit_length();
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (exp.bit(i)) result = mulmod(result, acc, m);
+    if (i + 1 < bits) acc = mulmod(acc, acc, m);
+  }
+  return result;
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  while (!b.is_zero()) {
+    BigInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigInt BigInt::lcm(const BigInt& a, const BigInt& b) {
+  if (a.is_zero() || b.is_zero()) return BigInt{};
+  return (a / gcd(a, b)) * b;
+}
+
+BigInt BigInt::modinv(const BigInt& a, const BigInt& m) {
+  // Extended Euclid on magnitudes, tracking the sign of the Bezout
+  // coefficient for `a` explicitly.
+  BigInt r0 = m, r1 = a % m;
+  BigInt t0{}, t1{1};
+  bool t0_neg = false, t1_neg = false;
+  while (!r1.is_zero()) {
+    const BigIntDivMod dm = divmod(r0, r1);
+    // (t0 - q*t1) with signed semantics.
+    const BigInt qt1 = dm.quotient * t1;
+    BigInt t2;
+    bool t2_neg;
+    if (t0_neg == t1_neg) {
+      // same sign: t0 - q*t1 may flip sign
+      if (t0 >= qt1) {
+        t2 = t0 - qt1;
+        t2_neg = t0_neg;
+      } else {
+        t2 = qt1 - t0;
+        t2_neg = !t0_neg;
+      }
+    } else {
+      t2 = t0 + qt1;
+      t2_neg = t0_neg;
+    }
+    t0 = std::move(t1);
+    t0_neg = t1_neg;
+    t1 = std::move(t2);
+    t1_neg = t2_neg;
+    r0 = std::move(r1);
+    r1 = dm.remainder;
+  }
+  if (r0 != BigInt{1}) return BigInt{};  // not invertible
+  if (t0_neg) return m - (t0 % m);
+  return t0 % m;
+}
+
+BigInt BigInt::from_hex(std::string_view hex) {
+  BigInt out;
+  for (char c : hex) {
+    int v;
+    if (c >= '0' && c <= '9') {
+      v = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      v = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      v = c - 'A' + 10;
+    } else {
+      MPCIOT_REQUIRE(false, "BigInt: invalid hex digit");
+      v = 0;
+    }
+    out = (out << 4) + BigInt{static_cast<std::uint64_t>(v)};
+  }
+  return out;
+}
+
+BigInt BigInt::from_string(std::string_view text) {
+  MPCIOT_REQUIRE(!text.empty(), "BigInt: empty string");
+  if (text.size() > 2 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X')) {
+    return from_hex(text.substr(2));
+  }
+  BigInt out;
+  const BigInt ten{10};
+  for (char c : text) {
+    MPCIOT_REQUIRE(c >= '0' && c <= '9', "BigInt: invalid decimal digit");
+    out = out * ten + BigInt{static_cast<std::uint64_t>(c - '0')};
+  }
+  return out;
+}
+
+std::string BigInt::to_hex_string() const {
+  if (is_zero()) return "0";
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    for (int shift = 28; shift >= 0; shift -= 4) {
+      out.push_back(digits[(limbs_[i] >> shift) & 0xF]);
+    }
+  }
+  const std::size_t first = out.find_first_not_of('0');
+  return out.substr(first);
+}
+
+std::string BigInt::to_decimal_string() const {
+  if (is_zero()) return "0";
+  BigInt v = *this;
+  const BigInt billion{1000000000ull};
+  std::vector<std::uint32_t> chunks;
+  while (!v.is_zero()) {
+    const BigIntDivMod dm = divmod(v, billion);
+    chunks.push_back(static_cast<std::uint32_t>(dm.remainder.to_u64()));
+    v = dm.quotient;
+  }
+  std::string out = std::to_string(chunks.back());
+  for (std::size_t i = chunks.size() - 1; i-- > 0;) {
+    std::string part = std::to_string(chunks[i]);
+    out += std::string(9 - part.size(), '0') + part;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const BigInt& v) {
+  return os << v.to_decimal_string();
+}
+
+}  // namespace mpciot::crypto

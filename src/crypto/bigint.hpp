@@ -1,0 +1,197 @@
+// Arbitrary-precision unsigned integers.
+//
+// Built to support the Paillier homomorphic-encryption baseline the paper
+// argues against in §I ("most existing PPDA solutions rely on highly
+// computation-intensive Homomorphic Encryption"). Magnitude-only (no
+// sign); 32-bit limbs, little-endian limb order; division is Knuth
+// Algorithm D. Throughput is deliberately plain-C — representative of
+// what an IoT-class MCU without a bignum accelerator would run.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpciot::crypto {
+
+class BigInt;
+
+/// Quotient and remainder of a BigInt division (defined after BigInt —
+/// a nested struct cannot hold members of the still-incomplete class).
+struct BigIntDivMod;
+
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+
+  /// From a 64-bit value.
+  BigInt(std::uint64_t v);  // NOLINT(google-explicit-constructor) — numeric literal ergonomics
+
+  /// Parse from decimal ("12345") or hex with 0x prefix ("0xffa3").
+  static BigInt from_string(std::string_view text);
+  static BigInt from_hex(std::string_view hex);
+
+  /// Random value with exactly `bits` bits (msb set). `draw` must return
+  /// uniform 64-bit values.
+  template <typename Rng>
+  static BigInt random_bits(std::size_t bits, Rng& rng);
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1u); }
+  std::size_t bit_length() const;
+  bool bit(std::size_t i) const;
+
+  /// Low 64 bits (for converting small results back to machine ints).
+  std::uint64_t to_u64() const;
+
+  std::string to_decimal_string() const;
+  std::string to_hex_string() const;
+
+  // Comparisons.
+  friend bool operator==(const BigInt& a, const BigInt& b) {
+    return a.limbs_ == b.limbs_;
+  }
+  friend bool operator!=(const BigInt& a, const BigInt& b) { return !(a == b); }
+  friend bool operator<(const BigInt& a, const BigInt& b) {
+    return cmp(a, b) < 0;
+  }
+  friend bool operator<=(const BigInt& a, const BigInt& b) {
+    return cmp(a, b) <= 0;
+  }
+  friend bool operator>(const BigInt& a, const BigInt& b) {
+    return cmp(a, b) > 0;
+  }
+  friend bool operator>=(const BigInt& a, const BigInt& b) {
+    return cmp(a, b) >= 0;
+  }
+
+  // Arithmetic (magnitude; operator- requires a >= b).
+  friend BigInt operator+(const BigInt& a, const BigInt& b);
+  friend BigInt operator-(const BigInt& a, const BigInt& b);
+  friend BigInt operator*(const BigInt& a, const BigInt& b);
+  friend BigInt operator/(const BigInt& a, const BigInt& b);
+  friend BigInt operator%(const BigInt& a, const BigInt& b);
+  BigInt& operator+=(const BigInt& o) { return *this = *this + o; }
+  BigInt& operator-=(const BigInt& o) { return *this = *this - o; }
+  BigInt& operator*=(const BigInt& o) { return *this = *this * o; }
+
+  friend BigInt operator<<(const BigInt& a, std::size_t bits);
+  friend BigInt operator>>(const BigInt& a, std::size_t bits);
+
+  /// Quotient and remainder in one pass. Precondition: divisor non-zero.
+  static BigIntDivMod divmod(const BigInt& num, const BigInt& den);
+
+  /// (a * b) mod m.
+  static BigInt mulmod(const BigInt& a, const BigInt& b, const BigInt& m);
+
+  /// base^exp mod m (square-and-multiply). Precondition: m non-zero.
+  static BigInt powmod(const BigInt& base, const BigInt& exp, const BigInt& m);
+
+  static BigInt gcd(BigInt a, BigInt b);
+  static BigInt lcm(const BigInt& a, const BigInt& b);
+
+  /// Modular inverse of a mod m; returns zero BigInt if gcd(a, m) != 1.
+  static BigInt modinv(const BigInt& a, const BigInt& m);
+
+  /// Miller-Rabin probabilistic primality, `rounds` random bases drawn
+  /// from `rng`. Error probability <= 4^-rounds.
+  template <typename Rng>
+  static bool is_probable_prime(const BigInt& n, int rounds, Rng& rng);
+
+  /// Random prime with exactly `bits` bits.
+  template <typename Rng>
+  static BigInt random_prime(std::size_t bits, Rng& rng, int mr_rounds = 24);
+
+  const std::vector<std::uint32_t>& limbs() const { return limbs_; }
+
+ private:
+  static int cmp(const BigInt& a, const BigInt& b);
+  void trim();
+
+  // Little-endian 32-bit limbs; empty means zero; top limb nonzero.
+  std::vector<std::uint32_t> limbs_;
+};
+
+std::ostream& operator<<(std::ostream& os, const BigInt& v);
+
+struct BigIntDivMod {
+  BigInt quotient;
+  BigInt remainder;
+};
+
+// ---- templates ----
+
+template <typename Rng>
+BigInt BigInt::random_bits(std::size_t bits, Rng& rng) {
+  if (bits == 0) return BigInt{};
+  BigInt out;
+  const std::size_t limb_count = (bits + 31) / 32;
+  out.limbs_.resize(limb_count);
+  for (std::size_t i = 0; i < limb_count; i += 2) {
+    const std::uint64_t v = rng.next_u64();
+    out.limbs_[i] = static_cast<std::uint32_t>(v);
+    if (i + 1 < limb_count) {
+      out.limbs_[i + 1] = static_cast<std::uint32_t>(v >> 32);
+    }
+  }
+  const std::size_t top_bit = (bits - 1) % 32;
+  // Clear above the requested width, then force the msb so the width is
+  // exact.
+  out.limbs_.back() &= (top_bit == 31)
+                           ? 0xFFFFFFFFu
+                           : ((std::uint32_t{1} << (top_bit + 1)) - 1);
+  out.limbs_.back() |= (std::uint32_t{1} << top_bit);
+  out.trim();
+  return out;
+}
+
+template <typename Rng>
+bool BigInt::is_probable_prime(const BigInt& n, int rounds, Rng& rng) {
+  if (n < BigInt{2}) return false;
+  for (std::uint64_t p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                          23ull, 29ull, 31ull, 37ull, 41ull, 43ull}) {
+    const BigInt bp{p};
+    if (n == bp) return true;
+    if ((n % bp).is_zero()) return false;
+  }
+  // n - 1 = d * 2^r with d odd.
+  const BigInt n_minus_1 = n - BigInt{1};
+  BigInt d = n_minus_1;
+  std::size_t r = 0;
+  while (!d.is_odd()) {
+    d = d >> 1;
+    ++r;
+  }
+  const std::size_t nbits = n.bit_length();
+  for (int round = 0; round < rounds; ++round) {
+    // Uniform-ish base in [2, n-2]: draw nbits and reduce.
+    BigInt a = random_bits(nbits, rng) % n;
+    if (a < BigInt{2}) a = BigInt{2};
+    BigInt x = powmod(a, d, n);
+    if (x == BigInt{1} || x == n_minus_1) continue;
+    bool witness = true;
+    for (std::size_t i = 0; i + 1 < r; ++i) {
+      x = mulmod(x, x, n);
+      if (x == n_minus_1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+template <typename Rng>
+BigInt BigInt::random_prime(std::size_t bits, Rng& rng, int mr_rounds) {
+  for (;;) {
+    BigInt candidate = random_bits(bits, rng);
+    if (!candidate.is_odd()) candidate += BigInt{1};
+    if (is_probable_prime(candidate, mr_rounds, rng)) return candidate;
+  }
+}
+
+}  // namespace mpciot::crypto

@@ -1,0 +1,65 @@
+#include "crypto/paillier.hpp"
+
+#include "common/assert.hpp"
+
+namespace mpciot::crypto {
+
+PaillierKeyPair Paillier::generate(std::size_t modulus_bits,
+                                   Xoshiro256& rng) {
+  MPCIOT_REQUIRE(modulus_bits >= 64 && modulus_bits % 2 == 0,
+                 "Paillier: modulus_bits must be even and >= 64");
+  const std::size_t prime_bits = modulus_bits / 2;
+  for (;;) {
+    const BigInt p = BigInt::random_prime(prime_bits, rng);
+    const BigInt q = BigInt::random_prime(prime_bits, rng);
+    if (p == q) continue;
+    const BigInt n = p * q;
+    // Require gcd(n, (p-1)(q-1)) == 1 (holds for equal-length primes).
+    const BigInt p1 = p - BigInt{1};
+    const BigInt q1 = q - BigInt{1};
+    if (BigInt::gcd(n, p1 * q1) != BigInt{1}) continue;
+    const BigInt lambda = BigInt::lcm(p1, q1);
+    const BigInt mu = BigInt::modinv(lambda % n, n);
+    if (mu.is_zero()) continue;
+    PaillierKeyPair kp;
+    kp.pub.n = n;
+    kp.pub.n_squared = n * n;
+    kp.priv.lambda = lambda;
+    kp.priv.mu = mu;
+    return kp;
+  }
+}
+
+BigInt Paillier::encrypt(const PaillierPublicKey& pub, const BigInt& m,
+                         Xoshiro256& rng) {
+  MPCIOT_REQUIRE(m < pub.n, "Paillier: plaintext must be < n");
+  // r uniform in [1, n) with gcd(r, n) == 1.
+  BigInt r;
+  do {
+    r = BigInt::random_bits(pub.n.bit_length(), rng) % pub.n;
+  } while (r.is_zero() || BigInt::gcd(r, pub.n) != BigInt{1});
+  // (1 + m*n) mod n^2 avoids a full powmod for the g^m term (g = n+1).
+  const BigInt gm = (BigInt{1} + m * pub.n) % pub.n_squared;
+  const BigInt rn = BigInt::powmod(r, pub.n, pub.n_squared);
+  return BigInt::mulmod(gm, rn, pub.n_squared);
+}
+
+BigInt Paillier::decrypt(const PaillierPublicKey& pub,
+                         const PaillierPrivateKey& priv, const BigInt& c) {
+  MPCIOT_REQUIRE(c < pub.n_squared, "Paillier: ciphertext out of range");
+  const BigInt x = BigInt::powmod(c, priv.lambda, pub.n_squared);
+  const BigInt l = (x - BigInt{1}) / pub.n;
+  return BigInt::mulmod(l, priv.mu, pub.n);
+}
+
+BigInt Paillier::add(const PaillierPublicKey& pub, const BigInt& c1,
+                     const BigInt& c2) {
+  return BigInt::mulmod(c1, c2, pub.n_squared);
+}
+
+BigInt Paillier::scale(const PaillierPublicKey& pub, const BigInt& c,
+                       const BigInt& k) {
+  return BigInt::powmod(c, k, pub.n_squared);
+}
+
+}  // namespace mpciot::crypto

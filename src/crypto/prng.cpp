@@ -1,0 +1,135 @@
+#include "crypto/prng.hpp"
+
+#include <cstring>
+
+#include "common/assert.hpp"
+
+namespace mpciot::crypto {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+namespace {
+std::uint64_t rotl64(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Xoshiro256::next_u64() {
+  const std::uint64_t result = rotl64(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl64(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256::next_below(std::uint64_t bound) {
+  MPCIOT_REQUIRE(bound > 0, "next_below: bound must be positive");
+  // Rejection sampling over the largest multiple of bound.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+  std::uint64_t v;
+  do {
+    v = next_u64();
+  } while (v >= limit);
+  return v % bound;
+}
+
+double Xoshiro256::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+field::Fp61 Xoshiro256::next_fp61() {
+  // Draw 61 bits; reject the single out-of-range value p (= 2^61 - 1).
+  std::uint64_t v;
+  do {
+    v = next_u64() >> 3;
+  } while (v >= field::Fp61::kModulus);
+  return field::Fp61{v};
+}
+
+bool Xoshiro256::next_bool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+CtrDrbg::CtrDrbg(const Aes128::Key& seed_key, std::uint64_t personalization)
+    : cipher_(seed_key) {
+  for (int i = 0; i < 8; ++i) {
+    counter_[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(personalization >> (56 - 8 * i));
+  }
+}
+
+CtrDrbg::CtrDrbg(std::uint64_t seed, std::uint64_t personalization)
+    : CtrDrbg(
+          [&] {
+            Aes128::Key key{};
+            std::uint64_t sm = seed;
+            const std::uint64_t a = splitmix64(sm);
+            const std::uint64_t b = splitmix64(sm);
+            std::memcpy(key.data(), &a, 8);
+            std::memcpy(key.data() + 8, &b, 8);
+            return key;
+          }(),
+          personalization) {}
+
+void CtrDrbg::fill(std::uint8_t* out, std::size_t len) {
+  while (len > 0) {
+    if (buffered_ == 0) {
+      // Encrypt the counter block, then bump the low 64 bits.
+      buffer_ = cipher_.encrypt_block(counter_);
+      for (std::size_t i = counter_.size(); i-- > 8;) {
+        if (++counter_[i] != 0) break;
+      }
+      buffered_ = buffer_.size();
+    }
+    const std::size_t take = std::min(len, buffered_);
+    const std::size_t offset = buffer_.size() - buffered_;
+    std::memcpy(out, buffer_.data() + offset, take);
+    buffered_ -= take;
+    out += take;
+    len -= take;
+  }
+}
+
+std::uint64_t CtrDrbg::next_u64() {
+  std::uint8_t bytes[8];
+  fill(bytes, sizeof bytes);
+  std::uint64_t v;
+  std::memcpy(&v, bytes, 8);
+  return v;
+}
+
+std::uint64_t CtrDrbg::next_below(std::uint64_t bound) {
+  MPCIOT_REQUIRE(bound > 0, "next_below: bound must be positive");
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+  std::uint64_t v;
+  do {
+    v = next_u64();
+  } while (v >= limit);
+  return v % bound;
+}
+
+field::Fp61 CtrDrbg::next_fp61() {
+  std::uint64_t v;
+  do {
+    v = next_u64() >> 3;
+  } while (v >= field::Fp61::kModulus);
+  return field::Fp61{v};
+}
+
+}  // namespace mpciot::crypto

@@ -1,0 +1,51 @@
+#include "ct/chain_schedule.hpp"
+
+#include <unordered_set>
+
+#include "common/assert.hpp"
+
+namespace mpciot::ct {
+
+namespace {
+void check_unique(const std::vector<NodeId>& nodes, const char* what) {
+  std::unordered_set<NodeId> seen;
+  for (NodeId n : nodes) {
+    MPCIOT_REQUIRE(seen.insert(n).second, what);
+  }
+}
+}  // namespace
+
+SharingSchedule make_sharing_schedule(
+    const std::vector<NodeId>& sources,
+    const std::vector<NodeId>& destinations) {
+  MPCIOT_REQUIRE(!sources.empty(), "sharing schedule: no sources");
+  MPCIOT_REQUIRE(!destinations.empty(), "sharing schedule: no destinations");
+  check_unique(sources, "sharing schedule: duplicate source");
+  check_unique(destinations, "sharing schedule: duplicate destination");
+
+  SharingSchedule sched;
+  sched.sources = sources;
+  sched.destinations = destinations;
+  sched.entries.reserve(sources.size() * destinations.size());
+  for (NodeId src : sources) {
+    for (std::size_t d = 0; d < destinations.size(); ++d) {
+      sched.entries.push_back(ChainEntry{src});
+    }
+  }
+  return sched;
+}
+
+ReconstructionSchedule make_reconstruction_schedule(
+    const std::vector<NodeId>& holders) {
+  MPCIOT_REQUIRE(!holders.empty(), "reconstruction schedule: no holders");
+  check_unique(holders, "reconstruction schedule: duplicate holder");
+  ReconstructionSchedule sched;
+  sched.holders = holders;
+  sched.entries.reserve(holders.size());
+  for (NodeId h : holders) {
+    sched.entries.push_back(ChainEntry{h});
+  }
+  return sched;
+}
+
+}  // namespace mpciot::ct

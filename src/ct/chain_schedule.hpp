@@ -1,0 +1,52 @@
+// Chain layout construction for the two SSS phases.
+//
+// The sharing phase of naive SSS (S3) needs one sub-slot per
+// (source, destination) pair — the O(n^2) chain §II calls out. The
+// scalable variant (S4) trims this to one sub-slot per
+// (source, share-holder) pair, O(n·m) with m = k+1+slack. The
+// reconstruction phase needs one sub-slot per point-sum holder.
+//
+// The schedule is a pure function of the participant lists, so every
+// node derives the identical chain layout locally — the property TDMA
+// requires.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "ct/minicast.hpp"
+
+namespace mpciot::ct {
+
+/// Sharing-phase chain: for each source (in order) one entry per
+/// destination (in order). Entry index = src_idx * destinations.size()
+/// + dst_idx; the origin of every entry is the *source* (it injects the
+/// encrypted share destined for the destination).
+struct SharingSchedule {
+  std::vector<ChainEntry> entries;
+  std::vector<NodeId> sources;
+  std::vector<NodeId> destinations;
+
+  std::size_t entry_index(std::size_t src_idx, std::size_t dst_idx) const {
+    return src_idx * destinations.size() + dst_idx;
+  }
+  std::size_t size() const { return entries.size(); }
+};
+
+SharingSchedule make_sharing_schedule(const std::vector<NodeId>& sources,
+                                      const std::vector<NodeId>& destinations);
+
+/// Reconstruction-phase chain: one entry per point-sum holder, in order.
+struct ReconstructionSchedule {
+  std::vector<ChainEntry> entries;
+  std::vector<NodeId> holders;
+
+  std::size_t entry_index(std::size_t holder_idx) const { return holder_idx; }
+  std::size_t size() const { return entries.size(); }
+};
+
+ReconstructionSchedule make_reconstruction_schedule(
+    const std::vector<NodeId>& holders);
+
+}  // namespace mpciot::ct

@@ -1,0 +1,40 @@
+#include "ct/glossy.hpp"
+
+namespace mpciot::ct {
+
+double GlossyResult::coverage() const {
+  if (first_rx_slot.size() <= 1) return 1.0;
+  std::size_t received = 0;
+  std::size_t total = 0;
+  for (std::int32_t s : first_rx_slot) {
+    if (s == MiniCastResult::kOwnEntry) continue;  // initiator
+    ++total;
+    if (s != MiniCastResult::kNever) ++received;
+  }
+  return total == 0 ? 1.0 : static_cast<double>(received) /
+                                static_cast<double>(total);
+}
+
+GlossyResult run_glossy(const net::Topology& topo, const GlossyConfig& config,
+                        crypto::Xoshiro256& rng) {
+  MiniCastConfig mc;
+  mc.initiator = config.initiator;
+  mc.ntx = config.ntx;
+  mc.payload_bytes = config.payload_bytes;
+  mc.max_chain_slots = config.max_slots;
+  mc.radio_policy = RadioPolicy::kUntilQuiescence;
+
+  const std::vector<ChainEntry> entries{ChainEntry{config.initiator}};
+  const MiniCastResult r = run_minicast(topo, entries, mc, rng);
+
+  GlossyResult out;
+  out.first_rx_slot.reserve(r.rx_slot.size());
+  for (const auto& row : r.rx_slot) out.first_rx_slot.push_back(row[0]);
+  out.tx_count = r.tx_count;
+  out.radio_on_us = r.radio_on_us;
+  out.slots_used = r.chain_slots_used;
+  out.duration_us = r.duration_us;
+  return out;
+}
+
+}  // namespace mpciot::ct

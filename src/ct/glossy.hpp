@@ -1,0 +1,43 @@
+// Glossy (Ferrari et al., IPSN 2011): one-to-all concurrent-transmission
+// flooding. In this library Glossy is the single-entry special case of
+// the MiniCast chain engine — the trigger rule, NTX budget and timing are
+// identical, so modelling it once keeps the two protocols consistent.
+//
+// Used directly by the bootstrapping phase (initiator election, NTX
+// calibration) and by the NTX-vs-coverage bench that reproduces the
+// non-linear behaviour §III exploits.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "crypto/prng.hpp"
+#include "ct/minicast.hpp"
+#include "net/topology.hpp"
+
+namespace mpciot::ct {
+
+struct GlossyConfig {
+  NodeId initiator = 0;
+  std::uint32_t ntx = 3;
+  std::uint32_t payload_bytes = 16;
+  std::uint32_t max_slots = 256;
+};
+
+struct GlossyResult {
+  /// Slot of first reception per node (kNever if missed; kOwnEntry for
+  /// the initiator).
+  std::vector<std::int32_t> first_rx_slot;
+  std::vector<std::uint32_t> tx_count;
+  std::vector<SimTime> radio_on_us;
+  std::uint32_t slots_used = 0;
+  SimTime duration_us = 0;
+
+  /// Fraction of non-initiator nodes that received the flood.
+  double coverage() const;
+};
+
+GlossyResult run_glossy(const net::Topology& topo, const GlossyConfig& config,
+                        crypto::Xoshiro256& rng);
+
+}  // namespace mpciot::ct

@@ -1,0 +1,220 @@
+#include "ct/minicast.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace mpciot::ct {
+
+double MiniCastResult::delivery_ratio() const {
+  std::size_t delivered = 0;
+  std::size_t total = 0;
+  for (const auto& row : rx_slot) {
+    for (std::int32_t s : row) {
+      if (s == kOwnEntry) continue;
+      ++total;
+      if (s != kNever) ++delivered;
+    }
+  }
+  return total == 0 ? 1.0 : static_cast<double>(delivered) /
+                                static_cast<double>(total);
+}
+
+double MiniCastResult::done_ratio() const {
+  if (done_slot.empty()) return 1.0;
+  std::size_t done = 0;
+  for (std::int32_t s : done_slot) {
+    if (s != kNever) ++done;
+  }
+  return static_cast<double>(done) / static_cast<double>(done_slot.size());
+}
+
+MiniCastResult run_minicast(const net::Topology& topo,
+                            const std::vector<ChainEntry>& entries,
+                            const MiniCastConfig& config,
+                            crypto::Xoshiro256& rng) {
+  const std::size_t n = topo.size();
+  const std::size_t num_entries = entries.size();
+  MPCIOT_REQUIRE(num_entries > 0, "minicast: empty chain");
+  MPCIOT_REQUIRE(config.initiator < n, "minicast: initiator out of range");
+  MPCIOT_REQUIRE(config.ntx > 0, "minicast: ntx must be positive");
+  for (const ChainEntry& e : entries) {
+    MPCIOT_REQUIRE(e.origin < n, "minicast: entry origin out of range");
+  }
+  MPCIOT_REQUIRE(config.disabled.empty() || config.disabled.size() == n,
+                 "minicast: disabled mask size mismatch");
+  const auto is_disabled = [&](NodeId i) {
+    return !config.disabled.empty() && config.disabled[i] != 0;
+  };
+
+  const net::RadioParams& radio = topo.radio();
+  const SimTime subslot_us = radio.subslot_us(config.payload_bytes);
+  const SimTime chain_slot_us =
+      subslot_us * static_cast<SimTime>(num_entries);
+
+  const auto done_fn =
+      config.done ? config.done
+                  : [](NodeId, const std::vector<char>& have) {
+                      return std::all_of(have.begin(), have.end(),
+                                         [](char c) { return c != 0; });
+                    };
+
+  MiniCastResult result;
+  result.rx_slot.assign(n, std::vector<std::int32_t>(
+                               num_entries, MiniCastResult::kNever));
+  result.tx_count.assign(n, 0);
+  result.done_slot.assign(n, MiniCastResult::kNever);
+  result.radio_on_us.assign(n, 0);
+  result.chain_slot_us = chain_slot_us;
+
+  // have[i]: reception bitmap of node i (char to avoid vector<bool>).
+  std::vector<std::vector<char>> have(n, std::vector<char>(num_entries, 0));
+  for (std::size_t e = 0; e < num_entries; ++e) {
+    have[entries[e].origin][e] = 1;
+    result.rx_slot[entries[e].origin][e] = MiniCastResult::kOwnEntry;
+  }
+
+  std::vector<char> radio_on(n, 1);
+  std::vector<char> tx_this_slot(n, 0);
+  std::vector<char> received_any(n, 0);
+  std::vector<char> tx_next(n, 0);
+  tx_next[config.initiator] = 1;
+  std::vector<char> scheduled(n, 0);
+  for (NodeId t : config.scheduled_owners) {
+    MPCIOT_REQUIRE(t < n, "minicast: scheduled owner out of range");
+    scheduled[t] = 1;
+  }
+  std::vector<std::uint32_t> silent_slots(n, 0);
+  // Timeout transmissions are for injecting straggler data, not for
+  // sustaining the flood: bound them so degenerate everyone-transmits
+  // dynamics cannot arise.
+  std::vector<std::uint32_t> timeout_budget(n, 4);
+  for (NodeId i = 0; i < n; ++i) {
+    if (is_disabled(i)) {
+      radio_on[i] = 0;
+      tx_next[i] = 0;
+      scheduled[i] = 0;
+    }
+  }
+
+  // Initial done check (origins of everything / trivial predicates).
+  for (NodeId i = 0; i < n; ++i) {
+    if (!is_disabled(i) && done_fn(i, have[i])) result.done_slot[i] = 0;
+  }
+
+  std::vector<net::Transmission> slot_txs;
+  std::uint32_t slot = 0;
+  for (; slot < config.max_chain_slots; ++slot) {
+    // Who transmits this chain slot? Wave-triggered nodes, plus
+    // scheduled owners that timed out of the wave. The timeout path uses
+    // a randomized backoff (p = 1/2 per slot once timed out): a
+    // deterministic timeout can synchronize all stragglers into an
+    // everyone-transmits slot in which nobody listens and the flood dies.
+    bool any_tx = false;
+    for (NodeId i = 0; i < n; ++i) {
+      // The defer draw models missing a *reception-derived* trigger; the
+      // initiator's opening transmission is clock-scheduled and immune.
+      const bool scheduled_start = (slot == 0 && i == config.initiator);
+      const bool wave =
+          tx_next[i] != 0 &&
+          (scheduled_start || !rng.next_bool(radio.tx_defer_prob));
+      bool timeout = false;
+      if (!wave && scheduled[i] && timeout_budget[i] > 0 &&
+          silent_slots[i] >= 2 && result.tx_count[i] < config.ntx &&
+          rng.next_bool(0.5)) {
+        timeout = true;
+        --timeout_budget[i];
+      }
+      tx_this_slot[i] =
+          ((wave || timeout) && result.tx_count[i] < config.ntx) ? 1 : 0;
+      if (tx_this_slot[i]) any_tx = true;
+      received_any[i] = 0;
+    }
+    if (!any_tx) {
+      // Quiescence — unless a scheduled owner still has data credit, in
+      // which case the provisioned round idles a slot and lets the
+      // owner's timeout fire (its backoff draw may simply have deferred).
+      bool pending_owner = false;
+      for (NodeId i = 0; i < n; ++i) {
+        if (scheduled[i] && result.tx_count[i] < config.ntx &&
+            timeout_budget[i] > 0) {
+          pending_owner = true;
+          break;
+        }
+      }
+      if (!pending_owner) break;
+    }
+
+    // Sub-slot by sub-slot arbitration.
+    for (std::size_t e = 0; e < num_entries; ++e) {
+      slot_txs.clear();
+      for (NodeId i = 0; i < n; ++i) {
+        if (tx_this_slot[i] && have[i][e]) {
+          slot_txs.push_back(
+              net::Transmission{i, static_cast<std::uint64_t>(e)});
+        }
+      }
+      if (slot_txs.empty()) continue;
+      const net::ReceptionModel model(topo);
+      for (NodeId r = 0; r < n; ++r) {
+        if (tx_this_slot[r] || !radio_on[r]) continue;
+        const net::ReceptionOutcome outcome =
+            model.arbitrate(r, slot_txs, rng);
+        if (outcome.received) {
+          received_any[r] = 1;
+          if (!have[r][e]) {
+            have[r][e] = 1;
+            result.rx_slot[r][e] = static_cast<std::int32_t>(slot);
+          }
+        }
+      }
+    }
+
+    // Accounting: transmitters spend the filled sub-slots in TX and the
+    // rest listening; listeners spend the whole chain slot in RX.
+    for (NodeId i = 0; i < n; ++i) {
+      if (tx_this_slot[i]) {
+        std::size_t filled = 0;
+        for (std::size_t e = 0; e < num_entries; ++e) {
+          if (have[i][e]) ++filled;
+        }
+        result.radio_on_us[i] += chain_slot_us;  // TX slots + guard listening
+        ++result.tx_count[i];
+        (void)filled;
+      } else if (radio_on[i]) {
+        result.radio_on_us[i] += chain_slot_us;
+      }
+    }
+
+    // Completion tracking and (optionally) early radio shutdown.
+    for (NodeId i = 0; i < n; ++i) {
+      if (is_disabled(i)) continue;
+      if (result.done_slot[i] == MiniCastResult::kNever &&
+          done_fn(i, have[i])) {
+        result.done_slot[i] = static_cast<std::int32_t>(slot);
+      }
+      if (config.radio_policy == RadioPolicy::kEarlyOff && radio_on[i] &&
+          result.tx_count[i] >= config.ntx &&
+          result.done_slot[i] != MiniCastResult::kNever) {
+        radio_on[i] = 0;
+      }
+    }
+
+    // Glossy trigger rule: transmit next chain slot iff received in this
+    // one. (Transmitters received nothing — half duplex.)
+    for (NodeId i = 0; i < n; ++i) {
+      tx_next[i] = received_any[i];
+      if (tx_this_slot[i] || received_any[i]) {
+        silent_slots[i] = 0;
+      } else {
+        ++silent_slots[i];
+      }
+    }
+  }
+
+  result.chain_slots_used = slot;
+  result.duration_us = static_cast<SimTime>(slot) * chain_slot_us;
+  return result;
+}
+
+}  // namespace mpciot::ct

@@ -1,0 +1,114 @@
+// MiniCast: concurrent-transmission many-to-many data sharing
+// (Saha et al., DCOSS 2017), the communication substrate of the paper.
+//
+// MiniCast interleaves multiple Glossy-style floods by arranging all
+// packets in a TDMA *chain*: a chain slot consists of E sub-slots, one
+// per chain entry; a node that is transmitting in a chain slot sends, in
+// sub-slot k, the entry-k packet if it has it (and stays silent in the
+// sub-slots it cannot fill). Nodes transmit the full chain in the chain
+// slot after one in which they received at least one packet — the
+// Glossy trigger rule lifted to chains — and stop after NTX chain
+// transmissions. The round starts from a designated initiator and ends
+// at quiescence (no transmitter) or at `max_chain_slots`.
+//
+// The engine reports, for every (node, entry), the chain slot of first
+// reception, plus per-node radio-on time under one of two shutdown
+// policies (the S4 optimization switches the policy).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "crypto/prng.hpp"
+#include "net/energy.hpp"
+#include "net/reception.hpp"
+#include "net/topology.hpp"
+
+namespace mpciot::ct {
+
+/// One packet position in the TDMA chain.
+struct ChainEntry {
+  /// The node whose packet occupies this sub-slot. Only the origin can
+  /// inject the entry; everyone else learns it over the air.
+  NodeId origin = kInvalidNode;
+};
+
+/// When may a node switch its radio off during a round?
+enum class RadioPolicy {
+  /// Stay on until the round ends (the naive S3 behaviour: full-coverage
+  /// rounds keep every node listening to the very end).
+  kUntilQuiescence,
+  /// Switch off once the node has (a) transmitted NTX chains and
+  /// (b) satisfied its `done` predicate — the S4 energy optimization.
+  kEarlyOff,
+};
+
+struct MiniCastConfig {
+  NodeId initiator = 0;
+  /// Number of full-chain transmissions per node.
+  std::uint32_t ntx = 3;
+  /// Payload bytes of each sub-slot packet (uniform across the chain).
+  std::uint32_t payload_bytes = 16;
+  /// Hard cap on chain slots (safety net; rounds normally end earlier).
+  std::uint32_t max_chain_slots = 256;
+  RadioPolicy radio_policy = RadioPolicy::kUntilQuiescence;
+  /// Per-node completion predicate, given the node's current reception
+  /// bitmap (indexed by entry). Used for `done_slot` reporting and, under
+  /// kEarlyOff, for radio shutdown. Defaults to "has every entry".
+  std::function<bool(NodeId, const std::vector<char>& have)> done;
+  /// Failure injection: disabled[i] != 0 means node i is dead for the
+  /// whole round (never transmits, never receives, radio off). Empty
+  /// means all nodes alive; otherwise must have one flag per node.
+  std::vector<char> disabled;
+  /// Slot-synchronized data owners. CT rounds are started by a Glossy
+  /// sync flood; every node that received it knows the TDMA schedule's
+  /// absolute slot times. A node listed here additionally transmits on a
+  /// *timeout*: if it has neither received nor transmitted for two
+  /// consecutive chain slots (it is outside the current wave), it injects
+  /// its chain at the next scheduled slot. This keeps poorly-reachable
+  /// sources from being starved by the reception-trigger rule without
+  /// ever producing an everyone-transmits (nobody-listens) slot.
+  std::vector<NodeId> scheduled_owners;
+};
+
+struct MiniCastResult {
+  /// rx_slot[node][entry]: chain slot of first reception; kOwnEntry for
+  /// the origin's own entries; kNever if not received by round end.
+  static constexpr std::int32_t kNever = -1;
+  static constexpr std::int32_t kOwnEntry = -2;
+  std::vector<std::vector<std::int32_t>> rx_slot;
+
+  /// Chain transmissions performed per node.
+  std::vector<std::uint32_t> tx_count;
+
+  /// First chain slot at which the node's `done` predicate held
+  /// (kNever if never). Origins whose predicate holds initially get 0.
+  std::vector<std::int32_t> done_slot;
+
+  /// Per-node radio-on time for this round (us).
+  std::vector<SimTime> radio_on_us;
+
+  std::uint32_t chain_slots_used = 0;
+  SimTime chain_slot_us = 0;
+  SimTime duration_us = 0;
+
+  bool node_has(NodeId n, std::size_t entry) const {
+    return rx_slot[n][entry] != kNever;
+  }
+
+  /// Fraction of (node, entry) pairs delivered, own entries excluded.
+  double delivery_ratio() const;
+
+  /// Fraction of nodes whose `done` predicate held by round end.
+  double done_ratio() const;
+};
+
+/// Run one MiniCast round to quiescence. Deterministic given `rng` state.
+MiniCastResult run_minicast(const net::Topology& topo,
+                            const std::vector<ChainEntry>& entries,
+                            const MiniCastConfig& config,
+                            crypto::Xoshiro256& rng);
+
+}  // namespace mpciot::ct

@@ -1,0 +1,25 @@
+#include "field/fp61.hpp"
+
+#include <ostream>
+
+namespace mpciot::field {
+
+Fp61 Fp61::pow(Fp61 base, std::uint64_t exponent) {
+  Fp61 result = Fp61::one();
+  Fp61 acc = base;
+  while (exponent != 0) {
+    if (exponent & 1u) result *= acc;
+    acc *= acc;
+    exponent >>= 1;
+  }
+  return result;
+}
+
+Fp61 Fp61::inverse() const {
+  MPCIOT_REQUIRE(!is_zero(), "Fp61: inverse of zero");
+  return pow(*this, kModulus - 2);
+}
+
+std::ostream& operator<<(std::ostream& os, Fp61 x) { return os << x.value(); }
+
+}  // namespace mpciot::field

@@ -1,0 +1,109 @@
+// Fp61: the prime field GF(p) with p = 2^61 - 1 (a Mersenne prime).
+//
+// This is the default field for Shamir Secret Sharing in this library.
+// The Mersenne structure gives a branch-light reduction: for any 122-bit
+// product x, x mod p = (x & p) + (x >> 61), followed by one conditional
+// subtraction. All operations are total (no exceptions) except inversion
+// of zero, which is a contract violation.
+//
+// Values are kept canonical in [0, p). The class is a regular value type:
+// cheap to copy, equality-comparable, hashable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+
+#include "common/assert.hpp"
+
+namespace mpciot::field {
+
+class Fp61 {
+ public:
+  /// The field modulus, 2^61 - 1 = 2305843009213693951.
+  static constexpr std::uint64_t kModulus = (std::uint64_t{1} << 61) - 1;
+
+  /// Zero element.
+  constexpr Fp61() : v_(0) {}
+
+  /// Construct from an arbitrary 64-bit integer (reduced mod p).
+  constexpr explicit Fp61(std::uint64_t v) : v_(reduce64(v)) {}
+
+  static constexpr Fp61 zero() { return Fp61{}; }
+  static constexpr Fp61 one() { return Fp61{1}; }
+
+  /// Raw canonical representative in [0, p).
+  constexpr std::uint64_t value() const { return v_; }
+
+  constexpr bool is_zero() const { return v_ == 0; }
+
+  friend constexpr bool operator==(Fp61 a, Fp61 b) { return a.v_ == b.v_; }
+  friend constexpr bool operator!=(Fp61 a, Fp61 b) { return a.v_ != b.v_; }
+
+  friend constexpr Fp61 operator+(Fp61 a, Fp61 b) {
+    std::uint64_t s = a.v_ + b.v_;  // < 2^62, no overflow
+    if (s >= kModulus) s -= kModulus;
+    return from_canonical(s);
+  }
+
+  friend constexpr Fp61 operator-(Fp61 a, Fp61 b) {
+    std::uint64_t s = a.v_ - b.v_;
+    if (a.v_ < b.v_) s += kModulus;
+    return from_canonical(s);
+  }
+
+  friend constexpr Fp61 operator-(Fp61 a) {
+    return from_canonical(a.v_ == 0 ? 0 : kModulus - a.v_);
+  }
+
+  friend constexpr Fp61 operator*(Fp61 a, Fp61 b) {
+    const unsigned __int128 prod =
+        static_cast<unsigned __int128>(a.v_) * b.v_;
+    // prod < 2^122; fold twice to guarantee a canonical result.
+    std::uint64_t lo = static_cast<std::uint64_t>(prod) & kModulus;
+    std::uint64_t hi = static_cast<std::uint64_t>(prod >> 61);
+    std::uint64_t s = lo + hi;  // < 2^62
+    s = (s & kModulus) + (s >> 61);
+    if (s >= kModulus) s -= kModulus;
+    return from_canonical(s);
+  }
+
+  Fp61& operator+=(Fp61 o) { return *this = *this + o; }
+  Fp61& operator-=(Fp61 o) { return *this = *this - o; }
+  Fp61& operator*=(Fp61 o) { return *this = *this * o; }
+
+  /// a^e by square-and-multiply. pow(0, 0) == 1 by convention.
+  static Fp61 pow(Fp61 base, std::uint64_t exponent);
+
+  /// Multiplicative inverse via Fermat (a^(p-2)). Precondition: non-zero.
+  Fp61 inverse() const;
+
+  /// Division. Precondition: divisor non-zero.
+  friend Fp61 operator/(Fp61 a, Fp61 b) { return a * b.inverse(); }
+
+ private:
+  static constexpr std::uint64_t reduce64(std::uint64_t v) {
+    std::uint64_t s = (v & kModulus) + (v >> 61);
+    if (s >= kModulus) s -= kModulus;
+    return s;
+  }
+
+  static constexpr Fp61 from_canonical(std::uint64_t v) {
+    Fp61 f;
+    f.v_ = v;
+    return f;
+  }
+
+  std::uint64_t v_;
+};
+
+std::ostream& operator<<(std::ostream& os, Fp61 x);
+
+}  // namespace mpciot::field
+
+template <>
+struct std::hash<mpciot::field::Fp61> {
+  std::size_t operator()(mpciot::field::Fp61 x) const noexcept {
+    return std::hash<std::uint64_t>{}(x.value());
+  }
+};

@@ -1,0 +1,92 @@
+#include "field/lagrange.hpp"
+
+#include <unordered_set>
+
+#include "common/assert.hpp"
+
+namespace mpciot::field {
+
+namespace {
+
+void check_distinct_x(const std::vector<Sample>& samples) {
+  std::unordered_set<Fp61> seen;
+  seen.reserve(samples.size());
+  for (const auto& s : samples) {
+    MPCIOT_REQUIRE(seen.insert(s.x).second,
+                   "interpolation: duplicate x coordinate");
+  }
+}
+
+}  // namespace
+
+std::vector<Fp61> batch_inverse(const std::vector<Fp61>& in) {
+  std::vector<Fp61> out(in.size());
+  if (in.empty()) return out;
+  // prefix[i] = in[0] * ... * in[i]
+  std::vector<Fp61> prefix(in.size());
+  Fp61 acc = Fp61::one();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    MPCIOT_REQUIRE(!in[i].is_zero(), "batch_inverse: zero input");
+    acc *= in[i];
+    prefix[i] = acc;
+  }
+  Fp61 inv_all = prefix.back().inverse();
+  for (std::size_t i = in.size(); i-- > 0;) {
+    const Fp61 left = i == 0 ? Fp61::one() : prefix[i - 1];
+    out[i] = inv_all * left;
+    inv_all *= in[i];
+  }
+  return out;
+}
+
+Polynomial interpolate(const std::vector<Sample>& samples) {
+  MPCIOT_REQUIRE(!samples.empty(), "interpolate: no samples");
+  check_distinct_x(samples);
+
+  Polynomial result;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    // Build the i-th Lagrange basis polynomial L_i, scaled by y_i.
+    Polynomial basis(std::vector<Fp61>{Fp61::one()});
+    Fp61 denom = Fp61::one();
+    for (std::size_t j = 0; j < samples.size(); ++j) {
+      if (j == i) continue;
+      basis = basis * Polynomial(std::vector<Fp61>{-samples[j].x, Fp61::one()});
+      denom *= samples[i].x - samples[j].x;
+    }
+    result += (samples[i].y / denom) * basis;
+  }
+  return result;
+}
+
+Fp61 interpolate_at_zero(const std::vector<Sample>& samples) {
+  MPCIOT_REQUIRE(!samples.empty(), "interpolate_at_zero: no samples");
+  check_distinct_x(samples);
+
+  // L_i(0) = prod_{j!=i} x_j / (x_j - x_i); result = sum_i y_i * L_i(0).
+  const std::size_t k = samples.size();
+  std::vector<Fp61> denoms(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    MPCIOT_REQUIRE(!samples[i].x.is_zero(),
+                   "interpolate_at_zero: sample at x = 0");
+    Fp61 d = Fp61::one();
+    for (std::size_t j = 0; j < k; ++j) {
+      if (j == i) continue;
+      d *= samples[j].x - samples[i].x;
+    }
+    denoms[i] = d;
+  }
+  const std::vector<Fp61> inv_denoms = batch_inverse(denoms);
+
+  Fp61 result = Fp61::zero();
+  for (std::size_t i = 0; i < k; ++i) {
+    Fp61 numer = Fp61::one();
+    for (std::size_t j = 0; j < k; ++j) {
+      if (j == i) continue;
+      numer *= samples[j].x;
+    }
+    result += samples[i].y * numer * inv_denoms[i];
+  }
+  return result;
+}
+
+}  // namespace mpciot::field

@@ -1,0 +1,38 @@
+// Lagrange interpolation over Fp61.
+//
+// Two entry points:
+//  * `interpolate` — full polynomial reconstruction (used by tests and by
+//    the reference reconstruction path).
+//  * `interpolate_at_zero` — only the constant term, the value Shamir
+//    reconstruction actually needs; O(k^2) with a single batched inversion
+//    pass, which is what a Cortex-M-class node would run.
+#pragma once
+
+#include <vector>
+
+#include "field/fp61.hpp"
+#include "field/polynomial.hpp"
+
+namespace mpciot::field {
+
+/// One interpolation sample: y = P(x).
+struct Sample {
+  Fp61 x;
+  Fp61 y;
+};
+
+/// Full Lagrange interpolation through all samples. Preconditions:
+/// samples non-empty, x values pairwise distinct.
+Polynomial interpolate(const std::vector<Sample>& samples);
+
+/// Evaluate the interpolating polynomial at x = 0 without building it.
+/// Preconditions: samples non-empty, x values pairwise distinct and
+/// non-zero (a sample at x=0 would *be* the secret — callers never have
+/// one in Shamir).
+Fp61 interpolate_at_zero(const std::vector<Sample>& samples);
+
+/// Batch-invert: out[i] = in[i]^-1 using Montgomery's trick (one field
+/// inversion + 3(n-1) multiplications). Precondition: all inputs non-zero.
+std::vector<Fp61> batch_inverse(const std::vector<Fp61>& in);
+
+}  // namespace mpciot::field

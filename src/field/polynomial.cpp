@@ -1,0 +1,81 @@
+#include "field/polynomial.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace mpciot::field {
+
+Polynomial::Polynomial(std::vector<Fp61> coeffs) : coeffs_(std::move(coeffs)) {
+  trim();
+}
+
+void Polynomial::trim() {
+  while (!coeffs_.empty() && coeffs_.back().is_zero()) {
+    coeffs_.pop_back();
+  }
+}
+
+Polynomial Polynomial::random_with_secret(Fp61 secret, std::size_t degree,
+                                          const std::function<Fp61()>& rng) {
+  std::vector<Fp61> coeffs(degree + 1);
+  coeffs[0] = secret;
+  for (std::size_t i = 1; i <= degree; ++i) {
+    coeffs[i] = rng();
+  }
+  if (degree > 0) {
+    // Force exact degree: a zero leading coefficient would silently lower
+    // the privacy threshold.
+    while (coeffs[degree].is_zero()) {
+      coeffs[degree] = rng();
+    }
+  }
+  return Polynomial(std::move(coeffs));
+}
+
+Fp61 Polynomial::evaluate(Fp61 x) const {
+  Fp61 acc = Fp61::zero();
+  for (auto it = coeffs_.rbegin(); it != coeffs_.rend(); ++it) {
+    acc = acc * x + *it;
+  }
+  return acc;
+}
+
+Polynomial operator+(const Polynomial& a, const Polynomial& b) {
+  std::vector<Fp61> out(std::max(a.coeffs_.size(), b.coeffs_.size()));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    Fp61 av = i < a.coeffs_.size() ? a.coeffs_[i] : Fp61::zero();
+    Fp61 bv = i < b.coeffs_.size() ? b.coeffs_[i] : Fp61::zero();
+    out[i] = av + bv;
+  }
+  return Polynomial(std::move(out));
+}
+
+Polynomial operator-(const Polynomial& a, const Polynomial& b) {
+  std::vector<Fp61> out(std::max(a.coeffs_.size(), b.coeffs_.size()));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    Fp61 av = i < a.coeffs_.size() ? a.coeffs_[i] : Fp61::zero();
+    Fp61 bv = i < b.coeffs_.size() ? b.coeffs_[i] : Fp61::zero();
+    out[i] = av - bv;
+  }
+  return Polynomial(std::move(out));
+}
+
+Polynomial operator*(const Polynomial& a, const Polynomial& b) {
+  if (a.is_zero() || b.is_zero()) return Polynomial{};
+  std::vector<Fp61> out(a.coeffs_.size() + b.coeffs_.size() - 1);
+  for (std::size_t i = 0; i < a.coeffs_.size(); ++i) {
+    for (std::size_t j = 0; j < b.coeffs_.size(); ++j) {
+      out[i + j] += a.coeffs_[i] * b.coeffs_[j];
+    }
+  }
+  return Polynomial(std::move(out));
+}
+
+Polynomial operator*(Fp61 s, const Polynomial& p) {
+  std::vector<Fp61> out = p.coefficients();
+  for (auto& c : out) c *= s;
+  return Polynomial(std::move(out));
+}
+
+}  // namespace mpciot::field

@@ -1,0 +1,66 @@
+// Dense polynomials over Fp61.
+//
+// Coefficients are stored low-degree-first: coeffs[i] is the coefficient
+// of x^i. The zero polynomial is represented by an empty coefficient
+// vector and has degree() == -1 by convention.
+//
+// In Shamir Secret Sharing, each node holds a Polynomial whose constant
+// term is its secret; `Polynomial::random_with_secret` builds exactly that.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "field/fp61.hpp"
+
+namespace mpciot::field {
+
+class Polynomial {
+ public:
+  /// The zero polynomial.
+  Polynomial() = default;
+
+  /// From low-degree-first coefficients; trailing zeros are trimmed.
+  explicit Polynomial(std::vector<Fp61> coeffs);
+
+  /// Random degree-`degree` polynomial with P(0) == secret.
+  /// `rng` must return uniformly random field elements. The leading
+  /// coefficient is forced non-zero so the degree is exact (required for
+  /// the privacy threshold to be exactly `degree`).
+  static Polynomial random_with_secret(Fp61 secret, std::size_t degree,
+                                       const std::function<Fp61()>& rng);
+
+  /// Degree; -1 for the zero polynomial.
+  int degree() const { return static_cast<int>(coeffs_.size()) - 1; }
+
+  const std::vector<Fp61>& coefficients() const { return coeffs_; }
+
+  bool is_zero() const { return coeffs_.empty(); }
+
+  /// Horner evaluation.
+  Fp61 evaluate(Fp61 x) const;
+
+  /// Constant term P(0) (zero for the zero polynomial).
+  Fp61 constant_term() const {
+    return coeffs_.empty() ? Fp61::zero() : coeffs_.front();
+  }
+
+  friend Polynomial operator+(const Polynomial& a, const Polynomial& b);
+  friend Polynomial operator-(const Polynomial& a, const Polynomial& b);
+  friend Polynomial operator*(const Polynomial& a, const Polynomial& b);
+  Polynomial& operator+=(const Polynomial& o) { return *this = *this + o; }
+
+  /// Multiply by a scalar.
+  friend Polynomial operator*(Fp61 s, const Polynomial& p);
+
+  friend bool operator==(const Polynomial& a, const Polynomial& b) {
+    return a.coeffs_ == b.coeffs_;
+  }
+
+ private:
+  void trim();
+  std::vector<Fp61> coeffs_;
+};
+
+}  // namespace mpciot::field

@@ -1,0 +1,79 @@
+#include "field/prime_field.hpp"
+
+#include <ostream>
+
+namespace mpciot::field {
+
+namespace {
+
+std::uint64_t mulmod64(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(a) * b) % m);
+}
+
+std::uint64_t powmod64(std::uint64_t base, std::uint64_t exp,
+                       std::uint64_t m) {
+  std::uint64_t result = 1 % m;
+  base %= m;
+  while (exp != 0) {
+    if (exp & 1u) result = mulmod64(result, base, m);
+    base = mulmod64(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+bool miller_rabin(std::uint64_t n, std::uint64_t a) {
+  if (a % n == 0) return true;
+  std::uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1u) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  std::uint64_t x = powmod64(a, d, n);
+  if (x == 1 || x == n - 1) return true;
+  for (int i = 0; i < r - 1; ++i) {
+    x = mulmod64(x, x, n);
+    if (x == n - 1) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool PrimeField::is_prime(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull,
+                          19ull, 23ull, 29ull, 31ull, 37ull}) {
+    if (n == p) return true;
+    if (n % p == 0) return false;
+  }
+  // Deterministic witness set for n < 3.3 * 10^24 (Sorenson & Webster).
+  for (std::uint64_t a : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull,
+                          19ull, 23ull, 29ull, 31ull, 37ull}) {
+    if (!miller_rabin(n, a)) return false;
+  }
+  return true;
+}
+
+PrimeField::PrimeField(std::uint64_t p) : p_(p) {
+  MPCIOT_REQUIRE(p >= 2 && p < (std::uint64_t{1} << 32),
+                 "PrimeField: modulus must satisfy 2 <= p < 2^32");
+  MPCIOT_REQUIRE(is_prime(p), "PrimeField: modulus must be prime");
+}
+
+std::uint64_t PrimeField::pow(std::uint64_t base, std::uint64_t exp) const {
+  return powmod64(base % p_, exp, p_);
+}
+
+std::uint64_t PrimeField::inv(std::uint64_t a) const {
+  MPCIOT_REQUIRE(a % p_ != 0, "PrimeField: inverse of zero");
+  return pow(a, p_ - 2);
+}
+
+std::ostream& operator<<(std::ostream& os, const FpElem& x) {
+  return os << x.value();
+}
+
+}  // namespace mpciot::field

@@ -1,0 +1,111 @@
+// PrimeField: GF(p) with a runtime modulus p < 2^32.
+//
+// Used for "wire-size" studies: an IoT deployment that ships 16-bit sensor
+// readings can run Shamir over p = 65521 so each share is exactly 2 bytes
+// on air. Elements are pairs (value, field*); mixing elements of different
+// fields is a contract violation.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace mpciot::field {
+
+/// A runtime-modulus prime field. Immutable after construction; element
+/// handles keep a pointer to it, so the field must outlive its elements.
+class PrimeField {
+ public:
+  /// Construct GF(p). Precondition: p is prime and 2 <= p < 2^32.
+  /// Primality is checked (deterministic Miller-Rabin for 32-bit range).
+  explicit PrimeField(std::uint64_t p);
+
+  std::uint64_t modulus() const { return p_; }
+
+  /// Deterministic primality test valid for all n < 2^64.
+  static bool is_prime(std::uint64_t n);
+
+  std::uint64_t add(std::uint64_t a, std::uint64_t b) const {
+    std::uint64_t s = a + b;
+    if (s >= p_) s -= p_;
+    return s;
+  }
+  std::uint64_t sub(std::uint64_t a, std::uint64_t b) const {
+    return a >= b ? a - b : a + p_ - b;
+  }
+  std::uint64_t neg(std::uint64_t a) const { return a == 0 ? 0 : p_ - a; }
+  std::uint64_t mul(std::uint64_t a, std::uint64_t b) const {
+    return (a * b) % p_;  // a,b < 2^32 so the product fits in 64 bits
+  }
+  std::uint64_t pow(std::uint64_t base, std::uint64_t exp) const;
+  /// Precondition: a != 0.
+  std::uint64_t inv(std::uint64_t a) const;
+
+  /// Reduce an arbitrary 64-bit integer into the field.
+  std::uint64_t reduce(std::uint64_t v) const { return v % p_; }
+
+  friend bool operator==(const PrimeField& a, const PrimeField& b) {
+    return a.p_ == b.p_;
+  }
+
+ private:
+  std::uint64_t p_;
+};
+
+/// Element of a PrimeField. Regular value type; carries its field.
+class FpElem {
+ public:
+  FpElem() : field_(nullptr), v_(0) {}
+  FpElem(const PrimeField& field, std::uint64_t v)
+      : field_(&field), v_(field.reduce(v)) {}
+
+  std::uint64_t value() const { return v_; }
+  const PrimeField* field() const { return field_; }
+  bool is_zero() const { return v_ == 0; }
+
+  friend FpElem operator+(FpElem a, FpElem b) {
+    a.check_same(b);
+    return FpElem::raw(*a.field_, a.field_->add(a.v_, b.v_));
+  }
+  friend FpElem operator-(FpElem a, FpElem b) {
+    a.check_same(b);
+    return FpElem::raw(*a.field_, a.field_->sub(a.v_, b.v_));
+  }
+  friend FpElem operator*(FpElem a, FpElem b) {
+    a.check_same(b);
+    return FpElem::raw(*a.field_, a.field_->mul(a.v_, b.v_));
+  }
+  friend FpElem operator/(FpElem a, FpElem b) {
+    a.check_same(b);
+    return FpElem::raw(*a.field_, a.field_->mul(a.v_, a.field_->inv(b.v_)));
+  }
+  friend bool operator==(FpElem a, FpElem b) {
+    return a.v_ == b.v_ &&
+           ((a.field_ == b.field_) ||
+            (a.field_ && b.field_ && *a.field_ == *b.field_));
+  }
+  friend bool operator!=(FpElem a, FpElem b) { return !(a == b); }
+
+ private:
+  static FpElem raw(const PrimeField& f, std::uint64_t v) {
+    FpElem e;
+    e.field_ = &f;
+    e.v_ = v;
+    return e;
+  }
+  void check_same(const FpElem& other) const {
+    MPCIOT_REQUIRE(field_ != nullptr && other.field_ != nullptr,
+                   "FpElem: uninitialized element in arithmetic");
+    MPCIOT_REQUIRE(*field_ == *other.field_,
+                   "FpElem: elements of different fields");
+  }
+
+  const PrimeField* field_;
+  std::uint64_t v_;
+};
+
+std::ostream& operator<<(std::ostream& os, const FpElem& x);
+
+}  // namespace mpciot::field

@@ -1,0 +1,45 @@
+#include "metrics/experiment.hpp"
+
+#include "crypto/prng.hpp"
+#include "sim/simulator.hpp"
+
+namespace mpciot::metrics {
+
+std::vector<field::Fp61> random_secrets(std::uint64_t seed, std::size_t count,
+                                        std::uint64_t bound) {
+  crypto::Xoshiro256 rng(seed);
+  std::vector<field::Fp61> secrets;
+  secrets.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    secrets.emplace_back(rng.next_below(bound));
+  }
+  return secrets;
+}
+
+TrialStats run_trials(const core::SssProtocol& protocol,
+                      const ExperimentSpec& spec) {
+  TrialStats stats;
+  const std::size_t source_count = protocol.config().sources.size();
+
+  for (std::uint32_t trial = 0; trial < spec.repetitions; ++trial) {
+    const std::uint64_t seed = spec.base_seed + trial;
+    sim::Simulator sim(seed);
+    const std::vector<field::Fp61> secrets =
+        spec.make_secrets ? spec.make_secrets(trial, source_count)
+                          : random_secrets(seed * 7919 + 13, source_count);
+    const core::AggregationResult res = protocol.run(secrets, sim);
+
+    stats.latency_max_ms.add(static_cast<double>(res.max_latency_us()) / 1e3);
+    stats.latency_mean_ms.add(res.mean_latency_us() / 1e3);
+    stats.radio_on_max_ms.add(static_cast<double>(res.max_radio_on_us()) /
+                              1e3);
+    stats.radio_on_mean_ms.add(res.mean_radio_on_us() / 1e3);
+    stats.success_ratio.add(res.success_ratio());
+    stats.share_delivery.add(res.share_delivery_ratio);
+    stats.total_duration_ms.add(static_cast<double>(res.total_duration_us) /
+                                1e3);
+  }
+  return stats;
+}
+
+}  // namespace mpciot::metrics

@@ -1,0 +1,31 @@
+// Summary statistics for repeated-trial experiments.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mpciot::metrics {
+
+/// Streaming accumulator plus retained samples for quantiles.
+class Summary {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  /// Sample standard deviation (n-1); 0 for fewer than 2 samples.
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// Linear-interpolated quantile, q in [0, 1].
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+  /// Half-width of the 95% normal-approximation confidence interval.
+  double ci95_halfwidth() const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace mpciot::metrics

@@ -1,0 +1,34 @@
+// Fixed-width table and CSV emission for the bench harness, so every
+// bench binary prints paper-style rows plus a machine-readable copy.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mpciot::metrics {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Pretty print with aligned columns.
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-ish CSV (no quoting needed for our numeric content).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Format helpers.
+  static std::string num(double v, int precision = 1);
+  static std::string ms_from_us(double us, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mpciot::metrics

@@ -1,0 +1,40 @@
+#include "net/energy.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace mpciot::net {
+
+SimTime EnergyMeter::total_radio_on_us() const {
+  SimTime total = 0;
+  for (std::size_t i = 0; i < rx_us_.size(); ++i) {
+    total += rx_us_[i] + tx_us_[i];
+  }
+  return total;
+}
+
+SimTime EnergyMeter::max_radio_on_us() const {
+  SimTime best = 0;
+  for (std::size_t i = 0; i < rx_us_.size(); ++i) {
+    best = std::max(best, rx_us_[i] + tx_us_[i]);
+  }
+  return best;
+}
+
+double EnergyMeter::mean_radio_on_us() const {
+  if (rx_us_.empty()) return 0.0;
+  return static_cast<double>(total_radio_on_us()) /
+         static_cast<double>(rx_us_.size());
+}
+
+void EnergyMeter::merge(const EnergyMeter& other) {
+  MPCIOT_REQUIRE(other.rx_us_.size() == rx_us_.size(),
+                 "EnergyMeter: merging meters of different sizes");
+  for (std::size_t i = 0; i < rx_us_.size(); ++i) {
+    rx_us_[i] += other.rx_us_[i];
+    tx_us_[i] += other.tx_us_[i];
+  }
+}
+
+}  // namespace mpciot::net

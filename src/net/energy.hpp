@@ -1,0 +1,58 @@
+// Per-node radio-on-time and energy accounting.
+//
+// "Radio-on time" is the paper's second metric: the total time a node's
+// radio spends in RX or TX during a round. The meter also converts to
+// charge (mC) with the nRF52840 current figures so reports can show
+// battery impact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/radio_model.hpp"
+
+namespace mpciot::net {
+
+class EnergyMeter {
+ public:
+  EnergyMeter(std::size_t node_count, const RadioParams& radio)
+      : radio_(radio), rx_us_(node_count, 0), tx_us_(node_count, 0) {}
+
+  void add_rx(NodeId node, SimTime duration_us) {
+    rx_us_[node] += duration_us;
+  }
+  void add_tx(NodeId node, SimTime duration_us) {
+    tx_us_[node] += duration_us;
+  }
+
+  SimTime radio_on_us(NodeId node) const { return rx_us_[node] + tx_us_[node]; }
+  SimTime rx_us(NodeId node) const { return rx_us_[node]; }
+  SimTime tx_us(NodeId node) const { return tx_us_[node]; }
+
+  /// Sum over all nodes.
+  SimTime total_radio_on_us() const;
+  /// Largest per-node radio-on time (the paper's per-round figure).
+  SimTime max_radio_on_us() const;
+  /// Mean per-node radio-on time.
+  double mean_radio_on_us() const;
+
+  /// Charge consumed by `node` in millicoulombs.
+  double charge_mc(NodeId node) const {
+    return (static_cast<double>(rx_us_[node]) * radio_.rx_current_ma +
+            static_cast<double>(tx_us_[node]) * radio_.tx_current_ma) /
+           1e6;
+  }
+
+  std::size_t node_count() const { return rx_us_.size(); }
+
+  /// Merge another meter (e.g. accumulate phases of a protocol round).
+  void merge(const EnergyMeter& other);
+
+ private:
+  RadioParams radio_;
+  std::vector<SimTime> rx_us_;
+  std::vector<SimTime> tx_us_;
+};
+
+}  // namespace mpciot::net

@@ -1,0 +1,20 @@
+#include "net/radio_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mpciot::net {
+
+double RadioParams::rx_power_dbm(double distance_m, double shadow_db) const {
+  const double d = std::max(distance_m, 0.1);
+  const double pl =
+      path_loss_at_1m_db + 10.0 * path_loss_exponent * std::log10(d);
+  return tx_power_dbm - pl + shadow_db;
+}
+
+double RadioParams::prr_from_rssi(double rssi_dbm) const {
+  const double z = (rssi_dbm - prr_mid_dbm) / prr_width_db;
+  return 1.0 / (1.0 + std::exp(-z));
+}
+
+}  // namespace mpciot::net

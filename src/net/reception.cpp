@@ -1,0 +1,80 @@
+#include "net/reception.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace mpciot::net {
+
+ReceptionOutcome ReceptionModel::arbitrate(
+    NodeId receiver, const std::vector<Transmission>& transmitters,
+    crypto::Xoshiro256& rng) const {
+  ReceptionOutcome out;
+  if (transmitters.empty()) return out;
+
+  // Partition audible transmitters (link exists) and check payload
+  // homogeneity.
+  double best_prr = 0.0;
+  NodeId best_sender = kInvalidNode;
+  double best_rssi = -300.0;
+  double power_sum_mw = 0.0;
+  bool homogeneous = true;
+  const std::uint64_t first_content = transmitters.front().content_id;
+  std::size_t audible = 0;
+  double fail_product = 1.0;
+
+  for (const Transmission& t : transmitters) {
+    MPCIOT_DCHECK(t.sender != receiver,
+                  "reception: half-duplex node cannot receive own slot");
+    if (t.content_id != first_content) homogeneous = false;
+    const double p = topo_->prr(t.sender, receiver);
+    if (p <= 0.0) continue;
+    ++audible;
+    const double rssi = topo_->rssi(t.sender, receiver);
+    power_sum_mw += std::pow(10.0, rssi / 10.0);
+    fail_product *= (1.0 - p);
+    if (rssi > best_rssi) {
+      best_rssi = rssi;
+      best_prr = p;
+      best_sender = t.sender;
+    }
+  }
+  if (audible == 0) return out;
+
+  const RadioParams& radio = topo_->radio();
+  double success_prob;
+  if (audible == 1) {
+    success_prob = best_prr;
+  } else if (homogeneous) {
+    // Constructive interference: all copies must fail for the slot to
+    // fail; correlation > 1 degrades towards the single-best case.
+    const double independent_fail = fail_product;
+    const double correlated_fail =
+        std::pow(independent_fail, 1.0 / radio.ct_loss_correlation);
+    success_prob = 1.0 - correlated_fail;
+  } else {
+    // Capture: strongest must dominate the power sum of the others.
+    const double others_mw =
+        std::max(power_sum_mw - std::pow(10.0, best_rssi / 10.0), 1e-30);
+    const double sir_db = best_rssi - 10.0 * std::log10(others_mw);
+    if (sir_db < radio.capture_threshold_db) return out;
+    success_prob = best_prr;
+  }
+
+  if (rng.next_bool(success_prob)) {
+    out.received = true;
+    out.from = best_sender;
+    out.content_id = homogeneous ? first_content
+                                 : /* captured strongest */ [&] {
+                                     for (const Transmission& t : transmitters) {
+                                       if (t.sender == best_sender)
+                                         return t.content_id;
+                                     }
+                                     return first_content;
+                                   }();
+  }
+  return out;
+}
+
+}  // namespace mpciot::net

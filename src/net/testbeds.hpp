@@ -1,0 +1,34 @@
+// Synthetic stand-ins for the two public testbeds the paper evaluates on.
+//
+// We cannot use the real FlockLab / DCube deployments (physical
+// infrastructure), so we generate layouts that match their published
+// macro characteristics — node count, indoor office scale, multi-hop
+// diameter class — which are the properties CT-protocol performance
+// actually depends on. See DESIGN.md "Substitutions".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace mpciot::net::testbeds {
+
+/// FlockLab-like: 26 nodes over an office floor (~70 m x 35 m),
+/// irregular placement, 3-4 good-link hops across.
+Topology flocklab(std::uint64_t seed = 0xF10C'1AB0ull);
+
+/// DCube-like: 45 nodes over a denser multi-room floor (~55 m x 45 m),
+/// ~4 good-link hops across.
+Topology dcube(std::uint64_t seed = 0xDC0B'E000ull);
+
+/// Parametric generators used by tests and scaling benches. All
+/// generators retry placement seeds until the topology is connected.
+Topology grid(std::uint32_t rows, std::uint32_t cols, double spacing_m,
+              std::uint64_t seed, RadioParams radio = {});
+Topology random_uniform(std::uint32_t count, double width_m, double height_m,
+                        std::uint64_t seed, RadioParams radio = {});
+Topology line(std::uint32_t count, double spacing_m, std::uint64_t seed,
+              RadioParams radio = {});
+
+}  // namespace mpciot::net::testbeds

@@ -1,0 +1,117 @@
+#include "net/topology.hpp"
+
+#include <cmath>
+#include <deque>
+
+#include "common/assert.hpp"
+#include "crypto/prng.hpp"
+
+namespace mpciot::net {
+
+Topology::Topology(std::vector<Position> positions, RadioParams radio,
+                   std::uint64_t shadow_seed,
+                   std::vector<double> rx_noise_penalty_db)
+    : positions_(std::move(positions)),
+      radio_(radio),
+      rx_penalty_(std::move(rx_noise_penalty_db)) {
+  MPCIOT_REQUIRE(positions_.size() >= 2, "Topology: need at least 2 nodes");
+  MPCIOT_REQUIRE(rx_penalty_.empty() || rx_penalty_.size() == positions_.size(),
+                 "Topology: one rx noise penalty per node (or none)");
+  if (rx_penalty_.empty()) rx_penalty_.assign(positions_.size(), 0.0);
+  build_tables(shadow_seed);
+}
+
+double Topology::distance(NodeId a, NodeId b) const {
+  const double dx = positions_[a].x - positions_[b].x;
+  const double dy = positions_[a].y - positions_[b].y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+void Topology::build_tables(std::uint64_t shadow_seed) {
+  const std::size_t n = positions_.size();
+  rssi_.assign(n * n, -200.0);
+  prr_.assign(n * n, 0.0);
+  neighbors_.assign(n, {});
+  crypto::Xoshiro256 rng(shadow_seed);
+
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) {
+      // Box-Muller for the lognormal shadowing term, frozen per link.
+      const double u1 = std::max(rng.next_double(), 1e-12);
+      const double u2 = rng.next_double();
+      const double gauss =
+          std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+      const double shadow = gauss * radio_.shadowing_sigma_db;
+      const double power = radio_.rx_power_dbm(distance(a, b), shadow);
+      rssi_[idx(a, b)] = rssi_[idx(b, a)] = power;
+      // PRR is directional when the receiving end sits in local noise.
+      double p_ab = radio_.prr_from_rssi(power - rx_penalty_[b]);  // a -> b
+      double p_ba = radio_.prr_from_rssi(power - rx_penalty_[a]);  // b -> a
+      if (p_ab < radio_.link_floor_prr) p_ab = 0.0;
+      if (p_ba < radio_.link_floor_prr) p_ba = 0.0;
+      prr_[idx(a, b)] = p_ab;
+      prr_[idx(b, a)] = p_ba;
+    }
+  }
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      if (a != b && prr_[idx(a, b)] >= radio_.link_floor_prr) {
+        neighbors_[a].push_back(b);
+      }
+    }
+  }
+
+  // Hop distances by BFS over good links (prr >= 0.5).
+  hops_.assign(n * n, kInvalidHops);
+  for (NodeId src = 0; src < n; ++src) {
+    hops_[idx(src, src)] = 0;
+    std::deque<NodeId> queue{src};
+    while (!queue.empty()) {
+      const NodeId cur = queue.front();
+      queue.pop_front();
+      for (NodeId nb : neighbors_[cur]) {
+        if (prr_[idx(cur, nb)] < 0.5) continue;
+        if (hops_[idx(src, nb)] != kInvalidHops) continue;
+        hops_[idx(src, nb)] = hops_[idx(src, cur)] + 1;
+        queue.push_back(nb);
+      }
+    }
+  }
+
+  // Connectivity over usable links (floor PRR) must hold; over *good*
+  // links we additionally compute diameter/center when connected.
+  std::vector<bool> reachable(n, false);
+  std::deque<NodeId> queue{0};
+  reachable[0] = true;
+  std::size_t count = 1;
+  while (!queue.empty()) {
+    const NodeId cur = queue.front();
+    queue.pop_front();
+    for (NodeId nb : neighbors_[cur]) {
+      if (!reachable[nb]) {
+        reachable[nb] = true;
+        ++count;
+        queue.push_back(nb);
+      }
+    }
+  }
+  MPCIOT_REQUIRE(count == n, "Topology: network is partitioned");
+
+  diameter_ = 0;
+  std::uint32_t best_ecc = kInvalidHops;
+  center_ = 0;
+  for (NodeId a = 0; a < n; ++a) {
+    std::uint32_t ecc = 0;
+    for (NodeId b = 0; b < n; ++b) {
+      const std::uint32_t h = hops_[idx(a, b)];
+      if (h != kInvalidHops && h > ecc) ecc = h;
+      if (h != kInvalidHops && h > diameter_) diameter_ = h;
+    }
+    if (ecc < best_ecc) {
+      best_ecc = ecc;
+      center_ = a;
+    }
+  }
+}
+
+}  // namespace mpciot::net

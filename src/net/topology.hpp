@@ -1,0 +1,88 @@
+// Network topology: node positions plus the derived static link table
+// (RSSI with frozen shadowing, static PRR, connectivity graph, hop
+// distances).
+//
+// The shadowing term is frozen per link at construction — the same
+// assumption testbed people make when they speak of "the" PRR of a link —
+// while fast fading is redrawn per packet by the reception model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/radio_model.hpp"
+
+namespace mpciot::net {
+
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+class Topology {
+ public:
+  /// Build a topology from node positions. `shadow_seed` freezes the
+  /// per-link shadowing draw. Postcondition: the PRR graph (links with
+  /// prr >= link_floor_prr) is connected — throws otherwise, because a
+  /// partitioned testbed cannot run any of the protocols.
+  ///
+  /// `rx_noise_penalty_db` (optional, one entry per node) models nodes
+  /// deployed in RF-noisy spots: their *receiver* sees the channel
+  /// `penalty` dB worse while their transmissions are unaffected — link
+  /// PRR becomes directional, as on real testbeds with local
+  /// interference (e.g. DCube's JamLab generators).
+  Topology(std::vector<Position> positions, RadioParams radio,
+           std::uint64_t shadow_seed,
+           std::vector<double> rx_noise_penalty_db = {});
+
+  std::size_t size() const { return positions_.size(); }
+  const RadioParams& radio() const { return radio_; }
+  const Position& position(NodeId n) const { return positions_[n]; }
+
+  double distance(NodeId a, NodeId b) const;
+
+  /// Frozen received power on a -> b (symmetric shadowing).
+  double rssi(NodeId a, NodeId b) const { return rssi_[idx(a, b)]; }
+
+  /// Static packet reception rate a -> b; 0 for a == b.
+  double prr(NodeId a, NodeId b) const { return prr_[idx(a, b)]; }
+
+  bool has_link(NodeId a, NodeId b) const {
+    return a != b && prr(a, b) >= radio_.link_floor_prr;
+  }
+
+  /// Neighbours with a usable link (prr >= floor).
+  const std::vector<NodeId>& neighbors(NodeId n) const {
+    return neighbors_[n];
+  }
+
+  /// Hop distance over "good" links (prr >= 0.5); kInvalidHops if
+  /// unreachable over good links.
+  static constexpr std::uint32_t kInvalidHops = 0xFFFFFFFFu;
+  std::uint32_t hops(NodeId a, NodeId b) const { return hops_[idx(a, b)]; }
+
+  /// Network diameter in good-link hops.
+  std::uint32_t diameter() const { return diameter_; }
+
+  /// Node with the minimum eccentricity (typical CT initiator choice).
+  NodeId center_node() const { return center_; }
+
+ private:
+  std::size_t idx(NodeId a, NodeId b) const {
+    return static_cast<std::size_t>(a) * positions_.size() + b;
+  }
+  void build_tables(std::uint64_t shadow_seed);
+
+  std::vector<Position> positions_;
+  RadioParams radio_;
+  std::vector<double> rx_penalty_;
+  std::vector<double> rssi_;
+  std::vector<double> prr_;
+  std::vector<std::vector<NodeId>> neighbors_;
+  std::vector<std::uint32_t> hops_;
+  std::uint32_t diameter_ = 0;
+  NodeId center_ = 0;
+};
+
+}  // namespace mpciot::net

@@ -1,0 +1,65 @@
+#include "sim/event_queue.hpp"
+
+#include "common/assert.hpp"
+
+namespace mpciot::sim {
+
+EventId EventQueue::schedule_at(SimTime at, EventFn fn) {
+  MPCIOT_REQUIRE(at >= now_, "EventQueue: cannot schedule in the past");
+  MPCIOT_REQUIRE(fn != nullptr, "EventQueue: null event function");
+  EventId id;
+  if (!free_slots_.empty()) {
+    id = free_slots_.back();
+    free_slots_.pop_back();
+    callbacks_[id] = std::move(fn);
+  } else {
+    id = callbacks_.size();
+    callbacks_.push_back(std::move(fn));
+  }
+  heap_.push(Entry{at, next_seq_++, id});
+  ++live_count_;
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (id < callbacks_.size() && callbacks_[id] != nullptr) {
+    callbacks_[id] = nullptr;
+    free_slots_.push_back(id);
+    --live_count_;
+    // The heap entry stays and is skipped lazily on pop.
+  }
+}
+
+bool EventQueue::step() {
+  while (!heap_.empty()) {
+    const Entry top = heap_.top();
+    heap_.pop();
+    if (callbacks_[top.id] == nullptr) continue;  // cancelled
+    now_ = top.at;
+    EventFn fn = std::move(callbacks_[top.id]);
+    callbacks_[top.id] = nullptr;
+    free_slots_.push_back(top.id);
+    --live_count_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t EventQueue::run(SimTime until) {
+  std::size_t count = 0;
+  while (!heap_.empty()) {
+    // Skip cancelled heads without advancing time.
+    const Entry& top = heap_.top();
+    if (callbacks_[top.id] == nullptr) {
+      heap_.pop();
+      continue;
+    }
+    if (top.at > until) break;
+    step();
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace mpciot::sim

@@ -1,0 +1,8 @@
+#include "sim/simulator.hpp"
+
+namespace mpciot::sim {
+
+Simulator::Simulator(std::uint64_t seed)
+    : seed_(seed), channel_rng_(seed ^ 0xC0FFEE1234567890ull) {}
+
+}  // namespace mpciot::sim

@@ -1,0 +1,42 @@
+// Simulation context: event queue + RNG streams + run bookkeeping.
+//
+// One `Simulator` owns the clock for one experiment run. Protocol code
+// takes a Simulator& and never touches wall-clock time or global RNGs,
+// which keeps runs deterministic and parallelizable at the process level.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/prng.hpp"
+#include "sim/event_queue.hpp"
+
+namespace mpciot::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed);
+
+  EventQueue& events() { return events_; }
+  const EventQueue& events() const { return events_; }
+  SimTime now() const { return events_.now(); }
+
+  /// Channel/link randomness (statistical PRNG).
+  crypto::Xoshiro256& channel_rng() { return channel_rng_; }
+
+  /// Per-node secret randomness stream, domain-separated by node id.
+  crypto::CtrDrbg secret_rng(std::uint32_t node_id) const {
+    return crypto::CtrDrbg{seed_, 0x5EC0000000000000ull | node_id};
+  }
+
+  std::uint64_t seed() const { return seed_; }
+
+  /// Run to completion (or until `until`).
+  std::size_t run(SimTime until = INT64_MAX) { return events_.run(until); }
+
+ private:
+  std::uint64_t seed_;
+  EventQueue events_;
+  crypto::Xoshiro256 channel_rng_;
+};
+
+}  // namespace mpciot::sim

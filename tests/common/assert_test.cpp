@@ -1,0 +1,48 @@
+#include "common/assert.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mpciot {
+namespace {
+
+TEST(Contracts, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(MPCIOT_REQUIRE(1 + 1 == 2, "math works"));
+}
+
+TEST(Contracts, RequireThrowsOnFalse) {
+  EXPECT_THROW(MPCIOT_REQUIRE(false, "always fails"), ContractViolation);
+}
+
+TEST(Contracts, EnsureThrowsOnFalse) {
+  EXPECT_THROW(MPCIOT_ENSURE(false, "postcondition"), ContractViolation);
+}
+
+TEST(Contracts, MessageContainsExpressionAndText) {
+  try {
+    MPCIOT_REQUIRE(2 < 1, "two is not less than one");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos);
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+  }
+}
+
+TEST(Contracts, EnsureMessageSaysPostcondition) {
+  try {
+    MPCIOT_ENSURE(false, "x");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("postcondition"), std::string::npos);
+  }
+}
+
+TEST(Contracts, IsLogicError) {
+  EXPECT_THROW(MPCIOT_REQUIRE(false, ""), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mpciot

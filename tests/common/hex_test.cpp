@@ -1,0 +1,53 @@
+#include "common/hex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace mpciot {
+namespace {
+
+TEST(Hex, EncodeEmpty) { EXPECT_EQ(to_hex({}), ""); }
+
+TEST(Hex, EncodeBytes) {
+  const std::vector<std::uint8_t> bytes{0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x7F};
+  EXPECT_EQ(to_hex(bytes), "deadbeef007f");
+}
+
+TEST(Hex, DecodeLowercase) {
+  EXPECT_EQ(from_hex("deadbeef"),
+            (std::vector<std::uint8_t>{0xDE, 0xAD, 0xBE, 0xEF}));
+}
+
+TEST(Hex, DecodeUppercaseAndMixed) {
+  EXPECT_EQ(from_hex("DeAdBEef"),
+            (std::vector<std::uint8_t>{0xDE, 0xAD, 0xBE, 0xEF}));
+}
+
+TEST(Hex, DecodeWithWhitespaceBetweenBytes) {
+  EXPECT_EQ(from_hex("de ad  be\tef"),
+            (std::vector<std::uint8_t>{0xDE, 0xAD, 0xBE, 0xEF}));
+}
+
+TEST(Hex, DecodeEmpty) { EXPECT_TRUE(from_hex("").empty()); }
+
+TEST(Hex, RejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), ContractViolation);
+}
+
+TEST(Hex, RejectsInvalidCharacter) {
+  EXPECT_THROW(from_hex("zz"), ContractViolation);
+}
+
+TEST(Hex, RejectsWhitespaceInsidePair) {
+  EXPECT_THROW(from_hex("d e"), ContractViolation);
+}
+
+TEST(Hex, RoundTripAllByteValues) {
+  std::vector<std::uint8_t> all(256);
+  for (int i = 0; i < 256; ++i) all[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  EXPECT_EQ(from_hex(to_hex(all)), all);
+}
+
+}  // namespace
+}  // namespace mpciot

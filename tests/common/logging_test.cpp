@@ -1,0 +1,47 @@
+#include "common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpciot {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::Warn); }
+};
+
+TEST_F(LoggingTest, DefaultLevelIsWarn) {
+  EXPECT_EQ(log_level(), LogLevel::Warn);
+}
+
+TEST_F(LoggingTest, SetAndGetRoundTrip) {
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(LogLevel::Off);
+  EXPECT_EQ(log_level(), LogLevel::Off);
+}
+
+TEST_F(LoggingTest, MacroDoesNotEvaluateBelowThreshold) {
+  set_log_level(LogLevel::Off);
+  int evaluations = 0;
+  const auto expensive = [&] {
+    ++evaluations;
+    return "x";
+  };
+  MPCIOT_LOG_DEBUG(expensive());
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST_F(LoggingTest, MacroEvaluatesAtOrAboveThreshold) {
+  set_log_level(LogLevel::Debug);
+  int evaluations = 0;
+  const auto expensive = [&] {
+    ++evaluations;
+    return "x";
+  };
+  MPCIOT_LOG_ERROR(expensive());
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace mpciot

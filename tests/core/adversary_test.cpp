@@ -1,0 +1,84 @@
+#include "core/adversary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/prng.hpp"
+
+namespace mpciot::core {
+namespace {
+
+using field::Fp61;
+
+TEST(CanReconstruct, ThresholdPredicate) {
+  EXPECT_FALSE(can_reconstruct(3, 0));
+  EXPECT_FALSE(can_reconstruct(3, 3));
+  EXPECT_TRUE(can_reconstruct(3, 4));
+  EXPECT_TRUE(can_reconstruct(3, 10));
+  static_assert(can_reconstruct(1, 2));
+  static_assert(!can_reconstruct(1, 1));
+}
+
+TEST(ConsistentPolynomial, UnderdeterminedViewMatchesAnySecret) {
+  // A coalition of `degree` holders: for every candidate secret there is
+  // a polynomial agreeing with the whole view — the view leaks nothing.
+  constexpr std::size_t kDegree = 4;
+  crypto::CtrDrbg drbg(1, 0);
+  const Fp61 true_secret{1234567};
+  const ShamirDealer dealer(true_secret, kDegree, drbg);
+
+  CollusionView view;
+  view.dealer = 0;
+  for (NodeId h : {2u, 5u, 9u, 11u}) {  // exactly degree = 4 shares
+    view.observed_shares.push_back(dealer.share_for(h));
+  }
+
+  for (std::uint64_t candidate : {0ull, 1ull, 999ull, 1234567ull}) {
+    const auto poly =
+        consistent_polynomial_for(view, kDegree, Fp61{candidate});
+    ASSERT_TRUE(poly.has_value()) << "candidate " << candidate;
+    EXPECT_EQ(poly->constant_term().value(), candidate);
+    EXPECT_LE(poly->degree(), static_cast<int>(kDegree));
+    // It agrees with every observed share.
+    for (const Share& s : view.observed_shares) {
+      EXPECT_EQ(poly->evaluate(public_point(s.holder)), s.value);
+    }
+  }
+}
+
+TEST(ConsistentPolynomial, OverdeterminedViewPinsTheSecret) {
+  constexpr std::size_t kDegree = 3;
+  crypto::CtrDrbg drbg(2, 0);
+  const Fp61 secret{42};
+  const ShamirDealer dealer(secret, kDegree, drbg);
+
+  CollusionView view;
+  for (NodeId h = 0; h < kDegree + 1; ++h) {  // degree+1 shares
+    view.observed_shares.push_back(dealer.share_for(h));
+  }
+  // The true secret is consistent...
+  EXPECT_TRUE(consistent_polynomial_for(view, kDegree, secret).has_value());
+  // ...and any other candidate is not.
+  EXPECT_FALSE(
+      consistent_polynomial_for(view, kDegree, Fp61{43}).has_value());
+}
+
+TEST(ConsistentPolynomial, EmptyViewTriviallyConsistent) {
+  CollusionView view;
+  const auto poly = consistent_polynomial_for(view, 2, Fp61{77});
+  ASSERT_TRUE(poly.has_value());
+  EXPECT_EQ(poly->constant_term().value(), 77u);
+}
+
+TEST(ConsistentPolynomial, SingleShareOfHighDegreeLeaksNothing) {
+  crypto::CtrDrbg drbg(3, 0);
+  const ShamirDealer dealer(Fp61{500}, 8, drbg);
+  CollusionView view;
+  view.observed_shares.push_back(dealer.share_for(3));
+  for (std::uint64_t candidate = 0; candidate < 20; ++candidate) {
+    EXPECT_TRUE(
+        consistent_polynomial_for(view, 8, Fp61{candidate}).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace mpciot::core

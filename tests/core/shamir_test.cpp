@@ -1,0 +1,139 @@
+#include "core/shamir.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace mpciot::core {
+namespace {
+
+using field::Fp61;
+
+TEST(PublicPoint, NeverZeroAndInjective) {
+  for (NodeId n = 0; n < 100; ++n) {
+    EXPECT_FALSE(public_point(n).is_zero());
+    for (NodeId m = n + 1; m < 100; ++m) {
+      EXPECT_NE(public_point(n), public_point(m));
+    }
+  }
+}
+
+TEST(ShamirDealer, DegreeZeroViolatesContract) {
+  crypto::CtrDrbg drbg(1, 0);
+  EXPECT_THROW(ShamirDealer(Fp61{5}, 0, drbg), ContractViolation);
+}
+
+TEST(ShamirDealer, SharesEvaluatePolynomialAtPublicPoints) {
+  crypto::CtrDrbg drbg(2, 0);
+  const ShamirDealer dealer(Fp61{1234}, 3, drbg);
+  for (NodeId h = 0; h < 10; ++h) {
+    EXPECT_EQ(dealer.share_for(h).value,
+              dealer.polynomial().evaluate(public_point(h)));
+  }
+}
+
+TEST(ShamirDealer, SharesForListPreservesOrder) {
+  crypto::CtrDrbg drbg(3, 0);
+  const ShamirDealer dealer(Fp61{9}, 2, drbg);
+  const auto shares = dealer.shares_for({7, 3, 5});
+  ASSERT_EQ(shares.size(), 3u);
+  EXPECT_EQ(shares[0].holder, 7u);
+  EXPECT_EQ(shares[1].holder, 3u);
+  EXPECT_EQ(shares[2].holder, 5u);
+}
+
+TEST(Reconstruct, TooFewSharesViolatesContract) {
+  crypto::CtrDrbg drbg(4, 0);
+  const ShamirDealer dealer(Fp61{42}, 3, drbg);
+  const auto shares = dealer.shares_for({0, 1, 2});  // only 3, need 4
+  EXPECT_THROW(reconstruct(shares, 3), ContractViolation);
+}
+
+TEST(Reconstruct, ExactThresholdRecoversSecret) {
+  crypto::CtrDrbg drbg(5, 0);
+  const Fp61 secret{987654321};
+  const ShamirDealer dealer(secret, 4, drbg);
+  const auto shares = dealer.shares_for({2, 4, 6, 8, 10});
+  EXPECT_EQ(reconstruct(shares, 4), secret);
+}
+
+TEST(Reconstruct, WrongDegreeAssumptionGivesWrongSecret) {
+  crypto::CtrDrbg drbg(6, 0);
+  const Fp61 secret{1000};
+  const ShamirDealer dealer(secret, 4, drbg);
+  const auto shares = dealer.shares_for({1, 2, 3, 4, 5});
+  // Using only 3 shares of a degree-4 polynomial interpolates a different
+  // curve: with overwhelming probability the constant term is wrong.
+  const std::vector<Share> three(shares.begin(), shares.begin() + 3);
+  EXPECT_NE(reconstruct(three, 2), secret);
+}
+
+TEST(SumShares, AddsValues) {
+  EXPECT_EQ(sum_shares({Fp61{1}, Fp61{2}, Fp61{3}}).value(), 6u);
+  EXPECT_TRUE(sum_shares({}).is_zero());
+}
+
+// The paper's core algebra: sums of shares reconstruct the sum of
+// secrets (additive homomorphism of Shamir sharing).
+class ShamirAggregation
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(ShamirAggregation, SumOfSharesReconstructsSumOfSecrets) {
+  const auto [num_dealers, degree] = GetParam();
+  std::vector<ShamirDealer> dealers;
+  Fp61 expected;
+  for (std::size_t i = 0; i < num_dealers; ++i) {
+    crypto::CtrDrbg drbg(1000 + i, i);
+    const Fp61 secret{static_cast<std::uint64_t>(i * i * 37 + 11)};
+    expected += secret;
+    dealers.emplace_back(secret, degree, drbg);
+  }
+  // Point holders 0..degree+2 each sum their received shares.
+  std::vector<Share> sums;
+  for (NodeId h = 0; h < degree + 3; ++h) {
+    Fp61 sum;
+    for (const auto& d : dealers) sum += d.share_for(h).value;
+    sums.push_back(Share{h, sum});
+  }
+  // Any degree+1 of them reconstruct.
+  EXPECT_EQ(reconstruct(sums, degree), expected);
+  // Also from the tail end (different subset).
+  std::vector<Share> tail(sums.end() - static_cast<std::ptrdiff_t>(degree + 1),
+                          sums.end());
+  EXPECT_EQ(reconstruct(tail, degree), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ShamirAggregation,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 3, 10, 26, 45),
+                       ::testing::Values<std::size_t>(1, 3, 8, 15)));
+
+TEST(ShamirAggregation, EverySubsetOfThresholdSizeAgrees) {
+  constexpr std::size_t kDegree = 3;
+  crypto::CtrDrbg drbg(77, 0);
+  const Fp61 secret{31415926};
+  const ShamirDealer dealer(secret, kDegree, drbg);
+  const auto shares = dealer.shares_for({0, 1, 2, 3, 4, 5, 6});
+
+  // All C(7, 4) subsets reconstruct the same secret.
+  std::vector<bool> pick(shares.size(), false);
+  std::fill(pick.begin(), pick.begin() + kDegree + 1, true);
+  std::sort(pick.begin(), pick.end());
+  int checked = 0;
+  do {
+    std::vector<Share> subset;
+    for (std::size_t i = 0; i < shares.size(); ++i) {
+      if (pick[i]) subset.push_back(shares[i]);
+    }
+    if (subset.size() == kDegree + 1) {
+      EXPECT_EQ(reconstruct(subset, kDegree), secret);
+      ++checked;
+    }
+  } while (std::next_permutation(pick.begin(), pick.end()));
+  EXPECT_EQ(checked, 35);  // C(7,4)
+}
+
+}  // namespace
+}  // namespace mpciot::core

@@ -1,0 +1,95 @@
+#include "core/small_shamir.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/assert.hpp"
+
+namespace mpciot::core {
+namespace {
+
+TEST(SmallShamir, RoundTrip16BitField) {
+  const field::PrimeField f(65521);
+  crypto::CtrDrbg drbg(1, 0);
+  const SmallShamirDealer dealer(f, 12345, 3, drbg);
+  std::vector<SmallShare> shares;
+  for (NodeId h = 0; h < 4; ++h) shares.push_back(dealer.share_for(h));
+  EXPECT_EQ(small_reconstruct(f, shares, 3), 12345u);
+}
+
+TEST(SmallShamir, AnySubsetOfThresholdSizeWorks) {
+  const field::PrimeField f(65521);
+  crypto::CtrDrbg drbg(2, 0);
+  const SmallShamirDealer dealer(f, 999, 2, drbg);
+  std::vector<SmallShare> all;
+  for (NodeId h = 0; h < 6; ++h) all.push_back(dealer.share_for(h));
+  for (std::size_t a = 0; a < 4; ++a) {
+    const std::vector<SmallShare> subset{all[a], all[a + 1], all[a + 2]};
+    EXPECT_EQ(small_reconstruct(f, subset, 2), 999u);
+  }
+}
+
+TEST(SmallShamir, AdditiveAggregationModP) {
+  const field::PrimeField f(65521);
+  std::vector<SmallShamirDealer> dealers;
+  std::uint64_t expected = 0;
+  for (int i = 0; i < 10; ++i) {
+    crypto::CtrDrbg drbg(100 + i, 0);
+    const std::uint64_t secret = 500u * static_cast<std::uint64_t>(i + 1);
+    expected = f.add(expected, secret);
+    dealers.emplace_back(f, secret, 3, drbg);
+  }
+  std::vector<SmallShare> sums;
+  for (NodeId h = 0; h < 4; ++h) {
+    std::uint64_t s = 0;
+    for (const auto& d : dealers) s = f.add(s, d.share_for(h).value);
+    sums.push_back(SmallShare{h, s});
+  }
+  EXPECT_EQ(small_reconstruct(f, sums, 3), expected);
+}
+
+TEST(SmallShamir, ShareBytesMatchFieldWidth) {
+  EXPECT_EQ(small_share_bytes(field::PrimeField(65521)), 2u);
+  EXPECT_EQ(small_share_bytes(field::PrimeField(251)), 1u);
+  EXPECT_EQ(small_share_bytes(field::PrimeField(2147483647ull)), 4u);
+}
+
+TEST(SmallShamir, ContractsEnforced) {
+  const field::PrimeField f(65521);
+  crypto::CtrDrbg drbg(3, 0);
+  EXPECT_THROW(SmallShamirDealer(f, 70000, 2, drbg), ContractViolation);
+  EXPECT_THROW(SmallShamirDealer(f, 1, 0, drbg), ContractViolation);
+  const SmallShamirDealer dealer(f, 1, 2, drbg);
+  std::vector<SmallShare> two{dealer.share_for(0), dealer.share_for(1)};
+  EXPECT_THROW(small_reconstruct(f, two, 2), ContractViolation);
+  std::vector<SmallShare> dup{dealer.share_for(0), dealer.share_for(0),
+                              dealer.share_for(1)};
+  EXPECT_THROW(small_reconstruct(f, dup, 2), ContractViolation);
+}
+
+TEST(SmallShamir, WorksInTinyField) {
+  // GF(251): 1-byte shares, still perfectly functional for small sums.
+  const field::PrimeField f(251);
+  crypto::CtrDrbg drbg(4, 0);
+  const SmallShamirDealer dealer(f, 200, 2, drbg);
+  std::vector<SmallShare> shares;
+  for (NodeId h = 0; h < 3; ++h) shares.push_back(dealer.share_for(h));
+  EXPECT_EQ(small_reconstruct(f, shares, 2), 200u);
+}
+
+TEST(SmallShamir, BelowThresholdSharesAreUniformish) {
+  // Statistical smoke check of hiding: one share of many dealings of the
+  // SAME secret should spread over the field.
+  const field::PrimeField f(65521);
+  std::unordered_set<std::uint64_t> values;
+  for (int i = 0; i < 60; ++i) {
+    crypto::CtrDrbg drbg(1000 + i, 0);
+    const SmallShamirDealer dealer(f, 42, 2, drbg);
+    values.insert(dealer.share_for(5).value);
+  }
+  EXPECT_GT(values.size(), 55u);  // near-distinct each time
+}
+
+}  // namespace
+}  // namespace mpciot::core

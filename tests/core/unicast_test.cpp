@@ -1,0 +1,86 @@
+#include "core/unicast_baseline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace mpciot::core {
+namespace {
+
+using field::Fp61;
+
+net::Topology make_grid9() {
+  net::RadioParams radio;
+  radio.shadowing_sigma_db = 0.0;
+  std::vector<net::Position> pos;
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) pos.push_back({c * 12.0, r * 12.0});
+  }
+  return net::Topology(std::move(pos), radio, 7);
+}
+
+std::vector<Fp61> fixed_secrets(std::size_t n) {
+  std::vector<Fp61> secrets;
+  for (std::size_t i = 0; i < n; ++i) secrets.emplace_back(11 * (i + 1));
+  return secrets;
+}
+
+TEST(UnicastBaseline, AggregatesCorrectlyOnGrid) {
+  const net::Topology topo = make_grid9();
+  std::vector<NodeId> sources;
+  for (NodeId i = 0; i < topo.size(); ++i) sources.push_back(i);
+  const auto cfg = make_s3_config(topo, sources, 2, /*ntx unused*/ 1);
+  sim::Simulator sim(3);
+  const auto secrets = fixed_secrets(9);
+  const UnicastResult res =
+      run_unicast_sss(topo, cfg, secrets, UnicastParams{}, sim);
+
+  Fp61 expected;
+  for (const auto& s : secrets) expected += s;
+  EXPECT_GT(res.delivery_ratio, 0.99);
+  EXPECT_EQ(res.success_ratio(), 1.0);
+  for (const auto& node : res.nodes) {
+    EXPECT_TRUE(node.has_aggregate);
+    EXPECT_EQ(node.aggregate, expected);
+  }
+}
+
+TEST(UnicastBaseline, DurationGrowsWithMessageCount) {
+  const net::Topology topo = make_grid9();
+  sim::Simulator sim1(3);
+  sim::Simulator sim2(3);
+  const auto small = run_unicast_sss(
+      topo, make_s3_config(topo, {0, 4, 8}, 1, 1), fixed_secrets(3),
+      UnicastParams{}, sim1);
+  std::vector<NodeId> sources;
+  for (NodeId i = 0; i < topo.size(); ++i) sources.push_back(i);
+  const auto large = run_unicast_sss(topo, make_s3_config(topo, sources, 2, 1),
+                                     fixed_secrets(9), UnicastParams{}, sim2);
+  EXPECT_GT(large.total_duration_us, small.total_duration_us);
+}
+
+TEST(UnicastBaseline, RadioOnIncludesIdleListening) {
+  const net::Topology topo = make_grid9();
+  std::vector<NodeId> sources;
+  for (NodeId i = 0; i < topo.size(); ++i) sources.push_back(i);
+  UnicastParams params;
+  params.idle_duty_cycle = 0.5;  // exaggerate for the test
+  sim::Simulator sim(9);
+  const auto res = run_unicast_sss(topo, make_s3_config(topo, sources, 2, 1),
+                                   fixed_secrets(9), params, sim);
+  for (NodeId i = 0; i < topo.size(); ++i) {
+    EXPECT_GE(res.radio_on_us[i],
+              static_cast<SimTime>(0.5 * res.total_duration_us) - 1);
+  }
+}
+
+TEST(UnicastBaseline, SecretCountMismatchViolatesContract) {
+  const net::Topology topo = make_grid9();
+  sim::Simulator sim(1);
+  EXPECT_THROW(run_unicast_sss(topo, make_s3_config(topo, {0, 1, 2}, 1, 1),
+                               fixed_secrets(2), UnicastParams{}, sim),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace mpciot::core

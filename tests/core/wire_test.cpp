@@ -1,0 +1,146 @@
+#include "core/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace mpciot::core {
+namespace {
+
+using field::Fp61;
+
+class WireTest : public ::testing::Test {
+ protected:
+  WireTest() : keys_(42, 16) {}
+  crypto::KeyStore keys_;
+};
+
+TEST_F(WireTest, SharePacketRoundTrip) {
+  SharePacket pkt;
+  pkt.source = 3;
+  pkt.destination = 7;
+  pkt.round = 12;
+  pkt.share = Fp61{0x1234567890ABCDEFull};
+  const Bytes wire = pkt.encode(keys_);
+  EXPECT_EQ(wire.size(), SharePacket::kWireSize);
+
+  const auto decoded = SharePacket::decode(wire, keys_);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->source, 3u);
+  EXPECT_EQ(decoded->destination, 7u);
+  EXPECT_EQ(decoded->round, 12u);
+  EXPECT_EQ(decoded->share, pkt.share);
+}
+
+TEST_F(WireTest, ShareValueIsNotOnTheWireInPlaintext) {
+  SharePacket pkt;
+  pkt.source = 1;
+  pkt.destination = 2;
+  pkt.round = 0;
+  pkt.share = Fp61{0};  // even an all-zero share must be masked
+  const Bytes wire = pkt.encode(keys_);
+  // The 8 ciphertext bytes (offset 4..11) must not all be zero: the CTR
+  // keystream masks them.
+  bool all_zero = true;
+  for (std::size_t i = 4; i < 12; ++i) {
+    if (wire[i] != 0) all_zero = false;
+  }
+  EXPECT_FALSE(all_zero);
+}
+
+TEST_F(WireTest, TamperedCiphertextRejected) {
+  SharePacket pkt;
+  pkt.source = 3;
+  pkt.destination = 7;
+  pkt.round = 1;
+  pkt.share = Fp61{999};
+  Bytes wire = pkt.encode(keys_);
+  wire[6] ^= 0x40;
+  EXPECT_FALSE(SharePacket::decode(wire, keys_).has_value());
+}
+
+TEST_F(WireTest, TamperedHeaderRejected) {
+  SharePacket pkt;
+  pkt.source = 3;
+  pkt.destination = 7;
+  pkt.round = 1;
+  pkt.share = Fp61{999};
+  Bytes wire = pkt.encode(keys_);
+  wire[0] = 4;  // re-route claim: wrong pairwise key -> tag fails
+  EXPECT_FALSE(SharePacket::decode(wire, keys_).has_value());
+}
+
+TEST_F(WireTest, WrongSizeRejected) {
+  EXPECT_FALSE(SharePacket::decode(Bytes(15, 0), keys_).has_value());
+  EXPECT_FALSE(SharePacket::decode(Bytes(17, 0), keys_).has_value());
+}
+
+TEST_F(WireTest, SelfShareEncodeViolatesContract) {
+  SharePacket pkt;
+  pkt.source = 5;
+  pkt.destination = 5;
+  pkt.share = Fp61{1};
+  EXPECT_THROW(pkt.encode(keys_), ContractViolation);
+}
+
+TEST_F(WireTest, OutOfRangeNodeIdsRejectedOnDecode) {
+  SharePacket pkt;
+  pkt.source = 3;
+  pkt.destination = 7;
+  pkt.round = 1;
+  pkt.share = Fp61{5};
+  Bytes wire = pkt.encode(keys_);
+  wire[1] = 200;  // beyond keystore node count
+  EXPECT_FALSE(SharePacket::decode(wire, keys_).has_value());
+}
+
+TEST_F(WireTest, DifferentRoundsProduceDifferentCiphertexts) {
+  SharePacket pkt;
+  pkt.source = 2;
+  pkt.destination = 9;
+  pkt.share = Fp61{777};
+  pkt.round = 1;
+  const Bytes w1 = pkt.encode(keys_);
+  pkt.round = 2;
+  const Bytes w2 = pkt.encode(keys_);
+  // Nonce separation: same share, different round, different ciphertext.
+  EXPECT_NE(Bytes(w1.begin() + 4, w1.begin() + 12),
+            Bytes(w2.begin() + 4, w2.begin() + 12));
+}
+
+TEST_F(WireTest, DecodingWithWrongKeystoreFails) {
+  SharePacket pkt;
+  pkt.source = 2;
+  pkt.destination = 9;
+  pkt.round = 5;
+  pkt.share = Fp61{777};
+  const Bytes wire = pkt.encode(keys_);
+  const crypto::KeyStore other(43, 16);
+  EXPECT_FALSE(SharePacket::decode(wire, other).has_value());
+}
+
+TEST(SumPacketTest, RoundTrip) {
+  SumPacket pkt;
+  pkt.holder = 11;
+  pkt.contribution_count = 24;
+  pkt.round = 3;
+  pkt.sum = Fp61{0xFEDCBA9876543210ull};
+  pkt.contributors = 0xFFFFFFull;
+  const Bytes wire = pkt.encode();
+  EXPECT_EQ(wire.size(), SumPacket::kWireSize);
+  const auto decoded = SumPacket::decode(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->holder, 11u);
+  EXPECT_EQ(decoded->contribution_count, 24u);
+  EXPECT_EQ(decoded->round, 3u);
+  EXPECT_EQ(decoded->sum, pkt.sum);
+  EXPECT_EQ(decoded->contributors, 0xFFFFFFull);
+}
+
+TEST(SumPacketTest, WrongSizeRejected) {
+  EXPECT_FALSE(SumPacket::decode(Bytes(19, 0)).has_value());
+  EXPECT_FALSE(SumPacket::decode(Bytes(21, 0)).has_value());
+}
+
+}  // namespace
+}  // namespace mpciot::core

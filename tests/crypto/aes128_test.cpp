@@ -1,0 +1,99 @@
+#include "crypto/aes128.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/hex.hpp"
+#include "crypto/prng.hpp"
+
+namespace mpciot::crypto {
+namespace {
+
+Aes128::Key key_from_hex(const char* hex) {
+  const auto bytes = from_hex(hex);
+  Aes128::Key key{};
+  std::copy(bytes.begin(), bytes.end(), key.begin());
+  return key;
+}
+
+Aes128::Block block_from_hex(const char* hex) {
+  const auto bytes = from_hex(hex);
+  Aes128::Block b{};
+  std::copy(bytes.begin(), bytes.end(), b.begin());
+  return b;
+}
+
+// FIPS-197 Appendix C.1 known-answer test.
+TEST(Aes128, Fips197AppendixC1Encrypt) {
+  const Aes128 aes(key_from_hex("000102030405060708090a0b0c0d0e0f"));
+  const auto ct =
+      aes.encrypt_block(block_from_hex("00112233445566778899aabbccddeeff"));
+  EXPECT_EQ(to_hex(ct), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes128, Fips197AppendixC1Decrypt) {
+  const Aes128 aes(key_from_hex("000102030405060708090a0b0c0d0e0f"));
+  const auto pt =
+      aes.decrypt_block(block_from_hex("69c4e0d86a7b0430d8cdb78070b4c55a"));
+  EXPECT_EQ(to_hex(pt), "00112233445566778899aabbccddeeff");
+}
+
+// FIPS-197 Appendix B key/plaintext (the worked example).
+TEST(Aes128, Fips197AppendixBExample) {
+  const Aes128 aes(key_from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  const auto ct =
+      aes.encrypt_block(block_from_hex("3243f6a8885a308d313198a2e0370734"));
+  EXPECT_EQ(to_hex(ct), "3925841d02dc09fbdc118597196a0b32");
+}
+
+TEST(Aes128, SboxDerivationMatchesKnownEntries) {
+  // Spot values from the FIPS-197 S-box table.
+  EXPECT_EQ(Aes128::sbox(0x00), 0x63);
+  EXPECT_EQ(Aes128::sbox(0x01), 0x7c);
+  EXPECT_EQ(Aes128::sbox(0x53), 0xed);
+  EXPECT_EQ(Aes128::sbox(0xff), 0x16);
+  EXPECT_EQ(Aes128::sbox(0x9a), 0xb8);
+}
+
+TEST(Aes128, InverseSboxInvertsSbox) {
+  for (int i = 0; i < 256; ++i) {
+    const auto x = static_cast<std::uint8_t>(i);
+    EXPECT_EQ(Aes128::inv_sbox(Aes128::sbox(x)), x);
+    EXPECT_EQ(Aes128::sbox(Aes128::inv_sbox(x)), x);
+  }
+}
+
+TEST(Aes128, EncryptDecryptRoundTripRandomBlocks) {
+  Xoshiro256 rng(13);
+  for (int trial = 0; trial < 100; ++trial) {
+    Aes128::Key key{};
+    Aes128::Block pt{};
+    for (auto& b : key) b = static_cast<std::uint8_t>(rng.next_u64());
+    for (auto& b : pt) b = static_cast<std::uint8_t>(rng.next_u64());
+    const Aes128 aes(key);
+    EXPECT_EQ(aes.decrypt_block(aes.encrypt_block(pt)), pt);
+  }
+}
+
+TEST(Aes128, DifferentKeysGiveDifferentCiphertexts) {
+  const Aes128 a(key_from_hex("00000000000000000000000000000000"));
+  const Aes128 b(key_from_hex("00000000000000000000000000000001"));
+  const Aes128::Block pt{};
+  EXPECT_NE(a.encrypt_block(pt), b.encrypt_block(pt));
+}
+
+TEST(Aes128, EncryptionIsDeterministic) {
+  const Aes128 aes(key_from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  const Aes128::Block pt = block_from_hex("00000000000000000000000000000000");
+  EXPECT_EQ(aes.encrypt_block(pt), aes.encrypt_block(pt));
+}
+
+TEST(Aes128, InPlaceSpanEncryption) {
+  const Aes128 aes(key_from_hex("000102030405060708090a0b0c0d0e0f"));
+  auto buf = block_from_hex("00112233445566778899aabbccddeeff");
+  aes.encrypt_block(std::span<const std::uint8_t, 16>{buf},
+                    std::span<std::uint8_t, 16>{buf});
+  EXPECT_EQ(to_hex(buf), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+}  // namespace
+}  // namespace mpciot::crypto

@@ -1,0 +1,105 @@
+#include "crypto/aes_ctr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "common/hex.hpp"
+
+namespace mpciot::crypto {
+namespace {
+
+Aes128::Key key_from_hex(const char* hex) {
+  const auto bytes = from_hex(hex);
+  Aes128::Key key{};
+  std::copy(bytes.begin(), bytes.end(), key.begin());
+  return key;
+}
+
+AesCtr::Nonce nonce_from_hex(const char* hex) {
+  const auto bytes = from_hex(hex);
+  AesCtr::Nonce n{};
+  std::copy(bytes.begin(), bytes.end(), n.begin());
+  return n;
+}
+
+// NIST SP 800-38A, F.5.1 CTR-AES128.Encrypt (all four blocks at once —
+// CTR is a stream, so one call over the concatenation must match).
+TEST(AesCtr, Sp80038aF51Encrypt) {
+  const AesCtr ctr(key_from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  const auto nonce =
+      nonce_from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  const auto pt = from_hex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52ef"
+      "f69f2445df4f9b17ad2b417be66c3710");
+  const auto ct = ctr.crypt(nonce, pt);
+  EXPECT_EQ(to_hex(ct),
+            "874d6191b620e3261bef6864990db6ce"
+            "9806f66b7970fdff8617187bb9fffdff"
+            "5ae4df3edbd5d35e5b4f09020db03eab"
+            "1e031dda2fbe03d1792170a0f3009cee");
+}
+
+TEST(AesCtr, DecryptIsSameOperation) {
+  const AesCtr ctr(key_from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  const auto nonce = nonce_from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  const auto pt = from_hex("6bc1bee22e409f96e93d7e117393172a");
+  EXPECT_EQ(ctr.crypt(nonce, ctr.crypt(nonce, pt)), pt);
+}
+
+TEST(AesCtr, PartialBlockLengthPreserved) {
+  const AesCtr ctr(key_from_hex("000102030405060708090a0b0c0d0e0f"));
+  const AesCtr::Nonce nonce{};
+  for (std::size_t len : {0u, 1u, 7u, 8u, 15u, 16u, 17u, 33u}) {
+    const std::vector<std::uint8_t> pt(len, 0xAB);
+    const auto ct = ctr.crypt(nonce, pt);
+    EXPECT_EQ(ct.size(), len);
+    EXPECT_EQ(ctr.crypt(nonce, ct), pt);
+  }
+}
+
+TEST(AesCtr, CounterIncrementCrossesBlockBoundaries) {
+  // Encrypting 2 blocks in one call == encrypting them with nonce and
+  // nonce+1 separately.
+  const AesCtr ctr(key_from_hex("000102030405060708090a0b0c0d0e0f"));
+  auto nonce = nonce_from_hex("000000000000000000000000000000ff");
+  const std::vector<std::uint8_t> pt(32, 0);
+  const auto joint = ctr.crypt(nonce, pt);
+
+  const auto first = ctr.crypt(nonce, std::vector<std::uint8_t>(16, 0));
+  auto nonce2 = nonce_from_hex("00000000000000000000000000000100");
+  const auto second = ctr.crypt(nonce2, std::vector<std::uint8_t>(16, 0));
+  std::vector<std::uint8_t> expected = first;
+  expected.insert(expected.end(), second.begin(), second.end());
+  EXPECT_EQ(joint, expected);
+}
+
+TEST(AesCtr, DifferentNoncesGiveDifferentKeystreams) {
+  const AesCtr ctr(key_from_hex("000102030405060708090a0b0c0d0e0f"));
+  const std::vector<std::uint8_t> zeros(16, 0);
+  const auto a = ctr.crypt(AesCtr::make_nonce(1, 2, 3, 0), zeros);
+  const auto b = ctr.crypt(AesCtr::make_nonce(1, 2, 4, 0), zeros);
+  EXPECT_NE(a, b);
+}
+
+TEST(AesCtr, MakeNonceEncodesFieldsBigEndian) {
+  const auto n = AesCtr::make_nonce(0x01020304, 0x05060708, 0x090A0B0C,
+                                    0x0D0E0F10);
+  EXPECT_EQ(to_hex(n), "0102030405060708090a0b0c0d0e0f10");
+}
+
+TEST(AesCtr, MakeNonceUniquePerTuple) {
+  EXPECT_NE(AesCtr::make_nonce(1, 2, 3, 4), AesCtr::make_nonce(2, 1, 3, 4));
+  EXPECT_NE(AesCtr::make_nonce(1, 2, 3, 4), AesCtr::make_nonce(1, 2, 3, 5));
+}
+
+TEST(AesCtr, OutputBufferTooSmallViolatesContract) {
+  const AesCtr ctr(key_from_hex("000102030405060708090a0b0c0d0e0f"));
+  const std::vector<std::uint8_t> pt(16, 0);
+  std::vector<std::uint8_t> out(8);
+  EXPECT_THROW(ctr.crypt(AesCtr::Nonce{}, pt, out), mpciot::ContractViolation);
+}
+
+}  // namespace
+}  // namespace mpciot::crypto

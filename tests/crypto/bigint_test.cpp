@@ -1,0 +1,213 @@
+#include "crypto/bigint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "crypto/prng.hpp"
+
+namespace mpciot::crypto {
+namespace {
+
+TEST(BigInt, ZeroProperties) {
+  const BigInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_FALSE(z.is_odd());
+  EXPECT_EQ(z.bit_length(), 0u);
+  EXPECT_EQ(z.to_u64(), 0u);
+  EXPECT_EQ(z.to_decimal_string(), "0");
+  EXPECT_EQ(z.to_hex_string(), "0");
+}
+
+TEST(BigInt, FromU64RoundTrip) {
+  for (std::uint64_t v : {1ull, 255ull, 0x100000000ull, ~0ull}) {
+    EXPECT_EQ(BigInt{v}.to_u64(), v);
+  }
+}
+
+TEST(BigInt, Comparisons) {
+  EXPECT_LT(BigInt{1}, BigInt{2});
+  EXPECT_LT(BigInt{0xFFFFFFFFull}, BigInt{0x100000000ull});
+  EXPECT_EQ(BigInt{7}, BigInt{7});
+  EXPECT_GE(BigInt{9}, BigInt{9});
+  EXPECT_GT(BigInt::from_hex("10000000000000000"), BigInt{~0ull});
+}
+
+TEST(BigInt, AdditionWithCarryChains) {
+  const BigInt a = BigInt::from_hex("ffffffffffffffffffffffffffffffff");
+  EXPECT_EQ((a + BigInt{1}).to_hex_string(),
+            "100000000000000000000000000000000");
+}
+
+TEST(BigInt, SubtractionExact) {
+  const BigInt a = BigInt::from_hex("100000000000000000000000000000000");
+  EXPECT_EQ((a - BigInt{1}).to_hex_string(),
+            "ffffffffffffffffffffffffffffffff");
+}
+
+TEST(BigInt, SubtractionUnderflowViolatesContract) {
+  EXPECT_THROW(BigInt{1} - BigInt{2}, ContractViolation);
+}
+
+TEST(BigInt, MultiplicationKnownValue) {
+  const BigInt a = BigInt::from_string("123456789012345678901234567890");
+  const BigInt b = BigInt::from_string("987654321098765432109876543210");
+  EXPECT_EQ((a * b).to_decimal_string(),
+            "121932631137021795226185032733622923332237463801111263526900");
+}
+
+TEST(BigInt, ShiftsInverse) {
+  const BigInt a = BigInt::from_hex("deadbeefcafebabe1234567890abcdef");
+  for (std::size_t s : {1u, 7u, 31u, 32u, 33u, 64u, 100u}) {
+    EXPECT_EQ(((a << s) >> s), a) << "shift " << s;
+  }
+}
+
+TEST(BigInt, ShiftRightDropsBits) {
+  EXPECT_EQ((BigInt{0xFF} >> 4).to_u64(), 0xFu);
+  EXPECT_TRUE((BigInt{1} >> 1).is_zero());
+}
+
+TEST(BigInt, DivisionByZeroViolatesContract) {
+  EXPECT_THROW(BigInt{1} / BigInt{}, ContractViolation);
+}
+
+TEST(BigInt, DivModKnownValues) {
+  EXPECT_EQ((BigInt{100} / BigInt{7}).to_u64(), 14u);
+  EXPECT_EQ((BigInt{100} % BigInt{7}).to_u64(), 2u);
+  EXPECT_EQ((BigInt{5} / BigInt{10}).to_u64(), 0u);
+  EXPECT_EQ((BigInt{5} % BigInt{10}).to_u64(), 5u);
+}
+
+TEST(BigInt, DivModAddBackCase) {
+  // Exercise Knuth D with divisors whose top limb forces the add-back
+  // correction path: v = B^2/2-ish patterns.
+  const BigInt num = BigInt::from_hex("7fffffff800000010000000000000000");
+  const BigInt den = BigInt::from_hex("800000008000000200000005");
+  const BigInt q = num / den;
+  const BigInt r = num % den;
+  EXPECT_EQ(q * den + r, num);
+  EXPECT_LT(r, den);
+}
+
+TEST(BigInt, StringRoundTrips) {
+  const char* decimals[] = {
+      "0", "1", "4294967296", "18446744073709551616",
+      "340282366920938463463374607431768211455",
+      "99999999999999999999999999999999999999999999"};
+  for (const char* d : decimals) {
+    EXPECT_EQ(BigInt::from_string(d).to_decimal_string(), d);
+  }
+  EXPECT_EQ(BigInt::from_string("0xdeadBEEF").to_u64(), 0xDEADBEEFull);
+}
+
+TEST(BigInt, InvalidStringsViolateContract) {
+  EXPECT_THROW(BigInt::from_string(""), ContractViolation);
+  EXPECT_THROW(BigInt::from_string("12a"), ContractViolation);
+  EXPECT_THROW(BigInt::from_hex("xyz"), ContractViolation);
+}
+
+TEST(BigInt, PowmodSmallKnown) {
+  EXPECT_EQ(BigInt::powmod(BigInt{2}, BigInt{10}, BigInt{1000}).to_u64(),
+            24u);  // 1024 mod 1000
+  EXPECT_EQ(BigInt::powmod(BigInt{3}, BigInt{0}, BigInt{7}).to_u64(), 1u);
+  EXPECT_TRUE(BigInt::powmod(BigInt{3}, BigInt{5}, BigInt{1}).is_zero());
+}
+
+TEST(BigInt, PowmodFermat) {
+  // 2^(p-1) mod p == 1 for prime p = 2^61 - 1.
+  const BigInt p{(std::uint64_t{1} << 61) - 1};
+  EXPECT_EQ(BigInt::powmod(BigInt{2}, p - BigInt{1}, p).to_u64(), 1u);
+}
+
+TEST(BigInt, GcdLcm) {
+  EXPECT_EQ(BigInt::gcd(BigInt{12}, BigInt{18}).to_u64(), 6u);
+  EXPECT_EQ(BigInt::gcd(BigInt{17}, BigInt{5}).to_u64(), 1u);
+  EXPECT_EQ(BigInt::gcd(BigInt{0}, BigInt{9}).to_u64(), 9u);
+  EXPECT_EQ(BigInt::lcm(BigInt{4}, BigInt{6}).to_u64(), 12u);
+  EXPECT_TRUE(BigInt::lcm(BigInt{0}, BigInt{5}).is_zero());
+}
+
+TEST(BigInt, ModinvKnownAndInvalid) {
+  // 3 * 5 = 15 == 1 mod 7 -> inv(3, 7) = 5.
+  EXPECT_EQ(BigInt::modinv(BigInt{3}, BigInt{7}).to_u64(), 5u);
+  // gcd(4, 8) != 1 -> no inverse.
+  EXPECT_TRUE(BigInt::modinv(BigInt{4}, BigInt{8}).is_zero());
+}
+
+TEST(BigInt, ModinvRandomizedProperty) {
+  Xoshiro256 rng(3);
+  const BigInt m = BigInt::from_string("1000000007");  // prime
+  for (int i = 0; i < 50; ++i) {
+    const BigInt a = BigInt{1 + rng.next_below(1000000006ull)};
+    const BigInt inv = BigInt::modinv(a, m);
+    ASSERT_FALSE(inv.is_zero());
+    EXPECT_EQ(BigInt::mulmod(a, inv, m).to_u64(), 1u);
+  }
+}
+
+TEST(BigInt, RandomBitsHasExactWidth) {
+  Xoshiro256 rng(11);
+  for (std::size_t bits : {1u, 8u, 31u, 32u, 33u, 64u, 127u, 256u}) {
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_EQ(BigInt::random_bits(bits, rng).bit_length(), bits);
+    }
+  }
+}
+
+TEST(BigInt, ProbablePrimeKnownValues) {
+  Xoshiro256 rng(13);
+  EXPECT_TRUE(BigInt::is_probable_prime(BigInt{2}, 10, rng));
+  EXPECT_TRUE(BigInt::is_probable_prime(BigInt{65537}, 10, rng));
+  EXPECT_TRUE(BigInt::is_probable_prime(
+      BigInt::from_string("170141183460469231731687303715884105727"), 10,
+      rng));  // 2^127 - 1 (Mersenne prime)
+  EXPECT_FALSE(BigInt::is_probable_prime(BigInt{561}, 10, rng));
+  EXPECT_FALSE(BigInt::is_probable_prime(
+      BigInt::from_string("170141183460469231731687303715884105725"), 10,
+      rng));
+}
+
+TEST(BigInt, RandomPrimeIsPrimeAndRightWidth) {
+  Xoshiro256 rng(17);
+  const BigInt p = BigInt::random_prime(64, rng, 16);
+  EXPECT_EQ(p.bit_length(), 64u);
+  EXPECT_TRUE(BigInt::is_probable_prime(p, 24, rng));
+}
+
+// Property sweep: divmod reconstruction across widths.
+class BigIntDivModProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(BigIntDivModProperty, QuotientTimesDivisorPlusRemainder) {
+  const auto [num_bits, den_bits] = GetParam();
+  Xoshiro256 rng(num_bits * 1000 + den_bits);
+  for (int i = 0; i < 25; ++i) {
+    const BigInt num = BigInt::random_bits(num_bits, rng);
+    const BigInt den = BigInt::random_bits(den_bits, rng);
+    const BigInt q = num / den;
+    const BigInt r = num % den;
+    EXPECT_EQ(q * den + r, num);
+    EXPECT_LT(r, den);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Widths, BigIntDivModProperty,
+    ::testing::Values(std::make_tuple(64u, 32u), std::make_tuple(128u, 64u),
+                      std::make_tuple(256u, 96u), std::make_tuple(256u, 256u),
+                      std::make_tuple(512u, 130u), std::make_tuple(96u, 33u),
+                      std::make_tuple(1024u, 512u)));
+
+TEST(BigInt, MulmodAgreesWithNaive64) {
+  Xoshiro256 rng(21);
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t a = rng.next_below(1u << 30);
+    const std::uint64_t b = rng.next_below(1u << 30);
+    const std::uint64_t m = 1 + rng.next_below(1u << 30);
+    EXPECT_EQ(BigInt::mulmod(BigInt{a}, BigInt{b}, BigInt{m}).to_u64(),
+              (a * b) % m);
+  }
+}
+
+}  // namespace
+}  // namespace mpciot::crypto

@@ -1,0 +1,88 @@
+#include "crypto/cmac.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/hex.hpp"
+
+namespace mpciot::crypto {
+namespace {
+
+Aes128::Key rfc_key() {
+  const auto bytes = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  Aes128::Key key{};
+  std::copy(bytes.begin(), bytes.end(), key.begin());
+  return key;
+}
+
+// RFC 4493 test vectors (AES-CMAC with the FIPS example key).
+TEST(Cmac, Rfc4493EmptyMessage) {
+  const Cmac mac(rfc_key());
+  EXPECT_EQ(to_hex(mac.compute({})), "bb1d6929e95937287fa37d129b756746");
+}
+
+TEST(Cmac, Rfc4493Length16) {
+  const Cmac mac(rfc_key());
+  const auto msg = from_hex("6bc1bee22e409f96e93d7e117393172a");
+  EXPECT_EQ(to_hex(mac.compute(msg)), "070a16b46b4d4144f79bdd9dd04a287c");
+}
+
+TEST(Cmac, Rfc4493Length40) {
+  const Cmac mac(rfc_key());
+  const auto msg = from_hex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411");
+  EXPECT_EQ(to_hex(mac.compute(msg)), "dfa66747de9ae63030ca32611497c827");
+}
+
+TEST(Cmac, Rfc4493Length64) {
+  const Cmac mac(rfc_key());
+  const auto msg = from_hex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52ef"
+      "f69f2445df4f9b17ad2b417be66c3710");
+  EXPECT_EQ(to_hex(mac.compute(msg)), "51f0bebf7e3b9d92fc49741779363cfe");
+}
+
+TEST(Cmac, TagChangesWithSingleBitFlip) {
+  const Cmac mac(rfc_key());
+  auto msg = from_hex("6bc1bee22e409f96e93d7e117393172a");
+  const auto tag1 = mac.compute(msg);
+  msg[0] ^= 0x01;
+  const auto tag2 = mac.compute(msg);
+  EXPECT_FALSE(Cmac::verify(tag1, tag2));
+}
+
+TEST(Cmac, TagChangesWithKey) {
+  const Cmac mac1(rfc_key());
+  Aes128::Key other = rfc_key();
+  other[15] ^= 0xFF;
+  const Cmac mac2(other);
+  const auto msg = from_hex("00112233");
+  EXPECT_FALSE(Cmac::verify(mac1.compute(msg), mac2.compute(msg)));
+}
+
+TEST(Cmac, VerifyAcceptsEqualTags) {
+  const Cmac mac(rfc_key());
+  const auto msg = from_hex("deadbeef");
+  EXPECT_TRUE(Cmac::verify(mac.compute(msg), mac.compute(msg)));
+}
+
+TEST(Cmac, DistinctLengthsNearBlockBoundary) {
+  // Tags for messages of length 15, 16 and 17 must all differ (the
+  // complete-block/padding paths diverge here).
+  const Cmac mac(rfc_key());
+  const std::vector<std::uint8_t> m15(15, 0xAA);
+  const std::vector<std::uint8_t> m16(16, 0xAA);
+  const std::vector<std::uint8_t> m17(17, 0xAA);
+  const auto t15 = mac.compute(m15);
+  const auto t16 = mac.compute(m16);
+  const auto t17 = mac.compute(m17);
+  EXPECT_FALSE(Cmac::verify(t15, t16));
+  EXPECT_FALSE(Cmac::verify(t16, t17));
+  EXPECT_FALSE(Cmac::verify(t15, t17));
+}
+
+}  // namespace
+}  // namespace mpciot::crypto

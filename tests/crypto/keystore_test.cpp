@@ -1,0 +1,76 @@
+#include "crypto/keystore.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace mpciot::crypto {
+namespace {
+
+TEST(KeyStore, PairwiseKeyIsSymmetric) {
+  const KeyStore ks(1234, 10);
+  for (NodeId a = 0; a < 10; ++a) {
+    for (NodeId b = 0; b < 10; ++b) {
+      if (a == b) continue;
+      EXPECT_EQ(ks.pairwise_key(a, b), ks.pairwise_key(b, a));
+    }
+  }
+}
+
+TEST(KeyStore, PairwiseKeysAreDistinctAcrossPairs) {
+  const KeyStore ks(1234, 12);
+  std::set<Aes128::Key> keys;
+  for (NodeId a = 0; a < 12; ++a) {
+    for (NodeId b = a + 1; b < 12; ++b) {
+      keys.insert(ks.pairwise_key(a, b));
+    }
+  }
+  EXPECT_EQ(keys.size(), 12u * 11u / 2u);
+}
+
+TEST(KeyStore, SelfPairViolatesContract) {
+  const KeyStore ks(1, 4);
+  EXPECT_THROW(ks.pairwise_key(2, 2), ContractViolation);
+}
+
+TEST(KeyStore, OutOfRangeViolatesContract) {
+  const KeyStore ks(1, 4);
+  EXPECT_THROW(ks.pairwise_key(0, 4), ContractViolation);
+  EXPECT_THROW(ks.node_key(4), ContractViolation);
+}
+
+TEST(KeyStore, NodeKeysDistinctFromPairwiseAndEachOther) {
+  const KeyStore ks(55, 6);
+  std::set<Aes128::Key> keys;
+  for (NodeId n = 0; n < 6; ++n) keys.insert(ks.node_key(n));
+  EXPECT_EQ(keys.size(), 6u);
+  keys.insert(ks.pairwise_key(0, 1));
+  EXPECT_EQ(keys.size(), 7u);
+  keys.insert(ks.group_key());
+  EXPECT_EQ(keys.size(), 8u);
+}
+
+TEST(KeyStore, DifferentDeploymentSeedsGiveDifferentKeys) {
+  const KeyStore a(1, 4);
+  const KeyStore b(2, 4);
+  EXPECT_NE(a.pairwise_key(0, 1), b.pairwise_key(0, 1));
+  EXPECT_NE(a.group_key(), b.group_key());
+}
+
+TEST(KeyStore, SameSeedReproducesKeys) {
+  const KeyStore a(77, 4);
+  const KeyStore b(77, 4);
+  EXPECT_EQ(a.pairwise_key(1, 3), b.pairwise_key(1, 3));
+  EXPECT_EQ(a.node_key(2), b.node_key(2));
+  EXPECT_EQ(a.group_key(), b.group_key());
+}
+
+TEST(KeyStore, RequiresAtLeastTwoNodes) {
+  EXPECT_THROW(KeyStore(1, 1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mpciot::crypto

@@ -1,0 +1,97 @@
+#include "crypto/paillier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace mpciot::crypto {
+namespace {
+
+class PaillierTest : public ::testing::Test {
+ protected:
+  PaillierTest() : rng_(42), kp_(Paillier::generate(128, rng_)) {}
+  Xoshiro256 rng_;
+  PaillierKeyPair kp_;
+};
+
+TEST_F(PaillierTest, KeyStructure) {
+  EXPECT_GE(kp_.pub.n.bit_length(), 120u);
+  EXPECT_EQ(kp_.pub.n_squared, kp_.pub.n * kp_.pub.n);
+  EXPECT_FALSE(kp_.priv.lambda.is_zero());
+  EXPECT_FALSE(kp_.priv.mu.is_zero());
+}
+
+TEST_F(PaillierTest, EncryptDecryptRoundTrip) {
+  for (std::uint64_t m : {0ull, 1ull, 42ull, 65535ull, 123456789ull}) {
+    const BigInt ct = Paillier::encrypt(kp_.pub, BigInt{m}, rng_);
+    EXPECT_EQ(Paillier::decrypt(kp_.pub, kp_.priv, ct).to_u64(), m);
+  }
+}
+
+TEST_F(PaillierTest, EncryptionIsProbabilistic) {
+  const BigInt c1 = Paillier::encrypt(kp_.pub, BigInt{7}, rng_);
+  const BigInt c2 = Paillier::encrypt(kp_.pub, BigInt{7}, rng_);
+  EXPECT_NE(c1, c2);
+  EXPECT_EQ(Paillier::decrypt(kp_.pub, kp_.priv, c1),
+            Paillier::decrypt(kp_.pub, kp_.priv, c2));
+}
+
+TEST_F(PaillierTest, HomomorphicAddition) {
+  const BigInt c1 = Paillier::encrypt(kp_.pub, BigInt{1000}, rng_);
+  const BigInt c2 = Paillier::encrypt(kp_.pub, BigInt{2345}, rng_);
+  const BigInt sum = Paillier::add(kp_.pub, c1, c2);
+  EXPECT_EQ(Paillier::decrypt(kp_.pub, kp_.priv, sum).to_u64(), 3345u);
+}
+
+TEST_F(PaillierTest, HomomorphicAdditionChain) {
+  // Aggregate 10 readings like the PPDA use case.
+  BigInt acc = Paillier::encrypt(kp_.pub, BigInt{0}, rng_);
+  std::uint64_t expected = 0;
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    acc = Paillier::add(kp_.pub, acc,
+                        Paillier::encrypt(kp_.pub, BigInt{i * 11}, rng_));
+    expected += i * 11;
+  }
+  EXPECT_EQ(Paillier::decrypt(kp_.pub, kp_.priv, acc).to_u64(), expected);
+}
+
+TEST_F(PaillierTest, HomomorphicScalarMultiply) {
+  const BigInt c = Paillier::encrypt(kp_.pub, BigInt{123}, rng_);
+  const BigInt scaled = Paillier::scale(kp_.pub, c, BigInt{5});
+  EXPECT_EQ(Paillier::decrypt(kp_.pub, kp_.priv, scaled).to_u64(), 615u);
+}
+
+TEST_F(PaillierTest, PlaintextOutOfRangeViolatesContract) {
+  EXPECT_THROW(Paillier::encrypt(kp_.pub, kp_.pub.n, rng_),
+               ContractViolation);
+}
+
+TEST_F(PaillierTest, CiphertextOutOfRangeViolatesContract) {
+  EXPECT_THROW(Paillier::decrypt(kp_.pub, kp_.priv, kp_.pub.n_squared),
+               ContractViolation);
+}
+
+TEST(Paillier, BadModulusBitsViolateContract) {
+  Xoshiro256 rng(1);
+  EXPECT_THROW(Paillier::generate(32, rng), ContractViolation);
+  EXPECT_THROW(Paillier::generate(65, rng), ContractViolation);
+}
+
+class PaillierKeySizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PaillierKeySizes, RoundTripAndAdditivity) {
+  Xoshiro256 rng(GetParam());
+  const PaillierKeyPair kp = Paillier::generate(GetParam(), rng);
+  const BigInt c1 = Paillier::encrypt(kp.pub, BigInt{111}, rng);
+  const BigInt c2 = Paillier::encrypt(kp.pub, BigInt{222}, rng);
+  EXPECT_EQ(
+      Paillier::decrypt(kp.pub, kp.priv, Paillier::add(kp.pub, c1, c2))
+          .to_u64(),
+      333u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, PaillierKeySizes,
+                         ::testing::Values<std::size_t>(64, 128, 256));
+
+}  // namespace
+}  // namespace mpciot::crypto

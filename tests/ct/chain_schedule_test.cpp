@@ -1,0 +1,64 @@
+#include "ct/chain_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace mpciot::ct {
+namespace {
+
+TEST(SharingSchedule, GridLayoutAndOrigins) {
+  const SharingSchedule s =
+      make_sharing_schedule({10, 20, 30}, {10, 20});
+  EXPECT_EQ(s.size(), 6u);
+  // Entry (src_idx, dst_idx) origin is the source.
+  for (std::size_t src = 0; src < 3; ++src) {
+    for (std::size_t dst = 0; dst < 2; ++dst) {
+      const std::size_t e = s.entry_index(src, dst);
+      ASSERT_LT(e, s.entries.size());
+      EXPECT_EQ(s.entries[e].origin, s.sources[src]);
+    }
+  }
+}
+
+TEST(SharingSchedule, IndexIsBijective) {
+  const SharingSchedule s =
+      make_sharing_schedule({0, 1, 2, 3}, {4, 5, 6});
+  std::vector<bool> seen(s.size(), false);
+  for (std::size_t src = 0; src < 4; ++src) {
+    for (std::size_t dst = 0; dst < 3; ++dst) {
+      const std::size_t e = s.entry_index(src, dst);
+      EXPECT_FALSE(seen[e]);
+      seen[e] = true;
+    }
+  }
+}
+
+TEST(SharingSchedule, NaiveS3SizeIsQuadratic) {
+  std::vector<NodeId> nodes;
+  for (NodeId i = 0; i < 26; ++i) nodes.push_back(i);
+  EXPECT_EQ(make_sharing_schedule(nodes, nodes).size(), 26u * 26u);
+}
+
+TEST(SharingSchedule, RejectsEmptyAndDuplicates) {
+  EXPECT_THROW(make_sharing_schedule({}, {1}), ContractViolation);
+  EXPECT_THROW(make_sharing_schedule({1}, {}), ContractViolation);
+  EXPECT_THROW(make_sharing_schedule({1, 1}, {2}), ContractViolation);
+  EXPECT_THROW(make_sharing_schedule({1}, {2, 2}), ContractViolation);
+}
+
+TEST(ReconstructionSchedule, OneEntryPerHolder) {
+  const ReconstructionSchedule r = make_reconstruction_schedule({5, 7, 9});
+  EXPECT_EQ(r.size(), 3u);
+  for (std::size_t h = 0; h < 3; ++h) {
+    EXPECT_EQ(r.entries[r.entry_index(h)].origin, r.holders[h]);
+  }
+}
+
+TEST(ReconstructionSchedule, RejectsEmptyAndDuplicates) {
+  EXPECT_THROW(make_reconstruction_schedule({}), ContractViolation);
+  EXPECT_THROW(make_reconstruction_schedule({3, 3}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mpciot::ct

@@ -1,0 +1,98 @@
+#include "ct/glossy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/testbeds.hpp"
+
+namespace mpciot::ct {
+namespace {
+
+net::Topology make_line(std::size_t n = 5) {
+  net::RadioParams radio;
+  radio.shadowing_sigma_db = 0.0;
+  radio.tx_defer_prob = 0.0;
+  std::vector<net::Position> pos;
+  for (std::size_t i = 0; i < n; ++i) {
+    pos.push_back(net::Position{static_cast<double>(i) * 14.0, 0.0});
+  }
+  return net::Topology(std::move(pos), radio, 1);
+}
+
+TEST(Glossy, FloodCoversLine) {
+  const net::Topology topo = make_line();
+  crypto::Xoshiro256 rng(1);
+  GlossyConfig cfg;
+  cfg.initiator = 0;
+  cfg.ntx = 4;
+  const GlossyResult res = run_glossy(topo, cfg, rng);
+  EXPECT_EQ(res.coverage(), 1.0);
+  EXPECT_EQ(res.first_rx_slot[0], MiniCastResult::kOwnEntry);
+}
+
+TEST(Glossy, PropagationRespectsHopDistance) {
+  const net::Topology topo = make_line();
+  crypto::Xoshiro256 rng(2);
+  GlossyConfig cfg;
+  cfg.initiator = 0;
+  cfg.ntx = 5;
+  const GlossyResult res = run_glossy(topo, cfg, rng);
+  for (NodeId n = 1; n < 5; ++n) {
+    ASSERT_NE(res.first_rx_slot[n], MiniCastResult::kNever);
+    EXPECT_GE(res.first_rx_slot[n], static_cast<std::int32_t>(n - 1));
+  }
+}
+
+TEST(Glossy, LowNtxLimitsReach) {
+  // NTX=1 on a 7-hop line: each node transmits once; flood still walks
+  // the line but a *lossy* line with weak links would truncate. Use a
+  // spacing where adjacent links are ~70%.
+  net::RadioParams radio;
+  radio.shadowing_sigma_db = 0.0;
+  radio.tx_defer_prob = 0.0;
+  std::vector<net::Position> pos;
+  for (int i = 0; i < 8; ++i) pos.push_back({i * 21.5, 0.0});
+  const net::Topology topo(std::move(pos), radio, 1);
+  double cov1 = 0;
+  double cov6 = 0;
+  for (int t = 0; t < 30; ++t) {
+    crypto::Xoshiro256 rng(200 + t);
+    GlossyConfig cfg;
+    cfg.initiator = 0;
+    cfg.ntx = 1;
+    cov1 += run_glossy(topo, cfg, rng).coverage();
+    crypto::Xoshiro256 rng2(200 + t);
+    cfg.ntx = 6;
+    cov6 += run_glossy(topo, cfg, rng2).coverage();
+  }
+  EXPECT_GT(cov6, cov1 + 1.0);  // summed over 30 trials
+}
+
+TEST(Glossy, RadioOnBoundedByRoundDuration) {
+  const net::Topology topo = make_line();
+  crypto::Xoshiro256 rng(3);
+  GlossyConfig cfg;
+  cfg.initiator = 2;
+  cfg.ntx = 3;
+  const GlossyResult res = run_glossy(topo, cfg, rng);
+  for (NodeId n = 0; n < 5; ++n) {
+    EXPECT_LE(res.radio_on_us[n], res.duration_us);
+  }
+  EXPECT_GT(res.duration_us, 0);
+}
+
+TEST(Glossy, CoverageOfTrivialNetworkIsComplete) {
+  net::RadioParams radio;
+  radio.shadowing_sigma_db = 0.0;
+  radio.tx_defer_prob = 0.0;
+  const net::Topology topo({net::Position{0, 0}, net::Position{5, 0}}, radio,
+                           1);
+  crypto::Xoshiro256 rng(4);
+  GlossyConfig cfg;
+  cfg.initiator = 1;
+  cfg.ntx = 2;
+  const GlossyResult res = run_glossy(topo, cfg, rng);
+  EXPECT_EQ(res.coverage(), 1.0);
+}
+
+}  // namespace
+}  // namespace mpciot::ct

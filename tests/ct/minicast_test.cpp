@@ -1,0 +1,245 @@
+#include "ct/minicast.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "net/testbeds.hpp"
+
+namespace mpciot::ct {
+namespace {
+
+net::RadioParams ideal_radio() {
+  net::RadioParams radio;
+  radio.shadowing_sigma_db = 0.0;
+  radio.tx_defer_prob = 0.0;  // deterministic waves for unit tests
+  return radio;
+}
+
+/// 5-node line, adjacent links near-perfect.
+net::Topology make_line(std::size_t n = 5, double spacing = 14.0) {
+  std::vector<net::Position> pos;
+  for (std::size_t i = 0; i < n; ++i) {
+    pos.push_back(net::Position{static_cast<double>(i) * spacing, 0.0});
+  }
+  return net::Topology(std::move(pos), ideal_radio(), 1);
+}
+
+TEST(MiniCast, ValidatesConfig) {
+  const net::Topology topo = make_line();
+  crypto::Xoshiro256 rng(1);
+  MiniCastConfig cfg;
+  EXPECT_THROW(run_minicast(topo, {}, cfg, rng), ContractViolation);
+  cfg.initiator = 99;
+  EXPECT_THROW(run_minicast(topo, {ChainEntry{0}}, cfg, rng),
+               ContractViolation);
+  cfg.initiator = 0;
+  cfg.ntx = 0;
+  EXPECT_THROW(run_minicast(topo, {ChainEntry{0}}, cfg, rng),
+               ContractViolation);
+  cfg.ntx = 1;
+  EXPECT_THROW(run_minicast(topo, {ChainEntry{77}}, cfg, rng),
+               ContractViolation);
+  cfg.disabled = {1};  // wrong size
+  EXPECT_THROW(run_minicast(topo, {ChainEntry{0}}, cfg, rng),
+               ContractViolation);
+}
+
+TEST(MiniCast, SingleEntryFloodsWholeLine) {
+  const net::Topology topo = make_line();
+  crypto::Xoshiro256 rng(2);
+  MiniCastConfig cfg;
+  cfg.initiator = 0;
+  cfg.ntx = 4;
+  const MiniCastResult res =
+      run_minicast(topo, {ChainEntry{0}}, cfg, rng);
+  EXPECT_EQ(res.rx_slot[0][0], MiniCastResult::kOwnEntry);
+  for (NodeId n = 1; n < 5; ++n) {
+    EXPECT_TRUE(res.node_has(n, 0)) << "node " << n;
+    // Reception slot respects hop distance (can't arrive before the wave).
+    EXPECT_GE(res.rx_slot[n][0], static_cast<std::int32_t>(n - 1));
+  }
+  EXPECT_EQ(res.delivery_ratio(), 1.0);
+}
+
+TEST(MiniCast, AllToAllOnLineDelivers) {
+  const net::Topology topo = make_line();
+  crypto::Xoshiro256 rng(3);
+  std::vector<ChainEntry> entries;
+  for (NodeId n = 0; n < 5; ++n) entries.push_back(ChainEntry{n});
+  MiniCastConfig cfg;
+  cfg.initiator = 2;
+  cfg.ntx = 8;
+  cfg.scheduled_owners = {0, 1, 2, 3, 4};
+  const MiniCastResult res = run_minicast(topo, entries, cfg, rng);
+  EXPECT_EQ(res.delivery_ratio(), 1.0);
+  EXPECT_EQ(res.done_ratio(), 1.0);
+}
+
+TEST(MiniCast, TxCountNeverExceedsNtx) {
+  const net::Topology topo = make_line();
+  crypto::Xoshiro256 rng(4);
+  MiniCastConfig cfg;
+  cfg.initiator = 0;
+  cfg.ntx = 3;
+  const MiniCastResult res =
+      run_minicast(topo, {ChainEntry{0}}, cfg, rng);
+  for (NodeId n = 0; n < 5; ++n) {
+    EXPECT_LE(res.tx_count[n], 3u);
+  }
+}
+
+TEST(MiniCast, CoverageIsMonotoneInNtxOnAverage) {
+  // Property: mean delivery at NTX=6 >= mean delivery at NTX=1 on a
+  // lossy random topology.
+  const net::Topology topo = net::testbeds::random_uniform(12, 70, 70, 5);
+  auto mean_delivery = [&](std::uint32_t ntx) {
+    double total = 0;
+    for (int t = 0; t < 10; ++t) {
+      crypto::Xoshiro256 rng(100 + t);
+      std::vector<ChainEntry> entries;
+      for (NodeId n = 0; n < topo.size(); ++n) entries.push_back(ChainEntry{n});
+      MiniCastConfig cfg;
+      cfg.initiator = topo.center_node();
+      cfg.ntx = ntx;
+      total += run_minicast(topo, entries, cfg, rng).delivery_ratio();
+    }
+    return total / 10;
+  };
+  EXPECT_GE(mean_delivery(6) + 0.02, mean_delivery(1));
+  EXPECT_GT(mean_delivery(6), 0.5);
+}
+
+TEST(MiniCast, DisabledNodeNeverParticipates) {
+  const net::Topology topo = make_line();
+  crypto::Xoshiro256 rng(6);
+  std::vector<ChainEntry> entries{ChainEntry{0}, ChainEntry{4}};
+  MiniCastConfig cfg;
+  cfg.initiator = 0;
+  cfg.ntx = 6;
+  cfg.disabled = {0, 0, 1, 0, 0};  // node 2 dead: line is cut
+  cfg.scheduled_owners = {0, 4};
+  const MiniCastResult res = run_minicast(topo, entries, cfg, rng);
+  EXPECT_EQ(res.tx_count[2], 0u);
+  EXPECT_EQ(res.radio_on_us[2], 0);
+  // Entry 0 cannot cross the dead node to reach node 3 or 4.
+  EXPECT_FALSE(res.node_has(3, 0));
+  EXPECT_FALSE(res.node_has(4, 0));
+  // But node 1 still gets it.
+  EXPECT_TRUE(res.node_has(1, 0));
+}
+
+TEST(MiniCast, EarlyOffReducesRadioOn) {
+  const net::Topology topo = make_line();
+  std::vector<ChainEntry> entries{ChainEntry{0}};
+  MiniCastConfig base;
+  base.initiator = 0;
+  base.ntx = 6;
+  base.done = [](NodeId, const std::vector<char>& have) {
+    return have[0] != 0;
+  };
+
+  crypto::Xoshiro256 rng1(7);
+  MiniCastConfig on = base;
+  on.radio_policy = RadioPolicy::kUntilQuiescence;
+  const MiniCastResult full = run_minicast(topo, entries, on, rng1);
+
+  crypto::Xoshiro256 rng2(7);
+  MiniCastConfig off = base;
+  off.radio_policy = RadioPolicy::kEarlyOff;
+  const MiniCastResult early = run_minicast(topo, entries, off, rng2);
+
+  SimTime full_total = 0;
+  SimTime early_total = 0;
+  for (NodeId n = 0; n < 5; ++n) {
+    full_total += full.radio_on_us[n];
+    early_total += early.radio_on_us[n];
+  }
+  EXPECT_LT(early_total, full_total);
+}
+
+TEST(MiniCast, DoneSlotRecordsFirstSatisfaction) {
+  const net::Topology topo = make_line();
+  crypto::Xoshiro256 rng(8);
+  MiniCastConfig cfg;
+  cfg.initiator = 0;
+  cfg.ntx = 5;
+  const MiniCastResult res =
+      run_minicast(topo, {ChainEntry{0}}, cfg, rng);
+  // Initiator owns the entry: done at slot 0 (checked before the round).
+  EXPECT_EQ(res.done_slot[0], 0);
+  // Last node in the line can only be done at or after its rx slot.
+  ASSERT_TRUE(res.node_has(4, 0));
+  EXPECT_GE(res.done_slot[4], res.rx_slot[4][0]);
+}
+
+TEST(MiniCast, ChainSlotDurationScalesWithEntries) {
+  const net::Topology topo = make_line();
+  crypto::Xoshiro256 rng(9);
+  MiniCastConfig cfg;
+  cfg.initiator = 0;
+  cfg.ntx = 2;
+  cfg.payload_bytes = 16;
+  const MiniCastResult one =
+      run_minicast(topo, {ChainEntry{0}}, cfg, rng);
+  const MiniCastResult three = run_minicast(
+      topo, {ChainEntry{0}, ChainEntry{0}, ChainEntry{0}}, cfg, rng);
+  EXPECT_EQ(three.chain_slot_us, 3 * one.chain_slot_us);
+  EXPECT_EQ(one.chain_slot_us,
+            topo.radio().subslot_us(16));
+}
+
+TEST(MiniCast, DeterministicGivenSameRngSeed) {
+  const net::Topology topo = make_line();
+  std::vector<ChainEntry> entries{ChainEntry{0}, ChainEntry{2}, ChainEntry{4}};
+  MiniCastConfig cfg;
+  cfg.initiator = 2;
+  cfg.ntx = 4;
+  cfg.scheduled_owners = {0, 2, 4};
+  crypto::Xoshiro256 rng1(77);
+  crypto::Xoshiro256 rng2(77);
+  const MiniCastResult a = run_minicast(topo, entries, cfg, rng1);
+  const MiniCastResult b = run_minicast(topo, entries, cfg, rng2);
+  EXPECT_EQ(a.rx_slot, b.rx_slot);
+  EXPECT_EQ(a.tx_count, b.tx_count);
+  EXPECT_EQ(a.radio_on_us, b.radio_on_us);
+  EXPECT_EQ(a.chain_slots_used, b.chain_slots_used);
+}
+
+TEST(MiniCast, MaxChainSlotsCapsRound) {
+  const net::Topology topo = make_line();
+  crypto::Xoshiro256 rng(10);
+  MiniCastConfig cfg;
+  cfg.initiator = 0;
+  cfg.ntx = 100;
+  cfg.max_chain_slots = 3;
+  const MiniCastResult res =
+      run_minicast(topo, {ChainEntry{0}}, cfg, rng);
+  EXPECT_LE(res.chain_slots_used, 3u);
+}
+
+TEST(MiniCast, ScheduledOwnerInjectsDespiteDeafness) {
+  // Node 4 hangs off the line with a degraded receiver: it rarely hears
+  // the wave, but as a scheduled owner it must still get its entry out.
+  net::RadioParams radio = ideal_radio();
+  std::vector<net::Position> pos;
+  for (int i = 0; i < 5; ++i) pos.push_back({i * 14.0, 0.0});
+  const net::Topology topo(std::move(pos), radio, 1,
+                           {0.0, 0.0, 0.0, 0.0, 9.0});
+  // The timeout path is probabilistic; the property is that the entry
+  // escapes the deaf owner in (almost) every round, not in a lucky one.
+  int escaped = 0;
+  for (int t = 0; t < 20; ++t) {
+    crypto::Xoshiro256 rng(11 + t);
+    std::vector<ChainEntry> entries{ChainEntry{4}};
+    MiniCastConfig cfg;
+    cfg.initiator = 0;
+    cfg.ntx = 6;
+    cfg.scheduled_owners = {4};
+    const MiniCastResult res = run_minicast(topo, entries, cfg, rng);
+    if (res.node_has(3, 0)) ++escaped;
+  }
+  EXPECT_GE(escaped, 18);
+}
+
+}  // namespace
+}  // namespace mpciot::ct

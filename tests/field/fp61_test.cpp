@@ -1,0 +1,130 @@
+#include "field/fp61.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/assert.hpp"
+#include "crypto/prng.hpp"
+
+namespace mpciot::field {
+namespace {
+
+constexpr std::uint64_t P = Fp61::kModulus;
+
+TEST(Fp61, ModulusIsMersenne61) {
+  EXPECT_EQ(P, (std::uint64_t{1} << 61) - 1);
+}
+
+TEST(Fp61, ZeroAndOne) {
+  EXPECT_TRUE(Fp61::zero().is_zero());
+  EXPECT_EQ(Fp61::one().value(), 1u);
+  EXPECT_NE(Fp61::zero(), Fp61::one());
+}
+
+TEST(Fp61, ConstructionReducesModP) {
+  EXPECT_EQ(Fp61{P}.value(), 0u);
+  EXPECT_EQ(Fp61{P + 1}.value(), 1u);
+  EXPECT_EQ(Fp61{~std::uint64_t{0}}.value(), (~std::uint64_t{0}) % P);
+}
+
+TEST(Fp61, AdditionWrapsAtModulus) {
+  EXPECT_EQ((Fp61{P - 1} + Fp61{1}).value(), 0u);
+  EXPECT_EQ((Fp61{P - 1} + Fp61{2}).value(), 1u);
+}
+
+TEST(Fp61, SubtractionWraps) {
+  EXPECT_EQ((Fp61{0} - Fp61{1}).value(), P - 1);
+  EXPECT_EQ((Fp61{5} - Fp61{7}).value(), P - 2);
+}
+
+TEST(Fp61, NegationOfZeroIsZero) { EXPECT_TRUE((-Fp61::zero()).is_zero()); }
+
+TEST(Fp61, MultiplicationMatchesSchoolbookOnSmallValues) {
+  EXPECT_EQ((Fp61{123456} * Fp61{654321}).value(),
+            123456ull * 654321ull % P);
+}
+
+TEST(Fp61, MultiplicationLargestOperands) {
+  // (p-1)^2 mod p == 1
+  EXPECT_EQ((Fp61{P - 1} * Fp61{P - 1}).value(), 1u);
+}
+
+TEST(Fp61, PowMatchesRepeatedMultiplication) {
+  const Fp61 base{0xDEADBEEFull};
+  Fp61 acc = Fp61::one();
+  for (int e = 0; e < 20; ++e) {
+    EXPECT_EQ(Fp61::pow(base, static_cast<std::uint64_t>(e)), acc);
+    acc *= base;
+  }
+}
+
+TEST(Fp61, PowZeroExponentIsOne) {
+  EXPECT_EQ(Fp61::pow(Fp61{42}, 0), Fp61::one());
+  EXPECT_EQ(Fp61::pow(Fp61::zero(), 0), Fp61::one());
+}
+
+TEST(Fp61, FermatLittleTheorem) {
+  // a^(p-1) == 1 for a != 0.
+  for (std::uint64_t a :
+       std::initializer_list<std::uint64_t>{1, 2, 3, 0xFFFF, P - 1}) {
+    EXPECT_EQ(Fp61::pow(Fp61{a}, P - 1), Fp61::one()) << "a=" << a;
+  }
+}
+
+TEST(Fp61, InverseOfZeroViolatesContract) {
+  EXPECT_THROW(Fp61::zero().inverse(), ContractViolation);
+}
+
+TEST(Fp61, DivisionIsMultiplicationByInverse) {
+  const Fp61 a{987654321};
+  const Fp61 b{123456789};
+  EXPECT_EQ((a / b) * b, a);
+}
+
+TEST(Fp61, HashDistinguishesValues) {
+  std::unordered_set<Fp61> set;
+  for (std::uint64_t i = 0; i < 100; ++i) set.insert(Fp61{i});
+  EXPECT_EQ(set.size(), 100u);
+}
+
+// Property-style sweep: field axioms on pseudo-random elements.
+class Fp61AxiomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Fp61AxiomTest, FieldAxiomsHold) {
+  crypto::Xoshiro256 rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const Fp61 a = rng.next_fp61();
+    const Fp61 b = rng.next_fp61();
+    const Fp61 c = rng.next_fp61();
+    // Commutativity.
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    // Associativity.
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    // Distributivity.
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    // Identities.
+    EXPECT_EQ(a + Fp61::zero(), a);
+    EXPECT_EQ(a * Fp61::one(), a);
+    // Additive inverse.
+    EXPECT_TRUE((a - a).is_zero());
+    EXPECT_TRUE((a + (-a)).is_zero());
+    // Multiplicative inverse.
+    if (!a.is_zero()) {
+      EXPECT_EQ(a * a.inverse(), Fp61::one());
+    }
+    // Canonical representation.
+    EXPECT_LT((a * b).value(), P);
+    EXPECT_LT((a + b).value(), P);
+    EXPECT_LT((a - b).value(), P);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fp61AxiomTest,
+                         ::testing::Values(1u, 2u, 3u, 42u, 0xC0FFEEu,
+                                           0xDEADBEEFu));
+
+}  // namespace
+}  // namespace mpciot::field

@@ -1,0 +1,119 @@
+#include "field/lagrange.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "crypto/prng.hpp"
+
+namespace mpciot::field {
+namespace {
+
+TEST(BatchInverse, MatchesIndividualInverses) {
+  crypto::Xoshiro256 rng(5);
+  std::vector<Fp61> in;
+  for (int i = 0; i < 50; ++i) {
+    Fp61 v = rng.next_fp61();
+    if (v.is_zero()) v = Fp61::one();
+    in.push_back(v);
+  }
+  const std::vector<Fp61> out = batch_inverse(in);
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(in[i] * out[i], Fp61::one());
+  }
+}
+
+TEST(BatchInverse, EmptyInput) { EXPECT_TRUE(batch_inverse({}).empty()); }
+
+TEST(BatchInverse, SingleElement) {
+  const auto out = batch_inverse({Fp61{7}});
+  EXPECT_EQ(out[0] * Fp61{7}, Fp61::one());
+}
+
+TEST(BatchInverse, ZeroInputViolatesContract) {
+  EXPECT_THROW(batch_inverse({Fp61{1}, Fp61::zero()}), ContractViolation);
+}
+
+TEST(Interpolate, ConstantThroughOnePoint) {
+  const Polynomial p = interpolate({Sample{Fp61{3}, Fp61{42}}});
+  EXPECT_EQ(p.degree(), 0);
+  EXPECT_EQ(p.constant_term().value(), 42u);
+}
+
+TEST(Interpolate, LineThroughTwoPoints) {
+  // y = 2x + 1 through (1,3), (2,5)
+  const Polynomial p =
+      interpolate({Sample{Fp61{1}, Fp61{3}}, Sample{Fp61{2}, Fp61{5}}});
+  EXPECT_EQ(p.degree(), 1);
+  EXPECT_EQ(p.evaluate(Fp61{10}).value(), 21u);
+}
+
+TEST(Interpolate, EmptyViolatesContract) {
+  EXPECT_THROW(interpolate({}), ContractViolation);
+}
+
+TEST(Interpolate, DuplicateXViolatesContract) {
+  EXPECT_THROW(
+      interpolate({Sample{Fp61{1}, Fp61{1}}, Sample{Fp61{1}, Fp61{2}}}),
+      ContractViolation);
+}
+
+TEST(InterpolateAtZero, SampleAtZeroViolatesContract) {
+  EXPECT_THROW(interpolate_at_zero({Sample{Fp61::zero(), Fp61{1}}}),
+               ContractViolation);
+}
+
+// Property: interpolating degree+1 evaluations recovers the polynomial.
+class LagrangeRoundTrip
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(LagrangeRoundTrip, RecoverPolynomialFromExactlyDegreePlusOnePoints) {
+  const auto [degree, seed] = GetParam();
+  crypto::Xoshiro256 rng(seed);
+  std::vector<Fp61> coeffs(degree + 1);
+  for (auto& c : coeffs) c = rng.next_fp61();
+  if (coeffs.back().is_zero()) coeffs.back() = Fp61::one();
+  const Polynomial p{std::move(coeffs)};
+
+  std::vector<Sample> samples;
+  for (std::size_t i = 1; i <= degree + 1; ++i) {
+    const Fp61 x{static_cast<std::uint64_t>(i * 7 + 1)};
+    samples.push_back(Sample{x, p.evaluate(x)});
+  }
+  EXPECT_EQ(interpolate(samples), p);
+  EXPECT_EQ(interpolate_at_zero(samples), p.constant_term());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DegreesAndSeeds, LagrangeRoundTrip,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 3, 5, 8, 15, 31),
+                       ::testing::Values<std::uint64_t>(1, 99)));
+
+TEST(InterpolateAtZero, AgreesWithFullInterpolation) {
+  crypto::Xoshiro256 rng(77);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t k = 1 + rng.next_below(10);
+    std::vector<Sample> samples;
+    for (std::size_t i = 0; i <= k; ++i) {
+      samples.push_back(
+          Sample{Fp61{static_cast<std::uint64_t>(i) + 1}, rng.next_fp61()});
+    }
+    EXPECT_EQ(interpolate_at_zero(samples),
+              interpolate(samples).constant_term());
+  }
+}
+
+TEST(InterpolateAtZero, MoreSamplesThanDegreeStillExact) {
+  // A degree-2 polynomial sampled at 6 points: any interpolation through
+  // all 6 must still hit the constant term (the data is consistent).
+  const Polynomial p{{Fp61{9}, Fp61{5}, Fp61{2}}};
+  std::vector<Sample> samples;
+  for (std::uint64_t x = 1; x <= 6; ++x) {
+    samples.push_back(Sample{Fp61{x}, p.evaluate(Fp61{x})});
+  }
+  EXPECT_EQ(interpolate_at_zero(samples).value(), 9u);
+}
+
+}  // namespace
+}  // namespace mpciot::field

@@ -1,0 +1,126 @@
+#include "field/polynomial.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/prng.hpp"
+
+namespace mpciot::field {
+namespace {
+
+Polynomial make(std::initializer_list<std::uint64_t> coeffs) {
+  std::vector<Fp61> v;
+  for (std::uint64_t c : coeffs) v.emplace_back(c);
+  return Polynomial(std::move(v));
+}
+
+TEST(Polynomial, ZeroPolynomial) {
+  const Polynomial z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.degree(), -1);
+  EXPECT_TRUE(z.constant_term().is_zero());
+  EXPECT_TRUE(z.evaluate(Fp61{12345}).is_zero());
+}
+
+TEST(Polynomial, TrailingZerosTrimmed) {
+  const Polynomial p = make({1, 2, 0, 0});
+  EXPECT_EQ(p.degree(), 1);
+}
+
+TEST(Polynomial, AllZeroCoefficientsIsZeroPolynomial) {
+  EXPECT_TRUE(make({0, 0, 0}).is_zero());
+}
+
+TEST(Polynomial, EvaluateMatchesManualHorner) {
+  // p(x) = 3 + 2x + x^2 at x = 5 -> 3 + 10 + 25 = 38
+  const Polynomial p = make({3, 2, 1});
+  EXPECT_EQ(p.evaluate(Fp61{5}).value(), 38u);
+  EXPECT_EQ(p.evaluate(Fp61::zero()).value(), 3u);
+  EXPECT_EQ(p.constant_term().value(), 3u);
+}
+
+TEST(Polynomial, AdditionAndSubtraction) {
+  const Polynomial a = make({1, 2, 3});
+  const Polynomial b = make({5, 0, 0, 7});
+  const Polynomial sum = a + b;
+  EXPECT_EQ(sum.degree(), 3);
+  EXPECT_EQ(sum.evaluate(Fp61{2}),
+            a.evaluate(Fp61{2}) + b.evaluate(Fp61{2}));
+  EXPECT_EQ((sum - b), a);
+}
+
+TEST(Polynomial, AdditionCancellationReducesDegree) {
+  const Polynomial a = make({1, 0, 5});
+  const Polynomial b = make({2, 0, Fp61::kModulus - 5});
+  EXPECT_EQ((a + b).degree(), 0);
+}
+
+TEST(Polynomial, MultiplicationDegreesAdd) {
+  const Polynomial a = make({1, 1});      // 1 + x
+  const Polynomial b = make({1, 0, 1});   // 1 + x^2
+  const Polynomial prod = a * b;          // 1 + x + x^2 + x^3
+  EXPECT_EQ(prod.degree(), 3);
+  EXPECT_EQ(prod, make({1, 1, 1, 1}));
+}
+
+TEST(Polynomial, MultiplicationByZero) {
+  EXPECT_TRUE((make({1, 2, 3}) * Polynomial{}).is_zero());
+}
+
+TEST(Polynomial, ScalarMultiplication) {
+  const Polynomial p = make({1, 2, 3});
+  const Polynomial scaled = Fp61{4} * p;
+  EXPECT_EQ(scaled, make({4, 8, 12}));
+}
+
+TEST(Polynomial, RandomWithSecretPinsConstantTerm) {
+  crypto::CtrDrbg drbg(42, 0);
+  const Fp61 secret{777};
+  const Polynomial p = Polynomial::random_with_secret(
+      secret, 5, [&] { return drbg.next_fp61(); });
+  EXPECT_EQ(p.constant_term(), secret);
+  EXPECT_EQ(p.evaluate(Fp61::zero()), secret);
+}
+
+TEST(Polynomial, RandomWithSecretHasExactDegree) {
+  crypto::CtrDrbg drbg(7, 1);
+  for (std::size_t degree = 1; degree <= 20; ++degree) {
+    const Polynomial p = Polynomial::random_with_secret(
+        Fp61{1}, degree, [&] { return drbg.next_fp61(); });
+    EXPECT_EQ(p.degree(), static_cast<int>(degree));
+  }
+}
+
+TEST(Polynomial, RandomWithSecretDegreeZeroIsConstant) {
+  crypto::CtrDrbg drbg(7, 2);
+  const Polynomial p = Polynomial::random_with_secret(
+      Fp61{99}, 0, [&] { return drbg.next_fp61(); });
+  EXPECT_EQ(p.degree(), 0);
+  EXPECT_EQ(p.evaluate(Fp61{12345}).value(), 99u);
+}
+
+// Property: evaluation is a ring homomorphism (eval(a+b) = eval(a)+eval(b),
+// eval(a*b) = eval(a)*eval(b)).
+class PolynomialHomomorphism : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(PolynomialHomomorphism, EvaluationCommutesWithRingOps) {
+  crypto::Xoshiro256 rng(GetParam());
+  for (int i = 0; i < 40; ++i) {
+    std::vector<Fp61> ca(1 + rng.next_below(6));
+    std::vector<Fp61> cb(1 + rng.next_below(6));
+    for (auto& c : ca) c = rng.next_fp61();
+    for (auto& c : cb) c = rng.next_fp61();
+    const Polynomial a{std::move(ca)};
+    const Polynomial b{std::move(cb)};
+    const Fp61 x = rng.next_fp61();
+    EXPECT_EQ((a + b).evaluate(x), a.evaluate(x) + b.evaluate(x));
+    EXPECT_EQ((a - b).evaluate(x), a.evaluate(x) - b.evaluate(x));
+    EXPECT_EQ((a * b).evaluate(x), a.evaluate(x) * b.evaluate(x));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolynomialHomomorphism,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+}  // namespace
+}  // namespace mpciot::field

@@ -1,0 +1,111 @@
+#include "field/prime_field.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "crypto/prng.hpp"
+
+namespace mpciot::field {
+namespace {
+
+TEST(Primality, SmallKnownValues) {
+  EXPECT_FALSE(PrimeField::is_prime(0));
+  EXPECT_FALSE(PrimeField::is_prime(1));
+  EXPECT_TRUE(PrimeField::is_prime(2));
+  EXPECT_TRUE(PrimeField::is_prime(3));
+  EXPECT_FALSE(PrimeField::is_prime(4));
+  EXPECT_TRUE(PrimeField::is_prime(65521));   // largest 16-bit prime
+  EXPECT_FALSE(PrimeField::is_prime(65533));  // 47 * 1394...? composite
+  EXPECT_TRUE(PrimeField::is_prime(2147483647ull));  // 2^31 - 1
+}
+
+TEST(Primality, CarmichaelNumbersRejected) {
+  for (std::uint64_t n : {561ull, 1105ull, 1729ull, 2465ull, 2821ull,
+                          6601ull, 8911ull}) {
+    EXPECT_FALSE(PrimeField::is_prime(n)) << n;
+  }
+}
+
+TEST(Primality, LargePrimesAccepted) {
+  EXPECT_TRUE(PrimeField::is_prime((std::uint64_t{1} << 61) - 1));
+  EXPECT_TRUE(PrimeField::is_prime(4294967291ull));  // largest 32-bit prime
+}
+
+TEST(PrimeField, RejectsComposite) {
+  EXPECT_THROW(PrimeField(91), ContractViolation);  // 7 * 13
+}
+
+TEST(PrimeField, RejectsTooLarge) {
+  EXPECT_THROW(PrimeField(std::uint64_t{1} << 33), ContractViolation);
+}
+
+TEST(PrimeField, BasicArithmetic) {
+  const PrimeField f(65521);
+  EXPECT_EQ(f.add(65520, 1), 0u);
+  EXPECT_EQ(f.sub(0, 1), 65520u);
+  EXPECT_EQ(f.mul(65520, 65520), 1u);  // (p-1)^2 == 1
+  EXPECT_EQ(f.neg(0), 0u);
+  EXPECT_EQ(f.neg(1), 65520u);
+}
+
+TEST(PrimeField, PowAndInverse) {
+  const PrimeField f(10007);
+  EXPECT_EQ(f.pow(2, 10), 1024u % 10007u);
+  for (std::uint64_t a = 1; a < 50; ++a) {
+    EXPECT_EQ(f.mul(a, f.inv(a)), 1u) << a;
+  }
+  EXPECT_THROW(f.inv(0), ContractViolation);
+}
+
+TEST(FpElem, ArithmeticRoundTrip) {
+  const PrimeField f(257);
+  const FpElem a(f, 200);
+  const FpElem b(f, 100);
+  EXPECT_EQ((a + b).value(), 43u);   // 300 mod 257
+  EXPECT_EQ((a - b).value(), 100u);
+  EXPECT_EQ((a * b).value(), 200u * 100u % 257u);
+  EXPECT_EQ(((a / b) * b), a);
+}
+
+TEST(FpElem, MixingFieldsViolatesContract) {
+  const PrimeField f1(257);
+  const PrimeField f2(263);
+  const FpElem a(f1, 5);
+  const FpElem b(f2, 5);
+  EXPECT_THROW(a + b, ContractViolation);
+  EXPECT_THROW(a * b, ContractViolation);
+}
+
+TEST(FpElem, UninitializedElementViolatesContract) {
+  FpElem a;
+  FpElem b;
+  EXPECT_THROW(a + b, ContractViolation);
+}
+
+// Axiom sweep across several field sizes.
+class PrimeFieldAxioms : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrimeFieldAxioms, AxiomsHold) {
+  const PrimeField f(GetParam());
+  crypto::Xoshiro256 rng(GetParam() * 7 + 1);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t a = rng.next_below(f.modulus());
+    const std::uint64_t b = rng.next_below(f.modulus());
+    const std::uint64_t c = rng.next_below(f.modulus());
+    EXPECT_EQ(f.add(a, b), f.add(b, a));
+    EXPECT_EQ(f.mul(a, b), f.mul(b, a));
+    EXPECT_EQ(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+    EXPECT_EQ(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+    EXPECT_EQ(f.add(a, f.neg(a)), 0u);
+    if (a != 0) {
+      EXPECT_EQ(f.mul(a, f.inv(a)), 1u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fields, PrimeFieldAxioms,
+                         ::testing::Values(2u, 3u, 257u, 65521u, 10007u,
+                                           2147483647u, 4294967291u));
+
+}  // namespace
+}  // namespace mpciot::field

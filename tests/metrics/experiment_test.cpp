@@ -1,0 +1,88 @@
+#include "metrics/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/testbeds.hpp"
+
+namespace mpciot::metrics {
+namespace {
+
+net::Topology make_grid9() {
+  net::RadioParams radio;
+  radio.shadowing_sigma_db = 0.0;
+  std::vector<net::Position> pos;
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) pos.push_back({c * 12.0, r * 12.0});
+  }
+  return net::Topology(std::move(pos), radio, 7);
+}
+
+TEST(RandomSecrets, DeterministicAndBounded) {
+  const auto a = random_secrets(5, 10, 1000);
+  const auto b = random_secrets(5, 10, 1000);
+  EXPECT_EQ(a.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(a[i], b[i]);
+    EXPECT_LT(a[i].value(), 1000u);
+  }
+  const auto c = random_secrets(6, 10, 1000);
+  EXPECT_NE(a, c);
+}
+
+TEST(RunTrials, CollectsAllMetrics) {
+  const net::Topology topo = make_grid9();
+  const crypto::KeyStore keys(1, topo.size());
+  std::vector<NodeId> sources;
+  for (NodeId i = 0; i < topo.size(); ++i) sources.push_back(i);
+  const core::SssProtocol proto(
+      topo, keys, core::make_s3_config(topo, sources, 2, 5));
+
+  ExperimentSpec spec;
+  spec.repetitions = 4;
+  spec.base_seed = 100;
+  const TrialStats stats = run_trials(proto, spec);
+  EXPECT_EQ(stats.latency_max_ms.count(), 4u);
+  EXPECT_EQ(stats.radio_on_max_ms.count(), 4u);
+  EXPECT_EQ(stats.success_ratio.count(), 4u);
+  EXPECT_GT(stats.latency_max_ms.mean(), 0.0);
+  EXPECT_GT(stats.radio_on_max_ms.mean(), 0.0);
+  EXPECT_GT(stats.success_ratio.mean(), 0.99);
+  EXPECT_GE(stats.latency_max_ms.mean(), stats.latency_mean_ms.mean());
+}
+
+TEST(RunTrials, CustomSecretGeneratorIsUsed) {
+  const net::Topology topo = make_grid9();
+  const crypto::KeyStore keys(1, topo.size());
+  std::vector<NodeId> sources;
+  for (NodeId i = 0; i < topo.size(); ++i) sources.push_back(i);
+  const core::SssProtocol proto(
+      topo, keys, core::make_s3_config(topo, sources, 2, 5));
+  ExperimentSpec spec;
+  spec.repetitions = 2;
+  int calls = 0;
+  spec.make_secrets = [&](std::uint32_t, std::size_t count) {
+    ++calls;
+    return std::vector<field::Fp61>(count, field::Fp61{1});
+  };
+  run_trials(proto, spec);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(RunTrials, SameSpecReproduces) {
+  const net::Topology topo = make_grid9();
+  const crypto::KeyStore keys(1, topo.size());
+  std::vector<NodeId> sources;
+  for (NodeId i = 0; i < topo.size(); ++i) sources.push_back(i);
+  const core::SssProtocol proto(
+      topo, keys, core::make_s4_config(topo, sources, 2, 5));
+  ExperimentSpec spec;
+  spec.repetitions = 3;
+  spec.base_seed = 7;
+  const TrialStats a = run_trials(proto, spec);
+  const TrialStats b = run_trials(proto, spec);
+  EXPECT_EQ(a.latency_max_ms.mean(), b.latency_max_ms.mean());
+  EXPECT_EQ(a.radio_on_max_ms.mean(), b.radio_on_max_ms.mean());
+}
+
+}  // namespace
+}  // namespace mpciot::metrics

@@ -1,0 +1,89 @@
+#include "metrics/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace mpciot::metrics {
+namespace {
+
+TEST(Summary, EmptyDefaults) {
+  const Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.ci95_halfwidth(), 0.0);
+}
+
+TEST(Summary, EmptyQuantileViolatesContract) {
+  const Summary s;
+  EXPECT_THROW(s.quantile(0.5), ContractViolation);
+  EXPECT_THROW(s.min(), ContractViolation);
+}
+
+TEST(Summary, SingleSample) {
+  Summary s;
+  s.add(7.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 7.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.median(), 7.0);
+  EXPECT_EQ(s.min(), 7.0);
+  EXPECT_EQ(s.max(), 7.0);
+}
+
+TEST(Summary, KnownStatistics) {
+  Summary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample stddev of this classic dataset is sqrt(32/7).
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(Summary, QuantilesInterpolate) {
+  Summary s;
+  for (double v : {10.0, 20.0, 30.0, 40.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 40.0);
+  EXPECT_DOUBLE_EQ(s.median(), 25.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0 / 3.0), 20.0);
+}
+
+TEST(Summary, QuantileOutOfRangeViolatesContract) {
+  Summary s;
+  s.add(1.0);
+  EXPECT_THROW(s.quantile(-0.1), ContractViolation);
+  EXPECT_THROW(s.quantile(1.1), ContractViolation);
+}
+
+TEST(Summary, QuantileUnaffectedByInsertionOrder) {
+  Summary a;
+  Summary b;
+  for (double v : {5.0, 1.0, 3.0}) a.add(v);
+  for (double v : {1.0, 3.0, 5.0}) b.add(v);
+  EXPECT_EQ(a.median(), b.median());
+}
+
+TEST(Summary, AddAfterQuantileStillCorrect) {
+  Summary s;
+  s.add(1.0);
+  s.add(3.0);
+  EXPECT_EQ(s.median(), 2.0);
+  s.add(100.0);
+  EXPECT_EQ(s.median(), 3.0);
+}
+
+TEST(Summary, Ci95ShrinksWithSamples) {
+  Summary small;
+  Summary large;
+  for (int i = 0; i < 4; ++i) small.add(i % 2 ? 1.0 : 2.0);
+  for (int i = 0; i < 400; ++i) large.add(i % 2 ? 1.0 : 2.0);
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+}  // namespace
+}  // namespace mpciot::metrics

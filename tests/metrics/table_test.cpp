@@ -1,0 +1,57 @@
+#include "metrics/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace mpciot::metrics {
+namespace {
+
+TEST(Table, RequiresHeaders) {
+  EXPECT_THROW(Table({}), ContractViolation);
+}
+
+TEST(Table, RowWidthMustMatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), ContractViolation);
+  EXPECT_NO_THROW(t.add_row({"1", "2"}));
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, PrettyPrintAlignsColumns) {
+  Table t({"name", "v"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| longer |"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  // Separator row present.
+  EXPECT_NE(out.find("|--"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.0, 0), "3");
+  EXPECT_EQ(Table::num(1234.5), "1234.5");
+}
+
+TEST(Table, MsFromUsConverts) {
+  EXPECT_EQ(Table::ms_from_us(1500.0), "1.5");
+  EXPECT_EQ(Table::ms_from_us(1234567.0, 0), "1235");
+}
+
+}  // namespace
+}  // namespace mpciot::metrics

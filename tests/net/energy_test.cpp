@@ -1,0 +1,60 @@
+#include "net/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace mpciot::net {
+namespace {
+
+TEST(EnergyMeter, StartsAtZero) {
+  const EnergyMeter meter(4, RadioParams{});
+  EXPECT_EQ(meter.total_radio_on_us(), 0);
+  EXPECT_EQ(meter.max_radio_on_us(), 0);
+  EXPECT_EQ(meter.mean_radio_on_us(), 0.0);
+}
+
+TEST(EnergyMeter, AccumulatesRxAndTx) {
+  EnergyMeter meter(3, RadioParams{});
+  meter.add_rx(0, 100);
+  meter.add_tx(0, 50);
+  meter.add_rx(1, 10);
+  EXPECT_EQ(meter.radio_on_us(0), 150);
+  EXPECT_EQ(meter.rx_us(0), 100);
+  EXPECT_EQ(meter.tx_us(0), 50);
+  EXPECT_EQ(meter.radio_on_us(1), 10);
+  EXPECT_EQ(meter.radio_on_us(2), 0);
+  EXPECT_EQ(meter.total_radio_on_us(), 160);
+  EXPECT_EQ(meter.max_radio_on_us(), 150);
+  EXPECT_NEAR(meter.mean_radio_on_us(), 160.0 / 3.0, 1e-9);
+}
+
+TEST(EnergyMeter, ChargeUsesSeparateCurrents) {
+  RadioParams radio;
+  radio.rx_current_ma = 10.0;
+  radio.tx_current_ma = 20.0;
+  EnergyMeter meter(1, radio);
+  meter.add_rx(0, 1000000);  // 1 s at 10 mA = 10 mC
+  meter.add_tx(0, 500000);   // 0.5 s at 20 mA = 10 mC
+  EXPECT_NEAR(meter.charge_mc(0), 20.0, 1e-9);
+}
+
+TEST(EnergyMeter, MergeAddsPerNode) {
+  EnergyMeter a(2, RadioParams{});
+  EnergyMeter b(2, RadioParams{});
+  a.add_rx(0, 5);
+  b.add_rx(0, 7);
+  b.add_tx(1, 3);
+  a.merge(b);
+  EXPECT_EQ(a.radio_on_us(0), 12);
+  EXPECT_EQ(a.radio_on_us(1), 3);
+}
+
+TEST(EnergyMeter, MergeSizeMismatchViolatesContract) {
+  EnergyMeter a(2, RadioParams{});
+  EnergyMeter b(3, RadioParams{});
+  EXPECT_THROW(a.merge(b), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mpciot::net

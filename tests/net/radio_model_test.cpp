@@ -1,0 +1,75 @@
+#include "net/radio_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpciot::net {
+namespace {
+
+TEST(RadioParams, AirtimeMatches802154Timing) {
+  RadioParams radio;
+  // 6B PHY + 9B MAC + 16B payload = 31 bytes at 32 us/byte.
+  EXPECT_EQ(radio.airtime_us(16), 31 * 32);
+  EXPECT_EQ(radio.subslot_us(16), 31 * 32 + radio.turnaround_us);
+}
+
+TEST(RadioParams, AirtimeGrowsLinearlyWithPayload) {
+  RadioParams radio;
+  const SimTime a = radio.airtime_us(10);
+  const SimTime b = radio.airtime_us(20);
+  EXPECT_EQ(b - a, 10 * radio.us_per_byte);
+}
+
+TEST(RadioParams, RxPowerDecreasesWithDistance) {
+  RadioParams radio;
+  const double p1 = radio.rx_power_dbm(5.0, 0.0);
+  const double p2 = radio.rx_power_dbm(10.0, 0.0);
+  const double p3 = radio.rx_power_dbm(40.0, 0.0);
+  EXPECT_GT(p1, p2);
+  EXPECT_GT(p2, p3);
+}
+
+TEST(RadioParams, PathLossSlopeMatchesExponent) {
+  RadioParams radio;
+  // Doubling distance costs 10 * n * log10(2) dB.
+  const double drop =
+      radio.rx_power_dbm(10.0, 0.0) - radio.rx_power_dbm(20.0, 0.0);
+  EXPECT_NEAR(drop, 10.0 * radio.path_loss_exponent * 0.30103, 1e-6);
+}
+
+TEST(RadioParams, ShadowingShiftsPower) {
+  RadioParams radio;
+  EXPECT_NEAR(radio.rx_power_dbm(10.0, 3.0) - radio.rx_power_dbm(10.0, 0.0),
+              3.0, 1e-9);
+}
+
+TEST(RadioParams, MinimumDistanceClamped) {
+  RadioParams radio;
+  // Zero distance must not produce +infinity.
+  EXPECT_EQ(radio.rx_power_dbm(0.0, 0.0), radio.rx_power_dbm(0.1, 0.0));
+}
+
+TEST(RadioParams, PrrCurveIsMonotoneInRssi) {
+  RadioParams radio;
+  double prev = 0.0;
+  for (double rssi = -110.0; rssi <= -60.0; rssi += 1.0) {
+    const double p = radio.prr_from_rssi(rssi);
+    EXPECT_GE(p, prev);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+}
+
+TEST(RadioParams, PrrMidpointIsHalf) {
+  RadioParams radio;
+  EXPECT_NEAR(radio.prr_from_rssi(radio.prr_mid_dbm), 0.5, 1e-9);
+}
+
+TEST(RadioParams, PrrSaturatesAtExtremes) {
+  RadioParams radio;
+  EXPECT_GT(radio.prr_from_rssi(-60.0), 0.999);
+  EXPECT_LT(radio.prr_from_rssi(-110.0), 0.001);
+}
+
+}  // namespace
+}  // namespace mpciot::net

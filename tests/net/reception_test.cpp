@@ -1,0 +1,124 @@
+#include "net/reception.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpciot::net {
+namespace {
+
+RadioParams quiet_radio() {
+  RadioParams radio;
+  radio.shadowing_sigma_db = 0.0;
+  return radio;
+}
+
+// Line of 3 nodes, 14 m apart: adjacent links near-perfect, 28 m link weak.
+Topology make_line3() {
+  return Topology({Position{0, 0}, Position{14, 0}, Position{28, 0}},
+                  quiet_radio(), 1);
+}
+
+double empirical_rate(const Topology& topo, NodeId receiver,
+                      const std::vector<Transmission>& txs, int trials) {
+  const ReceptionModel model(topo);
+  crypto::Xoshiro256 rng(99);
+  int ok = 0;
+  for (int i = 0; i < trials; ++i) {
+    if (model.arbitrate(receiver, txs, rng).received) ++ok;
+  }
+  return static_cast<double>(ok) / trials;
+}
+
+TEST(Reception, NoTransmittersNothingReceived) {
+  const Topology topo = make_line3();
+  const ReceptionModel model(topo);
+  crypto::Xoshiro256 rng(1);
+  EXPECT_FALSE(model.arbitrate(0, {}, rng).received);
+}
+
+TEST(Reception, SingleStrongLinkAlmostAlwaysDecodes) {
+  const Topology topo = make_line3();
+  const double rate = empirical_rate(topo, 1, {Transmission{0, 7}}, 2000);
+  EXPECT_GT(rate, 0.95);
+}
+
+TEST(Reception, OutOfRangeTransmitterNeverDecodes) {
+  // 0 -> 2 is 28 m with exponent 3.5: below the link floor.
+  const Topology topo = make_line3();
+  const double rate = empirical_rate(topo, 2, {Transmission{0, 7}}, 500);
+  EXPECT_LT(rate, 0.2);
+}
+
+TEST(Reception, DecodedPacketCarriesSenderAndContent) {
+  const Topology topo = make_line3();
+  const ReceptionModel model(topo);
+  crypto::Xoshiro256 rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const auto out = model.arbitrate(1, {Transmission{0, 42}}, rng);
+    if (out.received) {
+      EXPECT_EQ(out.from, 0u);
+      EXPECT_EQ(out.content_id, 42u);
+      return;
+    }
+  }
+  FAIL() << "strong link never delivered in 50 tries";
+}
+
+TEST(Reception, ConstructiveInterferenceBeatsSingleWeakLink) {
+  // Receiver 1 hears both 0 and 2 (14 m each) sending identical content;
+  // union success must be >= the best single link.
+  const Topology topo = make_line3();
+  const double single = empirical_rate(topo, 1, {Transmission{0, 7}}, 3000);
+  const double ct = empirical_rate(
+      topo, 1, {Transmission{0, 7}, Transmission{2, 7}}, 3000);
+  EXPECT_GE(ct + 0.02, single);
+}
+
+TEST(Reception, DifferingContentRequiresCapture) {
+  // Two equidistant transmitters with different payloads: SIR is ~0 dB,
+  // below the capture threshold, so the slot is lost.
+  const Topology topo = make_line3();
+  const double rate = empirical_rate(
+      topo, 1, {Transmission{0, 1}, Transmission{2, 2}}, 500);
+  EXPECT_EQ(rate, 0.0);
+}
+
+TEST(Reception, CaptureSucceedsWithDominantSignal) {
+  // Receiver 1 at 14 m from node 0 and 21 m from node 2: node 0 is
+  // ~6 dB stronger, above the capture threshold.
+  const Topology topo({Position{0, 0}, Position{14, 0}, Position{35, 0}},
+                      quiet_radio(), 1);
+  const ReceptionModel model(topo);
+  crypto::Xoshiro256 rng(13);
+  int got_dominant = 0;
+  int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    const auto out =
+        model.arbitrate(1, {Transmission{0, 10}, Transmission{2, 20}}, rng);
+    if (out.received) {
+      EXPECT_EQ(out.from, 0u);
+      EXPECT_EQ(out.content_id, 10u);
+      ++got_dominant;
+    }
+  }
+  EXPECT_GT(got_dominant, trials / 2);
+}
+
+TEST(Reception, CtLossCorrelationDegradesUnion) {
+  // With correlation > 1, two identical-content transmitters help less
+  // than independent union; compare against a correlation-1 topology.
+  RadioParams indep = quiet_radio();
+  indep.ct_loss_correlation = 1.0;
+  RadioParams corr = quiet_radio();
+  corr.ct_loss_correlation = 3.0;
+  // Distance tuned so each single link is mediocre (~50%).
+  const std::vector<Position> pos{{0, 0}, {22, 0}, {44, 0}};
+  const Topology t_indep(pos, indep, 1);
+  const Topology t_corr(pos, corr, 1);
+  const std::vector<Transmission> txs{Transmission{0, 7}, Transmission{2, 7}};
+  const double rate_indep = empirical_rate(t_indep, 1, txs, 4000);
+  const double rate_corr = empirical_rate(t_corr, 1, txs, 4000);
+  EXPECT_GT(rate_indep, rate_corr + 0.03);
+}
+
+}  // namespace
+}  // namespace mpciot::net

@@ -1,0 +1,91 @@
+#include "net/testbeds.hpp"
+
+#include "common/assert.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpciot::net::testbeds {
+namespace {
+
+TEST(Testbeds, FlocklabMacroProperties) {
+  const Topology topo = flocklab();
+  EXPECT_EQ(topo.size(), 26u);
+  EXPECT_GE(topo.diameter(), 3u);
+  EXPECT_LE(topo.diameter(), 6u);
+}
+
+TEST(Testbeds, FlocklabAtticNodesAreDirectional) {
+  const Topology topo = flocklab();
+  for (NodeId a = 24; a < 26; ++a) {
+    double best_out = 0.0;
+    double best_in = 0.0;
+    for (NodeId nb = 0; nb < topo.size(); ++nb) {
+      if (nb == a) continue;
+      best_out = std::max(best_out, topo.prr(a, nb));
+      best_in = std::max(best_in, topo.prr(nb, a));
+    }
+    EXPECT_GE(best_out, 0.60) << "attic " << a;
+    EXPECT_LE(best_in, 0.60) << "attic " << a;
+    EXPECT_GE(best_in, 0.20) << "attic " << a;
+  }
+}
+
+TEST(Testbeds, DcubeMacroProperties) {
+  const Topology topo = dcube();
+  EXPECT_EQ(topo.size(), 45u);
+  EXPECT_GE(topo.diameter(), 3u);
+  EXPECT_LE(topo.diameter(), 7u);
+}
+
+TEST(Testbeds, DcubeAnnexNodesAreDirectional) {
+  const Topology topo = dcube();
+  for (NodeId a = 41; a < 45; ++a) {
+    double best_out = 0.0;
+    double best_in = 0.0;
+    for (NodeId nb = 0; nb < topo.size(); ++nb) {
+      if (nb == a) continue;
+      best_out = std::max(best_out, topo.prr(a, nb));
+      best_in = std::max(best_in, topo.prr(nb, a));
+    }
+    EXPECT_GE(best_out, 0.60) << "annex " << a;
+    EXPECT_LE(best_in, 0.60) << "annex " << a;
+  }
+}
+
+TEST(Testbeds, DeterministicForDefaultSeed) {
+  const Topology a = flocklab();
+  const Topology b = flocklab();
+  ASSERT_EQ(a.size(), b.size());
+  for (NodeId i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.position(i).x, b.position(i).x);
+    EXPECT_DOUBLE_EQ(a.position(i).y, b.position(i).y);
+  }
+  EXPECT_EQ(a.diameter(), b.diameter());
+}
+
+TEST(Testbeds, GridGeneratorShapes) {
+  const Topology topo = grid(3, 4, 14.0, 7);
+  EXPECT_EQ(topo.size(), 12u);
+  EXPECT_GE(topo.diameter(), 1u);
+}
+
+TEST(Testbeds, LineGeneratorIsAChain) {
+  const Topology topo = line(6, 15.0, 3);
+  EXPECT_EQ(topo.size(), 6u);
+  EXPECT_GE(topo.diameter(), 4u);
+}
+
+TEST(Testbeds, RandomUniformConnected) {
+  const Topology topo = random_uniform(15, 60.0, 60.0, 11);
+  EXPECT_EQ(topo.size(), 15u);
+  // Construction would have thrown if partitioned.
+}
+
+TEST(Testbeds, GeneratorsRejectDegenerateInputs) {
+  EXPECT_THROW(grid(1, 1, 10.0, 1), ContractViolation);
+  EXPECT_THROW(line(1, 10.0, 1), ContractViolation);
+  EXPECT_THROW(random_uniform(1, 10, 10, 1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mpciot::net::testbeds

@@ -1,0 +1,130 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace mpciot::net {
+namespace {
+
+std::vector<Position> line_positions(std::size_t n, double spacing) {
+  std::vector<Position> pos;
+  for (std::size_t i = 0; i < n; ++i) {
+    pos.push_back(Position{static_cast<double>(i) * spacing, 0.0});
+  }
+  return pos;
+}
+
+RadioParams quiet_radio() {
+  RadioParams radio;
+  radio.shadowing_sigma_db = 0.0;  // deterministic links for these tests
+  return radio;
+}
+
+TEST(Topology, RequiresTwoNodes) {
+  EXPECT_THROW(Topology({Position{0, 0}}, quiet_radio(), 1),
+               ContractViolation);
+}
+
+TEST(Topology, PartitionedNetworkViolatesContract) {
+  // Two nodes 10 km apart have no link.
+  EXPECT_THROW(Topology({Position{0, 0}, Position{10000, 0}}, quiet_radio(), 1),
+               ContractViolation);
+}
+
+TEST(Topology, LineTopologyHopsAndDiameter) {
+  // 5 nodes spaced 15 m: adjacent links strong, 2-hop links dead.
+  const Topology topo(line_positions(5, 15.0), quiet_radio(), 1);
+  EXPECT_EQ(topo.size(), 5u);
+  EXPECT_EQ(topo.hops(0, 0), 0u);
+  EXPECT_EQ(topo.hops(0, 1), 1u);
+  EXPECT_EQ(topo.hops(0, 4), 4u);
+  EXPECT_EQ(topo.diameter(), 4u);
+}
+
+TEST(Topology, CenterNodeMinimizesEccentricity) {
+  const Topology topo(line_positions(5, 15.0), quiet_radio(), 1);
+  EXPECT_EQ(topo.center_node(), 2u);
+}
+
+TEST(Topology, DistanceIsEuclidean) {
+  const Topology topo({Position{0, 0}, Position{3, 4}}, quiet_radio(), 1);
+  EXPECT_DOUBLE_EQ(topo.distance(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(topo.distance(1, 0), 5.0);
+}
+
+TEST(Topology, RssiSymmetricWithoutPenalties) {
+  const Topology topo(line_positions(4, 14.0), RadioParams{}, 99);
+  for (NodeId a = 0; a < 4; ++a) {
+    for (NodeId b = 0; b < 4; ++b) {
+      if (a == b) continue;
+      EXPECT_DOUBLE_EQ(topo.rssi(a, b), topo.rssi(b, a));
+      EXPECT_DOUBLE_EQ(topo.prr(a, b), topo.prr(b, a));
+    }
+  }
+}
+
+TEST(Topology, RxPenaltyMakesPrrDirectional) {
+  const Topology topo(line_positions(3, 16.0), quiet_radio(), 1,
+                      {0.0, 0.0, 6.0});
+  // Node 2's receiver is degraded: inbound prr strictly below outbound.
+  EXPECT_LT(topo.prr(1, 2), topo.prr(2, 1));
+  // RSSI stays symmetric (it is the physical channel).
+  EXPECT_DOUBLE_EQ(topo.rssi(1, 2), topo.rssi(2, 1));
+}
+
+TEST(Topology, PenaltyVectorSizeMismatchViolatesContract) {
+  EXPECT_THROW(
+      Topology(line_positions(3, 10.0), quiet_radio(), 1, {1.0, 2.0}),
+      ContractViolation);
+}
+
+TEST(Topology, NeighborsListMatchesPrrFloor) {
+  const Topology topo(line_positions(5, 15.0), quiet_radio(), 1);
+  for (NodeId a = 0; a < 5; ++a) {
+    for (NodeId nb : topo.neighbors(a)) {
+      EXPECT_TRUE(topo.has_link(a, nb));
+      EXPECT_GE(topo.prr(a, nb), topo.radio().link_floor_prr);
+    }
+  }
+  // Adjacent nodes are neighbors.
+  const auto& n0 = topo.neighbors(0);
+  EXPECT_NE(std::find(n0.begin(), n0.end(), 1u), n0.end());
+}
+
+TEST(Topology, PrrOfSelfIsZero) {
+  const Topology topo(line_positions(3, 12.0), quiet_radio(), 1);
+  for (NodeId a = 0; a < 3; ++a) {
+    EXPECT_EQ(topo.prr(a, a), 0.0);
+    EXPECT_FALSE(topo.has_link(a, a));
+  }
+}
+
+TEST(Topology, SameSeedReproducesLinkTable) {
+  const Topology a(line_positions(6, 13.0), RadioParams{}, 42);
+  const Topology b(line_positions(6, 13.0), RadioParams{}, 42);
+  for (NodeId x = 0; x < 6; ++x) {
+    for (NodeId y = 0; y < 6; ++y) {
+      if (x == y) continue;
+      EXPECT_DOUBLE_EQ(a.prr(x, y), b.prr(x, y));
+    }
+  }
+}
+
+TEST(Topology, DifferentShadowSeedChangesLinks) {
+  const Topology a(line_positions(6, 13.0), RadioParams{}, 42);
+  const Topology b(line_positions(6, 13.0), RadioParams{}, 43);
+  bool any_diff = false;
+  for (NodeId x = 0; x < 6 && !any_diff; ++x) {
+    for (NodeId y = 0; y < 6; ++y) {
+      if (x != y && a.prr(x, y) != b.prr(x, y)) {
+        any_diff = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace mpciot::net

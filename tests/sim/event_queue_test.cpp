@@ -1,0 +1,125 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace mpciot::sim {
+namespace {
+
+TEST(EventQueue, StartsEmptyAtTimeZero) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.now(), 0);
+  EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&] { order.push_back(3); });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueue, EqualTimesRunInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, ScheduleInIsRelative) {
+  EventQueue q;
+  SimTime seen = -1;
+  q.schedule_at(100, [&] {
+    q.schedule_in(50, [&] { seen = q.now(); });
+  });
+  q.run();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(EventQueue, SchedulingInThePastViolatesContract) {
+  EventQueue q;
+  q.schedule_at(10, [] {});
+  q.run();
+  EXPECT_THROW(q.schedule_at(5, [] {}), ContractViolation);
+}
+
+TEST(EventQueue, NullCallbackViolatesContract) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule_at(1, EventFn{}), ContractViolation);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.schedule_at(10, [&] { ran = true; });
+  q.cancel(id);
+  q.run();
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelIsIdempotentAndSafeAfterRun) {
+  EventQueue q;
+  const EventId id = q.schedule_at(10, [] {});
+  q.run();
+  q.cancel(id);  // no-op
+  q.cancel(id);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RunUntilLeavesLaterEventsQueued) {
+  EventQueue q;
+  int count = 0;
+  q.schedule_at(10, [&] { ++count; });
+  q.schedule_at(20, [&] { ++count; });
+  q.schedule_at(30, [&] { ++count; });
+  EXPECT_EQ(q.run(/*until=*/20), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recur = [&] {
+    if (++depth < 5) q.schedule_in(1, recur);
+  };
+  q.schedule_at(0, recur);
+  q.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(q.now(), 4);
+}
+
+TEST(EventQueue, PendingCountsLiveEventsOnly) {
+  EventQueue q;
+  const EventId a = q.schedule_at(1, [] {});
+  q.schedule_at(2, [] {});
+  EXPECT_EQ(q.pending(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, SlotReuseAfterCancelDoesNotCorruptQueue) {
+  EventQueue q;
+  std::vector<int> order;
+  const EventId a = q.schedule_at(10, [&] { order.push_back(1); });
+  q.cancel(a);
+  // New event likely reuses the cancelled slot.
+  q.schedule_at(20, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{2}));
+}
+
+}  // namespace
+}  // namespace mpciot::sim
