@@ -26,49 +26,6 @@ std::vector<Position> jittered_grid(std::uint32_t rows, std::uint32_t cols,
   return pos;
 }
 
-/// Macro-property validation for synthetic testbeds: the CT protocols'
-/// behaviour depends on diameter class and on no node hanging off the
-/// network by a single fringe link, so the builders reject draws that
-/// don't look like the real deployment.
-bool testbed_ok(const Topology& topo, std::uint32_t min_diameter,
-                std::uint32_t max_diameter) {
-  if (topo.diameter() < min_diameter || topo.diameter() > max_diameter) {
-    return false;
-  }
-  for (NodeId n = 0; n < topo.size(); ++n) {
-    std::size_t good = 0;
-    for (NodeId nb : topo.neighbors(n)) {
-      if (topo.prr(n, nb) >= 0.5) ++good;
-    }
-    if (good < 2) return false;  // near-isolated node
-  }
-  return true;
-}
-
-Topology build_connected(std::vector<Position> (*placer)(std::uint64_t),
-                         RadioParams radio, std::uint64_t seed,
-                         std::uint32_t min_diameter,
-                         std::uint32_t max_diameter) {
-  // Retry shadowing/placement seeds until the topology is connected and
-  // satisfies the macro properties; deterministic because the retry
-  // sequence is a pure function of seed.
-  for (std::uint64_t attempt = 0; attempt < 256; ++attempt) {
-    try {
-      Topology topo(placer(seed + attempt), radio,
-                    seed ^ (attempt * 0x9E37u));
-      if (testbed_ok(topo, min_diameter, max_diameter)) return topo;
-    } catch (const ContractViolation&) {
-      continue;
-    }
-  }
-  MPCIOT_REQUIRE(false, "testbeds: could not build a valid topology");
-  throw std::logic_error("unreachable");
-}
-
-}  // namespace
-
-namespace {
-
 /// FlockLab-specific validation, mirroring dcube_ok: the two
 /// basement/attic nodes (ids 24, 25) must reach the office floor
 /// comfortably outbound but be hard to cover inbound, and the office
