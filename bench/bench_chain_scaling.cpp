@@ -1,72 +1,8 @@
-// Reproduces the §II/§III chain-size claim: the naive sharing phase needs
-// an O(n^2) chain while the scalable variant trims it to O(n * m) with
-// m = k + 1 + slack, k = floor(n/3).
-//
-// Pure schedule arithmetic plus the resulting per-chain-slot airtime, so
-// this bench is exact (no simulation noise).
-#include <cstdio>
-#include <iostream>
+// Thin shim over the scenario registry: equivalent to
+// `mpciot-bench --filter chain_scaling`. See
+// scenarios/scenario_chain_scaling.cpp.
+#include "scenarios/scenarios.hpp"
 
-#include "core/protocol.hpp"
-#include "core/wire.hpp"
-#include "ct/chain_schedule.hpp"
-#include "metrics/table.hpp"
-#include "net/testbeds.hpp"
-
-using namespace mpciot;
-
-int main() {
-  const net::RadioParams radio;
-  const SimTime subslot =
-      radio.subslot_us(core::SharePacket::kWireSize);
-
-  std::printf("== Sharing-phase chain scaling (subslot = %lld us) ==\n",
-              static_cast<long long>(subslot));
-  metrics::Table table({"n sources", "degree k", "S3 chain", "S4 chain",
-                        "ratio", "S3 slot (ms)", "S4 slot (ms)"});
-
-  for (std::size_t n : {3u, 6u, 10u, 16u, 24u, 26u, 32u, 45u, 64u}) {
-    std::vector<NodeId> sources(n);
-    for (NodeId i = 0; i < n; ++i) sources[i] = i;
-    const std::size_t k = core::paper_degree(n);
-    const std::size_t m = std::min<std::size_t>(k + 3, n);
-
-    const std::size_t s3_chain = n * n;
-    const std::size_t s4_chain = n * m;
-    table.add_row(
-        {std::to_string(n), std::to_string(k), std::to_string(s3_chain),
-         std::to_string(s4_chain),
-         metrics::Table::num(static_cast<double>(s3_chain) /
-                                 static_cast<double>(s4_chain),
-                             2) +
-             "x",
-         metrics::Table::ms_from_us(
-             static_cast<double>(s3_chain) * static_cast<double>(subslot)),
-         metrics::Table::ms_from_us(
-             static_cast<double>(s4_chain) * static_cast<double>(subslot))});
-  }
-  table.print(std::cout);
-
-  // Cross-check against the real schedule builder on the two testbeds.
-  for (const auto& [name, topo] :
-       {std::pair<const char*, net::Topology>{"FlockLab",
-                                              net::testbeds::flocklab()},
-        std::pair<const char*, net::Topology>{"DCube",
-                                              net::testbeds::dcube()}}) {
-    std::vector<NodeId> sources(topo.size());
-    for (NodeId i = 0; i < topo.size(); ++i) sources[i] = i;
-    const std::size_t k = core::paper_degree(sources.size());
-    const auto s3_cfg = core::make_s3_config(topo, sources, k, 8);
-    const auto s4_cfg = core::make_s4_config(topo, sources, k, 6);
-    const auto s3_sched =
-        ct::make_sharing_schedule(s3_cfg.sources, s3_cfg.share_holders);
-    const auto s4_sched =
-        ct::make_sharing_schedule(s4_cfg.sources, s4_cfg.share_holders);
-    std::printf("\n%s (n=%zu, k=%zu): S3 chain %zu sub-slots, S4 chain %zu "
-                "sub-slots (%.2fx smaller)\n",
-                name, sources.size(), k, s3_sched.size(), s4_sched.size(),
-                static_cast<double>(s3_sched.size()) /
-                    static_cast<double>(s4_sched.size()));
-  }
-  return 0;
+int main(int argc, char** argv) {
+  return mpciot::bench::run_legacy_shim("chain_scaling", argc, argv);
 }

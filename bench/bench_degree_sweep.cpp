@@ -1,76 +1,8 @@
-// Reproduces the §IV remark: "further improvement in the latency and
-// radio-on time would be visible in S4 compared to S3 for an even lesser
-// degree of the polynomial used."
-//
-// Sweeps the polynomial degree k on the FlockLab testbed with all nodes
-// as sources and reports S4 latency/radio-on versus k (S3 is shown once
-// as the k-independent reference: its chain is n^2 regardless of k).
-#include <cstdio>
-#include <cstdlib>
-#include <iostream>
-#include <string>
-
-#include "core/protocol.hpp"
-#include "crypto/keystore.hpp"
-#include "metrics/experiment.hpp"
-#include "metrics/table.hpp"
-#include "net/testbeds.hpp"
-
-using namespace mpciot;
+// Thin shim over the scenario registry: equivalent to
+// `mpciot-bench --filter degree_sweep`. See
+// scenarios/scenario_degree_sweep.cpp.
+#include "scenarios/scenarios.hpp"
 
 int main(int argc, char** argv) {
-  std::uint32_t reps = 15;
-  std::uint64_t seed = 1;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--reps" && i + 1 < argc) {
-      reps = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
-    } else if (arg == "--seed" && i + 1 < argc) {
-      seed = std::strtoull(argv[++i], nullptr, 10);
-    } else {
-      std::fprintf(stderr, "usage: %s [--reps N] [--seed S]\n", argv[0]);
-      return 2;
-    }
-  }
-
-  const net::Topology topo = net::testbeds::flocklab();
-  const crypto::KeyStore keys(seed, topo.size());
-  std::vector<NodeId> sources(topo.size());
-  for (NodeId i = 0; i < topo.size(); ++i) sources[i] = i;
-
-  metrics::ExperimentSpec spec;
-  spec.repetitions = reps;
-  spec.base_seed = seed;
-
-  std::printf("== Degree sweep (FlockLab-like, %zu sources, S4 NTX=6) ==\n",
-              sources.size());
-  metrics::Table table({"degree k", "holders m", "S4 latency (ms)",
-                        "S4 radio-on (ms)", "success", "privacy threshold"});
-
-  for (std::size_t k : {1u, 2u, 4u, 8u, 12u, 16u, 20u}) {
-    const core::SssProtocol s4(
-        topo, keys, core::make_s4_config(topo, sources, k, /*ntx_low=*/6));
-    const metrics::TrialStats stats = metrics::run_trials(s4, spec);
-    table.add_row({std::to_string(k),
-                   std::to_string(s4.config().share_holders.size()),
-                   metrics::Table::num(stats.latency_max_ms.mean()),
-                   metrics::Table::num(stats.radio_on_max_ms.mean()),
-                   metrics::Table::num(stats.success_ratio.mean() * 100, 1) +
-                       "%",
-                   std::to_string(k) + " colluders"});
-  }
-  table.print(std::cout);
-
-  // The S3 reference (k does not change its chain size).
-  const std::size_t k_paper = core::paper_degree(sources.size());
-  crypto::Xoshiro256 cal(seed);
-  const std::uint32_t ntx_full = core::suggest_s3_ntx(topo, sources, 10, cal);
-  const core::SssProtocol s3(
-      topo, keys, core::make_s3_config(topo, sources, k_paper, ntx_full));
-  const metrics::TrialStats s3_stats = metrics::run_trials(s3, spec);
-  std::printf("\nS3 reference (any k): latency %.1f ms, radio-on %.1f ms "
-              "(chain is n^2 regardless of degree)\n",
-              s3_stats.latency_max_ms.mean(),
-              s3_stats.radio_on_max_ms.mean());
-  return 0;
+  return mpciot::bench::run_legacy_shim("degree_sweep", argc, argv);
 }

@@ -1,113 +1,8 @@
-// Reproduces the §III fault-tolerance claim: with a degree-k polynomial
-// and k < n, "even the final polynomial can be formed by combining any
-// k+1 sum values", so S4 (m = k+1+slack holders) survives holder
-// failures that the naive holder-per-source arrangement shrugs off only
-// while at least k+1 of its sums stay complete.
-//
-// We inject f random node failures per round (never the initiator) and
-// report the fraction of live nodes that still obtain a correct
-// aggregate of the surviving sources.
-#include <cstdio>
-#include <cstdlib>
-#include <iostream>
-#include <string>
-
-#include "core/protocol.hpp"
-#include "crypto/keystore.hpp"
-#include "metrics/experiment.hpp"
-#include "metrics/stats.hpp"
-#include "metrics/table.hpp"
-#include "net/testbeds.hpp"
-
-using namespace mpciot;
-
-namespace {
-
-std::vector<NodeId> pick_failures(const net::Topology& topo, NodeId initiator,
-                                  std::size_t count,
-                                  crypto::Xoshiro256& rng) {
-  std::vector<NodeId> all;
-  for (NodeId i = 0; i < topo.size(); ++i) {
-    if (i != initiator) all.push_back(i);
-  }
-  std::vector<NodeId> out;
-  for (std::size_t i = 0; i < count && !all.empty(); ++i) {
-    const std::size_t pick = rng.next_below(all.size());
-    out.push_back(all[pick]);
-    all.erase(all.begin() + static_cast<std::ptrdiff_t>(pick));
-  }
-  return out;
-}
-
-}  // namespace
+// Thin shim over the scenario registry: equivalent to
+// `mpciot-bench --filter fault_tolerance`. See
+// scenarios/scenario_fault_tolerance.cpp.
+#include "scenarios/scenarios.hpp"
 
 int main(int argc, char** argv) {
-  std::uint32_t reps = 20;
-  std::uint64_t seed = 1;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--reps" && i + 1 < argc) {
-      reps = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
-    } else if (arg == "--seed" && i + 1 < argc) {
-      seed = std::strtoull(argv[++i], nullptr, 10);
-    } else {
-      std::fprintf(stderr, "usage: %s [--reps N] [--seed S]\n", argv[0]);
-      return 2;
-    }
-  }
-
-  const net::Topology topo = net::testbeds::flocklab();
-  const crypto::KeyStore keys(seed, topo.size());
-  std::vector<NodeId> sources(topo.size());
-  for (NodeId i = 0; i < topo.size(); ++i) sources[i] = i;
-  const std::size_t degree = core::paper_degree(sources.size());
-
-  crypto::Xoshiro256 cal(seed);
-  const std::uint32_t ntx_full =
-      core::suggest_s3_ntx(topo, sources, 10, cal);
-
-  std::printf("== Fault tolerance under node failures (FlockLab-like, "
-              "k=%zu, %u reps) ==\n",
-              degree, reps);
-  metrics::Table table({"failed nodes", "S3 success", "S4 success",
-                        "S4 slack-0 success"});
-
-  for (std::size_t failures : {0u, 1u, 2u, 3u, 5u, 8u}) {
-    metrics::Summary s3_ok;
-    metrics::Summary s4_ok;
-    metrics::Summary s4tight_ok;
-    for (std::uint32_t t = 0; t < reps; ++t) {
-      crypto::Xoshiro256 frng(seed * 1000 + t);
-      // Shared failure set per trial so the comparison is paired.
-      auto base_s3 = core::make_s3_config(topo, sources, degree, ntx_full);
-      const auto failed =
-          pick_failures(topo, base_s3.initiator, failures, frng);
-
-      const auto run_one = [&](core::ProtocolConfig cfg,
-                               metrics::Summary& acc) {
-        cfg.failed_nodes = failed;
-        const core::SssProtocol proto(topo, keys, cfg);
-        sim::Simulator sim(seed + t);
-        const auto secrets =
-            metrics::random_secrets(seed * 77 + t, sources.size());
-        acc.add(proto.run(secrets, sim).success_ratio());
-      };
-      run_one(base_s3, s3_ok);
-      run_one(core::make_s4_config(topo, sources, degree, 6, /*slack=*/2),
-              s4_ok);
-      run_one(core::make_s4_config(topo, sources, degree, 6, /*slack=*/0),
-              s4tight_ok);
-    }
-    table.add_row(
-        {std::to_string(failures),
-         metrics::Table::num(s3_ok.mean() * 100, 1) + "%",
-         metrics::Table::num(s4_ok.mean() * 100, 1) + "%",
-         metrics::Table::num(s4tight_ok.mean() * 100, 1) + "%"});
-  }
-  table.print(std::cout);
-  std::printf("\nnote: success = live nodes holding a correct aggregate of "
-              "the surviving sources. S4's holder slack buys tolerance to "
-              "holder deaths; slack-0 shows the paper's bare k+1 holder "
-              "set for contrast.\n");
-  return 0;
+  return mpciot::bench::run_legacy_shim("fault_tolerance", argc, argv);
 }

@@ -1,21 +1,7 @@
-// Reproduces Fig. 1 (c) Latency and (d) Radio-on time — DCube, 45 nodes,
-// sources in {5, 7, 12, 45}, S4 NTX = 5 (the value the paper found
-// sufficient on DCube).
-#include "fig1_common.hpp"
-
-#include "net/testbeds.hpp"
+// Thin shim over the scenario registry: equivalent to
+// `mpciot-bench --filter fig1_dcube`. See scenarios/scenario_fig1.cpp.
+#include "scenarios/scenarios.hpp"
 
 int main(int argc, char** argv) {
-  using namespace mpciot;
-  const bench::Fig1Options opt = bench::parse_fig1_options(argc, argv);
-  const net::Topology topo = net::testbeds::dcube();
-  const crypto::KeyStore keys(opt.seed, topo.size());
-
-  std::vector<bench::Fig1Row> rows;
-  for (std::size_t sources : {5u, 7u, 12u, 45u}) {
-    rows.push_back(
-        bench::run_fig1_point(topo, keys, sources, /*s4_ntx=*/5, opt));
-  }
-  bench::print_fig1("DCube-like", topo, rows, opt);
-  return 0;
+  return mpciot::bench::run_legacy_shim("fig1_dcube", argc, argv);
 }

@@ -1,21 +1,7 @@
-// Reproduces Fig. 1 (a) Latency and (b) Radio-on time — FlockLab,
-// 26 nodes, sources in {3, 6, 10, 24}, S4 NTX = 6 (the value the paper
-// found sufficient on FlockLab).
-#include "fig1_common.hpp"
-
-#include "net/testbeds.hpp"
+// Thin shim over the scenario registry: equivalent to
+// `mpciot-bench --filter fig1_flocklab`. See scenarios/scenario_fig1.cpp.
+#include "scenarios/scenarios.hpp"
 
 int main(int argc, char** argv) {
-  using namespace mpciot;
-  const bench::Fig1Options opt = bench::parse_fig1_options(argc, argv);
-  const net::Topology topo = net::testbeds::flocklab();
-  const crypto::KeyStore keys(opt.seed, topo.size());
-
-  std::vector<bench::Fig1Row> rows;
-  for (std::size_t sources : {3u, 6u, 10u, 24u}) {
-    rows.push_back(
-        bench::run_fig1_point(topo, keys, sources, /*s4_ntx=*/6, opt));
-  }
-  bench::print_fig1("FlockLab-like", topo, rows, opt);
-  return 0;
+  return mpciot::bench::run_legacy_shim("fig1_flocklab", argc, argv);
 }

@@ -1,107 +1,7 @@
-// Quantifies the paper's §I motivation: "most of the existing PPDA
-// solutions rely on highly computation-intensive Homomorphic Encryption
-// ... hence they mostly do not fit with resource-constrained IoT".
-//
-// Compares the per-node CPU cost of one aggregation round under
-//  (a) Paillier HE (encrypt at every node, homomorphic-add chain,
-//      decrypt once) at several modulus sizes, and
-//  (b) Shamir share generation + point sums + Lagrange reconstruction
-//      (this library's S3/S4 compute path).
-// Results are wall times on this host plus an extrapolation to a
-// 64 MHz Cortex-M4 class MCU (nRF52840) assuming cycle-count parity
-// scaled by clock ratio — crude but the right order of magnitude.
-#include <chrono>
-#include <cstdio>
-#include <functional>
-#include <iostream>
+// Thin shim over the scenario registry: equivalent to
+// `mpciot-bench --filter he_vs_mpc`. See scenarios/scenario_he_vs_mpc.cpp.
+#include "scenarios/scenarios.hpp"
 
-#include "core/protocol.hpp"
-#include "core/shamir.hpp"
-#include "crypto/paillier.hpp"
-#include "metrics/table.hpp"
-
-using namespace mpciot;
-
-namespace {
-
-double time_us(const std::function<void()>& fn, int iters) {
-  const auto start = std::chrono::steady_clock::now();
-  for (int i = 0; i < iters; ++i) fn();
-  const auto end = std::chrono::steady_clock::now();
-  return std::chrono::duration<double, std::micro>(end - start).count() /
-         iters;
-}
-
-}  // namespace
-
-int main() {
-  constexpr int kNodes = 26;  // FlockLab-size round
-  // Host clock estimate for the MCU extrapolation note.
-  constexpr double kHostGhzOverMcu = 3.0e9 / 64.0e6;
-
-  std::printf("== HE vs MPC compute cost, %d-node aggregation round ==\n",
-              kNodes);
-  metrics::Table table({"scheme", "per-node encrypt/share (us)",
-                        "aggregate (us)", "decrypt/reconstruct (us)",
-                        "~Cortex-M4 per-node (ms)"});
-
-  // ---- Paillier at increasing modulus sizes ----
-  for (std::size_t bits : {256u, 512u, 1024u}) {
-    crypto::Xoshiro256 rng(bits);
-    const auto kp = crypto::Paillier::generate(bits, rng);
-    const crypto::BigInt m{12345};
-
-    const double enc_us = time_us(
-        [&] { crypto::Paillier::encrypt(kp.pub, m, rng); }, bits > 512 ? 3 : 10);
-    crypto::BigInt c1 = crypto::Paillier::encrypt(kp.pub, m, rng);
-    const crypto::BigInt c2 = crypto::Paillier::encrypt(kp.pub, m, rng);
-    const double add_us = time_us(
-        [&] { c1 = crypto::Paillier::add(kp.pub, c1, c2); }, 50);
-    const double dec_us = time_us(
-        [&] { crypto::Paillier::decrypt(kp.pub, kp.priv, c1); },
-        bits > 512 ? 3 : 10);
-
-    table.add_row({"Paillier-" + std::to_string(bits),
-                   metrics::Table::num(enc_us),
-                   metrics::Table::num(add_us * kNodes),
-                   metrics::Table::num(dec_us),
-                   metrics::Table::num(enc_us * kHostGhzOverMcu / 1000.0)});
-  }
-
-  // ---- Shamir (this library's compute path) ----
-  {
-    const std::size_t degree = core::paper_degree(kNodes);
-    const double share_us = time_us(
-        [&] {
-          crypto::CtrDrbg drbg(1, 0);
-          const core::ShamirDealer dealer(field::Fp61{12345}, degree, drbg);
-          for (NodeId h = 0; h < kNodes; ++h) dealer.share_for(h);
-        },
-        200);
-    // Point-sum aggregation: kNodes additions.
-    std::vector<field::Fp61> vals(kNodes, field::Fp61{999});
-    const double sum_us =
-        time_us([&] { core::sum_shares(vals); }, 2000);
-    // Reconstruction from degree+1 sums.
-    crypto::CtrDrbg drbg(2, 0);
-    const core::ShamirDealer dealer(field::Fp61{7}, degree, drbg);
-    std::vector<core::Share> sums;
-    for (NodeId h = 0; h < degree + 1; ++h) sums.push_back(dealer.share_for(h));
-    const double rec_us = time_us(
-        [&] { core::reconstruct(sums, degree); }, 500);
-
-    table.add_row({"Shamir (k=" + std::to_string(degree) + ")",
-                   metrics::Table::num(share_us, 2),
-                   metrics::Table::num(sum_us, 2),
-                   metrics::Table::num(rec_us, 2),
-                   metrics::Table::num(share_us * kHostGhzOverMcu / 1000.0,
-                                       3)});
-  }
-
-  table.print(std::cout);
-  std::printf("\nnote: Paillier columns grow ~cubically with modulus size; "
-              "the Shamir path is microseconds even on MCU-class silicon. "
-              "SSS instead pays in *communication*, which is what the "
-              "paper's CT substrate makes affordable (see bench_fig1_*).\n");
-  return 0;
+int main(int argc, char** argv) {
+  return mpciot::bench::run_legacy_shim("he_vs_mpc", argc, argv);
 }

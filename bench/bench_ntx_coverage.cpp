@@ -1,115 +1,9 @@
-// Reproduces the §III claim that MiniCast coverage is *non-linear* in
-// NTX: "with a short increase in NTX, a large amount of data becomes
-// available in a node, while it takes a comparatively higher time (NTX)
-// to have the full network coverage."
-//
-// For each testbed and each NTX we run all-to-all MiniCast rounds and
-// report (a) mean delivery ratio, (b) fraction of trials with FULL
-// network coverage, and (c) delivery into the central share-holder set
-// only — the asymmetry S4 exploits.
-#include <cstdio>
-#include <cstdlib>
-#include <iostream>
-#include <string>
-
-#include "core/bootstrap.hpp"
-#include "core/protocol.hpp"
-#include "core/wire.hpp"
-#include "ct/chain_schedule.hpp"
-#include "metrics/stats.hpp"
-#include "metrics/table.hpp"
-#include "net/testbeds.hpp"
-
-using namespace mpciot;
-
-namespace {
-
-void sweep(const char* name, const net::Topology& topo, std::uint32_t reps,
-           std::uint64_t seed, std::uint32_t max_ntx) {
-  std::vector<NodeId> sources(topo.size());
-  for (NodeId i = 0; i < topo.size(); ++i) sources[i] = i;
-  const ct::SharingSchedule sched =
-      ct::make_sharing_schedule(sources, sources);
-
-  const std::size_t degree = core::paper_degree(sources.size());
-  const std::vector<NodeId> holders =
-      core::elect_share_holders(topo, sources, degree + 3);
-  std::vector<char> is_holder(topo.size(), 0);
-  for (NodeId h : holders) is_holder[h] = 1;
-
-  metrics::Table table({"ntx", "delivery %", "full-coverage trials %",
-                        "holder delivery %", "round (ms)"});
-
-  for (std::uint32_t ntx = 1; ntx <= max_ntx; ++ntx) {
-    metrics::Summary delivery;
-    metrics::Summary full;
-    metrics::Summary holder_delivery;
-    metrics::Summary duration_ms;
-    for (std::uint32_t t = 0; t < reps; ++t) {
-      crypto::Xoshiro256 rng(seed + t);
-      ct::MiniCastConfig cfg;
-      cfg.initiator = topo.center_node();
-      cfg.ntx = ntx;
-      cfg.payload_bytes = core::SharePacket::kWireSize;
-      cfg.max_chain_slots = 512;
-      const ct::MiniCastResult res =
-          run_minicast(topo, sched.entries, cfg, rng);
-      delivery.add(res.delivery_ratio());
-      full.add(res.delivery_ratio() >= 1.0 ? 1.0 : 0.0);
-      duration_ms.add(static_cast<double>(res.duration_us) / 1e3);
-
-      std::size_t holder_got = 0;
-      std::size_t holder_total = 0;
-      for (std::size_t h = 0; h < holders.size(); ++h) {
-        for (std::size_t s = 0; s < sources.size(); ++s) {
-          const std::size_t entry = sched.entry_index(
-              s, static_cast<std::size_t>(
-                     std::find(sched.destinations.begin(),
-                               sched.destinations.end(), holders[h]) -
-                     sched.destinations.begin()));
-          ++holder_total;
-          if (res.node_has(holders[h], entry)) ++holder_got;
-        }
-      }
-      holder_delivery.add(static_cast<double>(holder_got) /
-                          static_cast<double>(holder_total));
-    }
-    table.add_row({std::to_string(ntx),
-                   metrics::Table::num(delivery.mean() * 100, 2),
-                   metrics::Table::num(full.mean() * 100, 0),
-                   metrics::Table::num(holder_delivery.mean() * 100, 2),
-                   metrics::Table::num(duration_ms.mean())});
-  }
-  std::printf("== NTX vs coverage, %s (%zu nodes, diameter %u) ==\n", name,
-              topo.size(), topo.diameter());
-  table.print(std::cout);
-  std::printf("\n");
-}
-
-}  // namespace
+// Thin shim over the scenario registry: equivalent to
+// `mpciot-bench --filter ntx_coverage --param max_ntx=M`. See
+// scenarios/scenario_ntx_coverage.cpp.
+#include "scenarios/scenarios.hpp"
 
 int main(int argc, char** argv) {
-  std::uint32_t reps = 10;
-  std::uint64_t seed = 1;
-  std::uint32_t max_ntx = 20;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--reps" && i + 1 < argc) {
-      reps = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
-    } else if (arg == "--seed" && i + 1 < argc) {
-      seed = std::strtoull(argv[++i], nullptr, 10);
-    } else if (arg == "--max-ntx" && i + 1 < argc) {
-      max_ntx =
-          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
-    } else {
-      std::fprintf(stderr, "usage: %s [--reps N] [--seed S] [--max-ntx M]\n",
-                   argv[0]);
-      return 2;
-    }
-  }
-  const net::Topology flocklab = net::testbeds::flocklab();
-  const net::Topology dcube = net::testbeds::dcube();
-  sweep("FlockLab-like", flocklab, reps, seed, max_ntx);
-  sweep("DCube-like", dcube, reps, seed, max_ntx);
-  return 0;
+  return mpciot::bench::run_legacy_shim("ntx_coverage", argc, argv,
+                                        /*accept_max_ntx=*/true);
 }

@@ -1,112 +1,8 @@
-// Ablation: share width vs. round latency.
-//
-// CT round time is chain_slots x entries x subslot airtime, and airtime
-// is linear in payload bytes — so the field the shares live in is a
-// first-order performance knob. This bench compares the S4 sharing+
-// reconstruction round on FlockLab for three share encodings:
-//   * Fp61 shares (8 B value -> 16 B share packet, the library default),
-//   * GF(65521) shares (2 B value -> 10 B packet) for 16-bit readings,
-//   * GF(251) shares (1 B value -> 9 B packet) for tiny counters.
-// The crypto and protocol logic are identical; only the sub-slot payload
-// changes (header 4 B + ciphertext + 4 B tag).
-#include <cstdio>
-#include <cstdlib>
-#include <iostream>
-#include <string>
-
-#include "core/protocol.hpp"
-#include "core/small_shamir.hpp"
-#include "core/wire.hpp"
-#include "ct/chain_schedule.hpp"
-#include "metrics/stats.hpp"
-#include "metrics/table.hpp"
-#include "net/testbeds.hpp"
-
-using namespace mpciot;
+// Thin shim over the scenario registry: equivalent to
+// `mpciot-bench --filter payload_size`. See
+// scenarios/scenario_payload_size.cpp.
+#include "scenarios/scenarios.hpp"
 
 int main(int argc, char** argv) {
-  std::uint32_t reps = 10;
-  std::uint64_t seed = 1;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--reps" && i + 1 < argc) {
-      reps = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
-    } else if (arg == "--seed" && i + 1 < argc) {
-      seed = std::strtoull(argv[++i], nullptr, 10);
-    } else {
-      std::fprintf(stderr, "usage: %s [--reps N] [--seed S]\n", argv[0]);
-      return 2;
-    }
-  }
-
-  const net::Topology topo = net::testbeds::flocklab();
-  std::vector<NodeId> sources(topo.size());
-  for (NodeId i = 0; i < topo.size(); ++i) sources[i] = i;
-  const std::size_t degree = core::paper_degree(sources.size());
-  const auto cfg = core::make_s4_config(topo, sources, degree, 6);
-  const auto sched =
-      ct::make_sharing_schedule(cfg.sources, cfg.share_holders);
-
-  std::printf("== Share width vs round time (FlockLab-like, S4, %u reps) ==\n",
-              reps);
-  metrics::Table table({"field", "share bytes", "packet bytes",
-                        "sub-slot (us)", "sharing round (ms)",
-                        "delivery"});
-
-  struct Variant {
-    const char* name;
-    std::size_t value_bytes;
-  };
-  // Packet = 4 B header + ciphertext (share width) + 4 B tag.
-  for (const Variant v : {Variant{"Fp61 (default)", 8},
-                          Variant{"GF(65521), 16-bit", 2},
-                          Variant{"GF(251), 8-bit", 1}}) {
-    const std::uint32_t payload = static_cast<std::uint32_t>(8 + v.value_bytes);
-    metrics::Summary round_ms;
-    metrics::Summary delivery;
-    for (std::uint32_t t = 0; t < reps; ++t) {
-      crypto::Xoshiro256 rng(seed + t);
-      ct::MiniCastConfig mc;
-      mc.initiator = topo.center_node();
-      mc.ntx = cfg.ntx_sharing;
-      mc.payload_bytes = payload;
-      mc.radio_policy = ct::RadioPolicy::kEarlyOff;
-      mc.scheduled_owners = cfg.sources;
-      const ct::MiniCastResult res =
-          run_minicast(topo, sched.entries, mc, rng);
-      round_ms.add(static_cast<double>(res.duration_us) / 1e3);
-      delivery.add(res.delivery_ratio());
-    }
-    table.add_row({v.name, std::to_string(v.value_bytes),
-                   std::to_string(payload),
-                   std::to_string(topo.radio().subslot_us(payload)),
-                   metrics::Table::num(round_ms.mean()),
-                   metrics::Table::num(delivery.mean() * 100, 1) + "%"});
-  }
-  table.print(std::cout);
-
-  // Correctness of the small-field path itself.
-  const field::PrimeField f16(65521);
-  std::vector<core::SmallShamirDealer> dealers;
-  std::uint64_t expected = 0;
-  for (std::size_t i = 0; i < sources.size(); ++i) {
-    crypto::CtrDrbg drbg(seed + i, i);
-    const std::uint64_t reading = 100 + i;
-    expected = f16.add(expected, reading);
-    dealers.emplace_back(f16, reading, degree, drbg);
-  }
-  std::vector<core::SmallShare> sums;
-  for (std::size_t h = 0; h <= degree; ++h) {
-    std::uint64_t s = 0;
-    for (const auto& d : dealers) {
-      s = f16.add(s, d.share_for(static_cast<NodeId>(h)).value);
-    }
-    sums.push_back(core::SmallShare{static_cast<NodeId>(h), s});
-  }
-  std::printf("\n16-bit field end-to-end check: aggregate %llu (expected "
-              "%llu) from %zu two-byte sums\n",
-              static_cast<unsigned long long>(
-                  core::small_reconstruct(f16, sums, degree)),
-              static_cast<unsigned long long>(expected), sums.size());
-  return 0;
+  return mpciot::bench::run_legacy_shim("payload_size", argc, argv);
 }

@@ -1,85 +1,8 @@
-// Extra baseline (not in the paper's evaluation, but its premise): the
-// same SSS aggregation run over a conventional duty-cycled multi-hop
-// unicast stack versus the CT substrate. Quantifies why the paper builds
-// on concurrent transmissions at all.
-#include <cstdio>
-#include <cstdlib>
-#include <iostream>
-#include <string>
-
-#include "core/protocol.hpp"
-#include "core/unicast_baseline.hpp"
-#include "crypto/keystore.hpp"
-#include "metrics/experiment.hpp"
-#include "metrics/stats.hpp"
-#include "metrics/table.hpp"
-#include "net/testbeds.hpp"
-
-using namespace mpciot;
+// Thin shim over the scenario registry: equivalent to
+// `mpciot-bench --filter unicast_vs_ct`. See
+// scenarios/scenario_unicast_vs_ct.cpp.
+#include "scenarios/scenarios.hpp"
 
 int main(int argc, char** argv) {
-  std::uint32_t reps = 10;
-  std::uint64_t seed = 1;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--reps" && i + 1 < argc) {
-      reps = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
-    } else if (arg == "--seed" && i + 1 < argc) {
-      seed = std::strtoull(argv[++i], nullptr, 10);
-    } else {
-      std::fprintf(stderr, "usage: %s [--reps N] [--seed S]\n", argv[0]);
-      return 2;
-    }
-  }
-
-  const net::Topology topo = net::testbeds::flocklab();
-  const crypto::KeyStore keys(seed, topo.size());
-  std::vector<NodeId> sources(topo.size());
-  for (NodeId i = 0; i < topo.size(); ++i) sources[i] = i;
-  const std::size_t degree = core::paper_degree(sources.size());
-
-  std::printf("== Unicast (ContikiMAC-class) vs CT substrate, FlockLab-like, "
-              "%zu sources ==\n",
-              sources.size());
-
-  // CT: the S4 protocol.
-  const core::SssProtocol s4(topo, keys,
-                             core::make_s4_config(topo, sources, degree, 6));
-  metrics::ExperimentSpec spec;
-  spec.repetitions = reps;
-  spec.base_seed = seed;
-  const metrics::TrialStats ct_stats = metrics::run_trials(s4, spec);
-
-  // Unicast: same shares/sums over routed stop-and-wait hops.
-  metrics::Summary uc_latency_ms;
-  metrics::Summary uc_radio_ms;
-  metrics::Summary uc_success;
-  const auto uc_cfg = core::make_s4_config(topo, sources, degree, 6);
-  for (std::uint32_t t = 0; t < reps; ++t) {
-    sim::Simulator sim(seed + t);
-    const auto secrets =
-        metrics::random_secrets((seed + t) * 7919 + 13, sources.size());
-    const core::UnicastResult res = core::run_unicast_sss(
-        topo, uc_cfg, secrets, core::UnicastParams{}, sim);
-    uc_latency_ms.add(static_cast<double>(res.total_duration_us) / 1e3);
-    uc_radio_ms.add(static_cast<double>(res.max_radio_on_us()) / 1e3);
-    uc_success.add(res.success_ratio());
-  }
-
-  metrics::Table table({"substrate", "latency (ms)", "max radio-on (ms)",
-                        "success"});
-  table.add_row({"CT / MiniCast (S4)",
-                 metrics::Table::num(ct_stats.latency_max_ms.mean()),
-                 metrics::Table::num(ct_stats.radio_on_max_ms.mean()),
-                 metrics::Table::num(ct_stats.success_ratio.mean() * 100, 1) +
-                     "%"});
-  table.add_row({"Unicast routing",
-                 metrics::Table::num(uc_latency_ms.mean()),
-                 metrics::Table::num(uc_radio_ms.mean()),
-                 metrics::Table::num(uc_success.mean() * 100, 1) + "%"});
-  table.print(std::cout);
-  std::printf("\nCT advantage: %.1fx latency, %.1fx max radio-on\n",
-              uc_latency_ms.mean() / ct_stats.latency_max_ms.mean(),
-              uc_radio_ms.mean() / ct_stats.radio_on_max_ms.mean());
-  return 0;
+  return mpciot::bench::run_legacy_shim("unicast_vs_ct", argc, argv);
 }

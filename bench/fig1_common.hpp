@@ -1,47 +1,16 @@
-// Shared harness for the two panels-pairs of Fig. 1: sweep the number of
-// source nodes on a testbed, run S3 and S4 for `reps` iterations each,
-// and print the latency / radio-on-time rows the paper plots (log-scale
-// ms), plus the headline speedup ratios at the full-network point.
+// Shared helpers for the Fig. 1 scenarios (bench/scenarios/
+// scenario_fig1.cpp). Option parsing previously lived here as an
+// ad-hoc strtoul loop that silently parsed malformed numbers as 0; all
+// bench binaries now share the strict bench_core::OptionParser instead
+// (see bench_core/options.hpp and scenarios/scenarios.hpp).
 #pragma once
 
-#include <cstdio>
-#include <cstdlib>
-#include <iostream>
-#include <string>
+#include <cstddef>
 #include <vector>
 
-#include "core/protocol.hpp"
-#include "crypto/keystore.hpp"
-#include "metrics/experiment.hpp"
-#include "metrics/table.hpp"
-#include "net/topology.hpp"
+#include "common/types.hpp"
 
 namespace mpciot::bench {
-
-struct Fig1Options {
-  std::uint32_t reps = 20;
-  std::uint64_t seed = 1;
-  bool csv = false;
-};
-
-inline Fig1Options parse_fig1_options(int argc, char** argv) {
-  Fig1Options opt;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--reps" && i + 1 < argc) {
-      opt.reps = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
-    } else if (arg == "--seed" && i + 1 < argc) {
-      opt.seed = std::strtoull(argv[++i], nullptr, 10);
-    } else if (arg == "--csv") {
-      opt.csv = true;
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s [--reps N] [--seed S] [--csv]\n", argv[0]);
-      std::exit(2);
-    }
-  }
-  return opt;
-}
 
 /// Pick `count` source nodes spread evenly over the id space (matches
 /// "different number of source nodes" with spatial diversity).
@@ -54,7 +23,8 @@ inline std::vector<NodeId> spread_sources(std::size_t network,
     return out;
   }
   for (std::size_t i = 0; i < count; ++i) {
-    out.push_back(static_cast<NodeId>(i * (network - 1) / (count > 1 ? count - 1 : 1)));
+    out.push_back(static_cast<NodeId>(i * (network - 1) /
+                                      (count > 1 ? count - 1 : 1)));
   }
   // De-duplicate collisions from rounding by linear probing.
   std::vector<char> used(network, 0);
@@ -63,99 +33,6 @@ inline std::vector<NodeId> spread_sources(std::size_t network,
     used[n] = 1;
   }
   return out;
-}
-
-struct Fig1Row {
-  std::size_t sources;
-  metrics::TrialStats s3;
-  metrics::TrialStats s4;
-  std::uint32_t s3_ntx;
-  std::uint32_t s4_ntx;
-  std::size_t degree;
-  std::size_t holders;
-};
-
-inline Fig1Row run_fig1_point(const net::Topology& topo,
-                              const crypto::KeyStore& keys,
-                              std::size_t source_count,
-                              std::uint32_t s4_ntx, const Fig1Options& opt) {
-  Fig1Row row;
-  row.sources = source_count;
-  row.s4_ntx = s4_ntx;
-  const std::vector<NodeId> sources =
-      spread_sources(topo.size(), source_count);
-  row.degree = core::paper_degree(sources.size());
-
-  crypto::Xoshiro256 cal_rng(opt.seed ^ 0xCA11B007ull);
-  row.s3_ntx = core::suggest_s3_ntx(topo, sources, /*trials=*/25, cal_rng);
-
-  const core::SssProtocol s3(
-      topo, keys, core::make_s3_config(topo, sources, row.degree, row.s3_ntx));
-  const core::SssProtocol s4(
-      topo, keys, core::make_s4_config(topo, sources, row.degree, s4_ntx));
-  row.holders = s4.config().share_holders.size();
-
-  metrics::ExperimentSpec spec;
-  spec.repetitions = opt.reps;
-  spec.base_seed = opt.seed;
-  row.s3 = metrics::run_trials(s3, spec);
-  row.s4 = metrics::run_trials(s4, spec);
-  return row;
-}
-
-inline void print_fig1(const char* testbed_name, const net::Topology& topo,
-                       const std::vector<Fig1Row>& rows,
-                       const Fig1Options& opt) {
-  std::printf("== Fig. 1 (%s, %zu nodes, diameter %u) — %u iterations/point ==\n",
-              testbed_name, topo.size(), topo.diameter(), opt.reps);
-
-  metrics::Table latency({"sources", "degree", "S3 ntx", "S4 ntx",
-                          "S3 latency (ms)", "S4 latency (ms)", "speedup"});
-  metrics::Table radio({"sources", "degree", "S3 radio-on (ms)",
-                        "S4 radio-on (ms)", "reduction"});
-  metrics::Table quality({"sources", "S3 success", "S4 success",
-                          "S3 delivery", "S4 delivery"});
-
-  for (const Fig1Row& r : rows) {
-    const double s3_lat = r.s3.latency_max_ms.mean();
-    const double s4_lat = r.s4.latency_max_ms.mean();
-    const double s3_radio = r.s3.radio_on_max_ms.mean();
-    const double s4_radio = r.s4.radio_on_max_ms.mean();
-    latency.add_row({std::to_string(r.sources), std::to_string(r.degree),
-                     std::to_string(r.s3_ntx), std::to_string(r.s4_ntx),
-                     metrics::Table::num(s3_lat), metrics::Table::num(s4_lat),
-                     metrics::Table::num(s3_lat / s4_lat, 2) + "x"});
-    radio.add_row({std::to_string(r.sources), std::to_string(r.degree),
-                   metrics::Table::num(s3_radio),
-                   metrics::Table::num(s4_radio),
-                   metrics::Table::num(s3_radio / s4_radio, 2) + "x"});
-    quality.add_row({std::to_string(r.sources),
-                     metrics::Table::num(r.s3.success_ratio.mean() * 100) + "%",
-                     metrics::Table::num(r.s4.success_ratio.mean() * 100) + "%",
-                     metrics::Table::num(r.s3.share_delivery.mean() * 100) + "%",
-                     metrics::Table::num(r.s4.share_delivery.mean() * 100) + "%"});
-  }
-
-  std::printf("\n-- (a/c) Latency --\n");
-  latency.print(std::cout);
-  std::printf("\n-- (b/d) Radio-on time --\n");
-  radio.print(std::cout);
-  std::printf("\n-- correctness --\n");
-  quality.print(std::cout);
-
-  const Fig1Row& full = rows.back();
-  std::printf("\nheadline (full network, %zu sources): S4 %.1fx faster, "
-              "%.1fx less radio-on\n",
-              full.sources,
-              full.s3.latency_max_ms.mean() / full.s4.latency_max_ms.mean(),
-              full.s3.radio_on_max_ms.mean() / full.s4.radio_on_max_ms.mean());
-
-  if (opt.csv) {
-    std::printf("\n-- CSV (latency) --\n");
-    latency.print_csv(std::cout);
-    std::printf("-- CSV (radio-on) --\n");
-    radio.print_csv(std::cout);
-  }
 }
 
 }  // namespace mpciot::bench

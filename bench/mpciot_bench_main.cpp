@@ -1,0 +1,128 @@
+// mpciot-bench: one CLI over every registered benchmark scenario.
+//
+//   mpciot-bench --list
+//   mpciot-bench --filter fig1 --reps 2 --seed 3 --json bench.json
+//   mpciot-bench --jobs 4              # trial-parallel, same JSON bytes
+//
+// The emitted JSON ("mpciot-bench/1") contains only seed-determined
+// results — no wall-clock, no job count — so --jobs N and --jobs 1
+// produce byte-identical files. Wall-clock per scenario is printed to
+// stderr.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_core/options.hpp"
+#include "bench_core/registry.hpp"
+#include "bench_core/runner.hpp"
+#include "scenarios/scenarios.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mpciot;
+
+  bench_core::ScenarioContext ctx;
+  ctx.reps = 0;  // per-scenario default
+  bool list = false;
+  bool csv = false;
+  bool no_table = false;
+  std::uint32_t jobs = 0;  // default: hardware concurrency
+  std::string filter;
+  std::string json_path;
+
+  bench_core::OptionParser parser(
+      "Unified benchmark runner for the ctagg scenario registry.");
+  parser.add_flag("--list", &list, "list scenarios and exit");
+  parser.add_string("--filter", &filter, "substring filter on scenario names");
+  parser.add_u32("--reps", &ctx.reps,
+                 "rounds per configuration (0 = scenario default)");
+  parser.add_u64("--seed", &ctx.seed, "base RNG seed");
+  parser.add_u32("--jobs", &jobs,
+                 "trial worker threads (0 = hardware concurrency, 1 = "
+                 "serial); results are identical for any value");
+  parser.add_string("--json", &json_path, "write results as JSON to this file");
+  parser.add_flag("--csv", &csv, "also emit CSV tables");
+  parser.add_flag("--no-table", &no_table, "skip the human-readable tables");
+  parser.add_key_value_list("--param", &ctx.params,
+                            "scenario-specific override, e.g. max_ntx=12");
+  if (!parser.parse(argc, argv)) {
+    std::fprintf(stderr, "%s: %s\n%s", argv[0], parser.error().c_str(),
+                 parser.usage(argv[0]).c_str());
+    return 2;
+  }
+  ctx.jobs = jobs;
+
+  bench_core::Registry registry;
+  bench::register_all_scenarios(registry);
+
+  if (list) {
+    for (const bench_core::ScenarioSpec& s : registry.all()) {
+      std::printf("%-18s %s%s\n", s.name.c_str(), s.description.c_str(),
+                  s.deterministic ? "" : " [non-deterministic]");
+    }
+    return 0;
+  }
+
+  const std::vector<const bench_core::ScenarioSpec*> selected =
+      registry.match(filter);
+  if (selected.empty()) {
+    std::fprintf(stderr, "%s: no scenario matches filter '%s' (see --list)\n",
+                 argv[0], filter.c_str());
+    return 1;
+  }
+
+  // Every --param key must be declared by a selected scenario and carry
+  // a valid u32 value — a typo must not silently run with defaults.
+  for (const auto& [key, value] : ctx.params) {
+    bool known = false;
+    for (const bench_core::ScenarioSpec* spec : selected) {
+      for (const std::string& name : spec->param_names) {
+        if (name == key) known = true;
+      }
+    }
+    if (!known) {
+      std::fprintf(stderr,
+                   "%s: no selected scenario accepts --param '%s' (see "
+                   "--list descriptions)\n",
+                   argv[0], key.c_str());
+      return 2;
+    }
+    std::uint32_t parsed = 0;
+    if (!bench_core::parse_u32(value, &parsed)) {
+      std::fprintf(stderr,
+                   "%s: --param %s needs an unsigned 32-bit decimal value, "
+                   "got '%s'\n",
+                   argv[0], key.c_str(), value.c_str());
+      return 2;
+    }
+  }
+
+  const std::vector<bench_core::ScenarioRun> runs =
+      bench_core::run_scenarios(selected, ctx, &std::cerr);
+
+  if (!no_table) {
+    bench_core::print_results(runs, std::cout, csv);
+  }
+
+  if (!json_path.empty()) {
+    const bench_core::JsonValue doc =
+        bench_core::results_to_json(runs, ctx.reps, ctx.seed);
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "%s: cannot open '%s' for writing\n", argv[0],
+                   json_path.c_str());
+      return 1;
+    }
+    doc.dump(out, /*indent=*/2);
+    out << '\n';
+    out.flush();  // surface buffered write errors (ENOSPC) before the check
+    if (!out.good()) {
+      std::fprintf(stderr, "%s: write to '%s' failed\n", argv[0],
+                   json_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

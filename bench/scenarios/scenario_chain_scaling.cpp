@@ -1,0 +1,85 @@
+// §II/§III chain-size claim: the naive sharing phase needs an O(n^2)
+// chain while the scalable variant trims it to O(n * m) with
+// m = k + 1 + slack, k = floor(n/3). Analytic rows for a size sweep
+// plus cross-check rows from the real schedule builder on both
+// testbeds. Exact (no simulation noise), so reps is ignored.
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "core/wire.hpp"
+#include "ct/chain_schedule.hpp"
+#include "net/testbeds.hpp"
+#include "scenarios/scenarios.hpp"
+
+namespace mpciot::bench {
+
+namespace {
+
+using bench_core::Row;
+using bench_core::Rows;
+using bench_core::ScenarioContext;
+
+Row make_row(const char* config, std::size_t n, std::size_t k,
+             std::size_t s3_chain, std::size_t s4_chain, SimTime subslot) {
+  Row row;
+  row.set("config", config)
+      .set("n_sources", static_cast<std::uint64_t>(n))
+      .set("degree", static_cast<std::uint64_t>(k))
+      .set("s3_chain_subslots", static_cast<std::uint64_t>(s3_chain))
+      .set("s4_chain_subslots", static_cast<std::uint64_t>(s4_chain))
+      .set("ratio", round3(static_cast<double>(s3_chain) /
+                           static_cast<double>(s4_chain)))
+      .set("s3_slot_ms", round3(static_cast<double>(s3_chain) *
+                                static_cast<double>(subslot) / 1e3))
+      .set("s4_slot_ms", round3(static_cast<double>(s4_chain) *
+                                static_cast<double>(subslot) / 1e3));
+  return row;
+}
+
+Rows run_chain_scaling(const ScenarioContext&) {
+  const net::RadioParams radio;
+  const SimTime subslot = radio.subslot_us(core::SharePacket::kWireSize);
+
+  Rows rows;
+  for (const std::size_t n : {3u, 6u, 10u, 16u, 24u, 26u, 32u, 45u, 64u}) {
+    const std::size_t k = core::paper_degree(n);
+    const std::size_t m = std::min<std::size_t>(k + 3, n);
+    rows.push_back(make_row("analytic", n, k, n * n, n * m, subslot));
+  }
+
+  // Cross-check against the real schedule builder on the two testbeds.
+  for (const auto& [name, topo] :
+       {std::pair<const char*, net::Topology>{"flocklab",
+                                              net::testbeds::flocklab()},
+        std::pair<const char*, net::Topology>{"dcube",
+                                              net::testbeds::dcube()}}) {
+    std::vector<NodeId> sources(topo.size());
+    for (NodeId i = 0; i < topo.size(); ++i) sources[i] = i;
+    const std::size_t k = core::paper_degree(sources.size());
+    const auto s3_cfg = core::make_s3_config(topo, sources, k, 8);
+    const auto s4_cfg = core::make_s4_config(topo, sources, k, 6);
+    const auto s3_sched =
+        ct::make_sharing_schedule(s3_cfg.sources, s3_cfg.share_holders);
+    const auto s4_sched =
+        ct::make_sharing_schedule(s4_cfg.sources, s4_cfg.share_holders);
+    rows.push_back(make_row(name, sources.size(), k, s3_sched.size(),
+                            s4_sched.size(), subslot));
+  }
+  return rows;
+}
+
+}  // namespace
+
+void register_chain_scaling(bench_core::Registry& registry) {
+  registry.add(bench_core::ScenarioSpec{
+      "chain_scaling",
+      "§II/§III: O(n^2) naive sharing chain vs O(n*m) scalable chain",
+      /*default_reps=*/1,
+      /*deterministic=*/true,
+      /*param_names=*/{}, run_chain_scaling});
+}
+
+}  // namespace mpciot::bench

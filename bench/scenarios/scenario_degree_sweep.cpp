@@ -1,0 +1,80 @@
+// §IV degree remark: "further improvement in the latency and radio-on
+// time would be visible in S4 compared to S3 for an even lesser degree
+// of the polynomial used." Sweeps the polynomial degree k on FlockLab
+// with all nodes as sources; the final row is the k-independent S3
+// reference (its chain is n^2 regardless of k).
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "crypto/keystore.hpp"
+#include "metrics/experiment.hpp"
+#include "net/testbeds.hpp"
+#include "scenarios/scenarios.hpp"
+
+namespace mpciot::bench {
+
+namespace {
+
+using bench_core::Row;
+using bench_core::Rows;
+using bench_core::ScenarioContext;
+
+Rows run_degree_sweep(const ScenarioContext& ctx) {
+  const net::Topology topo = net::testbeds::flocklab();
+  const crypto::KeyStore keys(ctx.seed, topo.size());
+  std::vector<NodeId> sources(topo.size());
+  for (NodeId i = 0; i < topo.size(); ++i) sources[i] = i;
+
+  metrics::ExperimentSpec spec;
+  spec.repetitions = ctx.reps;
+  spec.base_seed = ctx.seed;
+  spec.jobs = ctx.jobs;
+
+  Rows rows;
+  for (const std::size_t k : {1u, 2u, 4u, 8u, 12u, 16u, 20u}) {
+    const core::SssProtocol s4(
+        topo, keys, core::make_s4_config(topo, sources, k, /*ntx_low=*/6));
+    const metrics::TrialStats stats = metrics::run_trials(s4, spec);
+    Row row;
+    row.set("scheme", "s4")
+        .set("degree", static_cast<std::uint64_t>(k))
+        .set("holders",
+             static_cast<std::uint64_t>(s4.config().share_holders.size()))
+        .set("latency_ms", round3(stats.latency_max_ms.mean()))
+        .set("radio_on_ms", round3(stats.radio_on_max_ms.mean()))
+        .set("success_pct", round3(stats.success_ratio.mean() * 100));
+    rows.push_back(std::move(row));
+  }
+
+  // The S3 reference (k does not change its chain size).
+  const std::size_t k_paper = core::paper_degree(sources.size());
+  crypto::Xoshiro256 cal(ctx.seed);
+  const std::uint32_t ntx_full = core::suggest_s3_ntx(topo, sources, 10, cal);
+  const core::SssProtocol s3(
+      topo, keys, core::make_s3_config(topo, sources, k_paper, ntx_full));
+  const metrics::TrialStats s3_stats = metrics::run_trials(s3, spec);
+  Row ref;
+  ref.set("scheme", "s3_ref")
+      .set("degree", static_cast<std::uint64_t>(k_paper))
+      .set("holders", static_cast<std::uint64_t>(sources.size()))
+      .set("latency_ms", round3(s3_stats.latency_max_ms.mean()))
+      .set("radio_on_ms", round3(s3_stats.radio_on_max_ms.mean()))
+      .set("success_pct", round3(s3_stats.success_ratio.mean() * 100));
+  rows.push_back(std::move(ref));
+  return rows;
+}
+
+}  // namespace
+
+void register_degree_sweep(bench_core::Registry& registry) {
+  registry.add(bench_core::ScenarioSpec{
+      "degree_sweep",
+      "§IV: S4 latency/radio-on vs polynomial degree k (FlockLab-like)",
+      /*default_reps=*/15,
+      /*deterministic=*/true,
+      /*param_names=*/{}, run_degree_sweep});
+}
+
+}  // namespace mpciot::bench

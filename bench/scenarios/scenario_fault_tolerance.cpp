@@ -1,0 +1,99 @@
+// §III fault-tolerance claim: with a degree-k polynomial, "even the
+// final polynomial can be formed by combining any k+1 sum values".
+// Injects f random node failures per round (never the initiator) and
+// reports the fraction of live nodes still holding a correct aggregate
+// of the surviving sources, for S3, S4 (slack 2) and S4 with the bare
+// k+1 holder set (slack 0).
+#include <cstdint>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "crypto/keystore.hpp"
+#include "metrics/experiment.hpp"
+#include "metrics/stats.hpp"
+#include "net/testbeds.hpp"
+#include "scenarios/scenarios.hpp"
+#include "sim/simulator.hpp"
+
+namespace mpciot::bench {
+
+namespace {
+
+using bench_core::Row;
+using bench_core::Rows;
+using bench_core::ScenarioContext;
+
+std::vector<NodeId> pick_failures(const net::Topology& topo, NodeId initiator,
+                                  std::size_t count, crypto::Xoshiro256& rng) {
+  std::vector<NodeId> all;
+  for (NodeId i = 0; i < topo.size(); ++i) {
+    if (i != initiator) all.push_back(i);
+  }
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i < count && !all.empty(); ++i) {
+    const std::size_t pick = rng.next_below(all.size());
+    out.push_back(all[pick]);
+    all.erase(all.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+  return out;
+}
+
+Rows run_fault_tolerance(const ScenarioContext& ctx) {
+  const net::Topology topo = net::testbeds::flocklab();
+  const crypto::KeyStore keys(ctx.seed, topo.size());
+  std::vector<NodeId> sources(topo.size());
+  for (NodeId i = 0; i < topo.size(); ++i) sources[i] = i;
+  const std::size_t degree = core::paper_degree(sources.size());
+
+  crypto::Xoshiro256 cal(ctx.seed);
+  const std::uint32_t ntx_full = core::suggest_s3_ntx(topo, sources, 10, cal);
+
+  Rows rows;
+  for (const std::size_t failures : {0u, 1u, 2u, 3u, 5u, 8u}) {
+    metrics::Summary s3_ok;
+    metrics::Summary s4_ok;
+    metrics::Summary s4tight_ok;
+    for (std::uint32_t t = 0; t < ctx.reps; ++t) {
+      crypto::Xoshiro256 frng(ctx.seed * 1000 + t);
+      // Shared failure set per trial so the comparison is paired.
+      auto base_s3 = core::make_s3_config(topo, sources, degree, ntx_full);
+      const auto failed =
+          pick_failures(topo, base_s3.initiator, failures, frng);
+
+      const auto run_one = [&](core::ProtocolConfig cfg,
+                               metrics::Summary& acc) {
+        cfg.failed_nodes = failed;
+        const core::SssProtocol proto(topo, keys, cfg);
+        sim::Simulator sim(ctx.seed + t);
+        const auto secrets =
+            metrics::random_secrets(ctx.seed * 77 + t, sources.size());
+        acc.add(proto.run(secrets, sim).success_ratio());
+      };
+      run_one(base_s3, s3_ok);
+      run_one(core::make_s4_config(topo, sources, degree, 6, /*slack=*/2),
+              s4_ok);
+      run_one(core::make_s4_config(topo, sources, degree, 6, /*slack=*/0),
+              s4tight_ok);
+    }
+    Row row;
+    row.set("failed_nodes", static_cast<std::uint64_t>(failures))
+        .set("s3_success_pct", round3(s3_ok.mean() * 100))
+        .set("s4_success_pct", round3(s4_ok.mean() * 100))
+        .set("s4_slack0_success_pct", round3(s4tight_ok.mean() * 100));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace
+
+void register_fault_tolerance(bench_core::Registry& registry) {
+  registry.add(bench_core::ScenarioSpec{
+      "fault_tolerance",
+      "§III: success under node failures — any k+1 sums reconstruct",
+      /*default_reps=*/20,
+      /*deterministic=*/true,
+      /*param_names=*/{}, run_fault_tolerance});
+}
+
+}  // namespace mpciot::bench

@@ -1,0 +1,101 @@
+// Fig. 1 (a)-(d): S3 vs S4 latency and radio-on time per source count,
+// on the FlockLab-like (26 nodes, S4 NTX 6) and DCube-like (45 nodes,
+// S4 NTX 5) testbeds. One row per source count; trials fan out over
+// ctx.jobs worker threads with jobs-invariant results.
+#include <cstdint>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "crypto/keystore.hpp"
+#include "fig1_common.hpp"
+#include "metrics/experiment.hpp"
+#include "net/testbeds.hpp"
+#include "scenarios/scenarios.hpp"
+
+namespace mpciot::bench {
+
+namespace {
+
+using bench_core::Row;
+using bench_core::Rows;
+using bench_core::ScenarioContext;
+
+Rows run_fig1(const net::Topology& topo, const char* testbed,
+              const std::vector<std::size_t>& source_counts,
+              std::uint32_t s4_ntx, const ScenarioContext& ctx) {
+  const crypto::KeyStore keys(ctx.seed, topo.size());
+  Rows rows;
+  for (const std::size_t source_count : source_counts) {
+    const std::vector<NodeId> sources =
+        spread_sources(topo.size(), source_count);
+    const std::size_t degree = core::paper_degree(sources.size());
+    crypto::Xoshiro256 cal_rng(ctx.seed ^ 0xCA11B007ull);
+    const std::uint32_t s3_ntx =
+        core::suggest_s3_ntx(topo, sources, /*trials=*/25, cal_rng);
+
+    const core::SssProtocol s3(
+        topo, keys, core::make_s3_config(topo, sources, degree, s3_ntx));
+    const core::SssProtocol s4(
+        topo, keys, core::make_s4_config(topo, sources, degree, s4_ntx));
+
+    metrics::ExperimentSpec spec;
+    spec.repetitions = ctx.reps;
+    spec.base_seed = ctx.seed;
+    spec.jobs = ctx.jobs;
+    const metrics::TrialStats s3_stats = metrics::run_trials(s3, spec);
+    const metrics::TrialStats s4_stats = metrics::run_trials(s4, spec);
+
+    const double s3_lat = s3_stats.latency_max_ms.mean();
+    const double s4_lat = s4_stats.latency_max_ms.mean();
+    const double s3_radio = s3_stats.radio_on_max_ms.mean();
+    const double s4_radio = s4_stats.radio_on_max_ms.mean();
+
+    Row row;
+    row.set("testbed", testbed)
+        .set("sources", static_cast<std::uint64_t>(source_count))
+        .set("degree", static_cast<std::uint64_t>(degree))
+        .set("holders",
+             static_cast<std::uint64_t>(s4.config().share_holders.size()))
+        .set("s3_ntx", s3_ntx)
+        .set("s4_ntx", s4_ntx)
+        .set("s3_latency_ms", round3(s3_lat))
+        .set("s4_latency_ms", round3(s4_lat))
+        .set("latency_speedup", round3(s3_lat / s4_lat))
+        .set("s3_radio_on_ms", round3(s3_radio))
+        .set("s4_radio_on_ms", round3(s4_radio))
+        .set("radio_reduction", round3(s3_radio / s4_radio))
+        .set("s3_success_pct", round3(s3_stats.success_ratio.mean() * 100))
+        .set("s4_success_pct", round3(s4_stats.success_ratio.mean() * 100))
+        .set("s3_delivery_pct", round3(s3_stats.share_delivery.mean() * 100))
+        .set("s4_delivery_pct", round3(s4_stats.share_delivery.mean() * 100));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace
+
+void register_fig1_scenarios(bench_core::Registry& registry) {
+  registry.add(bench_core::ScenarioSpec{
+      "fig1_flocklab",
+      "Fig. 1 (a,b): S3 vs S4 latency and radio-on, FlockLab-like testbed",
+      /*default_reps=*/20,
+      /*deterministic=*/true,
+      /*param_names=*/{},
+      [](const ScenarioContext& ctx) {
+        return run_fig1(net::testbeds::flocklab(), "flocklab",
+                        {3u, 6u, 10u, 24u}, /*s4_ntx=*/6, ctx);
+      }});
+  registry.add(bench_core::ScenarioSpec{
+      "fig1_dcube",
+      "Fig. 1 (c,d): S3 vs S4 latency and radio-on, DCube-like testbed",
+      /*default_reps=*/20,
+      /*deterministic=*/true,
+      /*param_names=*/{},
+      [](const ScenarioContext& ctx) {
+        return run_fig1(net::testbeds::dcube(), "dcube", {5u, 7u, 12u, 45u},
+                        /*s4_ntx=*/5, ctx);
+      }});
+}
+
+}  // namespace mpciot::bench

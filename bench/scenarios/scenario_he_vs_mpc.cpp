@@ -1,0 +1,112 @@
+// §I motivation: "most of the existing PPDA solutions rely on highly
+// computation-intensive Homomorphic Encryption ... hence they mostly do
+// not fit with resource-constrained IoT". Wall-clock comparison of
+// Paillier HE versus this library's Shamir compute path, with a crude
+// Cortex-M4 extrapolation. The only non-deterministic scenario: its
+// rows are host timings and differ run to run.
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "core/shamir.hpp"
+#include "crypto/paillier.hpp"
+#include "scenarios/scenarios.hpp"
+
+namespace mpciot::bench {
+
+namespace {
+
+using bench_core::Row;
+using bench_core::Rows;
+using bench_core::ScenarioContext;
+
+double time_us(const std::function<void()>& fn, int iters) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(end - start).count() /
+         iters;
+}
+
+Rows run_he_vs_mpc(const ScenarioContext&) {
+  constexpr int kNodes = 26;  // FlockLab-size round
+  // Host clock estimate for the MCU extrapolation column.
+  constexpr double kHostGhzOverMcu = 3.0e9 / 64.0e6;
+
+  Rows rows;
+
+  // ---- Paillier at increasing modulus sizes ----
+  for (const std::size_t bits : {256u, 512u, 1024u}) {
+    crypto::Xoshiro256 rng(bits);
+    const auto kp = crypto::Paillier::generate(bits, rng);
+    const crypto::BigInt m{12345};
+
+    const double enc_us =
+        time_us([&] { crypto::Paillier::encrypt(kp.pub, m, rng); },
+                bits > 512 ? 3 : 10);
+    crypto::BigInt c1 = crypto::Paillier::encrypt(kp.pub, m, rng);
+    const crypto::BigInt c2 = crypto::Paillier::encrypt(kp.pub, m, rng);
+    const double add_us =
+        time_us([&] { c1 = crypto::Paillier::add(kp.pub, c1, c2); }, 50);
+    const double dec_us =
+        time_us([&] { crypto::Paillier::decrypt(kp.pub, kp.priv, c1); },
+                bits > 512 ? 3 : 10);
+
+    Row row;
+    row.set("scheme", "paillier-" + std::to_string(bits))
+        .set("encrypt_share_us", round3(enc_us))
+        .set("aggregate_us", round3(add_us * kNodes))
+        .set("decrypt_reconstruct_us", round3(dec_us))
+        .set("mcu_per_node_ms", round3(enc_us * kHostGhzOverMcu / 1000.0));
+    rows.push_back(std::move(row));
+  }
+
+  // ---- Shamir (this library's compute path) ----
+  {
+    const std::size_t degree = core::paper_degree(kNodes);
+    const double share_us = time_us(
+        [&] {
+          crypto::CtrDrbg drbg(1, 0);
+          const core::ShamirDealer dealer(field::Fp61{12345}, degree, drbg);
+          for (NodeId h = 0; h < kNodes; ++h) dealer.share_for(h);
+        },
+        200);
+    // Point-sum aggregation: kNodes additions.
+    std::vector<field::Fp61> vals(kNodes, field::Fp61{999});
+    const double sum_us = time_us([&] { core::sum_shares(vals); }, 2000);
+    // Reconstruction from degree+1 sums.
+    crypto::CtrDrbg drbg(2, 0);
+    const core::ShamirDealer dealer(field::Fp61{7}, degree, drbg);
+    std::vector<core::Share> sums;
+    for (NodeId h = 0; h < degree + 1; ++h) {
+      sums.push_back(dealer.share_for(h));
+    }
+    const double rec_us =
+        time_us([&] { core::reconstruct(sums, degree); }, 500);
+
+    Row row;
+    row.set("scheme", "shamir-k" + std::to_string(degree))
+        .set("encrypt_share_us", round3(share_us))
+        .set("aggregate_us", round3(sum_us))
+        .set("decrypt_reconstruct_us", round3(rec_us))
+        .set("mcu_per_node_ms", round3(share_us * kHostGhzOverMcu / 1000.0));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace
+
+void register_he_vs_mpc(bench_core::Registry& registry) {
+  registry.add(bench_core::ScenarioSpec{
+      "he_vs_mpc",
+      "§I: Paillier HE vs Shamir compute cost (host wall-clock)",
+      /*default_reps=*/1,
+      /*deterministic=*/false,
+      /*param_names=*/{}, run_he_vs_mpc});
+}
+
+}  // namespace mpciot::bench

@@ -1,0 +1,103 @@
+// §III non-linearity of MiniCast coverage in NTX: "with a short
+// increase in NTX, a large amount of data becomes available in a node,
+// while it takes a comparatively higher time (NTX) to have the full
+// network coverage." All-to-all MiniCast rounds per testbed per NTX;
+// reports mean delivery, full-coverage fraction, and delivery into the
+// central share-holder set only — the asymmetry S4 exploits.
+// Param: max_ntx (default 20) caps the sweep.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/bootstrap.hpp"
+#include "core/protocol.hpp"
+#include "core/wire.hpp"
+#include "ct/chain_schedule.hpp"
+#include "metrics/stats.hpp"
+#include "net/testbeds.hpp"
+#include "scenarios/scenarios.hpp"
+
+namespace mpciot::bench {
+
+namespace {
+
+using bench_core::Row;
+using bench_core::Rows;
+using bench_core::ScenarioContext;
+
+void sweep(const char* name, const net::Topology& topo,
+           const ScenarioContext& ctx, std::uint32_t max_ntx, Rows& rows) {
+  std::vector<NodeId> sources(topo.size());
+  for (NodeId i = 0; i < topo.size(); ++i) sources[i] = i;
+  const ct::SharingSchedule sched = ct::make_sharing_schedule(sources, sources);
+
+  const std::size_t degree = core::paper_degree(sources.size());
+  const std::vector<NodeId> holders =
+      core::elect_share_holders(topo, sources, degree + 3);
+
+  for (std::uint32_t ntx = 1; ntx <= max_ntx; ++ntx) {
+    metrics::Summary delivery;
+    metrics::Summary full;
+    metrics::Summary holder_delivery;
+    metrics::Summary duration_ms;
+    for (std::uint32_t t = 0; t < ctx.reps; ++t) {
+      crypto::Xoshiro256 rng(ctx.seed + t);
+      ct::MiniCastConfig cfg;
+      cfg.initiator = topo.center_node();
+      cfg.ntx = ntx;
+      cfg.payload_bytes = core::SharePacket::kWireSize;
+      cfg.max_chain_slots = 512;
+      const ct::MiniCastResult res =
+          run_minicast(topo, sched.entries, cfg, rng);
+      delivery.add(res.delivery_ratio());
+      full.add(res.delivery_ratio() >= 1.0 ? 1.0 : 0.0);
+      duration_ms.add(static_cast<double>(res.duration_us) / 1e3);
+
+      std::size_t holder_got = 0;
+      std::size_t holder_total = 0;
+      for (std::size_t h = 0; h < holders.size(); ++h) {
+        for (std::size_t s = 0; s < sources.size(); ++s) {
+          const std::size_t entry = sched.entry_index(
+              s, static_cast<std::size_t>(
+                     std::find(sched.destinations.begin(),
+                               sched.destinations.end(), holders[h]) -
+                     sched.destinations.begin()));
+          ++holder_total;
+          if (res.node_has(holders[h], entry)) ++holder_got;
+        }
+      }
+      holder_delivery.add(static_cast<double>(holder_got) /
+                          static_cast<double>(holder_total));
+    }
+    Row row;
+    row.set("testbed", name)
+        .set("ntx", ntx)
+        .set("delivery_pct", round3(delivery.mean() * 100))
+        .set("full_coverage_pct", round3(full.mean() * 100))
+        .set("holder_delivery_pct", round3(holder_delivery.mean() * 100))
+        .set("round_ms", round3(duration_ms.mean()));
+    rows.push_back(std::move(row));
+  }
+}
+
+Rows run_ntx_coverage(const ScenarioContext& ctx) {
+  const std::uint32_t max_ntx = ctx.param_u32("max_ntx", 20);
+  Rows rows;
+  sweep("flocklab", net::testbeds::flocklab(), ctx, max_ntx, rows);
+  sweep("dcube", net::testbeds::dcube(), ctx, max_ntx, rows);
+  return rows;
+}
+
+}  // namespace
+
+void register_ntx_coverage(bench_core::Registry& registry) {
+  registry.add(bench_core::ScenarioSpec{
+      "ntx_coverage",
+      "§III: MiniCast coverage vs NTX (param max_ntx, default 20)",
+      /*default_reps=*/10,
+      /*deterministic=*/true,
+      /*param_names=*/{"max_ntx"}, run_ntx_coverage});
+}
+
+}  // namespace mpciot::bench

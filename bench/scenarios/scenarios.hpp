@@ -1,0 +1,36 @@
+// The nine benchmark scenarios, registered explicitly (no static-init
+// tricks, so static-library linking cannot drop them). Each scenario
+// returns rows of data; the bench_core runner renders JSON and tables.
+#pragma once
+
+#include <cmath>
+
+#include "bench_core/registry.hpp"
+
+namespace mpciot::bench {
+
+/// Register every scenario: fig1_flocklab, fig1_dcube, chain_scaling,
+/// degree_sweep, fault_tolerance, he_vs_mpc, ntx_coverage,
+/// payload_size, unicast_vs_ct.
+void register_all_scenarios(bench_core::Registry& registry);
+
+void register_fig1_scenarios(bench_core::Registry& registry);
+void register_chain_scaling(bench_core::Registry& registry);
+void register_degree_sweep(bench_core::Registry& registry);
+void register_fault_tolerance(bench_core::Registry& registry);
+void register_he_vs_mpc(bench_core::Registry& registry);
+void register_ntx_coverage(bench_core::Registry& registry);
+void register_payload_size(bench_core::Registry& registry);
+void register_unicast_vs_ct(bench_core::Registry& registry);
+
+/// Entry point for the legacy per-figure binaries: parse the historic
+/// flags (--reps, --seed, --csv, plus --jobs and, when enabled,
+/// --max-ntx) with the strict shared parser, run one scenario, print
+/// its table. Returns the process exit code (2 on bad usage).
+int run_legacy_shim(const char* scenario_name, int argc, char** argv,
+                    bool accept_max_ntx = false);
+
+/// Round to 3 decimals so JSON rows stay readable; deterministic.
+inline double round3(double v) { return std::round(v * 1000.0) / 1000.0; }
+
+}  // namespace mpciot::bench

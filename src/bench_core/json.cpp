@@ -1,0 +1,460 @@
+#include "bench_core/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace mpciot::bench_core {
+
+namespace {
+
+/// Shortest representation that parses back to the same double
+/// (std::to_chars general form), with "-0" normalized and non-finite
+/// values mapped to null per RFC 8259.
+void append_double(double v, std::string& out) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+void append_number(const JsonValue& v, std::string& out) {
+  char buf[32];
+  switch (v.kind()) {
+    case JsonValue::Kind::kInt: {
+      const auto res = std::to_chars(buf, buf + sizeof(buf), v.as_int());
+      out.append(buf, res.ptr);
+      break;
+    }
+    case JsonValue::Kind::kUint: {
+      const auto res = std::to_chars(buf, buf + sizeof(buf), v.as_uint());
+      out.append(buf, res.ptr);
+      break;
+    }
+    default:
+      append_double(v.as_double(), out);
+      break;
+  }
+}
+
+}  // namespace
+
+double JsonValue::as_double() const {
+  switch (kind_) {
+    case Kind::kInt:
+      return static_cast<double>(int_);
+    case Kind::kUint:
+      return static_cast<double>(uint_);
+    case Kind::kDouble:
+      return double_;
+    default:
+      return 0.0;
+  }
+}
+
+void JsonValue::push_back(JsonValue v) {
+  MPCIOT_REQUIRE(kind_ == Kind::kArray, "JsonValue: push_back on non-array");
+  array_.push_back(std::move(v));
+}
+
+void JsonValue::set(std::string_view key, JsonValue v) {
+  MPCIOT_REQUIRE(kind_ == Kind::kObject, "JsonValue: set on non-object");
+  for (auto& [k, existing] : object_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  object_.emplace_back(std::string(key), std::move(v));
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void escape_json_string(std::string_view s, std::string& out) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through untouched.
+        }
+        break;
+    }
+  }
+  out += '"';
+}
+
+void JsonValue::dump_impl(std::ostream& os, int indent, int depth) const {
+  const auto newline_pad = [&](int d) {
+    if (indent > 0) {
+      os << '\n';
+      for (int i = 0; i < indent * d; ++i) os << ' ';
+    }
+  };
+  std::string scratch;
+  switch (kind_) {
+    case Kind::kNull:
+      os << "null";
+      break;
+    case Kind::kBool:
+      os << (bool_ ? "true" : "false");
+      break;
+    case Kind::kInt:
+    case Kind::kUint:
+    case Kind::kDouble:
+      append_number(*this, scratch);
+      os << scratch;
+      break;
+    case Kind::kString:
+      escape_json_string(string_, scratch);
+      os << scratch;
+      break;
+    case Kind::kArray:
+      os << '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i) os << ',';
+        newline_pad(depth + 1);
+        array_[i].dump_impl(os, indent, depth + 1);
+      }
+      if (!array_.empty()) newline_pad(depth);
+      os << ']';
+      break;
+    case Kind::kObject:
+      os << '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i) os << ',';
+        newline_pad(depth + 1);
+        scratch.clear();
+        escape_json_string(object_[i].first, scratch);
+        os << scratch << (indent > 0 ? ": " : ":");
+        object_[i].second.dump_impl(os, indent, depth + 1);
+      }
+      if (!object_.empty()) newline_pad(depth);
+      os << '}';
+      break;
+  }
+}
+
+void JsonValue::dump(std::ostream& os, int indent) const {
+  dump_impl(os, indent, 0);
+}
+
+std::string JsonValue::dump_string(int indent) const {
+  std::ostringstream os;
+  dump(os, indent);
+  return os.str();
+}
+
+bool operator==(const JsonValue& a, const JsonValue& b) {
+  if (a.is_number() && b.is_number()) {
+    return a.as_double() == b.as_double();
+  }
+  if (a.kind_ != b.kind_) return false;
+  switch (a.kind_) {
+    case JsonValue::Kind::kNull:
+      return true;
+    case JsonValue::Kind::kBool:
+      return a.bool_ == b.bool_;
+    case JsonValue::Kind::kString:
+      return a.string_ == b.string_;
+    case JsonValue::Kind::kArray:
+      return a.array_ == b.array_;
+    case JsonValue::Kind::kObject:
+      return a.object_ == b.object_;
+    default:
+      return false;  // number kinds handled above
+  }
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse_document() {
+    skip_ws();
+    std::optional<JsonValue> v = parse_value();
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after document");
+      return std::nullopt;
+    }
+    return v;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  void fail(const char* msg) {
+    if (error_.empty()) {
+      error_ = msg;
+      error_ += " at offset " + std::to_string(pos_);
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> parse_value() {
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    const char c = text_[pos_];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      std::optional<std::string> s = parse_string();
+      if (!s) return std::nullopt;
+      return JsonValue(std::move(*s));
+    }
+    if (consume_literal("null")) return JsonValue();
+    if (consume_literal("true")) return JsonValue(true);
+    if (consume_literal("false")) return JsonValue(false);
+    return parse_number();
+  }
+
+  std::optional<JsonValue> parse_object() {
+    ++pos_;  // '{'
+    JsonValue obj = JsonValue::object();
+    skip_ws();
+    if (consume('}')) return obj;
+    for (;;) {
+      skip_ws();
+      std::optional<std::string> key = parse_string();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (!consume(':')) {
+        fail("expected ':' in object");
+        return std::nullopt;
+      }
+      skip_ws();
+      std::optional<JsonValue> v = parse_value();
+      if (!v) return std::nullopt;
+      obj.set(*key, std::move(*v));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return obj;
+      fail("expected ',' or '}' in object");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> parse_array() {
+    ++pos_;  // '['
+    JsonValue arr = JsonValue::array();
+    skip_ws();
+    if (consume(']')) return arr;
+    for (;;) {
+      skip_ws();
+      std::optional<JsonValue> v = parse_value();
+      if (!v) return std::nullopt;
+      arr.push_back(std::move(*v));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return arr;
+      fail("expected ',' or ']' in array");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) {
+      fail("expected string");
+      return std::nullopt;
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+            return std::nullopt;
+          }
+          unsigned code = 0;
+          const auto res = std::from_chars(text_.data() + pos_,
+                                           text_.data() + pos_ + 4, code, 16);
+          if (res.ec != std::errc() || res.ptr != text_.data() + pos_ + 4) {
+            fail("bad \\u escape");
+            return std::nullopt;
+          }
+          pos_ += 4;
+          // The writer only emits \u00XX for control bytes; decode the
+          // BMP code point as UTF-8 so round-trips are faithful.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("unknown escape");
+          return std::nullopt;
+      }
+    }
+    fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool is_integer = true;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      if (text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E') {
+        is_integer = false;
+      }
+      ++pos_;
+    }
+    const std::string_view tok = text_.substr(start, pos_ - start);
+    if (tok.empty() || tok == "-") {
+      fail("expected value");
+      return std::nullopt;
+    }
+    if (is_integer) {
+      if (tok[0] == '-') {
+        std::int64_t v = 0;
+        const auto res =
+            std::from_chars(tok.data(), tok.data() + tok.size(), v);
+        if (res.ec == std::errc() && res.ptr == tok.data() + tok.size()) {
+          return JsonValue(v);
+        }
+      } else {
+        std::uint64_t v = 0;
+        const auto res =
+            std::from_chars(tok.data(), tok.data() + tok.size(), v);
+        if (res.ec == std::errc() && res.ptr == tok.data() + tok.size()) {
+          return JsonValue(v);
+        }
+      }
+    }
+    double d = 0.0;
+    const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+    if (res.ec != std::errc() || res.ptr != tok.data() + tok.size()) {
+      fail("malformed number");
+      return std::nullopt;
+    }
+    return JsonValue(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::optional<JsonValue> parse_json(std::string_view text,
+                                    std::string* error) {
+  Parser p(text);
+  std::optional<JsonValue> v = p.parse_document();
+  if (!v && error) *error = p.error();
+  return v;
+}
+
+}  // namespace mpciot::bench_core

@@ -1,0 +1,147 @@
+#include "bench_core/options.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace mpciot::bench_core {
+
+bool parse_u64(const std::string& text, std::uint64_t* out,
+               std::uint64_t max) {
+  if (text.empty()) return false;
+  std::uint64_t value = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto res = std::from_chars(begin, end, value);
+  if (res.ec != std::errc() || res.ptr != end) return false;
+  if (value > max) return false;
+  *out = value;
+  return true;
+}
+
+bool parse_u32(const std::string& text, std::uint32_t* out) {
+  std::uint64_t wide = 0;
+  if (!parse_u64(text, &wide, UINT32_MAX)) return false;
+  *out = static_cast<std::uint32_t>(wide);
+  return true;
+}
+
+OptionParser::OptionParser(std::string summary)
+    : summary_(std::move(summary)) {}
+
+void OptionParser::add_flag(const std::string& name, bool* out,
+                            const std::string& help) {
+  options_.push_back(Option{name, Type::kFlag, out, help});
+}
+
+void OptionParser::add_u32(const std::string& name, std::uint32_t* out,
+                           const std::string& help) {
+  options_.push_back(Option{name, Type::kU32, out, help});
+}
+
+void OptionParser::add_u64(const std::string& name, std::uint64_t* out,
+                           const std::string& help) {
+  options_.push_back(Option{name, Type::kU64, out, help});
+}
+
+void OptionParser::add_string(const std::string& name, std::string* out,
+                              const std::string& help) {
+  options_.push_back(Option{name, Type::kString, out, help});
+}
+
+void OptionParser::add_key_value_list(
+    const std::string& name,
+    std::vector<std::pair<std::string, std::string>>* out,
+    const std::string& help) {
+  options_.push_back(Option{name, Type::kKeyValueList, out, help});
+}
+
+const OptionParser::Option* OptionParser::find(const std::string& name) const {
+  for (const Option& opt : options_) {
+    if (opt.name == name) return &opt;
+  }
+  return nullptr;
+}
+
+bool OptionParser::parse(int argc, char** argv) {
+  error_.clear();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const Option* opt = find(arg);
+    if (!opt) {
+      error_ = "unknown option '" + arg + "'";
+      return false;
+    }
+    if (opt->type == Type::kFlag) {
+      *static_cast<bool*>(opt->out) = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      error_ = "option '" + arg + "' needs a value";
+      return false;
+    }
+    const std::string value = argv[++i];
+    switch (opt->type) {
+      case Type::kU32:
+        if (!parse_u32(value, static_cast<std::uint32_t*>(opt->out))) {
+          error_ = "option '" + arg + "' needs an unsigned 32-bit decimal, " +
+                   "got '" + value + "'";
+          return false;
+        }
+        break;
+      case Type::kU64:
+        if (!parse_u64(value, static_cast<std::uint64_t*>(opt->out))) {
+          error_ = "option '" + arg + "' needs an unsigned 64-bit decimal, " +
+                   "got '" + value + "'";
+          return false;
+        }
+        break;
+      case Type::kString:
+        *static_cast<std::string*>(opt->out) = value;
+        break;
+      case Type::kKeyValueList: {
+        const std::size_t eq = value.find('=');
+        if (eq == std::string::npos || eq == 0 || eq + 1 == value.size()) {
+          error_ = "option '" + arg + "' needs key=value, got '" + value + "'";
+          return false;
+        }
+        auto* list = static_cast<
+            std::vector<std::pair<std::string, std::string>>*>(opt->out);
+        list->emplace_back(value.substr(0, eq), value.substr(eq + 1));
+        break;
+      }
+      case Type::kFlag:
+        break;  // handled above
+    }
+  }
+  return true;
+}
+
+std::string OptionParser::usage(const char* argv0) const {
+  std::ostringstream os;
+  os << summary_ << "\nusage: " << argv0;
+  for (const Option& opt : options_) {
+    os << " [" << opt.name;
+    switch (opt.type) {
+      case Type::kFlag:
+        break;
+      case Type::kU32:
+      case Type::kU64:
+        os << " N";
+        break;
+      case Type::kString:
+        os << " S";
+        break;
+      case Type::kKeyValueList:
+        os << " k=v";
+        break;
+    }
+    os << "]";
+  }
+  os << "\n";
+  for (const Option& opt : options_) {
+    os << "  " << opt.name << "  " << opt.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mpciot::bench_core

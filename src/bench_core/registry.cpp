@@ -1,0 +1,49 @@
+#include "bench_core/registry.hpp"
+
+#include "bench_core/options.hpp"
+#include "common/assert.hpp"
+
+namespace mpciot::bench_core {
+
+std::uint32_t ScenarioContext::param_u32(const std::string& key,
+                                         std::uint32_t def) const {
+  for (const auto& [k, v] : params) {
+    if (k == key) {
+      std::uint32_t out = 0;
+      MPCIOT_REQUIRE(parse_u32(v, &out),
+                     "ScenarioContext: param '" + key + "' has malformed "
+                     "value '" + v + "' (CLI validation bypassed)");
+      return out;
+    }
+  }
+  return def;
+}
+
+void Registry::add(ScenarioSpec spec) {
+  MPCIOT_REQUIRE(!spec.name.empty(), "Registry: scenario name empty");
+  MPCIOT_REQUIRE(static_cast<bool>(spec.run),
+                 "Registry: scenario has no run function");
+  MPCIOT_REQUIRE(find(spec.name) == nullptr,
+                 "Registry: duplicate scenario name " + spec.name);
+  scenarios_.push_back(std::move(spec));
+}
+
+const ScenarioSpec* Registry::find(const std::string& name) const {
+  for (const ScenarioSpec& s : scenarios_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<const ScenarioSpec*> Registry::match(
+    const std::string& filter) const {
+  std::vector<const ScenarioSpec*> out;
+  for (const ScenarioSpec& s : scenarios_) {
+    if (filter.empty() || s.name.find(filter) != std::string::npos) {
+      out.push_back(&s);
+    }
+  }
+  return out;
+}
+
+}  // namespace mpciot::bench_core

@@ -1,0 +1,97 @@
+#include "bench_core/runner.hpp"
+
+#include <chrono>
+#include <ostream>
+
+#include "metrics/table.hpp"
+
+namespace mpciot::bench_core {
+
+std::vector<ScenarioRun> run_scenarios(
+    const std::vector<const ScenarioSpec*>& scenarios,
+    const ScenarioContext& ctx, std::ostream* progress) {
+  std::vector<ScenarioRun> runs;
+  runs.reserve(scenarios.size());
+  for (const ScenarioSpec* spec : scenarios) {
+    ScenarioContext resolved = ctx;
+    if (resolved.reps == 0) resolved.reps = spec->default_reps;
+    const auto start = std::chrono::steady_clock::now();
+    ScenarioRun run;
+    run.spec = spec;
+    run.rows = spec->run(resolved);
+    const auto end = std::chrono::steady_clock::now();
+    run.wall_ms =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    if (progress) {
+      *progress << spec->name << ": " << run.rows.size() << " rows, reps="
+                << resolved.reps << ", wall " << run.wall_ms << " ms\n";
+    }
+    runs.push_back(std::move(run));
+  }
+  return runs;
+}
+
+JsonValue results_to_json(const std::vector<ScenarioRun>& runs,
+                          std::uint32_t reps, std::uint64_t seed) {
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", "mpciot-bench/1");
+  doc.set("seed", seed);
+  if (reps == 0) {
+    doc.set("reps", "scenario-default");
+  } else {
+    doc.set("reps", reps);
+  }
+  JsonValue scenarios = JsonValue::array();
+  for (const ScenarioRun& run : runs) {
+    JsonValue s = JsonValue::object();
+    s.set("name", run.spec->name);
+    s.set("description", run.spec->description);
+    s.set("deterministic", run.spec->deterministic);
+    JsonValue rows = JsonValue::array();
+    for (const Row& row : run.rows) rows.push_back(row.json());
+    s.set("rows", std::move(rows));
+    scenarios.push_back(std::move(s));
+  }
+  doc.set("scenarios", std::move(scenarios));
+  return doc;
+}
+
+std::string cell_to_text(const JsonValue& v) {
+  if (v.kind() == JsonValue::Kind::kString) return v.as_string();
+  return v.dump_string();
+}
+
+void print_results(const std::vector<ScenarioRun>& runs, std::ostream& os,
+                   bool csv) {
+  for (const ScenarioRun& run : runs) {
+    os << "== " << run.spec->name << " — " << run.spec->description
+       << " ==\n";
+    if (run.rows.empty()) {
+      os << "(no rows)\n\n";
+      continue;
+    }
+    std::vector<std::string> headers;
+    for (const auto& [key, value] : run.rows.front().json().as_object()) {
+      (void)value;
+      headers.push_back(key);
+    }
+    metrics::Table table(headers);
+    for (const Row& row : run.rows) {
+      std::vector<std::string> cells;
+      cells.reserve(headers.size());
+      for (const std::string& h : headers) {
+        const JsonValue* v = row.json().find(h);
+        cells.push_back(v ? cell_to_text(*v) : "");
+      }
+      table.add_row(std::move(cells));
+    }
+    table.print(os);
+    if (csv) {
+      os << "-- CSV --\n";
+      table.print_csv(os);
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace mpciot::bench_core

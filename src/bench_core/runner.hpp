@@ -1,0 +1,46 @@
+// Drives registered scenarios and renders their rows: a machine-read-
+// able JSON document (the BENCH_*.json format CI archives) and/or
+// aligned human tables.
+//
+// The JSON document deliberately contains no wall-clock times and no
+// job count — only seed-determined simulation results — so the same
+// (scenario set, reps, seed) produces byte-identical files for any
+// --jobs value. Wall-clock per scenario goes to the progress stream.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "bench_core/registry.hpp"
+
+namespace mpciot::bench_core {
+
+struct ScenarioRun {
+  const ScenarioSpec* spec = nullptr;
+  Rows rows;
+  double wall_ms = 0.0;  // progress reporting only; never serialized
+};
+
+/// Run each scenario serially (trial-level parallelism happens inside a
+/// scenario via ctx.jobs). `progress`, when non-null, receives one line
+/// per scenario with its wall-clock time.
+std::vector<ScenarioRun> run_scenarios(
+    const std::vector<const ScenarioSpec*>& scenarios,
+    const ScenarioContext& ctx, std::ostream* progress);
+
+/// Assemble the "mpciot-bench/1" document. `reps` 0 means "per-scenario
+/// default" and is recorded as such.
+JsonValue results_to_json(const std::vector<ScenarioRun>& runs,
+                          std::uint32_t reps, std::uint64_t seed);
+
+/// Pretty tables, one per scenario; column order follows the first
+/// row's cell order. `csv` additionally emits a CSV copy per table.
+void print_results(const std::vector<ScenarioRun>& runs, std::ostream& os,
+                   bool csv);
+
+/// Render one JSON cell for a table: numbers via the deterministic JSON
+/// number formatter, strings unquoted.
+std::string cell_to_text(const JsonValue& v);
+
+}  // namespace mpciot::bench_core

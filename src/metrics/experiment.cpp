@@ -1,9 +1,50 @@
 #include "metrics/experiment.hpp"
 
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
 #include "crypto/prng.hpp"
 #include "sim/simulator.hpp"
 
 namespace mpciot::metrics {
+
+namespace {
+
+/// Plain per-trial metric record; computed concurrently, folded serially.
+struct TrialRecord {
+  double latency_max_ms = 0.0;
+  double latency_mean_ms = 0.0;
+  double radio_on_max_ms = 0.0;
+  double radio_on_mean_ms = 0.0;
+  double success_ratio = 0.0;
+  double share_delivery = 0.0;
+  double total_duration_ms = 0.0;
+};
+
+TrialRecord run_one_trial(const core::SssProtocol& protocol,
+                          const ExperimentSpec& spec, std::uint32_t trial,
+                          std::size_t source_count) {
+  const std::uint64_t seed = spec.base_seed + trial;
+  sim::Simulator sim(seed);
+  const std::vector<field::Fp61> secrets =
+      spec.make_secrets ? spec.make_secrets(trial, source_count)
+                        : random_secrets(seed * 7919 + 13, source_count);
+  const core::AggregationResult res = protocol.run(secrets, sim);
+
+  TrialRecord rec;
+  rec.latency_max_ms = static_cast<double>(res.max_latency_us()) / 1e3;
+  rec.latency_mean_ms = res.mean_latency_us() / 1e3;
+  rec.radio_on_max_ms = static_cast<double>(res.max_radio_on_us()) / 1e3;
+  rec.radio_on_mean_ms = res.mean_radio_on_us() / 1e3;
+  rec.success_ratio = res.success_ratio();
+  rec.share_delivery = res.share_delivery_ratio;
+  rec.total_duration_ms = static_cast<double>(res.total_duration_us) / 1e3;
+  return rec;
+}
+
+}  // namespace
 
 std::vector<field::Fp61> random_secrets(std::uint64_t seed, std::size_t count,
                                         std::uint64_t bound) {
@@ -16,28 +57,60 @@ std::vector<field::Fp61> random_secrets(std::uint64_t seed, std::size_t count,
   return secrets;
 }
 
+unsigned resolve_jobs(unsigned jobs, std::uint32_t repetitions) {
+  if (jobs == 0) {
+    jobs = std::thread::hardware_concurrency();
+    if (jobs == 0) jobs = 1;
+  }
+  if (repetitions > 0 && jobs > repetitions) jobs = repetitions;
+  return jobs;
+}
+
 TrialStats run_trials(const core::SssProtocol& protocol,
                       const ExperimentSpec& spec) {
-  TrialStats stats;
   const std::size_t source_count = protocol.config().sources.size();
+  const unsigned jobs = resolve_jobs(spec.jobs, spec.repetitions);
+  std::vector<TrialRecord> records(spec.repetitions);
 
-  for (std::uint32_t trial = 0; trial < spec.repetitions; ++trial) {
-    const std::uint64_t seed = spec.base_seed + trial;
-    sim::Simulator sim(seed);
-    const std::vector<field::Fp61> secrets =
-        spec.make_secrets ? spec.make_secrets(trial, source_count)
-                          : random_secrets(seed * 7919 + 13, source_count);
-    const core::AggregationResult res = protocol.run(secrets, sim);
+  if (jobs <= 1) {
+    for (std::uint32_t trial = 0; trial < spec.repetitions; ++trial) {
+      records[trial] = run_one_trial(protocol, spec, trial, source_count);
+    }
+  } else {
+    std::atomic<std::uint32_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    const auto worker = [&] {
+      for (;;) {
+        const std::uint32_t trial = next.fetch_add(1);
+        if (trial >= spec.repetitions) return;
+        try {
+          records[trial] = run_one_trial(protocol, spec, trial, source_count);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+          return;
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned i = 0; i < jobs; ++i) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+  }
 
-    stats.latency_max_ms.add(static_cast<double>(res.max_latency_us()) / 1e3);
-    stats.latency_mean_ms.add(res.mean_latency_us() / 1e3);
-    stats.radio_on_max_ms.add(static_cast<double>(res.max_radio_on_us()) /
-                              1e3);
-    stats.radio_on_mean_ms.add(res.mean_radio_on_us() / 1e3);
-    stats.success_ratio.add(res.success_ratio());
-    stats.share_delivery.add(res.share_delivery_ratio);
-    stats.total_duration_ms.add(static_cast<double>(res.total_duration_us) /
-                                1e3);
+  // Fold in trial order so the Summary sample vectors — and therefore
+  // every derived statistic — match the serial run exactly.
+  TrialStats stats;
+  for (const TrialRecord& rec : records) {
+    stats.latency_max_ms.add(rec.latency_max_ms);
+    stats.latency_mean_ms.add(rec.latency_mean_ms);
+    stats.radio_on_max_ms.add(rec.radio_on_max_ms);
+    stats.radio_on_mean_ms.add(rec.radio_on_mean_ms);
+    stats.success_ratio.add(rec.success_ratio);
+    stats.share_delivery.add(rec.share_delivery);
+    stats.total_duration_ms.add(rec.total_duration_ms);
   }
   return stats;
 }

@@ -2,6 +2,12 @@
 // and the paper's evaluation methodology (each point = many iterations
 // with fresh randomness; the paper uses 2000, we default lower and let
 // callers override).
+//
+// Trials are independent (per-trial seed = base_seed + trial), so they
+// can run on a worker pool. Determinism is preserved regardless of
+// `jobs`: every trial's metrics are computed into a per-trial record and
+// folded into the summaries in trial order, so the resulting TrialStats
+// are bit-for-bit identical for any job count.
 #pragma once
 
 #include <cstdint>
@@ -27,8 +33,13 @@ struct TrialStats {
 struct ExperimentSpec {
   std::uint32_t repetitions = 10;
   std::uint64_t base_seed = 1;
+  /// Worker threads for trial execution: 1 = serial (default), 0 = one
+  /// worker per hardware thread. Any value yields bit-identical
+  /// TrialStats; only wall-clock time changes.
+  unsigned jobs = 1;
   /// Secrets per trial: defaults to uniform random sensor readings in
-  /// [0, 2^16) drawn from the trial's DRBG.
+  /// [0, 2^16) drawn from the trial's DRBG. Must be safe to call from
+  /// multiple threads when jobs != 1.
   std::function<std::vector<field::Fp61>(std::uint32_t trial,
                                          std::size_t source_count)>
       make_secrets;
@@ -43,5 +54,10 @@ TrialStats run_trials(const core::SssProtocol& protocol,
 std::vector<field::Fp61> random_secrets(std::uint64_t seed,
                                         std::size_t count,
                                         std::uint64_t bound = 1u << 16);
+
+/// Number of worker threads `run_trials` will use for `spec`:
+/// jobs == 0 resolves to the hardware concurrency, and the pool never
+/// exceeds the trial count.
+unsigned resolve_jobs(unsigned jobs, std::uint32_t repetitions);
 
 }  // namespace mpciot::metrics

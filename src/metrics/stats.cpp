@@ -9,7 +9,7 @@ namespace mpciot::metrics {
 
 void Summary::add(double x) {
   samples_.push_back(x);
-  sorted_ = false;
+  sorted_samples_.clear();
 }
 
 double Summary::mean() const {
@@ -40,16 +40,16 @@ double Summary::max() const {
 double Summary::quantile(double q) const {
   MPCIOT_REQUIRE(!samples_.empty(), "Summary: no samples");
   MPCIOT_REQUIRE(q >= 0.0 && q <= 1.0, "Summary: quantile out of range");
-  if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
+  if (sorted_samples_.size() != samples_.size()) {
+    sorted_samples_ = samples_;
+    std::sort(sorted_samples_.begin(), sorted_samples_.end());
   }
-  if (samples_.size() == 1) return samples_[0];
-  const double pos = q * static_cast<double>(samples_.size() - 1);
+  if (sorted_samples_.size() == 1) return sorted_samples_[0];
+  const double pos = q * static_cast<double>(sorted_samples_.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const std::size_t hi = std::min(lo + 1, sorted_samples_.size() - 1);
   const double frac = pos - static_cast<double>(lo);
-  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  return sorted_samples_[lo] * (1.0 - frac) + sorted_samples_[hi] * frac;
 }
 
 double Summary::ci95_halfwidth() const {

@@ -7,6 +7,12 @@
 namespace mpciot::metrics {
 
 /// Streaming accumulator plus retained samples for quantiles.
+///
+/// Samples are kept in insertion order; quantiles sort a cached copy.
+/// This keeps mean()/stddev() a pure function of the insertion
+/// sequence (summation order never changes behind the caller's back),
+/// which the parallel experiment engine relies on for its bit-for-bit
+/// jobs-invariance guarantee.
 class Summary {
  public:
   void add(double x);
@@ -24,8 +30,9 @@ class Summary {
   double ci95_halfwidth() const;
 
  private:
-  mutable std::vector<double> samples_;
-  mutable bool sorted_ = false;
+  std::vector<double> samples_;
+  /// Lazily built sorted copy for quantile(); invalidated by add().
+  mutable std::vector<double> sorted_samples_;
 };
 
 }  // namespace mpciot::metrics

@@ -1,0 +1,75 @@
+// Registration and smoke coverage for the real benchmark scenarios
+// (bench/scenarios/). Heavier end-to-end runs happen in CI's
+// bench-smoke job; here we pin the registry contents, CLI-visible
+// metadata, and one fast scenario end to end.
+#include <gtest/gtest.h>
+
+#include "bench_core/runner.hpp"
+#include "scenarios/scenarios.hpp"
+
+namespace mpciot::bench {
+namespace {
+
+using bench_core::Registry;
+using bench_core::ScenarioContext;
+
+Registry make_registry() {
+  Registry reg;
+  register_all_scenarios(reg);
+  return reg;
+}
+
+TEST(Scenarios, AllNineRegistered) {
+  const Registry reg = make_registry();
+  const char* expected[] = {
+      "fig1_flocklab",  "fig1_dcube",   "chain_scaling",
+      "degree_sweep",   "fault_tolerance", "he_vs_mpc",
+      "ntx_coverage",   "payload_size", "unicast_vs_ct"};
+  EXPECT_EQ(reg.all().size(), 9u);
+  for (const char* name : expected) {
+    ASSERT_NE(reg.find(name), nullptr) << name;
+    EXPECT_FALSE(reg.find(name)->description.empty()) << name;
+    EXPECT_GT(reg.find(name)->default_reps, 0u) << name;
+  }
+}
+
+TEST(Scenarios, OnlyHeVsMpcIsNonDeterministic) {
+  const Registry reg = make_registry();
+  for (const auto& spec : reg.all()) {
+    EXPECT_EQ(spec.deterministic, spec.name != "he_vs_mpc") << spec.name;
+  }
+}
+
+TEST(Scenarios, ChainScalingRowsMatchTheClaim) {
+  const Registry reg = make_registry();
+  ScenarioContext ctx;
+  ctx.reps = 1;
+  const auto rows = reg.find("chain_scaling")->run(ctx);
+  // 9 analytic sweep points + 2 testbed cross-checks.
+  ASSERT_EQ(rows.size(), 11u);
+  for (const auto& row : rows) {
+    const auto* s3 = row.json().find("s3_chain_subslots");
+    const auto* s4 = row.json().find("s4_chain_subslots");
+    ASSERT_NE(s3, nullptr);
+    ASSERT_NE(s4, nullptr);
+    EXPECT_GE(s3->as_uint(), s4->as_uint());
+  }
+  // n=64: 64^2 vs 64*(21+3).
+  const auto& last_analytic = rows[8].json();
+  EXPECT_EQ(last_analytic.find("config")->as_string(), "analytic");
+  EXPECT_EQ(last_analytic.find("s3_chain_subslots")->as_uint(), 4096u);
+  EXPECT_EQ(last_analytic.find("s4_chain_subslots")->as_uint(), 64u * 24u);
+}
+
+TEST(Scenarios, NtxCoverageHonorsMaxNtxParam) {
+  const Registry reg = make_registry();
+  ScenarioContext ctx;
+  ctx.reps = 1;
+  ctx.params = {{"max_ntx", "2"}};
+  const auto rows = reg.find("ntx_coverage")->run(ctx);
+  // 2 NTX values x 2 testbeds.
+  EXPECT_EQ(rows.size(), 4u);
+}
+
+}  // namespace
+}  // namespace mpciot::bench

@@ -1,0 +1,119 @@
+#include "bench_core/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace mpciot::bench_core {
+namespace {
+
+TEST(JsonValue, ScalarDump) {
+  EXPECT_EQ(JsonValue().dump_string(), "null");
+  EXPECT_EQ(JsonValue(true).dump_string(), "true");
+  EXPECT_EQ(JsonValue(false).dump_string(), "false");
+  EXPECT_EQ(JsonValue(42).dump_string(), "42");
+  EXPECT_EQ(JsonValue(-7).dump_string(), "-7");
+  EXPECT_EQ(JsonValue(std::uint64_t{18446744073709551615ull}).dump_string(),
+            "18446744073709551615");
+  EXPECT_EQ(JsonValue(1.5).dump_string(), "1.5");
+  EXPECT_EQ(JsonValue("hi").dump_string(), "\"hi\"");
+}
+
+TEST(JsonValue, NonFiniteNumbersBecomeNull) {
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::infinity()).dump_string(),
+            "null");
+  EXPECT_EQ(JsonValue(std::nan("")).dump_string(), "null");
+}
+
+TEST(JsonValue, StringEscaping) {
+  std::string out;
+  escape_json_string("a\"b\\c\n\t\r\b\f", out);
+  EXPECT_EQ(out, "\"a\\\"b\\\\c\\n\\t\\r\\b\\f\"");
+  out.clear();
+  escape_json_string(std::string("\x01\x1f", 2), out);
+  EXPECT_EQ(out, "\"\\u0001\\u001f\"");
+  // UTF-8 passes through untouched.
+  out.clear();
+  escape_json_string("caf\xc3\xa9", out);
+  EXPECT_EQ(out, "\"caf\xc3\xa9\"");
+}
+
+TEST(JsonValue, ObjectPreservesInsertionOrderAndOverwrites) {
+  JsonValue obj = JsonValue::object();
+  obj.set("b", 1);
+  obj.set("a", 2);
+  obj.set("b", 3);  // overwrite in place, order unchanged
+  EXPECT_EQ(obj.dump_string(), "{\"b\":3,\"a\":2}");
+  ASSERT_NE(obj.find("a"), nullptr);
+  EXPECT_EQ(obj.find("a")->as_int(), 2);
+  EXPECT_EQ(obj.find("missing"), nullptr);
+}
+
+TEST(JsonValue, PrettyPrint) {
+  JsonValue obj = JsonValue::object();
+  obj.set("xs", JsonValue::array());
+  JsonValue xs = JsonValue::array();
+  xs.push_back(1);
+  xs.push_back(2);
+  obj.set("xs", std::move(xs));
+  EXPECT_EQ(obj.dump_string(2), "{\n  \"xs\": [\n    1,\n    2\n  ]\n}");
+}
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  JsonValue doc = JsonValue::object();
+  doc.set("name", "fig1 \"quoted\"\nline");
+  doc.set("count", std::uint64_t{20});
+  doc.set("negative", -3);
+  doc.set("ratio", 2.625);
+  doc.set("flag", true);
+  doc.set("nothing", JsonValue());
+  JsonValue rows = JsonValue::array();
+  JsonValue row = JsonValue::object();
+  row.set("latency_ms", 170.375);
+  row.set("ctrl", std::string("\x02", 1));
+  rows.push_back(std::move(row));
+  doc.set("rows", std::move(rows));
+
+  for (const int indent : {0, 2}) {
+    const std::string text = doc.dump_string(indent);
+    std::string error;
+    const auto parsed = parse_json(text, &error);
+    ASSERT_TRUE(parsed.has_value()) << error << " in: " << text;
+    EXPECT_TRUE(*parsed == doc) << text;
+    // Emission is a pure function of the value tree.
+    EXPECT_EQ(parsed->dump_string(indent), text);
+  }
+}
+
+TEST(JsonParse, DoubleRoundTripIsExact) {
+  // Shortest-round-trip formatting: parse(dump(x)) == x bit-for-bit.
+  for (const double v : {0.1, 1.0 / 3.0, 123456.789, 1e-300, -2.5e17}) {
+    const auto parsed = parse_json(JsonValue(v).dump_string());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->as_double(), v);
+  }
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(parse_json("", &error).has_value());
+  EXPECT_FALSE(parse_json("{", &error).has_value());
+  EXPECT_FALSE(parse_json("{\"a\":}", &error).has_value());
+  EXPECT_FALSE(parse_json("[1,]", &error).has_value());
+  EXPECT_FALSE(parse_json("\"unterminated", &error).has_value());
+  EXPECT_FALSE(parse_json("12 34", &error).has_value());
+  EXPECT_FALSE(parse_json("nulll", &error).has_value());
+  EXPECT_FALSE(parse_json("\"bad \\x escape\"", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonParse, ParsesNumbersByKind) {
+  EXPECT_EQ(parse_json("42")->kind(), JsonValue::Kind::kUint);
+  EXPECT_EQ(parse_json("-42")->kind(), JsonValue::Kind::kInt);
+  EXPECT_EQ(parse_json("4.5")->kind(), JsonValue::Kind::kDouble);
+  EXPECT_EQ(parse_json("1e3")->as_double(), 1000.0);
+}
+
+}  // namespace
+}  // namespace mpciot::bench_core

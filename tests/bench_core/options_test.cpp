@@ -1,0 +1,131 @@
+#include "bench_core/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mpciot::bench_core {
+namespace {
+
+/// argv helper: gtest owns the strings, parse() wants char**.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : strings_(std::move(args)) {
+    for (std::string& s : strings_) ptrs_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(ptrs_.size()); }
+  char** argv() { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::vector<char*> ptrs_;
+};
+
+TEST(ParseU64, StrictDecimal) {
+  std::uint64_t v = 0;
+  EXPECT_TRUE(parse_u64("0", &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(parse_u64("18446744073709551615", &v));
+  EXPECT_EQ(v, UINT64_MAX);
+
+  EXPECT_FALSE(parse_u64("", &v));
+  EXPECT_FALSE(parse_u64("12abc", &v));   // trailing garbage
+  EXPECT_FALSE(parse_u64("abc", &v));     // not a number
+  EXPECT_FALSE(parse_u64("-1", &v));      // sign rejected
+  EXPECT_FALSE(parse_u64("+1", &v));      // sign rejected
+  EXPECT_FALSE(parse_u64("1.5", &v));     // not an integer
+  EXPECT_FALSE(parse_u64(" 1", &v));      // whitespace rejected
+  EXPECT_FALSE(parse_u64("18446744073709551616", &v));  // overflow
+  EXPECT_FALSE(parse_u64("100", &v, 99));  // above caller max
+}
+
+TEST(ParseU32, RangeChecked) {
+  std::uint32_t v = 0;
+  EXPECT_TRUE(parse_u32("4294967295", &v));
+  EXPECT_EQ(v, UINT32_MAX);
+  EXPECT_FALSE(parse_u32("4294967296", &v));
+}
+
+TEST(OptionParser, ParsesAllTypes) {
+  std::uint32_t reps = 10;
+  std::uint64_t seed = 1;
+  bool csv = false;
+  std::string json;
+  std::vector<std::pair<std::string, std::string>> params;
+
+  OptionParser p("test");
+  p.add_u32("--reps", &reps, "reps");
+  p.add_u64("--seed", &seed, "seed");
+  p.add_flag("--csv", &csv, "csv");
+  p.add_string("--json", &json, "json out");
+  p.add_key_value_list("--param", &params, "override");
+
+  Argv args({"prog", "--reps", "25", "--seed", "99", "--csv", "--json",
+             "out.json", "--param", "max_ntx=12", "--param", "x=y"});
+  ASSERT_TRUE(p.parse(args.argc(), args.argv())) << p.error();
+  EXPECT_EQ(reps, 25u);
+  EXPECT_EQ(seed, 99u);
+  EXPECT_TRUE(csv);
+  EXPECT_EQ(json, "out.json");
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0].first, "max_ntx");
+  EXPECT_EQ(params[0].second, "12");
+  EXPECT_EQ(params[1].second, "y");
+}
+
+TEST(OptionParser, RejectsUnknownOption) {
+  std::uint32_t reps = 0;
+  OptionParser p("test");
+  p.add_u32("--reps", &reps, "reps");
+  Argv args({"prog", "--frobnicate"});
+  EXPECT_FALSE(p.parse(args.argc(), args.argv()));
+  EXPECT_NE(p.error().find("--frobnicate"), std::string::npos);
+}
+
+TEST(OptionParser, RejectsMalformedNumeric) {
+  // The old fig1 parser silently turned "abc" into 0; this must fail.
+  std::uint32_t reps = 7;
+  OptionParser p("test");
+  p.add_u32("--reps", &reps, "reps");
+  Argv args({"prog", "--reps", "abc"});
+  EXPECT_FALSE(p.parse(args.argc(), args.argv()));
+  EXPECT_EQ(reps, 7u);  // untouched on failure
+
+  Argv trailing({"prog", "--reps", "20x"});
+  EXPECT_FALSE(p.parse(trailing.argc(), trailing.argv()));
+}
+
+TEST(OptionParser, RejectsMissingValue) {
+  std::uint64_t seed = 0;
+  OptionParser p("test");
+  p.add_u64("--seed", &seed, "seed");
+  Argv args({"prog", "--seed"});
+  EXPECT_FALSE(p.parse(args.argc(), args.argv()));
+  EXPECT_NE(p.error().find("--seed"), std::string::npos);
+}
+
+TEST(OptionParser, RejectsMalformedKeyValue) {
+  std::vector<std::pair<std::string, std::string>> params;
+  OptionParser p("test");
+  p.add_key_value_list("--param", &params, "override");
+  for (const char* bad : {"noequals", "=v", "k="}) {
+    Argv args({"prog", "--param", bad});
+    EXPECT_FALSE(p.parse(args.argc(), args.argv())) << bad;
+  }
+}
+
+TEST(OptionParser, UsageMentionsEveryOption) {
+  std::uint32_t reps = 0;
+  bool csv = false;
+  OptionParser p("summary line");
+  p.add_u32("--reps", &reps, "rounds");
+  p.add_flag("--csv", &csv, "csv output");
+  const std::string usage = p.usage("prog");
+  EXPECT_NE(usage.find("summary line"), std::string::npos);
+  EXPECT_NE(usage.find("--reps N"), std::string::npos);
+  EXPECT_NE(usage.find("--csv"), std::string::npos);
+  EXPECT_NE(usage.find("rounds"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mpciot::bench_core

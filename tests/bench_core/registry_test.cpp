@@ -1,0 +1,132 @@
+#include "bench_core/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bench_core/runner.hpp"
+#include "common/assert.hpp"
+
+namespace mpciot::bench_core {
+namespace {
+
+ScenarioSpec toy(const std::string& name) {
+  ScenarioSpec spec;
+  spec.name = name;
+  spec.description = "toy scenario " + name;
+  spec.default_reps = 3;
+  spec.run = [name](const ScenarioContext& ctx) {
+    Rows rows;
+    Row row;
+    row.set("scenario", name)
+        .set("reps", ctx.reps)
+        .set("seed", ctx.seed)
+        .set("max_ntx", ctx.param_u32("max_ntx", 20));
+    rows.push_back(std::move(row));
+    return rows;
+  };
+  return spec;
+}
+
+TEST(Registry, FindAndMatch) {
+  Registry reg;
+  reg.add(toy("fig1_flocklab"));
+  reg.add(toy("fig1_dcube"));
+  reg.add(toy("chain_scaling"));
+
+  ASSERT_NE(reg.find("fig1_dcube"), nullptr);
+  EXPECT_EQ(reg.find("fig1_dcube")->name, "fig1_dcube");
+  EXPECT_EQ(reg.find("nope"), nullptr);
+
+  EXPECT_EQ(reg.match("").size(), 3u);
+  const auto fig1 = reg.match("fig1");
+  ASSERT_EQ(fig1.size(), 2u);
+  EXPECT_EQ(fig1[0]->name, "fig1_flocklab");  // registration order kept
+  EXPECT_EQ(fig1[1]->name, "fig1_dcube");
+  EXPECT_TRUE(reg.match("zzz").empty());
+}
+
+TEST(Registry, RejectsDuplicatesAndInvalidSpecs) {
+  Registry reg;
+  reg.add(toy("a"));
+  EXPECT_THROW(reg.add(toy("a")), ContractViolation);
+  EXPECT_THROW(reg.add(toy("")), ContractViolation);
+  ScenarioSpec no_run;
+  no_run.name = "no_run";
+  EXPECT_THROW(reg.add(std::move(no_run)), ContractViolation);
+}
+
+TEST(ScenarioContext, ParamLookup) {
+  ScenarioContext ctx;
+  ctx.params = {{"max_ntx", "12"}, {"bad", "12abc"}};
+  EXPECT_EQ(ctx.param_u32("max_ntx", 20), 12u);
+  EXPECT_EQ(ctx.param_u32("absent", 20), 20u);
+  // A present-but-malformed value means CLI validation was bypassed —
+  // it must never silently fall back to the default.
+  EXPECT_THROW(ctx.param_u32("bad", 20), ContractViolation);
+}
+
+TEST(Runner, AppliesDefaultRepsAndReportsProgress) {
+  Registry reg;
+  reg.add(toy("t"));
+  ScenarioContext ctx;
+  ctx.reps = 0;  // per-scenario default (3)
+  std::ostringstream progress;
+  const auto runs = run_scenarios(reg.match(""), ctx, &progress);
+  ASSERT_EQ(runs.size(), 1u);
+  ASSERT_EQ(runs[0].rows.size(), 1u);
+  EXPECT_EQ(runs[0].rows[0].json().find("reps")->as_uint(), 3u);
+  EXPECT_NE(progress.str().find("t: 1 rows"), std::string::npos);
+
+  ctx.reps = 8;  // explicit override wins
+  const auto runs2 = run_scenarios(reg.match(""), ctx, nullptr);
+  EXPECT_EQ(runs2[0].rows[0].json().find("reps")->as_uint(), 8u);
+}
+
+TEST(Runner, JsonDocumentShape) {
+  Registry reg;
+  reg.add(toy("t"));
+  ScenarioContext ctx;
+  ctx.seed = 42;
+  const auto runs = run_scenarios(reg.match(""), ctx, nullptr);
+
+  const JsonValue doc = results_to_json(runs, /*reps=*/0, /*seed=*/42);
+  EXPECT_EQ(doc.find("schema")->as_string(), "mpciot-bench/1");
+  EXPECT_EQ(doc.find("seed")->as_uint(), 42u);
+  EXPECT_EQ(doc.find("reps")->as_string(), "scenario-default");
+  const JsonValue* scenarios = doc.find("scenarios");
+  ASSERT_NE(scenarios, nullptr);
+  ASSERT_EQ(scenarios->as_array().size(), 1u);
+  const JsonValue& s = scenarios->as_array()[0];
+  EXPECT_EQ(s.find("name")->as_string(), "t");
+  EXPECT_TRUE(s.find("deterministic")->as_bool());
+  EXPECT_EQ(s.find("rows")->as_array().size(), 1u);
+  // No wall-clock and no job count may leak into the document.
+  EXPECT_EQ(doc.dump_string().find("wall"), std::string::npos);
+  EXPECT_EQ(doc.dump_string().find("jobs"), std::string::npos);
+
+  const JsonValue with_reps = results_to_json(runs, /*reps=*/5, /*seed=*/42);
+  EXPECT_EQ(with_reps.find("reps")->as_uint(), 5u);
+}
+
+TEST(Runner, PrintResultsRendersTables) {
+  Registry reg;
+  reg.add(toy("t"));
+  ScenarioContext ctx;
+  const auto runs = run_scenarios(reg.match(""), ctx, nullptr);
+  std::ostringstream os;
+  print_results(runs, os, /*csv=*/true);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== t"), std::string::npos);
+  EXPECT_NE(out.find("scenario"), std::string::npos);  // header
+  EXPECT_NE(out.find("-- CSV --"), std::string::npos);
+}
+
+TEST(Runner, CellToTextFormats) {
+  EXPECT_EQ(cell_to_text(JsonValue("abc")), "abc");  // unquoted
+  EXPECT_EQ(cell_to_text(JsonValue(2.5)), "2.5");
+  EXPECT_EQ(cell_to_text(JsonValue(7)), "7");
+}
+
+}  // namespace
+}  // namespace mpciot::bench_core

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 #include "net/testbeds.hpp"
 
 namespace mpciot::metrics {
@@ -66,6 +68,73 @@ TEST(RunTrials, CustomSecretGeneratorIsUsed) {
   };
   run_trials(proto, spec);
   EXPECT_EQ(calls, 2);
+}
+
+TEST(ResolveJobs, MapsZeroToHardwareAndCapsAtTrialCount) {
+  EXPECT_EQ(resolve_jobs(1, 100), 1u);
+  EXPECT_EQ(resolve_jobs(4, 100), 4u);
+  EXPECT_EQ(resolve_jobs(16, 3), 3u);  // never more workers than trials
+  EXPECT_GE(resolve_jobs(0, 100), 1u);  // hardware concurrency, at least 1
+}
+
+// The determinism contract behind `mpciot-bench --jobs`: any worker
+// count folds the same per-trial records in the same order, so every
+// derived statistic matches the serial run bit for bit.
+TEST(RunTrials, ParallelMatchesSerialBitForBit) {
+  const net::Topology topo = make_grid9();
+  const crypto::KeyStore keys(1, topo.size());
+  std::vector<NodeId> sources;
+  for (NodeId i = 0; i < topo.size(); ++i) sources.push_back(i);
+  const core::SssProtocol proto(
+      topo, keys, core::make_s4_config(topo, sources, 2, 5));
+
+  ExperimentSpec spec;
+  spec.repetitions = 9;
+  spec.base_seed = 42;
+  spec.jobs = 1;
+  const TrialStats serial = run_trials(proto, spec);
+
+  for (const unsigned jobs : {2u, 4u, 0u}) {
+    spec.jobs = jobs;
+    const TrialStats parallel = run_trials(proto, spec);
+    const auto expect_identical = [](const Summary& a, const Summary& b) {
+      ASSERT_EQ(a.count(), b.count());
+      EXPECT_EQ(a.mean(), b.mean());
+      EXPECT_EQ(a.stddev(), b.stddev());
+      EXPECT_EQ(a.min(), b.min());
+      EXPECT_EQ(a.max(), b.max());
+      EXPECT_EQ(a.quantile(0.25), b.quantile(0.25));
+      EXPECT_EQ(a.median(), b.median());
+    };
+    expect_identical(serial.latency_max_ms, parallel.latency_max_ms);
+    expect_identical(serial.latency_mean_ms, parallel.latency_mean_ms);
+    expect_identical(serial.radio_on_max_ms, parallel.radio_on_max_ms);
+    expect_identical(serial.radio_on_mean_ms, parallel.radio_on_mean_ms);
+    expect_identical(serial.success_ratio, parallel.success_ratio);
+    expect_identical(serial.share_delivery, parallel.share_delivery);
+    expect_identical(serial.total_duration_ms, parallel.total_duration_ms);
+  }
+}
+
+TEST(RunTrials, ParallelRunsEveryTrialExactlyOnce) {
+  const net::Topology topo = make_grid9();
+  const crypto::KeyStore keys(1, topo.size());
+  std::vector<NodeId> sources;
+  for (NodeId i = 0; i < topo.size(); ++i) sources.push_back(i);
+  const core::SssProtocol proto(
+      topo, keys, core::make_s3_config(topo, sources, 2, 5));
+
+  ExperimentSpec spec;
+  spec.repetitions = 12;
+  spec.jobs = 4;
+  std::vector<std::atomic<int>> calls(spec.repetitions);
+  spec.make_secrets = [&](std::uint32_t trial, std::size_t count) {
+    calls[trial].fetch_add(1);
+    return random_secrets(trial, count);
+  };
+  const TrialStats stats = run_trials(proto, spec);
+  EXPECT_EQ(stats.latency_max_ms.count(), 12u);
+  for (const auto& c : calls) EXPECT_EQ(c.load(), 1);
 }
 
 TEST(RunTrials, SameSpecReproduces) {

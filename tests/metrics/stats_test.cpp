@@ -77,6 +77,28 @@ TEST(Summary, AddAfterQuantileStillCorrect) {
   EXPECT_EQ(s.median(), 3.0);
 }
 
+TEST(Summary, QuantileDoesNotPerturbMean) {
+  // quantile() used to sort the sample vector in place, changing the
+  // summation order — and thus the low bits — of a later mean()/
+  // stddev(). The parallel experiment engine's bit-for-bit determinism
+  // guarantee depends on mean() being a pure function of insertion
+  // order.
+  Summary a;
+  Summary b;
+  for (const double x : {727.472, 891.528, 620.472, 837.528, 674.472}) {
+    a.add(x);
+    b.add(x);
+  }
+  const double mean_before = a.mean();
+  const double stddev_before = a.stddev();
+  (void)a.quantile(0.25);
+  (void)a.median();
+  EXPECT_EQ(a.mean(), mean_before);
+  EXPECT_EQ(a.stddev(), stddev_before);
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.quantile(0.75), b.quantile(0.75));
+}
+
 TEST(Summary, Ci95ShrinksWithSamples) {
   Summary small;
   Summary large;
