@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
   std::uint32_t jobs = 0;  // default: hardware concurrency
   std::string filter;
   std::string json_path;
+  std::string out_path;
 
   bench_core::OptionParser parser(
       "Unified benchmark runner for the ctagg scenario registry.");
@@ -42,6 +43,9 @@ int main(int argc, char** argv) {
                  "trial worker threads (0 = hardware concurrency, 1 = "
                  "serial); results are identical for any value");
   parser.add_string("--json", &json_path, "write results as JSON to this file");
+  parser.add_string("--out", &out_path,
+                    "write results to this file; format from the "
+                    "extension (.json or .csv); errors if unwritable");
   parser.add_flag("--csv", &csv, "also emit CSV tables");
   parser.add_flag("--no-table", &no_table, "skip the human-readable tables");
   parser.add_key_value_list("--param", &ctx.params,
@@ -98,6 +102,24 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Pre-flight the --out path: a typo'd extension or unwritable
+  // directory must fail in milliseconds, not after the full sweep.
+  if (!out_path.empty()) {
+    if (!out_path.ends_with(".json") && !out_path.ends_with(".csv")) {
+      std::fprintf(stderr, "%s: --out path must end in .json or .csv: %s\n",
+                   argv[0], out_path.c_str());
+      return 1;
+    }
+    // Append-mode probe: verifies writability without truncating an
+    // existing file before the new results exist.
+    std::ofstream probe(out_path, std::ios::binary | std::ios::app);
+    if (!probe) {
+      std::fprintf(stderr, "%s: cannot open '%s' for writing\n", argv[0],
+                   out_path.c_str());
+      return 1;
+    }
+  }
+
   const std::vector<bench_core::ScenarioRun> runs =
       bench_core::run_scenarios(selected, ctx, &std::cerr);
 
@@ -123,6 +145,16 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  }
+
+  if (!out_path.empty()) {
+    std::string error;
+    if (!bench_core::write_output_file(out_path, runs, ctx.reps, ctx.seed,
+                                       &error)) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s\n", out_path.c_str());
   }
   return 0;
 }

@@ -1,0 +1,88 @@
+// Transport matrix: the same S3/S4 aggregation rounds swept across
+// every registered communication substrate (MiniCast chains, sequential
+// Glossy floods, lossy slotted gossip, routed unicast) on both testbed
+// stand-ins. The seam's proof-of-life: the protocol engine is identical
+// in every cell, only the transport changes — and the paper's substrate
+// choice shows up directly in the latency/radio columns.
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "crypto/keystore.hpp"
+#include "ct/transport.hpp"
+#include "fig1_common.hpp"
+#include "metrics/experiment.hpp"
+#include "net/testbeds.hpp"
+#include "scenarios/scenarios.hpp"
+
+namespace mpciot::bench {
+
+namespace {
+
+using bench_core::Row;
+using bench_core::Rows;
+using bench_core::ScenarioContext;
+
+Rows run_transport_matrix(const ScenarioContext& ctx) {
+  Rows rows;
+  for (const char* testbed : {"flocklab", "dcube"}) {
+    const net::Topology topo = std::string(testbed) == "flocklab"
+                                   ? net::testbeds::flocklab()
+                                   : net::testbeds::dcube();
+    const crypto::KeyStore keys(ctx.seed, topo.size());
+    // A fixed mid-size source set keeps the matrix affordable; the
+    // fig1 scenarios own the full source-count sweeps.
+    const std::vector<NodeId> sources = spread_sources(topo.size(), 8);
+    const std::size_t degree = core::paper_degree(sources.size());
+
+    for (const std::string& transport_name : ct::transport_names()) {
+      const std::unique_ptr<ct::Transport> transport =
+          ct::make_transport(transport_name);
+      for (const char* protocol : {"s3", "s4"}) {
+        // Fixed NTX per protocol class (calibration sweeps are CT-
+        // specific and priced separately in fig1/ntx_coverage).
+        const core::ProtocolConfig cfg =
+            std::string(protocol) == "s3"
+                ? core::make_s3_config(topo, sources, degree, /*ntx_full=*/8)
+                : core::make_s4_config(topo, sources, degree, /*ntx_low=*/6);
+        const core::SssProtocol engine(topo, keys, cfg, transport.get());
+
+        metrics::ExperimentSpec spec;
+        spec.repetitions = ctx.reps;
+        spec.base_seed = ctx.seed;
+        spec.jobs = ctx.jobs;
+        const metrics::TrialStats stats = metrics::run_trials(engine, spec);
+
+        Row row;
+        row.set("testbed", testbed)
+            .set("protocol", protocol)
+            .set("transport", transport_name)
+            .set("holders", static_cast<std::uint64_t>(
+                                cfg.share_holders.size()))
+            .set("latency_ms", round3(stats.latency_max_ms.mean()))
+            .set("max_radio_on_ms", round3(stats.radio_on_max_ms.mean()))
+            .set("success_pct", round3(stats.success_ratio.mean() * 100))
+            .set("share_delivery_pct",
+                 round3(stats.share_delivery.mean() * 100));
+        rows.push_back(std::move(row));
+      }
+    }
+  }
+  return rows;
+}
+
+}  // namespace
+
+void register_transport_matrix(bench_core::Registry& registry) {
+  registry.add(bench_core::ScenarioSpec{
+      "transport_matrix",
+      "Transport seam: S3/S4 x {minicast, glossy_floods, gossip, unicast} "
+      "x testbed",
+      /*default_reps=*/3,
+      /*deterministic=*/true,
+      /*param_names=*/{}, run_transport_matrix});
+}
+
+}  // namespace mpciot::bench

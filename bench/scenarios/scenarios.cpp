@@ -17,6 +17,7 @@ void register_all_scenarios(bench_core::Registry& registry) {
   register_he_vs_mpc(registry);
   register_ntx_coverage(registry);
   register_payload_size(registry);
+  register_transport_matrix(registry);
   register_unicast_vs_ct(registry);
 }
 

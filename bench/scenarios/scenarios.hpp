@@ -11,7 +11,7 @@ namespace mpciot::bench {
 
 /// Register every scenario: fig1_flocklab, fig1_dcube, chain_scaling,
 /// degree_sweep, fault_tolerance, he_vs_mpc, ntx_coverage,
-/// payload_size, unicast_vs_ct.
+/// payload_size, transport_matrix, unicast_vs_ct.
 void register_all_scenarios(bench_core::Registry& registry);
 
 void register_fig1_scenarios(bench_core::Registry& registry);
@@ -21,6 +21,7 @@ void register_fault_tolerance(bench_core::Registry& registry);
 void register_he_vs_mpc(bench_core::Registry& registry);
 void register_ntx_coverage(bench_core::Registry& registry);
 void register_payload_size(bench_core::Registry& registry);
+void register_transport_matrix(bench_core::Registry& registry);
 void register_unicast_vs_ct(bench_core::Registry& registry);
 
 /// Entry point for the legacy per-figure binaries: parse the historic

@@ -1,6 +1,8 @@
 #include "bench_core/runner.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <fstream>
 #include <ostream>
 
 #include "metrics/table.hpp"
@@ -61,6 +63,75 @@ std::string cell_to_text(const JsonValue& v) {
   return v.dump_string();
 }
 
+namespace {
+
+/// Column set of a scenario: the union of every row's cells in
+/// first-seen order, so rows with extra columns (e.g. chain_scaling's
+/// sim_grid rows) don't lose data to the first row's key set.
+std::vector<std::string> collect_headers(const Rows& rows) {
+  std::vector<std::string> headers;
+  for (const Row& row : rows) {
+    for (const auto& [key, value] : row.json().as_object()) {
+      (void)value;
+      if (std::find(headers.begin(), headers.end(), key) == headers.end()) {
+        headers.push_back(key);
+      }
+    }
+  }
+  return headers;
+}
+
+void write_csv(const std::vector<ScenarioRun>& runs, std::ostream& os) {
+  for (const ScenarioRun& run : runs) {
+    os << "# scenario " << run.spec->name << '\n';
+    if (run.rows.empty()) continue;
+    const std::vector<std::string> headers = collect_headers(run.rows);
+    metrics::Table table(headers);
+    for (const Row& row : run.rows) {
+      std::vector<std::string> cells;
+      cells.reserve(headers.size());
+      for (const std::string& h : headers) {
+        const JsonValue* v = row.json().find(h);
+        cells.push_back(v ? cell_to_text(*v) : "");
+      }
+      table.add_row(std::move(cells));
+    }
+    table.print_csv(os);
+  }
+}
+
+}  // namespace
+
+bool write_output_file(const std::string& path,
+                       const std::vector<ScenarioRun>& runs,
+                       std::uint32_t reps, std::uint64_t seed,
+                       std::string* error) {
+  const bool json = path.ends_with(".json");
+  const bool csv = path.ends_with(".csv");
+  if (!json && !csv) {
+    *error = "--out path must end in .json or .csv: " + path;
+    return false;
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    *error = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  if (json) {
+    const JsonValue doc = results_to_json(runs, reps, seed);
+    doc.dump(out, /*indent=*/2);
+    out << '\n';
+  } else {
+    write_csv(runs, out);
+  }
+  out.flush();  // surface buffered write errors (ENOSPC) before the check
+  if (!out.good()) {
+    *error = "write to '" + path + "' failed";
+    return false;
+  }
+  return true;
+}
+
 void print_results(const std::vector<ScenarioRun>& runs, std::ostream& os,
                    bool csv) {
   for (const ScenarioRun& run : runs) {
@@ -70,11 +141,7 @@ void print_results(const std::vector<ScenarioRun>& runs, std::ostream& os,
       os << "(no rows)\n\n";
       continue;
     }
-    std::vector<std::string> headers;
-    for (const auto& [key, value] : run.rows.front().json().as_object()) {
-      (void)value;
-      headers.push_back(key);
-    }
+    const std::vector<std::string> headers = collect_headers(run.rows);
     metrics::Table table(headers);
     for (const Row& row : run.rows) {
       std::vector<std::string> cells;

@@ -43,4 +43,14 @@ void print_results(const std::vector<ScenarioRun>& runs, std::ostream& os,
 /// number formatter, strings unquoted.
 std::string cell_to_text(const JsonValue& v);
 
+/// Write results straight to `path` so CI needs no shell redirection:
+/// ".json" gets the "mpciot-bench/1" document, ".csv" one CSV table per
+/// scenario (prefixed by a "# scenario <name>" comment line). Returns
+/// false and fills `*error` on an unsupported extension, an unwritable
+/// path, or a failed write.
+bool write_output_file(const std::string& path,
+                       const std::vector<ScenarioRun>& runs,
+                       std::uint32_t reps, std::uint64_t seed,
+                       std::string* error);
+
 }  // namespace mpciot::bench_core

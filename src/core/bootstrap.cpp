@@ -11,7 +11,10 @@ namespace mpciot::core {
 ReachabilityTable probe_reachability(const net::Topology& topo,
                                      std::uint32_t max_ntx,
                                      std::uint32_t trials,
-                                     crypto::Xoshiro256& rng) {
+                                     crypto::Xoshiro256& rng,
+                                     const ct::Transport* transport) {
+  const ct::Transport& substrate =
+      transport != nullptr ? *transport : ct::minicast_transport();
   const std::size_t n = topo.size();
   ReachabilityTable table;
   table.min_ntx.assign(
@@ -27,7 +30,7 @@ ReachabilityTable probe_reachability(const net::Topology& topo,
         ct::GlossyConfig cfg;
         cfg.initiator = initiator;
         cfg.ntx = ntx;
-        const ct::GlossyResult res = run_glossy(topo, cfg, rng);
+        const ct::GlossyResult res = substrate.flood(topo, cfg, rng);
         for (NodeId r = 0; r < n; ++r) {
           if (res.first_rx_slot[r] != ct::MiniCastResult::kNever) ++hits[r];
         }
@@ -90,11 +93,15 @@ NtxCalibration calibrate_ntx(const net::Topology& topo,
                              const std::vector<ct::ChainEntry>& entries,
                              const ct::MiniCastConfig& base_config,
                              double required_done_ratio, std::uint32_t trials,
-                             std::uint32_t max_ntx, crypto::Xoshiro256& rng) {
+                             std::uint32_t max_ntx, crypto::Xoshiro256& rng,
+                             const ct::Transport* transport) {
+  const ct::Transport& substrate =
+      transport != nullptr ? *transport : ct::minicast_transport();
   // Common random numbers: every NTX candidate sees the same per-trial
   // channel draws, so the calibration is (near-)monotone in NTX instead
   // of jittering with independent channel luck.
   const std::uint64_t crn_base = rng.next_u64();
+  ct::RoundContext scratch;
   for (std::uint32_t ntx = 1; ntx <= max_ntx; ++ntx) {
     bool all_ok = true;
     for (std::uint32_t t = 0; t < trials && all_ok; ++t) {
@@ -102,7 +109,7 @@ NtxCalibration calibrate_ntx(const net::Topology& topo,
       cfg.ntx = ntx;
       crypto::Xoshiro256 trial_rng(crn_base + t);
       const ct::MiniCastResult res =
-          run_minicast(topo, entries, cfg, trial_rng);
+          substrate.chain_round(topo, entries, cfg, trial_rng, &scratch);
       if (res.done_ratio() < required_done_ratio) all_ok = false;
     }
     if (all_ok) return NtxCalibration{ntx, true};

@@ -19,6 +19,7 @@
 #include "common/types.hpp"
 #include "crypto/prng.hpp"
 #include "ct/minicast.hpp"
+#include "ct/transport.hpp"
 #include "net/topology.hpp"
 
 namespace mpciot::core {
@@ -31,10 +32,13 @@ struct ReachabilityTable {
   std::vector<std::vector<std::uint32_t>> min_ntx;  // [initiator][receiver]
 };
 
+/// `transport` (here and below) selects the substrate probed/calibrated;
+/// null means the paper's MiniCast/Glossy substrate.
 ReachabilityTable probe_reachability(const net::Topology& topo,
                                      std::uint32_t max_ntx,
                                      std::uint32_t trials,
-                                     crypto::Xoshiro256& rng);
+                                     crypto::Xoshiro256& rng,
+                                     const ct::Transport* transport = nullptr);
 
 /// Pick `count` share-holder nodes: the nodes with the smallest total
 /// hop distance to all sources (ties by node id). This is the
@@ -54,6 +58,7 @@ NtxCalibration calibrate_ntx(const net::Topology& topo,
                              const std::vector<ct::ChainEntry>& entries,
                              const ct::MiniCastConfig& base_config,
                              double required_done_ratio, std::uint32_t trials,
-                             std::uint32_t max_ntx, crypto::Xoshiro256& rng);
+                             std::uint32_t max_ntx, crypto::Xoshiro256& rng,
+                             const ct::Transport* transport = nullptr);
 
 }  // namespace mpciot::core

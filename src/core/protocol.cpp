@@ -98,8 +98,13 @@ double AggregationResult::mean_radio_on_us() const {
 }
 
 SssProtocol::SssProtocol(const net::Topology& topo,
-                         const crypto::KeyStore& keys, ProtocolConfig config)
-    : topo_(&topo), keys_(&keys), config_(std::move(config)) {
+                         const crypto::KeyStore& keys, ProtocolConfig config,
+                         const ct::Transport* transport)
+    : topo_(&topo),
+      keys_(&keys),
+      config_(std::move(config)),
+      transport_(transport != nullptr ? transport
+                                      : &ct::minicast_transport()) {
   MPCIOT_REQUIRE(!config_.sources.empty(), "protocol: no sources");
   MPCIOT_REQUIRE(config_.sources.size() <= 64,
                  "protocol: at most 64 sources per round");
@@ -167,7 +172,7 @@ AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
   sync_cfg.ntx = 3;
   sync_cfg.payload_bytes = 8;
   const ct::GlossyResult sync =
-      run_glossy(*topo_, sync_cfg, sim.channel_rng());
+      transport_->flood(*topo_, sync_cfg, sim.channel_rng());
 
   // Every live data owner is slot-synchronized: Glossy-class systems
   // maintain network-wide time across rounds, so even a node that missed
@@ -197,18 +202,23 @@ AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
                                : ct::RadioPolicy::kUntilQuiescence;
   share_cfg.disabled = dead;
   share_cfg.scheduled_owners = synced(config_.sources);
-  share_cfg.done = [&](NodeId node, const std::vector<char>& have) {
+  // Per-holder bitmap of the sharing-chain entries it must collect (its
+  // own column, live sources only — dead sources never deal).
+  std::vector<std::vector<std::uint64_t>> holder_need(num_holders);
+  for (std::size_t h = 0; h < num_holders; ++h) {
+    std::vector<std::size_t> bits;
+    for (std::size_t s = 0; s < num_sources; ++s) {
+      if (!dead[config_.sources[s]]) bits.push_back(sharing.entry_index(s, h));
+    }
+    holder_need[h] = ct::make_entry_mask(sharing.entries.size(), bits);
+  }
+  share_cfg.done = [&](NodeId node, ct::BitView have) {
     const auto it = holder_index.find(node);
     if (it == holder_index.end()) return true;  // relays: no data to await
-    const std::size_t dst_idx = it->second;
-    for (std::size_t s = 0; s < num_sources; ++s) {
-      if (dead[config_.sources[s]]) continue;  // dead sources never deal
-      if (!have[sharing.entry_index(s, dst_idx)]) return false;
-    }
-    return true;
+    return have.covers(holder_need[it->second]);
   };
 
-  const ct::MiniCastResult share_round = run_minicast(
+  const ct::MiniCastResult share_round = transport_->chain_round(
       *topo_, sharing.entries, share_cfg, sim.channel_rng());
 
   // ---- Stage 1b: holders decrypt and sum what they got ----
@@ -279,12 +289,14 @@ AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
       best_mask = mask;
     }
   }
-  std::vector<char> usable_entry(num_holders, 0);
+  std::vector<std::size_t> usable_bits;
   for (std::size_t h = 0; h < num_holders; ++h) {
     if (holder_sums[h].valid && holder_sums[h].contributors == best_mask) {
-      usable_entry[h] = 1;
+      usable_bits.push_back(h);
     }
   }
+  const std::vector<std::uint64_t> usable_mask =
+      ct::make_entry_mask(num_holders, usable_bits);
 
   ct::MiniCastConfig recon_cfg;
   recon_cfg.initiator = pick_phase_initiator(*topo_, config_.initiator,
@@ -295,15 +307,11 @@ AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
   recon_cfg.radio_policy = share_cfg.radio_policy;
   recon_cfg.disabled = dead;
   recon_cfg.scheduled_owners = synced(config_.share_holders);
-  recon_cfg.done = [&](NodeId /*node*/, const std::vector<char>& have) {
-    std::size_t got = 0;
-    for (std::size_t h = 0; h < num_holders; ++h) {
-      if (usable_entry[h] && have[h]) ++got;
-    }
-    return got >= k + 1;
+  recon_cfg.done = [&](NodeId /*node*/, ct::BitView have) {
+    return have.count_and(usable_mask) >= k + 1;
   };
 
-  const ct::MiniCastResult recon_round = run_minicast(
+  const ct::MiniCastResult recon_round = transport_->chain_round(
       *topo_, recon.entries, recon_cfg, sim.channel_rng());
 
   // ---- Stage 3: per-node reconstruction from decoded SumPackets ----
@@ -438,10 +446,7 @@ std::uint32_t suggest_s3_ntx(const net::Topology& topo,
   // The naive protocol runs the flood "to attain full network coverage"
   // (§III): every node — holder or relay — ends up with the entire chain.
   // That is the condition we calibrate NTX against.
-  base.done = [](NodeId, const std::vector<char>& have) {
-    return std::all_of(have.begin(), have.end(),
-                       [](char c) { return c != 0; });
-  };
+  base.done = [](NodeId, ct::BitView have) { return have.all(); };
 
   const NtxCalibration cal = calibrate_ntx(
       topo, sharing.entries, base, /*required_done_ratio=*/1.0, trials,

@@ -28,6 +28,7 @@
 #include "core/shamir.hpp"
 #include "crypto/keystore.hpp"
 #include "ct/minicast.hpp"
+#include "ct/transport.hpp"
 #include "field/fp61.hpp"
 #include "net/topology.hpp"
 #include "sim/simulator.hpp"
@@ -94,19 +95,26 @@ class SssProtocol {
   /// Preconditions: sources/holders non-empty, ids in range and unique,
   /// 1 <= degree < sources.size() (degree >= sources would make even the
   /// all-sources holder set unable to reconstruct), sources <= 64.
+  ///
+  /// `transport` selects the communication substrate the round runs on
+  /// (sync flood + both chain rounds); null means the paper's MiniCast/
+  /// Glossy substrate. The transport must outlive the protocol.
   SssProtocol(const net::Topology& topo, const crypto::KeyStore& keys,
-              ProtocolConfig config);
+              ProtocolConfig config,
+              const ct::Transport* transport = nullptr);
 
   /// Run one aggregation round. secrets[i] belongs to config.sources[i].
   AggregationResult run(const std::vector<field::Fp61>& secrets,
                         sim::Simulator& sim) const;
 
   const ProtocolConfig& config() const { return config_; }
+  const ct::Transport& transport() const { return *transport_; }
 
  private:
   const net::Topology* topo_;
   const crypto::KeyStore* keys_;
   ProtocolConfig config_;
+  const ct::Transport* transport_;
 };
 
 /// Naive S3: holders = sources, no early radio-off. `ntx_full` should be

@@ -1,41 +1,14 @@
 #include "core/unicast_baseline.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <unordered_map>
 
 #include "common/assert.hpp"
 #include "core/wire.hpp"
+#include "ct/chain_schedule.hpp"
+#include "ct/transport.hpp"
 
 namespace mpciot::core {
-
-namespace {
-
-/// Next hop on a shortest good-link path src -> dst, or kInvalidNode.
-NodeId next_hop(const net::Topology& topo, NodeId from, NodeId dst) {
-  if (from == dst) return dst;
-  const std::uint32_t d = topo.hops(from, dst);
-  if (d == net::Topology::kInvalidHops) return kInvalidNode;
-  for (NodeId nb : topo.neighbors(from)) {
-    if (topo.prr(from, nb) < 0.5) continue;
-    if (topo.hops(nb, dst) + 1 == d) return nb;
-  }
-  return kInvalidNode;
-}
-
-struct Message {
-  NodeId src = kInvalidNode;
-  NodeId dst = kInvalidNode;
-  NodeId at = kInvalidNode;  // current hop position
-  std::uint32_t payload_bytes = 0;
-  bool is_sum = false;
-  std::size_t src_idx = 0;     // schedule index of the source (shares)
-  std::size_t holder_idx = 0;  // schedule index of the holder (sums)
-  bool delivered = false;
-  bool dropped = false;
-};
-
-}  // namespace
 
 double UnicastResult::success_ratio() const {
   if (nodes.empty()) return 0.0;
@@ -60,14 +33,15 @@ UnicastResult run_unicast_sss(const net::Topology& topo,
   MPCIOT_REQUIRE(secrets.size() == config.sources.size(),
                  "unicast: one secret per source");
   const std::size_t n = topo.size();
-  const net::RadioParams& radio = topo.radio();
+  const std::size_t num_sources = config.sources.size();
+  const std::size_t num_holders = config.share_holders.size();
   const std::size_t k = config.degree;
 
   // Deal shares exactly like the CT protocol does.
   std::vector<ShamirDealer> dealers;
-  dealers.reserve(config.sources.size());
+  dealers.reserve(num_sources);
   field::Fp61 expected_sum;
-  for (std::size_t i = 0; i < config.sources.size(); ++i) {
+  for (std::size_t i = 0; i < num_sources; ++i) {
     crypto::CtrDrbg drbg(
         sim.seed(),
         0x0D1C000000000000ull |
@@ -77,162 +51,78 @@ UnicastResult run_unicast_sss(const net::Topology& topo,
     expected_sum += secrets[i];
   }
 
-  // Build the message list: sharing then reconstruction (sums go to every
-  // node, matching the CT protocol's "everyone obtains the aggregate").
-  std::deque<Message> queue;
-  for (std::size_t s = 0; s < config.sources.size(); ++s) {
-    for (std::size_t h = 0; h < config.share_holders.size(); ++h) {
-      if (config.sources[s] == config.share_holders[h]) continue;
-      Message m;
-      m.src = config.sources[s];
-      m.dst = config.share_holders[h];
-      m.at = m.src;
-      m.payload_bytes = SharePacket::kWireSize;
-      m.src_idx = s;
-      m.holder_idx = h;
-      queue.push_back(m);
-    }
-  }
+  // Both phases run over the unicast substrate behind the transport
+  // seam: the sharing chain routes each (source, holder) share
+  // point-to-point, the reconstruction chain broadcasts each holder's
+  // sum to every node — the same message pattern a non-CT collection-
+  // tree deployment would generate, with identical per-hop ARQ walks.
+  const ct::UnicastTransport transport(net::routing::MacParams{
+      params.max_retries_per_hop, params.ack_payload_bytes,
+      params.wakeup_interval_us});
+
+  const ct::SharingSchedule sharing =
+      ct::make_sharing_schedule(config.sources, config.share_holders);
+  ct::MiniCastConfig share_cfg;
+  share_cfg.payload_bytes = SharePacket::kWireSize;
+  const ct::MiniCastResult share_round = transport.chain_round(
+      topo, sharing.entries, share_cfg, sim.channel_rng(), nullptr);
+
+  const ct::ReconstructionSchedule recon =
+      ct::make_reconstruction_schedule(config.share_holders);
+  ct::MiniCastConfig recon_cfg;
+  recon_cfg.payload_bytes = SumPacket::kWireSize;
+  const ct::MiniCastResult recon_round = transport.chain_round(
+      topo, recon.entries, recon_cfg, sim.channel_rng(), nullptr);
 
   UnicastResult result;
   result.radio_on_us.assign(n, 0);
   result.nodes.assign(n, NodeOutcome{});
+  for (NodeId i = 0; i < n; ++i) {
+    result.radio_on_us[i] =
+        share_round.radio_on_us[i] + recon_round.radio_on_us[i];
+  }
 
-  // Single collision domain: process messages hop-by-hop, serialized.
-  // (An event-queue formulation with a busy-channel token; the queue
-  //  drains deterministically.)
-  sim::EventQueue& events = sim.events();
+  // Keep the simulation clock aligned with the channel occupancy the
+  // two phases accumulated (single collision domain: walks serialize).
+  result.total_duration_us = share_round.duration_us + recon_round.duration_us;
+  sim.events().schedule_in(result.total_duration_us, [] {});
+  sim.events().step();
+
+  // Holder sums from delivered shares (own shares never travel on air).
+  std::vector<field::Fp61> holder_sum(num_holders);
+  std::vector<std::uint64_t> holder_mask(num_holders, 0);
   std::size_t delivered = 0;
-  std::size_t total_messages = queue.size();
-
-  // holder sums filled as share messages arrive
-  std::vector<field::Fp61> holder_sum(config.share_holders.size());
-  std::vector<std::uint64_t> holder_mask(config.share_holders.size(), 0);
-  // own shares are local
-  for (std::size_t h = 0; h < config.share_holders.size(); ++h) {
-    for (std::size_t s = 0; s < config.sources.size(); ++s) {
+  std::size_t total_messages = 0;
+  for (std::size_t h = 0; h < num_holders; ++h) {
+    for (std::size_t s = 0; s < num_sources; ++s) {
       if (config.sources[s] == config.share_holders[h]) {
+        holder_sum[h] += dealers[s].share_for(config.share_holders[h]).value;
+        holder_mask[h] |= (std::uint64_t{1} << s);
+        continue;
+      }
+      ++total_messages;
+      if (share_round.node_has(config.share_holders[h],
+                               sharing.entry_index(s, h))) {
+        ++delivered;
         holder_sum[h] += dealers[s].share_for(config.share_holders[h]).value;
         holder_mask[h] |= (std::uint64_t{1} << s);
       }
     }
   }
 
-  const SimTime data_us = radio.airtime_us(SharePacket::kWireSize);
-  const SimTime ack_us = radio.airtime_us(params.ack_payload_bytes);
-  // Each hop first rendezvouses with the duty-cycled receiver (expected
-  // strobe time: half the wake-up interval), then exchanges data + ack.
-  const SimTime exchange_us =
-      data_us + radio.turnaround_us + ack_us + radio.turnaround_us;
-  const SimTime hop_us = params.wakeup_interval_us / 2 + exchange_us;
-
-  // Phase 1: drain sharing messages.
-  auto process_queue = [&](std::deque<Message>& q) {
-    while (!q.empty()) {
-      Message m = q.front();
-      q.pop_front();
-      while (!m.delivered && !m.dropped) {
-        const NodeId hop = next_hop(topo, m.at, m.dst);
-        if (hop == kInvalidNode) {
-          m.dropped = true;
-          break;
-        }
-        const double prr = topo.prr(m.at, hop);
-        bool hop_ok = false;
-        for (std::uint32_t attempt = 0;
-             attempt <= params.max_retries_per_hop; ++attempt) {
-          // One attempt occupies the channel for data + ack airtime.
-          events.schedule_in(hop_us, [] {});
-          events.step();
-          // The sender strobes for the whole rendezvous; the receiver's
-          // radio only opens for the actual exchange.
-          result.radio_on_us[m.at] += hop_us;
-          result.radio_on_us[hop] += exchange_us;
-          if (sim.channel_rng().next_bool(prr)) {
-            hop_ok = true;
-            break;
-          }
-        }
-        if (!hop_ok) {
-          m.dropped = true;
-          break;
-        }
-        m.at = hop;
-        if (m.at == m.dst) m.delivered = true;
-      }
-      if (m.delivered) {
-        ++delivered;
-        if (!m.is_sum) {
-          holder_sum[m.holder_idx] +=
-              dealers[m.src_idx].share_for(m.dst).value;
-          holder_mask[m.holder_idx] |= (std::uint64_t{1} << m.src_idx);
-        }
-      }
-    }
-  };
-  process_queue(queue);
-
-  // Phase 2: every holder unicasts its sum to every other node.
-  std::deque<Message> sum_queue;
-  // received sums per node: (holder schedule idx -> present)
-  std::vector<std::vector<char>> got_sum(
-      n, std::vector<char>(config.share_holders.size(), 0));
-  for (std::size_t h = 0; h < config.share_holders.size(); ++h) {
-    got_sum[config.share_holders[h]][h] = 1;
+  // Sum delivery per node (holders trivially have their own sum).
+  for (std::size_t h = 0; h < num_holders; ++h) {
     for (NodeId dst = 0; dst < n; ++dst) {
       if (dst == config.share_holders[h]) continue;
-      Message m;
-      m.src = config.share_holders[h];
-      m.dst = dst;
-      m.at = m.src;
-      m.payload_bytes = SumPacket::kWireSize;
-      m.is_sum = true;
-      m.holder_idx = h;
-      sum_queue.push_back(m);
+      ++total_messages;
+      if (recon_round.node_has(dst, h)) ++delivered;
     }
   }
-  total_messages += sum_queue.size();
-
-  while (!sum_queue.empty()) {
-    Message m = sum_queue.front();
-    sum_queue.pop_front();
-    while (!m.delivered && !m.dropped) {
-      const NodeId hop = next_hop(topo, m.at, m.dst);
-      if (hop == kInvalidNode) {
-        m.dropped = true;
-        break;
-      }
-      const double prr = topo.prr(m.at, hop);
-      bool hop_ok = false;
-      for (std::uint32_t attempt = 0; attempt <= params.max_retries_per_hop;
-           ++attempt) {
-        events.schedule_in(hop_us, [] {});
-        events.step();
-        result.radio_on_us[m.at] += hop_us;
-        result.radio_on_us[hop] += exchange_us;
-        if (sim.channel_rng().next_bool(prr)) {
-          hop_ok = true;
-          break;
-        }
-      }
-      if (!hop_ok) {
-        m.dropped = true;
-        break;
-      }
-      m.at = hop;
-      if (m.at == m.dst) m.delivered = true;
-    }
-    if (m.delivered) {
-      ++delivered;
-      got_sum[m.dst][m.holder_idx] = 1;
-    }
-  }
-
-  result.total_duration_us = events.now();
   result.delivery_ratio =
       total_messages == 0
           ? 1.0
-          : static_cast<double>(delivered) / static_cast<double>(total_messages);
+          : static_cast<double>(delivered) /
+                static_cast<double>(total_messages);
 
   // Idle-listening overhead.
   for (NodeId i = 0; i < n; ++i) {
@@ -242,13 +132,13 @@ UnicastResult run_unicast_sss(const net::Topology& topo,
 
   // Per-node reconstruction, grouped by contributor mask like the CT path.
   const std::uint64_t full_mask =
-      config.sources.size() == 64
-          ? ~std::uint64_t{0}
-          : ((std::uint64_t{1} << config.sources.size()) - 1);
+      num_sources == 64 ? ~std::uint64_t{0}
+                        : ((std::uint64_t{1} << num_sources) - 1);
   for (NodeId node = 0; node < n; ++node) {
     std::unordered_map<std::uint64_t, std::vector<Share>> groups;
-    for (std::size_t h = 0; h < config.share_holders.size(); ++h) {
-      if (!got_sum[node][h]) continue;
+    for (std::size_t h = 0; h < num_holders; ++h) {
+      const bool own = (config.share_holders[h] == node);
+      if (!own && !recon_round.node_has(node, h)) continue;
       groups[holder_mask[h]].push_back(
           Share{config.share_holders[h], holder_sum[h]});
     }

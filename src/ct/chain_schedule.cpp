@@ -29,7 +29,9 @@ SharingSchedule make_sharing_schedule(
   sched.entries.reserve(sources.size() * destinations.size());
   for (NodeId src : sources) {
     for (std::size_t d = 0; d < destinations.size(); ++d) {
-      sched.entries.push_back(ChainEntry{src});
+      // The destination is advisory: broadcast substrates deliver every
+      // entry to whoever hears it, point-to-point substrates route by it.
+      sched.entries.push_back(ChainEntry{src, destinations[d]});
     }
   }
   return sched;

@@ -1,10 +1,47 @@
 #include "ct/minicast.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
 
 #include "common/assert.hpp"
 
 namespace mpciot::ct {
+
+std::size_t BitView::count() const {
+  std::size_t total = 0;
+  for (std::size_t w = 0; w < (bits_ + 63) / 64; ++w) {
+    total += static_cast<std::size_t>(std::popcount(words_[w]));
+  }
+  return total;
+}
+
+bool BitView::all() const { return count() == bits_; }
+
+bool BitView::covers(const std::vector<std::uint64_t>& mask) const {
+  for (std::size_t w = 0; w < mask.size(); ++w) {
+    if ((mask[w] & ~words_[w]) != 0) return false;
+  }
+  return true;
+}
+
+std::size_t BitView::count_and(const std::vector<std::uint64_t>& mask) const {
+  std::size_t total = 0;
+  for (std::size_t w = 0; w < mask.size(); ++w) {
+    total += static_cast<std::size_t>(std::popcount(words_[w] & mask[w]));
+  }
+  return total;
+}
+
+std::vector<std::uint64_t> make_entry_mask(
+    std::size_t bits, const std::vector<std::size_t>& set) {
+  std::vector<std::uint64_t> mask((bits + 63) / 64, 0);
+  for (std::size_t i : set) {
+    MPCIOT_REQUIRE(i < bits, "make_entry_mask: bit index out of range");
+    bit_set(mask.data(), i);
+  }
+  return mask;
+}
 
 double MiniCastResult::delivery_ratio() const {
   std::size_t delivered = 0;
@@ -33,6 +70,14 @@ MiniCastResult run_minicast(const net::Topology& topo,
                             const std::vector<ChainEntry>& entries,
                             const MiniCastConfig& config,
                             crypto::Xoshiro256& rng) {
+  RoundContext scratch;
+  return run_minicast(topo, entries, config, rng, scratch);
+}
+
+MiniCastResult run_minicast(const net::Topology& topo,
+                            const std::vector<ChainEntry>& entries,
+                            const MiniCastConfig& config,
+                            crypto::Xoshiro256& rng, RoundContext& scratch) {
   const std::size_t n = topo.size();
   const std::size_t num_entries = entries.size();
   MPCIOT_REQUIRE(num_entries > 0, "minicast: empty chain");
@@ -53,11 +98,9 @@ MiniCastResult run_minicast(const net::Topology& topo,
       subslot_us * static_cast<SimTime>(num_entries);
 
   const auto done_fn =
-      config.done ? config.done
-                  : [](NodeId, const std::vector<char>& have) {
-                      return std::all_of(have.begin(), have.end(),
-                                         [](char c) { return c != 0; });
-                    };
+      config.done
+          ? config.done
+          : [](NodeId, BitView have) { return have.all(); };
 
   MiniCastResult result;
   result.rx_slot.assign(n, std::vector<std::int32_t>(
@@ -67,42 +110,50 @@ MiniCastResult run_minicast(const net::Topology& topo,
   result.radio_on_us.assign(n, 0);
   result.chain_slot_us = chain_slot_us;
 
-  // have[i]: reception bitmap of node i (char to avoid vector<bool>).
-  std::vector<std::vector<char>> have(n, std::vector<char>(num_entries, 0));
+  // have: packed reception bitmaps, `words` 64-bit words per node.
+  const std::size_t words = (num_entries + 63) / 64;
+  const std::size_t nwords = topo.node_words();
+  scratch.have.assign(n * words, 0);
+  const auto have_row = [&](NodeId i) {
+    return scratch.have.data() + static_cast<std::size_t>(i) * words;
+  };
   for (std::size_t e = 0; e < num_entries; ++e) {
-    have[entries[e].origin][e] = 1;
+    bit_set(have_row(entries[e].origin), e);
     result.rx_slot[entries[e].origin][e] = MiniCastResult::kOwnEntry;
   }
 
-  std::vector<char> radio_on(n, 1);
-  std::vector<char> tx_this_slot(n, 0);
-  std::vector<char> received_any(n, 0);
-  std::vector<char> tx_next(n, 0);
-  tx_next[config.initiator] = 1;
-  std::vector<char> scheduled(n, 0);
+  scratch.radio_on.assign(n, 1);
+  scratch.tx_this_slot.assign(n, 0);
+  scratch.received_any.assign(n, 0);
+  scratch.tx_next.assign(n, 0);
+  scratch.tx_next[config.initiator] = 1;
+  scratch.scheduled.assign(n, 0);
   for (NodeId t : config.scheduled_owners) {
     MPCIOT_REQUIRE(t < n, "minicast: scheduled owner out of range");
-    scheduled[t] = 1;
+    scratch.scheduled[t] = 1;
   }
-  std::vector<std::uint32_t> silent_slots(n, 0);
+  scratch.silent_slots.assign(n, 0);
   // Timeout transmissions are for injecting straggler data, not for
   // sustaining the flood: bound them so degenerate everyone-transmits
   // dynamics cannot arise.
-  std::vector<std::uint32_t> timeout_budget(n, 4);
+  scratch.timeout_budget.assign(n, 4);
+  scratch.entry_senders.assign(nwords, 0);
   for (NodeId i = 0; i < n; ++i) {
     if (is_disabled(i)) {
-      radio_on[i] = 0;
-      tx_next[i] = 0;
-      scheduled[i] = 0;
+      scratch.radio_on[i] = 0;
+      scratch.tx_next[i] = 0;
+      scratch.scheduled[i] = 0;
     }
   }
 
   // Initial done check (origins of everything / trivial predicates).
   for (NodeId i = 0; i < n; ++i) {
-    if (!is_disabled(i) && done_fn(i, have[i])) result.done_slot[i] = 0;
+    if (!is_disabled(i) && done_fn(i, BitView(have_row(i), num_entries))) {
+      result.done_slot[i] = 0;
+    }
   }
 
-  std::vector<net::Transmission> slot_txs;
+  const double inv_corr = 1.0 / radio.ct_loss_correlation;
   std::uint32_t slot = 0;
   for (; slot < config.max_chain_slots; ++slot) {
     // Who transmits this chain slot? Wave-triggered nodes, plus
@@ -111,24 +162,29 @@ MiniCastResult run_minicast(const net::Topology& topo,
     // deterministic timeout can synchronize all stragglers into an
     // everyone-transmits slot in which nobody listens and the flood dies.
     bool any_tx = false;
+    scratch.tx_nodes.clear();
     for (NodeId i = 0; i < n; ++i) {
       // The defer draw models missing a *reception-derived* trigger; the
       // initiator's opening transmission is clock-scheduled and immune.
       const bool scheduled_start = (slot == 0 && i == config.initiator);
       const bool wave =
-          tx_next[i] != 0 &&
+          scratch.tx_next[i] != 0 &&
           (scheduled_start || !rng.next_bool(radio.tx_defer_prob));
       bool timeout = false;
-      if (!wave && scheduled[i] && timeout_budget[i] > 0 &&
-          silent_slots[i] >= 2 && result.tx_count[i] < config.ntx &&
+      if (!wave && scratch.scheduled[i] && scratch.timeout_budget[i] > 0 &&
+          scratch.silent_slots[i] >= 2 && result.tx_count[i] < config.ntx &&
           rng.next_bool(0.5)) {
         timeout = true;
-        --timeout_budget[i];
+        --scratch.timeout_budget[i];
       }
-      tx_this_slot[i] =
-          ((wave || timeout) && result.tx_count[i] < config.ntx) ? 1 : 0;
-      if (tx_this_slot[i]) any_tx = true;
-      received_any[i] = 0;
+      const bool tx =
+          (wave || timeout) && result.tx_count[i] < config.ntx;
+      scratch.tx_this_slot[i] = tx ? 1 : 0;
+      if (tx) {
+        any_tx = true;
+        scratch.tx_nodes.push_back(i);
+      }
+      scratch.received_any[i] = 0;
     }
     if (!any_tx) {
       // Quiescence — unless a scheduled owner still has data credit, in
@@ -136,8 +192,8 @@ MiniCastResult run_minicast(const net::Topology& topo,
       // owner's timeout fire (its backoff draw may simply have deferred).
       bool pending_owner = false;
       for (NodeId i = 0; i < n; ++i) {
-        if (scheduled[i] && result.tx_count[i] < config.ntx &&
-            timeout_budget[i] > 0) {
+        if (scratch.scheduled[i] && result.tx_count[i] < config.ntx &&
+            scratch.timeout_budget[i] > 0) {
           pending_owner = true;
           break;
         }
@@ -145,69 +201,97 @@ MiniCastResult run_minicast(const net::Topology& topo,
       if (!pending_owner) break;
     }
 
-    // Sub-slot by sub-slot arbitration.
+    // Listener set is fixed for the whole chain slot (radio state only
+    // changes at slot boundaries).
+    scratch.listeners.clear();
+    for (NodeId i = 0; i < n; ++i) {
+      if (!scratch.tx_this_slot[i] && scratch.radio_on[i]) {
+        scratch.listeners.push_back(i);
+      }
+    }
+
+    // Sub-slot by sub-slot arbitration. All concurrent copies of entry e
+    // carry identical bytes, so this is always the constructive-
+    // interference regime of net::ReceptionModel, inlined over the
+    // packed transmitter set: a receiver fails only if every audible
+    // copy fails, with the correlation knob degrading towards the
+    // single-best case (same arithmetic, same RNG draws).
     for (std::size_t e = 0; e < num_entries; ++e) {
-      slot_txs.clear();
-      for (NodeId i = 0; i < n; ++i) {
-        if (tx_this_slot[i] && have[i][e]) {
-          slot_txs.push_back(
-              net::Transmission{i, static_cast<std::uint64_t>(e)});
+      std::fill(scratch.entry_senders.begin(), scratch.entry_senders.end(),
+                0);
+      std::size_t sender_count = 0;
+      for (NodeId i : scratch.tx_nodes) {
+        if (bit_test(have_row(i), e)) {
+          bit_set(scratch.entry_senders.data(), i);
+          ++sender_count;
         }
       }
-      if (slot_txs.empty()) continue;
-      const net::ReceptionModel model(topo);
-      for (NodeId r = 0; r < n; ++r) {
-        if (tx_this_slot[r] || !radio_on[r]) continue;
-        const net::ReceptionOutcome outcome =
-            model.arbitrate(r, slot_txs, rng);
-        if (outcome.received) {
-          received_any[r] = 1;
-          if (!have[r][e]) {
-            have[r][e] = 1;
+      if (sender_count == 0) continue;
+      for (NodeId r : scratch.listeners) {
+        const std::uint64_t* audible = topo.audible_words(r);
+        const double* prr_in = topo.prr_into(r);
+        std::size_t heard = 0;
+        double fail_product = 1.0;
+        double single_prr = 0.0;
+        for (std::size_t w = 0; w < nwords; ++w) {
+          std::uint64_t m = scratch.entry_senders[w] & audible[w];
+          while (m != 0) {
+            const std::size_t t =
+                w * 64 + static_cast<std::size_t>(std::countr_zero(m));
+            m &= m - 1;
+            const double p = prr_in[t];
+            ++heard;
+            fail_product *= (1.0 - p);
+            single_prr = p;
+          }
+        }
+        if (heard == 0) continue;
+        const double success_prob =
+            heard == 1 ? single_prr
+                       : 1.0 - std::pow(fail_product, inv_corr);
+        if (rng.next_bool(success_prob)) {
+          scratch.received_any[r] = 1;
+          if (!bit_test(have_row(r), e)) {
+            bit_set(have_row(r), e);
             result.rx_slot[r][e] = static_cast<std::int32_t>(slot);
           }
         }
       }
     }
 
-    // Accounting: transmitters spend the filled sub-slots in TX and the
-    // rest listening; listeners spend the whole chain slot in RX.
-    for (NodeId i = 0; i < n; ++i) {
-      if (tx_this_slot[i]) {
-        std::size_t filled = 0;
-        for (std::size_t e = 0; e < num_entries; ++e) {
-          if (have[i][e]) ++filled;
-        }
-        result.radio_on_us[i] += chain_slot_us;  // TX slots + guard listening
-        ++result.tx_count[i];
-        (void)filled;
-      } else if (radio_on[i]) {
-        result.radio_on_us[i] += chain_slot_us;
-      }
+    // Accounting: transmitters spend the chain slot sending the filled
+    // sub-slots and guard-listening the rest; listeners spend the whole
+    // chain slot in RX.
+    for (NodeId i : scratch.tx_nodes) {
+      result.radio_on_us[i] += chain_slot_us;
+      ++result.tx_count[i];
+    }
+    for (NodeId r : scratch.listeners) {
+      result.radio_on_us[r] += chain_slot_us;
     }
 
     // Completion tracking and (optionally) early radio shutdown.
     for (NodeId i = 0; i < n; ++i) {
       if (is_disabled(i)) continue;
       if (result.done_slot[i] == MiniCastResult::kNever &&
-          done_fn(i, have[i])) {
+          done_fn(i, BitView(have_row(i), num_entries))) {
         result.done_slot[i] = static_cast<std::int32_t>(slot);
       }
-      if (config.radio_policy == RadioPolicy::kEarlyOff && radio_on[i] &&
-          result.tx_count[i] >= config.ntx &&
+      if (config.radio_policy == RadioPolicy::kEarlyOff &&
+          scratch.radio_on[i] && result.tx_count[i] >= config.ntx &&
           result.done_slot[i] != MiniCastResult::kNever) {
-        radio_on[i] = 0;
+        scratch.radio_on[i] = 0;
       }
     }
 
     // Glossy trigger rule: transmit next chain slot iff received in this
     // one. (Transmitters received nothing — half duplex.)
     for (NodeId i = 0; i < n; ++i) {
-      tx_next[i] = received_any[i];
-      if (tx_this_slot[i] || received_any[i]) {
-        silent_slots[i] = 0;
+      scratch.tx_next[i] = scratch.received_any[i];
+      if (scratch.tx_this_slot[i] || scratch.received_any[i]) {
+        scratch.silent_slots[i] = 0;
       } else {
-        ++silent_slots[i];
+        ++scratch.silent_slots[i];
       }
     }
   }

@@ -14,6 +14,11 @@
 // The engine reports, for every (node, entry), the chain slot of first
 // reception, plus per-node radio-on time under one of two shutdown
 // policies (the S4 optimization switches the policy).
+//
+// Reception state is kept in packed 64-bit bitmaps (one bit per chain
+// entry per node); `done` predicates observe them through `BitView`.
+// Per-round scratch lives in a `RoundContext` so sweeps that run many
+// rounds (NTX calibration, probe floods) reuse the allocations.
 #pragma once
 
 #include <cstdint>
@@ -33,7 +38,53 @@ struct ChainEntry {
   /// The node whose packet occupies this sub-slot. Only the origin can
   /// inject the entry; everyone else learns it over the air.
   NodeId origin = kInvalidNode;
+  /// Intended recipient, or kInvalidNode for "everyone". Broadcast
+  /// substrates (CT chains, gossip) deliver every entry to whoever
+  /// hears it and ignore this; point-to-point substrates (the unicast
+  /// transport) route the entry only to its destination.
+  NodeId destination = kInvalidNode;
 };
+
+/// Read-only view of one node's packed reception bitmap, one bit per
+/// chain entry. Bits above size() are guaranteed clear.
+class BitView {
+ public:
+  BitView() = default;
+  BitView(const std::uint64_t* words, std::size_t bits)
+      : words_(words), bits_(bits) {}
+
+  std::size_t size() const { return bits_; }
+  bool test(std::size_t i) const {
+    return ((words_[i / 64] >> (i % 64)) & 1u) != 0;
+  }
+  /// Number of entries present.
+  std::size_t count() const;
+  /// True when every entry is present.
+  bool all() const;
+  /// True when every bit set in `mask` (same width, padded with zeros)
+  /// is present here.
+  bool covers(const std::vector<std::uint64_t>& mask) const;
+  /// Number of entries present among the bits set in `mask`.
+  std::size_t count_and(const std::vector<std::uint64_t>& mask) const;
+
+ private:
+  const std::uint64_t* words_ = nullptr;
+  std::size_t bits_ = 0;
+};
+
+/// Build a packed mask sized for `bits` entries with the given bit
+/// indices set (helper for `done` predicates working against BitView).
+std::vector<std::uint64_t> make_entry_mask(std::size_t bits,
+                                           const std::vector<std::size_t>& set);
+
+/// Packed-bitmap primitives shared by every chain-round engine
+/// (MiniCast, gossip, the transports).
+inline bool bit_test(const std::uint64_t* words, std::size_t i) {
+  return ((words[i / 64] >> (i % 64)) & 1u) != 0;
+}
+inline void bit_set(std::uint64_t* words, std::size_t i) {
+  words[i / 64] |= std::uint64_t{1} << (i % 64);
+}
 
 /// When may a node switch its radio off during a round?
 enum class RadioPolicy {
@@ -57,7 +108,7 @@ struct MiniCastConfig {
   /// Per-node completion predicate, given the node's current reception
   /// bitmap (indexed by entry). Used for `done_slot` reporting and, under
   /// kEarlyOff, for radio shutdown. Defaults to "has every entry".
-  std::function<bool(NodeId, const std::vector<char>& have)> done;
+  std::function<bool(NodeId, BitView have)> done;
   /// Failure injection: disabled[i] != 0 means node i is dead for the
   /// whole round (never transmits, never receives, radio off). Empty
   /// means all nodes alive; otherwise must have one flag per node.
@@ -105,10 +156,33 @@ struct MiniCastResult {
   double done_ratio() const;
 };
 
+/// Reusable scratch for the chain engine. One context serves any number
+/// of sequential rounds over any topologies; buffers grow to the largest
+/// round seen and are reused thereafter.
+struct RoundContext {
+  std::vector<std::uint64_t> have;           // n x entry-words bitmaps
+  std::vector<std::uint64_t> entry_senders;  // node-words: current sub-slot
+  std::vector<NodeId> tx_nodes;              // this slot's transmitters
+  std::vector<NodeId> listeners;             // this slot's radio-on listeners
+  std::vector<char> radio_on;
+  std::vector<char> tx_this_slot;
+  std::vector<char> received_any;
+  std::vector<char> tx_next;
+  std::vector<char> scheduled;
+  std::vector<std::uint32_t> silent_slots;
+  std::vector<std::uint32_t> timeout_budget;
+};
+
 /// Run one MiniCast round to quiescence. Deterministic given `rng` state.
 MiniCastResult run_minicast(const net::Topology& topo,
                             const std::vector<ChainEntry>& entries,
                             const MiniCastConfig& config,
                             crypto::Xoshiro256& rng);
+
+/// As above, reusing caller-owned scratch across rounds.
+MiniCastResult run_minicast(const net::Topology& topo,
+                            const std::vector<ChainEntry>& entries,
+                            const MiniCastConfig& config,
+                            crypto::Xoshiro256& rng, RoundContext& scratch);
 
 }  // namespace mpciot::ct

@@ -1,0 +1,285 @@
+#include "ct/transport.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace mpciot::ct {
+
+namespace {
+
+std::function<bool(NodeId, BitView)> done_or_default(
+    const MiniCastConfig& config) {
+  return config.done ? config.done
+                     : [](NodeId, BitView have) { return have.all(); };
+}
+
+/// The paper's substrate: MiniCast chains with Glossy as the
+/// single-entry special case.
+class MiniCastTransport : public Transport {
+ public:
+  const char* name() const override { return "minicast"; }
+
+  GlossyResult flood(const net::Topology& topo, const GlossyConfig& config,
+                     crypto::Xoshiro256& rng) const override {
+    return run_glossy(topo, config, rng);
+  }
+
+  MiniCastResult chain_round(const net::Topology& topo,
+                             const std::vector<ChainEntry>& entries,
+                             const MiniCastConfig& config,
+                             crypto::Xoshiro256& rng,
+                             RoundContext* scratch) const override {
+    if (scratch != nullptr) {
+      return run_minicast(topo, entries, config, rng, *scratch);
+    }
+    return run_minicast(topo, entries, config, rng);
+  }
+};
+
+/// LWB-style baseline: every entry pays a full sequential Glossy flood
+/// from its origin — no chaining, so airtime and radio-on scale with
+/// the entry count times the flood cost.
+class GlossyFloodsTransport : public Transport {
+ public:
+  const char* name() const override { return "glossy_floods"; }
+
+  GlossyResult flood(const net::Topology& topo, const GlossyConfig& config,
+                     crypto::Xoshiro256& rng) const override {
+    return run_glossy(topo, config, rng);
+  }
+
+  MiniCastResult chain_round(const net::Topology& topo,
+                             const std::vector<ChainEntry>& entries,
+                             const MiniCastConfig& config,
+                             crypto::Xoshiro256& rng,
+                             RoundContext* scratch) const override {
+    const std::size_t n = topo.size();
+    const std::size_t num_entries = entries.size();
+    MPCIOT_REQUIRE(num_entries > 0, "glossy_floods: empty chain");
+    const auto is_disabled = [&](NodeId i) {
+      return !config.disabled.empty() && config.disabled[i] != 0;
+    };
+    const auto done_fn = done_or_default(config);
+
+    MiniCastResult result;
+    result.rx_slot.assign(n, std::vector<std::int32_t>(
+                                 num_entries, MiniCastResult::kNever));
+    result.tx_count.assign(n, 0);
+    result.done_slot.assign(n, MiniCastResult::kNever);
+    result.radio_on_us.assign(n, 0);
+    result.chain_slot_us = topo.radio().subslot_us(config.payload_bytes);
+
+    const std::size_t words = (num_entries + 63) / 64;
+    std::vector<std::uint64_t> have(n * words, 0);
+    const auto have_row = [&](NodeId i) { return have.data() + i * words; };
+    for (std::size_t e = 0; e < num_entries; ++e) {
+      bit_set(have_row(entries[e].origin), e);
+      result.rx_slot[entries[e].origin][e] = MiniCastResult::kOwnEntry;
+    }
+    for (NodeId i = 0; i < n; ++i) {
+      if (!is_disabled(i) && done_fn(i, BitView(have_row(i), num_entries))) {
+        result.done_slot[i] = 0;
+      }
+    }
+
+    RoundContext local;
+    RoundContext& ctx = scratch != nullptr ? *scratch : local;
+    std::uint32_t slots_so_far = 0;
+    for (std::size_t e = 0; e < num_entries; ++e) {
+      MiniCastConfig flood_cfg;
+      flood_cfg.initiator = entries[e].origin;
+      flood_cfg.ntx = config.ntx;
+      flood_cfg.payload_bytes = config.payload_bytes;
+      flood_cfg.max_chain_slots = config.max_chain_slots;
+      flood_cfg.radio_policy = config.radio_policy;
+      flood_cfg.disabled = config.disabled;
+      // A dead origin's flood never starts (its entry is simply lost);
+      // run_minicast quiesces immediately without consuming randomness.
+      const std::vector<ChainEntry> one{ChainEntry{entries[e].origin}};
+      const MiniCastResult sub = run_minicast(topo, one, flood_cfg, rng, ctx);
+
+      for (NodeId r = 0; r < n; ++r) {
+        if (sub.rx_slot[r][0] >= 0) {
+          result.rx_slot[r][e] = static_cast<std::int32_t>(
+              slots_so_far + static_cast<std::uint32_t>(sub.rx_slot[r][0]));
+          bit_set(have_row(r), e);
+        }
+        result.tx_count[r] += sub.tx_count[r];
+        result.radio_on_us[r] += sub.radio_on_us[r];
+      }
+      slots_so_far += sub.chain_slots_used;
+      result.duration_us += sub.duration_us;
+
+      const std::int32_t now_slot =
+          slots_so_far == 0 ? 0 : static_cast<std::int32_t>(slots_so_far - 1);
+      for (NodeId i = 0; i < n; ++i) {
+        if (is_disabled(i)) continue;
+        if (result.done_slot[i] == MiniCastResult::kNever &&
+            done_fn(i, BitView(have_row(i), num_entries))) {
+          result.done_slot[i] = now_slot;
+        }
+      }
+    }
+    result.chain_slots_used = slots_so_far;
+    return result;
+  }
+};
+
+}  // namespace
+
+GlossyResult GossipTransport::flood(const net::Topology& topo,
+                                    const GlossyConfig& config,
+                                    crypto::Xoshiro256& rng) const {
+  MiniCastConfig mc;
+  mc.initiator = config.initiator;
+  mc.ntx = config.ntx;
+  mc.payload_bytes = config.payload_bytes;
+  mc.max_chain_slots = config.max_slots;
+  // Flood completion is per node: leave the round once the packet is in.
+  mc.radio_policy = RadioPolicy::kEarlyOff;
+  const std::vector<ChainEntry> entries{ChainEntry{config.initiator}};
+  const MiniCastResult r = run_gossip(topo, entries, mc, params_, rng);
+
+  GlossyResult out;
+  out.first_rx_slot.reserve(r.rx_slot.size());
+  for (const auto& row : r.rx_slot) out.first_rx_slot.push_back(row[0]);
+  out.tx_count = r.tx_count;
+  out.radio_on_us = r.radio_on_us;
+  out.slots_used = r.chain_slots_used;
+  out.duration_us = r.duration_us;
+  return out;
+}
+
+MiniCastResult GossipTransport::chain_round(
+    const net::Topology& topo, const std::vector<ChainEntry>& entries,
+    const MiniCastConfig& config, crypto::Xoshiro256& rng,
+    RoundContext* /*scratch*/) const {
+  return run_gossip(topo, entries, config, params_, rng);
+}
+
+GlossyResult UnicastTransport::flood(const net::Topology& topo,
+                                     const GlossyConfig& config,
+                                     crypto::Xoshiro256& rng) const {
+  const std::size_t n = topo.size();
+  const net::routing::HopTiming timing =
+      net::routing::hop_timing(topo.radio(), config.payload_bytes, mac_);
+
+  GlossyResult out;
+  out.first_rx_slot.assign(n, MiniCastResult::kNever);
+  out.first_rx_slot[config.initiator] = MiniCastResult::kOwnEntry;
+  out.tx_count.assign(n, 0);
+  out.radio_on_us.assign(n, 0);
+  SimTime elapsed = 0;
+  for (NodeId dst = 0; dst < n; ++dst) {
+    if (dst == config.initiator) continue;
+    if (net::routing::walk_route(topo, config.initiator, dst, timing,
+                                 mac_.max_retries_per_hop, rng,
+                                 out.radio_on_us, elapsed, &out.tx_count)) {
+      out.first_rx_slot[dst] =
+          static_cast<std::int32_t>(elapsed / kMillisecond);
+    }
+  }
+  out.duration_us = elapsed;
+  out.slots_used = static_cast<std::uint32_t>(elapsed / kMillisecond);
+  return out;
+}
+
+MiniCastResult UnicastTransport::chain_round(
+    const net::Topology& topo, const std::vector<ChainEntry>& entries,
+    const MiniCastConfig& config, crypto::Xoshiro256& rng,
+    RoundContext* /*scratch*/) const {
+  const std::size_t n = topo.size();
+  const std::size_t num_entries = entries.size();
+  MPCIOT_REQUIRE(num_entries > 0, "unicast transport: empty chain");
+  const auto is_disabled = [&](NodeId i) {
+    return !config.disabled.empty() && config.disabled[i] != 0;
+  };
+  const auto done_fn = done_or_default(config);
+  const net::routing::HopTiming timing =
+      net::routing::hop_timing(topo.radio(), config.payload_bytes, mac_);
+
+  MiniCastResult result;
+  result.rx_slot.assign(n, std::vector<std::int32_t>(
+                               num_entries, MiniCastResult::kNever));
+  result.tx_count.assign(n, 0);
+  result.done_slot.assign(n, MiniCastResult::kNever);
+  result.radio_on_us.assign(n, 0);
+  // Routed delivery has no TDMA slot grid; report rx/done positions as
+  // cumulative elapsed milliseconds so latency math stays meaningful.
+  result.chain_slot_us = kMillisecond;
+
+  const std::size_t words = (num_entries + 63) / 64;
+  std::vector<std::uint64_t> have(n * words, 0);
+  const auto have_row = [&](NodeId i) { return have.data() + i * words; };
+  for (std::size_t e = 0; e < num_entries; ++e) {
+    bit_set(have_row(entries[e].origin), e);
+    result.rx_slot[entries[e].origin][e] = MiniCastResult::kOwnEntry;
+  }
+  for (NodeId i = 0; i < n; ++i) {
+    if (!is_disabled(i) && done_fn(i, BitView(have_row(i), num_entries))) {
+      result.done_slot[i] = 0;
+    }
+  }
+
+  SimTime elapsed = 0;
+  const std::vector<char>* blocked =
+      config.disabled.empty() ? nullptr : &config.disabled;
+  const auto deliver = [&](std::size_t e, NodeId origin, NodeId dst) {
+    if (dst == origin || is_disabled(dst)) return;
+    if (net::routing::walk_route(topo, origin, dst, timing,
+                                 mac_.max_retries_per_hop, rng,
+                                 result.radio_on_us, elapsed,
+                                 &result.tx_count, blocked)) {
+      if (!bit_test(have_row(dst), e)) {
+        bit_set(have_row(dst), e);
+        result.rx_slot[dst][e] =
+            static_cast<std::int32_t>(elapsed / kMillisecond);
+      }
+    }
+  };
+
+  for (std::size_t e = 0; e < num_entries; ++e) {
+    const NodeId origin = entries[e].origin;
+    if (is_disabled(origin)) continue;  // dead sources never send
+    if (entries[e].destination != kInvalidNode) {
+      deliver(e, origin, entries[e].destination);
+    } else {
+      for (NodeId dst = 0; dst < n; ++dst) deliver(e, origin, dst);
+    }
+    const std::int32_t now_ms =
+        static_cast<std::int32_t>(elapsed / kMillisecond);
+    for (NodeId i = 0; i < n; ++i) {
+      if (is_disabled(i)) continue;
+      if (result.done_slot[i] == MiniCastResult::kNever &&
+          done_fn(i, BitView(have_row(i), num_entries))) {
+        result.done_slot[i] = now_ms;
+      }
+    }
+  }
+  result.duration_us = elapsed;
+  result.chain_slots_used = static_cast<std::uint32_t>(elapsed / kMillisecond);
+  return result;
+}
+
+const Transport& minicast_transport() {
+  static const MiniCastTransport instance;
+  return instance;
+}
+
+std::unique_ptr<Transport> make_transport(const std::string& name) {
+  if (name == "minicast") return std::make_unique<MiniCastTransport>();
+  if (name == "glossy_floods") {
+    return std::make_unique<GlossyFloodsTransport>();
+  }
+  if (name == "gossip") return std::make_unique<GossipTransport>();
+  if (name == "unicast") return std::make_unique<UnicastTransport>();
+  MPCIOT_REQUIRE(false, "make_transport: unknown transport name");
+  return nullptr;  // unreachable
+}
+
+std::vector<std::string> transport_names() {
+  return {"minicast", "glossy_floods", "gossip", "unicast"};
+}
+
+}  // namespace mpciot::ct

@@ -1,0 +1,117 @@
+// The transport seam: one interface over every communication substrate
+// the aggregation protocols can run on.
+//
+// A transport provides the two primitives the paper's round structure
+// needs — a one-to-all synchronization *flood* and a many-to-many
+// *chain round* over a TDMA-style entry schedule — and returns the
+// common result views (GlossyResult / MiniCastResult). core::protocol,
+// core::bootstrap and core::unicast_baseline are written against this
+// seam, so a new workload means registering a transport, not editing
+// the protocol engine.
+//
+// Registered substrates:
+//   * "minicast"      — MiniCast chains, Glossy sync floods (the paper's
+//                       substrate; the default everywhere).
+//   * "glossy_floods" — one sequential Glossy flood per entry, LWB
+//                       style: no chaining, every packet pays its own
+//                       flood.
+//   * "gossip"        — lossy slotted push-gossip; one entry per slot,
+//                       collisions resolved by capture (see gossip.hpp).
+//   * "unicast"       — routed stop-and-wait unicast over good links
+//                       (the duty-cycled baseline; honours per-entry
+//                       destinations).
+//
+// Transports are stateless and thread-safe: concurrent trials may share
+// one instance. Callers running many rounds can pass a RoundContext to
+// chain_round to reuse scratch allocations where the substrate supports
+// it.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crypto/prng.hpp"
+#include "ct/glossy.hpp"
+#include "ct/gossip.hpp"
+#include "ct/minicast.hpp"
+#include "net/routing.hpp"
+#include "net/topology.hpp"
+
+namespace mpciot::ct {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Registry name (see the list above).
+  virtual const char* name() const = 0;
+
+  /// One-to-all synchronization flood from config.initiator.
+  virtual GlossyResult flood(const net::Topology& topo,
+                             const GlossyConfig& config,
+                             crypto::Xoshiro256& rng) const = 0;
+
+  /// One many-to-many round over the chain `entries`. `scratch`, when
+  /// non-null, lets the substrate reuse per-round allocations; passing
+  /// the same context from concurrent threads is the caller's bug.
+  virtual MiniCastResult chain_round(const net::Topology& topo,
+                                     const std::vector<ChainEntry>& entries,
+                                     const MiniCastConfig& config,
+                                     crypto::Xoshiro256& rng,
+                                     RoundContext* scratch = nullptr) const = 0;
+};
+
+/// The paper's substrate (MiniCast chains + Glossy floods), shared
+/// process-wide. What every seam consumer defaults to when handed no
+/// transport.
+const Transport& minicast_transport();
+
+/// Instantiate a registered substrate by name; throws ContractViolation
+/// for unknown names. `gossip` / `unicast` take their tuning from
+/// GossipParams / net::routing::MacParams defaults; construct
+/// GossipTransport / UnicastTransport directly to override.
+std::unique_ptr<Transport> make_transport(const std::string& name);
+
+/// Names accepted by make_transport, in registry order.
+std::vector<std::string> transport_names();
+
+/// Lossy slotted push-gossip substrate (see gossip.hpp).
+class GossipTransport : public Transport {
+ public:
+  explicit GossipTransport(GossipParams params = {}) : params_(params) {}
+  const char* name() const override { return "gossip"; }
+  GlossyResult flood(const net::Topology& topo, const GlossyConfig& config,
+                     crypto::Xoshiro256& rng) const override;
+  MiniCastResult chain_round(const net::Topology& topo,
+                             const std::vector<ChainEntry>& entries,
+                             const MiniCastConfig& config,
+                             crypto::Xoshiro256& rng,
+                             RoundContext* scratch) const override;
+
+ private:
+  GossipParams params_;
+};
+
+/// Routed stop-and-wait unicast substrate over net::routing. Entries
+/// with a destination go point-to-point; broadcast entries
+/// (destination == kInvalidNode) are delivered to every node in turn.
+/// Results use chain_slot_us == 1 ms, with rx/done "slots" being
+/// cumulative elapsed milliseconds.
+class UnicastTransport : public Transport {
+ public:
+  explicit UnicastTransport(net::routing::MacParams mac = {}) : mac_(mac) {}
+  const char* name() const override { return "unicast"; }
+  GlossyResult flood(const net::Topology& topo, const GlossyConfig& config,
+                     crypto::Xoshiro256& rng) const override;
+  MiniCastResult chain_round(const net::Topology& topo,
+                             const std::vector<ChainEntry>& entries,
+                             const MiniCastConfig& config,
+                             crypto::Xoshiro256& rng,
+                             RoundContext* scratch) const override;
+
+ private:
+  net::routing::MacParams mac_;
+};
+
+}  // namespace mpciot::ct

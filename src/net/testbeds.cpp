@@ -5,6 +5,21 @@
 
 namespace mpciot::net::testbeds {
 
+Topology retry_topology(const char* what, std::uint64_t max_attempts,
+                        const std::function<Topology(std::uint64_t)>& build,
+                        const std::function<bool(const Topology&)>& accept) {
+  for (std::uint64_t attempt = 0; attempt < max_attempts; ++attempt) {
+    try {
+      Topology topo = build(attempt);
+      if (!accept || accept(topo)) return topo;
+    } catch (const ContractViolation&) {
+      continue;
+    }
+  }
+  MPCIOT_REQUIRE(false, what);
+  throw std::logic_error("unreachable");
+}
+
 namespace {
 
 /// Jittered-grid placement: deterministic for a seed, irregular enough to
@@ -84,17 +99,13 @@ Topology flocklab(std::uint64_t seed) {
   std::vector<double> rx_penalty(26, 0.0);
   rx_penalty[24] = 5.0;
   rx_penalty[25] = 5.0;
-  for (std::uint64_t attempt = 0; attempt < 4096; ++attempt) {
-    try {
-      Topology topo(placer(seed + attempt), radio,
-                    seed ^ (attempt * 0x9E37u), rx_penalty);
-      if (flocklab_ok(topo)) return topo;
-    } catch (const ContractViolation&) {
-      continue;
-    }
-  }
-  MPCIOT_REQUIRE(false, "flocklab: could not build a valid topology");
-  throw std::logic_error("unreachable");
+  return retry_topology(
+      "flocklab: could not build a valid topology", 4096,
+      [&](std::uint64_t attempt) {
+        return Topology(placer(seed + attempt), radio,
+                        seed ^ (attempt * 0x9E37u), rx_penalty);
+      },
+      flocklab_ok);
 }
 
 namespace {
@@ -168,17 +179,13 @@ Topology dcube(std::uint64_t seed) {
   radio.shadowing_sigma_db = 4.0;
   std::vector<double> rx_penalty(45, 0.0);
   for (NodeId a = 41; a < 45; ++a) rx_penalty[a] = 5.0;
-  for (std::uint64_t attempt = 0; attempt < 4096; ++attempt) {
-    try {
-      Topology topo(placer(seed + attempt), radio,
-                    seed ^ (attempt * 0x9E37u), rx_penalty);
-      if (dcube_ok(topo)) return topo;
-    } catch (const ContractViolation&) {
-      continue;
-    }
-  }
-  MPCIOT_REQUIRE(false, "dcube: could not build a valid topology");
-  throw std::logic_error("unreachable");
+  return retry_topology(
+      "dcube: could not build a valid topology", 4096,
+      [&](std::uint64_t attempt) {
+        return Topology(placer(seed + attempt), radio,
+                        seed ^ (attempt * 0x9E37u), rx_penalty);
+      },
+      dcube_ok);
 }
 
 Topology grid(std::uint32_t rows, std::uint32_t cols, double spacing_m,
@@ -200,22 +207,18 @@ Topology grid(std::uint32_t rows, std::uint32_t cols, double spacing_m,
 Topology random_uniform(std::uint32_t count, double width_m, double height_m,
                         std::uint64_t seed, RadioParams radio) {
   MPCIOT_REQUIRE(count >= 2, "random_uniform: need at least 2 nodes");
-  for (std::uint64_t attempt = 0; attempt < 256; ++attempt) {
-    crypto::Xoshiro256 rng(seed + attempt);
-    std::vector<Position> pos;
-    pos.reserve(count);
-    for (std::uint32_t i = 0; i < count; ++i) {
-      pos.push_back(
-          Position{rng.next_double() * width_m, rng.next_double() * height_m});
-    }
-    try {
-      return Topology(std::move(pos), radio, seed + attempt);
-    } catch (const ContractViolation&) {
-      continue;
-    }
-  }
-  MPCIOT_REQUIRE(false, "random_uniform: could not build connected topology");
-  throw std::logic_error("unreachable");
+  return retry_topology(
+      "random_uniform: could not build connected topology", 256,
+      [&](std::uint64_t attempt) {
+        crypto::Xoshiro256 rng(seed + attempt);
+        std::vector<Position> pos;
+        pos.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+          pos.push_back(Position{rng.next_double() * width_m,
+                                 rng.next_double() * height_m});
+        }
+        return Topology(std::move(pos), radio, seed + attempt);
+      });
 }
 
 Topology line(std::uint32_t count, double spacing_m, std::uint64_t seed,

@@ -8,11 +8,21 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "net/topology.hpp"
 
 namespace mpciot::net::testbeds {
+
+/// Retry scaffold shared by every generator: calls `build(attempt)` for
+/// attempt in [0, max_attempts), skipping candidates whose construction
+/// throws (a partitioned placement fails the Topology connectivity
+/// contract) and candidates rejected by `accept` (when provided).
+/// Throws ContractViolation tagged `what` once attempts are exhausted.
+Topology retry_topology(const char* what, std::uint64_t max_attempts,
+                        const std::function<Topology(std::uint64_t)>& build,
+                        const std::function<bool(const Topology&)>& accept = {});
 
 /// FlockLab-like: 26 nodes over an office floor (~70 m x 35 m),
 /// irregular placement, 3-4 good-link hops across.

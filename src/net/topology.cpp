@@ -31,7 +31,6 @@ void Topology::build_tables(std::uint64_t shadow_seed) {
   const std::size_t n = positions_.size();
   rssi_.assign(n * n, -200.0);
   prr_.assign(n * n, 0.0);
-  neighbors_.assign(n, {});
   crypto::Xoshiro256 rng(shadow_seed);
 
   for (NodeId a = 0; a < n; ++a) {
@@ -53,12 +52,27 @@ void Topology::build_tables(std::uint64_t shadow_seed) {
       prr_[idx(b, a)] = p_ba;
     }
   }
+  prr_in_.assign(n * n, 0.0);
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) prr_in_[idx(b, a)] = prr_[idx(a, b)];
+  }
+  // CSR adjacency over usable outbound links, plus the inbound
+  // audibility bitmaps the CT hot loop intersects per sub-slot.
+  csr_offsets_.assign(n + 1, 0);
+  csr_neighbors_.clear();
+  csr_neighbors_.reserve(n * 4);
+  node_words_ = (n + 63) / 64;
+  rx_words_.assign(n * node_words_, 0);
   for (NodeId a = 0; a < n; ++a) {
     for (NodeId b = 0; b < n; ++b) {
       if (a != b && prr_[idx(a, b)] >= radio_.link_floor_prr) {
-        neighbors_[a].push_back(b);
+        csr_neighbors_.push_back(b);
+      }
+      if (a != b && prr_[idx(b, a)] > 0.0) {
+        rx_words_[a * node_words_ + b / 64] |= std::uint64_t{1} << (b % 64);
       }
     }
+    csr_offsets_[a + 1] = static_cast<std::uint32_t>(csr_neighbors_.size());
   }
 
   // Hop distances by BFS over good links (prr >= 0.5).
@@ -69,7 +83,7 @@ void Topology::build_tables(std::uint64_t shadow_seed) {
     while (!queue.empty()) {
       const NodeId cur = queue.front();
       queue.pop_front();
-      for (NodeId nb : neighbors_[cur]) {
+      for (NodeId nb : neighbors(cur)) {
         if (prr_[idx(cur, nb)] < 0.5) continue;
         if (hops_[idx(src, nb)] != kInvalidHops) continue;
         hops_[idx(src, nb)] = hops_[idx(src, cur)] + 1;
@@ -87,7 +101,7 @@ void Topology::build_tables(std::uint64_t shadow_seed) {
   while (!queue.empty()) {
     const NodeId cur = queue.front();
     queue.pop_front();
-    for (NodeId nb : neighbors_[cur]) {
+    for (NodeId nb : neighbors(cur)) {
       if (!reachable[nb]) {
         reachable[nb] = true;
         ++count;

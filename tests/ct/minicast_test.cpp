@@ -134,9 +134,7 @@ TEST(MiniCast, EarlyOffReducesRadioOn) {
   MiniCastConfig base;
   base.initiator = 0;
   base.ntx = 6;
-  base.done = [](NodeId, const std::vector<char>& have) {
-    return have[0] != 0;
-  };
+  base.done = [](NodeId, BitView have) { return have.test(0); };
 
   crypto::Xoshiro256 rng1(7);
   MiniCastConfig on = base;

@@ -1,0 +1,95 @@
+// Shared unicast routing helpers (next_hop + stop-and-wait walk), the
+// substrate of both the unicast baseline and the unicast transport.
+#include "net/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace mpciot::net::routing {
+namespace {
+
+Topology make_line(std::size_t n = 5, double spacing = 14.0) {
+  RadioParams radio;
+  radio.shadowing_sigma_db = 0.0;
+  std::vector<Position> pos;
+  for (std::size_t i = 0; i < n; ++i) {
+    pos.push_back(Position{static_cast<double>(i) * spacing, 0.0});
+  }
+  return Topology(std::move(pos), radio, 1);
+}
+
+TEST(Routing, NextHopWalksTowardsDestination) {
+  const Topology topo = make_line();
+  EXPECT_EQ(next_hop(topo, 2, 2), 2u);
+  NodeId at = 0;
+  std::uint32_t steps = 0;
+  while (at != 4 && steps < 10) {
+    const NodeId hop = next_hop(topo, at, 4);
+    ASSERT_NE(hop, kInvalidNode);
+    EXPECT_EQ(topo.hops(hop, 4) + 1, topo.hops(at, 4));
+    at = hop;
+    ++steps;
+  }
+  EXPECT_EQ(at, 4u);
+  EXPECT_EQ(steps, topo.hops(0, 4));
+}
+
+TEST(Routing, HopTimingMatchesMacBudget) {
+  RadioParams radio;
+  MacParams mac;
+  const HopTiming t = hop_timing(radio, 32, mac);
+  const SimTime data = radio.airtime_us(32);
+  const SimTime ack = radio.airtime_us(mac.ack_payload_bytes);
+  EXPECT_EQ(t.exchange_us,
+            data + radio.turnaround_us + ack + radio.turnaround_us);
+  EXPECT_EQ(t.hop_us, mac.wakeup_interval_us / 2 + t.exchange_us);
+}
+
+TEST(Routing, WalkRouteChargesSenderAndReceiverPerAttempt) {
+  const Topology topo = make_line();
+  const MacParams mac;
+  const HopTiming timing = hop_timing(topo.radio(), 16, mac);
+  std::vector<SimTime> radio_on(topo.size(), 0);
+  std::vector<std::uint32_t> tx_count(topo.size(), 0);
+  SimTime elapsed = 0;
+  crypto::Xoshiro256 rng(3);
+  ASSERT_TRUE(walk_route(topo, 0, 4, timing, mac.max_retries_per_hop, rng,
+                         radio_on, elapsed, &tx_count));
+  const std::uint32_t attempts =
+      std::accumulate(tx_count.begin(), tx_count.end(), 0u);
+  EXPECT_GE(attempts, topo.hops(0, 4));
+  EXPECT_EQ(elapsed, static_cast<SimTime>(attempts) * timing.hop_us);
+  const SimTime total_radio =
+      std::accumulate(radio_on.begin(), radio_on.end(), SimTime{0});
+  EXPECT_EQ(total_radio, static_cast<SimTime>(attempts) *
+                             (timing.hop_us + timing.exchange_us));
+}
+
+TEST(Routing, WalkRouteToUnreachableCostsNothing) {
+  // Two far-apart pairs joined by a sub-0.5-PRR link do not appear in
+  // the good-link hop table, so the walk gives up before spending any
+  // time or randomness.
+  RadioParams radio;
+  radio.shadowing_sigma_db = 0.0;
+  std::vector<Position> pos{{0.0, 0.0}, {14.0, 0.0}, {39.0, 0.0},
+                            {53.0, 0.0}};
+  const Topology topo(std::move(pos), radio, 1);
+  ASSERT_EQ(topo.hops(0, 3), Topology::kInvalidHops);
+
+  const MacParams mac;
+  const HopTiming timing = hop_timing(topo.radio(), 16, mac);
+  std::vector<SimTime> radio_on(topo.size(), 0);
+  SimTime elapsed = 0;
+  crypto::Xoshiro256 rng(5);
+  const std::uint64_t before = rng.next_u64();
+  crypto::Xoshiro256 rng2(5);
+  EXPECT_FALSE(walk_route(topo, 0, 3, timing, mac.max_retries_per_hop, rng2,
+                          radio_on, elapsed));
+  EXPECT_EQ(elapsed, 0);
+  EXPECT_EQ(rng2.next_u64(), before);  // no draws consumed
+  for (SimTime t : radio_on) EXPECT_EQ(t, 0);
+}
+
+}  // namespace
+}  // namespace mpciot::net::routing

@@ -87,5 +87,66 @@ TEST(Testbeds, GeneratorsRejectDegenerateInputs) {
   EXPECT_THROW(random_uniform(1, 10, 10, 1), ContractViolation);
 }
 
+std::vector<Position> two_nodes() {
+  return {Position{0.0, 0.0}, Position{10.0, 0.0}};
+}
+
+TEST(Testbeds, RetryTopologySkipsFailingAttempts) {
+  // Attempts below 3 throw the connectivity contract (simulated by a
+  // partitioned two-node placement); retry_topology must keep going and
+  // hand back the first buildable candidate.
+  std::uint64_t built_at = 0xFFFF;
+  const Topology topo = retry_topology(
+      "test: never", 10,
+      [&](std::uint64_t attempt) {
+        if (attempt < 3) {
+          return Topology({Position{0.0, 0.0}, Position{500.0, 0.0}},
+                          RadioParams{}, 1);  // out of range: partitioned
+        }
+        built_at = attempt;
+        return Topology(two_nodes(), RadioParams{}, 1);
+      });
+  EXPECT_EQ(built_at, 3u);
+  EXPECT_EQ(topo.size(), 2u);
+}
+
+TEST(Testbeds, RetryTopologyHonorsAcceptPredicate) {
+  std::uint64_t accepted_attempt = 0xFFFF;
+  const Topology topo = retry_topology(
+      "test: never", 10,
+      [&](std::uint64_t attempt) {
+        accepted_attempt = attempt;
+        return Topology(two_nodes(), RadioParams{}, 1);
+      },
+      [&](const Topology&) { return accepted_attempt >= 5; });
+  EXPECT_EQ(accepted_attempt, 5u);
+  EXPECT_EQ(topo.size(), 2u);
+}
+
+TEST(Testbeds, RetryTopologyThrowsWhenAttemptsExhausted) {
+  EXPECT_THROW(retry_topology(
+                   "test: exhausted", 4,
+                   [&](std::uint64_t) {
+                     return Topology(two_nodes(), RadioParams{}, 1);
+                   },
+                   [](const Topology&) { return false; }),
+               ContractViolation);
+}
+
+TEST(Testbeds, FlocklabIsStableAcrossRefactors) {
+  // Golden placement pin: the retry helper must reproduce the exact
+  // pre-refactor attempt sequence (same placer seeds, same shadow
+  // seeds, same acceptance order). Values frozen from the seed engine;
+  // any change to the retry/seed derivation shifts them.
+  const Topology topo = flocklab();
+  ASSERT_EQ(topo.size(), 26u);
+  EXPECT_DOUBLE_EQ(topo.position(0).x, 12.548162110730456);
+  EXPECT_DOUBLE_EQ(topo.position(0).y, 1.3956577333979805);
+  EXPECT_DOUBLE_EQ(topo.position(25).x, 103.75655505201533);
+  EXPECT_DOUBLE_EQ(topo.position(25).y, 44.082706399380676);
+  EXPECT_EQ(topo.diameter(), 6u);
+  EXPECT_EQ(topo.center_node(), 2u);
+}
+
 }  // namespace
 }  // namespace mpciot::net::testbeds
