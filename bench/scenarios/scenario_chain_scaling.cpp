@@ -69,7 +69,7 @@ Row run_sim_grid(std::uint32_t grid_rows, std::uint32_t grid_cols,
   double duration_ms = 0.0;
   ct::RoundContext scratch;  // reused across reps (identical results)
   for (std::uint32_t rep = 0; rep < reps; ++rep) {
-    crypto::Xoshiro256 rng((ctx.seed ^ (n * 0x9E3779B97F4A7C15ull)) + rep);
+    crypto::Xoshiro256 rng(crypto::derive_seed(ctx.seed, n, rep));
     const ct::MiniCastResult res =
         run_minicast(topo, sched.entries, cfg, rng, scratch);
     delivery += res.delivery_ratio();

@@ -54,7 +54,10 @@ Rows run_fault_tolerance(const ScenarioContext& ctx) {
     metrics::Summary s4_ok;
     metrics::Summary s4tight_ok;
     for (std::uint32_t t = 0; t < ctx.reps; ++t) {
-      crypto::Xoshiro256 frng(ctx.seed * 1000 + t);
+      // Failure draws are their own stream, additionally separated by the
+      // failure count so each sweep point picks an independent set.
+      crypto::Xoshiro256 frng(crypto::derive_seed(
+          ctx.seed, 0xFA110000ull | failures, t));
       // Shared failure set per trial so the comparison is paired.
       auto base_s3 = core::make_s3_config(topo, sources, degree, ntx_full);
       const auto failed =
@@ -64,9 +67,9 @@ Rows run_fault_tolerance(const ScenarioContext& ctx) {
                                metrics::Summary& acc) {
         cfg.failed_nodes = failed;
         const core::SssProtocol proto(topo, keys, cfg);
-        sim::Simulator sim(ctx.seed + t);
-        const auto secrets =
-            metrics::random_secrets(ctx.seed * 77 + t, sources.size());
+        sim::Simulator sim(metrics::trial_sim_seed(ctx.seed, t));
+        const auto secrets = metrics::random_secrets(
+            metrics::trial_secret_seed(ctx.seed, t), sources.size());
         acc.add(proto.run(secrets, sim).success_ratio());
       };
       run_one(base_s3, s3_ok);

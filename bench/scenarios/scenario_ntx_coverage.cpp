@@ -42,7 +42,8 @@ void sweep(const char* name, const net::Topology& topo,
     metrics::Summary holder_delivery;
     metrics::Summary duration_ms;
     for (std::uint32_t t = 0; t < ctx.reps; ++t) {
-      crypto::Xoshiro256 rng(ctx.seed + t);
+      // Same trial stream for every NTX value: the sweep stays paired.
+      crypto::Xoshiro256 rng(crypto::derive_seed(ctx.seed, 0x4E545843ull, t));
       ct::MiniCastConfig cfg;
       cfg.initiator = topo.center_node();
       cfg.ntx = ntx;

@@ -1,8 +1,8 @@
 // Share-width ablation: CT round time is chain_slots x entries x
 // sub-slot airtime, and airtime is linear in payload bytes — so the
 // field the shares live in is a first-order performance knob. Compares
-// the S4 sharing round on FlockLab for Fp61 (16 B packets), GF(65521)
-// (10 B) and GF(251) (9 B) share encodings; the small-field Shamir path
+// the S4 sharing round on FlockLab for Fp61 (18 B packets), GF(65521)
+// (12 B) and GF(251) (11 B) share encodings; the small-field Shamir path
 // is additionally checked end-to-end.
 #include <cstdint>
 #include <vector>
@@ -38,15 +38,16 @@ Rows run_payload_size(const ScenarioContext& ctx) {
   };
 
   Rows rows;
-  // Packet = 4 B header + ciphertext (share width) + 4 B tag.
+  // Packet = 6 B header (u16 ids) + ciphertext (share width) + 4 B tag.
   for (const Variant v : {Variant{"fp61", 8}, Variant{"gf65521", 2},
                           Variant{"gf251", 1}}) {
     const std::uint32_t payload =
-        static_cast<std::uint32_t>(8 + v.value_bytes);
+        static_cast<std::uint32_t>(10 + v.value_bytes);
     metrics::Summary round_ms;
     metrics::Summary delivery;
     for (std::uint32_t t = 0; t < ctx.reps; ++t) {
-      crypto::Xoshiro256 rng(ctx.seed + t);
+      // Same trial stream for every payload width: the ablation is paired.
+      crypto::Xoshiro256 rng(crypto::derive_seed(ctx.seed, 0x50415953ull, t));
       ct::MiniCastConfig mc;
       mc.initiator = topo.center_node();
       mc.ntx = cfg.ntx_sharing;

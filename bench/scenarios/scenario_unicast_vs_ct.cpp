@@ -44,9 +44,11 @@ Rows run_unicast_vs_ct(const ScenarioContext& ctx) {
   metrics::Summary uc_success;
   const auto uc_cfg = core::make_s4_config(topo, sources, degree, 6);
   for (std::uint32_t t = 0; t < ctx.reps; ++t) {
-    sim::Simulator sim(ctx.seed + t);
-    const auto secrets =
-        metrics::random_secrets((ctx.seed + t) * 7919 + 13, sources.size());
+    // Mirror run_trials' per-trial streams so the baseline stays paired
+    // with the CT run above (same secrets, same channel draws per trial).
+    sim::Simulator sim(metrics::trial_sim_seed(ctx.seed, t));
+    const auto secrets = metrics::random_secrets(
+        metrics::trial_secret_seed(ctx.seed, t), sources.size());
     const core::UnicastResult res = core::run_unicast_sss(
         topo, uc_cfg, secrets, core::UnicastParams{}, sim);
     uc_latency_ms.add(static_cast<double>(res.total_duration_us) / 1e3);

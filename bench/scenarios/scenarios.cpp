@@ -15,6 +15,7 @@ void register_all_scenarios(bench_core::Registry& registry) {
   register_degree_sweep(registry);
   register_fault_tolerance(registry);
   register_he_vs_mpc(registry);
+  register_hierarchy_scaling(registry);
   register_ntx_coverage(registry);
   register_payload_size(registry);
   register_transport_matrix(registry);

@@ -1,4 +1,4 @@
-// The nine benchmark scenarios, registered explicitly (no static-init
+// The benchmark scenarios, registered explicitly (no static-init
 // tricks, so static-library linking cannot drop them). Each scenario
 // returns rows of data; the bench_core runner renders JSON and tables.
 #pragma once
@@ -10,8 +10,8 @@
 namespace mpciot::bench {
 
 /// Register every scenario: fig1_flocklab, fig1_dcube, chain_scaling,
-/// degree_sweep, fault_tolerance, he_vs_mpc, ntx_coverage,
-/// payload_size, transport_matrix, unicast_vs_ct.
+/// degree_sweep, fault_tolerance, he_vs_mpc, hierarchy_scaling,
+/// ntx_coverage, payload_size, transport_matrix, unicast_vs_ct.
 void register_all_scenarios(bench_core::Registry& registry);
 
 void register_fig1_scenarios(bench_core::Registry& registry);
@@ -19,6 +19,7 @@ void register_chain_scaling(bench_core::Registry& registry);
 void register_degree_sweep(bench_core::Registry& registry);
 void register_fault_tolerance(bench_core::Registry& registry);
 void register_he_vs_mpc(bench_core::Registry& registry);
+void register_hierarchy_scaling(bench_core::Registry& registry);
 void register_ntx_coverage(bench_core::Registry& registry);
 void register_payload_size(bench_core::Registry& registry);
 void register_transport_matrix(bench_core::Registry& registry);

@@ -1,0 +1,323 @@
+#include "core/hierarchical.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "core/bootstrap.hpp"
+#include "core/wire.hpp"
+#include "crypto/prng.hpp"
+
+namespace mpciot::core {
+
+namespace {
+
+/// derive_seed stream tags of the hierarchical round.
+constexpr std::uint64_t kStreamGroupSim = 0x47525053ull;   // group-phase sims
+constexpr std::uint64_t kStreamKeystore = 0x474B4559ull;   // per-group keys
+
+/// Split `count` sources into balanced batches (sizes differ by at
+/// most one) of at most ~max_batch each. The batch count is capped at
+/// count/2 so no batch degenerates below the 2-source minimum an SSS
+/// round needs — a degree-1 round over a single source would hand that
+/// node's individual reading to the leader. The cap can only exceed
+/// max_batch for toy values (max_batch < 4), never near the 64-source
+/// SumPacket limit.
+std::vector<std::pair<std::size_t, std::size_t>> batch_ranges(
+    std::size_t count, std::size_t max_batch) {
+  const std::size_t batches = std::max<std::size_t>(
+      1, std::min((count + max_batch - 1) / max_batch, count / 2));
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  ranges.reserve(batches);
+  std::size_t begin = 0;
+  for (std::size_t b = 0; b < batches; ++b) {
+    const std::size_t size = count / batches + (b < count % batches ? 1 : 0);
+    ranges.emplace_back(begin, begin + size);
+    begin += size;
+  }
+  return ranges;
+}
+
+}  // namespace
+
+double HierarchicalResult::success_ratio() const {
+  if (has_result.empty()) return 0.0;
+  std::size_t ok = 0;
+  for (const char h : has_result) {
+    if (h != 0) ++ok;
+  }
+  if (!aggregate_correct) return 0.0;
+  return static_cast<double>(ok) / static_cast<double>(has_result.size());
+}
+
+SimTime HierarchicalResult::max_latency_us() const {
+  SimTime best = 0;
+  for (const SimTime t : latency_us) best = std::max(best, t);
+  return best;
+}
+
+SimTime HierarchicalResult::max_radio_on_us() const {
+  SimTime best = 0;
+  for (const SimTime t : radio_on_us) best = std::max(best, t);
+  return best;
+}
+
+double HierarchicalResult::mean_radio_on_us() const {
+  if (radio_on_us.empty()) return 0.0;
+  double total = 0.0;
+  for (const SimTime t : radio_on_us) total += static_cast<double>(t);
+  return total / static_cast<double>(radio_on_us.size());
+}
+
+HierarchicalProtocol::HierarchicalProtocol(const net::Topology& topo,
+                                           HierarchicalConfig config,
+                                           const ct::Transport* transport)
+    : topo_(&topo),
+      config_(std::move(config)),
+      transport_(transport != nullptr ? transport
+                                      : &ct::minicast_transport()) {
+  MPCIOT_REQUIRE(config_.num_channels >= 1,
+                 "hierarchical: need at least one channel");
+  MPCIOT_REQUIRE(config_.max_batch >= 2 && config_.max_batch <= 64,
+                 "hierarchical: max_batch must be in [2, 64]");
+  net::partition::validate(topo, config_.partition);
+
+  const std::size_t num_groups = config_.partition.groups.size();
+  groups_.reserve(num_groups);
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    Group group;
+    group.members = config_.partition.groups[g];
+    group.channel = static_cast<std::uint16_t>(g % config_.num_channels);
+    MPCIOT_REQUIRE(group.members.size() >= 2,
+                   "hierarchical: groups must have at least 2 members");
+    if (group.members.size() == topo.size()) {
+      group.sub = &topo;  // G = 1: the flat baseline, no copy needed
+    } else {
+      group.owned = std::make_unique<net::Topology>(
+          net::Topology::induced(topo, group.members));
+      group.sub = group.owned.get();
+    }
+    group.leader_local = group.sub->center_node();
+    group.leader = group.members[group.leader_local];
+    group.keys = std::make_unique<crypto::KeyStore>(
+        crypto::derive_seed(config_.key_seed, kStreamKeystore, g),
+        static_cast<std::uint32_t>(group.members.size()));
+
+    const auto ranges = batch_ranges(group.members.size(), config_.max_batch);
+    for (std::size_t b = 0; b < ranges.size(); ++b) {
+      ProtocolConfig cfg;
+      for (std::size_t i = ranges[b].first; i < ranges[b].second; ++i) {
+        cfg.sources.push_back(static_cast<NodeId>(i));  // local ids
+      }
+      cfg.degree = paper_degree(cfg.sources.size());
+      const std::size_t holders = std::min(
+          cfg.degree + 1 + config_.holder_slack, group.members.size());
+      cfg.share_holders =
+          elect_share_holders(*group.sub, cfg.sources, holders);
+      std::uint32_t depth_ntx = 0;
+      if (config_.scale_ntx_with_diameter) {
+        depth_ntx = group.sub->diameter() / 2 + 2;
+      }
+      cfg.ntx_sharing = std::max(config_.ntx_sharing, depth_ntx);
+      cfg.ntx_reconstruction =
+          std::max(config_.ntx_reconstruction, depth_ntx);
+      cfg.round = static_cast<std::uint16_t>(b);
+      cfg.initiator = group.leader_local;
+      cfg.early_radio_off = config_.early_radio_off;
+      cfg.max_chain_slots = config_.max_chain_slots;
+      group.batch_rounds.emplace_back(*group.sub, *group.keys,
+                                      std::move(cfg), transport_);
+    }
+    groups_.push_back(std::move(group));
+  }
+}
+
+NodeId HierarchicalProtocol::group_leader(std::size_t g) const {
+  MPCIOT_REQUIRE(g < groups_.size(), "hierarchical: group index out of range");
+  return groups_[g].leader;
+}
+
+HierarchicalResult HierarchicalProtocol::run(
+    const std::vector<field::Fp61>& secrets, sim::Simulator& sim) const {
+  const std::size_t n = topo_->size();
+  MPCIOT_REQUIRE(secrets.size() == n,
+                 "hierarchical: one secret per node required");
+
+  HierarchicalResult result;
+  result.groups.assign(groups_.size(), GroupOutcome{});
+  result.radio_on_us.assign(n, 0);
+  result.latency_us.assign(n, 0);
+  result.has_result.assign(n, 0);
+  for (const field::Fp61& s : secrets) result.expected_sum += s;
+
+  // ---- Phase A: per-group SSS rounds on orthogonal channels ----
+  //
+  // Each group draws its channel randomness from an independent stream
+  // derived from the trial seed, so results do not depend on the (host)
+  // order the groups are simulated in — they are concurrent in simulated
+  // time whenever their channels differ.
+  ct::ChannelTimeline timeline(config_.num_channels);
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    const Group& group = groups_[g];
+    GroupOutcome& out = result.groups[g];
+    out.leader = group.leader;
+    out.channel = group.channel;
+    out.batches = static_cast<std::uint32_t>(group.batch_rounds.size());
+    out.has_sum = true;
+    out.sum_correct = true;
+
+    sim::Simulator group_sim(
+        crypto::derive_seed(sim.seed(), kStreamGroupSim, g));
+    for (const SssProtocol& round : group.batch_rounds) {
+      std::vector<field::Fp61> batch_secrets;
+      batch_secrets.reserve(round.config().sources.size());
+      for (const NodeId local : round.config().sources) {
+        batch_secrets.push_back(secrets[group.members[local]]);
+      }
+      // The leader knows when it failed to reconstruct; a real
+      // deployment re-runs the round, so we do too (bounded).
+      bool leader_ok = false;
+      for (std::uint32_t attempt = 0;
+           attempt <= config_.max_retries && !leader_ok; ++attempt) {
+        if (attempt > 0) ++out.retries;
+        const AggregationResult r = round.run(batch_secrets, group_sim);
+        out.duration_us += r.total_duration_us;
+        for (std::size_t local = 0; local < group.members.size(); ++local) {
+          result.radio_on_us[group.members[local]] +=
+              r.nodes[local].radio_on_us;
+        }
+        const NodeOutcome& leader = r.nodes[group.leader_local];
+        if (!leader.has_aggregate) continue;
+        leader_ok = true;
+        out.sum += leader.aggregate;
+        if (!leader.aggregate_correct) out.sum_correct = false;
+      }
+      if (!leader_ok) {
+        out.has_sum = false;
+        out.sum_correct = false;
+      }
+    }
+    const SimTime start = timeline.book(group.channel, out.duration_us);
+    out.finish_us = start + out.duration_us;
+  }
+  result.group_phase_us = timeline.end_us();
+
+  // ---- Phase B: recombination tree over group leaders ----
+  //
+  // Pair the surviving partial sums level by level; in each level the
+  // non-surviving leader of every pair floods its partial over the
+  // *full* topology (a single-origin Glossy flood reaches any diameter
+  // at low NTX, which a many-origin chain round does not), and the
+  // surviving leader — the one closer to the network center — absorbs
+  // it. ceil(log2 G) levels bring everything to the global root. The
+  // floods share one channel, so a level costs the sum of its floods;
+  // that cost is tiny next to a group round (one 21-byte packet per
+  // flood vs thousands of chain sub-slots).
+  struct Partial {
+    NodeId leader;
+    field::Fp61 sum;
+    bool complete;  // every contributing group's sum was correct
+  };
+  std::vector<Partial> active;
+  for (const GroupOutcome& out : result.groups) {
+    if (out.has_sum) {
+      active.push_back(Partial{out.leader, out.sum, out.sum_correct});
+    }
+  }
+  bool all_groups_in = active.size() == result.groups.size();
+
+  const auto closer_to_center = [&](NodeId a, NodeId b) {
+    const std::uint32_t ha = topo_->hops(a, topo_->center_node());
+    const std::uint32_t hb = topo_->hops(b, topo_->center_node());
+    return ha != hb ? ha < hb : a < b;
+  };
+
+  while (active.size() > 1) {
+    std::vector<Partial> next;
+    for (std::size_t i = 0; i + 1 < active.size(); i += 2) {
+      const Partial& a = active[i];
+      const Partial& b = active[i + 1];
+      const bool a_survives = closer_to_center(a.leader, b.leader);
+      const Partial& surv = a_survives ? a : b;
+      const Partial& sender = a_survives ? b : a;
+
+      ct::GlossyConfig fcfg;
+      fcfg.initiator = sender.leader;
+      fcfg.ntx = config_.result_flood_ntx;
+      fcfg.payload_bytes = SumPacket::kWireSize;
+      fcfg.max_slots = config_.max_chain_slots;
+      bool delivered = false;
+      for (std::uint32_t attempt = 0;
+           attempt <= config_.max_retries && !delivered; ++attempt) {
+        const ct::GlossyResult flood =
+            transport_->flood(*topo_, fcfg, sim.channel_rng());
+        result.recombine_us += flood.duration_us;
+        for (NodeId node = 0; node < n; ++node) {
+          result.radio_on_us[node] += flood.radio_on_us[node];
+        }
+        delivered =
+            flood.first_rx_slot[surv.leader] != ct::MiniCastResult::kNever;
+      }
+
+      next.push_back(surv);
+      if (delivered) {
+        next.back().sum += sender.sum;
+        next.back().complete = surv.complete && sender.complete;
+      } else {
+        // Partner partial never arrived: the final total misses it.
+        all_groups_in = false;
+      }
+    }
+    if (active.size() % 2 == 1) next.push_back(active.back());
+    active = std::move(next);
+  }
+
+  NodeId root = kInvalidNode;
+  if (!active.empty()) {
+    root = active.front().leader;
+    result.has_aggregate = true;
+    result.aggregate = active.front().sum;
+    result.aggregate_correct = all_groups_in && active.front().complete &&
+                               result.aggregate == result.expected_sum;
+  }
+
+  // ---- Phase C: flood the aggregate back from the global root ----
+  SimTime flood_slot_us = 0;
+  ct::GlossyResult flood;
+  if (root != kInvalidNode) {
+    ct::GlossyConfig fcfg;
+    fcfg.initiator = root;
+    fcfg.ntx = config_.result_flood_ntx;
+    fcfg.payload_bytes = SumPacket::kWireSize;
+    fcfg.max_slots = config_.max_chain_slots;
+    flood = transport_->flood(*topo_, fcfg, sim.channel_rng());
+    result.flood_us = flood.duration_us;
+    if (flood.slots_used > 0) {
+      flood_slot_us = flood.duration_us /
+                      static_cast<SimTime>(flood.slots_used);
+    }
+    for (NodeId i = 0; i < n; ++i) {
+      result.radio_on_us[i] += flood.radio_on_us[i];
+    }
+  }
+  result.total_duration_us =
+      result.group_phase_us + result.recombine_us + result.flood_us;
+
+  const SimTime prefix_us = result.group_phase_us + result.recombine_us;
+  for (NodeId i = 0; i < n; ++i) {
+    if (root == kInvalidNode) break;
+    const std::int32_t rx = flood.first_rx_slot[i];
+    if (i == root || rx == ct::MiniCastResult::kOwnEntry) {
+      result.has_result[i] = 1;
+      result.latency_us[i] = prefix_us;
+    } else if (rx != ct::MiniCastResult::kNever) {
+      result.has_result[i] = 1;
+      result.latency_us[i] =
+          prefix_us + static_cast<SimTime>(rx + 1) * flood_slot_us;
+    } else {
+      result.latency_us[i] = result.total_duration_us;
+    }
+  }
+  return result;
+}
+
+}  // namespace mpciot::core

@@ -1,0 +1,161 @@
+// Hierarchical multi-group aggregation: the scaling layer over the
+// paper's single-chain protocol.
+//
+// The flat protocol aggregates all n sources in one CT chain, which is
+// O(n^2) chain entries and caps deployments at testbed scale. The
+// hierarchical protocol shards the network into G spatially-clustered
+// groups (net::partition), runs the SSS share+sum chain *inside each
+// group* on the group's induced subtopology (net::Topology::induced), and
+// lays the group rounds out on orthogonal radio channels: groups on
+// distinct channels aggregate concurrently, groups sharing a channel are
+// serialized (ct::ChannelTimeline). Group sums then travel up a
+// recombination tree — pairwise merge rounds between group leaders over
+// the full topology — to a global root, which floods the network-wide
+// aggregate back to every node.
+//
+// Threshold semantics are the paper's, preserved *within each group*:
+// every group round is a core::SssProtocol round with
+// degree = paper_degree(sources) and an elected holder set, so
+// compromising fewer than degree+1 holders of a group reveals nothing
+// about that group's individual readings. Groups larger than the
+// 64-source round limit are split into sequential batches on the same
+// chain; a single group covering the whole network (G = 1) is exactly
+// the flat baseline, batched.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/protocol.hpp"
+#include "crypto/keystore.hpp"
+#include "ct/transport.hpp"
+#include "field/fp61.hpp"
+#include "net/partition.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace mpciot::core {
+
+struct HierarchicalConfig {
+  /// Spatial grouping of the whole topology (validated on construction).
+  net::partition::Partition partition;
+  /// Orthogonal radio channels available to the group phase. Group g
+  /// runs on channel g % num_channels; same-channel groups serialize.
+  std::uint16_t num_channels = 1;
+  /// Sources per SSS round (the SumPacket contributor-bitmap width caps
+  /// this at 64). Larger groups run ceil(size / max_batch) rounds.
+  std::size_t max_batch = 64;
+  std::uint32_t ntx_sharing = 6;
+  std::uint32_t ntx_reconstruction = 6;
+  /// Raise a group's NTX to diameter/2 + 2 when its subtopology is
+  /// deeper than the base NTX covers (the paper calibrates NTX per
+  /// deployment; this is the cheap static stand-in — without it, wide
+  /// groups leave too few holders with complete sums to reconstruct).
+  bool scale_ntx_with_diameter = true;
+  /// NTX of the final result flood (full topology, typically deeper than
+  /// a group, so it gets its own knob).
+  std::uint32_t result_flood_ntx = 4;
+  /// Extra share holders beyond degree+1 per group round.
+  std::size_t holder_slack = 2;
+  /// S4's early radio shutdown inside group rounds.
+  bool early_radio_off = true;
+  /// A group leader that cannot reconstruct (fewer than degree+1
+  /// consistent sums arrived) re-runs the failed batch round with fresh
+  /// channel randomness, up to this many extra attempts; likewise a
+  /// recombination flood whose target missed it. Retries are charged to
+  /// the group's channel time and everyone's radio-on — failure handling
+  /// is paid for, not assumed away.
+  std::uint32_t max_retries = 2;
+  std::uint32_t max_chain_slots = 512;
+  /// Seeds the per-group keystores (pairwise keys are a deployment
+  /// artifact, not per-trial randomness).
+  std::uint64_t key_seed = 0x6B657973ull;
+};
+
+struct GroupOutcome {
+  NodeId leader = kInvalidNode;  // parent node id
+  std::uint16_t channel = 0;
+  std::uint32_t batches = 0;
+  /// Batch rounds re-run after a failed leader reconstruction.
+  std::uint32_t retries = 0;
+  /// Leader reconstructed an aggregate in every batch round.
+  bool has_sum = false;
+  /// ... and every one equalled the sum of the group's secrets.
+  bool sum_correct = false;
+  field::Fp61 sum;
+  /// Serialized on-channel time of this group's rounds.
+  SimTime duration_us = 0;
+  /// When the group's last round finished on the shared timeline.
+  SimTime finish_us = 0;
+};
+
+struct HierarchicalResult {
+  std::vector<GroupOutcome> groups;
+  field::Fp61 expected_sum;  // over all nodes' secrets
+  /// The global root's aggregate (valid when has_aggregate).
+  bool has_aggregate = false;
+  field::Fp61 aggregate;
+  /// Every group contributed and the total matches expected_sum.
+  bool aggregate_correct = false;
+
+  SimTime group_phase_us = 0;  // channel-timeline makespan
+  SimTime recombine_us = 0;    // sum of recombination-level rounds
+  SimTime flood_us = 0;        // result flood
+  SimTime total_duration_us = 0;
+
+  /// Per parent node: radio-on time across every round the node took
+  /// part in, and the time at which it first held the global aggregate.
+  /// A node that never received it (has_result 0) is charged the full
+  /// round duration, matching AggregationResult's latency convention.
+  std::vector<SimTime> radio_on_us;
+  std::vector<SimTime> latency_us;
+  std::vector<char> has_result;
+
+  /// Fraction of nodes holding the correct global aggregate.
+  double success_ratio() const;
+  SimTime max_latency_us() const;
+  SimTime max_radio_on_us() const;
+  double mean_radio_on_us() const;
+};
+
+class HierarchicalProtocol {
+ public:
+  /// Validates the partition against `topo` and precomputes the induced
+  /// subtopologies, per-group keystores and per-batch round configs.
+  /// `transport` selects the substrate every round runs on (null = the
+  /// paper's MiniCast/Glossy substrate) and must outlive the protocol.
+  HierarchicalProtocol(const net::Topology& topo, HierarchicalConfig config,
+                       const ct::Transport* transport = nullptr);
+
+  /// Run one hierarchical aggregation. secrets[i] belongs to node i
+  /// (every node is a source). Thread-safe: concurrent calls may share
+  /// one protocol instance as long as each uses its own Simulator.
+  HierarchicalResult run(const std::vector<field::Fp61>& secrets,
+                         sim::Simulator& sim) const;
+
+  const HierarchicalConfig& config() const { return config_; }
+  /// Group g's leader (parent node id): the most central node of the
+  /// group's subtopology; it accumulates the group sum.
+  NodeId group_leader(std::size_t g) const;
+
+ private:
+  struct Group {
+    std::vector<NodeId> members;          // parent ids, ascending
+    std::unique_ptr<net::Topology> owned; // null when members == whole topo
+    const net::Topology* sub = nullptr;   // induced subtopology (or parent)
+    std::unique_ptr<crypto::KeyStore> keys;
+    std::vector<SssProtocol> batch_rounds;  // local-id configs
+    NodeId leader_local = 0;
+    NodeId leader = 0;  // parent id
+    std::uint16_t channel = 0;
+  };
+
+  const net::Topology* topo_;
+  HierarchicalConfig config_;
+  const ct::Transport* transport_;
+  std::vector<Group> groups_;
+};
+
+}  // namespace mpciot::core

@@ -31,10 +31,12 @@ std::uint64_t get_u64(const std::uint8_t* p) {
 Bytes SharePacket::encode(const crypto::KeyStore& keys) const {
   MPCIOT_REQUIRE(source != destination,
                  "SharePacket: self-shares do not travel on air");
+  MPCIOT_REQUIRE(source <= 0xFFFF && destination <= 0xFFFF,
+                 "SharePacket: node ids are u16 on the wire");
   Bytes wire(kWireSize);
-  wire[0] = static_cast<std::uint8_t>(source);
-  wire[1] = static_cast<std::uint8_t>(destination);
-  put_u16(wire.data() + 2, round);
+  put_u16(wire.data(), static_cast<std::uint16_t>(source));
+  put_u16(wire.data() + 2, static_cast<std::uint16_t>(destination));
+  put_u16(wire.data() + 4, round);
 
   // Encrypt the 8-byte share value with AES-CTR under the pairwise key.
   const auto key = keys.pairwise_key(source, destination);
@@ -44,13 +46,13 @@ Bytes SharePacket::encode(const crypto::KeyStore& keys) const {
   const auto nonce = crypto::AesCtr::make_nonce(source, destination, round,
                                                 /*sequence=*/0);
   ctr.crypt(nonce, std::span<const std::uint8_t>{plain, 8},
-            std::span<std::uint8_t>{wire.data() + 4, 8});
+            std::span<std::uint8_t>{wire.data() + 6, 8});
 
   // Truncated CMAC over header + ciphertext.
   const crypto::Cmac mac(key);
   const auto tag =
-      mac.compute(std::span<const std::uint8_t>{wire.data(), 12});
-  std::memcpy(wire.data() + 12, tag.data(), 4);
+      mac.compute(std::span<const std::uint8_t>{wire.data(), 14});
+  std::memcpy(wire.data() + 14, tag.data(), 4);
   return wire;
 }
 
@@ -58,9 +60,9 @@ std::optional<SharePacket> SharePacket::decode(const Bytes& wire,
                                                const crypto::KeyStore& keys) {
   if (wire.size() != kWireSize) return std::nullopt;
   SharePacket pkt;
-  pkt.source = wire[0];
-  pkt.destination = wire[1];
-  pkt.round = get_u16(wire.data() + 2);
+  pkt.source = get_u16(wire.data());
+  pkt.destination = get_u16(wire.data() + 2);
+  pkt.round = get_u16(wire.data() + 4);
   if (pkt.source == pkt.destination) return std::nullopt;
   if (pkt.source >= keys.node_count() || pkt.destination >= keys.node_count()) {
     return std::nullopt;
@@ -69,9 +71,9 @@ std::optional<SharePacket> SharePacket::decode(const Bytes& wire,
   const auto key = keys.pairwise_key(pkt.source, pkt.destination);
   const crypto::Cmac mac(key);
   const auto tag =
-      mac.compute(std::span<const std::uint8_t>{wire.data(), 12});
+      mac.compute(std::span<const std::uint8_t>{wire.data(), 14});
   crypto::Cmac::Tag sent{};
-  std::memcpy(sent.data(), wire.data() + 12, 4);
+  std::memcpy(sent.data(), wire.data() + 14, 4);
   crypto::Cmac::Tag expect{};
   std::memcpy(expect.data(), tag.data(), 4);
   if (!crypto::Cmac::verify(sent, expect)) return std::nullopt;
@@ -80,30 +82,31 @@ std::optional<SharePacket> SharePacket::decode(const Bytes& wire,
   std::uint8_t plain[8];
   const auto nonce = crypto::AesCtr::make_nonce(pkt.source, pkt.destination,
                                                 pkt.round, /*sequence=*/0);
-  ctr.crypt(nonce, std::span<const std::uint8_t>{wire.data() + 4, 8},
+  ctr.crypt(nonce, std::span<const std::uint8_t>{wire.data() + 6, 8},
             std::span<std::uint8_t>{plain, 8});
   pkt.share = field::Fp61{get_u64(plain)};
   return pkt;
 }
 
 Bytes SumPacket::encode() const {
+  MPCIOT_REQUIRE(holder <= 0xFFFF, "SumPacket: node ids are u16 on the wire");
   Bytes wire(kWireSize);
-  wire[0] = static_cast<std::uint8_t>(holder);
-  wire[1] = contribution_count;
-  put_u16(wire.data() + 2, round);
-  put_u64(wire.data() + 4, sum.value());
-  put_u64(wire.data() + 12, contributors);
+  put_u16(wire.data(), static_cast<std::uint16_t>(holder));
+  wire[2] = contribution_count;
+  put_u16(wire.data() + 3, round);
+  put_u64(wire.data() + 5, sum.value());
+  put_u64(wire.data() + 13, contributors);
   return wire;
 }
 
 std::optional<SumPacket> SumPacket::decode(const Bytes& wire) {
   if (wire.size() != kWireSize) return std::nullopt;
   SumPacket pkt;
-  pkt.holder = wire[0];
-  pkt.contribution_count = wire[1];
-  pkt.round = get_u16(wire.data() + 2);
-  pkt.sum = field::Fp61{get_u64(wire.data() + 4)};
-  pkt.contributors = get_u64(wire.data() + 12);
+  pkt.holder = get_u16(wire.data());
+  pkt.contribution_count = wire[2];
+  pkt.round = get_u16(wire.data() + 3);
+  pkt.sum = field::Fp61{get_u64(wire.data() + 5)};
+  pkt.contributors = get_u64(wire.data() + 13);
   return pkt;
 }
 

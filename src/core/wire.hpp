@@ -4,10 +4,12 @@
 // packets travel in plaintext with a group-key tag.
 //
 // Sizes drive the simulator's airtime, so the structs encode/decode to
-// exact byte layouts:
+// exact byte layouts (node ids are u16 on the wire — the hierarchical
+// protocol runs deployments far beyond the 255-node ceiling u8 ids
+// imposed):
 //
-//   SharePacket (16 B):  src u8 | dst u8 | round u16 | ct u64 | tag u32
-//   SumPacket   (20 B):  holder u8 | count u8 | round u16 | sum u64
+//   SharePacket (18 B):  src u16 | dst u16 | round u16 | ct u64 | tag u32
+//   SumPacket   (21 B):  holder u16 | count u8 | round u16 | sum u64
 //                        | contributors u64 (bitmap over the round's
 //                          source list — lets reconstructors combine only
 //                          sums over identical source sets, the condition
@@ -28,7 +30,7 @@ namespace mpciot::core {
 
 /// Encrypted share carried by one sharing-phase sub-slot.
 struct SharePacket {
-  static constexpr std::size_t kWireSize = 16;
+  static constexpr std::size_t kWireSize = 18;
 
   NodeId source = kInvalidNode;
   NodeId destination = kInvalidNode;
@@ -45,7 +47,7 @@ struct SharePacket {
 
 /// Plaintext point-sum carried by one reconstruction-phase sub-slot.
 struct SumPacket {
-  static constexpr std::size_t kWireSize = 20;
+  static constexpr std::size_t kWireSize = 21;
 
   NodeId holder = kInvalidNode;
   /// Number of source contributions folded into `sum` (== popcount of

@@ -13,6 +13,14 @@ std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream_tag,
+                          std::uint64_t index) {
+  std::uint64_t state = base;
+  state = splitmix64(state) ^ stream_tag;
+  state = splitmix64(state) ^ index;
+  return splitmix64(state);
+}
+
 namespace {
 std::uint64_t rotl64(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));

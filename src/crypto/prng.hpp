@@ -21,6 +21,19 @@ namespace mpciot::crypto {
 /// splitmix64, used to expand a single 64-bit seed into generator state.
 std::uint64_t splitmix64(std::uint64_t& state);
 
+/// Collision-free stream-seed derivation: mixes (base, stream_tag, index)
+/// through three rounds of the splitmix64 finalizer. Use this wherever a
+/// per-trial or per-stream RNG is seeded. Arithmetic derivations such as
+/// `base + index` or `base * K + index` alias across sweeps — e.g.
+/// (base, index+1) and (base+1, index) seed the *same* generator — which
+/// silently correlates trials that should be independent. Distinct
+/// (base, stream_tag, index) tuples map to distinct seeds except with
+/// the ~2^-64 probability of a finalizer collision. `stream_tag`
+/// domain-separates independent streams drawn from the same base seed
+/// (sim channel vs. secrets vs. failure picks, ...).
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream_tag,
+                          std::uint64_t index);
+
 /// xoshiro256** — the simulator's statistical PRNG.
 class Xoshiro256 {
  public:

@@ -19,6 +19,7 @@ GlossyResult run_glossy(const net::Topology& topo, const GlossyConfig& config,
                         crypto::Xoshiro256& rng) {
   MiniCastConfig mc;
   mc.initiator = config.initiator;
+  mc.channel = config.channel;
   mc.ntx = config.ntx;
   mc.payload_bytes = config.payload_bytes;
   mc.max_chain_slots = config.max_slots;
@@ -34,6 +35,7 @@ GlossyResult run_glossy(const net::Topology& topo, const GlossyConfig& config,
   out.radio_on_us = r.radio_on_us;
   out.slots_used = r.chain_slots_used;
   out.duration_us = r.duration_us;
+  out.channel = r.channel;
   return out;
 }
 

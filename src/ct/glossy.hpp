@@ -19,6 +19,8 @@ namespace mpciot::ct {
 
 struct GlossyConfig {
   NodeId initiator = 0;
+  /// Radio channel (orthogonality metadata; see MiniCastConfig::channel).
+  std::uint16_t channel = 0;
   std::uint32_t ntx = 3;
   std::uint32_t payload_bytes = 16;
   std::uint32_t max_slots = 256;
@@ -32,6 +34,8 @@ struct GlossyResult {
   std::vector<SimTime> radio_on_us;
   std::uint32_t slots_used = 0;
   SimTime duration_us = 0;
+  /// Channel the flood ran on (echoed from the config).
+  std::uint16_t channel = 0;
 
   /// Fraction of non-initiator nodes that received the flood.
   double coverage() const;

@@ -39,6 +39,7 @@ MiniCastResult run_gossip(const net::Topology& topo,
   result.done_slot.assign(n, MiniCastResult::kNever);
   result.radio_on_us.assign(n, 0);
   result.chain_slot_us = slot_us;
+  result.channel = config.channel;
 
   const std::size_t words = (num_entries + 63) / 64;
   std::vector<std::uint64_t> have(n * words, 0);

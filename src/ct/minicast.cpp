@@ -109,6 +109,7 @@ MiniCastResult run_minicast(const net::Topology& topo,
   result.done_slot.assign(n, MiniCastResult::kNever);
   result.radio_on_us.assign(n, 0);
   result.chain_slot_us = chain_slot_us;
+  result.channel = config.channel;
 
   // have: packed reception bitmaps, `words` 64-bit words per node.
   const std::size_t words = (num_entries + 63) / 64;

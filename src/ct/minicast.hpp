@@ -98,6 +98,13 @@ enum class RadioPolicy {
 
 struct MiniCastConfig {
   NodeId initiator = 0;
+  /// Radio channel the round runs on. Rounds on distinct channels are
+  /// orthogonal — they can occupy the same simulated time without
+  /// contending — while rounds sharing a channel must be serialized by
+  /// the caller (see ct::ChannelTimeline). The engine itself simulates
+  /// one round in isolation either way; the channel is carried into the
+  /// result so composition layers can lay rounds out in time.
+  std::uint16_t channel = 0;
   /// Number of full-chain transmissions per node.
   std::uint32_t ntx = 3;
   /// Payload bytes of each sub-slot packet (uniform across the chain).
@@ -144,6 +151,8 @@ struct MiniCastResult {
   std::uint32_t chain_slots_used = 0;
   SimTime chain_slot_us = 0;
   SimTime duration_us = 0;
+  /// Channel the round ran on (echoed from the config).
+  std::uint16_t channel = 0;
 
   bool node_has(NodeId n, std::size_t entry) const {
     return rx_slot[n][entry] != kNever;

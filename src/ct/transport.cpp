@@ -69,6 +69,7 @@ class GlossyFloodsTransport : public Transport {
     result.done_slot.assign(n, MiniCastResult::kNever);
     result.radio_on_us.assign(n, 0);
     result.chain_slot_us = topo.radio().subslot_us(config.payload_bytes);
+    result.channel = config.channel;
 
     const std::size_t words = (num_entries + 63) / 64;
     std::vector<std::uint64_t> have(n * words, 0);
@@ -89,6 +90,7 @@ class GlossyFloodsTransport : public Transport {
     for (std::size_t e = 0; e < num_entries; ++e) {
       MiniCastConfig flood_cfg;
       flood_cfg.initiator = entries[e].origin;
+      flood_cfg.channel = config.channel;
       flood_cfg.ntx = config.ntx;
       flood_cfg.payload_bytes = config.payload_bytes;
       flood_cfg.max_chain_slots = config.max_chain_slots;
@@ -133,6 +135,7 @@ GlossyResult GossipTransport::flood(const net::Topology& topo,
                                     crypto::Xoshiro256& rng) const {
   MiniCastConfig mc;
   mc.initiator = config.initiator;
+  mc.channel = config.channel;
   mc.ntx = config.ntx;
   mc.payload_bytes = config.payload_bytes;
   mc.max_chain_slots = config.max_slots;
@@ -148,6 +151,7 @@ GlossyResult GossipTransport::flood(const net::Topology& topo,
   out.radio_on_us = r.radio_on_us;
   out.slots_used = r.chain_slots_used;
   out.duration_us = r.duration_us;
+  out.channel = r.channel;
   return out;
 }
 
@@ -166,6 +170,7 @@ GlossyResult UnicastTransport::flood(const net::Topology& topo,
       net::routing::hop_timing(topo.radio(), config.payload_bytes, mac_);
 
   GlossyResult out;
+  out.channel = config.channel;
   out.first_rx_slot.assign(n, MiniCastResult::kNever);
   out.first_rx_slot[config.initiator] = MiniCastResult::kOwnEntry;
   out.tx_count.assign(n, 0);
@@ -205,6 +210,7 @@ MiniCastResult UnicastTransport::chain_round(
   result.tx_count.assign(n, 0);
   result.done_slot.assign(n, MiniCastResult::kNever);
   result.radio_on_us.assign(n, 0);
+  result.channel = config.channel;
   // Routed delivery has no TDMA slot grid; report rx/done positions as
   // cumulative elapsed milliseconds so latency math stays meaningful.
   result.chain_slot_us = kMillisecond;
@@ -260,6 +266,33 @@ MiniCastResult UnicastTransport::chain_round(
   result.duration_us = elapsed;
   result.chain_slots_used = static_cast<std::uint32_t>(elapsed / kMillisecond);
   return result;
+}
+
+ChannelTimeline::ChannelTimeline(std::uint16_t num_channels)
+    : end_(num_channels, 0) {
+  MPCIOT_REQUIRE(num_channels >= 1,
+                 "ChannelTimeline: need at least one channel");
+}
+
+SimTime ChannelTimeline::book(std::uint16_t channel, SimTime duration_us,
+                              SimTime earliest_us) {
+  MPCIOT_REQUIRE(channel < end_.size(),
+                 "ChannelTimeline: channel out of range");
+  MPCIOT_REQUIRE(duration_us >= 0 && earliest_us >= 0,
+                 "ChannelTimeline: negative time");
+  const SimTime start = std::max(end_[channel], earliest_us);
+  end_[channel] = start + duration_us;
+  return start;
+}
+
+SimTime ChannelTimeline::channel_end_us(std::uint16_t channel) const {
+  MPCIOT_REQUIRE(channel < end_.size(),
+                 "ChannelTimeline: channel out of range");
+  return end_[channel];
+}
+
+SimTime ChannelTimeline::end_us() const {
+  return *std::max_element(end_.begin(), end_.end());
 }
 
 const Transport& minicast_transport() {

@@ -62,6 +62,36 @@ class Transport {
                                      RoundContext* scratch = nullptr) const = 0;
 };
 
+/// Time overlay for rounds running on orthogonal radio channels.
+///
+/// The chain engines simulate one round in isolation; when a composition
+/// layer (e.g. core::HierarchicalProtocol) runs many rounds "at the same
+/// time", rounds on distinct channels genuinely overlap while rounds
+/// sharing a channel contend and must be serialized. ChannelTimeline
+/// does that bookkeeping: book() appends a round to its channel's
+/// timeline and returns the start offset; end_us() is the makespan over
+/// all channels.
+class ChannelTimeline {
+ public:
+  explicit ChannelTimeline(std::uint16_t num_channels);
+
+  /// Reserve `duration_us` on `channel`, starting at the later of the
+  /// channel's current end and `earliest_us` (e.g. a dependency on an
+  /// earlier phase). Returns the booked start time.
+  SimTime book(std::uint16_t channel, SimTime duration_us,
+               SimTime earliest_us = 0);
+
+  std::uint16_t num_channels() const {
+    return static_cast<std::uint16_t>(end_.size());
+  }
+  SimTime channel_end_us(std::uint16_t channel) const;
+  /// Makespan: when the busiest channel goes quiet.
+  SimTime end_us() const;
+
+ private:
+  std::vector<SimTime> end_;
+};
+
 /// The paper's substrate (MiniCast chains + Glossy floods), shared
 /// process-wide. What every seam consumer defaults to when handed no
 /// transport.

@@ -26,11 +26,12 @@ struct TrialRecord {
 TrialRecord run_one_trial(const core::SssProtocol& protocol,
                           const ExperimentSpec& spec, std::uint32_t trial,
                           std::size_t source_count) {
-  const std::uint64_t seed = spec.base_seed + trial;
-  sim::Simulator sim(seed);
+  sim::Simulator sim(trial_sim_seed(spec.base_seed, trial));
   const std::vector<field::Fp61> secrets =
-      spec.make_secrets ? spec.make_secrets(trial, source_count)
-                        : random_secrets(seed * 7919 + 13, source_count);
+      spec.make_secrets
+          ? spec.make_secrets(trial, source_count)
+          : random_secrets(trial_secret_seed(spec.base_seed, trial),
+                           source_count);
   const core::AggregationResult res = protocol.run(secrets, sim);
 
   TrialRecord rec;
@@ -45,6 +46,16 @@ TrialRecord run_one_trial(const core::SssProtocol& protocol,
 }
 
 }  // namespace
+
+std::uint64_t trial_sim_seed(std::uint64_t base_seed, std::uint32_t trial) {
+  return crypto::derive_seed(base_seed, /*stream_tag=*/0x7153494Dull /*"qSIM"*/,
+                             trial);
+}
+
+std::uint64_t trial_secret_seed(std::uint64_t base_seed, std::uint32_t trial) {
+  return crypto::derive_seed(base_seed, /*stream_tag=*/0x73454352ull /*"sECR"*/,
+                             trial);
+}
 
 std::vector<field::Fp61> random_secrets(std::uint64_t seed, std::size_t count,
                                         std::uint64_t bound) {
@@ -66,39 +77,44 @@ unsigned resolve_jobs(unsigned jobs, std::uint32_t repetitions) {
   return jobs;
 }
 
+void parallel_for(std::size_t count, unsigned jobs,
+                  const std::function<void(std::size_t)>& fn) {
+  if (jobs <= 1) {
+    for (std::size_t unit = 0; unit < count; ++unit) fn(unit);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t unit = next.fetch_add(1);
+      if (unit >= count) return;
+      try {
+        fn(unit);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(jobs);
+  for (unsigned i = 0; i < jobs; ++i) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
 TrialStats run_trials(const core::SssProtocol& protocol,
                       const ExperimentSpec& spec) {
   const std::size_t source_count = protocol.config().sources.size();
   const unsigned jobs = resolve_jobs(spec.jobs, spec.repetitions);
   std::vector<TrialRecord> records(spec.repetitions);
-
-  if (jobs <= 1) {
-    for (std::uint32_t trial = 0; trial < spec.repetitions; ++trial) {
-      records[trial] = run_one_trial(protocol, spec, trial, source_count);
-    }
-  } else {
-    std::atomic<std::uint32_t> next{0};
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
-    const auto worker = [&] {
-      for (;;) {
-        const std::uint32_t trial = next.fetch_add(1);
-        if (trial >= spec.repetitions) return;
-        try {
-          records[trial] = run_one_trial(protocol, spec, trial, source_count);
-        } catch (...) {
-          const std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-          return;
-        }
-      }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(jobs);
-    for (unsigned i = 0; i < jobs; ++i) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
-    if (first_error) std::rethrow_exception(first_error);
-  }
+  parallel_for(spec.repetitions, jobs, [&](std::size_t trial) {
+    records[trial] = run_one_trial(
+        protocol, spec, static_cast<std::uint32_t>(trial), source_count);
+  });
 
   // Fold in trial order so the Summary sample vectors — and therefore
   // every derived statistic — match the serial run exactly.

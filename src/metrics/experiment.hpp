@@ -3,7 +3,9 @@
 // with fresh randomness; the paper uses 2000, we default lower and let
 // callers override).
 //
-// Trials are independent (per-trial seed = base_seed + trial), so they
+// Trials are independent — per-trial seeds come from
+// crypto::derive_seed(base_seed, stream, trial), so distinct
+// (base_seed, trial) pairs never share a simulation stream — and they
 // can run on a worker pool. Determinism is preserved regardless of
 // `jobs`: every trial's metrics are computed into a per-trial record and
 // folded into the summaries in trial order, so the resulting TrialStats
@@ -46,9 +48,18 @@ struct ExperimentSpec {
 };
 
 /// Run `spec.repetitions` aggregation rounds of `protocol` and fold the
-/// paper's metrics. Each trial uses seed base_seed + trial.
+/// paper's metrics. Trial t simulates with trial_sim_seed(base_seed, t)
+/// and (absent make_secrets) draws secrets from
+/// trial_secret_seed(base_seed, t).
 TrialStats run_trials(const core::SssProtocol& protocol,
                       const ExperimentSpec& spec);
+
+/// The canonical per-trial seed streams, shared by run_trials and by
+/// scenarios that run paired baselines next to it (same trial => same
+/// simulated channel and same secrets). Both are collision-free across
+/// (base_seed, trial) tuples via crypto::derive_seed.
+std::uint64_t trial_sim_seed(std::uint64_t base_seed, std::uint32_t trial);
+std::uint64_t trial_secret_seed(std::uint64_t base_seed, std::uint32_t trial);
 
 /// Convenience: uniform random secrets in [0, bound).
 std::vector<field::Fp61> random_secrets(std::uint64_t seed,
@@ -59,5 +70,16 @@ std::vector<field::Fp61> random_secrets(std::uint64_t seed,
 /// jobs == 0 resolves to the hardware concurrency, and the pool never
 /// exceeds the trial count.
 unsigned resolve_jobs(unsigned jobs, std::uint32_t repetitions);
+
+/// Run fn(0) .. fn(count-1) across `jobs` worker threads (after
+/// resolve_jobs; <= 1 runs serially, in order). Units are claimed from
+/// an atomic counter, so callers keep the bit-for-bit jobs-invariance
+/// guarantee by writing each unit's result to its own slot and folding
+/// in unit order afterwards. The first exception thrown by any unit is
+/// rethrown after the pool drains; `fn` must be thread-safe for
+/// jobs > 1. This is the one fan-out loop behind run_trials and the
+/// parallel bench scenarios.
+void parallel_for(std::size_t count, unsigned jobs,
+                  const std::function<void(std::size_t)>& fn);
 
 }  // namespace mpciot::metrics

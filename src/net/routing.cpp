@@ -15,7 +15,10 @@ NodeId next_hop_avoiding(const Topology& topo, NodeId from, NodeId dst,
   if (d == Topology::kInvalidHops) return kInvalidNode;
   for (NodeId nb : topo.neighbors(from)) {
     if (topo.prr(from, nb) < 0.5) continue;
-    if (topo.hops(nb, dst) + 1 != d) continue;
+    // Guard before the +1: a good-link-partitioned neighbour reports
+    // kInvalidHops (UINT32_MAX), which the arithmetic would wrap to 0.
+    const std::uint32_t nb_hops = topo.hops(nb, dst);
+    if (nb_hops == Topology::kInvalidHops || nb_hops + 1 != d) continue;
     if (blocked != nullptr && !blocked->empty() && (*blocked)[nb] != 0) {
       continue;
     }

@@ -18,7 +18,40 @@ Topology::Topology(std::vector<Position> positions, RadioParams radio,
   MPCIOT_REQUIRE(rx_penalty_.empty() || rx_penalty_.size() == positions_.size(),
                  "Topology: one rx noise penalty per node (or none)");
   if (rx_penalty_.empty()) rx_penalty_.assign(positions_.size(), 0.0);
-  build_tables(shadow_seed);
+  build_link_tables(shadow_seed);
+  build_derived_tables();
+}
+
+Topology Topology::induced(const Topology& parent,
+                           const std::vector<NodeId>& members) {
+  const std::size_t m = members.size();
+  MPCIOT_REQUIRE(m >= 2, "Topology::induced: need at least 2 members");
+  for (std::size_t i = 0; i < m; ++i) {
+    MPCIOT_REQUIRE(members[i] < parent.size(),
+                   "Topology::induced: member id out of range");
+    MPCIOT_REQUIRE(i == 0 || members[i - 1] < members[i],
+                   "Topology::induced: members must be ascending and unique");
+  }
+
+  Topology sub;
+  sub.radio_ = parent.radio_;
+  sub.positions_.reserve(m);
+  sub.rx_penalty_.reserve(m);
+  for (const NodeId p : members) {
+    sub.positions_.push_back(parent.positions_[p]);
+    sub.rx_penalty_.push_back(parent.rx_penalty_[p]);
+  }
+  sub.rssi_.assign(m * m, -200.0);
+  sub.prr_.assign(m * m, 0.0);
+  for (std::size_t a = 0; a < m; ++a) {
+    for (std::size_t b = 0; b < m; ++b) {
+      if (a == b) continue;
+      sub.rssi_[a * m + b] = parent.rssi(members[a], members[b]);
+      sub.prr_[a * m + b] = parent.prr(members[a], members[b]);
+    }
+  }
+  sub.build_derived_tables();
+  return sub;
 }
 
 double Topology::distance(NodeId a, NodeId b) const {
@@ -27,7 +60,7 @@ double Topology::distance(NodeId a, NodeId b) const {
   return std::sqrt(dx * dx + dy * dy);
 }
 
-void Topology::build_tables(std::uint64_t shadow_seed) {
+void Topology::build_link_tables(std::uint64_t shadow_seed) {
   const std::size_t n = positions_.size();
   rssi_.assign(n * n, -200.0);
   prr_.assign(n * n, 0.0);
@@ -52,6 +85,10 @@ void Topology::build_tables(std::uint64_t shadow_seed) {
       prr_[idx(b, a)] = p_ba;
     }
   }
+}
+
+void Topology::build_derived_tables() {
+  const std::size_t n = positions_.size();
   prr_in_.assign(n * n, 0.0);
   for (NodeId a = 0; a < n; ++a) {
     for (NodeId b = 0; b < n; ++b) prr_in_[idx(b, a)] = prr_[idx(a, b)];

@@ -37,6 +37,16 @@ class Topology {
            std::uint64_t shadow_seed,
            std::vector<double> rx_noise_penalty_db = {});
 
+  /// Build the subtopology induced by `members` (ascending, unique parent
+  /// node ids): node i of the result is members[i], and every link keeps
+  /// the parent's frozen RSSI/PRR — the same radios, restricted to
+  /// in-group traffic (e.g. one group of a hierarchical round on its own
+  /// channel). Derived tables (CSR adjacency, hop distances, center) are
+  /// rebuilt for the subgraph. Throws like the main constructor when the
+  /// induced usable-link graph is not connected.
+  static Topology induced(const Topology& parent,
+                          const std::vector<NodeId>& members);
+
   std::size_t size() const { return positions_.size(); }
   const RadioParams& radio() const { return radio_; }
   const Position& position(NodeId n) const { return positions_[n]; }
@@ -90,10 +100,18 @@ class Topology {
   NodeId center_node() const { return center_; }
 
  private:
+  /// Uninitialized shell for induced(): link tables are filled by copy,
+  /// then build_derived_tables() completes construction.
+  Topology() = default;
+
   std::size_t idx(NodeId a, NodeId b) const {
     return static_cast<std::size_t>(a) * positions_.size() + b;
   }
-  void build_tables(std::uint64_t shadow_seed);
+  /// Draw the frozen per-link RSSI/PRR tables from the radio model.
+  void build_link_tables(std::uint64_t shadow_seed);
+  /// Everything derivable from rssi_/prr_: transposed PRR, CSR adjacency,
+  /// audibility bitmaps, hop distances, connectivity check, center.
+  void build_derived_tables();
 
   std::vector<Position> positions_;
   RadioParams radio_;

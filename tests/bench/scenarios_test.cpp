@@ -19,14 +19,14 @@ Registry make_registry() {
   return reg;
 }
 
-TEST(Scenarios, AllTenRegistered) {
+TEST(Scenarios, AllElevenRegistered) {
   const Registry reg = make_registry();
   const char* expected[] = {
       "fig1_flocklab",  "fig1_dcube",   "chain_scaling",
       "degree_sweep",   "fault_tolerance", "he_vs_mpc",
-      "ntx_coverage",   "payload_size", "transport_matrix",
-      "unicast_vs_ct"};
-  EXPECT_EQ(reg.all().size(), 10u);
+      "hierarchy_scaling", "ntx_coverage", "payload_size",
+      "transport_matrix", "unicast_vs_ct"};
+  EXPECT_EQ(reg.all().size(), 11u);
   for (const char* name : expected) {
     ASSERT_NE(reg.find(name), nullptr) << name;
     EXPECT_FALSE(reg.find(name)->description.empty()) << name;
@@ -66,6 +66,31 @@ TEST(Scenarios, ChainScalingRowsMatchTheClaim) {
   EXPECT_EQ(last_analytic.find("config")->as_string(), "analytic");
   EXPECT_EQ(last_analytic.find("s3_chain_subslots")->as_uint(), 4096u);
   EXPECT_EQ(last_analytic.find("s4_chain_subslots")->as_uint(), 64u * 24u);
+}
+
+TEST(Scenarios, HierarchyScalingSmokeAtSmallScale) {
+  const Registry reg = make_registry();
+  ScenarioContext ctx;
+  ctx.reps = 1;
+  ctx.params = {{"max_nodes", "64"}};
+  const auto rows = reg.find("hierarchy_scaling")->run(ctx);
+  // One n (64) x three group counts.
+  ASSERT_EQ(rows.size(), 3u);
+  double flat_latency = 0.0;
+  for (const auto& row : rows) {
+    ASSERT_NE(row.json().find("groups"), nullptr);
+    const double success = row.json().find("success_pct")->as_double();
+    EXPECT_GT(success, 99.0);
+    const double latency = row.json().find("latency_ms")->as_double();
+    EXPECT_GT(latency, 0.0);
+    if (row.json().find("groups")->as_uint() == 1) {
+      flat_latency = latency;
+    } else {
+      // Sharded configurations beat the flat baseline.
+      EXPECT_LT(latency, flat_latency);
+      EXPECT_GT(row.json().find("latency_vs_flat")->as_double(), 1.0);
+    }
+  }
 }
 
 TEST(Scenarios, NtxCoverageHonorsMaxNtxParam) {

@@ -1,0 +1,185 @@
+// Hierarchical multi-group aggregation: sum equality against the flat
+// protocol on a lossless topology, channel layout, and retry/robustness
+// bookkeeping.
+#include "core/hierarchical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "core/protocol.hpp"
+#include "crypto/keystore.hpp"
+#include "metrics/experiment.hpp"
+#include "net/partition.hpp"
+#include "net/testbeds.hpp"
+#include "sim/simulator.hpp"
+
+namespace mpciot::core {
+namespace {
+
+using field::Fp61;
+
+/// Dense 4x4 grid with frozen shadowing disabled and short spacing:
+/// every link's PRR is ~1, so delivery is effectively lossless and both
+/// protocols must aggregate every secret.
+net::Topology lossless_grid16() {
+  net::RadioParams radio;
+  radio.shadowing_sigma_db = 0.0;
+  std::vector<net::Position> pos;
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      pos.push_back(net::Position{c * 8.0, r * 8.0});
+    }
+  }
+  return net::Topology(std::move(pos), radio, 5);
+}
+
+std::vector<Fp61> secrets_1_to_n(std::size_t n) {
+  std::vector<Fp61> secrets;
+  for (std::size_t i = 0; i < n; ++i) secrets.emplace_back(i + 1);
+  return secrets;
+}
+
+TEST(Hierarchical, MatchesFlatProtocolOnLosslessTopology) {
+  const net::Topology topo = lossless_grid16();
+  const std::vector<Fp61> secrets = secrets_1_to_n(topo.size());
+  const Fp61 expected{16 * 17 / 2};
+
+  // Flat single-chain S3 over all 16 sources.
+  const crypto::KeyStore keys(3, topo.size());
+  std::vector<NodeId> sources(topo.size());
+  for (NodeId i = 0; i < topo.size(); ++i) sources[i] = i;
+  const SssProtocol flat(
+      topo, keys, make_s3_config(topo, sources, paper_degree(16), 6));
+  sim::Simulator flat_sim(11);
+  const AggregationResult flat_res = flat.run(secrets, flat_sim);
+  EXPECT_EQ(flat_res.expected_sum, expected);
+  EXPECT_GT(flat_res.success_ratio(), 0.99);
+
+  // Hierarchical with both partitioners and several group counts.
+  for (const bool use_grid_blocks : {true, false}) {
+    for (const std::uint32_t g : {1u, 2u, 4u}) {
+      core::HierarchicalConfig cfg;
+      cfg.partition = use_grid_blocks
+                          ? net::partition::grid_blocks(topo, g)
+                          : net::partition::greedy_radius(topo, g);
+      cfg.num_channels = static_cast<std::uint16_t>(g);
+      const HierarchicalProtocol proto(topo, std::move(cfg));
+      sim::Simulator sim(11);
+      const HierarchicalResult res = proto.run(secrets, sim);
+      ASSERT_TRUE(res.has_aggregate);
+      EXPECT_EQ(res.aggregate, expected)
+          << "partitioner=" << use_grid_blocks << " g=" << g;
+      EXPECT_TRUE(res.aggregate_correct);
+      EXPECT_EQ(res.aggregate, flat_res.expected_sum);
+      EXPECT_GT(res.success_ratio(), 0.99);
+    }
+  }
+}
+
+TEST(Hierarchical, GroupPhaseOverlapsOnOrthogonalChannels) {
+  const net::Topology topo = lossless_grid16();
+  const std::vector<Fp61> secrets = secrets_1_to_n(topo.size());
+
+  // Same 4-group partition, serialized on 1 channel vs parallel on 4:
+  // with one channel the group phase must cost ~the sum of group rounds,
+  // with four roughly the max.
+  core::HierarchicalConfig serial_cfg;
+  serial_cfg.partition = net::partition::grid_blocks(topo, 4);
+  serial_cfg.num_channels = 1;
+  core::HierarchicalConfig parallel_cfg;
+  parallel_cfg.partition = net::partition::grid_blocks(topo, 4);
+  parallel_cfg.num_channels = 4;
+
+  const HierarchicalProtocol serial(topo, std::move(serial_cfg));
+  const HierarchicalProtocol parallel(topo, std::move(parallel_cfg));
+  sim::Simulator sim_a(21);
+  sim::Simulator sim_b(21);
+  const HierarchicalResult a = serial.run(secrets, sim_a);
+  const HierarchicalResult b = parallel.run(secrets, sim_b);
+
+  SimTime sum_us = 0;
+  SimTime max_us = 0;
+  for (const GroupOutcome& g : a.groups) {
+    sum_us += g.duration_us;
+    max_us = std::max(max_us, g.duration_us);
+  }
+  EXPECT_EQ(a.group_phase_us, sum_us);
+  EXPECT_LT(b.group_phase_us, sum_us);
+  EXPECT_GE(b.group_phase_us, max_us);
+  // Same per-group randomness stream either way: identical group sums.
+  for (std::size_t g = 0; g < a.groups.size(); ++g) {
+    EXPECT_EQ(a.groups[g].sum.value(), b.groups[g].sum.value());
+  }
+}
+
+TEST(Hierarchical, LargeGroupsSplitIntoBatches) {
+  // 9 nodes with max_batch 4 -> 3 batches (3+3+3), still the right sum.
+  net::RadioParams radio;
+  radio.shadowing_sigma_db = 0.0;
+  std::vector<net::Position> pos;
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      pos.push_back(net::Position{c * 8.0, r * 8.0});
+    }
+  }
+  const net::Topology topo(std::move(pos), radio, 2);
+  const std::vector<Fp61> secrets = secrets_1_to_n(topo.size());
+
+  core::HierarchicalConfig cfg;
+  cfg.partition = net::partition::grid_blocks(topo, 1);
+  cfg.max_batch = 4;
+  const HierarchicalProtocol proto(topo, std::move(cfg));
+  sim::Simulator sim(31);
+  const HierarchicalResult res = proto.run(secrets, sim);
+  ASSERT_EQ(res.groups.size(), 1u);
+  EXPECT_EQ(res.groups[0].batches, 3u);
+  ASSERT_TRUE(res.has_aggregate);
+  EXPECT_EQ(res.aggregate.value(), 45u);
+  EXPECT_TRUE(res.aggregate_correct);
+}
+
+TEST(Hierarchical, LeadersAreGroupCenters) {
+  const net::Topology topo = lossless_grid16();
+  core::HierarchicalConfig cfg;
+  cfg.partition = net::partition::grid_blocks(topo, 4);
+  const net::partition::Partition part = cfg.partition;
+  const HierarchicalProtocol proto(topo, std::move(cfg));
+  for (std::size_t g = 0; g < part.size(); ++g) {
+    const NodeId leader = proto.group_leader(g);
+    // The leader must be a member of its group.
+    EXPECT_NE(std::find(part.groups[g].begin(), part.groups[g].end(), leader),
+              part.groups[g].end());
+  }
+}
+
+TEST(Hierarchical, RejectsWrongSecretCount) {
+  const net::Topology topo = lossless_grid16();
+  core::HierarchicalConfig cfg;
+  cfg.partition = net::partition::grid_blocks(topo, 2);
+  const HierarchicalProtocol proto(topo, std::move(cfg));
+  sim::Simulator sim(1);
+  std::vector<Fp61> too_few(topo.size() - 1, Fp61{1});
+  EXPECT_THROW(proto.run(too_few, sim), ContractViolation);
+}
+
+TEST(Hierarchical, RadioOnAndLatencyAreReported) {
+  const net::Topology topo = lossless_grid16();
+  const std::vector<Fp61> secrets = secrets_1_to_n(topo.size());
+  core::HierarchicalConfig cfg;
+  cfg.partition = net::partition::grid_blocks(topo, 4);
+  cfg.num_channels = 4;
+  const HierarchicalProtocol proto(topo, std::move(cfg));
+  sim::Simulator sim(77);
+  const HierarchicalResult res = proto.run(secrets, sim);
+  EXPECT_GT(res.max_radio_on_us(), 0);
+  EXPECT_GT(res.mean_radio_on_us(), 0.0);
+  EXPECT_GT(res.max_latency_us(), 0);
+  EXPECT_EQ(res.total_duration_us,
+            res.group_phase_us + res.recombine_us + res.flood_us);
+  EXPECT_LE(res.max_latency_us(), res.total_duration_us);
+}
+
+}  // namespace
+}  // namespace mpciot::core

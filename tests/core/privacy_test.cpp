@@ -28,12 +28,12 @@ TEST(Privacy, EavesdropperSeesOnlyCiphertext) {
   const Bytes wa = a.encode(keys);
   const Bytes wb = b.encode(keys);
   // Headers equal, ciphertexts differ, and neither equals the plaintext
-  // encoding of its share.
-  EXPECT_TRUE(std::equal(wa.begin(), wa.begin() + 4, wb.begin()));
-  EXPECT_NE(Bytes(wa.begin() + 4, wa.begin() + 12),
-            Bytes(wb.begin() + 4, wb.begin() + 12));
+  // encoding of its share (6-byte header, ciphertext at 6..14).
+  EXPECT_TRUE(std::equal(wa.begin(), wa.begin() + 6, wb.begin()));
+  EXPECT_NE(Bytes(wa.begin() + 6, wa.begin() + 14),
+            Bytes(wb.begin() + 6, wb.begin() + 14));
   Bytes plain_b{0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF};
-  EXPECT_NE(Bytes(wb.begin() + 4, wb.begin() + 12), plain_b);
+  EXPECT_NE(Bytes(wb.begin() + 6, wb.begin() + 14), plain_b);
 }
 
 TEST(Privacy, NonDestinationNodeCannotAuthenticateDecode) {
@@ -48,7 +48,7 @@ TEST(Privacy, NonDestinationNodeCannotAuthenticateDecode) {
   Bytes wire = pkt.encode(keys);
   // Node 3 "re-addresses" the packet to itself to try decrypting with
   // K(1,3): the CMAC under K(1,2) does not verify under K(1,3).
-  wire[1] = 3;
+  wire[3] = 3;  // low byte of the u16 destination field
   EXPECT_FALSE(SharePacket::decode(wire, keys).has_value());
 }
 

@@ -39,10 +39,10 @@ TEST_F(WireTest, ShareValueIsNotOnTheWireInPlaintext) {
   pkt.round = 0;
   pkt.share = Fp61{0};  // even an all-zero share must be masked
   const Bytes wire = pkt.encode(keys_);
-  // The 8 ciphertext bytes (offset 4..11) must not all be zero: the CTR
+  // The 8 ciphertext bytes (offset 6..13) must not all be zero: the CTR
   // keystream masks them.
   bool all_zero = true;
-  for (std::size_t i = 4; i < 12; ++i) {
+  for (std::size_t i = 6; i < 14; ++i) {
     if (wire[i] != 0) all_zero = false;
   }
   EXPECT_FALSE(all_zero);
@@ -71,8 +71,8 @@ TEST_F(WireTest, TamperedHeaderRejected) {
 }
 
 TEST_F(WireTest, WrongSizeRejected) {
-  EXPECT_FALSE(SharePacket::decode(Bytes(15, 0), keys_).has_value());
   EXPECT_FALSE(SharePacket::decode(Bytes(17, 0), keys_).has_value());
+  EXPECT_FALSE(SharePacket::decode(Bytes(19, 0), keys_).has_value());
 }
 
 TEST_F(WireTest, SelfShareEncodeViolatesContract) {
@@ -90,7 +90,7 @@ TEST_F(WireTest, OutOfRangeNodeIdsRejectedOnDecode) {
   pkt.round = 1;
   pkt.share = Fp61{5};
   Bytes wire = pkt.encode(keys_);
-  wire[1] = 200;  // beyond keystore node count
+  wire[1] = 200;  // source low byte -> 200, beyond keystore node count
   EXPECT_FALSE(SharePacket::decode(wire, keys_).has_value());
 }
 
@@ -104,8 +104,8 @@ TEST_F(WireTest, DifferentRoundsProduceDifferentCiphertexts) {
   pkt.round = 2;
   const Bytes w2 = pkt.encode(keys_);
   // Nonce separation: same share, different round, different ciphertext.
-  EXPECT_NE(Bytes(w1.begin() + 4, w1.begin() + 12),
-            Bytes(w2.begin() + 4, w2.begin() + 12));
+  EXPECT_NE(Bytes(w1.begin() + 6, w1.begin() + 14),
+            Bytes(w2.begin() + 6, w2.begin() + 14));
 }
 
 TEST_F(WireTest, DecodingWithWrongKeystoreFails) {
@@ -138,8 +138,8 @@ TEST(SumPacketTest, RoundTrip) {
 }
 
 TEST(SumPacketTest, WrongSizeRejected) {
-  EXPECT_FALSE(SumPacket::decode(Bytes(19, 0)).has_value());
-  EXPECT_FALSE(SumPacket::decode(Bytes(21, 0)).has_value());
+  EXPECT_FALSE(SumPacket::decode(Bytes(20, 0)).has_value());
+  EXPECT_FALSE(SumPacket::decode(Bytes(22, 0)).has_value());
 }
 
 }  // namespace

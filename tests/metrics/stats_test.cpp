@@ -107,5 +107,30 @@ TEST(Summary, Ci95ShrinksWithSamples) {
   EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
 }
 
+TEST(Summary, Ci95UsesStudentTWhileTheTableCovers) {
+  // Alternating 1/2 samples: stddev is an exact closed form, so the
+  // halfwidth pins the critical value in use.
+  const auto halfwidth = [](int n) {
+    Summary s;
+    for (int i = 0; i < n; ++i) s.add(i % 2 ? 1.0 : 2.0);
+    return s.ci95_halfwidth();
+  };
+  const auto expected = [](int n, double critical) {
+    Summary s;
+    for (int i = 0; i < n; ++i) s.add(i % 2 ? 1.0 : 2.0);
+    return critical * s.stddev() / std::sqrt(static_cast<double>(n));
+  };
+  // n = 2 (df 1), n = 20 (df 19, the default rep count), n = 30 (df 29,
+  // the last table entry).
+  EXPECT_DOUBLE_EQ(halfwidth(2), expected(2, 12.706));
+  EXPECT_DOUBLE_EQ(halfwidth(20), expected(20, 2.093));
+  EXPECT_DOUBLE_EQ(halfwidth(30), expected(30, 2.045));
+  // Past the table, the normal approximation is used.
+  EXPECT_DOUBLE_EQ(halfwidth(31), expected(31, 1.96));
+  EXPECT_DOUBLE_EQ(halfwidth(100), expected(100, 1.96));
+  // Student-t at 20 reps is ~6.8% wider than the old z = 1.96 claim.
+  EXPECT_GT(halfwidth(20), expected(20, 1.96));
+}
+
 }  // namespace
 }  // namespace mpciot::metrics

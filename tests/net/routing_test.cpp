@@ -91,5 +91,31 @@ TEST(Routing, WalkRouteToUnreachableCostsNothing) {
   for (SimTime t : radio_on) EXPECT_EQ(t, 0);
 }
 
+// Regression: a neighbour with a good *outbound* link from `from` can
+// still be good-link-partitioned from the destination (directional PRR:
+// its own transmissions are too weak), in which case hops() reports
+// kInvalidHops. The candidate loop must skip it explicitly — the old
+// `hops + 1 != d` arithmetic relied on UINT32_MAX wrapping to 0.
+TEST(Routing, NextHopSkipsGoodLinkPartitionedNeighbor) {
+  RadioParams radio;
+  radio.shadowing_sigma_db = 0.0;
+  // 0 -> 2 -> 3 is the good-link route; node 1 sits 18 m off to the
+  // side. Nodes 0/2/3 carry a 5 dB receiver penalty, so 0 hears... is
+  // heard by 1 fine (prr(0->1) ~ 0.89, a good link) while 1's own
+  // transmissions land below 0.5 PRR everywhere — node 1 cannot
+  // good-link-reach anything: hops(1, 3) == kInvalidHops.
+  std::vector<Position> pos{
+      {0.0, 0.0}, {0.0, 18.0}, {14.0, 0.0}, {28.0, 0.0}};
+  const Topology topo(std::move(pos), radio, 1,
+                      /*rx_noise_penalty_db=*/{5.0, 0.0, 5.0, 5.0});
+  ASSERT_GE(topo.prr(0, 1), 0.5);  // 1 is a good-outbound neighbour of 0
+  ASSERT_EQ(topo.hops(1, 3), Topology::kInvalidHops);
+  ASSERT_EQ(topo.hops(0, 3), 2u);
+
+  // Node 1 precedes node 2 in the candidate order; the invalid-hops
+  // guard must reject it and the route must go through 2.
+  EXPECT_EQ(next_hop(topo, 0, 3), 2u);
+}
+
 }  // namespace
 }  // namespace mpciot::net::routing

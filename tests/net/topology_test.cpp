@@ -126,5 +126,46 @@ TEST(Topology, DifferentShadowSeedChangesLinks) {
   EXPECT_TRUE(any_diff);
 }
 
+TEST(Topology, InducedPreservesParentLinks) {
+  const Topology parent(line_positions(8, 15.0), quiet_radio(), 42);
+  const std::vector<NodeId> members{2, 3, 4, 5};
+  const Topology sub = Topology::induced(parent, members);
+  ASSERT_EQ(sub.size(), 4u);
+  for (NodeId a = 0; a < 4; ++a) {
+    EXPECT_DOUBLE_EQ(sub.position(a).x, parent.position(members[a]).x);
+    for (NodeId b = 0; b < 4; ++b) {
+      if (a == b) continue;
+      EXPECT_DOUBLE_EQ(sub.rssi(a, b), parent.rssi(members[a], members[b]));
+      EXPECT_DOUBLE_EQ(sub.prr(a, b), parent.prr(members[a], members[b]));
+    }
+  }
+}
+
+TEST(Topology, InducedRebuildsDerivedTables) {
+  const Topology parent(line_positions(8, 15.0), quiet_radio(), 42);
+  const Topology sub = Topology::induced(parent, {1, 2, 3, 4, 5});
+  // A 5-node line: hops and diameter are those of the *subgraph*, not
+  // inherited from the parent.
+  EXPECT_EQ(sub.hops(0, 4), 4u);
+  EXPECT_EQ(sub.diameter(), 4u);
+  EXPECT_EQ(sub.center_node(), 2u);
+  EXPECT_EQ(sub.neighbors(0).size(), 1u);
+  EXPECT_EQ(sub.neighbors(2).size(), 2u);
+}
+
+TEST(Topology, InducedRequiresConnectedSubgraph) {
+  const Topology parent(line_positions(8, 15.0), quiet_radio(), 42);
+  // {0, 5} has no usable link once the bridge nodes are excluded.
+  EXPECT_THROW(Topology::induced(parent, {0, 5}), ContractViolation);
+}
+
+TEST(Topology, InducedValidatesMemberList) {
+  const Topology parent(line_positions(8, 15.0), quiet_radio(), 42);
+  EXPECT_THROW(Topology::induced(parent, {3}), ContractViolation);
+  EXPECT_THROW(Topology::induced(parent, {3, 2}), ContractViolation);
+  EXPECT_THROW(Topology::induced(parent, {3, 3}), ContractViolation);
+  EXPECT_THROW(Topology::induced(parent, {3, 99}), ContractViolation);
+}
+
 }  // namespace
 }  // namespace mpciot::net
