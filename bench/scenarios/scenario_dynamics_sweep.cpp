@@ -1,0 +1,241 @@
+// Robustness under time-varying links and node churn: the sweep the
+// static scenarios cannot run. Every trial attaches a per-trial
+// sim::dynamics world to its Simulator — Gilbert–Elliott bursty loss
+// with slow RSSI drift on every link (burst length x bad-state fraction
+// axes) and an alternating-renewal crash/recover schedule (churn-rate
+// axis) — and runs the paper's S4 round with all nodes as sources, on
+// the FlockLab-like testbed and a sparser synthetic grid. Reported per
+// configuration: success rate, max-latency and max-radio-on means, and
+// their degradation relative to the same testbed's frozen-topology
+// baseline row (burst 0 / churn 0, which runs with no models attached —
+// literally the static engine).
+//
+// Determinism: one unit per (configuration, trial) over
+// metrics::parallel_for, every seed derived per unit, rows folded in
+// unit order — output is byte-identical for any --jobs value.
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "crypto/keystore.hpp"
+#include "crypto/prng.hpp"
+#include "metrics/experiment.hpp"
+#include "metrics/stats.hpp"
+#include "net/testbeds.hpp"
+#include "scenarios/scenarios.hpp"
+#include "sim/dynamics.hpp"
+#include "sim/simulator.hpp"
+
+namespace mpciot::bench {
+
+namespace {
+
+using bench_core::Row;
+using bench_core::Rows;
+using bench_core::ScenarioContext;
+
+/// derive_seed stream tags (per-trial model seeds).
+constexpr std::uint64_t kStreamLink = 0x44594E4Cull;   // "DYNL"
+constexpr std::uint64_t kStreamChurn = 0x44594E43ull;  // "DYNC"
+
+struct DynamicsPoint {
+  const char* testbed = nullptr;
+  /// Gilbert–Elliott knobs; burst_epochs == 0 means no link dynamics.
+  std::uint32_t burst_epochs = 0;
+  double bad_fraction = 0.0;
+  /// Crash rate per node; 0 means no churn.
+  double churn_per_sec = 0.0;
+};
+
+struct TrialRecord {
+  double success = 0.0;
+  double latency_max_ms = 0.0;
+  double radio_on_max_ms = 0.0;
+  double share_delivery = 0.0;
+};
+
+sim::dynamics::LinkDynamicsParams link_params(const DynamicsPoint& pt,
+                                              std::uint64_t seed) {
+  sim::dynamics::LinkDynamicsParams p;
+  p.seed = seed;
+  // Mean burst = burst_epochs epochs; stationary bad-state fraction =
+  // bad_fraction. Solving the two-state chain for its transition rates:
+  p.p_bad_to_good = 1.0 / pt.burst_epochs;
+  p.p_good_to_bad =
+      p.p_bad_to_good * pt.bad_fraction / (1.0 - pt.bad_fraction);
+  p.bad_extra_loss_db = 12.0;  // a burst takes the link effectively out
+  p.drift_sigma_db = 0.3;
+  p.drift_limit_db = 4.0;
+  return p;
+}
+
+TrialRecord run_one(const core::SssProtocol& proto, const net::Topology& topo,
+                    const DynamicsPoint& pt, std::uint64_t point_seed,
+                    std::uint32_t trial) {
+  const std::uint64_t tseed = metrics::trial_sim_seed(point_seed, trial);
+  sim::Simulator sim(tseed);
+
+  // Per-trial dynamics world; the static row attaches nothing and runs
+  // the frozen-topology engine unchanged.
+  std::optional<sim::dynamics::LinkDynamics> link;
+  if (pt.burst_epochs > 0) {
+    link.emplace(link_params(pt, crypto::derive_seed(tseed, kStreamLink, 0)));
+    sim.set_channel_model(&*link);
+  }
+  std::optional<sim::dynamics::NodeChurn> churn;
+  if (pt.churn_per_sec > 0.0) {
+    sim::dynamics::NodeChurnParams cp;
+    cp.seed = crypto::derive_seed(tseed, kStreamChurn, 0);
+    cp.crashes_per_sec = pt.churn_per_sec;
+    cp.mean_downtime_us = 500 * kMillisecond;
+    churn.emplace(topo.size(), cp);
+    sim.set_liveness(&*churn);
+  }
+
+  const std::vector<field::Fp61> secrets = metrics::random_secrets(
+      metrics::trial_secret_seed(point_seed, trial),
+      proto.config().sources.size());
+  const core::AggregationResult res = proto.run(secrets, sim);
+
+  TrialRecord rec;
+  rec.success = res.success_ratio();
+  rec.latency_max_ms = static_cast<double>(res.max_latency_us()) / 1e3;
+  rec.radio_on_max_ms = static_cast<double>(res.max_radio_on_us()) / 1e3;
+  rec.share_delivery = res.share_delivery_ratio;
+  return rec;
+}
+
+Rows run_dynamics_sweep(const ScenarioContext& ctx) {
+  const std::uint32_t reps = std::max<std::uint32_t>(ctx.reps, 1);
+
+  struct Bench {
+    const char* name;
+    net::Topology topo;
+    std::uint32_t ntx;
+    std::unique_ptr<crypto::KeyStore> keys;
+    std::unique_ptr<core::SssProtocol> proto;
+    std::uint64_t seed = 0;
+  };
+  // FlockLab-like office floor plus a sparser synthetic grid (the same
+  // 12 m class the hierarchy benches use, where NTX 6 is too shallow).
+  std::vector<Bench> benches;
+  benches.push_back({"flocklab", net::testbeds::flocklab(), 6, {}, {}, 0});
+  benches.push_back(
+      {"grid6x6",
+       net::testbeds::grid(6, 6, /*spacing_m=*/12.0,
+                           crypto::derive_seed(ctx.seed, 0x544F504Full, 36)),
+       8,
+       {},
+       {},
+       0});
+  for (Bench& bench : benches) {
+    std::vector<NodeId> sources(bench.topo.size());
+    for (NodeId i = 0; i < bench.topo.size(); ++i) sources[i] = i;
+    const std::size_t degree = core::paper_degree(sources.size());
+    bench.keys = std::make_unique<crypto::KeyStore>(
+        ctx.seed, static_cast<std::uint32_t>(bench.topo.size()));
+    // One protocol per testbed: the dynamics attach per *trial* via the
+    // Simulator, so every sweep point shares the same instance.
+    bench.proto = std::make_unique<core::SssProtocol>(
+        bench.topo, *bench.keys,
+        core::make_s4_config(bench.topo, sources, degree, bench.ntx));
+    // Same simulated channels/secrets across the axis values of one
+    // testbed, so the sweep is paired: only the dynamics differ.
+    bench.seed = crypto::derive_seed(
+        ctx.seed, 0x44594E30ull /*"DYN0"*/,
+        static_cast<std::uint64_t>(bench.topo.size()));
+  }
+
+  // The sweep: static baseline first, then burst-length x bad-fraction
+  // grid, each across the churn axis (innermost, so every printed block
+  // is one degradation-vs-churn curve).
+  const std::vector<std::pair<std::uint32_t, double>> link_axis = {
+      {0, 0.0}, {2, 0.1}, {2, 0.3}, {8, 0.1}, {8, 0.3}};
+  const std::vector<double> churn_axis = {0.0, 0.5, 2.0};
+
+  struct Point {
+    DynamicsPoint pt;
+    const Bench* bench = nullptr;
+  };
+  std::vector<Point> points;
+  for (const Bench& bench : benches) {
+    for (const auto& [burst, frac] : link_axis) {
+      for (const double churn : churn_axis) {
+        points.push_back(
+            Point{DynamicsPoint{bench.name, burst, frac, churn}, &bench});
+      }
+    }
+  }
+
+  const std::size_t units = points.size() * reps;
+  std::vector<TrialRecord> records(units);
+  const unsigned jobs =
+      metrics::resolve_jobs(ctx.jobs, static_cast<std::uint32_t>(units));
+  metrics::parallel_for(units, jobs, [&](std::size_t unit) {
+    const Point& point = points[unit / reps];
+    records[unit] =
+        run_one(*point.bench->proto, point.bench->topo, point.pt,
+                point.bench->seed, static_cast<std::uint32_t>(unit % reps));
+  });
+
+  Rows rows;
+  double static_success = 0.0;
+  double static_latency = 0.0;
+  double static_radio = 0.0;
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    const Point& point = points[p];
+    metrics::Summary success;
+    metrics::Summary latency;
+    metrics::Summary radio;
+    metrics::Summary delivery;
+    for (std::uint32_t t = 0; t < reps; ++t) {
+      const TrialRecord& rec = records[p * reps + t];
+      success.add(rec.success);
+      latency.add(rec.latency_max_ms);
+      radio.add(rec.radio_on_max_ms);
+      delivery.add(rec.share_delivery);
+    }
+    const bool is_static = point.pt.burst_epochs == 0 &&
+                           point.pt.churn_per_sec == 0.0;
+    if (is_static) {
+      static_success = success.mean();
+      static_latency = latency.mean();
+      static_radio = radio.mean();
+    }
+    Row row;
+    row.set("testbed", point.pt.testbed)
+        .set("burst_epochs",
+             static_cast<std::uint64_t>(point.pt.burst_epochs))
+        .set("bad_frac_pct", round3(point.pt.bad_fraction * 100))
+        .set("churn_per_sec", round3(point.pt.churn_per_sec))
+        .set("success_pct", round3(success.mean() * 100))
+        .set("latency_ms", round3(latency.mean()))
+        .set("max_radio_on_ms", round3(radio.mean()))
+        .set("delivery_pct", round3(delivery.mean() * 100))
+        .set("success_vs_static_pct",
+             round3((success.mean() - static_success) * 100))
+        .set("latency_vs_static",
+             round3(latency.mean() / std::max(static_latency, 1e-9)))
+        .set("radio_vs_static",
+             round3(radio.mean() / std::max(static_radio, 1e-9)));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace
+
+void register_dynamics_sweep(bench_core::Registry& registry) {
+  registry.add(bench_core::ScenarioSpec{
+      "dynamics_sweep",
+      "Bursty links (Gilbert-Elliott x drift) and node churn: S4 "
+      "degradation curves vs the frozen-topology baseline",
+      /*default_reps=*/10,
+      /*deterministic=*/true,
+      /*param_names=*/{}, run_dynamics_sweep});
+}
+
+}  // namespace mpciot::bench

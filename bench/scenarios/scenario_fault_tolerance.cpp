@@ -1,9 +1,15 @@
 // §III fault-tolerance claim: with a degree-k polynomial, "even the
 // final polynomial can be formed by combining any k+1 sum values".
-// Injects f random node failures per round (never the initiator) and
-// reports the fraction of live nodes still holding a correct aggregate
-// of the surviving sources, for S3, S4 (slack 2) and S4 with the bare
-// k+1 holder set (slack 0).
+// Two failure axes over the same S3 / S4 (slack 2) / S4 (slack 0)
+// comparison:
+//  * permanent failures — f random nodes dead for the whole round
+//    (never the initiator), the original sweep;
+//  * churn — an alternating-renewal crash/recover schedule
+//    (sim::dynamics::NodeChurn, 500 ms mean downtime, initiator
+//    immortal) that silences nodes *mid-round*, so shares go missing
+//    asymmetrically and reconstruction leans on the threshold path.
+// Reported: fraction of live nodes still holding a correct aggregate of
+// the dealing sources.
 #include <cstdint>
 #include <vector>
 
@@ -13,6 +19,7 @@
 #include "metrics/stats.hpp"
 #include "net/testbeds.hpp"
 #include "scenarios/scenarios.hpp"
+#include "sim/dynamics.hpp"
 #include "sim/simulator.hpp"
 
 namespace mpciot::bench {
@@ -80,6 +87,50 @@ Rows run_fault_tolerance(const ScenarioContext& ctx) {
     }
     Row row;
     row.set("failed_nodes", static_cast<std::uint64_t>(failures))
+        .set("churn_per_sec", 0.0)
+        .set("s3_success_pct", round3(s3_ok.mean() * 100))
+        .set("s4_success_pct", round3(s4_ok.mean() * 100))
+        .set("s4_slack0_success_pct", round3(s4tight_ok.mean() * 100));
+    rows.push_back(std::move(row));
+  }
+
+  // Churn axis: no permanent failures, nodes crash and recover
+  // mid-round instead. rate_idx salts the per-trial schedule stream so
+  // sweep points draw independent schedules.
+  const std::vector<double> churn_rates{0.5, 1.0, 2.0};
+  for (std::size_t rate_idx = 0; rate_idx < churn_rates.size(); ++rate_idx) {
+    const double rate = churn_rates[rate_idx];
+    metrics::Summary s3_ok;
+    metrics::Summary s4_ok;
+    metrics::Summary s4tight_ok;
+    for (std::uint32_t t = 0; t < ctx.reps; ++t) {
+      const auto base_s3 = core::make_s3_config(topo, sources, degree,
+                                                ntx_full);
+      sim::dynamics::NodeChurnParams cp;
+      cp.seed = crypto::derive_seed(ctx.seed, 0xC4320000ull | rate_idx, t);
+      cp.crashes_per_sec = rate;
+      cp.mean_downtime_us = 500 * kMillisecond;
+      cp.immortal = base_s3.initiator;
+      const sim::dynamics::NodeChurn churn(topo.size(), cp);
+
+      const auto run_one = [&](core::ProtocolConfig cfg,
+                               metrics::Summary& acc) {
+        const core::SssProtocol proto(topo, keys, cfg);
+        sim::Simulator sim(metrics::trial_sim_seed(ctx.seed, t));
+        sim.set_liveness(&churn);  // shared schedule: the axis is paired
+        const auto secrets = metrics::random_secrets(
+            metrics::trial_secret_seed(ctx.seed, t), sources.size());
+        acc.add(proto.run(secrets, sim).success_ratio());
+      };
+      run_one(base_s3, s3_ok);
+      run_one(core::make_s4_config(topo, sources, degree, 6, /*slack=*/2),
+              s4_ok);
+      run_one(core::make_s4_config(topo, sources, degree, 6, /*slack=*/0),
+              s4tight_ok);
+    }
+    Row row;
+    row.set("failed_nodes", std::uint64_t{0})
+        .set("churn_per_sec", round3(rate))
         .set("s3_success_pct", round3(s3_ok.mean() * 100))
         .set("s4_success_pct", round3(s4_ok.mean() * 100))
         .set("s4_slack0_success_pct", round3(s4tight_ok.mean() * 100));

@@ -208,7 +208,12 @@ bool operator==(const JsonValue& a, const JsonValue& b) {
 
 namespace {
 
-/// Recursive-descent parser over a string_view cursor.
+/// Recursive-descent parser over a string_view cursor. Nesting is
+/// capped: the parser recurses once per container level, so an
+/// adversarial "[[[[..." document would otherwise overflow the stack
+/// long before exhausting memory.
+constexpr int kMaxParseDepth = 192;
+
 class Parser {
  public:
   explicit Parser(std::string_view text) : text_(text) {}
@@ -265,6 +270,12 @@ class Parser {
       return std::nullopt;
     }
     const char c = text_[pos_];
+    if (c == '{' || c == '[') {
+      if (depth_ >= kMaxParseDepth) {
+        fail("nesting too deep");
+        return std::nullopt;
+      }
+    }
     if (c == '{') return parse_object();
     if (c == '[') return parse_array();
     if (c == '"') {
@@ -279,6 +290,13 @@ class Parser {
   }
 
   std::optional<JsonValue> parse_object() {
+    ++depth_;
+    std::optional<JsonValue> v = parse_object_body();
+    --depth_;
+    return v;
+  }
+
+  std::optional<JsonValue> parse_object_body() {
     ++pos_;  // '{'
     JsonValue obj = JsonValue::object();
     skip_ws();
@@ -305,6 +323,13 @@ class Parser {
   }
 
   std::optional<JsonValue> parse_array() {
+    ++depth_;
+    std::optional<JsonValue> v = parse_array_body();
+    --depth_;
+    return v;
+  }
+
+  std::optional<JsonValue> parse_array_body() {
     ++pos_;  // '['
     JsonValue arr = JsonValue::array();
     skip_ws();
@@ -444,6 +469,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
   std::string error_;
 };
 

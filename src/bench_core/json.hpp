@@ -96,9 +96,12 @@ class JsonValue {
 /// control characters as \uXXXX) to `out`.
 void escape_json_string(std::string_view s, std::string& out);
 
-/// Parse a complete JSON document. Returns nullopt on malformed input
-/// or trailing garbage and, when `error` is non-null, stores a short
-/// description of the first problem.
+/// Parse a complete JSON document. Returns nullopt on malformed input,
+/// trailing garbage, or container nesting deeper than an internal cap
+/// (the parser recurses once per level; the cap turns adversarial
+/// "[[[[..." documents into a clean error instead of a stack overflow).
+/// When `error` is non-null, stores a short description of the first
+/// problem.
 std::optional<JsonValue> parse_json(std::string_view text,
                                     std::string* error = nullptr);
 

@@ -1,6 +1,7 @@
 #include "core/hierarchical.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/assert.hpp"
 #include "core/bootstrap.hpp"
@@ -14,6 +15,23 @@ namespace {
 /// derive_seed stream tags of the hierarchical round.
 constexpr std::uint64_t kStreamGroupSim = 0x47525053ull;   // group-phase sims
 constexpr std::uint64_t kStreamKeystore = 0x474B4559ull;   // per-group keys
+
+/// Churn schedule of an induced subtopology: local ids looked up in the
+/// parent schedule. (Group rounds run on the trial clock, so times pass
+/// through unchanged.)
+class MappedLiveness final : public net::LivenessModel {
+ public:
+  MappedLiveness(const net::LivenessModel* base,
+                 const std::vector<NodeId>* members)
+      : base_(base), members_(members) {}
+  bool is_down(NodeId local, SimTime t) const override {
+    return base_->is_down((*members_)[local], t);
+  }
+
+ private:
+  const net::LivenessModel* base_;
+  const std::vector<NodeId>* members_;
+};
 
 /// Split `count` sources into balanced batches (sizes differ by at
 /// most one) of at most ~max_batch each. The batch count is capped at
@@ -138,6 +156,16 @@ NodeId HierarchicalProtocol::group_leader(std::size_t g) const {
 
 HierarchicalResult HierarchicalProtocol::run(
     const std::vector<field::Fp61>& secrets, sim::Simulator& sim) const {
+  RoundEnv env;
+  env.start_time_us = sim.now();
+  env.channel_model = sim.channel_model();
+  env.liveness = sim.liveness();
+  return run(secrets, sim, env);
+}
+
+HierarchicalResult HierarchicalProtocol::run(
+    const std::vector<field::Fp61>& secrets, sim::Simulator& sim,
+    const RoundEnv& env) const {
   const std::size_t n = topo_->size();
   MPCIOT_REQUIRE(secrets.size() == n,
                  "hierarchical: one secret per node required");
@@ -147,7 +175,12 @@ HierarchicalResult HierarchicalProtocol::run(
   result.radio_on_us.assign(n, 0);
   result.latency_us.assign(n, 0);
   result.has_result.assign(n, 0);
-  for (const field::Fp61& s : secrets) result.expected_sum += s;
+  // expected_sum accumulates from the accepted batch rounds below: a
+  // source that is churn-down at its round's start never deals and is
+  // excluded (matching SssProtocol's failed_nodes semantics), so a
+  // reduced-but-consistent aggregate still counts as correct. In the
+  // static world every batch is accepted on attempt 0 with every
+  // source dealing, so this equals the sum over all nodes' secrets.
 
   // ---- Phase A: per-group SSS rounds on orthogonal channels ----
   //
@@ -156,14 +189,36 @@ HierarchicalResult HierarchicalProtocol::run(
   // order the groups are simulated in — they are concurrent in simulated
   // time whenever their channels differ.
   ct::ChannelTimeline timeline(config_.num_channels);
+  // One scratch context for the whole trial: every group round and
+  // recombination/result flood reuses its buffers, and with a channel
+  // model the epoch-walked view continues across the rounds that share
+  // a topology instead of replaying the dynamics chain from epoch 0.
+  ct::RoundContext trial_scratch;
+  // Deputies per group: members that reconstructed every accepted batch
+  // round with the leader's value — under churn they are the nodes a
+  // dead leader's duties can hand off to, because they provably hold
+  // the same partial sum.
+  std::vector<std::vector<char>> group_deputies(groups_.size());
   for (std::size_t g = 0; g < groups_.size(); ++g) {
     const Group& group = groups_[g];
     GroupOutcome& out = result.groups[g];
-    out.leader = group.leader;
     out.channel = group.channel;
     out.batches = static_cast<std::uint32_t>(group.batch_rounds.size());
     out.has_sum = true;
     out.sum_correct = true;
+
+    // This group's rounds start when its channel frees up; booking after
+    // the fact returns the same offset because groups book in order.
+    const SimTime ch_start_us = timeline.channel_end_us(group.channel);
+    const std::optional<MappedLiveness> mapped =
+        env.liveness != nullptr
+            ? std::optional<MappedLiveness>(
+                  std::in_place, env.liveness, &group.members)
+            : std::nullopt;
+
+    NodeId lead_local = group.leader_local;
+    std::vector<char>& deputies = group_deputies[g];
+    deputies.assign(group.members.size(), 1);
 
     sim::Simulator group_sim(
         crypto::derive_seed(sim.seed(), kStreamGroupSim, g));
@@ -179,23 +234,71 @@ HierarchicalResult HierarchicalProtocol::run(
       for (std::uint32_t attempt = 0;
            attempt <= config_.max_retries && !leader_ok; ++attempt) {
         if (attempt > 0) ++out.retries;
-        const AggregationResult r = round.run(batch_secrets, group_sim);
+        const SimTime t0 = env.start_time_us + ch_start_us + out.duration_us;
+        // A leader that is churn-down when the round would start cannot
+        // run it: hand off to the most central member that is up.
+        if (env.liveness != nullptr &&
+            env.liveness->is_down(group.members[lead_local], t0)) {
+          NodeId best = kInvalidNode;
+          std::uint32_t best_h = net::Topology::kInvalidHops;
+          const NodeId center = group.sub->center_node();
+          for (NodeId m = 0;
+               m < static_cast<NodeId>(group.members.size()); ++m) {
+            if (env.liveness->is_down(group.members[m], t0)) continue;
+            const std::uint32_t h = group.sub->hops(m, center);
+            if (h < best_h || (h == best_h && m < best)) {
+              best_h = h;
+              best = m;
+            }
+          }
+          if (best != kInvalidNode && best != lead_local) {
+            lead_local = best;
+            ++out.leader_reelections;
+          }
+        }
+        // Re-elected leaders run the same round config from their own
+        // position; the SssProtocol is rebuilt only on a hand-off.
+        const SssProtocol* round_to_run = &round;
+        std::optional<SssProtocol> handed_off;
+        if (lead_local != round.config().initiator) {
+          ProtocolConfig cfg = round.config();
+          cfg.initiator = lead_local;
+          handed_off.emplace(*group.sub, *group.keys, std::move(cfg),
+                             transport_);
+          round_to_run = &*handed_off;
+        }
+        RoundEnv round_env;
+        round_env.start_time_us = t0;
+        round_env.channel_model = env.channel_model;
+        round_env.liveness = mapped.has_value() ? &*mapped : nullptr;
+        round_env.scratch = &trial_scratch;
+        const AggregationResult r =
+            round_to_run->run(batch_secrets, group_sim, round_env);
         out.duration_us += r.total_duration_us;
         for (std::size_t local = 0; local < group.members.size(); ++local) {
           result.radio_on_us[group.members[local]] +=
               r.nodes[local].radio_on_us;
         }
-        const NodeOutcome& leader = r.nodes[group.leader_local];
+        const NodeOutcome& leader = r.nodes[lead_local];
         if (!leader.has_aggregate) continue;
         leader_ok = true;
         out.sum += leader.aggregate;
+        result.expected_sum += r.expected_sum;
         if (!leader.aggregate_correct) out.sum_correct = false;
+        for (std::size_t local = 0; local < group.members.size(); ++local) {
+          if (!r.nodes[local].has_aggregate ||
+              !(r.nodes[local].aggregate == leader.aggregate)) {
+            deputies[local] = 0;
+          }
+        }
       }
       if (!leader_ok) {
         out.has_sum = false;
         out.sum_correct = false;
       }
     }
+    out.leader = group.members[lead_local];
+    result.leader_reelections += out.leader_reelections;
     const SimTime start = timeline.book(group.channel, out.duration_us);
     out.finish_us = start + out.duration_us;
   }
@@ -216,12 +319,21 @@ HierarchicalResult HierarchicalProtocol::run(
     NodeId leader;
     field::Fp61 sum;
     bool complete;  // every contributing group's sum was correct
+    std::vector<char> holders;  // nodes provably holding this sum
   };
   std::vector<Partial> active;
-  for (const GroupOutcome& out : result.groups) {
-    if (out.has_sum) {
-      active.push_back(Partial{out.leader, out.sum, out.sum_correct});
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    const GroupOutcome& out = result.groups[g];
+    if (!out.has_sum) continue;
+    Partial p{out.leader, out.sum, out.sum_correct,
+              std::vector<char>(n, 0)};
+    for (std::size_t local = 0; local < groups_[g].members.size(); ++local) {
+      if (group_deputies[g][local] != 0) {
+        p.holders[groups_[g].members[local]] = 1;
+      }
     }
+    p.holders[out.leader] = 1;
+    active.push_back(std::move(p));
   }
   bool all_groups_in = active.size() == result.groups.size();
 
@@ -231,25 +343,59 @@ HierarchicalResult HierarchicalProtocol::run(
     return ha != hb ? ha < hb : a < b;
   };
 
+  // Hand a partial to its most central up deputy when its leader is
+  // churn-down at time `t` (no-op without churn, or when nobody
+  // qualifies — the flood then runs from the dead leader and fails,
+  // which the retry/loss accounting already covers).
+  const auto reelect_holder = [&](Partial& p, SimTime t) {
+    if (env.liveness == nullptr || !env.liveness->is_down(p.leader, t)) {
+      return;
+    }
+    NodeId best = kInvalidNode;
+    std::uint32_t best_h = net::Topology::kInvalidHops;
+    for (NodeId i = 0; i < n; ++i) {
+      if (p.holders[i] == 0 || env.liveness->is_down(i, t)) continue;
+      const std::uint32_t h = topo_->hops(i, topo_->center_node());
+      if (h < best_h || (h == best_h && i < best)) {
+        best_h = h;
+        best = i;
+      }
+    }
+    if (best != kInvalidNode && best != p.leader) {
+      p.leader = best;
+      ++result.leader_reelections;
+    }
+  };
+
   while (active.size() > 1) {
     std::vector<Partial> next;
     for (std::size_t i = 0; i + 1 < active.size(); i += 2) {
-      const Partial& a = active[i];
-      const Partial& b = active[i + 1];
+      Partial& a = active[i];
+      Partial& b = active[i + 1];
       const bool a_survives = closer_to_center(a.leader, b.leader);
-      const Partial& surv = a_survives ? a : b;
-      const Partial& sender = a_survives ? b : a;
+      Partial& surv = a_survives ? a : b;
+      Partial& sender = a_survives ? b : a;
 
       ct::GlossyConfig fcfg;
-      fcfg.initiator = sender.leader;
       fcfg.ntx = config_.result_flood_ntx;
       fcfg.payload_bytes = SumPacket::kWireSize;
       fcfg.max_slots = config_.max_chain_slots;
+      fcfg.channel_model = env.channel_model;
+      fcfg.liveness = env.liveness;
       bool delivered = false;
+      ct::GlossyResult flood;
       for (std::uint32_t attempt = 0;
            attempt <= config_.max_retries && !delivered; ++attempt) {
-        const ct::GlossyResult flood =
-            transport_->flood(*topo_, fcfg, sim.channel_rng());
+        // Recombination floods share one channel after the group phase;
+        // each starts where the previous one ended on the trial clock.
+        const SimTime t0 = env.start_time_us + result.group_phase_us +
+                           result.recombine_us;
+        reelect_holder(sender, t0);
+        reelect_holder(surv, t0);
+        fcfg.initiator = sender.leader;
+        fcfg.start_time_us = t0;
+        flood = transport_->flood(*topo_, fcfg, sim.channel_rng(),
+                                  &trial_scratch);
         result.recombine_us += flood.duration_us;
         for (NodeId node = 0; node < n; ++node) {
           result.radio_on_us[node] += flood.radio_on_us[node];
@@ -258,21 +404,36 @@ HierarchicalResult HierarchicalProtocol::run(
             flood.first_rx_slot[surv.leader] != ct::MiniCastResult::kNever;
       }
 
-      next.push_back(surv);
+      next.push_back(std::move(surv));
       if (delivered) {
-        next.back().sum += sender.sum;
-        next.back().complete = surv.complete && sender.complete;
+        Partial& merged = next.back();
+        merged.sum += sender.sum;
+        merged.complete = merged.complete && sender.complete;
+        // Only nodes that both held the survivor's sum and heard the
+        // sender's flood hold the merged value.
+        for (NodeId node = 0; node < n; ++node) {
+          if (merged.holders[node] != 0 && node != merged.leader &&
+              flood.first_rx_slot[node] == ct::MiniCastResult::kNever) {
+            merged.holders[node] = 0;
+          }
+        }
+        merged.holders[merged.leader] = 1;
       } else {
         // Partner partial never arrived: the final total misses it.
         all_groups_in = false;
       }
     }
-    if (active.size() % 2 == 1) next.push_back(active.back());
+    if (active.size() % 2 == 1) next.push_back(std::move(active.back()));
     active = std::move(next);
   }
 
   NodeId root = kInvalidNode;
   if (!active.empty()) {
+    // A root that died between recombination and the result flood hands
+    // off to an up deputy holding the final sum.
+    reelect_holder(active.front(),
+                   env.start_time_us + result.group_phase_us +
+                       result.recombine_us);
     root = active.front().leader;
     result.has_aggregate = true;
     result.aggregate = active.front().sum;
@@ -289,7 +450,12 @@ HierarchicalResult HierarchicalProtocol::run(
     fcfg.ntx = config_.result_flood_ntx;
     fcfg.payload_bytes = SumPacket::kWireSize;
     fcfg.max_slots = config_.max_chain_slots;
-    flood = transport_->flood(*topo_, fcfg, sim.channel_rng());
+    fcfg.start_time_us = env.start_time_us + result.group_phase_us +
+                         result.recombine_us;
+    fcfg.channel_model = env.channel_model;
+    fcfg.liveness = env.liveness;
+    flood = transport_->flood(*topo_, fcfg, sim.channel_rng(),
+                              &trial_scratch);
     result.flood_us = flood.duration_us;
     if (flood.slots_used > 0) {
       flood_slot_us = flood.duration_us /

@@ -80,6 +80,9 @@ struct GroupOutcome {
   std::uint32_t batches = 0;
   /// Batch rounds re-run after a failed leader reconstruction.
   std::uint32_t retries = 0;
+  /// Times the group switched to a fresh leader because the incumbent
+  /// was churn-down when a round (re)started.
+  std::uint32_t leader_reelections = 0;
   /// Leader reconstructed an aggregate in every batch round.
   bool has_sum = false;
   /// ... and every one equalled the sum of the group's secrets.
@@ -93,7 +96,12 @@ struct GroupOutcome {
 
 struct HierarchicalResult {
   std::vector<GroupOutcome> groups;
-  field::Fp61 expected_sum;  // over all nodes' secrets
+  /// Sum of the secrets that actually entered the round: every source
+  /// dealing in an accepted batch round. Without churn this is the sum
+  /// over all nodes' secrets; under churn, sources down at their
+  /// round's start are excluded (like SssProtocol's failed_nodes), so
+  /// a consistent reduced aggregate still flags aggregate_correct.
+  field::Fp61 expected_sum;
   /// The global root's aggregate (valid when has_aggregate).
   bool has_aggregate = false;
   field::Fp61 aggregate;
@@ -104,6 +112,9 @@ struct HierarchicalResult {
   SimTime recombine_us = 0;    // sum of recombination-level rounds
   SimTime flood_us = 0;        // result flood
   SimTime total_duration_us = 0;
+  /// Leader hand-offs across all phases (group rounds + recombination +
+  /// result flood) forced by churn-down leaders.
+  std::uint32_t leader_reelections = 0;
 
   /// Per parent node: radio-on time across every round the node took
   /// part in, and the time at which it first held the global aggregate.
@@ -132,8 +143,22 @@ class HierarchicalProtocol {
   /// Run one hierarchical aggregation. secrets[i] belongs to node i
   /// (every node is a source). Thread-safe: concurrent calls may share
   /// one protocol instance as long as each uses its own Simulator.
+  /// Reads the dynamics environment (channel model, churn) off `sim`.
   HierarchicalResult run(const std::vector<field::Fp61>& secrets,
                          sim::Simulator& sim) const;
+
+  /// As above with an explicit environment. Group rounds are placed on
+  /// the trial clock at their channel-timeline offsets, the parent
+  /// churn schedule is mapped onto each group's local ids, and a
+  /// churn-down leader is replaced before a round or recombination
+  /// flood runs: group rounds re-elect the most central up member;
+  /// recombination and the result flood re-elect among the *deputies*
+  /// of a partial sum — the nodes that provably hold the same value
+  /// (reconstructed every batch, or heard the merging floods). A
+  /// partial whose holders are all down is lost for the round, exactly
+  /// like an exhausted retry.
+  HierarchicalResult run(const std::vector<field::Fp61>& secrets,
+                         sim::Simulator& sim, const RoundEnv& env) const;
 
   const HierarchicalConfig& config() const { return config_; }
   /// Group g's leader (parent node id): the most central node of the

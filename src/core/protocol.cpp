@@ -26,24 +26,37 @@ std::unordered_map<NodeId, std::size_t> index_of(
 
 /// A MiniCast round must start from a node that owns at least one chain
 /// entry (an empty first chain would trigger nobody). Pick the candidate
-/// closest to the preferred initiator, skipping dead nodes.
+/// closest to the preferred initiator, skipping dead nodes and (when a
+/// churn schedule is given) preferring candidates that are up at the
+/// phase start; if every candidate is churn-down right now, fall back to
+/// the closest non-failed one — the phase then limps along on timeouts
+/// as nodes recover.
 NodeId pick_phase_initiator(const net::Topology& topo, NodeId preferred,
                             const std::vector<NodeId>& candidates,
-                            const std::vector<char>& dead) {
+                            const std::vector<char>& dead,
+                            const net::LivenessModel* liveness = nullptr,
+                            SimTime at_us = 0) {
   NodeId best = kInvalidNode;
   std::uint32_t best_h = net::Topology::kInvalidHops;
+  NodeId fallback = kInvalidNode;
+  std::uint32_t fallback_h = net::Topology::kInvalidHops;
   for (NodeId c : candidates) {
     if (dead[c]) continue;
-    if (c == preferred) return c;
-    const std::uint32_t h = topo.hops(preferred, c);
+    const std::uint32_t h = c == preferred ? 0 : topo.hops(preferred, c);
+    if (h < fallback_h || (h == fallback_h && c < fallback)) {
+      fallback_h = h;
+      fallback = c;
+    }
+    if (liveness != nullptr && liveness->is_down(c, at_us)) continue;
     if (h < best_h || (h == best_h && c < best)) {
       best_h = h;
       best = c;
     }
   }
-  MPCIOT_REQUIRE(best != kInvalidNode,
+  if (best != kInvalidNode) return best;
+  MPCIOT_REQUIRE(fallback != kInvalidNode,
                  "protocol: no live node can initiate the phase");
-  return best;
+  return fallback;
 }
 
 }  // namespace
@@ -131,6 +144,16 @@ SssProtocol::SssProtocol(const net::Topology& topo,
 
 AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
                                    sim::Simulator& sim) const {
+  RoundEnv env;
+  env.start_time_us = sim.now();
+  env.channel_model = sim.channel_model();
+  env.liveness = sim.liveness();
+  return run(secrets, sim, env);
+}
+
+AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
+                                   sim::Simulator& sim,
+                                   const RoundEnv& env) const {
   MPCIOT_REQUIRE(secrets.size() == config_.sources.size(),
                  "protocol: one secret per source required");
   const std::size_t n = topo_->size();
@@ -146,6 +169,21 @@ AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
   MPCIOT_REQUIRE(!dead[config_.initiator],
                  "protocol: the round initiator must be alive");
 
+  // Churn: a source that is down when the round starts reads no sensor
+  // and deals nothing — for this round it is as absent as a failed node
+  // (its crash may end mid-round; it then rejoins as a relay). Nodes
+  // that crash later dealt normally; whatever shares they did not get
+  // out surface as missing contributors downstream.
+  std::vector<char> down_at_start(n, 0);
+  if (env.liveness != nullptr) {
+    for (NodeId i = 0; i < n; ++i) {
+      down_at_start[i] = env.liveness->is_down(i, env.start_time_us) ? 1 : 0;
+    }
+  }
+  const auto participates = [&](NodeId i) {
+    return !dead[i] && !down_at_start[i];
+  };
+
   const auto src_index = index_of(config_.sources);
   const auto holder_index = index_of(config_.share_holders);
 
@@ -155,7 +193,7 @@ AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
   std::uint64_t live_source_mask = 0;
   for (std::size_t i = 0; i < num_sources; ++i) {
     const NodeId src = config_.sources[i];
-    if (dead[src]) continue;
+    if (!participates(src)) continue;
     // Domain-separate the DRBG by (round, node).
     crypto::CtrDrbg drbg(
         sim.seed(),
@@ -166,13 +204,24 @@ AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
     live_source_mask |= (std::uint64_t{1} << i);
   }
 
+  // One context serves every phase of the round (and, when the caller
+  // provides one, the whole trial): buffers are reused and the
+  // epoch-walked channel view continues instead of replaying the
+  // dynamics chain from 0.
+  ct::RoundContext local_scratch;
+  ct::RoundContext* const round_scratch =
+      env.scratch != nullptr ? env.scratch : &local_scratch;
+
   // ---- Stage 0b: round-start sync flood ----
   ct::GlossyConfig sync_cfg;
   sync_cfg.initiator = config_.initiator;
   sync_cfg.ntx = 3;
   sync_cfg.payload_bytes = 8;
+  sync_cfg.start_time_us = env.start_time_us;
+  sync_cfg.channel_model = env.channel_model;
+  sync_cfg.liveness = env.liveness;
   const ct::GlossyResult sync =
-      transport_->flood(*topo_, sync_cfg, sim.channel_rng());
+      transport_->flood(*topo_, sync_cfg, sim.channel_rng(), round_scratch);
 
   // Every live data owner is slot-synchronized: Glossy-class systems
   // maintain network-wide time across rounds, so even a node that missed
@@ -191,9 +240,11 @@ AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
   const ct::SharingSchedule sharing =
       ct::make_sharing_schedule(config_.sources, config_.share_holders);
 
+  const SimTime share_start_us = env.start_time_us + sync.duration_us;
   ct::MiniCastConfig share_cfg;
   share_cfg.initiator =
-      pick_phase_initiator(*topo_, config_.initiator, config_.sources, dead);
+      pick_phase_initiator(*topo_, config_.initiator, config_.sources, dead,
+                           env.liveness, share_start_us);
   share_cfg.ntx = config_.ntx_sharing;
   share_cfg.payload_bytes = SharePacket::kWireSize;
   share_cfg.max_chain_slots = config_.max_chain_slots;
@@ -201,14 +252,30 @@ AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
                                ? ct::RadioPolicy::kEarlyOff
                                : ct::RadioPolicy::kUntilQuiescence;
   share_cfg.disabled = dead;
-  share_cfg.scheduled_owners = synced(config_.sources);
+  share_cfg.start_time_us = share_start_us;
+  share_cfg.channel_model = env.channel_model;
+  share_cfg.liveness = env.liveness;
+  // Slot-synced owners of the sharing chain: sources that actually
+  // dealt (a source down at round start has nothing to inject even
+  // after it recovers).
+  {
+    std::vector<NodeId> owners;
+    owners.reserve(config_.sources.size());
+    for (NodeId o : config_.sources) {
+      if (participates(o)) owners.push_back(o);
+    }
+    share_cfg.scheduled_owners = std::move(owners);
+  }
   // Per-holder bitmap of the sharing-chain entries it must collect (its
-  // own column, live sources only — dead sources never deal).
+  // own column, dealing sources only — dead or crashed-at-start sources
+  // never deal).
   std::vector<std::vector<std::uint64_t>> holder_need(num_holders);
   for (std::size_t h = 0; h < num_holders; ++h) {
     std::vector<std::size_t> bits;
     for (std::size_t s = 0; s < num_sources; ++s) {
-      if (!dead[config_.sources[s]]) bits.push_back(sharing.entry_index(s, h));
+      if (participates(config_.sources[s])) {
+        bits.push_back(sharing.entry_index(s, h));
+      }
     }
     holder_need[h] = ct::make_entry_mask(sharing.entries.size(), bits);
   }
@@ -218,8 +285,9 @@ AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
     return have.covers(holder_need[it->second]);
   };
 
-  const ct::MiniCastResult share_round = transport_->chain_round(
-      *topo_, sharing.entries, share_cfg, sim.channel_rng());
+  const ct::MiniCastResult share_round =
+      transport_->chain_round(*topo_, sharing.entries, share_cfg,
+                              sim.channel_rng(), round_scratch);
 
   // ---- Stage 1b: holders decrypt and sum what they got ----
   struct HolderSum {
@@ -238,7 +306,7 @@ AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
     acc.valid = true;
     for (std::size_t s = 0; s < num_sources; ++s) {
       const NodeId src = config_.sources[s];
-      if (dead[src]) continue;
+      if (!participates(src)) continue;
       ++deliverable;
       const std::size_t entry = sharing.entry_index(s, h);
       if (src == holder) {
@@ -298,21 +366,27 @@ AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
   const std::vector<std::uint64_t> usable_mask =
       ct::make_entry_mask(num_holders, usable_bits);
 
+  const SimTime recon_start_us = share_start_us + share_round.duration_us;
   ct::MiniCastConfig recon_cfg;
-  recon_cfg.initiator = pick_phase_initiator(*topo_, config_.initiator,
-                                             config_.share_holders, dead);
+  recon_cfg.initiator =
+      pick_phase_initiator(*topo_, config_.initiator, config_.share_holders,
+                           dead, env.liveness, recon_start_us);
   recon_cfg.ntx = config_.ntx_reconstruction;
   recon_cfg.payload_bytes = SumPacket::kWireSize;
   recon_cfg.max_chain_slots = config_.max_chain_slots;
   recon_cfg.radio_policy = share_cfg.radio_policy;
   recon_cfg.disabled = dead;
+  recon_cfg.start_time_us = recon_start_us;
+  recon_cfg.channel_model = env.channel_model;
+  recon_cfg.liveness = env.liveness;
   recon_cfg.scheduled_owners = synced(config_.share_holders);
   recon_cfg.done = [&](NodeId /*node*/, ct::BitView have) {
     return have.count_and(usable_mask) >= k + 1;
   };
 
-  const ct::MiniCastResult recon_round = transport_->chain_round(
-      *topo_, recon.entries, recon_cfg, sim.channel_rng());
+  const ct::MiniCastResult recon_round =
+      transport_->chain_round(*topo_, recon.entries, recon_cfg,
+                              sim.channel_rng(), round_scratch);
 
   // ---- Stage 3: per-node reconstruction from decoded SumPackets ----
   AggregationResult result;

@@ -35,6 +35,25 @@
 
 namespace mpciot::core {
 
+/// Per-run dynamics environment of one aggregation round. Protocol
+/// instances are constructed once and shared across (possibly
+/// concurrent) trials, so everything that varies per trial rides here:
+/// where the round sits on the trial clock, the trial's time-varying
+/// channel model, and its crash/recover schedule. The two-argument
+/// run() derives it from the trial's Simulator; all-null is the static
+/// world and reproduces frozen-topology rounds bit for bit.
+struct RoundEnv {
+  SimTime start_time_us = 0;
+  const net::ChannelModel* channel_model = nullptr;
+  const net::LivenessModel* liveness = nullptr;
+  /// Optional caller-owned scratch shared across the trial's rounds:
+  /// buffers are reused and, with a channel model, the epoch-walked
+  /// ChannelView continues from round to round instead of replaying
+  /// the dynamics chain from epoch 0 (composition layers placing many
+  /// rounds late on the trial clock care; see ct::RoundContext).
+  ct::RoundContext* scratch = nullptr;
+};
+
 struct ProtocolConfig {
   /// Nodes contributing a secret, in schedule order (max 64 per round —
   /// the SumPacket contributor bitmap width).
@@ -104,8 +123,22 @@ class SssProtocol {
               const ct::Transport* transport = nullptr);
 
   /// Run one aggregation round. secrets[i] belongs to config.sources[i].
+  /// Reads the dynamics environment off `sim` (channel model, liveness,
+  /// start time = sim.now()).
   AggregationResult run(const std::vector<field::Fp61>& secrets,
                         sim::Simulator& sim) const;
+
+  /// As above with an explicit environment (e.g. a composition layer
+  /// placing the round later on the trial clock, or mapping a parent
+  /// churn schedule onto a subtopology). Under churn, sources that are
+  /// down at round start never deal — they are excluded from the
+  /// expected aggregate like failed_nodes — while nodes that crash
+  /// mid-round simply fall silent: their undelivered shares surface as
+  /// missing contributors and reconstruction falls back to the Shamir
+  /// threshold path (any degree+1 consistent sums). Reported latencies
+  /// stay relative to the round start.
+  AggregationResult run(const std::vector<field::Fp61>& secrets,
+                        sim::Simulator& sim, const RoundEnv& env) const;
 
   const ProtocolConfig& config() const { return config_; }
   const ct::Transport& transport() const { return *transport_; }

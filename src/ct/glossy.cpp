@@ -16,7 +16,7 @@ double GlossyResult::coverage() const {
 }
 
 GlossyResult run_glossy(const net::Topology& topo, const GlossyConfig& config,
-                        crypto::Xoshiro256& rng) {
+                        crypto::Xoshiro256& rng, RoundContext* scratch) {
   MiniCastConfig mc;
   mc.initiator = config.initiator;
   mc.channel = config.channel;
@@ -24,9 +24,14 @@ GlossyResult run_glossy(const net::Topology& topo, const GlossyConfig& config,
   mc.payload_bytes = config.payload_bytes;
   mc.max_chain_slots = config.max_slots;
   mc.radio_policy = RadioPolicy::kUntilQuiescence;
+  mc.start_time_us = config.start_time_us;
+  mc.channel_model = config.channel_model;
+  mc.liveness = config.liveness;
 
   const std::vector<ChainEntry> entries{ChainEntry{config.initiator}};
-  const MiniCastResult r = run_minicast(topo, entries, mc, rng);
+  const MiniCastResult r = scratch != nullptr
+                               ? run_minicast(topo, entries, mc, rng, *scratch)
+                               : run_minicast(topo, entries, mc, rng);
 
   GlossyResult out;
   out.first_rx_slot.reserve(r.rx_slot.size());

@@ -24,6 +24,12 @@ struct GlossyConfig {
   std::uint32_t ntx = 3;
   std::uint32_t payload_bytes = 16;
   std::uint32_t max_slots = 256;
+  /// Dynamics seams, mirroring MiniCastConfig: flood start on the trial
+  /// clock, time-varying channel, and node churn. All default to the
+  /// static world.
+  SimTime start_time_us = 0;
+  const net::ChannelModel* channel_model = nullptr;
+  const net::LivenessModel* liveness = nullptr;
 };
 
 struct GlossyResult {
@@ -41,7 +47,11 @@ struct GlossyResult {
   double coverage() const;
 };
 
+/// Run one Glossy flood. `scratch`, when non-null, reuses per-round
+/// allocations and continues an epoch-walked channel view across
+/// rounds (see RoundContext / ChannelView).
 GlossyResult run_glossy(const net::Topology& topo, const GlossyConfig& config,
-                        crypto::Xoshiro256& rng);
+                        crypto::Xoshiro256& rng,
+                        RoundContext* scratch = nullptr);
 
 }  // namespace mpciot::ct

@@ -92,16 +92,37 @@ MiniCastResult run_gossip(const net::Topology& topo,
   };
 
   const net::ReceptionModel model(topo);
+  // Dynamics seams (see MiniCastConfig): the view aliases the frozen
+  // tables without a channel model; the churn mask only exists with a
+  // liveness schedule. Static rounds draw exactly the same RNG stream
+  // as before.
+  net::ChannelView view;
+  view.bind(topo, config.channel_model);
+  const net::ChannelView* viewp =
+      config.channel_model != nullptr ? &view : nullptr;
+  const net::LivenessModel* churn = config.liveness;
+  std::vector<char> down(churn != nullptr ? n : 0, 0);
   const std::uint64_t max_slots =
       static_cast<std::uint64_t>(params.max_slot_factor) * num_entries;
   std::vector<net::Transmission> slot_txs;
   std::vector<char> tx_this_slot(n, 0);
   std::uint64_t slot = 0;
   for (; slot < max_slots; ++slot) {
+    const SimTime slot_start_us =
+        config.start_time_us + static_cast<SimTime>(slot) * slot_us;
+    if (config.channel_model != nullptr) view.seek(slot_start_us);
+    if (churn != nullptr) {
+      for (NodeId i = 0; i < n; ++i) {
+        down[i] = churn->is_down(i, slot_start_us) ? 1 : 0;
+      }
+    }
+
     // Anyone still eligible to send? (No RNG consumed: pure state. When
-    // nobody is, the dissemination has died out.)
+    // nobody is, the dissemination has died out.) Down holders cannot
+    // keep the round open while they are down.
     bool any_eligible = false;
     for (NodeId i = 0; i < n; ++i) {
+      if (churn != nullptr && down[i]) continue;
       if (active[i] && sendable[i] > 0) {
         any_eligible = true;
         break;
@@ -114,6 +135,7 @@ MiniCastResult run_gossip(const net::Topology& topo,
       tx_this_slot[i] = 0;
       // A node with nothing sendable does not contend for the channel.
       if (!active[i] || sendable[i] == 0) continue;
+      if (churn != nullptr && down[i]) continue;
       if (!rng.next_bool(params.tx_prob)) continue;
       const std::size_t e = pick_entry(i);
       if (e == num_entries) continue;  // defensive; sendable > 0 forbids it
@@ -126,8 +148,10 @@ MiniCastResult run_gossip(const net::Topology& topo,
 
     for (NodeId r = 0; r < n; ++r) {
       if (!active[r] || tx_this_slot[r]) continue;
+      if (churn != nullptr && down[r]) continue;
       if (slot_txs.empty()) continue;
-      const net::ReceptionOutcome outcome = model.arbitrate(r, slot_txs, rng);
+      const net::ReceptionOutcome outcome =
+          model.arbitrate(r, slot_txs, rng, viewp);
       if (outcome.received) {
         const std::size_t e = static_cast<std::size_t>(outcome.content_id);
         if (!have_bit(r, e)) {
@@ -139,9 +163,11 @@ MiniCastResult run_gossip(const net::Topology& topo,
       }
     }
 
-    // Radio accounting + completion.
+    // Radio accounting + completion. Down nodes are charged nothing and
+    // cannot complete (their bitmap did not change).
     for (NodeId i = 0; i < n; ++i) {
       if (!active[i]) continue;
+      if (churn != nullptr && down[i]) continue;
       result.radio_on_us[i] += slot_us;
       if (result.done_slot[i] == MiniCastResult::kNever &&
           done_fn(i, BitView(have_row(i), num_entries))) {

@@ -147,9 +147,20 @@ MiniCastResult run_minicast(const net::Topology& topo,
     }
   }
 
+  // Dynamics seams: the view aliases the frozen tables when no channel
+  // model is set, and the churn mask is only maintained when a liveness
+  // schedule is present — a static round takes neither branch nor extra
+  // RNG draws anywhere below.
+  net::ChannelView& view = scratch.view;
+  view.bind(topo, config.channel_model);
+  const net::LivenessModel* churn = config.liveness;
+  if (churn != nullptr) scratch.down.assign(n, 0);
+
   // Initial done check (origins of everything / trivial predicates).
   for (NodeId i = 0; i < n; ++i) {
-    if (!is_disabled(i) && done_fn(i, BitView(have_row(i), num_entries))) {
+    if (is_disabled(i)) continue;
+    if (churn != nullptr && churn->is_down(i, config.start_time_us)) continue;
+    if (done_fn(i, BitView(have_row(i), num_entries))) {
       result.done_slot[i] = 0;
     }
   }
@@ -157,6 +168,20 @@ MiniCastResult run_minicast(const net::Topology& topo,
   const double inv_corr = 1.0 / radio.ct_loss_correlation;
   std::uint32_t slot = 0;
   for (; slot < config.max_chain_slots; ++slot) {
+    // Advance the dynamics clock to this slot: re-materialize the link
+    // view when the epoch moved, refresh the churn mask. A node that
+    // goes down loses any pending trigger (its radio heard nothing).
+    const SimTime slot_start_us =
+        config.start_time_us + static_cast<SimTime>(slot) * chain_slot_us;
+    if (config.channel_model != nullptr) view.seek(slot_start_us);
+    if (churn != nullptr) {
+      for (NodeId i = 0; i < n; ++i) {
+        const bool down = churn->is_down(i, slot_start_us);
+        scratch.down[i] = down ? 1 : 0;
+        if (down) scratch.tx_next[i] = 0;
+      }
+    }
+
     // Who transmits this chain slot? Wave-triggered nodes, plus
     // scheduled owners that timed out of the wave. The timeout path uses
     // a randomized backoff (p = 1/2 per slot once timed out): a
@@ -165,6 +190,11 @@ MiniCastResult run_minicast(const net::Topology& topo,
     bool any_tx = false;
     scratch.tx_nodes.clear();
     for (NodeId i = 0; i < n; ++i) {
+      if (churn != nullptr && scratch.down[i]) {
+        scratch.tx_this_slot[i] = 0;
+        scratch.received_any[i] = 0;
+        continue;
+      }
       // The defer draw models missing a *reception-derived* trigger; the
       // initiator's opening transmission is clock-scheduled and immune.
       const bool scheduled_start = (slot == 0 && i == config.initiator);
@@ -193,6 +223,7 @@ MiniCastResult run_minicast(const net::Topology& topo,
       // owner's timeout fire (its backoff draw may simply have deferred).
       bool pending_owner = false;
       for (NodeId i = 0; i < n; ++i) {
+        if (churn != nullptr && scratch.down[i]) continue;  // can't inject now
         if (scratch.scheduled[i] && result.tx_count[i] < config.ntx &&
             scratch.timeout_budget[i] > 0) {
           pending_owner = true;
@@ -206,9 +237,9 @@ MiniCastResult run_minicast(const net::Topology& topo,
     // changes at slot boundaries).
     scratch.listeners.clear();
     for (NodeId i = 0; i < n; ++i) {
-      if (!scratch.tx_this_slot[i] && scratch.radio_on[i]) {
-        scratch.listeners.push_back(i);
-      }
+      if (scratch.tx_this_slot[i] || !scratch.radio_on[i]) continue;
+      if (churn != nullptr && scratch.down[i]) continue;
+      scratch.listeners.push_back(i);
     }
 
     // Sub-slot by sub-slot arbitration. All concurrent copies of entry e
@@ -229,8 +260,8 @@ MiniCastResult run_minicast(const net::Topology& topo,
       }
       if (sender_count == 0) continue;
       for (NodeId r : scratch.listeners) {
-        const std::uint64_t* audible = topo.audible_words(r);
-        const double* prr_in = topo.prr_into(r);
+        const std::uint64_t* audible = view.audible_words(r);
+        const double* prr_in = view.prr_into(r);
         std::size_t heard = 0;
         double fail_product = 1.0;
         double single_prr = 0.0;
@@ -271,9 +302,12 @@ MiniCastResult run_minicast(const net::Topology& topo,
       result.radio_on_us[r] += chain_slot_us;
     }
 
-    // Completion tracking and (optionally) early radio shutdown.
+    // Completion tracking and (optionally) early radio shutdown. Down
+    // nodes are skipped: their bitmap cannot have changed, and a crashed
+    // radio cannot be switched "more off".
     for (NodeId i = 0; i < n; ++i) {
       if (is_disabled(i)) continue;
+      if (churn != nullptr && scratch.down[i]) continue;
       if (result.done_slot[i] == MiniCastResult::kNever &&
           done_fn(i, BitView(have_row(i), num_entries))) {
         result.done_slot[i] = static_cast<std::int32_t>(slot);

@@ -27,6 +27,7 @@
 
 #include "common/types.hpp"
 #include "crypto/prng.hpp"
+#include "net/channel_model.hpp"
 #include "net/energy.hpp"
 #include "net/reception.hpp"
 #include "net/topology.hpp"
@@ -129,6 +130,22 @@ struct MiniCastConfig {
   /// sources from being starved by the reception-trigger rule without
   /// ever producing an everyone-transmits (nobody-listens) slot.
   std::vector<NodeId> scheduled_owners;
+  /// Round start on the trial clock (us): chain slot s runs at
+  /// start_time_us + s * chain_slot_us. Only consulted by the dynamics
+  /// seams below; a fully static round may leave it 0.
+  SimTime start_time_us = 0;
+  /// Time-varying channel the round runs under; null = the topology's
+  /// frozen snapshot. The engine seeks a cached per-round view once per
+  /// chain slot and re-materializes rows only when the model's epoch
+  /// advances, so the bitmap hot path is untouched between epochs.
+  const net::ChannelModel* channel_model = nullptr;
+  /// Node crash/recover schedule; null = no churn. A node down for a
+  /// chain slot neither transmits nor listens and is charged no
+  /// radio-on time; it keeps what it already received, and a
+  /// slot-synchronized owner rejoins through the timeout path after it
+  /// recovers. Unlike `disabled` (dead for the whole round), liveness
+  /// is evaluated per slot.
+  const net::LivenessModel* liveness = nullptr;
 };
 
 struct MiniCastResult {
@@ -180,6 +197,8 @@ struct RoundContext {
   std::vector<char> scheduled;
   std::vector<std::uint32_t> silent_slots;
   std::vector<std::uint32_t> timeout_budget;
+  net::ChannelView view;   // epoch-cached link tables (static: aliases)
+  std::vector<char> down;  // per-slot churn mask (liveness rounds only)
 };
 
 /// Run one MiniCast round to quiescence. Deterministic given `rng` state.

@@ -21,8 +21,9 @@ class MiniCastTransport : public Transport {
   const char* name() const override { return "minicast"; }
 
   GlossyResult flood(const net::Topology& topo, const GlossyConfig& config,
-                     crypto::Xoshiro256& rng) const override {
-    return run_glossy(topo, config, rng);
+                     crypto::Xoshiro256& rng,
+                     RoundContext* scratch) const override {
+    return run_glossy(topo, config, rng, scratch);
   }
 
   MiniCastResult chain_round(const net::Topology& topo,
@@ -45,8 +46,9 @@ class GlossyFloodsTransport : public Transport {
   const char* name() const override { return "glossy_floods"; }
 
   GlossyResult flood(const net::Topology& topo, const GlossyConfig& config,
-                     crypto::Xoshiro256& rng) const override {
-    return run_glossy(topo, config, rng);
+                     crypto::Xoshiro256& rng,
+                     RoundContext* scratch) const override {
+    return run_glossy(topo, config, rng, scratch);
   }
 
   MiniCastResult chain_round(const net::Topology& topo,
@@ -78,8 +80,12 @@ class GlossyFloodsTransport : public Transport {
       bit_set(have_row(entries[e].origin), e);
       result.rx_slot[entries[e].origin][e] = MiniCastResult::kOwnEntry;
     }
+    const auto down_at = [&](NodeId i, SimTime t) {
+      return config.liveness != nullptr && config.liveness->is_down(i, t);
+    };
     for (NodeId i = 0; i < n; ++i) {
-      if (!is_disabled(i) && done_fn(i, BitView(have_row(i), num_entries))) {
+      if (is_disabled(i) || down_at(i, config.start_time_us)) continue;
+      if (done_fn(i, BitView(have_row(i), num_entries))) {
         result.done_slot[i] = 0;
       }
     }
@@ -96,6 +102,11 @@ class GlossyFloodsTransport : public Transport {
       flood_cfg.max_chain_slots = config.max_chain_slots;
       flood_cfg.radio_policy = config.radio_policy;
       flood_cfg.disabled = config.disabled;
+      // Each entry's flood starts where the previous one ended on the
+      // trial clock, so dynamics epochs line up across the sequence.
+      flood_cfg.start_time_us = config.start_time_us + result.duration_us;
+      flood_cfg.channel_model = config.channel_model;
+      flood_cfg.liveness = config.liveness;
       // A dead origin's flood never starts (its entry is simply lost);
       // run_minicast quiesces immediately without consuming randomness.
       const std::vector<ChainEntry> one{ChainEntry{entries[e].origin}};
@@ -117,6 +128,7 @@ class GlossyFloodsTransport : public Transport {
           slots_so_far == 0 ? 0 : static_cast<std::int32_t>(slots_so_far - 1);
       for (NodeId i = 0; i < n; ++i) {
         if (is_disabled(i)) continue;
+        if (down_at(i, config.start_time_us + result.duration_us)) continue;
         if (result.done_slot[i] == MiniCastResult::kNever &&
             done_fn(i, BitView(have_row(i), num_entries))) {
           result.done_slot[i] = now_slot;
@@ -132,7 +144,8 @@ class GlossyFloodsTransport : public Transport {
 
 GlossyResult GossipTransport::flood(const net::Topology& topo,
                                     const GlossyConfig& config,
-                                    crypto::Xoshiro256& rng) const {
+                                    crypto::Xoshiro256& rng,
+                                    RoundContext* /*scratch*/) const {
   MiniCastConfig mc;
   mc.initiator = config.initiator;
   mc.channel = config.channel;
@@ -141,6 +154,9 @@ GlossyResult GossipTransport::flood(const net::Topology& topo,
   mc.max_chain_slots = config.max_slots;
   // Flood completion is per node: leave the round once the packet is in.
   mc.radio_policy = RadioPolicy::kEarlyOff;
+  mc.start_time_us = config.start_time_us;
+  mc.channel_model = config.channel_model;
+  mc.liveness = config.liveness;
   const std::vector<ChainEntry> entries{ChainEntry{config.initiator}};
   const MiniCastResult r = run_gossip(topo, entries, mc, params_, rng);
 
@@ -164,10 +180,21 @@ MiniCastResult GossipTransport::chain_round(
 
 GlossyResult UnicastTransport::flood(const net::Topology& topo,
                                      const GlossyConfig& config,
-                                     crypto::Xoshiro256& rng) const {
+                                     crypto::Xoshiro256& rng,
+                                     RoundContext* /*scratch*/) const {
   const std::size_t n = topo.size();
   const net::routing::HopTiming timing =
       net::routing::hop_timing(topo.radio(), config.payload_bytes, mac_);
+  net::ChannelView view;
+  net::routing::WalkEnv env;
+  const net::routing::WalkEnv* envp = nullptr;
+  if (config.channel_model != nullptr || config.liveness != nullptr) {
+    view.bind(topo, config.channel_model);
+    env.base_us = config.start_time_us;
+    env.view = config.channel_model != nullptr ? &view : nullptr;
+    env.liveness = config.liveness;
+    envp = &env;
+  }
 
   GlossyResult out;
   out.channel = config.channel;
@@ -180,7 +207,8 @@ GlossyResult UnicastTransport::flood(const net::Topology& topo,
     if (dst == config.initiator) continue;
     if (net::routing::walk_route(topo, config.initiator, dst, timing,
                                  mac_.max_retries_per_hop, rng,
-                                 out.radio_on_us, elapsed, &out.tx_count)) {
+                                 out.radio_on_us, elapsed, &out.tx_count,
+                                 nullptr, envp)) {
       out.first_rx_slot[dst] =
           static_cast<std::int32_t>(elapsed / kMillisecond);
     }
@@ -203,6 +231,16 @@ MiniCastResult UnicastTransport::chain_round(
   const auto done_fn = done_or_default(config);
   const net::routing::HopTiming timing =
       net::routing::hop_timing(topo.radio(), config.payload_bytes, mac_);
+  net::ChannelView view;
+  net::routing::WalkEnv env;
+  const net::routing::WalkEnv* envp = nullptr;
+  if (config.channel_model != nullptr || config.liveness != nullptr) {
+    view.bind(topo, config.channel_model);
+    env.base_us = config.start_time_us;
+    env.view = config.channel_model != nullptr ? &view : nullptr;
+    env.liveness = config.liveness;
+    envp = &env;
+  }
 
   MiniCastResult result;
   result.rx_slot.assign(n, std::vector<std::int32_t>(
@@ -222,8 +260,15 @@ MiniCastResult UnicastTransport::chain_round(
     bit_set(have_row(entries[e].origin), e);
     result.rx_slot[entries[e].origin][e] = MiniCastResult::kOwnEntry;
   }
+  // Down nodes' done stamps are deferred until they are up, matching
+  // the chain engines' convention.
+  const auto down_at = [&](NodeId i, SimTime t) {
+    return config.liveness != nullptr &&
+           config.liveness->is_down(i, config.start_time_us + t);
+  };
   for (NodeId i = 0; i < n; ++i) {
-    if (!is_disabled(i) && done_fn(i, BitView(have_row(i), num_entries))) {
+    if (is_disabled(i) || down_at(i, 0)) continue;
+    if (done_fn(i, BitView(have_row(i), num_entries))) {
       result.done_slot[i] = 0;
     }
   }
@@ -236,7 +281,7 @@ MiniCastResult UnicastTransport::chain_round(
     if (net::routing::walk_route(topo, origin, dst, timing,
                                  mac_.max_retries_per_hop, rng,
                                  result.radio_on_us, elapsed,
-                                 &result.tx_count, blocked)) {
+                                 &result.tx_count, blocked, envp)) {
       if (!bit_test(have_row(dst), e)) {
         bit_set(have_row(dst), e);
         result.rx_slot[dst][e] =
@@ -256,7 +301,7 @@ MiniCastResult UnicastTransport::chain_round(
     const std::int32_t now_ms =
         static_cast<std::int32_t>(elapsed / kMillisecond);
     for (NodeId i = 0; i < n; ++i) {
-      if (is_disabled(i)) continue;
+      if (is_disabled(i) || down_at(i, elapsed)) continue;
       if (result.done_slot[i] == MiniCastResult::kNever &&
           done_fn(i, BitView(have_row(i), num_entries))) {
         result.done_slot[i] = now_ms;

@@ -25,6 +25,13 @@
 // one instance. Callers running many rounds can pass a RoundContext to
 // chain_round to reuse scratch allocations where the substrate supports
 // it.
+//
+// Every substrate honours the dynamics seams in its config
+// (start_time_us + channel_model + liveness, see MiniCastConfig): link
+// tables are queried per slot through an epoch-cached net::ChannelView
+// and churn-down nodes fall silent mid-round. With the seams unset the
+// substrates consume exactly the static RNG stream — frozen-topology
+// results are byte-identical.
 #pragma once
 
 #include <memory>
@@ -47,10 +54,13 @@ class Transport {
   /// Registry name (see the list above).
   virtual const char* name() const = 0;
 
-  /// One-to-all synchronization flood from config.initiator.
+  /// One-to-all synchronization flood from config.initiator. `scratch`
+  /// follows the chain_round contract below; substrates that keep no
+  /// per-round state ignore it.
   virtual GlossyResult flood(const net::Topology& topo,
                              const GlossyConfig& config,
-                             crypto::Xoshiro256& rng) const = 0;
+                             crypto::Xoshiro256& rng,
+                             RoundContext* scratch = nullptr) const = 0;
 
   /// One many-to-many round over the chain `entries`. `scratch`, when
   /// non-null, lets the substrate reuse per-round allocations; passing
@@ -112,7 +122,8 @@ class GossipTransport : public Transport {
   explicit GossipTransport(GossipParams params = {}) : params_(params) {}
   const char* name() const override { return "gossip"; }
   GlossyResult flood(const net::Topology& topo, const GlossyConfig& config,
-                     crypto::Xoshiro256& rng) const override;
+                     crypto::Xoshiro256& rng,
+                     RoundContext* scratch) const override;
   MiniCastResult chain_round(const net::Topology& topo,
                              const std::vector<ChainEntry>& entries,
                              const MiniCastConfig& config,
@@ -133,7 +144,8 @@ class UnicastTransport : public Transport {
   explicit UnicastTransport(net::routing::MacParams mac = {}) : mac_(mac) {}
   const char* name() const override { return "unicast"; }
   GlossyResult flood(const net::Topology& topo, const GlossyConfig& config,
-                     crypto::Xoshiro256& rng) const override;
+                     crypto::Xoshiro256& rng,
+                     RoundContext* scratch) const override;
   MiniCastResult chain_round(const net::Topology& topo,
                              const std::vector<ChainEntry>& entries,
                              const MiniCastConfig& config,

@@ -1,0 +1,127 @@
+// Time-varying channel and membership seams for the network layer.
+//
+// The frozen link tables a `Topology` draws at construction are the
+// degenerate *static* channel: every PRR holds for the whole experiment.
+// Real testbed links burst and drift, and real nodes crash and recover
+// mid-round. Two small interfaces let the engines consume both without
+// binding the net layer to any particular model:
+//
+//  * `ChannelModel` — a deterministic epoch-indexed rewrite of the link
+//    tables. Concrete models (e.g. the Gilbert–Elliott engine in
+//    sim::dynamics) advance per-link state epoch by epoch; a null model
+//    means "the frozen snapshot, forever".
+//  * `LivenessModel` — a node-level crash/recover schedule queried at a
+//    simulated time. A down node's radio is silent: it neither transmits
+//    nor receives, and is charged no radio-on time while down.
+//
+// Model instances are const and thread-safe; all evolving per-round
+// state lives in a `ChannelView`, the per-round cursor the CT hot path
+// reads. The view caches one epoch's materialized tables (receiver-major
+// PRR rows + audibility bitmaps, mirroring Topology's layout) and
+// re-materializes only when the epoch advances, so the bitmap hot loop
+// keeps its contiguous-row reads regardless of the model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mpciot::net {
+
+class Topology;
+
+/// Materialized link tables for one dynamics epoch, plus the opaque
+/// model state the epoch chain is walked with. Owned by a ChannelView
+/// (one per concurrent round), never by the shared model instance.
+struct LinkEpochTables {
+  static constexpr std::uint64_t kNoEpoch = ~std::uint64_t{0};
+
+  /// Epoch the tables currently describe; kNoEpoch before the first
+  /// materialization.
+  std::uint64_t epoch = kNoEpoch;
+  std::vector<double> prr;               // [tx * n + rx]
+  std::vector<double> prr_in;            // [rx * n + tx], transposed
+  std::vector<std::uint64_t> rx_words;   // audibility bitmaps, like Topology
+  /// Model scratch (e.g. per-link burst state / drift / stream keys):
+  /// layout is the model's business, persistence across epochs is the
+  /// view's.
+  std::vector<std::uint64_t> state_bits;
+  std::vector<std::uint64_t> state_keys;
+  std::vector<double> state_reals;
+};
+
+/// Deterministic time-varying channel: link tables indexed by epoch.
+class ChannelModel {
+ public:
+  virtual ~ChannelModel() = default;
+
+  /// Dynamics advance granularity (> 0). Time t falls in epoch
+  /// t / epoch_us(); negative times clamp to epoch 0.
+  virtual SimTime epoch_us() const = 0;
+
+  /// Fill `tables` for `epoch` over `topo`'s link set. Called with
+  /// non-decreasing epochs on any given tables instance; the model may
+  /// keep chain state in tables.state_* and must produce the same
+  /// tables for the same (topo, epoch) regardless of which epochs were
+  /// materialized before (callers rely on this for jobs-invariance).
+  virtual void materialize(const Topology& topo, std::uint64_t epoch,
+                           LinkEpochTables& tables) const = 0;
+};
+
+/// Node crash/recover schedule. Deterministic and thread-safe.
+class LivenessModel {
+ public:
+  virtual ~LivenessModel() = default;
+
+  /// True while `node`'s radio is dead at simulated time `t`.
+  virtual bool is_down(NodeId node, SimTime t) const = 0;
+};
+
+/// Per-round cursor over the (possibly time-varying) channel. Bind it to
+/// a topology + model, seek() it forward as the round's clock advances,
+/// and read the same row accessors the static Topology exposes. With a
+/// null model every accessor aliases the topology's frozen tables —
+/// zero copies, zero branches in the row reads.
+class ChannelView {
+ public:
+  ChannelView() = default;
+
+  /// (Re)bind to a topology and model. Rebinding the same (topology,
+  /// model) pair keeps the walked chain state, so sequential rounds of
+  /// a trial sharing one view (e.g. via a reused RoundContext) continue
+  /// the epoch walk instead of replaying it; any other binding resets
+  /// the cursor (table capacity is kept either way).
+  void bind(const Topology& topo, const ChannelModel* model);
+
+  /// Advance to the epoch containing time `t`, re-materializing the
+  /// cached tables when the epoch changed. Forward seeks continue the
+  /// epoch walk; a backwards seek (legal right after a rebind, e.g. a
+  /// round booked earlier on a less-loaded channel) restarts the walk
+  /// from epoch 0 — identical tables, re-walk cost only, since epoch
+  /// state is a pure function of (model seed, epoch, link).
+  void seek(SimTime t);
+
+  bool dynamic() const { return model_ != nullptr; }
+
+  /// Receiver-major PRR row at the current epoch (see Topology).
+  const double* prr_into(NodeId r) const { return prr_in_base_ + r * n_; }
+  /// Inbound audibility bitmap row at the current epoch (see Topology).
+  const std::uint64_t* audible_words(NodeId r) const {
+    return rx_words_base_ + r * words_;
+  }
+  /// PRR a -> b at the current epoch.
+  double prr(NodeId a, NodeId b) const { return prr_base_[a * n_ + b]; }
+
+ private:
+  const Topology* topo_ = nullptr;
+  const ChannelModel* model_ = nullptr;
+  LinkEpochTables tables_;
+  const double* prr_base_ = nullptr;
+  const double* prr_in_base_ = nullptr;
+  const std::uint64_t* rx_words_base_ = nullptr;
+  std::size_t n_ = 0;
+  std::size_t words_ = 0;
+};
+
+}  // namespace mpciot::net

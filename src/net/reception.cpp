@@ -9,7 +9,7 @@ namespace mpciot::net {
 
 ReceptionOutcome ReceptionModel::arbitrate(
     NodeId receiver, const std::vector<Transmission>& transmitters,
-    crypto::Xoshiro256& rng) const {
+    crypto::Xoshiro256& rng, const ChannelView* view) const {
   ReceptionOutcome out;
   if (transmitters.empty()) return out;
 
@@ -28,7 +28,8 @@ ReceptionOutcome ReceptionModel::arbitrate(
     MPCIOT_DCHECK(t.sender != receiver,
                   "reception: half-duplex node cannot receive own slot");
     if (t.content_id != first_content) homogeneous = false;
-    const double p = topo_->prr(t.sender, receiver);
+    const double p = view != nullptr ? view->prr(t.sender, receiver)
+                                     : topo_->prr(t.sender, receiver);
     if (p <= 0.0) continue;
     ++audible;
     const double rssi = topo_->rssi(t.sender, receiver);

@@ -17,6 +17,7 @@
 
 #include "common/types.hpp"
 #include "crypto/prng.hpp"
+#include "net/channel_model.hpp"
 #include "net/topology.hpp"
 
 namespace mpciot::net {
@@ -39,10 +40,14 @@ class ReceptionModel {
   explicit ReceptionModel(const Topology& topo) : topo_(&topo) {}
 
   /// Arbitrate a sub-slot for `receiver`. `transmitters` must not contain
-  /// the receiver itself (half-duplex radio).
+  /// the receiver itself (half-duplex radio). `view`, when non-null,
+  /// supplies the current epoch's PRRs instead of the frozen tables
+  /// (capture power ratios still use the frozen RSSI: bursts are modeled
+  /// as loss, not as a change in who captures).
   ReceptionOutcome arbitrate(NodeId receiver,
                              const std::vector<Transmission>& transmitters,
-                             crypto::Xoshiro256& rng) const;
+                             crypto::Xoshiro256& rng,
+                             const ChannelView* view = nullptr) const;
 
  private:
   const Topology* topo_;

@@ -14,6 +14,7 @@
 
 #include "common/types.hpp"
 #include "crypto/prng.hpp"
+#include "net/channel_model.hpp"
 #include "net/topology.hpp"
 
 namespace mpciot::net::routing {
@@ -52,6 +53,19 @@ HopTiming hop_timing(const RadioParams& radio, std::uint32_t payload_bytes,
 /// route exists (which consumes neither time nor randomness). Returns
 /// true on delivery.
 ///
+/// Dynamics environment of a walk: maps the walk's local `elapsed_us`
+/// onto the trial clock (base_us + elapsed) and supplies the
+/// time-varying PRR view and/or churn schedule there. Per hop attempt,
+/// the view is seeked to the current time and the link PRR re-read; a
+/// hop receiver that is down cannot ack (the attempt fails without
+/// consuming randomness, the sender still pays strobe + retry time),
+/// and down relays are routed around like `blocked` ones.
+struct WalkEnv {
+  SimTime base_us = 0;
+  ChannelView* view = nullptr;
+  const LivenessModel* liveness = nullptr;
+};
+
 /// `blocked` (optional, one flag per node) marks dead relays: a blocked
 /// next hop is skipped in favour of an equal-cost alternative on the
 /// good-link shortest path, and the message is dropped when none
@@ -61,6 +75,7 @@ bool walk_route(const Topology& topo, NodeId src, NodeId dst,
                 crypto::Xoshiro256& rng, std::vector<SimTime>& radio_on_us,
                 SimTime& elapsed_us,
                 std::vector<std::uint32_t>* tx_count = nullptr,
-                const std::vector<char>* blocked = nullptr);
+                const std::vector<char>* blocked = nullptr,
+                const WalkEnv* env = nullptr);
 
 }  // namespace mpciot::net::routing

@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "crypto/prng.hpp"
+#include "net/channel_model.hpp"
 
 namespace mpciot::net {
 
@@ -18,6 +19,8 @@ Topology::Topology(std::vector<Position> positions, RadioParams radio,
   MPCIOT_REQUIRE(rx_penalty_.empty() || rx_penalty_.size() == positions_.size(),
                  "Topology: one rx noise penalty per node (or none)");
   if (rx_penalty_.empty()) rx_penalty_.assign(positions_.size(), 0.0);
+  global_ids_.resize(positions_.size());
+  for (NodeId i = 0; i < positions_.size(); ++i) global_ids_[i] = i;
   build_link_tables(shadow_seed);
   build_derived_tables();
 }
@@ -40,6 +43,7 @@ Topology Topology::induced(const Topology& parent,
   for (const NodeId p : members) {
     sub.positions_.push_back(parent.positions_[p]);
     sub.rx_penalty_.push_back(parent.rx_penalty_[p]);
+    sub.global_ids_.push_back(parent.global_ids_[p]);
   }
   sub.rssi_.assign(m * m, -200.0);
   sub.prr_.assign(m * m, 0.0);
@@ -52,6 +56,15 @@ Topology Topology::induced(const Topology& parent,
   }
   sub.build_derived_tables();
   return sub;
+}
+
+double Topology::prr_at(NodeId a, NodeId b, SimTime t,
+                        const ChannelModel* model) const {
+  if (model == nullptr) return prr(a, b);
+  ChannelView view;
+  view.bind(*this, model);
+  view.seek(t);
+  return view.prr(a, b);
 }
 
 double Topology::distance(NodeId a, NodeId b) const {

@@ -16,6 +16,8 @@
 
 namespace mpciot::net {
 
+class ChannelModel;
+
 struct Position {
   double x = 0.0;
   double y = 0.0;
@@ -58,6 +60,32 @@ class Topology {
 
   /// Static packet reception rate a -> b; 0 for a == b.
   double prr(NodeId a, NodeId b) const { return prr_[idx(a, b)]; }
+
+  /// Time-indexed PRR a -> b at simulated time `t` under `model`; the
+  /// frozen snapshot is the degenerate static model (model == nullptr
+  /// returns prr(a, b) for every t). One-shot convenience for tests and
+  /// diagnostics — it walks the model's epoch chain from 0 on every
+  /// call. Hot paths bind a ChannelView instead, which caches the
+  /// current epoch's tables across an entire round.
+  double prr_at(NodeId a, NodeId b, SimTime t,
+                const ChannelModel* model = nullptr) const;
+
+  /// Raw row-major static PRR table: prr(a, b) == prr_data()[a*size()+b].
+  /// Backing store for ChannelView's static (null-model) binding.
+  const double* prr_data() const { return prr_.data(); }
+
+  /// Receiver-side noise penalty (dB) degrading node n's inbound links
+  /// (see the constructor); 0 for quiet spots. Channel models re-apply
+  /// it when they recompute PRR from drifted RSSI.
+  double rx_noise_penalty_db(NodeId n) const { return rx_penalty_[n]; }
+
+  /// Identity of node n in the *root* topology: the identity map for a
+  /// directly constructed topology, the member's original id for an
+  /// induced() subtopology (composed through nested inductions).
+  /// Channel models key their per-link fade streams by global ids, so a
+  /// group round on a subtopology sees the same physical link in the
+  /// same state as a parent-level flood at the same instant.
+  NodeId global_id(NodeId n) const { return global_ids_[n]; }
 
   /// Receiver-major PRR row: prr_into(r)[t] == prr(t, r). Contiguous per
   /// receiver, so per-sub-slot arbitration walks it cache-friendly.
@@ -116,6 +144,7 @@ class Topology {
   std::vector<Position> positions_;
   RadioParams radio_;
   std::vector<double> rx_penalty_;
+  std::vector<NodeId> global_ids_;
   std::vector<double> rssi_;
   std::vector<double> prr_;
   std::vector<double> prr_in_;  // transposed: [receiver][transmitter]

@@ -1,0 +1,207 @@
+#include "sim/dynamics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "crypto/prng.hpp"
+#include "net/topology.hpp"
+
+namespace mpciot::sim::dynamics {
+
+namespace {
+
+/// derive_seed stream tags of the dynamics models.
+constexpr std::uint64_t kStreamGeInit = 0x47454930ull;   // "GEI0": epoch-0 draw
+constexpr std::uint64_t kStreamGeStep = 0x47455354ull;   // "GEST": chain steps
+constexpr std::uint64_t kStreamChurn = 0x43485255ull;    // "CHRU": schedules
+
+/// Index of undirected pair (a, b), a < b, in the packed triangle.
+std::size_t pair_index(std::size_t n, std::size_t a, std::size_t b) {
+  return a * n - a * (a + 1) / 2 + (b - a - 1);
+}
+
+/// Exponential draw with the given mean; never returns less than 1 us so
+/// schedules always advance.
+SimTime draw_exp_us(crypto::Xoshiro256& rng, double mean_us) {
+  const double u = rng.next_double();  // [0, 1)
+  const double v = -std::log(1.0 - u) * mean_us;
+  return std::max<SimTime>(1, static_cast<SimTime>(v));
+}
+
+}  // namespace
+
+LinkDynamics::LinkDynamics(LinkDynamicsParams params) : params_(params) {
+  MPCIOT_REQUIRE(params_.epoch_us > 0,
+                 "LinkDynamics: epoch_us must be positive");
+  MPCIOT_REQUIRE(params_.p_good_to_bad >= 0.0 && params_.p_good_to_bad <= 1.0,
+                 "LinkDynamics: p_good_to_bad must be a probability");
+  MPCIOT_REQUIRE(params_.p_bad_to_good > 0.0 && params_.p_bad_to_good <= 1.0,
+                 "LinkDynamics: p_bad_to_good must be in (0, 1]");
+  MPCIOT_REQUIRE(params_.bad_extra_loss_db >= 0.0 &&
+                     params_.drift_sigma_db >= 0.0 &&
+                     params_.drift_limit_db >= 0.0,
+                 "LinkDynamics: dB knobs must be non-negative");
+}
+
+void LinkDynamics::materialize(const net::Topology& topo, std::uint64_t epoch,
+                               net::LinkEpochTables& tables) const {
+  const std::size_t n = topo.size();
+  const std::size_t pairs = n * (n - 1) / 2;
+  const std::size_t pair_words = (pairs + 63) / 64;
+
+  // state_bits: one bad-state bit per undirected pair; state_reals: the
+  // pair's drift (dB); state_keys: the pair's fade-stream key — its
+  // *global* link identity (root-topology node ids, packed hi << 32 |
+  // lo). Keying by global identity means an induced subtopology (a
+  // group round on its own channel) sees the same physical link in the
+  // same state as a parent-level flood, and no two links ever share a
+  // stream; local pair order preserves global order because induced()
+  // members are ascending. tables.epoch is the previously materialized
+  // epoch (kNoEpoch on a fresh view), which tells us where the chain
+  // stands.
+  std::uint64_t next_step;
+  if (tables.epoch == net::LinkEpochTables::kNoEpoch) {
+    tables.state_bits.assign(pair_words, 0);
+    tables.state_reals.assign(pairs, 0.0);
+    tables.state_keys.resize(pairs);
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = a + 1; b < n; ++b) {
+        tables.state_keys[pair_index(n, a, b)] =
+            (static_cast<std::uint64_t>(
+                 topo.global_id(static_cast<NodeId>(a)))
+             << 32) |
+            topo.global_id(static_cast<NodeId>(b));
+      }
+    }
+    const double stationary_bad =
+        params_.p_good_to_bad /
+        (params_.p_good_to_bad + params_.p_bad_to_good);
+    const std::uint64_t init_base =
+        crypto::derive_seed(params_.seed, kStreamGeInit, 0);
+    for (std::size_t p = 0; p < pairs; ++p) {
+      crypto::Xoshiro256 rng(
+          crypto::derive_seed(init_base, tables.state_keys[p], 0));
+      if (rng.next_bool(stationary_bad)) {
+        tables.state_bits[p / 64] |= std::uint64_t{1} << (p % 64);
+      }
+    }
+    next_step = 1;
+  } else {
+    MPCIOT_REQUIRE(epoch >= tables.epoch,
+                   "LinkDynamics: epochs must be materialized in order");
+    next_step = tables.epoch + 1;
+  }
+
+  // Walk the Gilbert–Elliott chain (and the drift walk) up to `epoch`.
+  // Each (link, step) gets its own derive_seed stream, so the state at
+  // `epoch` depends on neither the walk's starting point nor the
+  // topology the view is bound to.
+  for (std::uint64_t e = next_step; e <= epoch; ++e) {
+    const std::uint64_t step_base =
+        crypto::derive_seed(params_.seed, kStreamGeStep, e);
+    for (std::size_t p = 0; p < pairs; ++p) {
+      crypto::Xoshiro256 rng(
+          crypto::derive_seed(step_base, tables.state_keys[p], 0));
+      const std::uint64_t mask = std::uint64_t{1} << (p % 64);
+      const bool bad = (tables.state_bits[p / 64] & mask) != 0;
+      const bool flip =
+          rng.next_bool(bad ? params_.p_bad_to_good : params_.p_good_to_bad);
+      if (flip) tables.state_bits[p / 64] ^= mask;
+      // Box-Muller; both uniforms are always consumed so the draw
+      // schedule stays fixed even with drift disabled.
+      const double u1 = std::max(rng.next_double(), 1e-12);
+      const double u2 = rng.next_double();
+      if (params_.drift_sigma_db > 0.0) {
+        const double gauss =
+            std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+        double d = tables.state_reals[p] + gauss * params_.drift_sigma_db;
+        const double lim = params_.drift_limit_db;
+        // Reflect into [-lim, lim].
+        if (d > lim) d = 2.0 * lim - d;
+        if (d < -lim) d = -2.0 * lim - d;
+        tables.state_reals[p] = std::clamp(d, -lim, lim);
+      }
+    }
+  }
+
+  // Materialize the effective link tables: drifted RSSI through the same
+  // logistic curve + receiver penalty + floor rule the frozen tables
+  // used, so delta == 0 reproduces the static PRR exactly.
+  const net::RadioParams& radio = topo.radio();
+  tables.prr.assign(n * n, 0.0);
+  tables.prr_in.assign(n * n, 0.0);
+  tables.rx_words.assign(n * topo.node_words(), 0);
+  const std::size_t words = topo.node_words();
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      const std::size_t p = pair_index(n, a, b);
+      const bool bad = (tables.state_bits[p / 64] &
+                        (std::uint64_t{1} << (p % 64))) != 0;
+      const double delta = tables.state_reals[p] -
+                           (bad ? params_.bad_extra_loss_db : 0.0);
+      const double power = topo.rssi(static_cast<NodeId>(a),
+                                     static_cast<NodeId>(b)) + delta;
+      double p_ab = radio.prr_from_rssi(
+          power - topo.rx_noise_penalty_db(static_cast<NodeId>(b)));
+      double p_ba = radio.prr_from_rssi(
+          power - topo.rx_noise_penalty_db(static_cast<NodeId>(a)));
+      if (p_ab < radio.link_floor_prr) p_ab = 0.0;
+      if (p_ba < radio.link_floor_prr) p_ba = 0.0;
+      tables.prr[a * n + b] = p_ab;
+      tables.prr[b * n + a] = p_ba;
+      tables.prr_in[b * n + a] = p_ab;
+      tables.prr_in[a * n + b] = p_ba;
+      if (p_ab > 0.0) {
+        tables.rx_words[b * words + a / 64] |= std::uint64_t{1} << (a % 64);
+      }
+      if (p_ba > 0.0) {
+        tables.rx_words[a * words + b / 64] |= std::uint64_t{1} << (b % 64);
+      }
+    }
+  }
+}
+
+NodeChurn::NodeChurn(std::size_t node_count, NodeChurnParams params)
+    : params_(params), down_(node_count) {
+  MPCIOT_REQUIRE(params_.crashes_per_sec >= 0.0,
+                 "NodeChurn: crash rate must be non-negative");
+  MPCIOT_REQUIRE(params_.mean_downtime_us > 0,
+                 "NodeChurn: mean downtime must be positive");
+  MPCIOT_REQUIRE(params_.horizon_us > 0,
+                 "NodeChurn: horizon must be positive");
+  if (params_.crashes_per_sec <= 0.0) return;
+
+  const double mean_up_us =
+      static_cast<double>(kSecond) / params_.crashes_per_sec;
+  for (NodeId node = 0; node < node_count; ++node) {
+    if (node == params_.immortal) continue;
+    crypto::Xoshiro256 rng(
+        crypto::derive_seed(params_.seed, kStreamChurn, node));
+    SimTime t = 0;
+    while (t < params_.horizon_us) {
+      t += draw_exp_us(rng, mean_up_us);
+      if (t >= params_.horizon_us) break;
+      const SimTime dur =
+          draw_exp_us(rng, static_cast<double>(params_.mean_downtime_us));
+      down_[node].emplace_back(t, t + dur);
+      t += dur;
+    }
+  }
+}
+
+bool NodeChurn::is_down(NodeId node, SimTime t) const {
+  const auto& intervals = down_[node];
+  if (intervals.empty()) return false;
+  // First interval starting after t; the candidate is its predecessor.
+  auto it = std::upper_bound(
+      intervals.begin(), intervals.end(), t,
+      [](SimTime v, const std::pair<SimTime, SimTime>& iv) {
+        return v < iv.first;
+      });
+  if (it == intervals.begin()) return false;
+  --it;
+  return t < it->second;
+}
+
+}  // namespace mpciot::sim::dynamics

@@ -1,0 +1,121 @@
+// sim::dynamics — deterministic time-varying link and membership models.
+//
+// Everything before this module freezes the world at construction: PRR
+// and RSSI are sampled once and links never flap, so no scenario can ask
+// how the protocols degrade when real testbed links burst or nodes die
+// mid-round. This module supplies the two concrete models behind the
+// net-layer seams:
+//
+//  * `LinkDynamics` (net::ChannelModel) — per-link Gilbert–Elliott
+//    two-state bursty loss plus a slow bounded RSSI random walk. Each
+//    undirected link carries a good/bad Markov state advanced once per
+//    epoch; in the bad state the link loses `bad_extra_loss_db` of
+//    signal (a deep fade / interference burst), and on top of that the
+//    link's RSSI drifts as a reflected random walk. Effective PRR is
+//    recomputed from the drifted RSSI through the same logistic curve
+//    and receiver-noise penalty the frozen tables were built with, so a
+//    link with zero drift in the good state reproduces its static PRR
+//    bit for bit — the frozen snapshot is literally the degenerate
+//    member of this family.
+//
+//  * `NodeChurn` (net::LivenessModel) — an alternating-renewal
+//    crash/recover schedule per node: up durations ~ Exp(1/rate), down
+//    durations ~ Exp(mean_downtime). Crashed nodes are radio-silent
+//    (the CT engines neither schedule nor charge them) and rejoin
+//    mid-round through the slot-synchronized timeout path.
+//
+// Determinism / jobs-invariance: every draw is keyed by
+// crypto::derive_seed on (epoch, global link identity) or (node) —
+// never by a shared sequential stream — so the state at any epoch is a
+// pure function of (seed, epoch, link) and concurrent trials that
+// materialize different epoch prefixes still agree everywhere. Links
+// are identified by their *root-topology* node ids
+// (net::Topology::global_id), so a hierarchical group round bound to
+// an induced subtopology sees each physical link in exactly the state
+// a parent-level flood sees at the same instant, and equal-sized
+// groups do not fade in lockstep. Model instances are const after
+// construction and thread-safe; per-round evolution lives in the
+// caller's net::ChannelView.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/channel_model.hpp"
+
+namespace mpciot::sim::dynamics {
+
+struct LinkDynamicsParams {
+  /// Seed of the model's derive_seed streams (per trial, typically
+  /// derived from the trial sim seed).
+  std::uint64_t seed = 1;
+  /// Dynamics advance granularity. CT rounds last tens of ms; the
+  /// default keeps several epochs per protocol round.
+  SimTime epoch_us = 50 * kMillisecond;
+  /// Gilbert–Elliott per-epoch transition probabilities. Mean burst
+  /// length is epoch_us / p_bad_to_good; stationary bad fraction is
+  /// p_good_to_bad / (p_good_to_bad + p_bad_to_good).
+  double p_good_to_bad = 0.05;
+  double p_bad_to_good = 0.5;
+  /// Signal lost while a link is in the bad state (dB).
+  double bad_extra_loss_db = 10.0;
+  /// Per-epoch sigma of the RSSI random walk (dB); 0 disables drift.
+  double drift_sigma_db = 0.3;
+  /// The walk reflects at +/- this bound (dB), keeping links from
+  /// wandering permanently out of (or into) range.
+  double drift_limit_db = 4.0;
+};
+
+class LinkDynamics final : public net::ChannelModel {
+ public:
+  explicit LinkDynamics(LinkDynamicsParams params);
+
+  SimTime epoch_us() const override { return params_.epoch_us; }
+  void materialize(const net::Topology& topo, std::uint64_t epoch,
+                   net::LinkEpochTables& tables) const override;
+
+  const LinkDynamicsParams& params() const { return params_; }
+
+ private:
+  LinkDynamicsParams params_;
+};
+
+struct NodeChurnParams {
+  /// Seed of the per-node schedule streams.
+  std::uint64_t seed = 1;
+  /// Crash rate per node (events per second of up-time). 0 = no churn.
+  double crashes_per_sec = 0.0;
+  /// Mean downtime per crash (exponential).
+  SimTime mean_downtime_us = 500 * kMillisecond;
+  /// Schedules are precomputed up to this horizon; nodes are up beyond
+  /// it. Keep it past the longest round the trial will run.
+  SimTime horizon_us = 120 * kSecond;
+  /// A node exempt from churn (e.g. a round initiator whose permanent
+  /// death the scenario models separately); kInvalidNode exempts none.
+  NodeId immortal = kInvalidNode;
+};
+
+class NodeChurn final : public net::LivenessModel {
+ public:
+  NodeChurn(std::size_t node_count, NodeChurnParams params);
+
+  bool is_down(NodeId node, SimTime t) const override;
+
+  /// Precomputed [crash, recover) intervals of `node`, ascending.
+  const std::vector<std::pair<SimTime, SimTime>>& downtime(
+      NodeId node) const {
+    return down_[node];
+  }
+  /// Crashes scheduled for `node` within the horizon.
+  std::size_t crash_count(NodeId node) const { return down_[node].size(); }
+
+  const NodeChurnParams& params() const { return params_; }
+
+ private:
+  NodeChurnParams params_;
+  std::vector<std::vector<std::pair<SimTime, SimTime>>> down_;
+};
+
+}  // namespace mpciot::sim::dynamics

@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "crypto/prng.hpp"
+#include "net/channel_model.hpp"
 #include "sim/event_queue.hpp"
 
 namespace mpciot::sim {
@@ -30,6 +31,22 @@ class Simulator {
 
   std::uint64_t seed() const { return seed_; }
 
+  /// Time-varying channel model of this run; null = the frozen static
+  /// snapshot. Owned by the caller (typically a per-trial
+  /// sim::dynamics::LinkDynamics) and must outlive the run. Protocols
+  /// read it here and thread it into every transport round.
+  void set_channel_model(const net::ChannelModel* model) {
+    channel_model_ = model;
+  }
+  const net::ChannelModel* channel_model() const { return channel_model_; }
+
+  /// Node crash/recover schedule of this run; null = no churn. Owned by
+  /// the caller (typically a per-trial sim::dynamics::NodeChurn).
+  void set_liveness(const net::LivenessModel* liveness) {
+    liveness_ = liveness;
+  }
+  const net::LivenessModel* liveness() const { return liveness_; }
+
   /// Run to completion (or until `until`).
   std::size_t run(SimTime until = INT64_MAX) { return events_.run(until); }
 
@@ -37,6 +54,8 @@ class Simulator {
   std::uint64_t seed_;
   EventQueue events_;
   crypto::Xoshiro256 channel_rng_;
+  const net::ChannelModel* channel_model_ = nullptr;
+  const net::LivenessModel* liveness_ = nullptr;
 };
 
 }  // namespace mpciot::sim

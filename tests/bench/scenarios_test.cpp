@@ -19,14 +19,14 @@ Registry make_registry() {
   return reg;
 }
 
-TEST(Scenarios, AllElevenRegistered) {
+TEST(Scenarios, AllTwelveRegistered) {
   const Registry reg = make_registry();
   const char* expected[] = {
       "fig1_flocklab",  "fig1_dcube",   "chain_scaling",
-      "degree_sweep",   "fault_tolerance", "he_vs_mpc",
-      "hierarchy_scaling", "ntx_coverage", "payload_size",
-      "transport_matrix", "unicast_vs_ct"};
-  EXPECT_EQ(reg.all().size(), 11u);
+      "degree_sweep",   "dynamics_sweep", "fault_tolerance",
+      "he_vs_mpc",      "hierarchy_scaling", "ntx_coverage",
+      "payload_size",   "transport_matrix", "unicast_vs_ct"};
+  EXPECT_EQ(reg.all().size(), 12u);
   for (const char* name : expected) {
     ASSERT_NE(reg.find(name), nullptr) << name;
     EXPECT_FALSE(reg.find(name)->description.empty()) << name;
@@ -91,6 +91,37 @@ TEST(Scenarios, HierarchyScalingSmokeAtSmallScale) {
       EXPECT_GT(row.json().find("latency_vs_flat")->as_double(), 1.0);
     }
   }
+}
+
+TEST(Scenarios, DynamicsSweepDegradesMonotonicallyWithChurn) {
+  const Registry reg = make_registry();
+  ScenarioContext ctx;
+  ctx.reps = 4;
+  const auto rows = reg.find("dynamics_sweep")->run(ctx);
+  // 2 testbeds x 5 link configurations x 3 churn rates.
+  ASSERT_EQ(rows.size(), 30u);
+  // Within each (testbed, burst, bad-fraction) block the churn axis is
+  // innermost and success must degrade monotonically (small tolerance:
+  // the blocks are paired but the churn schedules are independent).
+  for (std::size_t i = 0; i + 1 < rows.size(); ++i) {
+    const auto& a = rows[i].json();
+    const auto& b = rows[i + 1].json();
+    if (a.find("testbed")->as_string() != b.find("testbed")->as_string() ||
+        a.find("burst_epochs")->as_uint() !=
+            b.find("burst_epochs")->as_uint() ||
+        a.find("bad_frac_pct")->as_double() !=
+            b.find("bad_frac_pct")->as_double()) {
+      continue;  // block boundary
+    }
+    ASSERT_LT(a.find("churn_per_sec")->as_double(),
+              b.find("churn_per_sec")->as_double());
+    EXPECT_LE(b.find("success_pct")->as_double(),
+              a.find("success_pct")->as_double() + 5.0)
+        << "row " << i << " -> " << i + 1;
+  }
+  // The static baseline rows exist and anchor the vs_static columns.
+  EXPECT_EQ(rows[0].json().find("burst_epochs")->as_uint(), 0u);
+  EXPECT_EQ(rows[0].json().find("latency_vs_static")->as_double(), 1.0);
 }
 
 TEST(Scenarios, NtxCoverageHonorsMaxNtxParam) {

@@ -1,0 +1,146 @@
+// Deterministic fuzz loop for the bench_core JSON parser: a seeded
+// mutation corpus of truncated, corrupted, spliced and deep-nested
+// documents. The parser's contract under garbage is "reject cleanly" —
+// return nullopt with an error, never crash, never trip ASan/UBSan (the
+// sanitizer CI job runs this same binary) — and under accidental
+// validity, produce a value whose dump re-parses to an equal value.
+// Every case is derived from crypto::derive_seed, so a failure
+// reproduces from the printed case index alone.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bench_core/json.hpp"
+#include "crypto/prng.hpp"
+
+namespace mpciot::bench_core {
+namespace {
+
+constexpr std::uint64_t kFuzzBase = 0x4A46555Aull;  // "JFUZ"
+
+/// Seed corpus: the shapes the writer actually emits (runner documents,
+/// rows, escapes, extreme numbers) plus a few adversarial classics.
+const char* kCorpus[] = {
+    R"({"schema":"mpciot-bench/1","seed":1,"reps":2,"scenarios":[{"name":)"
+    R"("fig1","rows":[{"testbed":"flocklab","sources":3,"s3_latency_ms":)"
+    R"(123.456}]}]})",
+    R"([0,-1,18446744073709551615,-9223372036854775808,1e308,-1.5e-300,)"
+    R"(0.001,3.0])",
+    R"({"esc":"a\"b\\c\/d\b\f\n\r\té","empty":"","deep":)"
+    R"({"a":{"b":{"c":[1,[2,[3,[4]]]]}}}})",
+    R"(["true",true,"false",false,"null",null,{},[],{"":[]},[""]])",
+    R"(   {  "ws" : [ 1 , 2 , 3 ]  }   )",
+    R"("just a string")",
+    R"(-0.0)",
+};
+
+std::string mutate(const std::string& base, crypto::Xoshiro256& rng) {
+  std::string s = base;
+  const std::uint64_t kind = rng.next_below(5);
+  switch (kind) {
+    case 0:  // truncate
+      s.resize(rng.next_below(s.size() + 1));
+      break;
+    case 1: {  // flip one byte to an arbitrary value
+      if (!s.empty()) {
+        s[rng.next_below(s.size())] =
+            static_cast<char>(rng.next_below(256));
+      }
+      break;
+    }
+    case 2: {  // insert structural noise
+      const char noise[] = {'{', '}', '[', ']', '"', ',', ':', '\\',
+                            'e', '-', '.', '\0'};
+      const std::size_t at = rng.next_below(s.size() + 1);
+      s.insert(s.begin() + static_cast<std::ptrdiff_t>(at),
+               noise[rng.next_below(sizeof(noise))]);
+      break;
+    }
+    case 3: {  // splice two corpus tails
+      const std::string& other =
+          kCorpus[rng.next_below(std::size(kCorpus))];
+      s = s.substr(0, rng.next_below(s.size() + 1)) +
+          other.substr(rng.next_below(other.size() + 1));
+      break;
+    }
+    default: {  // repeated corruption
+      for (int i = 0; i < 8 && !s.empty(); ++i) {
+        s[rng.next_below(s.size())] = static_cast<char>(rng.next_below(128));
+      }
+      break;
+    }
+  }
+  return s;
+}
+
+TEST(JsonFuzz, MutationCorpusNeverCrashesAndRoundTripsWhenValid) {
+  constexpr int kCases = 5000;
+  for (int i = 0; i < kCases; ++i) {
+    crypto::Xoshiro256 rng(crypto::derive_seed(kFuzzBase, 1, i));
+    const std::string& base = kCorpus[rng.next_below(std::size(kCorpus))];
+    const std::string doc = mutate(base, rng);
+
+    std::string error;
+    const std::optional<JsonValue> v = parse_json(doc, &error);
+    if (!v.has_value()) {
+      EXPECT_FALSE(error.empty()) << "case " << i;
+      continue;
+    }
+    // Accidentally-valid mutants must survive a dump/parse round trip.
+    const std::string dumped = v->dump_string();
+    const std::optional<JsonValue> again = parse_json(dumped);
+    ASSERT_TRUE(again.has_value()) << "case " << i << ": " << dumped;
+    EXPECT_TRUE(*again == *v) << "case " << i;
+  }
+}
+
+TEST(JsonFuzz, StackedMutationsStayClean) {
+  // Chains of mutations wander far from JSON; the parser must keep
+  // rejecting without reading out of bounds.
+  constexpr int kCases = 800;
+  for (int i = 0; i < kCases; ++i) {
+    crypto::Xoshiro256 rng(crypto::derive_seed(kFuzzBase, 2, i));
+    std::string doc = kCorpus[rng.next_below(std::size(kCorpus))];
+    const int depth = 1 + static_cast<int>(rng.next_below(6));
+    for (int d = 0; d < depth; ++d) doc = mutate(doc, rng);
+    std::string error;
+    const std::optional<JsonValue> v = parse_json(doc, &error);
+    EXPECT_TRUE(v.has_value() || !error.empty()) << "case " << i;
+  }
+}
+
+TEST(JsonFuzz, DeepNestingIsRejectedNotOverflowed) {
+  // 100k open brackets would unwind the stack in an uncapped
+  // recursive-descent parser; the depth cap must turn every variant
+  // into a clean error.
+  const std::string opens[] = {"[", "{\"k\":"};
+  for (const std::string& open : opens) {
+    for (const std::size_t levels : {200u, 5000u, 100000u}) {
+      std::string doc;
+      doc.reserve(open.size() * levels + 1);
+      for (std::size_t d = 0; d < levels; ++d) doc += open;
+      doc += "1";
+      std::string error;
+      const std::optional<JsonValue> v = parse_json(doc, &error);
+      EXPECT_FALSE(v.has_value()) << open << " x " << levels;
+      EXPECT_NE(error.find("nesting too deep"), std::string::npos) << error;
+    }
+  }
+}
+
+TEST(JsonFuzz, NestingJustBelowTheCapStillParses) {
+  // The cap must not reject the documents the writer legitimately
+  // produces; 64 levels is far beyond any bench schema.
+  std::string doc;
+  for (int d = 0; d < 64; ++d) doc += "[";
+  doc += "1";
+  for (int d = 0; d < 64; ++d) doc += "]";
+  const std::optional<JsonValue> v = parse_json(doc);
+  ASSERT_TRUE(v.has_value());
+  const std::optional<JsonValue> again = parse_json(v->dump_string());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_TRUE(*again == *v);
+}
+
+}  // namespace
+}  // namespace mpciot::bench_core

@@ -13,6 +13,7 @@
 #include "metrics/experiment.hpp"
 #include "net/partition.hpp"
 #include "net/testbeds.hpp"
+#include "sim/dynamics.hpp"
 #include "sim/simulator.hpp"
 
 namespace mpciot::core {
@@ -162,6 +163,227 @@ TEST(Hierarchical, RejectsWrongSecretCount) {
   sim::Simulator sim(1);
   std::vector<Fp61> too_few(topo.size() - 1, Fp61{1});
   EXPECT_THROW(proto.run(too_few, sim), ContractViolation);
+}
+
+/// Test double: nodes in `down` are dead for all time.
+class AlwaysDown final : public net::LivenessModel {
+ public:
+  explicit AlwaysDown(std::vector<char> down) : down_(std::move(down)) {}
+  bool is_down(NodeId node, SimTime) const override {
+    return down_[node] != 0;
+  }
+
+ private:
+  std::vector<char> down_;
+};
+
+TEST(Hierarchical, RetryExhaustionGivesUpTheRound) {
+  // Kill every member of one group: its leader can never reconstruct,
+  // so the group must burn its full retry budget, report no sum, and
+  // the global aggregate must be flagged incorrect — while the healthy
+  // groups still finish their own rounds.
+  const net::Topology topo = lossless_grid16();
+  const std::vector<Fp61> secrets = secrets_1_to_n(topo.size());
+
+  core::HierarchicalConfig cfg;
+  cfg.partition = net::partition::grid_blocks(topo, 4);
+  cfg.max_retries = 2;
+  const net::partition::Partition part = cfg.partition;
+  const HierarchicalProtocol proto(topo, std::move(cfg));
+
+  std::vector<char> down(topo.size(), 0);
+  for (const NodeId m : part.groups[1]) down[m] = 1;
+  const AlwaysDown churn(down);
+
+  sim::Simulator sim(13);
+  RoundEnv env;
+  env.liveness = &churn;
+  const HierarchicalResult res = proto.run(secrets, sim, env);
+
+  const GroupOutcome& doomed = res.groups[1];
+  EXPECT_FALSE(doomed.has_sum);
+  EXPECT_FALSE(doomed.sum_correct);
+  // Every batch exhausted its retries: retries == batches * max_retries.
+  EXPECT_EQ(doomed.retries, doomed.batches * 2u);
+  // The round still produces an aggregate from the surviving groups —
+  // it matches their dealt secrets (expected_sum only accumulates from
+  // accepted rounds) — but a lost group means the round as a whole is
+  // not correct and success collapses to 0.
+  EXPECT_FALSE(res.aggregate_correct);
+  ASSERT_TRUE(res.has_aggregate);
+  Fp61 healthy_sum;
+  for (std::size_t g = 0; g < part.groups.size(); ++g) {
+    if (g == 1) continue;
+    for (const NodeId m : part.groups[g]) healthy_sum += secrets[m];
+  }
+  EXPECT_EQ(res.expected_sum, healthy_sum);
+  EXPECT_EQ(res.success_ratio(), 0.0);
+  std::size_t healthy_ok = 0;
+  for (std::size_t g = 0; g < res.groups.size(); ++g) {
+    if (g != 1 && res.groups[g].has_sum && res.groups[g].sum_correct) {
+      ++healthy_ok;
+    }
+  }
+  EXPECT_EQ(healthy_ok, res.groups.size() - 1);
+}
+
+TEST(Hierarchical, DeadLeaderIsReelectedAndTheRoundStillSucceeds) {
+  // Kill only the precomputed leader of one group: the group must hand
+  // off to another member (leader_reelections > 0, a different final
+  // leader) and the global aggregate of the *remaining* nodes' secrets
+  // still forms. The dead leader dealt nothing, so the expected total
+  // excludes exactly its secret.
+  const net::Topology topo = lossless_grid16();
+  const std::vector<Fp61> secrets = secrets_1_to_n(topo.size());
+
+  core::HierarchicalConfig cfg;
+  cfg.partition = net::partition::grid_blocks(topo, 4);
+  const HierarchicalProtocol proto(topo, std::move(cfg));
+  const NodeId victim = proto.group_leader(2);
+
+  std::vector<char> down(topo.size(), 0);
+  down[victim] = 1;
+  const AlwaysDown churn(down);
+
+  sim::Simulator sim(17);
+  RoundEnv env;
+  env.liveness = &churn;
+  const HierarchicalResult res = proto.run(secrets, sim, env);
+
+  EXPECT_GE(res.leader_reelections, 1u);
+  EXPECT_NE(res.groups[2].leader, victim);
+  ASSERT_TRUE(res.groups[2].has_sum);
+  // The dead node never dealt, so it is excluded from the expected
+  // aggregate (failed_nodes semantics) and the reduced-but-consistent
+  // total still counts as a correct round.
+  Fp61 expected_total;
+  for (std::size_t i = 0; i < secrets.size(); ++i) {
+    if (static_cast<NodeId>(i) != victim) expected_total += secrets[i];
+  }
+  ASSERT_TRUE(res.has_aggregate);
+  EXPECT_EQ(res.aggregate, expected_total);
+  EXPECT_EQ(res.expected_sum, expected_total);
+  EXPECT_TRUE(res.aggregate_correct);
+  // The victim never receives the result flood; everyone else does.
+  EXPECT_EQ(res.has_result[victim], 0);
+  EXPECT_GT(res.success_ratio(), 0.9);
+}
+
+/// Test double: one node is down on [0, until) of the *trial* clock and
+/// up afterwards — a genuinely time-varying schedule, unlike AlwaysDown.
+class DownUntil final : public net::LivenessModel {
+ public:
+  DownUntil(NodeId victim, SimTime until) : victim_(victim), until_(until) {}
+  bool is_down(NodeId node, SimTime t) const override {
+    return node == victim_ && t < until_;
+  }
+
+ private:
+  NodeId victim_;
+  SimTime until_;
+};
+
+TEST(Hierarchical, LeaderDownOnlyAtRoundStartRecoversForTheResultFlood) {
+  // The victim leader is down when its group round starts (so it never
+  // deals and the group re-elects) but back up long before the result
+  // flood. This pins the *trial-clock* placement of the phases: if any
+  // phase evaluated liveness in round-local instead of trial time, the
+  // recovered victim would either wrongly lead its group round or
+  // wrongly miss the result flood.
+  const net::Topology topo = lossless_grid16();
+  const std::vector<Fp61> secrets = secrets_1_to_n(topo.size());
+
+  core::HierarchicalConfig cfg;
+  cfg.partition = net::partition::grid_blocks(topo, 4);
+  cfg.num_channels = 4;  // all group rounds start at trial time 0
+  const HierarchicalProtocol proto(topo, std::move(cfg));
+  const NodeId victim = proto.group_leader(2);
+
+  // Down only for the first 50 ms: group rounds last hundreds of ms,
+  // so the recombination and result floods run well after recovery.
+  const DownUntil churn(victim, 50 * kMillisecond);
+  sim::Simulator sim(41);
+  RoundEnv env;
+  env.liveness = &churn;
+  const HierarchicalResult res = proto.run(secrets, sim, env);
+
+  EXPECT_GE(res.leader_reelections, 1u);
+  EXPECT_NE(res.groups[2].leader, victim);
+  ASSERT_TRUE(res.has_aggregate);
+  // The victim never dealt (down at its round's start), so the round's
+  // expected sum excludes exactly its secret — and is still correct.
+  Fp61 expected_total;
+  for (std::size_t i = 0; i < secrets.size(); ++i) {
+    if (static_cast<NodeId>(i) != victim) expected_total += secrets[i];
+  }
+  EXPECT_EQ(res.expected_sum, expected_total);
+  EXPECT_EQ(res.aggregate, expected_total);
+  EXPECT_TRUE(res.aggregate_correct);
+  // Unlike a permanently dead leader, the recovered victim hears the
+  // result flood: every single node ends up with the aggregate.
+  EXPECT_EQ(res.has_result[victim], 1);
+  EXPECT_EQ(res.success_ratio(), 1.0);
+}
+
+TEST(Hierarchical, NodeChurnRunsAreDeterministicAndConsistent) {
+  // The full composition — HierarchicalProtocol under a real NodeChurn
+  // schedule — must be reproducible from the seed, count re-elections
+  // coherently, and keep the aggregate/expected-sum invariant: whenever
+  // the round reports correct, the values match.
+  const net::Topology topo = lossless_grid16();
+  const std::vector<Fp61> secrets = secrets_1_to_n(topo.size());
+  core::HierarchicalConfig cfg;
+  cfg.partition = net::partition::grid_blocks(topo, 4);
+  cfg.num_channels = 2;
+  const HierarchicalProtocol proto(topo, std::move(cfg));
+
+  sim::dynamics::NodeChurnParams cp;
+  cp.seed = 4242;
+  cp.crashes_per_sec = 1.0;
+  cp.mean_downtime_us = 300 * kMillisecond;
+  const sim::dynamics::NodeChurn churn(topo.size(), cp);
+
+  const auto run_once = [&] {
+    sim::Simulator sim(51);
+    sim.set_liveness(&churn);
+    return proto.run(secrets, sim);
+  };
+  const HierarchicalResult a = run_once();
+  const HierarchicalResult b = run_once();
+  EXPECT_EQ(a.total_duration_us, b.total_duration_us);
+  EXPECT_EQ(a.leader_reelections, b.leader_reelections);
+  EXPECT_EQ(a.radio_on_us, b.radio_on_us);
+  EXPECT_EQ(a.has_result, b.has_result);
+  EXPECT_EQ(a.aggregate_correct, b.aggregate_correct);
+  if (a.aggregate_correct) {
+    EXPECT_EQ(a.aggregate, a.expected_sum);
+  }
+  const double sr = a.success_ratio();
+  EXPECT_GE(sr, 0.0);
+  EXPECT_LE(sr, 1.0);
+}
+
+TEST(Hierarchical, StaticEnvMatchesTheTwoArgumentRunExactly) {
+  // The RoundEnv overload with an all-null environment is the same
+  // static round, bit for bit.
+  const net::Topology topo = lossless_grid16();
+  const std::vector<Fp61> secrets = secrets_1_to_n(topo.size());
+  core::HierarchicalConfig cfg_a;
+  cfg_a.partition = net::partition::grid_blocks(topo, 4);
+  cfg_a.num_channels = 2;
+  core::HierarchicalConfig cfg_b = cfg_a;
+  const HierarchicalProtocol a(topo, std::move(cfg_a));
+  const HierarchicalProtocol b(topo, std::move(cfg_b));
+  sim::Simulator sim_a(23);
+  sim::Simulator sim_b(23);
+  const HierarchicalResult ra = a.run(secrets, sim_a);
+  const HierarchicalResult rb = b.run(secrets, sim_b, RoundEnv{});
+  EXPECT_EQ(ra.aggregate.value(), rb.aggregate.value());
+  EXPECT_EQ(ra.total_duration_us, rb.total_duration_us);
+  EXPECT_EQ(ra.radio_on_us, rb.radio_on_us);
+  EXPECT_EQ(ra.latency_us, rb.latency_us);
+  EXPECT_EQ(ra.leader_reelections, 0u);
+  EXPECT_EQ(rb.leader_reelections, 0u);
 }
 
 TEST(Hierarchical, RadioOnAndLatencyAreReported) {

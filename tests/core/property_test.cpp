@@ -1,0 +1,208 @@
+// Property-based randomized tests: thousands of derive_seed-driven
+// cases over the algebra the protocols stand on. Where the unit tests
+// pin hand-picked examples, these loops search the input space —
+// random thresholds, random holder sets, random missing-share subsets,
+// random field elements — for violations of the *laws*:
+//
+//  * Shamir and SmallShamir share -> sum -> reconstruct round-trips for
+//    every degree and every sufficient holder subset, and fails-safe
+//    semantics below the threshold are exercised elsewhere (privacy
+//    tests);
+//  * Fp61 / PrimeField obey the field axioms (associativity,
+//    commutativity, distributivity, identities, inverses) — the
+//    Mersenne folding in Fp61 and the 32-bit modular paths are exactly
+//    the kind of carry-edge code a fixed test vector misses.
+//
+// Every case's RNG comes from crypto::derive_seed(base, stream, case),
+// so a red run reproduces from the printed case index, and no two
+// cases share a stream. See docs/TESTING.md.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "core/shamir.hpp"
+#include "core/small_shamir.hpp"
+#include "crypto/prng.hpp"
+#include "field/prime_field.hpp"
+
+namespace mpciot::core {
+namespace {
+
+constexpr std::uint64_t kPropBase = 0x50524F50ull;  // "PROP"
+
+/// Random ascending holder subset of size `take` out of `universe`.
+std::vector<NodeId> pick_holders(std::size_t universe, std::size_t take,
+                                 crypto::Xoshiro256& rng) {
+  std::vector<NodeId> all(universe);
+  std::iota(all.begin(), all.end(), NodeId{0});
+  for (std::size_t i = 0; i < take; ++i) {
+    const std::size_t j = i + rng.next_below(universe - i);
+    std::swap(all[i], all[j]);
+  }
+  all.resize(take);
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+TEST(PropertyShamir, ReconstructsFromAnySufficientSubset) {
+  constexpr int kCases = 1500;
+  for (int c = 0; c < kCases; ++c) {
+    crypto::Xoshiro256 rng(crypto::derive_seed(kPropBase, 1, c));
+    const std::size_t holders = 2 + rng.next_below(24);    // [2, 25]
+    const std::size_t degree = 1 + rng.next_below(holders - 1);
+    const field::Fp61 secret = rng.next_fp61();
+
+    crypto::CtrDrbg drbg(crypto::derive_seed(kPropBase, 2, c));
+    const ShamirDealer dealer(secret, degree, drbg);
+    EXPECT_EQ(dealer.degree(), degree);
+
+    // Deal to a random holder-id universe (ids need not be dense).
+    const std::vector<NodeId> ids = pick_holders(200, holders, rng);
+    const std::vector<Share> shares = dealer.shares_for(ids);
+
+    // Drop a random subset, keeping at least degree+1 shares: the
+    // missing-share recovery path must not care *which* survive.
+    const std::size_t keep =
+        degree + 1 + rng.next_below(holders - degree);
+    std::vector<Share> subset = shares;
+    for (std::size_t i = 0; i < keep; ++i) {
+      const std::size_t j = i + rng.next_below(subset.size() - i);
+      std::swap(subset[i], subset[j]);
+    }
+    subset.resize(keep);
+    EXPECT_EQ(reconstruct(subset, degree), secret)
+        << "case " << c << " degree " << degree << " keep " << keep;
+  }
+}
+
+TEST(PropertyShamir, SumOfSharingsReconstructsSumOfSecrets) {
+  constexpr int kCases = 400;
+  for (int c = 0; c < kCases; ++c) {
+    crypto::Xoshiro256 rng(crypto::derive_seed(kPropBase, 3, c));
+    const std::size_t sources = 2 + rng.next_below(10);
+    const std::size_t holders = 3 + rng.next_below(12);
+    const std::size_t degree = 1 + rng.next_below(holders - 1);
+    const std::vector<NodeId> ids = pick_holders(64, holders, rng);
+
+    field::Fp61 expected;
+    std::vector<field::Fp61> sums(holders);
+    for (std::size_t s = 0; s < sources; ++s) {
+      const field::Fp61 secret = rng.next_fp61();
+      expected += secret;
+      crypto::CtrDrbg drbg(
+          crypto::derive_seed(kPropBase, 4, (c << 8) | s));
+      const ShamirDealer dealer(secret, degree, drbg);
+      for (std::size_t h = 0; h < holders; ++h) {
+        sums[h] += dealer.share_for(ids[h]).value;
+      }
+    }
+    std::vector<Share> sum_shares;
+    for (std::size_t h = 0; h < holders && sum_shares.size() <= degree;
+         ++h) {
+      sum_shares.push_back(Share{ids[h], sums[h]});
+    }
+    EXPECT_EQ(reconstruct(sum_shares, degree), expected) << "case " << c;
+  }
+}
+
+TEST(PropertySmallShamir, ReconstructsFromAnySufficientSubset) {
+  const field::PrimeField f16(65521);   // the 2-byte wire field
+  const field::PrimeField f13(8191);    // a Mersenne prime for variety
+  const field::PrimeField* fields[] = {&f16, &f13};
+  constexpr int kCases = 1200;
+  for (int c = 0; c < kCases; ++c) {
+    crypto::Xoshiro256 rng(crypto::derive_seed(kPropBase, 5, c));
+    const field::PrimeField& f = *fields[rng.next_below(2)];
+    const std::size_t holders = 2 + rng.next_below(20);
+    const std::size_t degree = 1 + rng.next_below(holders - 1);
+    const std::uint64_t secret = rng.next_below(f.modulus());
+
+    crypto::CtrDrbg drbg(crypto::derive_seed(kPropBase, 6, c));
+    const SmallShamirDealer dealer(f, secret, degree, drbg);
+
+    const std::vector<NodeId> ids = pick_holders(100, holders, rng);
+    std::vector<SmallShare> shares;
+    shares.reserve(holders);
+    for (const NodeId id : ids) shares.push_back(dealer.share_for(id));
+
+    const std::size_t keep = degree + 1 + rng.next_below(holders - degree);
+    for (std::size_t i = 0; i < keep; ++i) {
+      const std::size_t j = i + rng.next_below(shares.size() - i);
+      std::swap(shares[i], shares[j]);
+    }
+    shares.resize(keep);
+    EXPECT_EQ(small_reconstruct(f, shares, degree), secret)
+        << "case " << c << " p " << f.modulus() << " degree " << degree;
+  }
+}
+
+TEST(PropertyFp61, FieldLaws) {
+  constexpr int kCases = 4000;
+  for (int c = 0; c < kCases; ++c) {
+    crypto::Xoshiro256 rng(crypto::derive_seed(kPropBase, 7, c));
+    // Bias towards carry edges: mix uniform draws with near-modulus
+    // values, which is where the Mersenne folds can go wrong.
+    const auto draw = [&] {
+      switch (rng.next_below(4)) {
+        case 0:
+          return field::Fp61{field::Fp61::kModulus - rng.next_below(4)};
+        case 1:
+          return field::Fp61{rng.next_below(4)};
+        default:
+          return rng.next_fp61();
+      }
+    };
+    const field::Fp61 a = draw();
+    const field::Fp61 b = draw();
+    const field::Fp61 x = draw();
+
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + x, a + (b + x));
+    EXPECT_EQ((a * b) * x, a * (b * x));
+    EXPECT_EQ(a * (b + x), a * b + a * x);
+    EXPECT_EQ(a + field::Fp61::zero(), a);
+    EXPECT_EQ(a * field::Fp61::one(), a);
+    EXPECT_EQ(a + (-a), field::Fp61::zero());
+    EXPECT_EQ(a - b, a + (-b));
+    if (!a.is_zero()) {
+      EXPECT_EQ(a * a.inverse(), field::Fp61::one()) << a.value();
+      EXPECT_EQ((a * b) / a, b);
+    }
+    // Fermat: a^p == a (in particular pow handles the full exponent).
+    EXPECT_EQ(field::Fp61::pow(a, field::Fp61::kModulus), a);
+  }
+}
+
+TEST(PropertyPrimeField, FieldLaws) {
+  const field::PrimeField f(4294967291ull);  // largest 32-bit prime
+  constexpr int kCases = 3000;
+  for (int c = 0; c < kCases; ++c) {
+    crypto::Xoshiro256 rng(crypto::derive_seed(kPropBase, 8, c));
+    const auto draw = [&] {
+      return rng.next_below(4) == 0
+                 ? f.modulus() - 1 - rng.next_below(3)
+                 : rng.next_below(f.modulus());
+    };
+    const std::uint64_t a = draw();
+    const std::uint64_t b = draw();
+    const std::uint64_t x = draw();
+
+    EXPECT_EQ(f.add(a, b), f.add(b, a));
+    EXPECT_EQ(f.mul(a, b), f.mul(b, a));
+    EXPECT_EQ(f.add(f.add(a, b), x), f.add(a, f.add(b, x)));
+    EXPECT_EQ(f.mul(f.mul(a, b), x), f.mul(a, f.mul(b, x)));
+    EXPECT_EQ(f.mul(a, f.add(b, x)), f.add(f.mul(a, b), f.mul(a, x)));
+    EXPECT_EQ(f.add(a, f.neg(a)), 0u);
+    EXPECT_EQ(f.sub(a, b), f.add(a, f.neg(b)));
+    if (a != 0) {
+      EXPECT_EQ(f.mul(a, f.inv(a)), 1u) << a;
+    }
+    EXPECT_EQ(f.pow(a, f.modulus()), a);  // Fermat
+  }
+}
+
+}  // namespace
+}  // namespace mpciot::core

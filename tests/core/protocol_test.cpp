@@ -214,6 +214,37 @@ TEST(ProtocolRun, FailedSourceExcludedFromAggregate) {
   EXPECT_TRUE(res.nodes[0].aggregate_correct);
 }
 
+TEST(ProtocolRun, ChurnedSourceIsAMissingShareNotARoundKiller) {
+  // A source that is churn-down at round start never deals: the rest of
+  // the network must settle on the aggregate of the dealing sources via
+  // the Shamir threshold path, exactly as with failed_nodes — but
+  // driven through the per-slot liveness seam, with no disabled mask.
+  struct Down8 final : net::LivenessModel {
+    bool is_down(NodeId node, SimTime) const override { return node == 8; }
+  };
+  const net::Topology topo = make_grid9();
+  const crypto::KeyStore keys(1, topo.size());
+  const auto cfg = make_s3_config(topo, all_nodes(topo), 2, 6);
+  ASSERT_NE(cfg.initiator, 8u);
+  const SssProtocol s3(topo, keys, cfg);
+
+  const Down8 churn;
+  sim::Simulator sim(5);
+  sim.set_liveness(&churn);
+  const auto secrets = fixed_secrets(9);
+  const AggregationResult res = s3.run(secrets, sim);
+
+  Fp61 expected;
+  for (std::size_t i = 0; i < 8; ++i) expected += secrets[i];
+  EXPECT_EQ(res.expected_sum, expected);
+  EXPECT_FALSE(res.nodes[8].has_aggregate);
+  EXPECT_EQ(res.nodes[8].radio_on_us, 0);
+  EXPECT_TRUE(res.nodes[0].has_aggregate);
+  EXPECT_EQ(res.nodes[0].aggregate, expected);
+  EXPECT_TRUE(res.nodes[0].aggregate_correct);
+  EXPECT_GE(res.success_ratio(), 0.99);
+}
+
 TEST(ProtocolRun, S4SurvivesHolderFailure) {
   const net::Topology topo = make_grid9();
   const crypto::KeyStore keys(1, topo.size());

@@ -110,6 +110,49 @@ TEST(ChannelTimeline, EarliestConstraintDelaysBooking) {
   EXPECT_EQ(timeline.channel_end_us(1), 0);
 }
 
+TEST(ChannelTimeline, ZeroDurationBookingsTakeNoTime) {
+  // A zero-duration op books the current end and moves nothing: later
+  // bookings (same or other channel) must be unaffected, including a
+  // zero-duration op under an `earliest` constraint beyond the end.
+  ChannelTimeline timeline(2);
+  EXPECT_EQ(timeline.book(0, 0), 0);
+  EXPECT_EQ(timeline.channel_end_us(0), 0);
+  EXPECT_EQ(timeline.book(0, 100), 0);
+  EXPECT_EQ(timeline.book(0, 0), 100);
+  EXPECT_EQ(timeline.channel_end_us(0), 100);
+  EXPECT_EQ(timeline.book(0, 0, /*earliest_us=*/250), 250);
+  EXPECT_EQ(timeline.channel_end_us(0), 250);
+  EXPECT_EQ(timeline.book(1, 0), 0);
+  EXPECT_EQ(timeline.channel_end_us(1), 0);
+  EXPECT_EQ(timeline.end_us(), 250);
+}
+
+TEST(ChannelTimeline, SameChannelInterleaveKeepsBookingOrder) {
+  // Bookings alternating across channels: each channel's sequence must
+  // stay contiguous and ordered exactly as booked, with the other
+  // channel's bookings invisible to it.
+  ChannelTimeline timeline(3);
+  SimTime c0 = 0;
+  SimTime c1 = 0;
+  for (int i = 1; i <= 6; ++i) {
+    const std::uint16_t ch = i % 2;
+    const SimTime dur = 10 * i;
+    const SimTime start = timeline.book(ch, dur);
+    SimTime& cursor = ch == 0 ? c0 : c1;
+    EXPECT_EQ(start, cursor) << "booking " << i;
+    cursor += dur;
+  }
+  EXPECT_EQ(timeline.channel_end_us(0), 20 + 40 + 60);
+  EXPECT_EQ(timeline.channel_end_us(1), 10 + 30 + 50);
+  EXPECT_EQ(timeline.channel_end_us(2), 0);  // untouched channel stays empty
+  EXPECT_EQ(timeline.end_us(), 120);
+
+  // An earliest-constraint on one channel must not leak into the other.
+  EXPECT_EQ(timeline.book(0, 5, /*earliest_us=*/500), 500);
+  EXPECT_EQ(timeline.channel_end_us(1), 90);
+  EXPECT_EQ(timeline.end_us(), 505);
+}
+
 TEST(ChannelTimeline, RejectsBadArguments) {
   ChannelTimeline timeline(2);
   EXPECT_THROW(timeline.book(2, 10), ContractViolation);

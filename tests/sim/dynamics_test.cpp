@@ -1,0 +1,462 @@
+// sim::dynamics: the Gilbert–Elliott link engine and the churn
+// schedule, plus their contracts with net::ChannelView and the CT
+// engines — in particular that the static world is the exact degenerate
+// case (bit-identical results and RNG consumption) and that epoch state
+// is a pure function of (seed, epoch) regardless of the walk.
+#include "sim/dynamics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/assert.hpp"
+#include "ct/glossy.hpp"
+#include "ct/minicast.hpp"
+#include "ct/transport.hpp"
+#include "net/partition.hpp"
+#include "net/testbeds.hpp"
+#include "net/topology.hpp"
+
+namespace mpciot::sim::dynamics {
+namespace {
+
+net::Topology grid9() {
+  net::RadioParams radio;
+  radio.shadowing_sigma_db = 0.0;
+  std::vector<net::Position> pos;
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      pos.push_back(net::Position{c * 12.0, r * 12.0});
+    }
+  }
+  return net::Topology(std::move(pos), radio, 7);
+}
+
+/// Test double: a fixed always/never-down schedule per node.
+class FixedLiveness final : public net::LivenessModel {
+ public:
+  explicit FixedLiveness(std::vector<char> down) : down_(std::move(down)) {}
+  bool is_down(NodeId node, SimTime) const override {
+    return down_[node] != 0;
+  }
+
+ private:
+  std::vector<char> down_;
+};
+
+TEST(LinkDynamics, DegenerateParamsReproduceTheFrozenSnapshot) {
+  const net::Topology topo = net::testbeds::flocklab();
+  LinkDynamicsParams params;
+  params.seed = 42;
+  params.p_good_to_bad = 0.0;  // never leaves the good state
+  params.drift_sigma_db = 0.0;
+  const LinkDynamics model(params);
+
+  for (const SimTime t : {SimTime{0}, 3 * params.epoch_us + 1,
+                          100 * params.epoch_us}) {
+    for (NodeId a = 0; a < topo.size(); a += 3) {
+      for (NodeId b = 0; b < topo.size(); b += 5) {
+        if (a == b) continue;
+        EXPECT_EQ(topo.prr_at(a, b, t, &model), topo.prr(a, b))
+            << a << "->" << b << " @" << t;
+      }
+    }
+  }
+}
+
+TEST(LinkDynamics, StaticViewAliasesTheTopologyTables) {
+  const net::Topology topo = grid9();
+  net::ChannelView view;
+  view.bind(topo, nullptr);
+  EXPECT_FALSE(view.dynamic());
+  view.seek(123456789);  // no-op without a model
+  for (NodeId r = 0; r < topo.size(); ++r) {
+    EXPECT_EQ(view.prr_into(r), topo.prr_into(r));
+    EXPECT_EQ(view.audible_words(r), topo.audible_words(r));
+  }
+  EXPECT_EQ(view.prr(0, 1), topo.prr(0, 1));
+  // Null model in the one-shot query: the frozen snapshot at any time.
+  EXPECT_EQ(topo.prr_at(0, 1, 987654321), topo.prr(0, 1));
+}
+
+TEST(LinkDynamics, EpochStateIsAPureFunctionOfSeedAndEpoch) {
+  const net::Topology topo = grid9();
+  LinkDynamicsParams params;
+  params.seed = 7;
+  params.p_good_to_bad = 0.3;
+  params.p_bad_to_good = 0.4;
+  params.drift_sigma_db = 0.8;
+  const LinkDynamics model(params);
+
+  // One view jumps straight to epoch 9, the other visits every epoch on
+  // the way: the materialized tables must agree (this is what makes
+  // concurrent trials jobs-invariant).
+  net::ChannelView jumper;
+  jumper.bind(topo, &model);
+  jumper.seek(9 * params.epoch_us);
+  net::ChannelView walker;
+  walker.bind(topo, &model);
+  for (std::uint64_t e = 0; e <= 9; ++e) {
+    walker.seek(static_cast<SimTime>(e) * params.epoch_us);
+  }
+  for (NodeId a = 0; a < topo.size(); ++a) {
+    for (NodeId b = 0; b < topo.size(); ++b) {
+      EXPECT_EQ(jumper.prr(a, b), walker.prr(a, b)) << a << "->" << b;
+    }
+  }
+  // And a fresh one-shot query agrees too.
+  EXPECT_EQ(topo.prr_at(0, 5, 9 * params.epoch_us, &model),
+            jumper.prr(0, 5));
+}
+
+TEST(LinkDynamics, BurstsActuallyDegradeLinksAndTablesStayConsistent) {
+  const net::Topology topo = grid9();
+  LinkDynamicsParams params;
+  params.seed = 11;
+  params.p_good_to_bad = 0.5;
+  params.p_bad_to_good = 0.5;
+  params.bad_extra_loss_db = 200.0;  // a burst annihilates the link
+  params.drift_sigma_db = 0.0;
+  const LinkDynamics model(params);
+
+  net::ChannelView view;
+  view.bind(topo, &model);
+  bool saw_dead_link = false;
+  bool saw_live_link = false;
+  for (std::uint64_t e = 0; e < 12; ++e) {
+    view.seek(static_cast<SimTime>(e) * params.epoch_us);
+    for (NodeId a = 0; a < topo.size(); ++a) {
+      const double* row = view.prr_into(a);
+      const std::uint64_t* audible = view.audible_words(a);
+      for (NodeId t = 0; t < topo.size(); ++t) {
+        // Audibility bitmaps must mirror the materialized PRR exactly.
+        const bool bit = (audible[t / 64] >> (t % 64)) & 1;
+        EXPECT_EQ(bit, row[t] > 0.0) << a << "<-" << t << " @" << e;
+        if (a == t) continue;
+        if (topo.prr(t, a) > 0.0) {
+          (row[t] == 0.0 ? saw_dead_link : saw_live_link) = true;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(saw_dead_link);  // bursts hit
+  EXPECT_TRUE(saw_live_link);  // but not everything at once
+}
+
+TEST(LinkDynamics, BackwardSeeksRestartTheWalkWithIdenticalTables) {
+  // Epoch state is a pure function of (seed, epoch, link): seeking
+  // backwards (a later round booked earlier on a less-loaded channel)
+  // restarts the walk and must land on exactly the tables a fresh view
+  // produces.
+  const net::Topology topo = grid9();
+  LinkDynamicsParams params;
+  params.seed = 3;
+  params.p_good_to_bad = 0.3;
+  params.drift_sigma_db = 0.5;
+  const LinkDynamics model(params);
+  net::ChannelView view;
+  view.bind(topo, &model);
+  view.seek(7 * params.epoch_us);
+  view.seek(2 * params.epoch_us);  // backwards: restart
+  net::ChannelView fresh;
+  fresh.bind(topo, &model);
+  fresh.seek(2 * params.epoch_us);
+  for (NodeId a = 0; a < topo.size(); ++a) {
+    for (NodeId b = 0; b < topo.size(); ++b) {
+      EXPECT_EQ(view.prr(a, b), fresh.prr(a, b)) << a << "->" << b;
+    }
+  }
+}
+
+TEST(LinkDynamics, RebindingSameWorldContinuesTheWalk) {
+  // Sequential rounds of a trial reuse one view via RoundContext: a
+  // rebind to the same (topo, model) must keep the chain state (the
+  // next seek continues from the cursor) and still agree with a fresh
+  // walk — and rebinding a *different* world must reset cleanly.
+  const net::Topology topo = grid9();
+  const net::Topology other = net::testbeds::flocklab();
+  LinkDynamicsParams params;
+  params.seed = 29;
+  params.p_good_to_bad = 0.25;
+  params.drift_sigma_db = 0.4;
+  const LinkDynamics model(params);
+
+  net::ChannelView reused;
+  reused.bind(topo, &model);
+  reused.seek(3 * params.epoch_us);
+  reused.bind(topo, &model);  // next round, same world
+  reused.seek(6 * params.epoch_us);
+
+  net::ChannelView fresh;
+  fresh.bind(topo, &model);
+  fresh.seek(6 * params.epoch_us);
+  for (NodeId a = 0; a < topo.size(); ++a) {
+    for (NodeId b = 0; b < topo.size(); ++b) {
+      EXPECT_EQ(reused.prr(a, b), fresh.prr(a, b)) << a << "->" << b;
+    }
+  }
+
+  // Different topology: full reset, no stale state.
+  reused.bind(other, &model);
+  reused.seek(params.epoch_us);
+  net::ChannelView fresh_other;
+  fresh_other.bind(other, &model);
+  fresh_other.seek(params.epoch_us);
+  EXPECT_EQ(reused.prr(0, 1), fresh_other.prr(0, 1));
+}
+
+TEST(LinkDynamics, InducedSubtopologySeesTheSamePhysicalLinks) {
+  // Fade streams are keyed by global link identity: a group round on an
+  // induced subtopology must see each shared physical link in exactly
+  // the state the parent topology sees at the same epoch.
+  const net::Topology parent = net::testbeds::flocklab();
+  const std::vector<NodeId> members =
+      net::partition::grid_blocks(parent, 2).groups[0];
+  ASSERT_GE(members.size(), 2u);
+  const net::Topology sub = net::Topology::induced(parent, members);
+
+  LinkDynamicsParams params;
+  params.seed = 37;
+  params.p_good_to_bad = 0.3;
+  params.p_bad_to_good = 0.4;
+  params.drift_sigma_db = 0.6;
+  const LinkDynamics model(params);
+
+  const SimTime t = 5 * params.epoch_us;
+  net::ChannelView parent_view;
+  parent_view.bind(parent, &model);
+  parent_view.seek(t);
+  net::ChannelView sub_view;
+  sub_view.bind(sub, &model);
+  sub_view.seek(t);
+  for (NodeId a = 0; a < sub.size(); ++a) {
+    for (NodeId b = 0; b < sub.size(); ++b) {
+      if (a == b) continue;
+      EXPECT_EQ(sub_view.prr(a, b), parent_view.prr(members[a], members[b]))
+          << a << "->" << b;
+      EXPECT_EQ(sub.global_id(a), members[a]);
+    }
+  }
+}
+
+TEST(NodeChurn, ZeroRateMeansNobodyEverCrashes) {
+  NodeChurnParams params;
+  params.seed = 1;
+  params.crashes_per_sec = 0.0;
+  const NodeChurn churn(50, params);
+  for (NodeId i = 0; i < 50; ++i) {
+    EXPECT_EQ(churn.crash_count(i), 0u);
+    EXPECT_FALSE(churn.is_down(i, 0));
+    EXPECT_FALSE(churn.is_down(i, params.horizon_us - 1));
+  }
+}
+
+TEST(NodeChurn, SchedulesAreDeterministicDisjointAndQueryable) {
+  NodeChurnParams params;
+  params.seed = 99;
+  params.crashes_per_sec = 5.0;
+  params.mean_downtime_us = 200 * kMillisecond;
+  params.horizon_us = 30 * kSecond;
+  const NodeChurn a(20, params);
+  const NodeChurn b(20, params);
+
+  std::size_t total_crashes = 0;
+  for (NodeId i = 0; i < 20; ++i) {
+    const auto& iv = a.downtime(i);
+    ASSERT_EQ(iv, b.downtime(i)) << i;  // same seed, same schedule
+    total_crashes += iv.size();
+    for (std::size_t k = 0; k < iv.size(); ++k) {
+      EXPECT_LT(iv[k].first, iv[k].second);
+      if (k > 0) {
+        EXPECT_GE(iv[k].first, iv[k - 1].second);
+      }
+      // is_down agrees with the raw intervals at the edges.
+      EXPECT_TRUE(a.is_down(i, iv[k].first));
+      EXPECT_TRUE(a.is_down(i, iv[k].second - 1));
+      EXPECT_FALSE(a.is_down(i, iv[k].second));
+      if (iv[k].first > 0) {
+        EXPECT_FALSE(a.is_down(i, iv[k].first - 1));
+      }
+    }
+  }
+  // 5 crashes/s over 30 s: every node should crash many times.
+  EXPECT_GT(total_crashes, 20u * 10u);
+}
+
+TEST(NodeChurn, ImmortalNodeNeverCrashes) {
+  NodeChurnParams params;
+  params.seed = 5;
+  params.crashes_per_sec = 10.0;
+  params.immortal = 3;
+  const NodeChurn churn(8, params);
+  EXPECT_EQ(churn.crash_count(3), 0u);
+  std::size_t others = 0;
+  for (NodeId i = 0; i < 8; ++i) others += churn.crash_count(i);
+  EXPECT_GT(others, 0u);
+}
+
+TEST(EngineDynamics, NeverDownLivenessMatchesTheStaticRoundExactly) {
+  // A liveness model that never fires must not change one bit of the
+  // round NOR one RNG draw — the churn seam only branches, never draws.
+  const net::Topology topo = grid9();
+  ct::MiniCastConfig plain;
+  plain.initiator = 0;
+  ct::MiniCastConfig churned = plain;
+  const FixedLiveness nobody(std::vector<char>(topo.size(), 0));
+  churned.liveness = &nobody;
+  churned.start_time_us = 123456;  // start offset alone must not matter
+
+  crypto::Xoshiro256 rng_a(404);
+  crypto::Xoshiro256 rng_b(404);
+  const std::vector<ct::ChainEntry> entries{ct::ChainEntry{0},
+                                            ct::ChainEntry{8}};
+  const ct::MiniCastResult a = run_minicast(topo, entries, plain, rng_a);
+  const ct::MiniCastResult b = run_minicast(topo, entries, churned, rng_b);
+  EXPECT_EQ(a.rx_slot, b.rx_slot);
+  EXPECT_EQ(a.done_slot, b.done_slot);
+  EXPECT_EQ(a.radio_on_us, b.radio_on_us);
+  EXPECT_EQ(a.tx_count, b.tx_count);
+  EXPECT_EQ(rng_a.next_u64(), rng_b.next_u64());  // same draw count
+}
+
+TEST(EngineDynamics, DegenerateChannelModelMatchesTheStaticRoundExactly) {
+  const net::Topology topo = grid9();
+  LinkDynamicsParams params;
+  params.seed = 21;
+  params.p_good_to_bad = 0.0;
+  params.drift_sigma_db = 0.0;
+  params.epoch_us = 5 * kMillisecond;  // several epoch advances per round
+  const LinkDynamics model(params);
+
+  ct::MiniCastConfig plain;
+  plain.initiator = 0;
+  ct::MiniCastConfig dynamic = plain;
+  dynamic.channel_model = &model;
+
+  crypto::Xoshiro256 rng_a(77);
+  crypto::Xoshiro256 rng_b(77);
+  const std::vector<ct::ChainEntry> entries{ct::ChainEntry{0},
+                                            ct::ChainEntry{4}};
+  const ct::MiniCastResult a = run_minicast(topo, entries, plain, rng_a);
+  const ct::MiniCastResult b = run_minicast(topo, entries, dynamic, rng_b);
+  EXPECT_EQ(a.rx_slot, b.rx_slot);
+  EXPECT_EQ(a.radio_on_us, b.radio_on_us);
+  EXPECT_EQ(rng_a.next_u64(), rng_b.next_u64());
+}
+
+TEST(EngineDynamics, DownNodesAreSilentAndUnchargedMidRound) {
+  const net::Topology topo = grid9();
+  // Node 8 (a corner) is down for the whole round: it must receive
+  // nothing, send nothing, and be charged no radio time — exactly like
+  // `disabled`, but driven through the per-slot liveness seam.
+  std::vector<char> down(topo.size(), 0);
+  down[8] = 1;
+  const FixedLiveness dead8(down);
+
+  ct::GlossyConfig cfg;
+  cfg.initiator = 0;
+  cfg.liveness = &dead8;
+  crypto::Xoshiro256 rng(9);
+  const ct::GlossyResult res = run_glossy(topo, cfg, rng);
+  EXPECT_EQ(res.first_rx_slot[8], ct::MiniCastResult::kNever);
+  EXPECT_EQ(res.tx_count[8], 0u);
+  EXPECT_EQ(res.radio_on_us[8], 0);
+  // The rest of the flood still works.
+  EXPECT_GT(res.coverage(), 0.8);
+}
+
+TEST(EngineDynamics, DownInitiatorKillsTheFloodImmediately) {
+  const net::Topology topo = grid9();
+  std::vector<char> down(topo.size(), 0);
+  down[0] = 1;
+  const FixedLiveness dead0(down);
+  ct::GlossyConfig cfg;
+  cfg.initiator = 0;
+  cfg.liveness = &dead0;
+  crypto::Xoshiro256 rng(9);
+  const ct::GlossyResult res = run_glossy(topo, cfg, rng);
+  EXPECT_EQ(res.slots_used, 0u);
+  EXPECT_EQ(res.coverage(), 0.0);
+}
+
+TEST(EngineDynamics, EveryTransportHonoursChurnAndLinkDynamics) {
+  // All four substrates must keep a whole-round-down node silent and
+  // uncharged, and must run to completion with a bursty channel model
+  // attached — minicast and glossy_floods via the chain engine's view,
+  // gossip via the reception model's view, unicast via the routing
+  // WalkEnv.
+  const net::Topology topo = grid9();
+  std::vector<char> down_mask(topo.size(), 0);
+  down_mask[8] = 1;
+  const FixedLiveness dead8(down_mask);
+
+  LinkDynamicsParams params;
+  params.seed = 13;
+  params.epoch_us = 20 * kMillisecond;
+  params.p_good_to_bad = 0.2;
+  params.p_bad_to_good = 0.5;
+  const LinkDynamics model(params);
+
+  const std::vector<ct::ChainEntry> entries{ct::ChainEntry{0},
+                                            ct::ChainEntry{4}};
+  for (const std::string& name : ct::transport_names()) {
+    const auto transport = ct::make_transport(name);
+    ct::MiniCastConfig cfg;
+    cfg.initiator = 0;
+    cfg.ntx = 4;
+    cfg.liveness = &dead8;
+    cfg.channel_model = &model;
+    cfg.start_time_us = 7 * kMillisecond;
+    crypto::Xoshiro256 rng(19);
+    const ct::MiniCastResult res =
+        transport->chain_round(topo, entries, cfg, rng);
+    EXPECT_EQ(res.tx_count[8], 0u) << name;
+    EXPECT_EQ(res.radio_on_us[8], 0) << name;
+    EXPECT_EQ(res.rx_slot[8][0], ct::MiniCastResult::kNever) << name;
+    EXPECT_EQ(res.rx_slot[8][1], ct::MiniCastResult::kNever) << name;
+    // The live part of the network still disseminates something.
+    EXPECT_GT(res.delivery_ratio(), 0.0) << name;
+
+    ct::GlossyConfig fcfg;
+    fcfg.initiator = 4;
+    fcfg.liveness = &dead8;
+    fcfg.channel_model = &model;
+    const ct::GlossyResult flood = transport->flood(topo, fcfg, rng);
+    EXPECT_EQ(flood.tx_count[8], 0u) << name;
+    EXPECT_EQ(flood.radio_on_us[8], 0) << name;
+    EXPECT_EQ(flood.first_rx_slot[8], ct::MiniCastResult::kNever) << name;
+  }
+}
+
+TEST(EngineDynamics, HeavyBurstsDegradeDeliveryUnderTheSameSeed) {
+  const net::Topology topo = net::testbeds::flocklab();
+  LinkDynamicsParams params;
+  params.seed = 31;
+  params.epoch_us = 10 * kMillisecond;
+  params.p_good_to_bad = 0.45;
+  params.p_bad_to_good = 0.3;
+  params.bad_extra_loss_db = 25.0;
+  const LinkDynamics model(params);
+
+  std::vector<ct::ChainEntry> entries;
+  for (NodeId i = 0; i < topo.size(); ++i) {
+    entries.push_back(ct::ChainEntry{i});
+  }
+  ct::MiniCastConfig cfg;
+  cfg.initiator = topo.center_node();
+  cfg.ntx = 3;
+  ct::MiniCastConfig stormy = cfg;
+  stormy.channel_model = &model;
+
+  crypto::Xoshiro256 rng_a(5);
+  crypto::Xoshiro256 rng_b(5);
+  const double calm =
+      run_minicast(topo, entries, cfg, rng_a).delivery_ratio();
+  const double storm =
+      run_minicast(topo, entries, stormy, rng_b).delivery_ratio();
+  EXPECT_LT(storm, calm);
+  EXPECT_GT(storm, 0.0);  // bursty, not apocalyptic
+}
+
+}  // namespace
+}  // namespace mpciot::sim::dynamics
