@@ -11,6 +11,7 @@ namespace mpciot::bench {
 
 void register_all_scenarios(bench_core::Registry& registry) {
   register_fig1_scenarios(registry);
+  register_adversary_sweep(registry);
   register_chain_scaling(registry);
   register_degree_sweep(registry);
   register_dynamics_sweep(registry);

@@ -15,6 +15,7 @@ namespace {
 /// derive_seed stream tags of the hierarchical round.
 constexpr std::uint64_t kStreamGroupSim = 0x47525053ull;   // group-phase sims
 constexpr std::uint64_t kStreamKeystore = 0x474B4559ull;   // per-group keys
+constexpr std::uint64_t kStreamJamFlood = 0x41445648ull;   // flood jammers
 
 /// Churn schedule of an induced subtopology: local ids looked up in the
 /// parent schedule. (Group rounds run on the trial clock, so times pass
@@ -97,6 +98,10 @@ HierarchicalProtocol::HierarchicalProtocol(const net::Topology& topo,
                  "hierarchical: need at least one channel");
   MPCIOT_REQUIRE(config_.max_batch >= 2 && config_.max_batch <= 64,
                  "hierarchical: max_batch must be in [2, 64]");
+  for (const NodeId a : config_.adversary.attackers) {
+    MPCIOT_REQUIRE(a < topo.size(),
+                   "hierarchical: attacker id out of range");
+  }
   net::partition::validate(topo, config_.partition);
 
   const std::size_t num_groups = config_.partition.groups.size();
@@ -142,6 +147,20 @@ HierarchicalProtocol::HierarchicalProtocol(const net::Topology& topo,
       cfg.initiator = group.leader_local;
       cfg.early_radio_off = config_.early_radio_off;
       cfg.max_chain_slots = config_.max_chain_slots;
+      // Attackers among this group's members, mapped to local ids; the
+      // group round then tampers/verifies/jams exactly like the flat
+      // protocol on its subtopology.
+      cfg.adversary = config_.adversary;
+      cfg.adversary.attackers.clear();
+      for (std::size_t i = 0; i < group.members.size(); ++i) {
+        if (std::find(config_.adversary.attackers.begin(),
+                      config_.adversary.attackers.end(),
+                      group.members[i]) !=
+            config_.adversary.attackers.end()) {
+          cfg.adversary.attackers.push_back(static_cast<NodeId>(i));
+        }
+      }
+      cfg.feldman_vss = config_.feldman_vss;
       group.batch_rounds.emplace_back(*group.sub, *group.keys,
                                       std::move(cfg), transport_);
     }
@@ -175,6 +194,22 @@ HierarchicalResult HierarchicalProtocol::run(
   result.radio_on_us.assign(n, 0);
   result.latency_us.assign(n, 0);
   result.has_result.assign(n, 0);
+  result.cheater_nodes.assign(n, 0);
+
+  // kJamSlots: the recombination and result floods run over the full
+  // topology, so they get a parent-id jammer decoration; group rounds
+  // jam themselves through their local adversary configs.
+  std::optional<JammerChannel> flood_jammer;
+  const net::ChannelModel* flood_channel = env.channel_model;
+  if (config_.adversary.active() &&
+      config_.adversary.kind == AttackKind::kJamSlots) {
+    flood_jammer.emplace(
+        env.channel_model, config_.adversary.attackers,
+        crypto::derive_seed(config_.adversary.seed, kStreamJamFlood,
+                            sim.seed()),
+        config_.adversary.jam_duty, config_.adversary.jam_epoch_us);
+    flood_channel = &*flood_jammer;
+  }
   // expected_sum accumulates from the accepted batch rounds below: a
   // source that is churn-down at its round's start never deals and is
   // excluded (matching SssProtocol's failed_nodes semantics), so a
@@ -279,11 +314,35 @@ HierarchicalResult HierarchicalProtocol::run(
           result.radio_on_us[group.members[local]] +=
               r.nodes[local].radio_on_us;
         }
+        // Cheater bookkeeping, mapped back to parent ids.
+        result.shares_rejected += r.shares_rejected;
+        result.sums_rejected += r.sums_rejected;
+        const ProtocolConfig& rcfg = round_to_run->config();
+        for (std::size_t s = 0; s < rcfg.sources.size(); ++s) {
+          if ((r.cheater_sources_mask >> s) & 1) {
+            result.cheater_nodes[group.members[rcfg.sources[s]]] = 1;
+          }
+        }
+        for (std::size_t h = 0; h < rcfg.share_holders.size(); ++h) {
+          if ((r.cheater_holders_mask >> h) & 1) {
+            result.cheater_nodes[group.members[rcfg.share_holders[h]]] = 1;
+          }
+        }
         const NodeOutcome& leader = r.nodes[lead_local];
         if (!leader.has_aggregate) continue;
         leader_ok = true;
         out.sum += leader.aggregate;
-        result.expected_sum += r.expected_sum;
+        // Expected covers what the leader's aggregate claims (detected
+        // cheaters excluded); whether that claim suffices is
+        // aggregate_correct's job. Honest rounds: the leader is correct
+        // iff its mask is exactly the dealing sources, so this equals
+        // the old "sum over dealing sources" accumulation whenever the
+        // verdict below accepts.
+        for (std::size_t s = 0; s < batch_secrets.size(); ++s) {
+          if ((leader.contributor_mask >> s) & 1) {
+            result.expected_sum += batch_secrets[s];
+          }
+        }
         if (!leader.aggregate_correct) out.sum_correct = false;
         for (std::size_t local = 0; local < group.members.size(); ++local) {
           if (!r.nodes[local].has_aggregate ||
@@ -380,7 +439,7 @@ HierarchicalResult HierarchicalProtocol::run(
       fcfg.ntx = config_.result_flood_ntx;
       fcfg.payload_bytes = SumPacket::kWireSize;
       fcfg.max_slots = config_.max_chain_slots;
-      fcfg.channel_model = env.channel_model;
+      fcfg.channel_model = flood_channel;
       fcfg.liveness = env.liveness;
       bool delivered = false;
       ct::GlossyResult flood;
@@ -452,7 +511,7 @@ HierarchicalResult HierarchicalProtocol::run(
     fcfg.max_slots = config_.max_chain_slots;
     fcfg.start_time_us = env.start_time_us + result.group_phase_us +
                          result.recombine_us;
-    fcfg.channel_model = env.channel_model;
+    fcfg.channel_model = flood_channel;
     fcfg.liveness = env.liveness;
     flood = transport_->flood(*topo_, fcfg, sim.channel_rng(),
                               &trial_scratch);

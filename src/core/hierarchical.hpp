@@ -72,6 +72,15 @@ struct HierarchicalConfig {
   /// Seeds the per-group keystores (pairwise keys are a deployment
   /// artifact, not per-trial randomness).
   std::uint64_t key_seed = 0x6B657973ull;
+  /// Active-misbehaviour model. Attacker ids are PARENT ids: each group
+  /// round maps the attackers among its members onto local ids, and the
+  /// recombination/result floods are jammed over the full topology
+  /// (kJamSlots). Byzantine *leaders* (misreporting a whole group sum)
+  /// are out of scope — the threat model is member-level, matching the
+  /// flat protocol's.
+  AdversaryConfig adversary;
+  /// Feldman VSS inside every group round (see ProtocolConfig).
+  bool feldman_vss = false;
 };
 
 struct GroupOutcome {
@@ -115,6 +124,14 @@ struct HierarchicalResult {
   /// Leader hand-offs across all phases (group rounds + recombination +
   /// result flood) forced by churn-down leaders.
   std::uint32_t leader_reelections = 0;
+
+  /// Byzantine bookkeeping summed over every group round run (retries
+  /// included); all zero without an adversary and with VSS off.
+  std::uint32_t shares_rejected = 0;
+  std::uint32_t sums_rejected = 0;
+  /// Per parent node: flagged as a cheater (share- or sum-level) by
+  /// commitment verification in at least one group round.
+  std::vector<char> cheater_nodes;
 
   /// Per parent node: radio-on time across every round the node took
   /// part in, and the time at which it first held the global aggregate.

@@ -8,12 +8,16 @@
 #include "common/assert.hpp"
 #include "core/bootstrap.hpp"
 #include "core/wire.hpp"
+#include "crypto/feldman.hpp"
 #include "ct/chain_schedule.hpp"
 #include "ct/glossy.hpp"
 
 namespace mpciot::core {
 
 namespace {
+
+/// derive_seed stream tag mixing the trial seed into the jam schedule.
+constexpr std::uint64_t kStreamJamTrial = 0x41445654ull;  // "ADVT"
 
 /// Index lookup: node id -> position in a schedule list.
 std::unordered_map<NodeId, std::size_t> index_of(
@@ -117,7 +121,8 @@ SssProtocol::SssProtocol(const net::Topology& topo,
       keys_(&keys),
       config_(std::move(config)),
       transport_(transport != nullptr ? transport
-                                      : &ct::minicast_transport()) {
+                                      : &ct::minicast_transport()),
+      engine_(config_.adversary, topo.size()) {
   MPCIOT_REQUIRE(!config_.sources.empty(), "protocol: no sources");
   MPCIOT_REQUIRE(config_.sources.size() <= 64,
                  "protocol: at most 64 sources per round");
@@ -184,6 +189,19 @@ AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
     return !dead[i] && !down_at_start[i];
   };
 
+  // kJamSlots: decorate the trial's channel model so every transport
+  // inherits the jammers through the channel seam. The decorator lives
+  // on this frame; `adv_env` shadows the environment for the round.
+  std::optional<JammerChannel> jammer;
+  RoundEnv adv_env = env;
+  if (engine_.active() && engine_.kind() == AttackKind::kJamSlots) {
+    jammer.emplace(env.channel_model, config_.adversary.attackers,
+                   crypto::derive_seed(config_.adversary.seed,
+                                       kStreamJamTrial, sim.seed()),
+                   config_.adversary.jam_duty, config_.adversary.jam_epoch_us);
+    adv_env.channel_model = &*jammer;
+  }
+
   const auto src_index = index_of(config_.sources);
   const auto holder_index = index_of(config_.share_holders);
 
@@ -204,6 +222,42 @@ AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
     live_source_mask |= (std::uint64_t{1} << i);
   }
 
+  const std::uint64_t attacker_source_bits =
+      engine_.active() ? engine_.attacker_bits(config_.sources) : 0;
+  // Honest nodes must end up with an aggregate covering at least these.
+  const std::uint64_t required_mask = live_source_mask & ~attacker_source_bits;
+
+  // Feldman VSS: one commitment per dealing source. Attackers commit to
+  // their true polynomial — a forged commitment could only widen the
+  // detection surface, so an honest commitment with tampered shares is
+  // the verifier's worst case.
+  std::vector<std::optional<crypto::feldman::Commitment>> commitments(
+      num_sources);
+  const std::uint32_t vss_bytes =
+      config_.feldman_vss
+          ? static_cast<std::uint32_t>(
+                (k + 1) * crypto::feldman::Commitment::kElementBytes)
+          : 0;
+  if (config_.feldman_vss) {
+    for (std::size_t s = 0; s < num_sources; ++s) {
+      if (dealers[s].has_value()) {
+        commitments[s] = crypto::feldman::commit(dealers[s]->polynomial());
+      }
+    }
+  }
+
+  // kInconsistentShares: the second polynomial each attacker source
+  // deals to its equivocation targets.
+  std::vector<std::optional<ShamirDealer>> equiv_dealers(num_sources);
+  if (engine_.active() && engine_.kind() == AttackKind::kInconsistentShares) {
+    for (std::size_t s = 0; s < num_sources; ++s) {
+      if (dealers[s].has_value() && engine_.is_attacker(config_.sources[s])) {
+        equiv_dealers[s] = engine_.equivocation_dealer(
+            sim.seed(), config_.round, config_.sources[s], secrets[s], k);
+      }
+    }
+  }
+
   // One context serves every phase of the round (and, when the caller
   // provides one, the whole trial): buffers are reused and the
   // epoch-walked channel view continues instead of replaying the
@@ -218,7 +272,7 @@ AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
   sync_cfg.ntx = 3;
   sync_cfg.payload_bytes = 8;
   sync_cfg.start_time_us = env.start_time_us;
-  sync_cfg.channel_model = env.channel_model;
+  sync_cfg.channel_model = adv_env.channel_model;
   sync_cfg.liveness = env.liveness;
   const ct::GlossyResult sync =
       transport_->flood(*topo_, sync_cfg, sim.channel_rng(), round_scratch);
@@ -246,14 +300,14 @@ AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
       pick_phase_initiator(*topo_, config_.initiator, config_.sources, dead,
                            env.liveness, share_start_us);
   share_cfg.ntx = config_.ntx_sharing;
-  share_cfg.payload_bytes = SharePacket::kWireSize;
+  share_cfg.payload_bytes = SharePacket::kWireSize + vss_bytes;
   share_cfg.max_chain_slots = config_.max_chain_slots;
   share_cfg.radio_policy = config_.early_radio_off
                                ? ct::RadioPolicy::kEarlyOff
                                : ct::RadioPolicy::kUntilQuiescence;
   share_cfg.disabled = dead;
   share_cfg.start_time_us = share_start_us;
-  share_cfg.channel_model = env.channel_model;
+  share_cfg.channel_model = adv_env.channel_model;
   share_cfg.liveness = env.liveness;
   // Slot-synced owners of the sharing chain: sources that actually
   // dealt (a source down at round start has nothing to inject even
@@ -298,6 +352,8 @@ AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
   std::vector<HolderSum> holder_sums(num_holders);
   std::size_t delivered = 0;
   std::size_t deliverable = 0;
+  std::uint64_t cheater_sources_mask = 0;
+  std::uint32_t shares_rejected = 0;
 
   for (std::size_t h = 0; h < num_holders; ++h) {
     const NodeId holder = config_.share_holders[h];
@@ -310,27 +366,86 @@ AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
       ++deliverable;
       const std::size_t entry = sharing.entry_index(s, h);
       if (src == holder) {
-        // Own share never travels on air.
+        // Own share never travels on air (and is trivially consistent).
         acc.sum += dealers[s]->share_for(holder).value;
         acc.contributors |= (std::uint64_t{1} << s);
         ++delivered;
         continue;
       }
       if (!share_round.node_has(holder, entry)) continue;
+      ++delivered;
+      // The value the source put on the air: its honest share unless it
+      // is an attacker misdealing to this holder.
+      field::Fp61 on_air = dealers[s]->share_for(holder).value;
+      if (engine_.is_attacker(src)) {
+        if (engine_.kind() == AttackKind::kMalformedShares) {
+          on_air = engine_.malformed_share(sim.seed(), config_.round, src,
+                                           holder, on_air);
+        } else if (engine_.kind() == AttackKind::kInconsistentShares &&
+                   engine_.equivocation_target(src, h)) {
+          on_air = equiv_dealers[s]->share_for(holder).value;
+        }
+      }
       // Decode the actual wire bytes the source would have sent.
       SharePacket pkt;
       pkt.source = src;
       pkt.destination = holder;
       pkt.round = config_.round;
-      pkt.share = dealers[s]->share_for(holder).value;
+      pkt.share = on_air;
       const Bytes wire = pkt.encode(*keys_);
       const std::optional<SharePacket> decoded =
           SharePacket::decode(wire, *keys_);
       MPCIOT_ENSURE(decoded.has_value(),
                     "protocol: AES/CMAC round-trip must succeed");
+      // Share-accept verification (VSS on): drop anything off the
+      // committed polynomial and remember the cheater.
+      if (commitments[s].has_value() &&
+          !crypto::feldman::verify_share(*commitments[s],
+                                         public_point(holder),
+                                         decoded->share)) {
+        ++shares_rejected;
+        cheater_sources_mask |= (std::uint64_t{1} << s);
+        continue;
+      }
       acc.sum += decoded->share;
       acc.contributors |= (std::uint64_t{1} << s);
-      ++delivered;
+    }
+  }
+
+  // kPollutedSums: attacker-held collectors fold a nonzero offset into
+  // the point-sum they broadcast (contributor bitmap left honest).
+  if (engine_.active() && engine_.kind() == AttackKind::kPollutedSums) {
+    for (std::size_t h = 0; h < num_holders; ++h) {
+      const NodeId holder = config_.share_holders[h];
+      if (!holder_sums[h].valid || !engine_.is_attacker(holder)) continue;
+      holder_sums[h].sum +=
+          engine_.sum_pollution(sim.seed(), config_.round, holder);
+    }
+  }
+
+  // Point-sum verdicts (observer-independent): with VSS on, a holder's
+  // broadcast sum either matches the product of its contributors'
+  // commitments or it does not. Which *observers* can apply a verdict
+  // depends on the commitments they heard — resolved per node in stage
+  // 3; the verdict itself is computed once here.
+  std::vector<char> sum_bad(num_holders, 0);
+  if (config_.feldman_vss) {
+    for (std::size_t h = 0; h < num_holders; ++h) {
+      if (!holder_sums[h].valid || holder_sums[h].contributors == 0) continue;
+      std::vector<const crypto::feldman::Commitment*> parts;
+      for (std::size_t s = 0; s < num_sources; ++s) {
+        if ((holder_sums[h].contributors >> s) & 1) {
+          parts.push_back(&*commitments[s]);
+        }
+      }
+      const crypto::feldman::Commitment product =
+          crypto::feldman::combine(parts);
+      sum_bad[h] =
+          crypto::feldman::verify_share(
+              product, public_point(config_.share_holders[h]),
+              holder_sums[h].sum)
+              ? 0
+              : 1;
     }
   }
 
@@ -357,9 +472,13 @@ AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
       best_mask = mask;
     }
   }
+  // Completion counts only sums a verifying receiver would accept: with
+  // VSS on nodes verify point-sums on reception, so a known-bad sum does
+  // not count toward the k+1 threshold and the radio stays on longer.
   std::vector<std::size_t> usable_bits;
   for (std::size_t h = 0; h < num_holders; ++h) {
-    if (holder_sums[h].valid && holder_sums[h].contributors == best_mask) {
+    if (holder_sums[h].valid && holder_sums[h].contributors == best_mask &&
+        !sum_bad[h]) {
       usable_bits.push_back(h);
     }
   }
@@ -377,7 +496,7 @@ AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
   recon_cfg.radio_policy = share_cfg.radio_policy;
   recon_cfg.disabled = dead;
   recon_cfg.start_time_us = recon_start_us;
-  recon_cfg.channel_model = env.channel_model;
+  recon_cfg.channel_model = adv_env.channel_model;
   recon_cfg.liveness = env.liveness;
   recon_cfg.scheduled_owners = synced(config_.share_holders);
   recon_cfg.done = [&](NodeId /*node*/, ct::BitView have) {
@@ -407,6 +526,9 @@ AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
       ++result.complete_holders;
     }
   }
+  result.cheater_sources_mask = cheater_sources_mask;
+  result.shares_rejected = shares_rejected;
+  result.vss_commit_bytes = vss_bytes;
 
   const SimTime prefix_us = sync.duration_us + share_round.duration_us;
   for (NodeId node = 0; node < n; ++node) {
@@ -414,6 +536,23 @@ AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
     if (dead[node]) continue;
     out.radio_on_us = sync.radio_on_us[node] + share_round.radio_on_us[node] +
                       recon_round.radio_on_us[node];
+
+    // With VSS on, this node can apply a point-sum verdict only for
+    // holders whose full contributor commitment set it heard during the
+    // sharing phase (one sharing entry per source suffices: a dealer's
+    // commitment rides every share packet it sends).
+    std::uint64_t commit_bits = 0;
+    if (config_.feldman_vss) {
+      for (std::size_t s = 0; s < num_sources; ++s) {
+        if (!commitments[s].has_value()) continue;
+        for (std::size_t hh = 0; hh < num_holders; ++hh) {
+          if (share_round.node_has(node, sharing.entry_index(s, hh))) {
+            commit_bits |= (std::uint64_t{1} << s);
+            break;
+          }
+        }
+      }
+    }
 
     // Collect the sums this node decoded (own sum included for holders).
     std::unordered_map<std::uint64_t, std::vector<Share>> groups;
@@ -432,6 +571,12 @@ AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
       pkt.contributors = holder_sums[h].contributors;
       const std::optional<SumPacket> decoded = SumPacket::decode(pkt.encode());
       MPCIOT_ENSURE(decoded.has_value(), "protocol: SumPacket round-trip");
+      if (config_.feldman_vss && sum_bad[h] &&
+          (decoded->contributors & ~commit_bits) == 0) {
+        ++result.sums_rejected;
+        result.cheater_holders_mask |= (std::uint64_t{1} << h);
+        continue;
+      }
       groups[decoded->contributors].push_back(
           Share{decoded->holder, decoded->sum});
     }
@@ -453,8 +598,17 @@ AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
     out.has_aggregate = true;
     out.sums_used = static_cast<std::uint32_t>(chosen->size());
     out.aggregate = reconstruct(*chosen, k);
+    out.contributor_mask = chosen_mask;
+    // Correct = covers every live honest source (attackers may or may
+    // not land in the aggregate — either is fine as long as the value
+    // matches the contributor mask the node ended up with).
+    field::Fp61 chosen_expected;
+    for (std::size_t s = 0; s < num_sources; ++s) {
+      if ((chosen_mask >> s) & 1) chosen_expected += secrets[s];
+    }
     out.aggregate_correct =
-        (chosen_mask == live_source_mask) && (out.aggregate == expected_sum);
+        ((chosen_mask & required_mask) == required_mask) &&
+        (out.aggregate == chosen_expected);
 
     const std::int32_t done_slot = recon_round.done_slot[node];
     if (done_slot >= 0) {

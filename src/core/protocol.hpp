@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "core/adversary.hpp"
 #include "core/shamir.hpp"
 #include "crypto/keystore.hpp"
 #include "ct/minicast.hpp"
@@ -75,15 +76,29 @@ struct ProtocolConfig {
   std::uint32_t max_chain_slots = 512;
   /// Failure injection: nodes dead for the entire round.
   std::vector<NodeId> failed_nodes;
+  /// Active-misbehaviour model (kNone: every node honest — the default
+  /// consumes no randomness and leaves frozen rounds byte-identical).
+  AdversaryConfig adversary;
+  /// Feldman VSS: dealers attach polynomial commitments to their
+  /// sharing packets (raising the sharing payload by
+  /// 16 * (degree + 1) bytes), holders verify every share at accept
+  /// time and drop cheaters, and reconstructors verify point-sums they
+  /// hold all contributor commitments for. Off by default: the paper's
+  /// baseline protocol, byte-identical to previous revisions.
+  bool feldman_vss = false;
 };
 
 struct NodeOutcome {
   bool has_aggregate = false;
-  /// Aggregate equals the sum of the secrets of all live sources.
+  /// The aggregate covers every live honest source and equals the sum
+  /// of the secrets its contributor mask claims. Without an adversary
+  /// this is exactly "equals the sum over all live sources".
   bool aggregate_correct = false;
   field::Fp61 aggregate;
   /// Number of consistent sums the node reconstructed from.
   std::uint32_t sums_used = 0;
+  /// Source-list bitmap the node's aggregate covers (bit i = sources[i]).
+  std::uint64_t contributor_mask = 0;
   SimTime latency_us = 0;
   SimTime radio_on_us = 0;
 };
@@ -100,6 +115,21 @@ struct AggregationResult {
   double share_delivery_ratio = 0.0;
   /// Holders that assembled a complete sum (all live sources).
   std::uint32_t complete_holders = 0;
+
+  // Byzantine bookkeeping — all zero when no adversary is bound and
+  // feldman_vss is off (the frozen baseline).
+  /// Source-list bitmap of dealers whose share failed a commitment
+  /// check at some holder.
+  std::uint64_t cheater_sources_mask = 0;
+  /// Holder-list bitmap of collectors whose point-sum failed the
+  /// homomorphic commitment check at some verifying node.
+  std::uint64_t cheater_holders_mask = 0;
+  /// Share-accept rejections across all holders.
+  std::uint32_t shares_rejected = 0;
+  /// Point-sum rejections across all verifying nodes.
+  std::uint32_t sums_rejected = 0;
+  /// Commitment bytes attached to each sharing packet (0 without VSS).
+  std::uint32_t vss_commit_bytes = 0;
 
   /// Fraction of live nodes holding a correct aggregate.
   double success_ratio() const;
@@ -148,6 +178,7 @@ class SssProtocol {
   const crypto::KeyStore* keys_;
   ProtocolConfig config_;
   const ct::Transport* transport_;
+  AdversaryEngine engine_;
 };
 
 /// Naive S3: holders = sources, no early radio-off. `ntx_full` should be

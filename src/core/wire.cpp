@@ -1,5 +1,6 @@
 #include "core/wire.hpp"
 
+#include <bit>
 #include <cstring>
 
 #include "common/assert.hpp"
@@ -84,7 +85,13 @@ std::optional<SharePacket> SharePacket::decode(const Bytes& wire,
                                                 pkt.round, /*sequence=*/0);
   ctr.crypt(nonce, std::span<const std::uint8_t>{wire.data() + 6, 8},
             std::span<std::uint8_t>{plain, 8});
-  pkt.share = field::Fp61{get_u64(plain)};
+  // Canonical field encoding only: Fp61's constructor would silently
+  // reduce an out-of-range word, letting a non-canonical encoding alias
+  // a legitimate share (the truncated tag makes forgery cheap enough
+  // that defense in depth here is warranted).
+  const std::uint64_t share_raw = get_u64(plain);
+  if (share_raw >= field::Fp61::kModulus) return std::nullopt;
+  pkt.share = field::Fp61{share_raw};
   return pkt;
 }
 
@@ -105,8 +112,17 @@ std::optional<SumPacket> SumPacket::decode(const Bytes& wire) {
   pkt.holder = get_u16(wire.data());
   pkt.contribution_count = wire[2];
   pkt.round = get_u16(wire.data() + 3);
-  pkt.sum = field::Fp61{get_u64(wire.data() + 5)};
+  // SumPackets travel in plaintext, so internal consistency is the only
+  // line of defense: the sum must be a canonical field encoding and the
+  // explicit count must match the bitmap it summarizes.
+  const std::uint64_t sum_raw = get_u64(wire.data() + 5);
+  if (sum_raw >= field::Fp61::kModulus) return std::nullopt;
+  pkt.sum = field::Fp61{sum_raw};
   pkt.contributors = get_u64(wire.data() + 13);
+  if (pkt.contribution_count !=
+      static_cast<std::uint8_t>(std::popcount(pkt.contributors))) {
+    return std::nullopt;
+  }
   return pkt;
 }
 

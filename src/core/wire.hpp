@@ -40,7 +40,9 @@ struct SharePacket {
   /// Encrypt and serialize under the (source, destination) pairwise key.
   Bytes encode(const crypto::KeyStore& keys) const;
 
-  /// Parse + decrypt + authenticate. Returns nullopt if the tag fails.
+  /// Parse + decrypt + authenticate. Returns nullopt on a size
+  /// mismatch, out-of-range/self-addressed ids, a failed tag, or a
+  /// non-canonical (>= p) share encoding.
   static std::optional<SharePacket> decode(const Bytes& wire,
                                            const crypto::KeyStore& keys);
 };
@@ -60,6 +62,8 @@ struct SumPacket {
   std::uint64_t contributors = 0;
 
   Bytes encode() const;
+  /// Returns nullopt on a size mismatch, a non-canonical (>= p) sum
+  /// encoding, or a count that disagrees with the contributor bitmap.
   static std::optional<SumPacket> decode(const Bytes& wire);
 };
 

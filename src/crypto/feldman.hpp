@@ -1,0 +1,100 @@
+// Feldman verifiable secret sharing (Feldman, FOCS 1987) layered on the
+// Shamir dealing in core::shamir.
+//
+// A dealer with polynomial P(x) = a_0 + a_1 x + ... + a_k x^k publishes
+// the commitment vector C_j = g^{a_j} in a group where discrete log is
+// hard. Any holder of the share y = P(x) checks
+//
+//   g^y  ==  C_0 * C_1^x * C_2^{x^2} * ... * C_k^{x^k}
+//
+// (Horner in the exponent), which holds iff y really is P(x): a cheating
+// dealer that hands out a value off its committed polynomial is caught
+// at share-accept time, before the bad share ever poisons a holder sum.
+// The commitments are additively homomorphic — componentwise products
+// commit to the sum polynomial — so the same check verifies the
+// aggregated point-sums the reconstruction phase floods.
+//
+// Group: shares live in Fp61 (p = 2^61 - 1), so exponents are mod p and
+// the commitment group must have order exactly p. No 64-bit prime
+// q = h*p + 1 exists (h in {2, 4, 6} are the only cofactors that fit,
+// none of which gives a prime), so we use the order-p subgroup of Z_q^*
+// for the 127-bit prime q = h*p + 1, h = 73786976294838206446, with
+// generator g = 2^h mod q. Elements are 16 bytes on the wire; arithmetic
+// is fixed-width Montgomery multiplication on unsigned __int128 (no
+// heap, constant-time-shaped), fast enough to verify every share of
+// every simulated round.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "field/fp61.hpp"
+#include "field/polynomial.hpp"
+
+namespace mpciot::crypto::feldman {
+
+/// An element of the order-p subgroup of Z_q^*, in canonical (non-
+/// Montgomery) representation: value = hi * 2^64 + lo, 0 < value < q.
+struct GroupElement {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const GroupElement&, const GroupElement&) = default;
+};
+
+/// The subgroup generator g (order exactly p = Fp61::kModulus).
+GroupElement generator();
+
+/// g^e for e in [0, p).
+GroupElement power_of_g(field::Fp61 e);
+
+/// a * b in the group.
+GroupElement mul(const GroupElement& a, const GroupElement& b);
+
+/// a^e for a 64-bit exponent.
+GroupElement pow(const GroupElement& a, std::uint64_t e);
+
+/// Membership test: 0 < v < q and v^p == 1 (one 61-bit exponentiation;
+/// used by deserializers and tests, not by the verify hot path).
+bool in_group(const GroupElement& v);
+
+/// Commitment to one dealer polynomial: element j is g^{coeffs[j]},
+/// low-degree-first, exactly degree+1 elements.
+struct Commitment {
+  /// Wire bytes per element (two big-endian u64 words).
+  static constexpr std::size_t kElementBytes = 16;
+
+  std::vector<GroupElement> elements;
+
+  std::size_t degree() const { return elements.size() - 1; }
+  /// On-air size when attached to a sharing packet.
+  std::size_t wire_size() const {
+    return elements.size() * kElementBytes;
+  }
+
+  friend bool operator==(const Commitment&, const Commitment&) = default;
+};
+
+/// Commit to a dealer polynomial. Precondition: poly not zero.
+Commitment commit(const field::Polynomial& poly);
+
+/// Verify that `share` is the committed polynomial's value at point `x`
+/// (for core::shamir, x = public_point(holder)).
+bool verify_share(const Commitment& commitment, field::Fp61 x,
+                  field::Fp61 share);
+
+/// Componentwise product: the commitment to the sum of the committed
+/// polynomials. Precondition: all commitments present, equal degree.
+Commitment combine(const std::vector<const Commitment*>& parts);
+
+/// Big-endian serialization (kElementBytes per element), the layout the
+/// sharing packets would carry.
+std::vector<std::uint8_t> serialize(const Commitment& commitment);
+
+/// Parse + validate: size a positive multiple of kElementBytes and every
+/// element a member of the subgroup. Returns an empty commitment (no
+/// elements) on any malformed input.
+Commitment deserialize(const std::uint8_t* data, std::size_t size);
+
+}  // namespace mpciot::crypto::feldman

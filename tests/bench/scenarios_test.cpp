@@ -19,14 +19,15 @@ Registry make_registry() {
   return reg;
 }
 
-TEST(Scenarios, AllTwelveRegistered) {
+TEST(Scenarios, AllThirteenRegistered) {
   const Registry reg = make_registry();
   const char* expected[] = {
-      "fig1_flocklab",  "fig1_dcube",   "chain_scaling",
-      "degree_sweep",   "dynamics_sweep", "fault_tolerance",
-      "he_vs_mpc",      "hierarchy_scaling", "ntx_coverage",
-      "payload_size",   "transport_matrix", "unicast_vs_ct"};
-  EXPECT_EQ(reg.all().size(), 12u);
+      "fig1_flocklab",  "fig1_dcube",   "adversary_sweep",
+      "chain_scaling",  "degree_sweep", "dynamics_sweep",
+      "fault_tolerance", "he_vs_mpc",   "hierarchy_scaling",
+      "ntx_coverage",   "payload_size", "transport_matrix",
+      "unicast_vs_ct"};
+  EXPECT_EQ(reg.all().size(), 13u);
   for (const char* name : expected) {
     ASSERT_NE(reg.find(name), nullptr) << name;
     EXPECT_FALSE(reg.find(name)->description.empty()) << name;
@@ -122,6 +123,83 @@ TEST(Scenarios, DynamicsSweepDegradesMonotonicallyWithChurn) {
   // The static baseline rows exist and anchor the vs_static columns.
   EXPECT_EQ(rows[0].json().find("burst_epochs")->as_uint(), 0u);
   EXPECT_EQ(rows[0].json().find("latency_vs_static")->as_double(), 1.0);
+}
+
+TEST(Scenarios, AdversarySweepDetectsCheatersAndRecovers) {
+  const Registry reg = make_registry();
+  ScenarioContext ctx;
+  ctx.reps = 2;
+  ctx.jobs = 0;
+  const auto rows = reg.find("adversary_sweep")->run(ctx);
+  // 2 testbeds x 4 transports x 17 axis points.
+  ASSERT_EQ(rows.size(), 136u);
+
+  // The sharp claims hold on the CT substrates, whose honest baseline
+  // completes at 100% (gossip cannot carry an S4 round even with
+  // nobody cheating — see transport_matrix — and unicast's baseline
+  // already drops nodes).
+  auto is_ct = [](const std::string& t) {
+    return t == "minicast" || t == "glossy_floods";
+  };
+  // shares_rejected per (testbed, transport) malformed+VSS block, in
+  // attacker-fraction order — pinned strictly increasing below.
+  std::vector<double> rejected_block;
+  std::size_t ct_malformed_vss = 0;
+  for (const auto& row : rows) {
+    const auto& j = row.json();
+    const std::string transport = j.find("transport")->as_string();
+    const std::string attack = j.find("attack")->as_string();
+    const bool vss = j.find("vss")->as_uint() == 1;
+    const double detect = j.find("detect_pct")->as_double();
+    const double honest = j.find("honest_success_pct")->as_double();
+
+    // Commitments travel iff VSS is on: 16 B x (degree+1).
+    EXPECT_EQ(j.find("commit_bytes")->as_uint(), vss ? 96u : 0u);
+    if (!is_ct(transport)) continue;
+
+    if (attack == "none") {
+      EXPECT_EQ(honest, 100.0);
+      EXPECT_EQ(j.find("shares_rejected")->as_double(), 0.0);
+      EXPECT_EQ(j.find("sums_rejected")->as_double(), 0.0);
+    } else if (attack == "malformed" && vss) {
+      // The headline acceptance bound: essentially every malformed-
+      // share injector is caught and the round still aggregates
+      // correctly for every honest node.
+      ++ct_malformed_vss;
+      EXPECT_GE(detect, 99.0) << transport;
+      EXPECT_GE(honest, 99.0) << transport;
+      rejected_block.push_back(j.find("shares_rejected")->as_double());
+      if (rejected_block.size() > 1) {
+        EXPECT_GT(rejected_block.back(),
+                  rejected_block[rejected_block.size() - 2])
+            << "rejections must grow with the attacker fraction";
+      }
+      if (rejected_block.size() == 3) rejected_block.clear();
+    } else if (attack == "malformed" && !vss) {
+      // Without verification the same attack corrupts every node's
+      // aggregate silently — nothing rejected, nothing correct.
+      EXPECT_EQ(detect, 0.0);
+      EXPECT_EQ(honest, 0.0) << transport;
+      EXPECT_EQ(j.find("shares_rejected")->as_double(), 0.0);
+    } else if (attack == "inconsistent") {
+      // Equivocating dealers are always caught by the holders they
+      // target; recovery needs complaint rounds (out of scope), so
+      // only detection is pinned.
+      EXPECT_GE(detect, 99.0) << transport;
+    } else if (attack == "polluted") {
+      EXPECT_GE(detect, 99.0) << transport;
+      EXPECT_GE(honest, 99.0) << transport;
+      EXPECT_GT(j.find("sums_rejected")->as_double(), 0.0);
+    } else if (attack == "jam") {
+      // Jamming is a pure availability attack: invisible to the
+      // commitment layer.
+      EXPECT_EQ(detect, 0.0);
+      EXPECT_EQ(j.find("shares_rejected")->as_double(), 0.0);
+      EXPECT_EQ(j.find("sums_rejected")->as_double(), 0.0);
+    }
+  }
+  // 2 testbeds x 2 CT transports x 3 fractions.
+  EXPECT_EQ(ct_malformed_vss, 12u);
 }
 
 TEST(Scenarios, NtxCoverageHonorsMaxNtxParam) {

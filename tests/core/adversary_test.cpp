@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "crypto/prng.hpp"
+#include "net/testbeds.hpp"
 
 namespace mpciot::core {
 namespace {
@@ -78,6 +79,141 @@ TEST(ConsistentPolynomial, SingleShareOfHighDegreeLeaksNothing) {
     EXPECT_TRUE(
         consistent_polynomial_for(view, 8, Fp61{candidate}).has_value());
   }
+}
+
+TEST(AttemptReconstruction, MatchesThresholdPredicate) {
+  constexpr std::size_t kDegree = 3;
+  crypto::CtrDrbg drbg(4, 0);
+  const Fp61 secret{987654321};
+  const ShamirDealer dealer(secret, kDegree, drbg);
+  CollusionView view;
+  for (NodeId h = 0; h < 6; ++h) {
+    view.observed_shares.push_back(dealer.share_for(h));
+    const ReconstructionAttempt attempt =
+        attempt_reconstruction(view, kDegree);
+    EXPECT_EQ(attempt.meets_threshold,
+              can_reconstruct(kDegree, view.observed_shares.size()));
+    EXPECT_EQ(attempt.value == secret, attempt.meets_threshold);
+  }
+}
+
+TEST(AdversaryEngine, InactiveConfigurationsDoNothing) {
+  // kNone with attackers, and an attack kind with no attackers, are
+  // both inert — the byte-identity guarantee for every frozen scenario.
+  AdversaryConfig with_nodes;
+  with_nodes.kind = AttackKind::kNone;
+  with_nodes.attackers = {1, 2};
+  EXPECT_FALSE(with_nodes.active());
+  AdversaryConfig no_nodes;
+  no_nodes.kind = AttackKind::kMalformedShares;
+  EXPECT_FALSE(no_nodes.active());
+  const AdversaryEngine engine(with_nodes, 8);
+  EXPECT_FALSE(engine.active());
+  EXPECT_TRUE(engine.is_attacker(1));  // membership still answers
+}
+
+TEST(AdversaryEngine, DrawsAreDeterministicAndDomainSeparated) {
+  AdversaryConfig cfg;
+  cfg.kind = AttackKind::kMalformedShares;
+  cfg.attackers = {3};
+  cfg.seed = 77;
+  const AdversaryEngine a(cfg, 16);
+  const AdversaryEngine b(cfg, 16);
+  const Fp61 honest{1000};
+
+  // Same (trial, round, attacker, holder) -> same draw, across engine
+  // instances: the engine is stateless.
+  EXPECT_EQ(a.malformed_share(5, 0, 3, 7, honest),
+            b.malformed_share(5, 0, 3, 7, honest));
+  EXPECT_EQ(a.sum_pollution(5, 0, 3), b.sum_pollution(5, 0, 3));
+  // Different coordinates -> (overwhelmingly) different draws.
+  EXPECT_NE(a.malformed_share(5, 0, 3, 7, honest),
+            a.malformed_share(6, 0, 3, 7, honest));
+  EXPECT_NE(a.malformed_share(5, 0, 3, 7, honest),
+            a.malformed_share(5, 0, 3, 8, honest));
+  // The malformed value never equals the honest share it replaces, and
+  // pollution offsets are never zero — detection must be guaranteed.
+  for (std::uint64_t t = 0; t < 200; ++t) {
+    EXPECT_NE(a.malformed_share(t, 1, 3, 2, honest), honest);
+    EXPECT_NE(a.sum_pollution(t, 1, 3), Fp61{0});
+  }
+}
+
+TEST(AdversaryEngine, EquivocationSplitsHoldersAndKeepsTheSecret) {
+  AdversaryConfig cfg;
+  cfg.kind = AttackKind::kInconsistentShares;
+  cfg.attackers = {0};
+  cfg.seed = 9;
+  const AdversaryEngine engine(cfg, 32);
+
+  // The target set is a fixed, engine-independent function: some but
+  // not all of a reasonable holder list gets the second polynomial.
+  std::size_t targeted = 0;
+  for (std::size_t h = 0; h < 20; ++h) {
+    if (engine.equivocation_target(0, h)) ++targeted;
+  }
+  EXPECT_GT(targeted, 0u);
+  EXPECT_LT(targeted, 20u);
+
+  // The equivocation polynomial shares the secret and degree but not
+  // the coefficients: below-threshold shares differ, reconstruction
+  // from either polynomial yields the same secret.
+  const Fp61 secret{321};
+  constexpr std::size_t kDegree = 2;
+  crypto::CtrDrbg honest_drbg(10, 0);
+  const ShamirDealer honest(secret, kDegree, honest_drbg);
+  const ShamirDealer equiv =
+      engine.equivocation_dealer(55, 0, 0, secret, kDegree);
+  EXPECT_EQ(equiv.degree(), kDegree);
+  std::vector<Share> shares = equiv.shares_for({1, 2, 3});
+  EXPECT_EQ(reconstruct(shares, kDegree), secret);
+  EXPECT_NE(equiv.share_for(1).value, honest.share_for(1).value);
+}
+
+TEST(JammerChannel, JamDeafensEveryoneInRangeDuringActiveEpochs) {
+  const net::Topology topo = net::testbeds::flocklab();
+  const NodeId jammer = 5;
+  // duty 1.0: always jamming. Every receiver that could hear the
+  // jammer statically — including the jammer itself — goes deaf.
+  const JammerChannel always(nullptr, {jammer}, /*seed=*/3, /*duty=*/1.0);
+  EXPECT_TRUE(always.jam_active(jammer, 0));
+  net::LinkEpochTables tables;
+  always.materialize(topo, 0, tables);
+  net::LinkEpochTables clean;
+  const JammerChannel never(nullptr, {jammer}, /*seed=*/3, /*duty=*/0.0);
+  EXPECT_FALSE(never.jam_active(jammer, 0));
+  never.materialize(topo, 0, clean);
+
+  const std::size_t n = topo.size();
+  const std::size_t words = (n + 63) / 64;
+  std::size_t deafened = 0;
+  for (NodeId rx = 0; rx < n; ++rx) {
+    const bool audible =
+        rx != jammer &&
+        ((clean.rx_words[rx * words + jammer / 64] >> (jammer % 64)) & 1);
+    if (audible || rx == jammer) {
+      ++deafened;
+      for (NodeId tx = 0; tx < n; ++tx) {
+        EXPECT_EQ(tables.prr_in[rx * n + tx], 0.0f)
+            << "rx " << rx << " tx " << tx;
+      }
+    }
+  }
+  EXPECT_GT(deafened, 1u);   // the jammer reaches someone
+  EXPECT_LT(deafened, n);    // but not the whole testbed
+}
+
+TEST(JammerChannel, DutyCycleGatesJamEpochsDeterministically) {
+  const JammerChannel jam(nullptr, {2}, /*seed=*/11, /*duty=*/0.3);
+  const JammerChannel same(nullptr, {2}, /*seed=*/11, /*duty=*/0.3);
+  std::size_t active = 0;
+  for (std::uint64_t e = 0; e < 400; ++e) {
+    EXPECT_EQ(jam.jam_active(2, e), same.jam_active(2, e));
+    if (jam.jam_active(2, e)) ++active;
+  }
+  // ~120 of 400 expected; wide deterministic band.
+  EXPECT_GT(active, 70u);
+  EXPECT_LT(active, 180u);
 }
 
 }  // namespace

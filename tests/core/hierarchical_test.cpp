@@ -403,5 +403,87 @@ TEST(Hierarchical, RadioOnAndLatencyAreReported) {
   EXPECT_LE(res.max_latency_us(), res.total_duration_us);
 }
 
+TEST(HierarchicalAdversary, MalformedDealerExcludedWithVss) {
+  const net::Topology topo = lossless_grid16();
+  const std::vector<Fp61> secrets = secrets_1_to_n(topo.size());
+
+  core::HierarchicalConfig cfg;
+  cfg.partition = net::partition::grid_blocks(topo, 2);
+  cfg.num_channels = 2;
+  cfg.adversary.kind = AttackKind::kMalformedShares;
+  cfg.adversary.attackers = {5};  // parent-topology id
+  cfg.adversary.seed = 17;
+  cfg.feldman_vss = true;
+  const HierarchicalProtocol proto(topo, std::move(cfg));
+  sim::Simulator sim(11);
+  const HierarchicalResult res = proto.run(secrets, sim);
+
+  // The attacker is convicted inside its group round, its secret never
+  // enters the hierarchy, and the reduced aggregate is consistent.
+  EXPECT_GT(res.shares_rejected, 0u);
+  ASSERT_EQ(res.cheater_nodes.size(), topo.size());
+  EXPECT_TRUE(res.cheater_nodes[5]);
+  for (NodeId i = 0; i < topo.size(); ++i) {
+    if (i != 5) {
+      EXPECT_FALSE(res.cheater_nodes[i]) << i;
+    }
+  }
+  ASSERT_TRUE(res.has_aggregate);
+  EXPECT_TRUE(res.aggregate_correct);
+  const Fp61 all_but_attacker{16 * 17 / 2 - 6};  // secrets are i+1
+  EXPECT_EQ(res.aggregate, all_but_attacker);
+  EXPECT_EQ(res.expected_sum, all_but_attacker);
+}
+
+TEST(HierarchicalAdversary, MalformedDealerCorruptsSilentlyWithoutVss) {
+  const net::Topology topo = lossless_grid16();
+  const std::vector<Fp61> secrets = secrets_1_to_n(topo.size());
+
+  core::HierarchicalConfig cfg;
+  cfg.partition = net::partition::grid_blocks(topo, 2);
+  cfg.num_channels = 2;
+  cfg.adversary.kind = AttackKind::kMalformedShares;
+  cfg.adversary.attackers = {5};
+  cfg.adversary.seed = 17;
+  const HierarchicalProtocol proto(topo, std::move(cfg));
+  sim::Simulator sim(11);
+  const HierarchicalResult res = proto.run(secrets, sim);
+
+  // The garbage rides all the way to the root undetected.
+  EXPECT_EQ(res.shares_rejected, 0u);
+  ASSERT_TRUE(res.has_aggregate);
+  EXPECT_FALSE(res.aggregate_correct);
+  EXPECT_NE(res.aggregate, Fp61{16 * 17 / 2});
+}
+
+TEST(HierarchicalAdversary, FullDutyJammerBreaksItsNeighborhood) {
+  const net::Topology topo = lossless_grid16();
+  const std::vector<Fp61> secrets = secrets_1_to_n(topo.size());
+
+  core::HierarchicalConfig honest_cfg;
+  honest_cfg.partition = net::partition::grid_blocks(topo, 2);
+  honest_cfg.num_channels = 2;
+  const HierarchicalProtocol honest(topo, std::move(honest_cfg));
+
+  core::HierarchicalConfig cfg;
+  cfg.partition = net::partition::grid_blocks(topo, 2);
+  cfg.num_channels = 2;
+  cfg.adversary.kind = AttackKind::kJamSlots;
+  cfg.adversary.attackers = {5};
+  cfg.adversary.seed = 17;
+  cfg.adversary.jam_duty = 1.0;
+  const HierarchicalProtocol jammed(topo, std::move(cfg));
+
+  sim::Simulator sim_a(11);
+  sim::Simulator sim_b(11);
+  const double honest_success = honest.run(secrets, sim_a).success_ratio();
+  const HierarchicalResult res = jammed.run(secrets, sim_b);
+  // A permanently-jammed dense grid cannot reach everyone: the round
+  // degrades without any crypto-layer conviction.
+  EXPECT_LT(res.success_ratio(), honest_success);
+  EXPECT_EQ(res.shares_rejected, 0u);
+  EXPECT_EQ(res.sums_rejected, 0u);
+}
+
 }  // namespace
 }  // namespace mpciot::core

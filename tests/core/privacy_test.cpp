@@ -101,6 +101,81 @@ TEST(Privacy, CoalitionAtThresholdPlusOneRecovers) {
   EXPECT_EQ(reconstruct(shares, degree), secret);
 }
 
+TEST(Privacy, SubThresholdReconstructionIsStatisticallyIndependent) {
+  // The envelope sweep: a degree-size coalition pools its shares and
+  // interpolates at x = 0 over thousands of independent dealings of the
+  // SAME secret. If the paper's claim holds, the resulting guesses are
+  // uniform over the field — they never hit the secret, and their
+  // distribution is indistinguishable between two very different
+  // secrets. Tested coarsely: 8 equal buckets by the top value bits
+  // must each hold their expected count within a wide band.
+  constexpr std::size_t kDegree = 4;
+  constexpr int kTrials = 1600;
+  const std::vector<NodeId> coalition = {3, 7, 11, 19};
+  ASSERT_EQ(coalition.size(), kDegree);
+
+  for (const std::uint64_t secret_raw : {std::uint64_t{42},
+                                         field::Fp61::kModulus - 2}) {
+    const Fp61 secret{secret_raw};
+    int hits = 0;
+    int buckets[8] = {};
+    for (int t = 0; t < kTrials; ++t) {
+      crypto::CtrDrbg drbg(
+          crypto::derive_seed(0x505249564Bull, secret_raw, t));
+      const ShamirDealer dealer(secret, kDegree, drbg);
+      CollusionView view;
+      view.dealer = 0;
+      for (const NodeId h : coalition) {
+        view.observed_shares.push_back(dealer.share_for(h));
+      }
+      const ReconstructionAttempt attempt =
+          attempt_reconstruction(view, kDegree);
+      ASSERT_FALSE(attempt.meets_threshold);
+      if (attempt.value == secret) ++hits;
+      ++buckets[attempt.value.value() >> 58];  // 2^61 range -> 8 buckets
+    }
+    // A single hit has probability ~kTrials * 2^-61 under the claim.
+    EXPECT_EQ(hits, 0);
+    for (int b = 0; b < 8; ++b) {
+      // Expected 200 per bucket; +/-40% is ~5.7 sigma, loose enough to
+      // be deterministic-stable yet sharp enough to catch any secret
+      // leaking into the guess distribution.
+      EXPECT_GT(buckets[b], 120) << "bucket " << b << " secret "
+                                 << secret_raw;
+      EXPECT_LT(buckets[b], 280) << "bucket " << b << " secret "
+                                 << secret_raw;
+    }
+  }
+}
+
+TEST(Privacy, ReconstructionBoundaryIsExactAtThreshold) {
+  // degree shares: nothing. degree+1 shares: everything. The boundary
+  // sits exactly between, for every coalition size swept.
+  constexpr std::size_t kDegree = 5;
+  constexpr int kTrials = 200;
+  for (int t = 0; t < kTrials; ++t) {
+    crypto::CtrDrbg drbg(crypto::derive_seed(0x5052495642ull, 1, t));
+    const Fp61 secret{static_cast<std::uint64_t>(1000 + t)};
+    const ShamirDealer dealer(secret, kDegree, drbg);
+    for (std::size_t pooled = 1; pooled <= kDegree + 2; ++pooled) {
+      CollusionView view;
+      view.dealer = 0;
+      for (std::size_t h = 0; h < pooled; ++h) {
+        view.observed_shares.push_back(
+            dealer.share_for(static_cast<NodeId>(2 * h + 1)));
+      }
+      const ReconstructionAttempt attempt =
+          attempt_reconstruction(view, kDegree);
+      EXPECT_EQ(attempt.meets_threshold, pooled >= kDegree + 1);
+      if (pooled >= kDegree + 1) {
+        EXPECT_EQ(attempt.value, secret) << "pooled " << pooled;
+      } else {
+        EXPECT_NE(attempt.value, secret) << "pooled " << pooled;
+      }
+    }
+  }
+}
+
 TEST(Privacy, SharesOfSameSecretLookIndependent) {
   // Two dealers with the same secret produce unrelated share vectors
   // (fresh polynomial randomness): equality would leak dealer state.

@@ -22,8 +22,10 @@
 #include <numeric>
 #include <vector>
 
+#include "core/adversary.hpp"
 #include "core/shamir.hpp"
 #include "core/small_shamir.hpp"
+#include "crypto/feldman.hpp"
 #include "crypto/prng.hpp"
 #include "field/prime_field.hpp"
 
@@ -201,6 +203,87 @@ TEST(PropertyPrimeField, FieldLaws) {
       EXPECT_EQ(f.mul(a, f.inv(a)), 1u) << a;
     }
     EXPECT_EQ(f.pow(a, f.modulus()), a);  // Fermat
+  }
+}
+
+TEST(PropertyOracle, ReconstructionBoundaryIsExactForAnyView) {
+  // The coalition oracle flips from "statistically independent value"
+  // to "provably the secret" at exactly degree+1 pooled shares, for
+  // every degree and every holder subset.
+  constexpr int kCases = 1200;
+  for (int c = 0; c < kCases; ++c) {
+    crypto::Xoshiro256 rng(crypto::derive_seed(kPropBase, 9, c));
+    const std::size_t holders = 2 + rng.next_below(20);  // [2, 21]
+    const std::size_t degree = 1 + rng.next_below(holders - 1);
+    const field::Fp61 secret = rng.next_fp61();
+    crypto::CtrDrbg drbg(crypto::derive_seed(kPropBase, 10, c));
+    const ShamirDealer dealer(secret, degree, drbg);
+
+    const std::size_t pooled = 1 + rng.next_below(holders);
+    CollusionView view;
+    view.dealer = 0;
+    for (const NodeId h : pick_holders(200, pooled, rng)) {
+      view.observed_shares.push_back(dealer.share_for(h));
+    }
+    const ReconstructionAttempt attempt =
+        attempt_reconstruction(view, degree);
+    ASSERT_EQ(attempt.meets_threshold, can_reconstruct(degree, pooled))
+        << "case " << c;
+    if (attempt.meets_threshold) {
+      EXPECT_EQ(attempt.value, secret) << "case " << c;
+    } else {
+      // A sub-threshold Lagrange guess hits the secret w.p. 2^-61 per
+      // (deterministic) case; a hit here means the oracle leaks.
+      EXPECT_NE(attempt.value, secret) << "case " << c;
+      // And the view stays consistent with any candidate secret.
+      EXPECT_TRUE(consistent_polynomial_for(view, degree, attempt.value +
+                                                              field::Fp61{1})
+                      .has_value())
+          << "case " << c;
+    }
+  }
+}
+
+TEST(PropertyFeldman, CombinedCommitmentVerifiesAggregateShares) {
+  // The homomorphic law the polluted-sum check in the protocol rests
+  // on: the componentwise product of per-dealer commitments verifies
+  // exactly the holder-wise SUM of the dealers' shares — and stops
+  // verifying the moment any one sum is offset.
+  constexpr int kCases = 250;
+  for (int c = 0; c < kCases; ++c) {
+    crypto::Xoshiro256 rng(crypto::derive_seed(kPropBase, 11, c));
+    const std::size_t sources = 1 + rng.next_below(8);
+    const std::size_t holders = 2 + rng.next_below(10);
+    const std::size_t degree = 1 + rng.next_below(holders - 1);
+    const std::vector<NodeId> ids = pick_holders(300, holders, rng);
+
+    std::vector<crypto::feldman::Commitment> commitments;
+    std::vector<field::Fp61> sums(holders);
+    for (std::size_t s = 0; s < sources; ++s) {
+      crypto::CtrDrbg drbg(
+          crypto::derive_seed(kPropBase, 12, (c << 8) | s));
+      const ShamirDealer dealer(rng.next_fp61(), degree, drbg);
+      commitments.push_back(crypto::feldman::commit(dealer.polynomial()));
+      for (std::size_t h = 0; h < holders; ++h) {
+        sums[h] += dealer.share_for(ids[h]).value;
+      }
+    }
+    std::vector<const crypto::feldman::Commitment*> parts;
+    for (const auto& com : commitments) parts.push_back(&com);
+    const crypto::feldman::Commitment combined =
+        crypto::feldman::combine(parts);
+
+    for (std::size_t h = 0; h < holders; ++h) {
+      EXPECT_TRUE(crypto::feldman::verify_share(
+          combined, public_point(ids[h]), sums[h]))
+          << "case " << c << " holder " << h;
+    }
+    // One polluted sum at a random holder must break verification.
+    const std::size_t victim = rng.next_below(holders);
+    const field::Fp61 offset{1 + rng.next_below(field::Fp61::kModulus - 1)};
+    EXPECT_FALSE(crypto::feldman::verify_share(
+        combined, public_point(ids[victim]), sums[victim] + offset))
+        << "case " << c;
   }
 }
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/assert.hpp"
+#include "ct/transport.hpp"
 #include "metrics/experiment.hpp"
 #include "net/testbeds.hpp"
 
@@ -348,6 +349,171 @@ TEST(SuggestS3Ntx, ReturnsWorkableValueOnGrid) {
                        make_s3_config(topo, all_nodes(topo), 2, ntx));
   sim::Simulator sim(37);
   EXPECT_EQ(s3.run(fixed_secrets(9), sim).success_ratio(), 1.0);
+}
+
+/// S4 on the dense grid with room for cheater exclusion: degree 2,
+/// holders = degree+1+slack.
+ProtocolConfig adversary_s4_config(const net::Topology& topo,
+                                   AttackKind kind,
+                                   std::vector<NodeId> attackers,
+                                   bool vss) {
+  ProtocolConfig cfg = make_s4_config(topo, {0, 1, 2, 3, 4, 5, 6, 7, 8},
+                                      /*degree=*/2, /*ntx_low=*/6,
+                                      /*holder_slack=*/3);
+  cfg.adversary.kind = kind;
+  cfg.adversary.attackers = std::move(attackers);
+  cfg.adversary.seed = 99;
+  cfg.feldman_vss = vss;
+  return cfg;
+}
+
+TEST(ProtocolAdversary, InertConfigurationsAreByteIdentical) {
+  // kNone with attackers listed, and VSS off, must reproduce the honest
+  // run exactly — the frozen-scenario byte-identity guarantee.
+  const net::Topology topo = make_grid9();
+  const crypto::KeyStore keys(1, topo.size());
+  const auto secrets = fixed_secrets(9);
+  const SssProtocol honest(
+      topo, keys, adversary_s4_config(topo, AttackKind::kNone, {}, false));
+  const SssProtocol inert(topo, keys,
+                          adversary_s4_config(topo, AttackKind::kNone,
+                                              {1, 2, 3}, false));
+  sim::Simulator sim_a(13);
+  sim::Simulator sim_b(13);
+  const AggregationResult a = honest.run(secrets, sim_a);
+  const AggregationResult b = inert.run(secrets, sim_b);
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    EXPECT_EQ(a.nodes[i].has_aggregate, b.nodes[i].has_aggregate);
+    EXPECT_EQ(a.nodes[i].aggregate, b.nodes[i].aggregate);
+    EXPECT_EQ(a.nodes[i].latency_us, b.nodes[i].latency_us);
+    EXPECT_EQ(a.nodes[i].radio_on_us, b.nodes[i].radio_on_us);
+  }
+  EXPECT_EQ(b.cheater_sources_mask, 0u);
+  EXPECT_EQ(b.shares_rejected, 0u);
+  EXPECT_EQ(b.vss_commit_bytes, 0u);
+}
+
+TEST(ProtocolAdversary, MalformedSharesCorruptSilentlyWithoutVss) {
+  const net::Topology topo = make_grid9();
+  const crypto::KeyStore keys(1, topo.size());
+  const SssProtocol proto(
+      topo, keys,
+      adversary_s4_config(topo, AttackKind::kMalformedShares, {4}, false));
+  sim::Simulator sim(13);
+  const AggregationResult res = proto.run(fixed_secrets(9), sim);
+  // Nothing is rejected, everyone reconstructs — and everyone is wrong.
+  EXPECT_EQ(res.shares_rejected, 0u);
+  EXPECT_EQ(res.cheater_sources_mask, 0u);
+  EXPECT_EQ(res.success_ratio(), 0.0);
+  for (const auto& node : res.nodes) {
+    EXPECT_TRUE(node.has_aggregate);
+    EXPECT_FALSE(node.aggregate_correct);
+  }
+}
+
+TEST(ProtocolAdversary, MalformedSharesDetectedAndRoundRecoversWithVss) {
+  const net::Topology topo = make_grid9();
+  const crypto::KeyStore keys(1, topo.size());
+  const SssProtocol proto(
+      topo, keys,
+      adversary_s4_config(topo, AttackKind::kMalformedShares, {4}, true));
+  sim::Simulator sim(13);
+  const auto secrets = fixed_secrets(9);
+  const AggregationResult res = proto.run(secrets, sim);
+
+  // Exactly the attacker (source index 4) is flagged, its every
+  // delivered share rejected, and the round completes over the honest
+  // sources: aggregate = sum minus the attacker's secret.
+  EXPECT_EQ(res.cheater_sources_mask, std::uint64_t{1} << 4);
+  EXPECT_GT(res.shares_rejected, 0u);
+  EXPECT_EQ(res.vss_commit_bytes, 3u * 16u);  // degree 2 -> 3 elements
+  EXPECT_EQ(res.success_ratio(), 1.0);
+  Fp61 honest_sum;
+  for (std::size_t s = 0; s < secrets.size(); ++s) {
+    if (s != 4) honest_sum += secrets[s];
+  }
+  for (const auto& node : res.nodes) {
+    ASSERT_TRUE(node.has_aggregate);
+    EXPECT_TRUE(node.aggregate_correct);
+    EXPECT_EQ(node.aggregate, honest_sum);
+    EXPECT_EQ(node.contributor_mask & (std::uint64_t{1} << 4), 0u);
+  }
+}
+
+TEST(ProtocolAdversary, EquivocatingDealerIsFlaggedByTargetedHolders) {
+  const net::Topology topo = make_grid9();
+  const crypto::KeyStore keys(1, topo.size());
+  const SssProtocol proto(
+      topo, keys,
+      adversary_s4_config(topo, AttackKind::kInconsistentShares, {2}, true));
+  sim::Simulator sim(13);
+  const AggregationResult res = proto.run(fixed_secrets(9), sim);
+  // Only the holders dealt the second polynomial see a mismatch, but at
+  // least one of them does, so the dealer is flagged.
+  EXPECT_EQ(res.cheater_sources_mask, std::uint64_t{1} << 2);
+  EXPECT_GT(res.shares_rejected, 0u);
+}
+
+TEST(ProtocolAdversary, PollutedSumExcludedViaCombinedCommitment) {
+  const net::Topology topo = make_grid9();
+  const crypto::KeyStore keys(1, topo.size());
+  // The attacker must hold shares to pollute its broadcast sum; pick
+  // the first elected holder.
+  const ProtocolConfig probe =
+      adversary_s4_config(topo, AttackKind::kNone, {}, false);
+  const NodeId bad_holder = probe.share_holders.front();
+
+  const SssProtocol with_vss(
+      topo, keys,
+      adversary_s4_config(topo, AttackKind::kPollutedSums, {bad_holder},
+                          true));
+  sim::Simulator sim(13);
+  const auto secrets = fixed_secrets(9);
+  const AggregationResult res = with_vss.run(secrets, sim);
+  // The combined commitment convicts the collector, every node drops
+  // its sum, and the full aggregate (all sources are honest dealers)
+  // still reconstructs from the surviving holders.
+  EXPECT_GT(res.sums_rejected, 0u);
+  EXPECT_NE(res.cheater_holders_mask, 0u);
+  EXPECT_EQ(res.cheater_sources_mask, 0u);
+  EXPECT_EQ(res.success_ratio(), 1.0);
+  EXPECT_EQ(res.nodes[0].aggregate, res.expected_sum);
+
+  // Without verification the same pollution poisons reconstruction for
+  // at least some nodes.
+  const SssProtocol no_vss(
+      topo, keys,
+      adversary_s4_config(topo, AttackKind::kPollutedSums, {bad_holder},
+                          false));
+  sim::Simulator sim2(13);
+  EXPECT_LT(no_vss.run(secrets, sim2).success_ratio(), 1.0);
+}
+
+TEST(ProtocolAdversary, JammerDegradesDeliveryAcrossTransports) {
+  const net::Topology topo = make_grid9();
+  const crypto::KeyStore keys(1, topo.size());
+  // Center node jamming at full duty: shares through the middle of the
+  // grid are lost on every transport (the JammerChannel decorates the
+  // channel-model seam, not any one substrate).
+  for (const std::string& name : ct::transport_names()) {
+    const auto transport = ct::make_transport(name);
+    ProtocolConfig cfg =
+        adversary_s4_config(topo, AttackKind::kJamSlots, {4}, false);
+    cfg.adversary.jam_duty = 1.0;
+    const SssProtocol jammed(topo, keys, cfg, transport.get());
+    const SssProtocol honest(
+        topo, keys, adversary_s4_config(topo, AttackKind::kNone, {}, false),
+        transport.get());
+    sim::Simulator sim_a(13);
+    sim::Simulator sim_b(13);
+    const AggregationResult a = honest.run(fixed_secrets(9), sim_a);
+    const AggregationResult b = jammed.run(fixed_secrets(9), sim_b);
+    EXPECT_LT(b.share_delivery_ratio, a.share_delivery_ratio) << name;
+    // No crypto-layer detection for an availability attack.
+    EXPECT_EQ(b.cheater_sources_mask, 0u) << name;
+    EXPECT_EQ(b.shares_rejected, 0u) << name;
+  }
 }
 
 }  // namespace
