@@ -31,6 +31,7 @@
 
 #include "core/adversary.hpp"
 #include "core/protocol.hpp"
+#include "core/session.hpp"
 #include "crypto/keystore.hpp"
 #include "crypto/prng.hpp"
 #include "ct/transport.hpp"
@@ -137,7 +138,9 @@ TrialRecord run_one(const Bench& bench, const ct::Transport* transport,
   const std::vector<field::Fp61> secrets = metrics::random_secrets(
       metrics::trial_secret_seed(bench.seed, trial),
       proto.config().sources.size());
-  const core::AggregationResult res = proto.run(secrets, sim);
+  core::Session session(proto);
+  const core::AggregationResult& res =
+      *session.run_round(secrets, sim).flat;
 
   // Map attacker node ids onto the round's source-bit positions: bit s
   // of the cheater mask refers to the s-th entry of config().sources,

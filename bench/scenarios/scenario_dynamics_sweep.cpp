@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/protocol.hpp"
+#include "core/session.hpp"
 #include "crypto/keystore.hpp"
 #include "crypto/prng.hpp"
 #include "metrics/experiment.hpp"
@@ -98,7 +99,9 @@ TrialRecord run_one(const core::SssProtocol& proto, const net::Topology& topo,
   const std::vector<field::Fp61> secrets = metrics::random_secrets(
       metrics::trial_secret_seed(point_seed, trial),
       proto.config().sources.size());
-  const core::AggregationResult res = proto.run(secrets, sim);
+  core::Session session(proto);
+  const core::AggregationResult& res =
+      *session.run_round(secrets, sim).flat;
 
   TrialRecord rec;
   rec.success = res.success_ratio();

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/protocol.hpp"
+#include "core/session.hpp"
 #include "crypto/keystore.hpp"
 #include "metrics/experiment.hpp"
 #include "metrics/stats.hpp"
@@ -77,7 +78,8 @@ Rows run_fault_tolerance(const ScenarioContext& ctx) {
         sim::Simulator sim(metrics::trial_sim_seed(ctx.seed, t));
         const auto secrets = metrics::random_secrets(
             metrics::trial_secret_seed(ctx.seed, t), sources.size());
-        acc.add(proto.run(secrets, sim).success_ratio());
+        core::Session session(proto);
+        acc.add(session.run_round(secrets, sim).success_ratio);
       };
       run_one(base_s3, s3_ok);
       run_one(core::make_s4_config(topo, sources, degree, 6, /*slack=*/2),
@@ -120,7 +122,8 @@ Rows run_fault_tolerance(const ScenarioContext& ctx) {
         sim.set_liveness(&churn);  // shared schedule: the axis is paired
         const auto secrets = metrics::random_secrets(
             metrics::trial_secret_seed(ctx.seed, t), sources.size());
-        acc.add(proto.run(secrets, sim).success_ratio());
+        core::Session session(proto);
+        acc.add(session.run_round(secrets, sim).success_ratio);
       };
       run_one(base_s3, s3_ok);
       run_one(core::make_s4_config(topo, sources, degree, 6, /*slack=*/2),

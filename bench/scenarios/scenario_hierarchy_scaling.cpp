@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/hierarchical.hpp"
+#include "core/session.hpp"
 #include "crypto/prng.hpp"
 #include "metrics/experiment.hpp"
 #include "metrics/stats.hpp"
@@ -65,7 +66,9 @@ TrialRecord run_one(const SweepPoint& point, std::uint64_t base_seed,
   const std::vector<field::Fp61> secrets =
       metrics::random_secrets(metrics::trial_secret_seed(base, trial),
                               point.n);
-  const core::HierarchicalResult res = point.protocol->run(secrets, sim);
+  core::Session session(*point.protocol);
+  const core::HierarchicalResult& res =
+      *session.run_round(secrets, sim).hier;
 
   TrialRecord rec;
   rec.latency_max_ms = static_cast<double>(res.max_latency_us()) / 1e3;

@@ -1,0 +1,245 @@
+// Sustained aggregation campaigns: the rounds/sec view of the engine.
+//
+// Every other scenario measures one round in isolation; a deployed
+// network runs them back to back for the lifetime of the deployment.
+// This scenario drives core::Campaign over core::Session — N rounds
+// streamed on warm state — and reports throughput (aggregates/sec),
+// the p50/p99 submit-to-result round latency, and the pipeline speedup
+// of overlapping consecutive hierarchical rounds on the persistent
+// channel timeline (round r+1's group phases start while round r's
+// recombination + result floods drain on the flood lane).
+//
+// Axes: flat S4 on the FlockLab-like testbed vs hierarchical grid
+// (16 groups on 16 channels), each under a static world and under
+// Gilbert–Elliott bursty links + node churn, each streamed
+// sequentially and pipelined. Flat sessions have one chain occupying
+// the whole band, so their pipelined row is the sequential baseline by
+// construction (speedup 1.0) — kept as the control.
+//
+// Determinism: one unit per (configuration, trial) over
+// metrics::parallel_for, every seed derived per unit, rows folded in
+// unit order — output is byte-identical for any --jobs value.
+// Params: rounds (default 16) — rounds streamed per campaign.
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/hierarchical.hpp"
+#include "core/protocol.hpp"
+#include "core/session.hpp"
+#include "crypto/keystore.hpp"
+#include "crypto/prng.hpp"
+#include "metrics/experiment.hpp"
+#include "metrics/stats.hpp"
+#include "net/partition.hpp"
+#include "net/testbeds.hpp"
+#include "scenarios/scenarios.hpp"
+#include "sim/dynamics.hpp"
+#include "sim/simulator.hpp"
+
+namespace mpciot::bench {
+
+namespace {
+
+using bench_core::Row;
+using bench_core::Rows;
+using bench_core::ScenarioContext;
+
+/// derive_seed stream tags.
+constexpr std::uint64_t kStreamPoint = 0x53555354ull;  // "SUST"
+constexpr std::uint64_t kStreamLink = 0x44594E4Cull;   // "DYNL"
+constexpr std::uint64_t kStreamChurn = 0x44594E43ull;  // "DYNC"
+constexpr std::uint64_t kStreamRound = 0x524F554Eull;  // "ROUN"
+
+struct LoadPoint {
+  const char* engine = nullptr;   // "flat" | "hier"
+  const char* world = nullptr;    // "static" | "dynamic"
+  bool pipelined = false;
+  bool dynamic = false;
+  const core::SssProtocol* flat = nullptr;
+  const core::HierarchicalProtocol* hier = nullptr;
+  const net::Topology* topo = nullptr;
+  std::uint64_t seed = 0;
+};
+
+struct CampaignRecord {
+  double agg_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double success = 0.0;
+  double speedup = 0.0;
+  double rounds_ok = 0.0;
+};
+
+CampaignRecord run_one(const LoadPoint& pt, std::uint32_t rounds,
+                       std::uint32_t trial) {
+  const std::uint64_t tseed = metrics::trial_sim_seed(pt.seed, trial);
+  sim::Simulator sim(tseed);
+
+  std::optional<sim::dynamics::LinkDynamics> link;
+  std::optional<sim::dynamics::NodeChurn> churn;
+  if (pt.dynamic) {
+    // Mean burst 8 epochs, 10% stationary bad fraction (mid-grade
+    // conditions from the dynamics_sweep), plus moderate churn.
+    sim::dynamics::LinkDynamicsParams lp;
+    lp.seed = crypto::derive_seed(tseed, kStreamLink, 0);
+    lp.p_bad_to_good = 1.0 / 8.0;
+    lp.p_good_to_bad = lp.p_bad_to_good * 0.1 / 0.9;
+    lp.bad_extra_loss_db = 12.0;
+    lp.drift_sigma_db = 0.3;
+    lp.drift_limit_db = 4.0;
+    link.emplace(lp);
+    sim.set_channel_model(&*link);
+    sim::dynamics::NodeChurnParams cp;
+    cp.seed = crypto::derive_seed(tseed, kStreamChurn, 0);
+    cp.crashes_per_sec = 0.5;
+    cp.mean_downtime_us = 500 * kMillisecond;
+    churn.emplace(pt.topo->size(), cp);
+    sim.set_liveness(&*churn);
+  }
+
+  core::Session session = pt.flat != nullptr
+                              ? core::Session(*pt.flat)
+                              : core::Session(*pt.hier);
+  core::CampaignConfig ccfg;
+  ccfg.rounds = rounds;
+  ccfg.pipelined = pt.pipelined;
+  core::Campaign campaign(session, ccfg);
+  const std::uint64_t secret_base = metrics::trial_secret_seed(pt.seed, trial);
+  const core::CampaignResult& res = campaign.run(
+      sim, [&](std::uint32_t r, std::vector<field::Fp61>& secrets) {
+        crypto::Xoshiro256 rng(
+            crypto::derive_seed(secret_base, kStreamRound, r));
+        for (field::Fp61& s : secrets) {
+          s = field::Fp61(rng.next_below(1000));
+        }
+      });
+
+  CampaignRecord rec;
+  rec.agg_per_sec = res.aggregates_per_sec();
+  rec.p50_ms = static_cast<double>(res.latency_percentile_us(0.50)) / 1e3;
+  rec.p99_ms = static_cast<double>(res.latency_percentile_us(0.99)) / 1e3;
+  rec.success = res.mean_success_ratio;
+  rec.speedup = res.pipeline_speedup();
+  rec.rounds_ok = static_cast<double>(res.rounds_ok);
+  return rec;
+}
+
+Rows run_sustained_load(const ScenarioContext& ctx) {
+  const std::uint32_t reps = std::max<std::uint32_t>(ctx.reps, 1);
+  const std::uint32_t rounds =
+      std::max<std::uint32_t>(ctx.param_u32("rounds", 16), 1);
+
+  // Flat S4 on the FlockLab-like floor; hierarchical 16-group grid on
+  // 16 orthogonal channels (same 12 m class as hierarchy_scaling).
+  const net::Topology flocklab = net::testbeds::flocklab();
+  std::vector<NodeId> sources(flocklab.size());
+  for (NodeId i = 0; i < flocklab.size(); ++i) sources[i] = i;
+  const crypto::KeyStore keys(crypto::derive_seed(ctx.seed, kStreamPoint, 0),
+                              flocklab.size());
+  const core::SssProtocol flat(
+      flocklab, keys,
+      core::make_s4_config(flocklab, sources,
+                           core::paper_degree(sources.size()), /*ntx_low=*/6));
+
+  const net::Topology grid = net::testbeds::retry_topology(
+      "sustained_load: could not build grid", 64,
+      [&](std::uint64_t attempt) {
+        return net::testbeds::grid(
+            8, 8, /*spacing_m=*/12.0,
+            crypto::derive_seed(ctx.seed, 0x544F504Full /*"TOPO"*/,
+                                64 + attempt));
+      });
+  // 16 small groups: the per-round group phase shrinks toward the cost
+  // of one 4-node round while the recombination tree + result flood
+  // stay network-wide, so pipelining has a real tail to hide.
+  core::HierarchicalConfig hcfg;
+  hcfg.partition = net::partition::grid_blocks(grid, 16);
+  hcfg.num_channels = 16;
+  hcfg.ntx_sharing = 8;
+  hcfg.ntx_reconstruction = 8;
+  const core::HierarchicalProtocol hier(grid, std::move(hcfg));
+
+  std::vector<LoadPoint> points;
+  for (const bool dynamic : {false, true}) {
+    for (const bool pipelined : {false, true}) {
+      for (const bool use_hier : {false, true}) {
+        LoadPoint pt;
+        pt.engine = use_hier ? "hier" : "flat";
+        pt.world = dynamic ? "dynamic" : "static";
+        pt.pipelined = pipelined;
+        pt.dynamic = dynamic;
+        pt.flat = use_hier ? nullptr : &flat;
+        pt.hier = use_hier ? &hier : nullptr;
+        pt.topo = use_hier ? &grid : &flocklab;
+        pt.seed = crypto::derive_seed(
+            ctx.seed, kStreamPoint,
+            (dynamic ? 4u : 0u) | (use_hier ? 2u : 0u) | 1u);
+        points.push_back(pt);
+      }
+    }
+  }
+
+  // One unit per (point, trial), folded in unit order: byte-identical
+  // rows for any --jobs value.
+  const std::size_t units = points.size() * reps;
+  std::vector<CampaignRecord> records(units);
+  const unsigned jobs =
+      metrics::resolve_jobs(ctx.jobs, static_cast<std::uint32_t>(units));
+  metrics::parallel_for(units, jobs, [&](std::size_t unit) {
+    records[unit] = run_one(points[unit / reps], rounds,
+                            static_cast<std::uint32_t>(unit % reps));
+  });
+
+  Rows rows;
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    const LoadPoint& pt = points[p];
+    metrics::Summary agg;
+    metrics::Summary p50;
+    metrics::Summary p99;
+    metrics::Summary success;
+    metrics::Summary speedup;
+    metrics::Summary ok;
+    for (std::uint32_t t = 0; t < reps; ++t) {
+      const CampaignRecord& rec = records[p * reps + t];
+      agg.add(rec.agg_per_sec);
+      p50.add(rec.p50_ms);
+      p99.add(rec.p99_ms);
+      success.add(rec.success);
+      speedup.add(rec.speedup);
+      ok.add(rec.rounds_ok);
+    }
+    Row row;
+    row.set("engine", pt.engine)
+        .set("world", pt.world)
+        .set("mode", pt.pipelined ? "pipelined" : "sequential")
+        .set("rounds", static_cast<std::uint64_t>(rounds))
+        .set("agg_per_sec", round3(agg.mean()))
+        .set("p50_ms", round3(p50.mean()))
+        .set("p99_ms", round3(p99.mean()))
+        .set("success_pct", round3(success.mean() * 100))
+        .set("pipeline_speedup", round3(speedup.mean()))
+        .set("rounds_ok", round3(ok.mean()));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace
+
+void register_sustained_load(bench_core::Registry& registry) {
+  registry.add(bench_core::ScenarioSpec{
+      "sustained_load",
+      "Streaming campaigns over the Session API: aggregates/sec and "
+      "p50/p99 round latency, sequential vs pipelined, static vs "
+      "bursty links + churn (params: rounds)",
+      /*default_reps=*/3,
+      /*deterministic=*/true,
+      /*param_names=*/{"rounds"}, run_sustained_load});
+}
+
+}  // namespace mpciot::bench

@@ -20,6 +20,7 @@ void register_all_scenarios(bench_core::Registry& registry) {
   register_hierarchy_scaling(registry);
   register_ntx_coverage(registry);
   register_payload_size(registry);
+  register_sustained_load(registry);
   register_transport_matrix(registry);
   register_unicast_vs_ct(registry);
 }

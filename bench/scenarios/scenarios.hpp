@@ -12,7 +12,7 @@ namespace mpciot::bench {
 /// Register every scenario: fig1_flocklab, fig1_dcube, adversary_sweep,
 /// chain_scaling, degree_sweep, dynamics_sweep, fault_tolerance,
 /// he_vs_mpc, hierarchy_scaling, ntx_coverage, payload_size,
-/// transport_matrix, unicast_vs_ct.
+/// sustained_load, transport_matrix, unicast_vs_ct.
 void register_all_scenarios(bench_core::Registry& registry);
 
 void register_fig1_scenarios(bench_core::Registry& registry);
@@ -25,6 +25,7 @@ void register_he_vs_mpc(bench_core::Registry& registry);
 void register_hierarchy_scaling(bench_core::Registry& registry);
 void register_ntx_coverage(bench_core::Registry& registry);
 void register_payload_size(bench_core::Registry& registry);
+void register_sustained_load(bench_core::Registry& registry);
 void register_transport_matrix(bench_core::Registry& registry);
 void register_unicast_vs_ct(bench_core::Registry& registry);
 

@@ -12,6 +12,7 @@
 #include <cstdlib>
 
 #include "core/protocol.hpp"
+#include "core/session.hpp"
 #include "crypto/keystore.hpp"
 #include "metrics/experiment.hpp"
 #include "net/testbeds.hpp"
@@ -57,8 +58,9 @@ int main(int argc, char** argv) {
     auto cfg = base_cfg;
     cfg.failed_nodes = doomed;
     const core::SssProtocol proto(bridge, keys, cfg);
+    core::Session session(proto);
     sim::Simulator sim(seed + kill_count);
-    const core::AggregationResult res = proto.run(strain, sim);
+    const core::AggregationResult& res = *session.run_round(strain, sim).flat;
 
     std::size_t holders_alive = 0;
     for (NodeId h : cfg.share_holders) {

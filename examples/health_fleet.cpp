@@ -16,6 +16,7 @@
 
 #include "core/adversary.hpp"
 #include "core/protocol.hpp"
+#include "core/session.hpp"
 #include "crypto/keystore.hpp"
 #include "net/testbeds.hpp"
 #include "sim/simulator.hpp"
@@ -53,7 +54,9 @@ int main(int argc, char** argv) {
   std::printf("\n");
 
   sim::Simulator sim(seed);
-  const core::AggregationResult res = vitals.run(heart_rates, sim);
+  core::Session session(vitals);
+  const core::AggregationResult& res =
+      *session.run_round(heart_rates, sim).flat;
 
   const auto& station = res.nodes[ward.center_node()];
   if (!station.has_aggregate) {

@@ -10,6 +10,7 @@
 #include <cstdlib>
 
 #include "core/protocol.hpp"
+#include "core/session.hpp"
 #include "crypto/keystore.hpp"
 #include "metrics/experiment.hpp"
 #include "net/testbeds.hpp"
@@ -63,7 +64,9 @@ int main(int argc, char** argv) {
   // 6. Run one round of each.
   for (const auto* proto : {&s3, &s4}) {
     sim::Simulator sim(seed);
-    const core::AggregationResult res = proto->run(secrets, sim);
+    core::Session session(*proto);
+    const core::AggregationResult& res =
+        *session.run_round(secrets, sim).flat;
     const bool is_s4 = proto == &s4;
     std::printf("\n[%s] round complete in %.1f ms (share %.1f + recon %.1f)\n",
                 is_s4 ? "S4" : "S3",

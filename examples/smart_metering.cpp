@@ -13,6 +13,7 @@
 #include <cstdlib>
 
 #include "core/protocol.hpp"
+#include "core/session.hpp"
 #include "crypto/keystore.hpp"
 #include "metrics/experiment.hpp"
 #include "net/testbeds.hpp"
@@ -35,12 +36,16 @@ int main(int argc, char** argv) {
   std::printf("district: %zu meters, privacy threshold: %zu colluders\n",
               meters.size(), degree);
 
+  // One protocol + one session for the whole billing stream: the
+  // session issues the monotone round ids (fresh AES-CTR nonces every
+  // round) that used to require rebuilding the protocol per round.
+  const core::SssProtocol billing(
+      district, keys,
+      core::make_s4_config(district, meters, degree, /*ntx_low=*/5));
+  core::Session session(billing);
+
   double total_radio_ms = 0.0;
   for (int round = 0; round < rounds; ++round) {
-    auto cfg = core::make_s4_config(district, meters, degree, /*ntx_low=*/5);
-    cfg.round = static_cast<std::uint16_t>(round);  // fresh AES-CTR nonces
-    const core::SssProtocol billing(district, keys, cfg);
-
     // Simulated consumption in watt-hours for this 15-minute window.
     sim::Simulator sim(seed + static_cast<std::uint64_t>(round));
     std::vector<field::Fp61> readings;
@@ -52,7 +57,8 @@ int main(int argc, char** argv) {
       readings.emplace_back(wh);
     }
 
-    const core::AggregationResult res = billing.run(readings, sim);
+    const core::AggregationResult& res =
+        *session.run_round(readings, sim).flat;
     const auto& head_end = res.nodes[district.center_node()];
     std::printf(
         "round %d: utility sees %llu Wh (true %llu) | %.0f%% of nodes "

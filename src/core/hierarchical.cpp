@@ -143,7 +143,7 @@ HierarchicalProtocol::HierarchicalProtocol(const net::Topology& topo,
       cfg.ntx_sharing = std::max(config_.ntx_sharing, depth_ntx);
       cfg.ntx_reconstruction =
           std::max(config_.ntx_reconstruction, depth_ntx);
-      cfg.round = static_cast<std::uint16_t>(b);
+      cfg.round = static_cast<std::uint32_t>(b);
       cfg.initiator = group.leader_local;
       cfg.early_radio_off = config_.early_radio_off;
       cfg.max_chain_slots = config_.max_chain_slots;
@@ -173,24 +173,83 @@ NodeId HierarchicalProtocol::group_leader(std::size_t g) const {
   return groups_[g].leader;
 }
 
+std::size_t HierarchicalProtocol::group_size(std::size_t g) const {
+  MPCIOT_REQUIRE(g < groups_.size(), "hierarchical: group index out of range");
+  return groups_[g].members.size();
+}
+
+std::uint32_t HierarchicalProtocol::max_round_batches() const {
+  std::size_t best = 1;
+  for (const Group& group : groups_) {
+    best = std::max(best, group.batch_rounds.size());
+  }
+  return static_cast<std::uint32_t>(best);
+}
+
 HierarchicalResult HierarchicalProtocol::run(
     const std::vector<field::Fp61>& secrets, sim::Simulator& sim) const {
   RoundEnv env;
   env.start_time_us = sim.now();
   env.channel_model = sim.channel_model();
   env.liveness = sim.liveness();
-  return run(secrets, sim, env);
+  HierWorkspace ws;
+  return run_round(secrets, sim, env, ws);
 }
 
 HierarchicalResult HierarchicalProtocol::run(
     const std::vector<field::Fp61>& secrets, sim::Simulator& sim,
     const RoundEnv& env) const {
+  HierWorkspace ws;
+  return run_round(secrets, sim, env, ws);
+}
+
+const HierarchicalResult& HierarchicalProtocol::run_round(
+    const std::vector<field::Fp61>& secrets, sim::Simulator& sim,
+    const RoundEnv& env, HierWorkspace& ws) const {
   const std::size_t n = topo_->size();
   MPCIOT_REQUIRE(secrets.size() == n,
                  "hierarchical: one secret per node required");
 
-  HierarchicalResult result;
+  // Session round/epoch ids. env.round is the round index *within* the
+  // key epoch (kept small enough that inner batch rounds stay inside
+  // the 16-bit wire window); epoch 0, round 0 is the historic
+  // single-shot round bit for bit.
+  const std::uint32_t r_in_epoch =
+      env.round == RoundEnv::kInheritRound ? 0 : env.round;
+  const std::uint32_t epoch = env.key_epoch;
+
+  // Epoch-rotated per-group keystores, rebuilt when the epoch changes
+  // (amortized: once per epoch, not per round). Epoch 0 keeps the
+  // construction keystores.
+  if (epoch != 0 && (ws.epoch_keys.empty() || ws.cached_epoch != epoch)) {
+    ws.epoch_keys.clear();
+    ws.epoch_keys.reserve(groups_.size());
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+      ws.epoch_keys.push_back(std::make_unique<crypto::KeyStore>(
+          crypto::derive_seed(
+              config_.key_seed, kStreamKeystore,
+              g | (static_cast<std::uint64_t>(epoch) << 32)),
+          static_cast<std::uint32_t>(groups_[g].members.size())));
+    }
+    ws.cached_epoch = epoch;
+  }
+
+  // The result is warm workspace: every field is re-initialized here.
+  HierarchicalResult& result = ws.result;
   result.groups.assign(groups_.size(), GroupOutcome{});
+  result.expected_sum = field::Fp61{};
+  result.has_aggregate = false;
+  result.aggregate = field::Fp61{};
+  result.aggregate_correct = false;
+  result.group_phase_us = 0;
+  result.recombine_us = 0;
+  result.flood_us = 0;
+  result.total_duration_us = 0;
+  result.round_start_us = env.start_time_us;
+  result.round_end_us = env.start_time_us;
+  result.leader_reelections = 0;
+  result.shares_rejected = 0;
+  result.sums_rejected = 0;
   result.radio_on_us.assign(n, 0);
   result.latency_us.assign(n, 0);
   result.has_result.assign(n, 0);
@@ -223,17 +282,36 @@ HierarchicalResult HierarchicalProtocol::run(
   // derived from the trial seed, so results do not depend on the (host)
   // order the groups are simulated in — they are concurrent in simulated
   // time whenever their channels differ.
-  ct::ChannelTimeline timeline(config_.num_channels);
+  //
+  // Classic mode books on a per-round local timeline starting at t=0;
+  // a pipelined campaign hands in a persistent timeline whose channel
+  // ends are absolute trial-clock times carried over from earlier
+  // rounds, so this round's group phase starts the moment each channel
+  // frees up — possibly while the previous round's recombination floods
+  // are still draining on the dedicated flood lane.
+  ct::ChannelTimeline* const ext = env.timeline;
+  const bool pipelined = ext != nullptr;
+  if (pipelined) {
+    MPCIOT_REQUIRE(ext->num_channels() > config_.num_channels,
+                   "hierarchical: a campaign timeline needs a flood lane "
+                   "beyond the group channels");
+  } else {
+    ws.local_timeline.resize(config_.num_channels);
+  }
+  ct::ChannelTimeline& timeline = pipelined ? *ext : ws.local_timeline;
   // One scratch context for the whole trial: every group round and
   // recombination/result flood reuses its buffers, and with a channel
   // model the epoch-walked view continues across the rounds that share
   // a topology instead of replaying the dynamics chain from epoch 0.
-  ct::RoundContext trial_scratch;
+  ct::RoundContext* const trial_scratch =
+      env.scratch != nullptr ? env.scratch : &ws.scratch;
   // Deputies per group: members that reconstructed every accepted batch
   // round with the leader's value — under churn they are the nodes a
   // dead leader's duties can hand off to, because they provably hold
   // the same partial sum.
-  std::vector<std::vector<char>> group_deputies(groups_.size());
+  ws.deputies.resize(groups_.size());
+  // When this round's last group finishes (absolute trial clock).
+  SimTime groups_end_abs = env.start_time_us;
   for (std::size_t g = 0; g < groups_.size(); ++g) {
     const Group& group = groups_[g];
     GroupOutcome& out = result.groups[g];
@@ -244,7 +322,11 @@ HierarchicalResult HierarchicalProtocol::run(
 
     // This group's rounds start when its channel frees up; booking after
     // the fact returns the same offset because groups book in order.
-    const SimTime ch_start_us = timeline.channel_end_us(group.channel);
+    const SimTime ch_start_abs =
+        pipelined
+            ? std::max(timeline.channel_end_us(group.channel),
+                       env.start_time_us)
+            : env.start_time_us + timeline.channel_end_us(group.channel);
     const std::optional<MappedLiveness> mapped =
         env.liveness != nullptr
             ? std::optional<MappedLiveness>(
@@ -252,13 +334,24 @@ HierarchicalResult HierarchicalProtocol::run(
             : std::nullopt;
 
     NodeId lead_local = group.leader_local;
-    std::vector<char>& deputies = group_deputies[g];
+    std::vector<char>& deputies = ws.deputies[g];
     deputies.assign(group.members.size(), 1);
 
-    sim::Simulator group_sim(
-        crypto::derive_seed(sim.seed(), kStreamGroupSim, g));
-    for (const SssProtocol& round : group.batch_rounds) {
-      std::vector<field::Fp61> batch_secrets;
+    // Group channel randomness: the historic per-group stream for
+    // (epoch 0, round 0); later campaign rounds fold the round id (and,
+    // past the first rotation, the epoch) in so no round replays
+    // another's fading.
+    std::uint64_t group_seed = crypto::derive_seed(
+        sim.seed(), kStreamGroupSim,
+        g + (static_cast<std::uint64_t>(r_in_epoch) << 32));
+    if (epoch != 0) {
+      group_seed = crypto::derive_seed(group_seed, kStreamGroupSim, epoch);
+    }
+    sim::Simulator group_sim(group_seed);
+    for (std::size_t b = 0; b < group.batch_rounds.size(); ++b) {
+      const SssProtocol& round = group.batch_rounds[b];
+      std::vector<field::Fp61>& batch_secrets = ws.batch_secrets;
+      batch_secrets.clear();
       batch_secrets.reserve(round.config().sources.size());
       for (const NodeId local : round.config().sources) {
         batch_secrets.push_back(secrets[group.members[local]]);
@@ -269,7 +362,7 @@ HierarchicalResult HierarchicalProtocol::run(
       for (std::uint32_t attempt = 0;
            attempt <= config_.max_retries && !leader_ok; ++attempt) {
         if (attempt > 0) ++out.retries;
-        const SimTime t0 = env.start_time_us + ch_start_us + out.duration_us;
+        const SimTime t0 = ch_start_abs + out.duration_us;
         // A leader that is churn-down when the round would start cannot
         // run it: hand off to the most central member that is up.
         if (env.liveness != nullptr &&
@@ -306,9 +399,20 @@ HierarchicalResult HierarchicalProtocol::run(
         round_env.start_time_us = t0;
         round_env.channel_model = env.channel_model;
         round_env.liveness = mapped.has_value() ? &*mapped : nullptr;
-        round_env.scratch = &trial_scratch;
-        const AggregationResult r =
-            round_to_run->run(batch_secrets, group_sim, round_env);
+        round_env.scratch = trial_scratch;
+        // Inner round id: (round-in-epoch, batch) flattened. Equals the
+        // constructed cfg.round = b for the historic single-shot case,
+        // and stays nonce-unique within an epoch because the Session
+        // clamps rounds_per_epoch * batches to the 16-bit window.
+        round_env.round =
+            r_in_epoch * static_cast<std::uint32_t>(
+                             group.batch_rounds.size()) +
+            static_cast<std::uint32_t>(b);
+        round_env.key_epoch = epoch;
+        round_env.keys = epoch == 0 ? nullptr : ws.epoch_keys[g].get();
+        const AggregationResult& r =
+            round_to_run->run_round(batch_secrets, group_sim, round_env,
+                                    ws.flat);
         out.duration_us += r.total_duration_us;
         for (std::size_t local = 0; local < group.members.size(); ++local) {
           result.radio_on_us[group.members[local]] +=
@@ -358,10 +462,15 @@ HierarchicalResult HierarchicalProtocol::run(
     }
     out.leader = group.members[lead_local];
     result.leader_reelections += out.leader_reelections;
-    const SimTime start = timeline.book(group.channel, out.duration_us);
+    // Classic mode books from t=0 (finish_us relative to the round
+    // start); pipelined mode books at the absolute channel start, so
+    // finish_us lands on the trial clock.
+    const SimTime start = timeline.book(group.channel, out.duration_us,
+                                        pipelined ? env.start_time_us : 0);
     out.finish_us = start + out.duration_us;
+    groups_end_abs = std::max(groups_end_abs, ch_start_abs + out.duration_us);
   }
-  result.group_phase_us = timeline.end_us();
+  result.group_phase_us = groups_end_abs - env.start_time_us;
 
   // ---- Phase B: recombination tree over group leaders ----
   //
@@ -380,6 +489,16 @@ HierarchicalResult HierarchicalProtocol::run(
     bool complete;  // every contributing group's sum was correct
     std::vector<char> holders;  // nodes provably holding this sum
   };
+  // Recombination and the result flood run on one lane. Classic mode:
+  // right after the group phase. Pipelined mode: the dedicated flood
+  // channel beyond the group channels, which may still be draining the
+  // previous round's floods — the group phases of consecutive rounds
+  // overlap with it, the floods themselves serialize.
+  const std::uint16_t flood_ch = config_.num_channels;
+  const SimTime flood_base_abs =
+      pipelined ? std::max(timeline.channel_end_us(flood_ch), groups_end_abs)
+                : groups_end_abs;
+
   std::vector<Partial> active;
   for (std::size_t g = 0; g < groups_.size(); ++g) {
     const GroupOutcome& out = result.groups[g];
@@ -387,7 +506,7 @@ HierarchicalResult HierarchicalProtocol::run(
     Partial p{out.leader, out.sum, out.sum_correct,
               std::vector<char>(n, 0)};
     for (std::size_t local = 0; local < groups_[g].members.size(); ++local) {
-      if (group_deputies[g][local] != 0) {
+      if (ws.deputies[g][local] != 0) {
         p.holders[groups_[g].members[local]] = 1;
       }
     }
@@ -442,19 +561,18 @@ HierarchicalResult HierarchicalProtocol::run(
       fcfg.channel_model = flood_channel;
       fcfg.liveness = env.liveness;
       bool delivered = false;
-      ct::GlossyResult flood;
+      ct::GlossyResult& flood = ws.flood;
       for (std::uint32_t attempt = 0;
            attempt <= config_.max_retries && !delivered; ++attempt) {
         // Recombination floods share one channel after the group phase;
         // each starts where the previous one ended on the trial clock.
-        const SimTime t0 = env.start_time_us + result.group_phase_us +
-                           result.recombine_us;
+        const SimTime t0 = flood_base_abs + result.recombine_us;
         reelect_holder(sender, t0);
         reelect_holder(surv, t0);
         fcfg.initiator = sender.leader;
         fcfg.start_time_us = t0;
-        flood = transport_->flood(*topo_, fcfg, sim.channel_rng(),
-                                  &trial_scratch);
+        transport_->flood_into(*topo_, fcfg, sim.channel_rng(),
+                               trial_scratch, flood);
         result.recombine_us += flood.duration_us;
         for (NodeId node = 0; node < n; ++node) {
           result.radio_on_us[node] += flood.radio_on_us[node];
@@ -490,9 +608,7 @@ HierarchicalResult HierarchicalProtocol::run(
   if (!active.empty()) {
     // A root that died between recombination and the result flood hands
     // off to an up deputy holding the final sum.
-    reelect_holder(active.front(),
-                   env.start_time_us + result.group_phase_us +
-                       result.recombine_us);
+    reelect_holder(active.front(), flood_base_abs + result.recombine_us);
     root = active.front().leader;
     result.has_aggregate = true;
     result.aggregate = active.front().sum;
@@ -502,19 +618,18 @@ HierarchicalResult HierarchicalProtocol::run(
 
   // ---- Phase C: flood the aggregate back from the global root ----
   SimTime flood_slot_us = 0;
-  ct::GlossyResult flood;
+  ct::GlossyResult& flood = ws.result_flood;
   if (root != kInvalidNode) {
     ct::GlossyConfig fcfg;
     fcfg.initiator = root;
     fcfg.ntx = config_.result_flood_ntx;
     fcfg.payload_bytes = SumPacket::kWireSize;
     fcfg.max_slots = config_.max_chain_slots;
-    fcfg.start_time_us = env.start_time_us + result.group_phase_us +
-                         result.recombine_us;
+    fcfg.start_time_us = flood_base_abs + result.recombine_us;
     fcfg.channel_model = flood_channel;
     fcfg.liveness = env.liveness;
-    flood = transport_->flood(*topo_, fcfg, sim.channel_rng(),
-                              &trial_scratch);
+    transport_->flood_into(*topo_, fcfg, sim.channel_rng(), trial_scratch,
+                           flood);
     result.flood_us = flood.duration_us;
     if (flood.slots_used > 0) {
       flood_slot_us = flood.duration_us /
@@ -526,8 +641,16 @@ HierarchicalResult HierarchicalProtocol::run(
   }
   result.total_duration_us =
       result.group_phase_us + result.recombine_us + result.flood_us;
+  result.round_end_us = flood_base_abs + result.recombine_us + result.flood_us;
+  if (pipelined) {
+    // Serialize this round's floods on the shared lane so the next
+    // round's recombination waits for them (its group phase does not).
+    timeline.book(flood_ch, result.recombine_us + result.flood_us,
+                  flood_base_abs);
+  }
 
-  const SimTime prefix_us = result.group_phase_us + result.recombine_us;
+  const SimTime prefix_us =
+      (flood_base_abs - env.start_time_us) + result.recombine_us;
   for (NodeId i = 0; i < n; ++i) {
     if (root == kInvalidNode) break;
     const std::int32_t rx = flood.first_rx_slot[i];

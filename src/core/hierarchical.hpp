@@ -121,6 +121,12 @@ struct HierarchicalResult {
   SimTime recombine_us = 0;    // sum of recombination-level rounds
   SimTime flood_us = 0;        // result flood
   SimTime total_duration_us = 0;
+  /// Absolute trial-clock bounds of the round. In the classic
+  /// (non-pipelined) mode round_end_us - round_start_us equals
+  /// total_duration_us; in a pipelined campaign the end can sit later
+  /// when the shared flood lane is still draining a previous round.
+  SimTime round_start_us = 0;
+  SimTime round_end_us = 0;
   /// Leader hand-offs across all phases (group rounds + recombination +
   /// result flood) forced by churn-down leaders.
   std::uint32_t leader_reelections = 0;
@@ -148,6 +154,28 @@ struct HierarchicalResult {
   double mean_radio_on_us() const;
 };
 
+/// Warm per-round state of the hierarchical engine, owned by a
+/// core::Session (or by a deprecated shim's stack frame). The flat
+/// RoundWorkspace inside is shared by every group's batch rounds — each
+/// inner round re-initializes what it uses, so one workspace serves any
+/// group shape.
+struct HierWorkspace {
+  RoundWorkspace flat;       // inner SSS batch rounds
+  ct::RoundContext scratch;  // chain/flood engine scratch
+  HierarchicalResult result;
+  /// Channel timeline of a classic (non-pipelined) run; pipelined
+  /// campaigns bring their own persistent timeline via RoundEnv.
+  ct::ChannelTimeline local_timeline{1};
+  std::vector<field::Fp61> batch_secrets;
+  std::vector<std::vector<char>> deputies;
+  ct::GlossyResult flood;         // recombination floods
+  ct::GlossyResult result_flood;  // phase C
+  /// Epoch-rotated per-group keystores, rebuilt once per key epoch
+  /// (epoch 0 uses the construction keystores and leaves this empty).
+  std::uint32_t cached_epoch = 0;
+  std::vector<std::unique_ptr<crypto::KeyStore>> epoch_keys;
+};
+
 class HierarchicalProtocol {
  public:
   /// Validates the partition against `topo` and precomputes the induced
@@ -161,8 +189,13 @@ class HierarchicalProtocol {
   /// (every node is a source). Thread-safe: concurrent calls may share
   /// one protocol instance as long as each uses its own Simulator.
   /// Reads the dynamics environment (channel model, churn) off `sim`.
-  HierarchicalResult run(const std::vector<field::Fp61>& secrets,
-                         sim::Simulator& sim) const;
+  ///
+  /// Deprecated: construct a core::Session over this protocol and call
+  /// Session::run_round — it owns the warm state, issues monotone
+  /// round/nonce ids, and rotates key epochs. This shim runs the same
+  /// engine with a cold workspace (byte-identical results).
+  [[deprecated("use core::Session::run_round")]] HierarchicalResult run(
+      const std::vector<field::Fp61>& secrets, sim::Simulator& sim) const;
 
   /// As above with an explicit environment. Group rounds are placed on
   /// the trial clock at their channel-timeline offsets, the parent
@@ -174,15 +207,37 @@ class HierarchicalProtocol {
   /// (reconstructed every batch, or heard the merging floods). A
   /// partial whose holders are all down is lost for the round, exactly
   /// like an exhausted retry.
-  HierarchicalResult run(const std::vector<field::Fp61>& secrets,
-                         sim::Simulator& sim, const RoundEnv& env) const;
+  ///
+  /// Deprecated: see the two-argument overload.
+  [[deprecated("use core::Session::run_round")]] HierarchicalResult run(
+      const std::vector<field::Fp61>& secrets, sim::Simulator& sim,
+      const RoundEnv& env) const;
 
   const HierarchicalConfig& config() const { return config_; }
   /// Group g's leader (parent node id): the most central node of the
   /// group's subtopology; it accumulates the group sum.
   NodeId group_leader(std::size_t g) const;
+  std::size_t num_groups() const { return groups_.size(); }
+  std::size_t group_size(std::size_t g) const;
+  /// Largest per-group batch count. A Session clamps its epoch length so
+  /// rounds_per_epoch * max_round_batches() fits the 16-bit wire-round
+  /// window — inner round ids (round-in-epoch * batches + batch) must
+  /// stay nonce-unique within an epoch.
+  std::uint32_t max_round_batches() const;
 
  private:
+  friend class Session;
+  friend class Campaign;
+
+  /// The engine behind every entry point: one hierarchical aggregation
+  /// into `ws` (result returned by reference into ws.result). With a
+  /// null env.timeline this reproduces the historic run() overloads bit
+  /// for bit; a Session timeline switches the group phase and the
+  /// recombination/result floods to absolute channel bookings that
+  /// overlap across campaign rounds.
+  const HierarchicalResult& run_round(const std::vector<field::Fp61>& secrets,
+                                      sim::Simulator& sim, const RoundEnv& env,
+                                      HierWorkspace& ws) const;
   struct Group {
     std::vector<NodeId> members;          // parent ids, ascending
     std::unique_ptr<net::Topology> owned; // null when members == whole topo

@@ -19,14 +19,9 @@ namespace {
 /// derive_seed stream tag mixing the trial seed into the jam schedule.
 constexpr std::uint64_t kStreamJamTrial = 0x41445654ull;  // "ADVT"
 
-/// Index lookup: node id -> position in a schedule list.
-std::unordered_map<NodeId, std::size_t> index_of(
-    const std::vector<NodeId>& nodes) {
-  std::unordered_map<NodeId, std::size_t> map;
-  map.reserve(nodes.size());
-  for (std::size_t i = 0; i < nodes.size(); ++i) map.emplace(nodes[i], i);
-  return map;
-}
+/// derive_seed stream tag re-deriving dealer DRBG seeds once a session
+/// leaves the historic (epoch 0, round < 2^16) window.
+constexpr std::uint64_t kStreamDealerEpoch = 0x5EC5EED0ull;
 
 /// A MiniCast round must start from a node that owns at least one chain
 /// entry (an empty first chain would trigger nobody). Pick the candidate
@@ -122,7 +117,9 @@ SssProtocol::SssProtocol(const net::Topology& topo,
       config_(std::move(config)),
       transport_(transport != nullptr ? transport
                                       : &ct::minicast_transport()),
-      engine_(config_.adversary, topo.size()) {
+      engine_(config_.adversary, topo.size()),
+      sharing_(),
+      recon_() {
   MPCIOT_REQUIRE(!config_.sources.empty(), "protocol: no sources");
   MPCIOT_REQUIRE(config_.sources.size() <= 64,
                  "protocol: at most 64 sources per round");
@@ -145,6 +142,10 @@ SssProtocol::SssProtocol(const net::Topology& topo,
   }
   MPCIOT_REQUIRE(config_.initiator < topo.size(),
                  "protocol: initiator out of range");
+  // The chains are pure functions of the participant lists; build them
+  // once (after validation) instead of per round.
+  sharing_ = ct::make_sharing_schedule(config_.sources, config_.share_holders);
+  recon_ = ct::make_reconstruction_schedule(config_.share_holders);
 }
 
 AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
@@ -153,12 +154,20 @@ AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
   env.start_time_us = sim.now();
   env.channel_model = sim.channel_model();
   env.liveness = sim.liveness();
-  return run(secrets, sim, env);
+  RoundWorkspace ws;
+  return run_round(secrets, sim, env, ws);
 }
 
 AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
                                    sim::Simulator& sim,
                                    const RoundEnv& env) const {
+  RoundWorkspace ws;
+  return run_round(secrets, sim, env, ws);
+}
+
+const AggregationResult& SssProtocol::run_round(
+    const std::vector<field::Fp61>& secrets, sim::Simulator& sim,
+    const RoundEnv& env, RoundWorkspace& ws) const {
   MPCIOT_REQUIRE(secrets.size() == config_.sources.size(),
                  "protocol: one secret per source required");
   const std::size_t n = topo_->size();
@@ -166,7 +175,19 @@ AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
   const std::size_t num_holders = config_.share_holders.size();
   const std::size_t k = config_.degree;
 
-  std::vector<char> dead(n, 0);
+  // Session round/nonce ids: the constructed base round unless a
+  // Session override rides the environment. The wire (and the cold
+  // adversary derivations) carry the low 16 bits; the Session rotates
+  // the key epoch before that window can wrap, so a (key, wire round)
+  // pair is never reused.
+  const std::uint32_t session_round =
+      env.round == RoundEnv::kInheritRound ? config_.round : env.round;
+  const std::uint16_t wire_round =
+      static_cast<std::uint16_t>(session_round & 0xFFFFu);
+  const crypto::KeyStore& keys = env.keys != nullptr ? *env.keys : *keys_;
+
+  std::vector<char>& dead = ws.dead;
+  dead.assign(n, 0);
   for (NodeId f : config_.failed_nodes) {
     MPCIOT_REQUIRE(f < n, "protocol: failed node id out of range");
     dead[f] = 1;
@@ -179,7 +200,8 @@ AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
   // (its crash may end mid-round; it then rejoins as a relay). Nodes
   // that crash later dealt normally; whatever shares they did not get
   // out surface as missing contributors downstream.
-  std::vector<char> down_at_start(n, 0);
+  std::vector<char>& down_at_start = ws.down_at_start;
+  down_at_start.assign(n, 0);
   if (env.liveness != nullptr) {
     for (NodeId i = 0; i < n; ++i) {
       down_at_start[i] = env.liveness->is_down(i, env.start_time_us) ? 1 : 0;
@@ -202,22 +224,41 @@ AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
     adv_env.channel_model = &*jammer;
   }
 
-  const auto src_index = index_of(config_.sources);
-  const auto holder_index = index_of(config_.share_holders);
+  // Node id -> holder index (kNotHolder for relays), replacing the old
+  // per-round hash map.
+  ws.holder_pos.assign(n, RoundWorkspace::kNotHolder);
+  for (std::size_t h = 0; h < num_holders; ++h) {
+    ws.holder_pos[config_.share_holders[h]] = static_cast<std::uint32_t>(h);
+  }
 
   // ---- Stage 0: deal shares locally (live sources only) ----
-  std::vector<std::optional<ShamirDealer>> dealers(num_sources);
+  ws.dealers.resize(num_sources);
+  ws.dealt.assign(num_sources, 0);
   field::Fp61 expected_sum;
   std::uint64_t live_source_mask = 0;
+  // Epoch 0 rounds below 2^16 keep the historic per-(round, node) DRBG
+  // stream bit for bit; past that window the base seed is re-derived
+  // from (epoch, round) so dealer streams never alias after a
+  // wire-round wrap.
+  const bool legacy_stream =
+      env.key_epoch == 0 && session_round < 0x10000u;
+  const std::uint64_t dealer_base_seed =
+      legacy_stream
+          ? sim.seed()
+          : crypto::derive_seed(
+                sim.seed(), kStreamDealerEpoch,
+                (static_cast<std::uint64_t>(env.key_epoch) << 32) |
+                    session_round);
   for (std::size_t i = 0; i < num_sources; ++i) {
     const NodeId src = config_.sources[i];
     if (!participates(src)) continue;
     // Domain-separate the DRBG by (round, node).
     crypto::CtrDrbg drbg(
-        sim.seed(),
+        dealer_base_seed,
         0x5EC0000000000000ull |
-            (static_cast<std::uint64_t>(config_.round) << 32) | src);
-    dealers[i].emplace(secrets[i], k, drbg);
+            (static_cast<std::uint64_t>(wire_round) << 32) | src);
+    ws.dealers[i].reset(secrets[i], k, drbg);
+    ws.dealt[i] = 1;
     expected_sum += secrets[i];
     live_source_mask |= (std::uint64_t{1} << i);
   }
@@ -230,75 +271,63 @@ AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
   // Feldman VSS: one commitment per dealing source. Attackers commit to
   // their true polynomial — a forged commitment could only widen the
   // detection surface, so an honest commitment with tampered shares is
-  // the verifier's worst case.
-  std::vector<std::optional<crypto::feldman::Commitment>> commitments(
-      num_sources);
+  // the verifier's worst case. Cold path: the commitment pool is only
+  // materialized when VSS is on.
   const std::uint32_t vss_bytes =
       config_.feldman_vss
           ? static_cast<std::uint32_t>(
                 (k + 1) * crypto::feldman::Commitment::kElementBytes)
           : 0;
   if (config_.feldman_vss) {
+    ws.commitments.assign(num_sources, std::nullopt);
     for (std::size_t s = 0; s < num_sources; ++s) {
-      if (dealers[s].has_value()) {
-        commitments[s] = crypto::feldman::commit(dealers[s]->polynomial());
+      if (ws.dealt[s]) {
+        ws.commitments[s] = crypto::feldman::commit(ws.dealers[s].polynomial());
       }
     }
   }
 
   // kInconsistentShares: the second polynomial each attacker source
-  // deals to its equivocation targets.
-  std::vector<std::optional<ShamirDealer>> equiv_dealers(num_sources);
+  // deals to its equivocation targets (cold path).
   if (engine_.active() && engine_.kind() == AttackKind::kInconsistentShares) {
+    ws.equiv_dealers.assign(num_sources, std::nullopt);
     for (std::size_t s = 0; s < num_sources; ++s) {
-      if (dealers[s].has_value() && engine_.is_attacker(config_.sources[s])) {
-        equiv_dealers[s] = engine_.equivocation_dealer(
-            sim.seed(), config_.round, config_.sources[s], secrets[s], k);
+      if (ws.dealt[s] && engine_.is_attacker(config_.sources[s])) {
+        ws.equiv_dealers[s] = engine_.equivocation_dealer(
+            sim.seed(), wire_round, config_.sources[s], secrets[s], k);
       }
     }
   }
 
-  // One context serves every phase of the round (and, when the caller
-  // provides one, the whole trial): buffers are reused and the
-  // epoch-walked channel view continues instead of replaying the
-  // dynamics chain from 0.
-  ct::RoundContext local_scratch;
+  // One context serves every phase of the round (and, when a Session or
+  // composition layer provides one, the whole trial): buffers are
+  // reused and the epoch-walked channel view continues instead of
+  // replaying the dynamics chain from 0.
   ct::RoundContext* const round_scratch =
-      env.scratch != nullptr ? env.scratch : &local_scratch;
+      env.scratch != nullptr ? env.scratch : &ws.ct;
 
   // ---- Stage 0b: round-start sync flood ----
-  ct::GlossyConfig sync_cfg;
+  ct::GlossyConfig& sync_cfg = ws.sync_cfg;
+  sync_cfg = ct::GlossyConfig{};
   sync_cfg.initiator = config_.initiator;
   sync_cfg.ntx = 3;
   sync_cfg.payload_bytes = 8;
   sync_cfg.start_time_us = env.start_time_us;
   sync_cfg.channel_model = adv_env.channel_model;
   sync_cfg.liveness = env.liveness;
-  const ct::GlossyResult sync =
-      transport_->flood(*topo_, sync_cfg, sim.channel_rng(), round_scratch);
-
-  // Every live data owner is slot-synchronized: Glossy-class systems
-  // maintain network-wide time across rounds, so even a node that missed
-  // *this* round's sync flood still knows the TDMA slot boundaries from
-  // earlier rounds (clock drift per round is microseconds).
-  const auto synced = [&](const std::vector<NodeId>& owners) {
-    std::vector<NodeId> out;
-    out.reserve(owners.size());
-    for (NodeId o : owners) {
-      if (!dead[o]) out.push_back(o);
-    }
-    return out;
-  };
+  transport_->flood_into(*topo_, sync_cfg, sim.channel_rng(), round_scratch,
+                         ws.sync);
+  const ct::GlossyResult& sync = ws.sync;
 
   // ---- Stage 1: sharing phase ----
-  const ct::SharingSchedule sharing =
-      ct::make_sharing_schedule(config_.sources, config_.share_holders);
+  const ct::SharingSchedule& sharing = sharing_;
 
   const SimTime share_start_us = env.start_time_us + sync.duration_us;
-  ct::MiniCastConfig share_cfg;
+  ct::MiniCastConfig& share_cfg = ws.share_cfg;
   share_cfg.initiator =
       pick_phase_initiator(*topo_, config_.initiator, config_.sources, dead,
                            env.liveness, share_start_us);
+  share_cfg.channel = 0;
   share_cfg.ntx = config_.ntx_sharing;
   share_cfg.payload_bytes = SharePacket::kWireSize + vss_bytes;
   share_cfg.max_chain_slots = config_.max_chain_slots;
@@ -311,45 +340,49 @@ AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
   share_cfg.liveness = env.liveness;
   // Slot-synced owners of the sharing chain: sources that actually
   // dealt (a source down at round start has nothing to inject even
-  // after it recovers).
-  {
-    std::vector<NodeId> owners;
-    owners.reserve(config_.sources.size());
-    for (NodeId o : config_.sources) {
-      if (participates(o)) owners.push_back(o);
-    }
-    share_cfg.scheduled_owners = std::move(owners);
+  // after it recovers). Every live data owner is slot-synchronized:
+  // Glossy-class systems maintain network-wide time across rounds, so
+  // even a node that missed *this* round's sync flood still knows the
+  // TDMA slot boundaries from earlier rounds (clock drift per round is
+  // microseconds).
+  share_cfg.scheduled_owners.clear();
+  for (NodeId o : config_.sources) {
+    if (participates(o)) share_cfg.scheduled_owners.push_back(o);
   }
   // Per-holder bitmap of the sharing-chain entries it must collect (its
   // own column, dealing sources only — dead or crashed-at-start sources
-  // never deal).
-  std::vector<std::vector<std::uint64_t>> holder_need(num_holders);
+  // never deal). Flat layout: holder h's mask occupies words
+  // [h * holder_need_words, (h+1) * holder_need_words).
+  ws.holder_need_words = (sharing.entries.size() + 63) / 64;
+  ws.holder_need.assign(num_holders * ws.holder_need_words, 0);
   for (std::size_t h = 0; h < num_holders; ++h) {
-    std::vector<std::size_t> bits;
+    std::uint64_t* mask = ws.holder_need.data() + h * ws.holder_need_words;
     for (std::size_t s = 0; s < num_sources; ++s) {
       if (participates(config_.sources[s])) {
-        bits.push_back(sharing.entry_index(s, h));
+        ct::bit_set(mask, sharing.entry_index(s, h));
       }
     }
-    holder_need[h] = ct::make_entry_mask(sharing.entries.size(), bits);
   }
-  share_cfg.done = [&](NodeId node, ct::BitView have) {
-    const auto it = holder_index.find(node);
-    if (it == holder_index.end()) return true;  // relays: no data to await
-    return have.covers(holder_need[it->second]);
+  // The predicate captures only the workspace pointer, so assigning it
+  // stays within std::function's small-object storage (no allocation).
+  RoundWorkspace* const wsp = &ws;
+  share_cfg.done = [wsp](NodeId node, ct::BitView have) {
+    const std::uint32_t h = wsp->holder_pos[node];
+    if (h == RoundWorkspace::kNotHolder) return true;  // relays: nothing owed
+    return have.covers(wsp->holder_need.data() + h * wsp->holder_need_words,
+                       wsp->holder_need_words);
   };
 
-  const ct::MiniCastResult share_round =
-      transport_->chain_round(*topo_, sharing.entries, share_cfg,
-                              sim.channel_rng(), round_scratch);
+  transport_->chain_round_into(*topo_, sharing.entries, share_cfg,
+                               sim.channel_rng(), round_scratch,
+                               ws.share_round);
+  const ct::MiniCastResult& share_round = ws.share_round;
 
   // ---- Stage 1b: holders decrypt and sum what they got ----
-  struct HolderSum {
-    field::Fp61 sum;
-    std::uint64_t contributors = 0;
-    bool valid = false;
-  };
-  std::vector<HolderSum> holder_sums(num_holders);
+  // (Parallel arrays replacing the old per-round HolderSum vector.)
+  ws.holder_sum.assign(num_holders, field::Fp61{});
+  ws.holder_contrib.assign(num_holders, 0);
+  ws.holder_valid.assign(num_holders, 0);
   std::size_t delivered = 0;
   std::size_t deliverable = 0;
   std::uint64_t cheater_sources_mask = 0;
@@ -358,8 +391,7 @@ AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
   for (std::size_t h = 0; h < num_holders; ++h) {
     const NodeId holder = config_.share_holders[h];
     if (dead[holder]) continue;
-    HolderSum& acc = holder_sums[h];
-    acc.valid = true;
+    ws.holder_valid[h] = 1;
     for (std::size_t s = 0; s < num_sources; ++s) {
       const NodeId src = config_.sources[s];
       if (!participates(src)) continue;
@@ -367,8 +399,8 @@ AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
       const std::size_t entry = sharing.entry_index(s, h);
       if (src == holder) {
         // Own share never travels on air (and is trivially consistent).
-        acc.sum += dealers[s]->share_for(holder).value;
-        acc.contributors |= (std::uint64_t{1} << s);
+        ws.holder_sum[h] += ws.dealers[s].share_for(holder).value;
+        ws.holder_contrib[h] |= (std::uint64_t{1} << s);
         ++delivered;
         continue;
       }
@@ -376,39 +408,39 @@ AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
       ++delivered;
       // The value the source put on the air: its honest share unless it
       // is an attacker misdealing to this holder.
-      field::Fp61 on_air = dealers[s]->share_for(holder).value;
+      field::Fp61 on_air = ws.dealers[s].share_for(holder).value;
       if (engine_.is_attacker(src)) {
         if (engine_.kind() == AttackKind::kMalformedShares) {
-          on_air = engine_.malformed_share(sim.seed(), config_.round, src,
+          on_air = engine_.malformed_share(sim.seed(), wire_round, src,
                                            holder, on_air);
         } else if (engine_.kind() == AttackKind::kInconsistentShares &&
                    engine_.equivocation_target(src, h)) {
-          on_air = equiv_dealers[s]->share_for(holder).value;
+          on_air = ws.equiv_dealers[s]->share_for(holder).value;
         }
       }
       // Decode the actual wire bytes the source would have sent.
       SharePacket pkt;
       pkt.source = src;
       pkt.destination = holder;
-      pkt.round = config_.round;
+      pkt.round = wire_round;
       pkt.share = on_air;
-      const Bytes wire = pkt.encode(*keys_);
+      pkt.encode_into(keys, ws.wire);
       const std::optional<SharePacket> decoded =
-          SharePacket::decode(wire, *keys_);
+          SharePacket::decode(ws.wire, keys);
       MPCIOT_ENSURE(decoded.has_value(),
                     "protocol: AES/CMAC round-trip must succeed");
       // Share-accept verification (VSS on): drop anything off the
       // committed polynomial and remember the cheater.
-      if (commitments[s].has_value() &&
-          !crypto::feldman::verify_share(*commitments[s],
+      if (config_.feldman_vss && ws.commitments[s].has_value() &&
+          !crypto::feldman::verify_share(*ws.commitments[s],
                                          public_point(holder),
                                          decoded->share)) {
         ++shares_rejected;
         cheater_sources_mask |= (std::uint64_t{1} << s);
         continue;
       }
-      acc.sum += decoded->share;
-      acc.contributors |= (std::uint64_t{1} << s);
+      ws.holder_sum[h] += decoded->share;
+      ws.holder_contrib[h] |= (std::uint64_t{1} << s);
     }
   }
 
@@ -417,9 +449,9 @@ AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
   if (engine_.active() && engine_.kind() == AttackKind::kPollutedSums) {
     for (std::size_t h = 0; h < num_holders; ++h) {
       const NodeId holder = config_.share_holders[h];
-      if (!holder_sums[h].valid || !engine_.is_attacker(holder)) continue;
-      holder_sums[h].sum +=
-          engine_.sum_pollution(sim.seed(), config_.round, holder);
+      if (!ws.holder_valid[h] || !engine_.is_attacker(holder)) continue;
+      ws.holder_sum[h] +=
+          engine_.sum_pollution(sim.seed(), wire_round, holder);
     }
   }
 
@@ -428,68 +460,86 @@ AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
   // commitments or it does not. Which *observers* can apply a verdict
   // depends on the commitments they heard — resolved per node in stage
   // 3; the verdict itself is computed once here.
-  std::vector<char> sum_bad(num_holders, 0);
+  ws.sum_bad.assign(num_holders, 0);
   if (config_.feldman_vss) {
     for (std::size_t h = 0; h < num_holders; ++h) {
-      if (!holder_sums[h].valid || holder_sums[h].contributors == 0) continue;
+      if (!ws.holder_valid[h] || ws.holder_contrib[h] == 0) continue;
       std::vector<const crypto::feldman::Commitment*> parts;
       for (std::size_t s = 0; s < num_sources; ++s) {
-        if ((holder_sums[h].contributors >> s) & 1) {
-          parts.push_back(&*commitments[s]);
+        if ((ws.holder_contrib[h] >> s) & 1) {
+          parts.push_back(&*ws.commitments[s]);
         }
       }
       const crypto::feldman::Commitment product =
           crypto::feldman::combine(parts);
-      sum_bad[h] =
+      ws.sum_bad[h] =
           crypto::feldman::verify_share(
               product, public_point(config_.share_holders[h]),
-              holder_sums[h].sum)
+              ws.holder_sum[h])
               ? 0
               : 1;
     }
   }
 
   // ---- Stage 2: reconstruction phase ----
-  const ct::ReconstructionSchedule recon =
-      ct::make_reconstruction_schedule(config_.share_holders);
+  const ct::ReconstructionSchedule& recon = recon_;
 
   // A holder with no live sum cannot inject its entry: model by marking
   // the holder disabled iff dead (a live holder with a partial sum still
   // transmits; receivers filter by the contributor bitmap).
   // Usable entries for the done-predicate: the largest group of live
-  // holders with identical contributor sets.
-  std::unordered_map<std::uint64_t, std::uint32_t> group_size;
-  for (std::size_t h = 0; h < num_holders; ++h) {
-    if (holder_sums[h].valid) ++group_size[holder_sums[h].contributors];
-  }
+  // holders with identical contributor sets. The common case — every
+  // valid holder heard the same contributor set — needs no grouping at
+  // all; the hash-map tally only runs on genuinely mixed rounds (and
+  // reproduces the historic iteration order exactly).
   std::uint64_t best_mask = 0;
-  std::uint32_t best_count = 0;
-  for (const auto& [mask, count] : group_size) {
-    const int pc = std::popcount(mask);
-    if (count > best_count ||
-        (count == best_count && pc > std::popcount(best_mask))) {
-      best_count = count;
-      best_mask = mask;
+  {
+    bool mixed = false;
+    bool any = false;
+    for (std::size_t h = 0; h < num_holders && !mixed; ++h) {
+      if (!ws.holder_valid[h]) continue;
+      if (!any) {
+        best_mask = ws.holder_contrib[h];
+        any = true;
+      } else if (ws.holder_contrib[h] != best_mask) {
+        mixed = true;
+      }
+    }
+    if (mixed) {
+      std::unordered_map<std::uint64_t, std::uint32_t> group_size;
+      for (std::size_t h = 0; h < num_holders; ++h) {
+        if (ws.holder_valid[h]) ++group_size[ws.holder_contrib[h]];
+      }
+      best_mask = 0;
+      std::uint32_t best_count = 0;
+      for (const auto& [mask, count] : group_size) {
+        const int pc = std::popcount(mask);
+        if (count > best_count ||
+            (count == best_count && pc > std::popcount(best_mask))) {
+          best_count = count;
+          best_mask = mask;
+        }
+      }
     }
   }
   // Completion counts only sums a verifying receiver would accept: with
   // VSS on nodes verify point-sums on reception, so a known-bad sum does
   // not count toward the k+1 threshold and the radio stays on longer.
-  std::vector<std::size_t> usable_bits;
+  ws.usable_mask.assign((num_holders + 63) / 64, 0);
   for (std::size_t h = 0; h < num_holders; ++h) {
-    if (holder_sums[h].valid && holder_sums[h].contributors == best_mask &&
-        !sum_bad[h]) {
-      usable_bits.push_back(h);
+    if (ws.holder_valid[h] && ws.holder_contrib[h] == best_mask &&
+        !ws.sum_bad[h]) {
+      ct::bit_set(ws.usable_mask.data(), h);
     }
   }
-  const std::vector<std::uint64_t> usable_mask =
-      ct::make_entry_mask(num_holders, usable_bits);
+  ws.recon_threshold = k + 1;
 
   const SimTime recon_start_us = share_start_us + share_round.duration_us;
-  ct::MiniCastConfig recon_cfg;
+  ct::MiniCastConfig& recon_cfg = ws.recon_cfg;
   recon_cfg.initiator =
       pick_phase_initiator(*topo_, config_.initiator, config_.share_holders,
                            dead, env.liveness, recon_start_us);
+  recon_cfg.channel = 0;
   recon_cfg.ntx = config_.ntx_reconstruction;
   recon_cfg.payload_bytes = SumPacket::kWireSize;
   recon_cfg.max_chain_slots = config_.max_chain_slots;
@@ -498,17 +548,24 @@ AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
   recon_cfg.start_time_us = recon_start_us;
   recon_cfg.channel_model = adv_env.channel_model;
   recon_cfg.liveness = env.liveness;
-  recon_cfg.scheduled_owners = synced(config_.share_holders);
-  recon_cfg.done = [&](NodeId /*node*/, ct::BitView have) {
-    return have.count_and(usable_mask) >= k + 1;
+  recon_cfg.scheduled_owners.clear();
+  for (NodeId o : config_.share_holders) {
+    if (!dead[o]) recon_cfg.scheduled_owners.push_back(o);
+  }
+  recon_cfg.done = [wsp](NodeId /*node*/, ct::BitView have) {
+    return have.count_and(wsp->usable_mask.data(), wsp->usable_mask.size()) >=
+           wsp->recon_threshold;
   };
 
-  const ct::MiniCastResult recon_round =
-      transport_->chain_round(*topo_, recon.entries, recon_cfg,
-                              sim.channel_rng(), round_scratch);
+  transport_->chain_round_into(*topo_, recon.entries, recon_cfg,
+                               sim.channel_rng(), round_scratch,
+                               ws.recon_round);
+  const ct::MiniCastResult& recon_round = ws.recon_round;
 
   // ---- Stage 3: per-node reconstruction from decoded SumPackets ----
-  AggregationResult result;
+  // The result is warm workspace: every field is re-initialized here so
+  // nothing from the previous round leaks through.
+  AggregationResult& result = ws.result;
   result.nodes.assign(n, NodeOutcome{});
   result.expected_sum = expected_sum;
   result.sync_duration_us = sync.duration_us;
@@ -520,14 +577,16 @@ AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
       deliverable == 0
           ? 1.0
           : static_cast<double>(delivered) / static_cast<double>(deliverable);
+  result.complete_holders = 0;
   for (std::size_t h = 0; h < num_holders; ++h) {
-    if (holder_sums[h].valid &&
-        holder_sums[h].contributors == live_source_mask) {
+    if (ws.holder_valid[h] && ws.holder_contrib[h] == live_source_mask) {
       ++result.complete_holders;
     }
   }
   result.cheater_sources_mask = cheater_sources_mask;
+  result.cheater_holders_mask = 0;
   result.shares_rejected = shares_rejected;
+  result.sums_rejected = 0;
   result.vss_commit_bytes = vss_bytes;
 
   const SimTime prefix_us = sync.duration_us + share_round.duration_us;
@@ -544,7 +603,7 @@ AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
     std::uint64_t commit_bits = 0;
     if (config_.feldman_vss) {
       for (std::size_t s = 0; s < num_sources; ++s) {
-        if (!commitments[s].has_value()) continue;
+        if (!ws.commitments[s].has_value()) continue;
         for (std::size_t hh = 0; hh < num_holders; ++hh) {
           if (share_round.node_has(node, sharing.entry_index(s, hh))) {
             commit_bits |= (std::uint64_t{1} << s);
@@ -554,50 +613,75 @@ AggregationResult SssProtocol::run(const std::vector<field::Fp61>& secrets,
       }
     }
 
-    // Collect the sums this node decoded (own sum included for holders).
-    std::unordered_map<std::uint64_t, std::vector<Share>> groups;
+    // Collect the sums this node decoded (own sum included for holders)
+    // into flat parallel arrays; rounds where every accepted sum carries
+    // the same contributor set — the common case — never touch a map.
+    ws.node_mask.clear();
+    ws.node_share.clear();
     for (std::size_t h = 0; h < num_holders; ++h) {
-      if (!holder_sums[h].valid) continue;
+      if (!ws.holder_valid[h]) continue;
       const NodeId holder = config_.share_holders[h];
       const bool own = (holder == node);
       if (!own && !recon_round.node_has(node, h)) continue;
       // Decode the wire bytes the holder would have broadcast.
       SumPacket pkt;
       pkt.holder = holder;
-      pkt.contribution_count = static_cast<std::uint8_t>(
-          std::popcount(holder_sums[h].contributors));
-      pkt.round = config_.round;
-      pkt.sum = holder_sums[h].sum;
-      pkt.contributors = holder_sums[h].contributors;
-      const std::optional<SumPacket> decoded = SumPacket::decode(pkt.encode());
+      pkt.contribution_count =
+          static_cast<std::uint8_t>(std::popcount(ws.holder_contrib[h]));
+      pkt.round = wire_round;
+      pkt.sum = ws.holder_sum[h];
+      pkt.contributors = ws.holder_contrib[h];
+      pkt.encode_into(ws.wire);
+      const std::optional<SumPacket> decoded = SumPacket::decode(ws.wire);
       MPCIOT_ENSURE(decoded.has_value(), "protocol: SumPacket round-trip");
-      if (config_.feldman_vss && sum_bad[h] &&
+      if (config_.feldman_vss && ws.sum_bad[h] &&
           (decoded->contributors & ~commit_bits) == 0) {
         ++result.sums_rejected;
         result.cheater_holders_mask |= (std::uint64_t{1} << h);
         continue;
       }
-      groups[decoded->contributors].push_back(
-          Share{decoded->holder, decoded->sum});
+      ws.node_mask.push_back(decoded->contributors);
+      ws.node_share.push_back(Share{decoded->holder, decoded->sum});
     }
 
     // Pick the consistent group with the most contributors that has
-    // enough points.
+    // enough points. Fast path: a single contributor set across every
+    // accepted sum. Mixed rounds rebuild the historic hash-map grouping
+    // (same insertion order, hence the same tie-break) so the selected
+    // group is bit-for-bit the one the pre-session engine picked.
+    std::unordered_map<std::uint64_t, std::vector<Share>> groups;
     const std::vector<Share>* chosen = nullptr;
     std::uint64_t chosen_mask = 0;
-    for (const auto& [mask, shares] : groups) {
-      if (shares.size() < k + 1) continue;
-      if (chosen == nullptr ||
-          std::popcount(mask) > std::popcount(chosen_mask)) {
-        chosen = &shares;
-        chosen_mask = mask;
+    bool mixed = false;
+    for (std::size_t i = 1; i < ws.node_mask.size(); ++i) {
+      if (ws.node_mask[i] != ws.node_mask[0]) {
+        mixed = true;
+        break;
+      }
+    }
+    if (!mixed) {
+      if (ws.node_share.size() >= k + 1) {
+        chosen = &ws.node_share;
+        chosen_mask = ws.node_mask[0];
+      }
+    } else {
+      for (std::size_t i = 0; i < ws.node_mask.size(); ++i) {
+        groups[ws.node_mask[i]].push_back(ws.node_share[i]);
+      }
+      for (const auto& [mask, shares] : groups) {
+        if (shares.size() < k + 1) continue;
+        if (chosen == nullptr ||
+            std::popcount(mask) > std::popcount(chosen_mask)) {
+          chosen = &shares;
+          chosen_mask = mask;
+        }
       }
     }
     if (chosen == nullptr) continue;
 
     out.has_aggregate = true;
     out.sums_used = static_cast<std::uint32_t>(chosen->size());
-    out.aggregate = reconstruct(*chosen, k);
+    out.aggregate = reconstruct(*chosen, k, ws.lagrange);
     out.contributor_mask = chosen_mask;
     // Correct = covers every live honest source (attackers may or may
     // not land in the aggregate — either is fine as long as the value

@@ -27,7 +27,9 @@
 #include "common/types.hpp"
 #include "core/adversary.hpp"
 #include "core/shamir.hpp"
+#include "crypto/feldman.hpp"
 #include "crypto/keystore.hpp"
+#include "ct/chain_schedule.hpp"
 #include "ct/minicast.hpp"
 #include "ct/transport.hpp"
 #include "field/fp61.hpp"
@@ -36,23 +38,54 @@
 
 namespace mpciot::core {
 
+class Session;
+class Campaign;
+class SssProtocol;
+class HierarchicalProtocol;
+
 /// Per-run dynamics environment of one aggregation round. Protocol
 /// instances are constructed once and shared across (possibly
 /// concurrent) trials, so everything that varies per trial rides here:
 /// where the round sits on the trial clock, the trial's time-varying
-/// channel model, and its crash/recover schedule. The two-argument
-/// run() derives it from the trial's Simulator; all-null is the static
-/// world and reproduces frozen-topology rounds bit for bit.
+/// channel model, and its crash/recover schedule. The deprecated
+/// two-argument run() derives it from the trial's Simulator; all-null
+/// is the static world and reproduces frozen-topology rounds bit for
+/// bit.
+///
+/// The session seam (scratch reuse, round/nonce overrides, epoch keys,
+/// the pipelined-campaign timeline) is private: only core::Session and
+/// the protocol engines can touch it, so external callers can no longer
+/// desynchronize the AES-CTR nonce counter from the round sequence.
 struct RoundEnv {
   SimTime start_time_us = 0;
   const net::ChannelModel* channel_model = nullptr;
   const net::LivenessModel* liveness = nullptr;
-  /// Optional caller-owned scratch shared across the trial's rounds:
-  /// buffers are reused and, with a channel model, the epoch-walked
-  /// ChannelView continues from round to round instead of replaying
-  /// the dynamics chain from epoch 0 (composition layers placing many
-  /// rounds late on the trial clock care; see ct::RoundContext).
+
+ private:
+  friend class Session;
+  friend class Campaign;
+  friend class SssProtocol;
+  friend class HierarchicalProtocol;
+
+  /// "No session override": the engine falls back to the constructed
+  /// ProtocolConfig::round.
+  static constexpr std::uint32_t kInheritRound = 0xFFFFFFFFu;
+
+  /// Caller-owned scratch shared across the trial's rounds: buffers are
+  /// reused and, with a channel model, the epoch-walked ChannelView
+  /// continues from round to round instead of replaying the dynamics
+  /// chain from epoch 0 (see ct::RoundContext).
   ct::RoundContext* scratch = nullptr;
+  /// Session round override (keys nonces and dealer DRBG streams).
+  std::uint32_t round = kInheritRound;
+  /// AES key epoch the round runs under (0 = the construction keystore).
+  std::uint32_t key_epoch = 0;
+  /// Epoch-rotated keystore override; null = the construction keystore.
+  const crypto::KeyStore* keys = nullptr;
+  /// Pipelined-campaign mode (hierarchical only): a persistent timeline
+  /// whose channel bookings carry over between rounds, letting round
+  /// r+1's group phase start while round r's recombination floods drain.
+  ct::ChannelTimeline* timeline = nullptr;
 };
 
 struct ProtocolConfig {
@@ -66,9 +99,14 @@ struct ProtocolConfig {
   std::size_t degree = 1;
   std::uint32_t ntx_sharing = 6;
   std::uint32_t ntx_reconstruction = 6;
-  /// Round counter (keys the AES-CTR nonces; reuse across rounds with the
-  /// same counter would break confidentiality).
-  std::uint16_t round = 0;
+  /// Base round counter (keys the AES-CTR nonces; reuse across rounds
+  /// with the same key would break confidentiality). Widened from u16:
+  /// the wire carries round & 0xFFFF, and core::Session rotates the key
+  /// epoch before the 16-bit window can wrap, so a (key, wire round)
+  /// pair is never reused — the u16 counter silently aliased nonces
+  /// after 65,536 rounds. Fixed at construction; only a Session may
+  /// override it per round (privately, via RoundEnv).
+  std::uint32_t round = 0;
   NodeId initiator = 0;
   /// S4's energy optimization: radios off once NTX spent and local
   /// completion reached.
@@ -139,6 +177,44 @@ struct AggregationResult {
   double mean_radio_on_us() const;
 };
 
+/// Warm per-round state of the flat engine, owned by a core::Session
+/// (or by a deprecated shim's stack frame). Buffers grow to the round
+/// shape on first use and are reused thereafter: after the warm-up
+/// round, the honest static path performs zero heap allocations.
+struct RoundWorkspace {
+  /// holder_pos sentinel: the node is not a share holder this round.
+  static constexpr std::uint32_t kNotHolder = 0xFFFFFFFFu;
+
+  ct::RoundContext ct;             // chain-engine + flood scratch
+  ct::GlossyResult sync;           // stage 0b result
+  ct::MiniCastResult share_round;  // stage 1 result
+  ct::MiniCastResult recon_round;  // stage 2 result
+  AggregationResult result;        // stage 3 result (returned by ref)
+
+  std::vector<char> dead;
+  std::vector<char> down_at_start;
+  std::vector<ShamirDealer> dealers;  // one slot per source, re-dealt
+  std::vector<char> dealt;            // which slots dealt this round
+  std::vector<std::optional<crypto::feldman::Commitment>> commitments;
+  std::vector<std::optional<ShamirDealer>> equiv_dealers;
+  std::vector<std::uint32_t> holder_pos;   // node id -> holder index
+  std::vector<std::uint64_t> holder_need;  // flat per-holder entry masks
+  std::size_t holder_need_words = 0;
+  std::vector<field::Fp61> holder_sum;       // stage 1b accumulators
+  std::vector<std::uint64_t> holder_contrib;
+  std::vector<char> holder_valid;
+  std::vector<char> sum_bad;
+  std::vector<std::uint64_t> usable_mask;
+  std::size_t recon_threshold = 0;
+  Bytes wire;  // packet encode/decode round-trip buffer
+  std::vector<std::uint64_t> node_mask;  // stage 3: accepted sum masks
+  std::vector<Share> node_share;         //   parallel decoded values
+  field::LagrangeScratch lagrange;
+  ct::GlossyConfig sync_cfg;
+  ct::MiniCastConfig share_cfg;
+  ct::MiniCastConfig recon_cfg;
+};
+
 class SssProtocol {
  public:
   /// Preconditions: sources/holders non-empty, ids in range and unique,
@@ -155,8 +231,13 @@ class SssProtocol {
   /// Run one aggregation round. secrets[i] belongs to config.sources[i].
   /// Reads the dynamics environment off `sim` (channel model, liveness,
   /// start time = sim.now()).
-  AggregationResult run(const std::vector<field::Fp61>& secrets,
-                        sim::Simulator& sim) const;
+  ///
+  /// Deprecated: construct a core::Session over this protocol and call
+  /// Session::run_round — it owns the warm state, issues monotone
+  /// round/nonce ids, and rotates key epochs. This shim runs the same
+  /// engine with a cold workspace (byte-identical results).
+  [[deprecated("use core::Session::run_round")]] AggregationResult run(
+      const std::vector<field::Fp61>& secrets, sim::Simulator& sim) const;
 
   /// As above with an explicit environment (e.g. a composition layer
   /// placing the round later on the trial clock, or mapping a parent
@@ -167,18 +248,35 @@ class SssProtocol {
   /// missing contributors and reconstruction falls back to the Shamir
   /// threshold path (any degree+1 consistent sums). Reported latencies
   /// stay relative to the round start.
-  AggregationResult run(const std::vector<field::Fp61>& secrets,
-                        sim::Simulator& sim, const RoundEnv& env) const;
+  ///
+  /// Deprecated: see the two-argument overload.
+  [[deprecated("use core::Session::run_round")]] AggregationResult run(
+      const std::vector<field::Fp61>& secrets, sim::Simulator& sim,
+      const RoundEnv& env) const;
 
   const ProtocolConfig& config() const { return config_; }
   const ct::Transport& transport() const { return *transport_; }
 
  private:
+  friend class Session;
+  friend class Campaign;
+  friend class HierarchicalProtocol;
+
+  /// The engine behind every entry point: one aggregation round into
+  /// `ws` (result returned by reference into ws.result). RNG draws,
+  /// arithmetic and outcomes are identical to the historic run()
+  /// overloads; the workspace only changes where buffers live.
+  const AggregationResult& run_round(const std::vector<field::Fp61>& secrets,
+                                     sim::Simulator& sim, const RoundEnv& env,
+                                     RoundWorkspace& ws) const;
+
   const net::Topology* topo_;
   const crypto::KeyStore* keys_;
   ProtocolConfig config_;
   const ct::Transport* transport_;
   AdversaryEngine engine_;
+  ct::SharingSchedule sharing_;        // fixed by config at construction
+  ct::ReconstructionSchedule recon_;   // fixed by config at construction
 };
 
 /// Naive S3: holders = sources, no early radio-off. `ntx_full` should be

@@ -11,6 +11,13 @@ ShamirDealer::ShamirDealer(field::Fp61 secret, std::size_t degree,
       secret, degree, [&drbg] { return drbg.next_fp61(); });
 }
 
+void ShamirDealer::reset(field::Fp61 secret, std::size_t degree,
+                         crypto::CtrDrbg& drbg) {
+  MPCIOT_REQUIRE(degree >= 1, "ShamirDealer: degree must be >= 1");
+  poly_.assign_random_with_secret(secret, degree,
+                                  [&drbg] { return drbg.next_fp61(); });
+}
+
 Share ShamirDealer::share_for(NodeId holder) const {
   return Share{holder, poly_.evaluate(public_point(holder))};
 }
@@ -34,6 +41,18 @@ field::Fp61 reconstruct(const std::vector<Share>& shares,
         field::Sample{public_point(shares[i].holder), shares[i].value});
   }
   return field::interpolate_at_zero(samples);
+}
+
+field::Fp61 reconstruct(const std::vector<Share>& shares, std::size_t degree,
+                        field::LagrangeScratch& scratch) {
+  MPCIOT_REQUIRE(shares.size() >= degree + 1,
+                 "reconstruct: need at least degree+1 shares");
+  scratch.samples.clear();
+  for (std::size_t i = 0; i <= degree; ++i) {
+    scratch.samples.push_back(
+        field::Sample{public_point(shares[i].holder), shares[i].value});
+  }
+  return field::interpolate_at_zero(scratch.samples, scratch);
 }
 
 field::Fp61 sum_shares(const std::vector<field::Fp61>& values) {

@@ -37,10 +37,17 @@ struct Share {
 /// A dealer-side sharing of one secret.
 class ShamirDealer {
  public:
+  /// Empty dealer for warm pools; call reset() before use.
+  ShamirDealer() = default;
+
   /// Sample a fresh degree-`degree` polynomial with constant term
   /// `secret`, drawing coefficients from `drbg`.
   /// Precondition: degree >= 1 (degree 0 would broadcast the secret).
   ShamirDealer(field::Fp61 secret, std::size_t degree, crypto::CtrDrbg& drbg);
+
+  /// Re-deal in place: identical draws and result as the constructor,
+  /// but reuses the polynomial's storage (allocation-free when warm).
+  void reset(field::Fp61 secret, std::size_t degree, crypto::CtrDrbg& drbg);
 
   /// The share destined for `holder`.
   Share share_for(NodeId holder) const;
@@ -61,6 +68,11 @@ class ShamirDealer {
 /// shares at distinct points. Preconditions: shares.size() >= degree+1,
 /// holders distinct.
 field::Fp61 reconstruct(const std::vector<Share>& shares, std::size_t degree);
+
+/// As above, allocation-free once `scratch` is warm. Same preconditions
+/// (holder distinctness is NOT re-checked on this path).
+field::Fp61 reconstruct(const std::vector<Share>& shares, std::size_t degree,
+                        field::LagrangeScratch& scratch);
 
 /// Add share values pointwise — the aggregation step. All shares must be
 /// for the same holder.

@@ -30,11 +30,18 @@ std::uint64_t get_u64(const std::uint8_t* p) {
 }  // namespace
 
 Bytes SharePacket::encode(const crypto::KeyStore& keys) const {
+  Bytes wire;
+  encode_into(keys, wire);
+  return wire;
+}
+
+void SharePacket::encode_into(const crypto::KeyStore& keys,
+                              Bytes& wire) const {
   MPCIOT_REQUIRE(source != destination,
                  "SharePacket: self-shares do not travel on air");
   MPCIOT_REQUIRE(source <= 0xFFFF && destination <= 0xFFFF,
                  "SharePacket: node ids are u16 on the wire");
-  Bytes wire(kWireSize);
+  wire.assign(kWireSize, 0);
   put_u16(wire.data(), static_cast<std::uint16_t>(source));
   put_u16(wire.data() + 2, static_cast<std::uint16_t>(destination));
   put_u16(wire.data() + 4, round);
@@ -54,7 +61,6 @@ Bytes SharePacket::encode(const crypto::KeyStore& keys) const {
   const auto tag =
       mac.compute(std::span<const std::uint8_t>{wire.data(), 14});
   std::memcpy(wire.data() + 14, tag.data(), 4);
-  return wire;
 }
 
 std::optional<SharePacket> SharePacket::decode(const Bytes& wire,
@@ -96,14 +102,19 @@ std::optional<SharePacket> SharePacket::decode(const Bytes& wire,
 }
 
 Bytes SumPacket::encode() const {
+  Bytes wire;
+  encode_into(wire);
+  return wire;
+}
+
+void SumPacket::encode_into(Bytes& wire) const {
   MPCIOT_REQUIRE(holder <= 0xFFFF, "SumPacket: node ids are u16 on the wire");
-  Bytes wire(kWireSize);
+  wire.assign(kWireSize, 0);
   put_u16(wire.data(), static_cast<std::uint16_t>(holder));
   wire[2] = contribution_count;
   put_u16(wire.data() + 3, round);
   put_u64(wire.data() + 5, sum.value());
   put_u64(wire.data() + 13, contributors);
-  return wire;
 }
 
 std::optional<SumPacket> SumPacket::decode(const Bytes& wire) {

@@ -40,6 +40,9 @@ struct SharePacket {
   /// Encrypt and serialize under the (source, destination) pairwise key.
   Bytes encode(const crypto::KeyStore& keys) const;
 
+  /// As encode, reusing `wire`'s storage (allocation-free when warm).
+  void encode_into(const crypto::KeyStore& keys, Bytes& wire) const;
+
   /// Parse + decrypt + authenticate. Returns nullopt on a size
   /// mismatch, out-of-range/self-addressed ids, a failed tag, or a
   /// non-canonical (>= p) share encoding.
@@ -62,6 +65,8 @@ struct SumPacket {
   std::uint64_t contributors = 0;
 
   Bytes encode() const;
+  /// As encode, reusing `wire`'s storage (allocation-free when warm).
+  void encode_into(Bytes& wire) const;
   /// Returns nullopt on a size mismatch, a non-canonical (>= p) sum
   /// encoding, or a count that disagrees with the contributor bitmap.
   static std::optional<SumPacket> decode(const Bytes& wire);

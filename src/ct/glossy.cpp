@@ -44,4 +44,32 @@ GlossyResult run_glossy(const net::Topology& topo, const GlossyConfig& config,
   return out;
 }
 
+void run_glossy_into(const net::Topology& topo, const GlossyConfig& config,
+                     crypto::Xoshiro256& rng, RoundContext& scratch,
+                     GlossyResult& out) {
+  MiniCastConfig mc;
+  mc.initiator = config.initiator;
+  mc.channel = config.channel;
+  mc.ntx = config.ntx;
+  mc.payload_bytes = config.payload_bytes;
+  mc.max_chain_slots = config.max_slots;
+  mc.radio_policy = RadioPolicy::kUntilQuiescence;
+  mc.start_time_us = config.start_time_us;
+  mc.channel_model = config.channel_model;
+  mc.liveness = config.liveness;
+
+  scratch.flood_entries.assign(1, ChainEntry{config.initiator});
+  MiniCastResult& r = scratch.flood_tmp;
+  run_minicast_into(topo, scratch.flood_entries, mc, rng, scratch, r);
+
+  out.first_rx_slot.clear();
+  out.first_rx_slot.reserve(r.rx_slot.size());
+  for (const auto& row : r.rx_slot) out.first_rx_slot.push_back(row[0]);
+  out.tx_count = r.tx_count;
+  out.radio_on_us = r.radio_on_us;
+  out.slots_used = r.chain_slots_used;
+  out.duration_us = r.duration_us;
+  out.channel = r.channel;
+}
+
 }  // namespace mpciot::ct

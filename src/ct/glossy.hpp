@@ -54,4 +54,11 @@ GlossyResult run_glossy(const net::Topology& topo, const GlossyConfig& config,
                         crypto::Xoshiro256& rng,
                         RoundContext* scratch = nullptr);
 
+/// As above, writing into a caller-owned result. The one-entry chain and
+/// the intermediate chain result live in `scratch`, so a warmed-up flood
+/// performs zero heap allocations.
+void run_glossy_into(const net::Topology& topo, const GlossyConfig& config,
+                     crypto::Xoshiro256& rng, RoundContext& scratch,
+                     GlossyResult& out);
+
 }  // namespace mpciot::ct

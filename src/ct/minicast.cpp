@@ -33,6 +33,22 @@ std::size_t BitView::count_and(const std::vector<std::uint64_t>& mask) const {
   return total;
 }
 
+bool BitView::covers(const std::uint64_t* mask, std::size_t words) const {
+  for (std::size_t w = 0; w < words; ++w) {
+    if ((mask[w] & ~words_[w]) != 0) return false;
+  }
+  return true;
+}
+
+std::size_t BitView::count_and(const std::uint64_t* mask,
+                               std::size_t words) const {
+  std::size_t total = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    total += static_cast<std::size_t>(std::popcount(words_[w] & mask[w]));
+  }
+  return total;
+}
+
 std::vector<std::uint64_t> make_entry_mask(
     std::size_t bits, const std::vector<std::size_t>& set) {
   std::vector<std::uint64_t> mask((bits + 63) / 64, 0);
@@ -78,6 +94,15 @@ MiniCastResult run_minicast(const net::Topology& topo,
                             const std::vector<ChainEntry>& entries,
                             const MiniCastConfig& config,
                             crypto::Xoshiro256& rng, RoundContext& scratch) {
+  MiniCastResult result;
+  run_minicast_into(topo, entries, config, rng, scratch, result);
+  return result;
+}
+
+void run_minicast_into(const net::Topology& topo,
+                       const std::vector<ChainEntry>& entries,
+                       const MiniCastConfig& config, crypto::Xoshiro256& rng,
+                       RoundContext& scratch, MiniCastResult& result) {
   const std::size_t n = topo.size();
   const std::size_t num_entries = entries.size();
   MPCIOT_REQUIRE(num_entries > 0, "minicast: empty chain");
@@ -97,14 +122,19 @@ MiniCastResult run_minicast(const net::Topology& topo,
   const SimTime chain_slot_us =
       subslot_us * static_cast<SimTime>(num_entries);
 
-  const auto done_fn =
-      config.done
-          ? config.done
-          : [](NodeId, BitView have) { return have.all(); };
+  // The default predicate lives in a function-local static so binding it
+  // never copies a std::function on the hot path.
+  static const std::function<bool(NodeId, BitView)> kAllEntries =
+      [](NodeId, BitView have) { return have.all(); };
+  const std::function<bool(NodeId, BitView)>& done_fn =
+      config.done ? config.done : kAllEntries;
 
-  MiniCastResult result;
-  result.rx_slot.assign(n, std::vector<std::int32_t>(
-                               num_entries, MiniCastResult::kNever));
+  // Reset the (possibly warm) result in place: resize keeps each row's
+  // capacity, so a steady-state round on a fixed shape never allocates.
+  result.rx_slot.resize(n);
+  for (auto& row : result.rx_slot) {
+    row.assign(num_entries, MiniCastResult::kNever);
+  }
   result.tx_count.assign(n, 0);
   result.done_slot.assign(n, MiniCastResult::kNever);
   result.radio_on_us.assign(n, 0);
@@ -333,7 +363,6 @@ MiniCastResult run_minicast(const net::Topology& topo,
 
   result.chain_slots_used = slot;
   result.duration_us = static_cast<SimTime>(slot) * chain_slot_us;
-  return result;
 }
 
 }  // namespace mpciot::ct

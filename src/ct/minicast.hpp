@@ -67,6 +67,10 @@ class BitView {
   bool covers(const std::vector<std::uint64_t>& mask) const;
   /// Number of entries present among the bits set in `mask`.
   std::size_t count_and(const std::vector<std::uint64_t>& mask) const;
+  /// Raw-word variants for callers keeping many masks in one flat
+  /// buffer (e.g. the per-holder need masks of a warm session round).
+  bool covers(const std::uint64_t* mask, std::size_t words) const;
+  std::size_t count_and(const std::uint64_t* mask, std::size_t words) const;
 
  private:
   const std::uint64_t* words_ = nullptr;
@@ -199,6 +203,10 @@ struct RoundContext {
   std::vector<std::uint32_t> timeout_budget;
   net::ChannelView view;   // epoch-cached link tables (static: aliases)
   std::vector<char> down;  // per-slot churn mask (liveness rounds only)
+  // Warm buffers for run_glossy_into: the one-entry chain and the chain
+  // result a flood is internally run through.
+  std::vector<ChainEntry> flood_entries;
+  MiniCastResult flood_tmp;
 };
 
 /// Run one MiniCast round to quiescence. Deterministic given `rng` state.
@@ -212,5 +220,13 @@ MiniCastResult run_minicast(const net::Topology& topo,
                             const std::vector<ChainEntry>& entries,
                             const MiniCastConfig& config,
                             crypto::Xoshiro256& rng, RoundContext& scratch);
+
+/// As above, writing into a caller-owned result whose buffers are reused
+/// across rounds — the steady-state entry point: after the first round
+/// on a given shape, no heap allocation is performed.
+void run_minicast_into(const net::Topology& topo,
+                       const std::vector<ChainEntry>& entries,
+                       const MiniCastConfig& config, crypto::Xoshiro256& rng,
+                       RoundContext& scratch, MiniCastResult& out);
 
 }  // namespace mpciot::ct

@@ -36,6 +36,28 @@ class MiniCastTransport : public Transport {
     }
     return run_minicast(topo, entries, config, rng);
   }
+
+  void flood_into(const net::Topology& topo, const GlossyConfig& config,
+                  crypto::Xoshiro256& rng, RoundContext* scratch,
+                  GlossyResult& out) const override {
+    if (scratch != nullptr) {
+      run_glossy_into(topo, config, rng, *scratch, out);
+    } else {
+      out = run_glossy(topo, config, rng, nullptr);
+    }
+  }
+
+  void chain_round_into(const net::Topology& topo,
+                        const std::vector<ChainEntry>& entries,
+                        const MiniCastConfig& config, crypto::Xoshiro256& rng,
+                        RoundContext* scratch,
+                        MiniCastResult& out) const override {
+    if (scratch != nullptr) {
+      run_minicast_into(topo, entries, config, rng, *scratch, out);
+    } else {
+      out = run_minicast(topo, entries, config, rng);
+    }
+  }
 };
 
 /// LWB-style baseline: every entry pays a full sequential Glossy flood
@@ -338,6 +360,12 @@ SimTime ChannelTimeline::channel_end_us(std::uint16_t channel) const {
 
 SimTime ChannelTimeline::end_us() const {
   return *std::max_element(end_.begin(), end_.end());
+}
+
+void ChannelTimeline::reset() { std::fill(end_.begin(), end_.end(), 0); }
+
+void ChannelTimeline::resize(std::uint16_t num_channels) {
+  end_.assign(num_channels, 0);
 }
 
 const Transport& minicast_transport() {

@@ -70,6 +70,25 @@ class Transport {
                                      const MiniCastConfig& config,
                                      crypto::Xoshiro256& rng,
                                      RoundContext* scratch = nullptr) const = 0;
+
+  /// Result-reusing variants for streaming callers (core::Session): the
+  /// substrate writes into caller-owned results whose buffers persist
+  /// across rounds. The default implementations fall back to the
+  /// allocating primitives above; the MiniCast substrate overrides them
+  /// with genuinely allocation-free engines, so a warmed-up session
+  /// round performs zero heap allocations on the paper's substrate.
+  virtual void flood_into(const net::Topology& topo,
+                          const GlossyConfig& config, crypto::Xoshiro256& rng,
+                          RoundContext* scratch, GlossyResult& out) const {
+    out = flood(topo, config, rng, scratch);
+  }
+  virtual void chain_round_into(const net::Topology& topo,
+                                const std::vector<ChainEntry>& entries,
+                                const MiniCastConfig& config,
+                                crypto::Xoshiro256& rng, RoundContext* scratch,
+                                MiniCastResult& out) const {
+    out = chain_round(topo, entries, config, rng, scratch);
+  }
 };
 
 /// Time overlay for rounds running on orthogonal radio channels.
@@ -97,6 +116,12 @@ class ChannelTimeline {
   SimTime channel_end_us(std::uint16_t channel) const;
   /// Makespan: when the busiest channel goes quiet.
   SimTime end_us() const;
+  /// Clear every channel back to t=0, keeping the allocation — lets a
+  /// streaming campaign reuse one timeline across trials.
+  void reset();
+  /// Re-shape to `num_channels` channels, all cleared to t=0 (the
+  /// allocation is kept unless the channel count grows).
+  void resize(std::uint16_t num_channels);
 
  private:
   std::vector<SimTime> end_;

@@ -89,4 +89,49 @@ Fp61 interpolate_at_zero(const std::vector<Sample>& samples) {
   return result;
 }
 
+Fp61 interpolate_at_zero(const std::vector<Sample>& samples,
+                         LagrangeScratch& scratch) {
+  MPCIOT_REQUIRE(!samples.empty(), "interpolate_at_zero: no samples");
+  // Same arithmetic as the allocating overload (denominators, one
+  // Montgomery batch inversion, numerator sweep), with every buffer —
+  // including the inversion's prefix-product table — drawn from scratch.
+  const std::size_t k = samples.size();
+  scratch.denoms.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    MPCIOT_REQUIRE(!samples[i].x.is_zero(),
+                   "interpolate_at_zero: sample at x = 0");
+    Fp61 d = Fp61::one();
+    for (std::size_t j = 0; j < k; ++j) {
+      if (j == i) continue;
+      d *= samples[j].x - samples[i].x;
+    }
+    scratch.denoms[i] = d;
+  }
+  scratch.inv_denoms.resize(k);
+  scratch.prefix.resize(k);
+  Fp61 acc = Fp61::one();
+  for (std::size_t i = 0; i < k; ++i) {
+    MPCIOT_REQUIRE(!scratch.denoms[i].is_zero(), "batch_inverse: zero input");
+    acc *= scratch.denoms[i];
+    scratch.prefix[i] = acc;
+  }
+  Fp61 inv_all = scratch.prefix.back().inverse();
+  for (std::size_t i = k; i-- > 0;) {
+    const Fp61 left = i == 0 ? Fp61::one() : scratch.prefix[i - 1];
+    scratch.inv_denoms[i] = inv_all * left;
+    inv_all *= scratch.denoms[i];
+  }
+
+  Fp61 result = Fp61::zero();
+  for (std::size_t i = 0; i < k; ++i) {
+    Fp61 numer = Fp61::one();
+    for (std::size_t j = 0; j < k; ++j) {
+      if (j == i) continue;
+      numer *= samples[j].x;
+    }
+    result += samples[i].y * numer * scratch.inv_denoms[i];
+  }
+  return result;
+}
+
 }  // namespace mpciot::field

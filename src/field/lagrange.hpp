@@ -31,6 +31,23 @@ Polynomial interpolate(const std::vector<Sample>& samples);
 /// one in Shamir).
 Fp61 interpolate_at_zero(const std::vector<Sample>& samples);
 
+/// Warm buffers for the allocation-free interpolation path. One scratch
+/// serves any number of sequential calls; buffers grow to the largest
+/// sample set seen and are reused thereafter.
+struct LagrangeScratch {
+  std::vector<Sample> samples;
+  std::vector<Fp61> denoms;
+  std::vector<Fp61> inv_denoms;
+  std::vector<Fp61> prefix;
+};
+
+/// As interpolate_at_zero, but allocation-free once `scratch` is warm.
+/// Additional precondition (NOT checked here, unlike the overload
+/// above): x values pairwise distinct — Shamir holders are distinct by
+/// construction, so the streaming path skips the hash-set check.
+Fp61 interpolate_at_zero(const std::vector<Sample>& samples,
+                         LagrangeScratch& scratch);
+
 /// Batch-invert: out[i] = in[i]^-1 using Montgomery's trick (one field
 /// inversion + 3(n-1) multiplications). Precondition: all inputs non-zero.
 std::vector<Fp61> batch_inverse(const std::vector<Fp61>& in);

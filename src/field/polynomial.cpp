@@ -33,6 +33,21 @@ Polynomial Polynomial::random_with_secret(Fp61 secret, std::size_t degree,
   return Polynomial(std::move(coeffs));
 }
 
+void Polynomial::assign_random_with_secret(Fp61 secret, std::size_t degree,
+                                           const std::function<Fp61()>& rng) {
+  coeffs_.assign(degree + 1, Fp61::zero());
+  coeffs_[0] = secret;
+  for (std::size_t i = 1; i <= degree; ++i) {
+    coeffs_[i] = rng();
+  }
+  if (degree > 0) {
+    while (coeffs_[degree].is_zero()) {
+      coeffs_[degree] = rng();
+    }
+  }
+  trim();
+}
+
 Fp61 Polynomial::evaluate(Fp61 x) const {
   Fp61 acc = Fp61::zero();
   for (auto it = coeffs_.rbegin(); it != coeffs_.rend(); ++it) {

@@ -31,6 +31,12 @@ class Polynomial {
   static Polynomial random_with_secret(Fp61 secret, std::size_t degree,
                                        const std::function<Fp61()>& rng);
 
+  /// In-place variant of random_with_secret: identical draw order and
+  /// result, but reuses this polynomial's coefficient storage so warm
+  /// re-dealing allocates nothing.
+  void assign_random_with_secret(Fp61 secret, std::size_t degree,
+                                 const std::function<Fp61()>& rng);
+
   /// Degree; -1 for the zero polynomial.
   int degree() const { return static_cast<int>(coeffs_.size()) - 1; }
 

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <thread>
 
+#include "core/session.hpp"
 #include "crypto/prng.hpp"
 #include "sim/simulator.hpp"
 
@@ -32,7 +33,11 @@ TrialRecord run_one_trial(const core::SssProtocol& protocol,
           ? spec.make_secrets(trial, source_count)
           : random_secrets(trial_secret_seed(spec.base_seed, trial),
                            source_count);
-  const core::AggregationResult res = protocol.run(secrets, sim);
+  // Fresh per-trial session: trials are independent streams, so each
+  // starts at round 0 with cold warm-state — byte-identical to the
+  // retired per-trial SssProtocol::run shim.
+  core::Session session(protocol);
+  const core::AggregationResult& res = *session.run_round(secrets, sim).flat;
 
   TrialRecord rec;
   rec.latency_max_ms = static_cast<double>(res.max_latency_us()) / 1e3;

@@ -19,15 +19,15 @@ Registry make_registry() {
   return reg;
 }
 
-TEST(Scenarios, AllThirteenRegistered) {
+TEST(Scenarios, AllFourteenRegistered) {
   const Registry reg = make_registry();
   const char* expected[] = {
       "fig1_flocklab",  "fig1_dcube",   "adversary_sweep",
       "chain_scaling",  "degree_sweep", "dynamics_sweep",
       "fault_tolerance", "he_vs_mpc",   "hierarchy_scaling",
-      "ntx_coverage",   "payload_size", "transport_matrix",
-      "unicast_vs_ct"};
-  EXPECT_EQ(reg.all().size(), 13u);
+      "ntx_coverage",   "payload_size", "sustained_load",
+      "transport_matrix", "unicast_vs_ct"};
+  EXPECT_EQ(reg.all().size(), 14u);
   for (const char* name : expected) {
     ASSERT_NE(reg.find(name), nullptr) << name;
     EXPECT_FALSE(reg.find(name)->description.empty()) << name;

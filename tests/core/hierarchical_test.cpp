@@ -9,6 +9,7 @@
 
 #include "common/assert.hpp"
 #include "core/protocol.hpp"
+#include "core/session.hpp"
 #include "crypto/keystore.hpp"
 #include "metrics/experiment.hpp"
 #include "net/partition.hpp"
@@ -36,6 +37,22 @@ net::Topology lossless_grid16() {
   return net::Topology(std::move(pos), radio, 5);
 }
 
+/// One round through the Session API; a fresh session per call matches
+/// the retired one-shot run() overloads exactly.
+AggregationResult session_round(const SssProtocol& proto,
+                                const std::vector<Fp61>& secrets,
+                                sim::Simulator& sim) {
+  Session session(proto);
+  return *session.run_round(secrets, sim).flat;
+}
+
+HierarchicalResult session_round(const HierarchicalProtocol& proto,
+                                 const std::vector<Fp61>& secrets,
+                                 sim::Simulator& sim) {
+  Session session(proto);
+  return *session.run_round(secrets, sim).hier;
+}
+
 std::vector<Fp61> secrets_1_to_n(std::size_t n) {
   std::vector<Fp61> secrets;
   for (std::size_t i = 0; i < n; ++i) secrets.emplace_back(i + 1);
@@ -54,7 +71,7 @@ TEST(Hierarchical, MatchesFlatProtocolOnLosslessTopology) {
   const SssProtocol flat(
       topo, keys, make_s3_config(topo, sources, paper_degree(16), 6));
   sim::Simulator flat_sim(11);
-  const AggregationResult flat_res = flat.run(secrets, flat_sim);
+  const AggregationResult flat_res = session_round(flat, secrets, flat_sim);
   EXPECT_EQ(flat_res.expected_sum, expected);
   EXPECT_GT(flat_res.success_ratio(), 0.99);
 
@@ -68,7 +85,7 @@ TEST(Hierarchical, MatchesFlatProtocolOnLosslessTopology) {
       cfg.num_channels = static_cast<std::uint16_t>(g);
       const HierarchicalProtocol proto(topo, std::move(cfg));
       sim::Simulator sim(11);
-      const HierarchicalResult res = proto.run(secrets, sim);
+      const HierarchicalResult res = session_round(proto, secrets, sim);
       ASSERT_TRUE(res.has_aggregate);
       EXPECT_EQ(res.aggregate, expected)
           << "partitioner=" << use_grid_blocks << " g=" << g;
@@ -97,8 +114,8 @@ TEST(Hierarchical, GroupPhaseOverlapsOnOrthogonalChannels) {
   const HierarchicalProtocol parallel(topo, std::move(parallel_cfg));
   sim::Simulator sim_a(21);
   sim::Simulator sim_b(21);
-  const HierarchicalResult a = serial.run(secrets, sim_a);
-  const HierarchicalResult b = parallel.run(secrets, sim_b);
+  const HierarchicalResult a = session_round(serial, secrets, sim_a);
+  const HierarchicalResult b = session_round(parallel, secrets, sim_b);
 
   SimTime sum_us = 0;
   SimTime max_us = 0;
@@ -133,7 +150,7 @@ TEST(Hierarchical, LargeGroupsSplitIntoBatches) {
   cfg.max_batch = 4;
   const HierarchicalProtocol proto(topo, std::move(cfg));
   sim::Simulator sim(31);
-  const HierarchicalResult res = proto.run(secrets, sim);
+  const HierarchicalResult res = session_round(proto, secrets, sim);
   ASSERT_EQ(res.groups.size(), 1u);
   EXPECT_EQ(res.groups[0].batches, 3u);
   ASSERT_TRUE(res.has_aggregate);
@@ -162,7 +179,7 @@ TEST(Hierarchical, RejectsWrongSecretCount) {
   const HierarchicalProtocol proto(topo, std::move(cfg));
   sim::Simulator sim(1);
   std::vector<Fp61> too_few(topo.size() - 1, Fp61{1});
-  EXPECT_THROW(proto.run(too_few, sim), ContractViolation);
+  EXPECT_THROW(session_round(proto, too_few, sim), ContractViolation);
 }
 
 /// Test double: nodes in `down` are dead for all time.
@@ -196,9 +213,8 @@ TEST(Hierarchical, RetryExhaustionGivesUpTheRound) {
   const AlwaysDown churn(down);
 
   sim::Simulator sim(13);
-  RoundEnv env;
-  env.liveness = &churn;
-  const HierarchicalResult res = proto.run(secrets, sim, env);
+  sim.set_liveness(&churn);
+  const HierarchicalResult res = session_round(proto, secrets, sim);
 
   const GroupOutcome& doomed = res.groups[1];
   EXPECT_FALSE(doomed.has_sum);
@@ -246,9 +262,8 @@ TEST(Hierarchical, DeadLeaderIsReelectedAndTheRoundStillSucceeds) {
   const AlwaysDown churn(down);
 
   sim::Simulator sim(17);
-  RoundEnv env;
-  env.liveness = &churn;
-  const HierarchicalResult res = proto.run(secrets, sim, env);
+  sim.set_liveness(&churn);
+  const HierarchicalResult res = session_round(proto, secrets, sim);
 
   EXPECT_GE(res.leader_reelections, 1u);
   EXPECT_NE(res.groups[2].leader, victim);
@@ -303,9 +318,8 @@ TEST(Hierarchical, LeaderDownOnlyAtRoundStartRecoversForTheResultFlood) {
   // so the recombination and result floods run well after recovery.
   const DownUntil churn(victim, 50 * kMillisecond);
   sim::Simulator sim(41);
-  RoundEnv env;
-  env.liveness = &churn;
-  const HierarchicalResult res = proto.run(secrets, sim, env);
+  sim.set_liveness(&churn);
+  const HierarchicalResult res = session_round(proto, secrets, sim);
 
   EXPECT_GE(res.leader_reelections, 1u);
   EXPECT_NE(res.groups[2].leader, victim);
@@ -346,7 +360,7 @@ TEST(Hierarchical, NodeChurnRunsAreDeterministicAndConsistent) {
   const auto run_once = [&] {
     sim::Simulator sim(51);
     sim.set_liveness(&churn);
-    return proto.run(secrets, sim);
+    return session_round(proto, secrets, sim);
   };
   const HierarchicalResult a = run_once();
   const HierarchicalResult b = run_once();
@@ -363,9 +377,10 @@ TEST(Hierarchical, NodeChurnRunsAreDeterministicAndConsistent) {
   EXPECT_LE(sr, 1.0);
 }
 
-TEST(Hierarchical, StaticEnvMatchesTheTwoArgumentRunExactly) {
-  // The RoundEnv overload with an all-null environment is the same
-  // static round, bit for bit.
+TEST(Hierarchical, DeprecatedRunShimsMatchTheSessionApiExactly) {
+  // Both retired run() overloads are thin shims over Session::run_round:
+  // the same seed must give the same round, bit for bit, through all
+  // three entry points.
   const net::Topology topo = lossless_grid16();
   const std::vector<Fp61> secrets = secrets_1_to_n(topo.size());
   core::HierarchicalConfig cfg_a;
@@ -376,12 +391,20 @@ TEST(Hierarchical, StaticEnvMatchesTheTwoArgumentRunExactly) {
   const HierarchicalProtocol b(topo, std::move(cfg_b));
   sim::Simulator sim_a(23);
   sim::Simulator sim_b(23);
+  sim::Simulator sim_c(23);
+  const HierarchicalResult rs = session_round(a, secrets, sim_c);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   const HierarchicalResult ra = a.run(secrets, sim_a);
   const HierarchicalResult rb = b.run(secrets, sim_b, RoundEnv{});
-  EXPECT_EQ(ra.aggregate.value(), rb.aggregate.value());
-  EXPECT_EQ(ra.total_duration_us, rb.total_duration_us);
-  EXPECT_EQ(ra.radio_on_us, rb.radio_on_us);
-  EXPECT_EQ(ra.latency_us, rb.latency_us);
+#pragma GCC diagnostic pop
+  for (const HierarchicalResult* other : {&ra, &rb}) {
+    EXPECT_EQ(rs.aggregate.value(), other->aggregate.value());
+    EXPECT_EQ(rs.total_duration_us, other->total_duration_us);
+    EXPECT_EQ(rs.radio_on_us, other->radio_on_us);
+    EXPECT_EQ(rs.latency_us, other->latency_us);
+    EXPECT_EQ(rs.has_result, other->has_result);
+  }
   EXPECT_EQ(ra.leader_reelections, 0u);
   EXPECT_EQ(rb.leader_reelections, 0u);
 }
@@ -394,7 +417,7 @@ TEST(Hierarchical, RadioOnAndLatencyAreReported) {
   cfg.num_channels = 4;
   const HierarchicalProtocol proto(topo, std::move(cfg));
   sim::Simulator sim(77);
-  const HierarchicalResult res = proto.run(secrets, sim);
+  const HierarchicalResult res = session_round(proto, secrets, sim);
   EXPECT_GT(res.max_radio_on_us(), 0);
   EXPECT_GT(res.mean_radio_on_us(), 0.0);
   EXPECT_GT(res.max_latency_us(), 0);
@@ -416,7 +439,7 @@ TEST(HierarchicalAdversary, MalformedDealerExcludedWithVss) {
   cfg.feldman_vss = true;
   const HierarchicalProtocol proto(topo, std::move(cfg));
   sim::Simulator sim(11);
-  const HierarchicalResult res = proto.run(secrets, sim);
+  const HierarchicalResult res = session_round(proto, secrets, sim);
 
   // The attacker is convicted inside its group round, its secret never
   // enters the hierarchy, and the reduced aggregate is consistent.
@@ -447,7 +470,7 @@ TEST(HierarchicalAdversary, MalformedDealerCorruptsSilentlyWithoutVss) {
   cfg.adversary.seed = 17;
   const HierarchicalProtocol proto(topo, std::move(cfg));
   sim::Simulator sim(11);
-  const HierarchicalResult res = proto.run(secrets, sim);
+  const HierarchicalResult res = session_round(proto, secrets, sim);
 
   // The garbage rides all the way to the root undetected.
   EXPECT_EQ(res.shares_rejected, 0u);
@@ -476,8 +499,8 @@ TEST(HierarchicalAdversary, FullDutyJammerBreaksItsNeighborhood) {
 
   sim::Simulator sim_a(11);
   sim::Simulator sim_b(11);
-  const double honest_success = honest.run(secrets, sim_a).success_ratio();
-  const HierarchicalResult res = jammed.run(secrets, sim_b);
+  const double honest_success = session_round(honest, secrets, sim_a).success_ratio();
+  const HierarchicalResult res = session_round(jammed, secrets, sim_b);
   // A permanently-jammed dense grid cannot reach everyone: the round
   // degrades without any crypto-layer conviction.
   EXPECT_LT(res.success_ratio(), honest_success);

@@ -1,5 +1,7 @@
 #include "core/protocol.hpp"
 
+#include "core/session.hpp"
+
 #include <gtest/gtest.h>
 
 #include "common/assert.hpp"
@@ -29,6 +31,15 @@ std::vector<NodeId> all_nodes(const net::Topology& topo) {
   std::vector<NodeId> out(topo.size());
   for (NodeId i = 0; i < topo.size(); ++i) out[i] = i;
   return out;
+}
+
+/// One round through the Session API; a fresh session per call
+/// reproduces the retired one-shot SssProtocol::run exactly.
+AggregationResult session_round(const SssProtocol& proto,
+                                const std::vector<Fp61>& secrets,
+                                sim::Simulator& sim) {
+  Session session(proto);
+  return *session.run_round(secrets, sim).flat;
 }
 
 std::vector<Fp61> fixed_secrets(std::size_t n) {
@@ -65,7 +76,7 @@ TEST(ProtocolRun, S3AggregatesCorrectlyOnGrid) {
                        make_s3_config(topo, sources, 2, /*ntx_full=*/6));
   sim::Simulator sim(11);
   const auto secrets = fixed_secrets(sources.size());
-  const AggregationResult res = s3.run(secrets, sim);
+  const AggregationResult res = session_round(s3, secrets, sim);
 
   Fp61 expected;
   for (const auto& s : secrets) expected += s;
@@ -89,7 +100,7 @@ TEST(ProtocolRun, S4AggregatesCorrectlyOnGrid) {
                        make_s4_config(topo, sources, 2, /*ntx_low=*/5));
   sim::Simulator sim(13);
   const auto secrets = fixed_secrets(sources.size());
-  const AggregationResult res = s4.run(secrets, sim);
+  const AggregationResult res = session_round(s4, secrets, sim);
   EXPECT_EQ(res.success_ratio(), 1.0);
   EXPECT_EQ(res.nodes[0].aggregate, res.expected_sum);
   // S4 uses fewer holders than sources.
@@ -102,7 +113,7 @@ TEST(ProtocolRun, SecretCountMismatchViolatesContract) {
   const SssProtocol s3(
       topo, keys, make_s3_config(topo, {0, 1, 2, 3}, 1, 4));
   sim::Simulator sim(1);
-  EXPECT_THROW(s3.run(fixed_secrets(3), sim), ContractViolation);
+  EXPECT_THROW(session_round(s3, fixed_secrets(3), sim), ContractViolation);
 }
 
 TEST(ProtocolRun, DeterministicForSeed) {
@@ -113,8 +124,8 @@ TEST(ProtocolRun, DeterministicForSeed) {
   const auto secrets = fixed_secrets(sources.size());
   sim::Simulator sim1(99);
   sim::Simulator sim2(99);
-  const AggregationResult a = s4.run(secrets, sim1);
-  const AggregationResult b = s4.run(secrets, sim2);
+  const AggregationResult a = session_round(s4, secrets, sim1);
+  const AggregationResult b = session_round(s4, secrets, sim2);
   EXPECT_EQ(a.total_duration_us, b.total_duration_us);
   ASSERT_EQ(a.nodes.size(), b.nodes.size());
   for (std::size_t i = 0; i < a.nodes.size(); ++i) {
@@ -138,8 +149,8 @@ TEST(ProtocolRun, ExplicitMiniCastTransportMatchesDefault) {
       topo, keys, make_s4_config(topo, sources, 2, 5), transport.get());
   sim::Simulator sim1(99);
   sim::Simulator sim2(99);
-  const AggregationResult a = by_default.run(secrets, sim1);
-  const AggregationResult b = explicit_seam.run(secrets, sim2);
+  const AggregationResult a = session_round(by_default, secrets, sim1);
+  const AggregationResult b = session_round(explicit_seam, secrets, sim2);
   EXPECT_EQ(a.total_duration_us, b.total_duration_us);
   EXPECT_EQ(a.share_delivery_ratio, b.share_delivery_ratio);
   ASSERT_EQ(a.nodes.size(), b.nodes.size());
@@ -165,7 +176,7 @@ TEST(ProtocolRun, RunsOverEveryRegisteredTransport) {
                              make_s3_config(topo, sources, 2, 6),
                              transport.get());
     sim::Simulator sim(11);
-    const AggregationResult res = engine.run(secrets, sim);
+    const AggregationResult res = session_round(engine, secrets, sim);
     EXPECT_GT(res.total_duration_us, 0) << name;
     for (const NodeOutcome& node : res.nodes) {
       EXPECT_GE(node.radio_on_us, 0) << name;
@@ -184,7 +195,7 @@ TEST(ProtocolRun, SubsetOfSourcesStillAggregates) {
   const SssProtocol s3(topo, keys, make_s3_config(topo, sources, 1, 6));
   sim::Simulator sim(3);
   const auto secrets = fixed_secrets(3);
-  const AggregationResult res = s3.run(secrets, sim);
+  const AggregationResult res = session_round(s3, secrets, sim);
   EXPECT_EQ(res.success_ratio(), 1.0);
   EXPECT_EQ(res.nodes[5].aggregate,
             secrets[0] + secrets[1] + secrets[2]);
@@ -201,7 +212,7 @@ TEST(ProtocolRun, FailedSourceExcludedFromAggregate) {
   const SssProtocol s3(topo, keys, cfg);
   sim::Simulator sim(5);
   const auto secrets = fixed_secrets(9);
-  const AggregationResult res = s3.run(secrets, sim);
+  const AggregationResult res = session_round(s3, secrets, sim);
 
   Fp61 expected;
   for (std::size_t i = 0; i < 8; ++i) expected += secrets[i];
@@ -233,7 +244,7 @@ TEST(ProtocolRun, ChurnedSourceIsAMissingShareNotARoundKiller) {
   sim::Simulator sim(5);
   sim.set_liveness(&churn);
   const auto secrets = fixed_secrets(9);
-  const AggregationResult res = s3.run(secrets, sim);
+  const AggregationResult res = session_round(s3, secrets, sim);
 
   Fp61 expected;
   for (std::size_t i = 0; i < 8; ++i) expected += secrets[i];
@@ -265,7 +276,7 @@ TEST(ProtocolRun, S4SurvivesHolderFailure) {
   const SssProtocol s4(topo, keys, cfg);
   sim::Simulator sim(7);
   const auto secrets = fixed_secrets(9);
-  const AggregationResult res = s4.run(secrets, sim);
+  const AggregationResult res = session_round(s4, secrets, sim);
   // Everyone except the dead holder still aggregates (sum excludes the
   // dead holder's own secret since it was also a source).
   EXPECT_GE(res.success_ratio(), 0.99);
@@ -278,7 +289,7 @@ TEST(ProtocolRun, DeadInitiatorViolatesContract) {
   cfg.failed_nodes = {cfg.initiator};
   const SssProtocol s3(topo, keys, cfg);
   sim::Simulator sim(1);
-  EXPECT_THROW(s3.run(fixed_secrets(9), sim), ContractViolation);
+  EXPECT_THROW(session_round(s3, fixed_secrets(9), sim), ContractViolation);
 }
 
 TEST(ProtocolRun, RadioOnBoundedByRoundDuration) {
@@ -286,7 +297,7 @@ TEST(ProtocolRun, RadioOnBoundedByRoundDuration) {
   const crypto::KeyStore keys(1, topo.size());
   const SssProtocol s3(topo, keys, make_s3_config(topo, all_nodes(topo), 2, 5));
   sim::Simulator sim(17);
-  const AggregationResult res = s3.run(fixed_secrets(9), sim);
+  const AggregationResult res = session_round(s3, fixed_secrets(9), sim);
   for (const auto& node : res.nodes) {
     EXPECT_LE(node.radio_on_us, res.total_duration_us);
     EXPECT_LE(node.latency_us, res.total_duration_us);
@@ -306,8 +317,8 @@ TEST(ProtocolRun, EarlyOffUsesLessEnergyThanQuiescence) {
   sim::Simulator sim1(23);
   sim::Simulator sim2(23);
   const auto secrets = fixed_secrets(9);
-  EXPECT_LE(b.run(secrets, sim2).mean_radio_on_us(),
-            a.run(secrets, sim1).mean_radio_on_us() + 1.0);
+  EXPECT_LE(session_round(b, secrets, sim2).mean_radio_on_us(),
+            session_round(a, secrets, sim1).mean_radio_on_us() + 1.0);
 }
 
 TEST(PaperDegree, MatchesFloorNOver3) {
@@ -348,7 +359,7 @@ TEST(SuggestS3Ntx, ReturnsWorkableValueOnGrid) {
   const SssProtocol s3(topo, keys,
                        make_s3_config(topo, all_nodes(topo), 2, ntx));
   sim::Simulator sim(37);
-  EXPECT_EQ(s3.run(fixed_secrets(9), sim).success_ratio(), 1.0);
+  EXPECT_EQ(session_round(s3, fixed_secrets(9), sim).success_ratio(), 1.0);
 }
 
 /// S4 on the dense grid with room for cheater exclusion: degree 2,
@@ -380,8 +391,8 @@ TEST(ProtocolAdversary, InertConfigurationsAreByteIdentical) {
                                               {1, 2, 3}, false));
   sim::Simulator sim_a(13);
   sim::Simulator sim_b(13);
-  const AggregationResult a = honest.run(secrets, sim_a);
-  const AggregationResult b = inert.run(secrets, sim_b);
+  const AggregationResult a = session_round(honest, secrets, sim_a);
+  const AggregationResult b = session_round(inert, secrets, sim_b);
   ASSERT_EQ(a.nodes.size(), b.nodes.size());
   for (std::size_t i = 0; i < a.nodes.size(); ++i) {
     EXPECT_EQ(a.nodes[i].has_aggregate, b.nodes[i].has_aggregate);
@@ -401,7 +412,7 @@ TEST(ProtocolAdversary, MalformedSharesCorruptSilentlyWithoutVss) {
       topo, keys,
       adversary_s4_config(topo, AttackKind::kMalformedShares, {4}, false));
   sim::Simulator sim(13);
-  const AggregationResult res = proto.run(fixed_secrets(9), sim);
+  const AggregationResult res = session_round(proto, fixed_secrets(9), sim);
   // Nothing is rejected, everyone reconstructs — and everyone is wrong.
   EXPECT_EQ(res.shares_rejected, 0u);
   EXPECT_EQ(res.cheater_sources_mask, 0u);
@@ -420,7 +431,7 @@ TEST(ProtocolAdversary, MalformedSharesDetectedAndRoundRecoversWithVss) {
       adversary_s4_config(topo, AttackKind::kMalformedShares, {4}, true));
   sim::Simulator sim(13);
   const auto secrets = fixed_secrets(9);
-  const AggregationResult res = proto.run(secrets, sim);
+  const AggregationResult res = session_round(proto, secrets, sim);
 
   // Exactly the attacker (source index 4) is flagged, its every
   // delivered share rejected, and the round completes over the honest
@@ -448,7 +459,7 @@ TEST(ProtocolAdversary, EquivocatingDealerIsFlaggedByTargetedHolders) {
       topo, keys,
       adversary_s4_config(topo, AttackKind::kInconsistentShares, {2}, true));
   sim::Simulator sim(13);
-  const AggregationResult res = proto.run(fixed_secrets(9), sim);
+  const AggregationResult res = session_round(proto, fixed_secrets(9), sim);
   // Only the holders dealt the second polynomial see a mismatch, but at
   // least one of them does, so the dealer is flagged.
   EXPECT_EQ(res.cheater_sources_mask, std::uint64_t{1} << 2);
@@ -470,7 +481,7 @@ TEST(ProtocolAdversary, PollutedSumExcludedViaCombinedCommitment) {
                           true));
   sim::Simulator sim(13);
   const auto secrets = fixed_secrets(9);
-  const AggregationResult res = with_vss.run(secrets, sim);
+  const AggregationResult res = session_round(with_vss, secrets, sim);
   // The combined commitment convicts the collector, every node drops
   // its sum, and the full aggregate (all sources are honest dealers)
   // still reconstructs from the surviving holders.
@@ -487,7 +498,7 @@ TEST(ProtocolAdversary, PollutedSumExcludedViaCombinedCommitment) {
       adversary_s4_config(topo, AttackKind::kPollutedSums, {bad_holder},
                           false));
   sim::Simulator sim2(13);
-  EXPECT_LT(no_vss.run(secrets, sim2).success_ratio(), 1.0);
+  EXPECT_LT(session_round(no_vss, secrets, sim2).success_ratio(), 1.0);
 }
 
 TEST(ProtocolAdversary, JammerDegradesDeliveryAcrossTransports) {
@@ -507,12 +518,43 @@ TEST(ProtocolAdversary, JammerDegradesDeliveryAcrossTransports) {
         transport.get());
     sim::Simulator sim_a(13);
     sim::Simulator sim_b(13);
-    const AggregationResult a = honest.run(fixed_secrets(9), sim_a);
-    const AggregationResult b = jammed.run(fixed_secrets(9), sim_b);
+    const AggregationResult a = session_round(honest, fixed_secrets(9), sim_a);
+    const AggregationResult b = session_round(jammed, fixed_secrets(9), sim_b);
     EXPECT_LT(b.share_delivery_ratio, a.share_delivery_ratio) << name;
     // No crypto-layer detection for an availability attack.
     EXPECT_EQ(b.cheater_sources_mask, 0u) << name;
     EXPECT_EQ(b.shares_rejected, 0u) << name;
+  }
+}
+
+
+TEST(SessionMigration, DeprecatedRunShimMatchesSessionByteForByte) {
+  // The retired SssProtocol::run overloads are thin shims over
+  // Session::run_round; one round through each must be bit-identical.
+  const net::Topology topo = make_grid9();
+  const crypto::KeyStore keys(1, topo.size());
+  const auto sources = all_nodes(topo);
+  const SssProtocol s4(topo, keys, make_s4_config(topo, sources, 2, 5));
+  const auto secrets = fixed_secrets(sources.size());
+  sim::Simulator sim1(41);
+  sim::Simulator sim2(41);
+  sim::Simulator sim3(41);
+  const AggregationResult via_session = session_round(s4, secrets, sim1);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const AggregationResult via_shim = s4.run(secrets, sim2);
+  const AggregationResult via_env_shim = s4.run(secrets, sim3, RoundEnv{});
+#pragma GCC diagnostic pop
+  for (const AggregationResult* other : {&via_shim, &via_env_shim}) {
+    EXPECT_EQ(via_session.total_duration_us, other->total_duration_us);
+    EXPECT_EQ(via_session.share_delivery_ratio, other->share_delivery_ratio);
+    ASSERT_EQ(via_session.nodes.size(), other->nodes.size());
+    for (std::size_t i = 0; i < via_session.nodes.size(); ++i) {
+      EXPECT_EQ(via_session.nodes[i].latency_us, other->nodes[i].latency_us);
+      EXPECT_EQ(via_session.nodes[i].radio_on_us,
+                other->nodes[i].radio_on_us);
+      EXPECT_EQ(via_session.nodes[i].aggregate, other->nodes[i].aggregate);
+    }
   }
 }
 

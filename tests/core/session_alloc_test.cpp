@@ -1,0 +1,117 @@
+// Steady-state allocation audit: after the warm-up rounds, the flat
+// static hot path — Session::run_round end to end, sharing and
+// reconstruction chains included — must perform ZERO heap allocations.
+// This is the warm-workspace contract the Session API exists for; any
+// regression (a std::function that outgrew its small-object buffer, a
+// vector rebuilt instead of reused, a map insert on the fast path)
+// trips the counting allocator below.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "core/session.hpp"
+#include "crypto/keystore.hpp"
+#include "net/testbeds.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+/// Global allocation counter. Only the delta around the measured loop
+/// matters; gtest's own bookkeeping between tests is irrelevant.
+std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace mpciot::core {
+namespace {
+
+using field::Fp61;
+
+net::Topology make_grid9() {
+  net::RadioParams radio;
+  radio.shadowing_sigma_db = 0.0;
+  std::vector<net::Position> pos;
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      pos.push_back(net::Position{c * 12.0, r * 12.0});
+    }
+  }
+  return net::Topology(std::move(pos), radio, 7);
+}
+
+TEST(SessionAllocation, SteadyStateFlatRoundsAllocateNothing) {
+  const net::Topology topo = make_grid9();
+  const crypto::KeyStore keys(1, topo.size());
+  std::vector<NodeId> sources(topo.size());
+  for (NodeId i = 0; i < topo.size(); ++i) sources[i] = i;
+  const SssProtocol s4(topo, keys, make_s4_config(topo, sources, 2, 5));
+  Session session(s4);
+  sim::Simulator sim(11);
+  std::vector<Fp61> secrets;
+  secrets.reserve(sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    secrets.emplace_back(100 * (i + 1) + 7);
+  }
+
+  // Two warm-up rounds grow every workspace buffer to its steady size.
+  for (int r = 0; r < 2; ++r) {
+    const RoundReport& rep = session.run_round(secrets, sim);
+    ASSERT_TRUE(rep.ok);
+  }
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int r = 0; r < 4; ++r) {
+    const RoundReport& rep = session.run_round(secrets, sim);
+    ASSERT_TRUE(rep.ok);
+    EXPECT_EQ(rep.flat->success_ratio(), 1.0);
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state flat rounds must not touch the heap";
+}
+
+TEST(SessionAllocation, S3SteadyStateAllocatesNothingToo) {
+  // S3 exercises the all-sources-are-holders shape (bigger holder-need
+  // masks, different chain schedules) on the same zero-alloc contract.
+  const net::Topology topo = make_grid9();
+  const crypto::KeyStore keys(1, topo.size());
+  std::vector<NodeId> sources(topo.size());
+  for (NodeId i = 0; i < topo.size(); ++i) sources[i] = i;
+  const SssProtocol s3(topo, keys, make_s3_config(topo, sources, 2, 6));
+  Session session(s3);
+  sim::Simulator sim(13);
+  std::vector<Fp61> secrets(sources.size(), Fp61{42});
+
+  for (int r = 0; r < 2; ++r) {
+    ASSERT_TRUE(session.run_round(secrets, sim).ok);
+  }
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int r = 0; r < 4; ++r) {
+    ASSERT_TRUE(session.run_round(secrets, sim).ok);
+  }
+  EXPECT_EQ(g_allocations.load(std::memory_order_relaxed) - before, 0u);
+}
+
+}  // namespace
+}  // namespace mpciot::core

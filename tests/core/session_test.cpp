@@ -1,0 +1,224 @@
+// core::Session: monotone round ids, key-epoch rotation before the
+// 16-bit wire round wraps, and the contract checks the retired one-shot
+// run() overloads never needed.
+#include "core/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "core/protocol.hpp"
+#include "core/wire.hpp"
+#include "crypto/keystore.hpp"
+#include "crypto/prng.hpp"
+#include "net/partition.hpp"
+#include "net/testbeds.hpp"
+#include "sim/simulator.hpp"
+
+namespace mpciot::core {
+namespace {
+
+using field::Fp61;
+
+net::Topology make_grid9() {
+  net::RadioParams radio;
+  radio.shadowing_sigma_db = 0.0;
+  std::vector<net::Position> pos;
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      pos.push_back(net::Position{c * 12.0, r * 12.0});
+    }
+  }
+  return net::Topology(std::move(pos), radio, 7);
+}
+
+std::vector<NodeId> all_nodes(const net::Topology& topo) {
+  std::vector<NodeId> out(topo.size());
+  for (NodeId i = 0; i < topo.size(); ++i) out[i] = i;
+  return out;
+}
+
+std::vector<Fp61> fixed_secrets(std::size_t n) {
+  std::vector<Fp61> secrets;
+  for (std::size_t i = 0; i < n; ++i) {
+    secrets.emplace_back(100 * (i + 1) + 7);
+  }
+  return secrets;
+}
+
+TEST(Session, IssuesMonotoneRoundIdsAndReportsThem) {
+  const net::Topology topo = make_grid9();
+  const crypto::KeyStore keys(1, topo.size());
+  const auto sources = all_nodes(topo);
+  const SssProtocol s4(topo, keys, make_s4_config(topo, sources, 2, 5));
+  Session session(s4);
+  const auto secrets = fixed_secrets(sources.size());
+  sim::Simulator sim(11);
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(session.next_round(), r);
+    const RoundReport& rep = session.run_round(secrets, sim);
+    EXPECT_EQ(rep.round, r);
+    EXPECT_EQ(rep.key_epoch, 0u);
+    EXPECT_TRUE(rep.ok);
+    ASSERT_NE(rep.flat, nullptr);
+    EXPECT_EQ(rep.hier, nullptr);
+    EXPECT_EQ(rep.flat->success_ratio(), 1.0);
+  }
+  EXPECT_EQ(session.next_round(), 4u);
+}
+
+TEST(Session, FirstRoundZeroMatchesTheLegacySingleShotByteForByte) {
+  // A fresh session's round 0 must be the exact round ProtocolConfig's
+  // round = 0 used to run: the frozen scenarios depend on it.
+  const net::Topology topo = make_grid9();
+  const crypto::KeyStore keys(1, topo.size());
+  const auto sources = all_nodes(topo);
+  const SssProtocol s4(topo, keys, make_s4_config(topo, sources, 2, 5));
+  const auto secrets = fixed_secrets(sources.size());
+  sim::Simulator sim_a(99);
+  sim::Simulator sim_b(99);
+  Session fresh_a(s4);
+  Session fresh_b(s4);
+  const AggregationResult a = *fresh_a.run_round(secrets, sim_a).flat;
+  const AggregationResult b = *fresh_b.run_round(secrets, sim_b).flat;
+  EXPECT_EQ(a.total_duration_us, b.total_duration_us);
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    EXPECT_EQ(a.nodes[i].latency_us, b.nodes[i].latency_us);
+    EXPECT_EQ(a.nodes[i].radio_on_us, b.nodes[i].radio_on_us);
+    EXPECT_EQ(a.nodes[i].aggregate, b.nodes[i].aggregate);
+  }
+}
+
+TEST(Session, EpochRotatesAtTheConfiguredBoundary) {
+  const net::Topology topo = make_grid9();
+  const crypto::KeyStore keys(1, topo.size());
+  const auto sources = all_nodes(topo);
+  const SssProtocol s4(topo, keys, make_s4_config(topo, sources, 2, 5));
+  SessionConfig scfg;
+  scfg.rounds_per_epoch = 2;
+  Session session(s4, scfg);
+  const auto secrets = fixed_secrets(sources.size());
+  sim::Simulator sim(13);
+  const std::uint32_t expected_epochs[] = {0, 0, 1, 1, 2};
+  for (std::uint32_t r = 0; r < 5; ++r) {
+    EXPECT_EQ(session.next_epoch(), expected_epochs[r]);
+    const RoundReport& rep = session.run_round(secrets, sim);
+    EXPECT_EQ(rep.key_epoch, expected_epochs[r]);
+    // Rotated epochs must still produce correct rounds: every node
+    // decrypts under the epoch keystore it derived itself.
+    EXPECT_TRUE(rep.ok) << "round " << r;
+    EXPECT_EQ(rep.flat->success_ratio(), 1.0) << "round " << r;
+  }
+}
+
+TEST(Session, RoundsCrossTheWireWrapWithoutFailing) {
+  // Regression for the silent u16 wrap: round 65536 re-enters wire
+  // round 0, and before key epochs existed it would have reused the
+  // round-0 AES-CTR nonces. The session must cross the boundary into
+  // epoch 1 and keep completing rounds.
+  const net::Topology topo = make_grid9();
+  const crypto::KeyStore keys(1, topo.size());
+  const auto sources = all_nodes(topo);
+  const SssProtocol s4(topo, keys, make_s4_config(topo, sources, 2, 5));
+  SessionConfig scfg;
+  scfg.first_round = (1u << 16) - 1;  // last round of epoch 0
+  Session session(s4, scfg);
+  const auto secrets = fixed_secrets(sources.size());
+  sim::Simulator sim(17);
+
+  const RoundReport& last_of_epoch0 = session.run_round(secrets, sim);
+  EXPECT_EQ(last_of_epoch0.round, (1u << 16) - 1);
+  EXPECT_EQ(last_of_epoch0.key_epoch, 0u);
+  EXPECT_TRUE(last_of_epoch0.ok);
+
+  const RoundReport& first_of_epoch1 = session.run_round(secrets, sim);
+  EXPECT_EQ(first_of_epoch1.round, 1u << 16);
+  EXPECT_EQ(first_of_epoch1.key_epoch, 1u);
+  EXPECT_TRUE(first_of_epoch1.ok);
+  EXPECT_EQ(first_of_epoch1.flat->success_ratio(), 1.0);
+}
+
+TEST(Session, EpochOneKeystreamDiffersFromEpochZeroAtTheSameWireRound) {
+  // The actual nonce-reuse hazard, pinned at the wire: round 65536
+  // transmits wire round 0 again, so its ciphertexts must come from a
+  // different keystream than epoch 0's round 0. Epoch e >= 1 keystores
+  // are derived as KeyStore(derive_seed(rotation_seed, "SESS", e), n) —
+  // the same packet under epoch-0 vs epoch-1 keys must differ in every
+  // observable byte past the header.
+  constexpr std::uint64_t kStreamSessionKeys = 0x53455353ull;  // "SESS"
+  const std::uint64_t construction_seed = 1;
+  const std::uint64_t rotation_seed = SessionConfig{}.rotation_seed;
+  const crypto::KeyStore epoch0(construction_seed, 9);
+  const crypto::KeyStore epoch1(
+      crypto::derive_seed(rotation_seed, kStreamSessionKeys, 1), 9);
+
+  SharePacket pkt;
+  pkt.source = 3;
+  pkt.destination = 7;
+  pkt.round = 0;  // the wire round both epoch-0 round 0 and round 65536 use
+  pkt.share = Fp61{123456789};
+  const Bytes a = pkt.encode(epoch0);
+  const Bytes b = pkt.encode(epoch1);
+  ASSERT_EQ(a.size(), b.size());
+  // Header (src, dst, round) is identical by construction; ciphertext
+  // and tag must not be.
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(std::equal(a.begin() + 6, a.end(), b.begin() + 6));
+  // And each decodes only under its own epoch's keys.
+  EXPECT_TRUE(SharePacket::decode(a, epoch0).has_value());
+  EXPECT_FALSE(SharePacket::decode(a, epoch1).has_value());
+  EXPECT_FALSE(SharePacket::decode(b, epoch0).has_value());
+  EXPECT_TRUE(SharePacket::decode(b, epoch1).has_value());
+}
+
+TEST(Session, RejectsWrongSecretCount) {
+  const net::Topology topo = make_grid9();
+  const crypto::KeyStore keys(1, topo.size());
+  const SssProtocol s3(topo, keys, make_s3_config(topo, {0, 1, 2, 3}, 1, 4));
+  Session session(s3);
+  sim::Simulator sim(1);
+  EXPECT_THROW(session.run_round(fixed_secrets(3), sim), ContractViolation);
+  // The failed call still consumed no usable round state: the next
+  // correct call runs as round 0's successor stream normally.
+  const RoundReport& rep = session.run_round(fixed_secrets(4), sim);
+  EXPECT_TRUE(rep.ok);
+}
+
+TEST(Session, HierarchicalSessionClampsEpochLengthToTheWireWindow) {
+  // A hierarchical session spends `batches` wire rounds per group per
+  // session round, so rounds_per_epoch must be clamped to keep every
+  // inner wire round unique within an epoch.
+  net::RadioParams radio;
+  radio.shadowing_sigma_db = 0.0;
+  std::vector<net::Position> pos;
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      pos.push_back(net::Position{c * 8.0, r * 8.0});
+    }
+  }
+  const net::Topology topo(std::move(pos), radio, 5);
+  core::HierarchicalConfig cfg;
+  cfg.partition = net::partition::grid_blocks(topo, 2);
+  cfg.max_batch = 4;  // 8-node groups -> 2+ batches per group round
+  const HierarchicalProtocol proto(topo, std::move(cfg));
+  ASSERT_GE(proto.max_round_batches(), 2u);
+
+  Session session(proto);
+  EXPECT_LE(static_cast<std::uint64_t>(session.rounds_per_epoch()) *
+                proto.max_round_batches(),
+            std::uint64_t{1} << 16);
+
+  // And it still runs: one round, correct aggregate.
+  std::vector<Fp61> secrets;
+  for (std::size_t i = 0; i < topo.size(); ++i) secrets.emplace_back(i + 1);
+  sim::Simulator sim(31);
+  const RoundReport& rep = session.run_round(secrets, sim);
+  EXPECT_TRUE(rep.ok);
+  ASSERT_NE(rep.hier, nullptr);
+  EXPECT_EQ(rep.hier->aggregate, Fp61{16 * 17 / 2});
+}
+
+}  // namespace
+}  // namespace mpciot::core

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "core/protocol.hpp"
+#include "core/session.hpp"
 #include "core/unicast_baseline.hpp"
 #include "ct/chain_schedule.hpp"
 #include "metrics/experiment.hpp"
@@ -102,7 +103,8 @@ TEST(EndToEnd, UnicastBaselineIsSlowerThanCt) {
 
   const auto secrets = metrics::random_secrets(1, sources.size());
   sim::Simulator sim_ct(5);
-  const AggregationResult ct_res = s3.run(secrets, sim_ct);
+  core::Session session(s3);
+  const AggregationResult ct_res = *session.run_round(secrets, sim_ct).flat;
   sim::Simulator sim_uc(5);
   const core::UnicastResult uc_res =
       core::run_unicast_sss(topo, cfg, secrets, core::UnicastParams{}, sim_uc);
@@ -136,8 +138,10 @@ TEST(EndToEnd, FullRunIsDeterministicAcrossProcessRepeats) {
   const auto secrets = metrics::random_secrets(3, sources.size());
   sim::Simulator a(123);
   sim::Simulator b(123);
-  const AggregationResult ra = s4.run(secrets, a);
-  const AggregationResult rb = s4.run(secrets, b);
+  core::Session sa(s4);
+  core::Session sb(s4);
+  const AggregationResult ra = *sa.run_round(secrets, a).flat;
+  const AggregationResult rb = *sb.run_round(secrets, b).flat;
   EXPECT_EQ(ra.total_duration_us, rb.total_duration_us);
   EXPECT_EQ(ra.share_delivery_ratio, rb.share_delivery_ratio);
   EXPECT_EQ(ra.complete_holders, rb.complete_holders);
