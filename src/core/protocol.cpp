@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -280,9 +281,14 @@ const AggregationResult& SssProtocol::run_round(
           : 0;
   if (config_.feldman_vss) {
     ws.commitments.assign(num_sources, std::nullopt);
+    ws.verify_ctx.assign(num_sources, crypto::feldman::VerifyContext{});
     for (std::size_t s = 0; s < num_sources; ++s) {
       if (ws.dealt[s]) {
         ws.commitments[s] = crypto::feldman::commit(ws.dealers[s].polynomial());
+        // Montgomery-cached view for the per-holder verify loop below:
+        // to_mont runs once per element here instead of once per
+        // (holder, element) in stage 1b.
+        ws.verify_ctx[s] = crypto::feldman::VerifyContext(*ws.commitments[s]);
       }
     }
   }
@@ -383,6 +389,25 @@ const AggregationResult& SssProtocol::run_round(
   ws.holder_sum.assign(num_holders, field::Fp61{});
   ws.holder_contrib.assign(num_holders, 0);
   ws.holder_valid.assign(num_holders, 0);
+  // Share matrix, dealt row by row: each dealing source evaluates its
+  // polynomial at every holder point in one batched Horner pass instead
+  // of num_holders independent share_for calls inside the (h, s) loop.
+  // Exact field arithmetic — entries match share_for bit for bit.
+  ws.holder_xs.resize(num_holders);
+  for (std::size_t h = 0; h < num_holders; ++h) {
+    ws.holder_xs[h] = public_point(config_.share_holders[h]);
+  }
+  ws.share_matrix.assign(num_sources * num_holders, field::Fp61{});
+  for (std::size_t s = 0; s < num_sources; ++s) {
+    if (!ws.dealt[s]) continue;
+    ws.dealers[s].evaluate_at(
+        ws.holder_xs,
+        std::span<field::Fp61>{ws.share_matrix}.subspan(s * num_holders,
+                                                        num_holders));
+  }
+  const auto matrix_share = [&](std::size_t s, std::size_t h) {
+    return ws.share_matrix[s * num_holders + h];
+  };
   std::size_t delivered = 0;
   std::size_t deliverable = 0;
   std::uint64_t cheater_sources_mask = 0;
@@ -399,7 +424,7 @@ const AggregationResult& SssProtocol::run_round(
       const std::size_t entry = sharing.entry_index(s, h);
       if (src == holder) {
         // Own share never travels on air (and is trivially consistent).
-        ws.holder_sum[h] += ws.dealers[s].share_for(holder).value;
+        ws.holder_sum[h] += matrix_share(s, h);
         ws.holder_contrib[h] |= (std::uint64_t{1} << s);
         ++delivered;
         continue;
@@ -408,7 +433,7 @@ const AggregationResult& SssProtocol::run_round(
       ++delivered;
       // The value the source put on the air: its honest share unless it
       // is an attacker misdealing to this holder.
-      field::Fp61 on_air = ws.dealers[s].share_for(holder).value;
+      field::Fp61 on_air = matrix_share(s, h);
       if (engine_.is_attacker(src)) {
         if (engine_.kind() == AttackKind::kMalformedShares) {
           on_air = engine_.malformed_share(sim.seed(), wire_round, src,
@@ -432,9 +457,7 @@ const AggregationResult& SssProtocol::run_round(
       // Share-accept verification (VSS on): drop anything off the
       // committed polynomial and remember the cheater.
       if (config_.feldman_vss && ws.commitments[s].has_value() &&
-          !crypto::feldman::verify_share(*ws.commitments[s],
-                                         public_point(holder),
-                                         decoded->share)) {
+          !ws.verify_ctx[s].verify(public_point(holder), decoded->share)) {
         ++shares_rejected;
         cheater_sources_mask |= (std::uint64_t{1} << s);
         continue;

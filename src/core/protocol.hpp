@@ -196,11 +196,14 @@ struct RoundWorkspace {
   std::vector<ShamirDealer> dealers;  // one slot per source, re-dealt
   std::vector<char> dealt;            // which slots dealt this round
   std::vector<std::optional<crypto::feldman::Commitment>> commitments;
+  std::vector<crypto::feldman::VerifyContext> verify_ctx;  // per source
   std::vector<std::optional<ShamirDealer>> equiv_dealers;
   std::vector<std::uint32_t> holder_pos;   // node id -> holder index
   std::vector<std::uint64_t> holder_need;  // flat per-holder entry masks
   std::size_t holder_need_words = 0;
   std::vector<field::Fp61> holder_sum;       // stage 1b accumulators
+  std::vector<field::Fp61> holder_xs;    // holders' public points
+  std::vector<field::Fp61> share_matrix; // [s * num_holders + h] = P_s(x_h)
   std::vector<std::uint64_t> holder_contrib;
   std::vector<char> holder_valid;
   std::vector<char> sum_bad;

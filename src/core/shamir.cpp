@@ -24,10 +24,22 @@ Share ShamirDealer::share_for(NodeId holder) const {
 
 std::vector<Share> ShamirDealer::shares_for(
     const std::vector<NodeId>& holders) const {
+  std::vector<field::Fp61> xs;
+  xs.reserve(holders.size());
+  for (NodeId h : holders) xs.push_back(public_point(h));
+  std::vector<field::Fp61> ys(holders.size());
+  evaluate_at(xs, ys);
   std::vector<Share> out;
   out.reserve(holders.size());
-  for (NodeId h : holders) out.push_back(share_for(h));
+  for (std::size_t i = 0; i < holders.size(); ++i) {
+    out.push_back(Share{holders[i], ys[i]});
+  }
   return out;
+}
+
+void ShamirDealer::evaluate_at(std::span<const field::Fp61> xs,
+                               std::span<field::Fp61> out) const {
+  poly_.evaluate_many(xs, out);
 }
 
 field::Fp61 reconstruct(const std::vector<Share>& shares,

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/types.hpp"
@@ -54,6 +55,13 @@ class ShamirDealer {
 
   /// Shares for an explicit holder list.
   std::vector<Share> shares_for(const std::vector<NodeId>& holders) const;
+
+  /// Batched evaluation at explicit points: out[i] = P(xs[i]), one
+  /// Polynomial::evaluate_many pass over the fp61_batch kernels. Exact
+  /// field arithmetic — each out[i] is bit-identical to share_for on
+  /// the node whose public point is xs[i].
+  void evaluate_at(std::span<const field::Fp61> xs,
+                   std::span<field::Fp61> out) const;
 
   std::size_t degree() const {
     return static_cast<std::size_t>(poly_.degree());

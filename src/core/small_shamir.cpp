@@ -52,18 +52,44 @@ std::uint64_t small_reconstruct(const field::PrimeField& fieldd,
                    "SmallShamir: duplicate holder point");
     xs.push_back(x);
   }
-  // Lagrange at zero.
-  std::uint64_t result = 0;
-  for (std::size_t i = 0; i <= degree; ++i) {
-    std::uint64_t numer = 1;
-    std::uint64_t denom = 1;
-    for (std::size_t j = 0; j <= degree; ++j) {
+  // Lagrange at zero, batched like field::reconstruct_at_zero: the k+1
+  // basis denominators go through ONE Montgomery-style batch inversion
+  // (1 field inverse + 3k multiplications) and the numerators come from
+  // prefix/suffix products. Exact modular arithmetic — same value as
+  // the historic per-basis inv() formulation.
+  const std::size_t count = degree + 1;
+  std::vector<std::uint64_t> denom(count, 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    for (std::size_t j = 0; j < count; ++j) {
       if (j == i) continue;
-      numer = fieldd.mul(numer, xs[j]);
-      denom = fieldd.mul(denom, fieldd.sub(xs[j], xs[i]));
+      denom[i] = fieldd.mul(denom[i], fieldd.sub(xs[j], xs[i]));
     }
-    const std::uint64_t basis = fieldd.mul(numer, fieldd.inv(denom));
+  }
+  std::vector<std::uint64_t> prefix(count);
+  std::uint64_t acc = 1;
+  for (std::size_t i = 0; i < count; ++i) {
+    acc = fieldd.mul(acc, denom[i]);
+    prefix[i] = acc;
+  }
+  std::vector<std::uint64_t> inv_denom(count);
+  std::uint64_t inv_all = fieldd.inv(prefix.back());
+  for (std::size_t i = count; i-- > 0;) {
+    inv_denom[i] = fieldd.mul(inv_all, i == 0 ? 1 : prefix[i - 1]);
+    inv_all = fieldd.mul(inv_all, denom[i]);
+  }
+  std::vector<std::uint64_t> suffix(count);
+  acc = 1;
+  for (std::size_t i = count; i-- > 0;) {
+    suffix[i] = acc;  // product of x_j for j > i
+    acc = fieldd.mul(acc, xs[i]);
+  }
+  std::uint64_t result = 0;
+  acc = 1;  // running product of x_j for j < i
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t numer = fieldd.mul(acc, suffix[i]);
+    const std::uint64_t basis = fieldd.mul(numer, inv_denom[i]);
     result = fieldd.add(result, fieldd.mul(shares[i].value, basis));
+    acc = fieldd.mul(acc, xs[i]);
   }
   return result;
 }

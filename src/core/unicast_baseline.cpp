@@ -1,6 +1,7 @@
 #include "core/unicast_baseline.hpp"
 
 #include <algorithm>
+#include <span>
 #include <unordered_map>
 
 #include "common/assert.hpp"
@@ -89,6 +90,18 @@ UnicastResult run_unicast_sss(const net::Topology& topo,
   sim.events().step();
 
   // Holder sums from delivered shares (own shares never travel on air).
+  // Each dealer evaluates at all holder points in one batched pass; the
+  // (h, s) loop then only reads the matrix.
+  std::vector<field::Fp61> holder_xs(num_holders);
+  for (std::size_t h = 0; h < num_holders; ++h) {
+    holder_xs[h] = public_point(config.share_holders[h]);
+  }
+  std::vector<field::Fp61> share_matrix(num_sources * num_holders);
+  for (std::size_t s = 0; s < num_sources; ++s) {
+    dealers[s].evaluate_at(
+        holder_xs, std::span<field::Fp61>{share_matrix}.subspan(
+                       s * num_holders, num_holders));
+  }
   std::vector<field::Fp61> holder_sum(num_holders);
   std::vector<std::uint64_t> holder_mask(num_holders, 0);
   std::size_t delivered = 0;
@@ -96,7 +109,7 @@ UnicastResult run_unicast_sss(const net::Topology& topo,
   for (std::size_t h = 0; h < num_holders; ++h) {
     for (std::size_t s = 0; s < num_sources; ++s) {
       if (config.sources[s] == config.share_holders[h]) {
-        holder_sum[h] += dealers[s].share_for(config.share_holders[h]).value;
+        holder_sum[h] += share_matrix[s * num_holders + h];
         holder_mask[h] |= (std::uint64_t{1} << s);
         continue;
       }
@@ -104,7 +117,7 @@ UnicastResult run_unicast_sss(const net::Topology& topo,
       if (share_round.node_has(config.share_holders[h],
                                sharing.entry_index(s, h))) {
         ++delivered;
-        holder_sum[h] += dealers[s].share_for(config.share_holders[h]).value;
+        holder_sum[h] += share_matrix[s * num_holders + h];
         holder_mask[h] |= (std::uint64_t{1} << s);
       }
     }

@@ -7,8 +7,12 @@
 //
 // This models the AES hardware block of the nRF52840 used by the paper:
 // the sharing phase encrypts every share packet with a pairwise AES key.
-// It is a straightforward table-free byte-oriented implementation —
-// portable and constant-code-path, not optimized with T-tables or AES-NI.
+// The portable core is a straightforward table-free byte-oriented
+// implementation (constant code path, no T-tables); when the build
+// enables CTAGG_SIMD on x86-64 and the CPU reports AES-NI, encryption
+// dispatches to an AES-NI path at runtime — same FIPS-197 permutation,
+// bit-identical ciphertext, pinned by the same known-answer vectors.
+// The byte-oriented core remains the authoritative definition.
 #pragma once
 
 #include <array>
@@ -33,6 +37,15 @@ class Aes128 {
   void encrypt_block(std::span<const std::uint8_t, kBlockSize> in,
                      std::span<std::uint8_t, kBlockSize> out) const;
 
+  /// Encrypt `nblocks` consecutive 16-byte blocks from `in` to `out`
+  /// (out may alias in). On the AES-NI path blocks run 8-wide through
+  /// the round pipeline — the block cipher has no cross-block state, so
+  /// the interleave is free parallelism; the portable path processes
+  /// them sequentially. Output is byte-identical to calling
+  /// encrypt_block per block on either path.
+  void encrypt_blocks(const std::uint8_t* in, std::uint8_t* out,
+                      std::size_t nblocks) const;
+
   /// Decrypt one 16-byte block (out may alias in).
   void decrypt_block(std::span<const std::uint8_t, kBlockSize> in,
                      std::span<std::uint8_t, kBlockSize> out) const;
@@ -48,5 +61,21 @@ class Aes128 {
   // 11 round keys of 16 bytes each.
   std::array<std::uint8_t, kBlockSize*(kRounds + 1)> round_keys_{};
 };
+
+/// Runtime backend control for the AES encryption path (mirror of
+/// field::fp61_batch's dispatch). The AES-NI and byte-oriented cores
+/// produce identical ciphertext; the hooks exist for benchmarks and the
+/// cross-backend equivalence tests.
+namespace aes_backend {
+/// True when this build + CPU can run the AES-NI path.
+bool aesni_supported();
+/// True when encryption currently dispatches to AES-NI.
+bool aesni_active();
+/// Force the path on/off; returns false (and changes nothing) when
+/// asking for AES-NI on a build/CPU without it.
+bool force_aesni(bool on);
+/// "aesni" or "scalar".
+const char* active_name();
+}  // namespace aes_backend
 
 }  // namespace mpciot::crypto

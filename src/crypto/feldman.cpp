@@ -139,6 +139,23 @@ bool verify_share(const Commitment& commitment, field::Fp61 x,
   return mont_pow(kGMont, share.value()) == rhs;
 }
 
+VerifyContext::VerifyContext(const Commitment& commitment) {
+  mont_elements_.reserve(commitment.elements.size());
+  for (const GroupElement& e : commitment.elements) {
+    mont_elements_.push_back(pack(to_mont(unpack(e))));
+  }
+}
+
+bool VerifyContext::verify(field::Fp61 x, field::Fp61 share) const {
+  if (mont_elements_.empty()) return false;
+  const std::uint64_t xe = x.value();
+  u128 rhs = unpack(mont_elements_.back());
+  for (std::size_t j = mont_elements_.size() - 1; j-- > 0;) {
+    rhs = mont_mul(mont_pow(rhs, xe), unpack(mont_elements_[j]));
+  }
+  return mont_pow(kGMont, share.value()) == rhs;
+}
+
 Commitment combine(const std::vector<const Commitment*>& parts) {
   MPCIOT_REQUIRE(!parts.empty(), "feldman: nothing to combine");
   const std::size_t width = parts.front()->elements.size();

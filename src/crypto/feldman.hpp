@@ -84,6 +84,28 @@ Commitment commit(const field::Polynomial& poly);
 bool verify_share(const Commitment& commitment, field::Fp61 x,
                   field::Fp61 share);
 
+/// Montgomery-form cache of one commitment for verifying many shares
+/// against the same dealer. verify_share converts every element to
+/// Montgomery form on each call; a round that checks one dealer's
+/// commitment at every holder point repeats those conversions k+1 times
+/// per holder. The context converts once and replays the identical
+/// Horner-in-the-exponent check, so verdicts match verify_share exactly.
+class VerifyContext {
+ public:
+  VerifyContext() = default;
+  explicit VerifyContext(const Commitment& commitment);
+
+  /// Same result as verify_share(commitment, x, share).
+  bool verify(field::Fp61 x, field::Fp61 share) const;
+
+  bool empty() const { return mont_elements_.empty(); }
+
+ private:
+  // Commitment elements in Montgomery form (GroupElement reused as a
+  // plain hi/lo pair; these are NOT canonical representatives).
+  std::vector<GroupElement> mont_elements_;
+};
+
 /// Componentwise product: the commitment to the sum of the committed
 /// polynomials. Precondition: all commitments present, equal degree.
 Commitment combine(const std::vector<const Commitment*>& parts);

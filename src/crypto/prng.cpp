@@ -97,6 +97,27 @@ CtrDrbg::CtrDrbg(std::uint64_t seed, std::uint64_t personalization)
 
 void CtrDrbg::fill(std::uint8_t* out, std::size_t len) {
   while (len > 0) {
+    if (buffered_ == 0 && len >= Aes128::kBlockSize) {
+      // Bulk path: write whole keystream blocks straight into `out`,
+      // batched through encrypt_blocks (8-wide AES-NI interleave when
+      // available). Same counter sequence and same bytes as the
+      // one-block path below — only the staging buffer is skipped.
+      constexpr std::size_t kBatchBlocks = 8;
+      std::uint8_t counters[kBatchBlocks * Aes128::kBlockSize];
+      const std::size_t nblocks =
+          std::min<std::size_t>(kBatchBlocks, len / Aes128::kBlockSize);
+      for (std::size_t b = 0; b < nblocks; ++b) {
+        std::memcpy(counters + Aes128::kBlockSize * b, counter_.data(),
+                    counter_.size());
+        for (std::size_t i = counter_.size(); i-- > 8;) {
+          if (++counter_[i] != 0) break;
+        }
+      }
+      cipher_.encrypt_blocks(counters, out, nblocks);
+      out += nblocks * Aes128::kBlockSize;
+      len -= nblocks * Aes128::kBlockSize;
+      continue;
+    }
     if (buffered_ == 0) {
       // Encrypt the counter block, then bump the low 64 bits.
       buffer_ = cipher_.encrypt_block(counter_);

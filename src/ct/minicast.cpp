@@ -19,18 +19,11 @@ std::size_t BitView::count() const {
 bool BitView::all() const { return count() == bits_; }
 
 bool BitView::covers(const std::vector<std::uint64_t>& mask) const {
-  for (std::size_t w = 0; w < mask.size(); ++w) {
-    if ((mask[w] & ~words_[w]) != 0) return false;
-  }
-  return true;
+  return covers(mask.data(), mask.size());
 }
 
 std::size_t BitView::count_and(const std::vector<std::uint64_t>& mask) const {
-  std::size_t total = 0;
-  for (std::size_t w = 0; w < mask.size(); ++w) {
-    total += static_cast<std::size_t>(std::popcount(words_[w] & mask[w]));
-  }
-  return total;
+  return count_and(mask.data(), mask.size());
 }
 
 bool BitView::covers(const std::uint64_t* mask, std::size_t words) const {
@@ -196,6 +189,11 @@ void run_minicast_into(const net::Topology& topo,
   }
 
   const double inv_corr = 1.0 / radio.ct_loss_correlation;
+  // At the default correlation of 1.0 the exponent is exactly 1.0, and
+  // IEEE-754 guarantees pow(x, 1.0) == x bit-for-bit — so the arbitration
+  // loop can skip the libm call entirely without changing a single
+  // delivered packet. Any other correlation keeps the pow.
+  const bool corr_is_one = inv_corr == 1.0;
   std::uint32_t slot = 0;
   for (; slot < config.max_chain_slots; ++slot) {
     // Advance the dynamics clock to this slot: re-materialize the link
@@ -295,8 +293,12 @@ void run_minicast_into(const net::Topology& topo,
         std::size_t heard = 0;
         double fail_product = 1.0;
         double single_prr = 0.0;
-        for (std::size_t w = 0; w < nwords; ++w) {
-          std::uint64_t m = scratch.entry_senders[w] & audible[w];
+        // Scan the sender/audibility masks four words per stride: one OR
+        // rejects 256 absent transmitters at a time (the common case —
+        // sender sets are sparse). Words within a surviving stride are
+        // still visited in ascending order, so the fail_product multiply
+        // chain — doubles, order-sensitive — is untouched.
+        const auto scan_word = [&](std::size_t w, std::uint64_t m) {
           while (m != 0) {
             const std::size_t t =
                 w * 64 + static_cast<std::size_t>(std::countr_zero(m));
@@ -306,11 +308,27 @@ void run_minicast_into(const net::Topology& topo,
             fail_product *= (1.0 - p);
             single_prr = p;
           }
+        };
+        std::size_t w = 0;
+        for (; w + 4 <= nwords; w += 4) {
+          const std::uint64_t m0 = scratch.entry_senders[w + 0] & audible[w + 0];
+          const std::uint64_t m1 = scratch.entry_senders[w + 1] & audible[w + 1];
+          const std::uint64_t m2 = scratch.entry_senders[w + 2] & audible[w + 2];
+          const std::uint64_t m3 = scratch.entry_senders[w + 3] & audible[w + 3];
+          if ((m0 | m1 | m2 | m3) == 0) continue;
+          scan_word(w + 0, m0);
+          scan_word(w + 1, m1);
+          scan_word(w + 2, m2);
+          scan_word(w + 3, m3);
+        }
+        for (; w < nwords; ++w) {
+          scan_word(w, scratch.entry_senders[w] & audible[w]);
         }
         if (heard == 0) continue;
         const double success_prob =
-            heard == 1 ? single_prr
-                       : 1.0 - std::pow(fail_product, inv_corr);
+            heard == 1     ? single_prr
+            : corr_is_one ? 1.0 - fail_product
+                           : 1.0 - std::pow(fail_product, inv_corr);
         if (rng.next_bool(success_prob)) {
           scratch.received_any[r] = 1;
           if (!bit_test(have_row(r), e)) {

@@ -1,0 +1,389 @@
+#include "field/fp61_batch.hpp"
+
+#include <atomic>
+
+#include "common/assert.hpp"
+#include "field/fp61.hpp"
+
+#if defined(CTAGG_SIMD) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define CTAGG_HAVE_AVX2_KERNELS 1
+#include <immintrin.h>
+#endif
+
+namespace mpciot::field::fp61_batch {
+
+namespace {
+
+constexpr std::uint64_t kP = Fp61::kModulus;
+
+// ---- scalar backend: the authoritative kernel definitions ----
+//
+// Raw-representative twins of the Fp61 operators (inputs canonical, so
+// the class ctor's extra reduction is skipped).
+
+inline std::uint64_t s_add(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t s = a + b;  // < 2^62
+  if (s >= kP) s -= kP;
+  return s;
+}
+
+inline std::uint64_t s_sub(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t s = a - b;
+  if (a < b) s += kP;
+  return s;
+}
+
+inline std::uint64_t s_mul(std::uint64_t a, std::uint64_t b) {
+  const unsigned __int128 prod = static_cast<unsigned __int128>(a) * b;
+  std::uint64_t lo = static_cast<std::uint64_t>(prod) & kP;
+  std::uint64_t hi = static_cast<std::uint64_t>(prod >> 61);
+  std::uint64_t s = lo + hi;  // < 2^62
+  s = (s & kP) + (s >> 61);
+  if (s >= kP) s -= kP;
+  return s;
+}
+
+namespace scalar {
+
+void add(const std::uint64_t* a, const std::uint64_t* b, std::uint64_t* out,
+         std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = s_add(a[i], b[i]);
+}
+
+void sub(const std::uint64_t* a, const std::uint64_t* b, std::uint64_t* out,
+         std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = s_sub(a[i], b[i]);
+}
+
+void mul(const std::uint64_t* a, const std::uint64_t* b, std::uint64_t* out,
+         std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = s_mul(a[i], b[i]);
+}
+
+void mul_scalar(const std::uint64_t* a, std::uint64_t s, std::uint64_t* out,
+                std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = s_mul(a[i], s);
+}
+
+void sub_from_scalar(std::uint64_t s, const std::uint64_t* a,
+                     std::uint64_t* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = s_sub(s, a[i]);
+}
+
+void horner_eval(const std::uint64_t* coeffs, std::size_t k,
+                 const std::uint64_t* xs, std::uint64_t* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t acc = 0;
+    for (std::size_t j = k; j-- > 0;) {
+      acc = s_add(s_mul(acc, xs[i]), coeffs[j]);
+    }
+    out[i] = acc;
+  }
+}
+
+std::uint64_t sum(const std::uint64_t* a, std::size_t n) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) acc = s_add(acc, a[i]);
+  return acc;
+}
+
+}  // namespace scalar
+
+#if CTAGG_HAVE_AVX2_KERNELS
+
+// ---- avx2 backend: 4 lanes of 64-bit representatives ----
+//
+// All lane values stay < 2^62 between reductions, so signed 64-bit
+// compares are safe everywhere a comparison is needed.
+
+namespace avx2 {
+
+#define CTAGG_AVX2 __attribute__((target("avx2")))
+
+CTAGG_AVX2 inline __m256i v_p() { return _mm256_set1_epi64x(kP); }
+
+/// Canonicalize s < 2^62: fold the top bit range once, then one
+/// conditional subtract — the vector twin of Fp61::reduce64's tail.
+CTAGG_AVX2 inline __m256i v_canon62(__m256i s) {
+  const __m256i p = v_p();
+  __m256i t = _mm256_add_epi64(_mm256_and_si256(s, p),
+                               _mm256_srli_epi64(s, 61));  // <= p + 1
+  const __m256i ge = _mm256_cmpgt_epi64(t, _mm256_sub_epi64(p, _mm256_set1_epi64x(1)));
+  return _mm256_sub_epi64(t, _mm256_and_si256(ge, p));
+}
+
+/// a + b for canonical lanes: one conditional subtract.
+CTAGG_AVX2 inline __m256i v_add(__m256i a, __m256i b) {
+  const __m256i p = v_p();
+  const __m256i s = _mm256_add_epi64(a, b);  // < 2^62
+  const __m256i ge =
+      _mm256_cmpgt_epi64(s, _mm256_sub_epi64(p, _mm256_set1_epi64x(1)));
+  return _mm256_sub_epi64(s, _mm256_and_si256(ge, p));
+}
+
+/// a - b for canonical lanes.
+CTAGG_AVX2 inline __m256i v_sub(__m256i a, __m256i b) {
+  const __m256i p = v_p();
+  const __m256i d = _mm256_sub_epi64(a, b);
+  const __m256i borrow = _mm256_cmpgt_epi64(b, a);
+  return _mm256_add_epi64(d, _mm256_and_si256(borrow, p));
+}
+
+/// a * b mod p for canonical lanes: 64x64 product by 32-bit cross
+/// terms, then the double Mersenne fold of Fp61::operator*.
+CTAGG_AVX2 inline __m256i v_mul(__m256i a, __m256i b) {
+  const __m256i a_hi = _mm256_srli_epi64(a, 32);  // < 2^29
+  const __m256i b_hi = _mm256_srli_epi64(b, 32);
+  const __m256i ll = _mm256_mul_epu32(a, b);      // a_lo * b_lo
+  const __m256i lh = _mm256_mul_epu32(a, b_hi);   // a_lo * b_hi  < 2^61
+  const __m256i hl = _mm256_mul_epu32(a_hi, b);   // a_hi * b_lo  < 2^61
+  const __m256i hh = _mm256_mul_epu32(a_hi, b_hi);  // < 2^58
+  const __m256i mid = _mm256_add_epi64(lh, hl);     // < 2^62, no overflow
+  const __m256i lo = _mm256_add_epi64(ll, _mm256_slli_epi64(mid, 32));
+  // Unsigned carry out of lo: ll > lo (unsigned) iff the add wrapped.
+  const __m256i sign = _mm256_set1_epi64x(
+      static_cast<long long>(0x8000000000000000ull));
+  const __m256i carry = _mm256_srli_epi64(
+      _mm256_cmpgt_epi64(_mm256_xor_si256(ll, sign),
+                         _mm256_xor_si256(lo, sign)),
+      63);
+  const __m256i hi = _mm256_add_epi64(
+      _mm256_add_epi64(hh, _mm256_srli_epi64(mid, 32)), carry);  // < 2^58
+  // (hi:lo) < 2^122: s = (lo & p) + (lo >> 61 | hi << 3) < 2^62.
+  const __m256i top =
+      _mm256_or_si256(_mm256_srli_epi64(lo, 61), _mm256_slli_epi64(hi, 3));
+  const __m256i s = _mm256_add_epi64(_mm256_and_si256(lo, v_p()), top);
+  return v_canon62(s);
+}
+
+CTAGG_AVX2 void add(const std::uint64_t* a, const std::uint64_t* b,
+                    std::uint64_t* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), v_add(va, vb));
+  }
+  for (; i < n; ++i) out[i] = s_add(a[i], b[i]);
+}
+
+CTAGG_AVX2 void sub(const std::uint64_t* a, const std::uint64_t* b,
+                    std::uint64_t* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), v_sub(va, vb));
+  }
+  for (; i < n; ++i) out[i] = s_sub(a[i], b[i]);
+}
+
+CTAGG_AVX2 void mul(const std::uint64_t* a, const std::uint64_t* b,
+                    std::uint64_t* out, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), v_mul(va, vb));
+  }
+  for (; i < n; ++i) out[i] = s_mul(a[i], b[i]);
+}
+
+CTAGG_AVX2 void mul_scalar(const std::uint64_t* a, std::uint64_t s,
+                           std::uint64_t* out, std::size_t n) {
+  const __m256i vs = _mm256_set1_epi64x(static_cast<long long>(s));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), v_mul(va, vs));
+  }
+  for (; i < n; ++i) out[i] = s_mul(a[i], s);
+}
+
+CTAGG_AVX2 void sub_from_scalar(std::uint64_t s, const std::uint64_t* a,
+                                std::uint64_t* out, std::size_t n) {
+  const __m256i vs = _mm256_set1_epi64x(static_cast<long long>(s));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), v_sub(vs, va));
+  }
+  for (; i < n; ++i) out[i] = s_sub(s, a[i]);
+}
+
+CTAGG_AVX2 void horner_eval(const std::uint64_t* coeffs, std::size_t k,
+                            const std::uint64_t* xs, std::uint64_t* out,
+                            std::size_t n) {
+  std::size_t i = 0;
+  // 8 points per iteration (two vectors) hides the multiply latency of
+  // the dependent acc = acc * x + c chain.
+  for (; i + 8 <= n; i += 8) {
+    const __m256i x0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(xs + i));
+    const __m256i x1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(xs + i + 4));
+    __m256i acc0 = _mm256_setzero_si256();
+    __m256i acc1 = _mm256_setzero_si256();
+    for (std::size_t j = k; j-- > 0;) {
+      const __m256i c = _mm256_set1_epi64x(static_cast<long long>(coeffs[j]));
+      acc0 = v_add(v_mul(acc0, x0), c);
+      acc1 = v_add(v_mul(acc1, x1), c);
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), acc0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i + 4), acc1);
+  }
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(xs + i));
+    __m256i acc0 = _mm256_setzero_si256();
+    for (std::size_t j = k; j-- > 0;) {
+      const __m256i c = _mm256_set1_epi64x(static_cast<long long>(coeffs[j]));
+      acc0 = v_add(v_mul(acc0, x0), c);
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), acc0);
+  }
+  if (i < n) scalar::horner_eval(coeffs, k, xs + i, out + i, n - i);
+}
+
+#undef CTAGG_AVX2
+
+}  // namespace avx2
+
+#endif  // CTAGG_HAVE_AVX2_KERNELS
+
+bool cpu_has_avx2() {
+#if CTAGG_HAVE_AVX2_KERNELS
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+Backend detect_backend() {
+  return cpu_has_avx2() ? Backend::kAvx2 : Backend::kScalar;
+}
+
+std::atomic<Backend> g_backend{detect_backend()};
+
+}  // namespace
+
+bool backend_supported(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return true;
+    case Backend::kAvx2:
+      return cpu_has_avx2();
+  }
+  return false;
+}
+
+Backend active_backend() { return g_backend.load(std::memory_order_relaxed); }
+
+bool force_backend(Backend b) {
+  if (!backend_supported(b)) return false;
+  g_backend.store(b, std::memory_order_relaxed);
+  return true;
+}
+
+const char* active_backend_name() {
+  switch (active_backend()) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+void add(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
+         std::span<std::uint64_t> out) {
+  MPCIOT_REQUIRE(a.size() == b.size() && a.size() == out.size(),
+                 "fp61_batch: span size mismatch");
+#if CTAGG_HAVE_AVX2_KERNELS
+  if (active_backend() == Backend::kAvx2) {
+    avx2::add(a.data(), b.data(), out.data(), a.size());
+    return;
+  }
+#endif
+  scalar::add(a.data(), b.data(), out.data(), a.size());
+}
+
+void sub(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
+         std::span<std::uint64_t> out) {
+  MPCIOT_REQUIRE(a.size() == b.size() && a.size() == out.size(),
+                 "fp61_batch: span size mismatch");
+#if CTAGG_HAVE_AVX2_KERNELS
+  if (active_backend() == Backend::kAvx2) {
+    avx2::sub(a.data(), b.data(), out.data(), a.size());
+    return;
+  }
+#endif
+  scalar::sub(a.data(), b.data(), out.data(), a.size());
+}
+
+void mul(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
+         std::span<std::uint64_t> out) {
+  MPCIOT_REQUIRE(a.size() == b.size() && a.size() == out.size(),
+                 "fp61_batch: span size mismatch");
+#if CTAGG_HAVE_AVX2_KERNELS
+  if (active_backend() == Backend::kAvx2) {
+    avx2::mul(a.data(), b.data(), out.data(), a.size());
+    return;
+  }
+#endif
+  scalar::mul(a.data(), b.data(), out.data(), a.size());
+}
+
+void mul_scalar(std::span<const std::uint64_t> a, std::uint64_t s,
+                std::span<std::uint64_t> out) {
+  MPCIOT_REQUIRE(a.size() == out.size(), "fp61_batch: span size mismatch");
+#if CTAGG_HAVE_AVX2_KERNELS
+  if (active_backend() == Backend::kAvx2) {
+    avx2::mul_scalar(a.data(), s, out.data(), a.size());
+    return;
+  }
+#endif
+  scalar::mul_scalar(a.data(), s, out.data(), a.size());
+}
+
+void sub_from_scalar(std::uint64_t s, std::span<const std::uint64_t> a,
+                     std::span<std::uint64_t> out) {
+  MPCIOT_REQUIRE(a.size() == out.size(), "fp61_batch: span size mismatch");
+#if CTAGG_HAVE_AVX2_KERNELS
+  if (active_backend() == Backend::kAvx2) {
+    avx2::sub_from_scalar(s, a.data(), out.data(), a.size());
+    return;
+  }
+#endif
+  scalar::sub_from_scalar(s, a.data(), out.data(), a.size());
+}
+
+void horner_eval(std::span<const std::uint64_t> coeffs,
+                 std::span<const std::uint64_t> xs,
+                 std::span<std::uint64_t> out) {
+  MPCIOT_REQUIRE(xs.size() == out.size(), "fp61_batch: span size mismatch");
+#if CTAGG_HAVE_AVX2_KERNELS
+  if (active_backend() == Backend::kAvx2) {
+    avx2::horner_eval(coeffs.data(), coeffs.size(), xs.data(), out.data(),
+                      xs.size());
+    return;
+  }
+#endif
+  scalar::horner_eval(coeffs.data(), coeffs.size(), xs.data(), out.data(),
+                      xs.size());
+}
+
+std::uint64_t sum(std::span<const std::uint64_t> a) {
+  return scalar::sum(a.data(), a.size());
+}
+
+}  // namespace mpciot::field::fp61_batch

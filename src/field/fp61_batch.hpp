@@ -1,0 +1,86 @@
+// Structure-of-arrays batch kernels over Fp61.
+//
+// Every simulated round bottoms out in long runs of identical field
+// operations: a dealer evaluates one polynomial at every holder point, a
+// reconstructor multiplies k basis coefficients, the Lagrange engine
+// builds k denominators of k-1 factors each. The scalar Fp61 class pays
+// full latency per element; these kernels take flat spans of canonical
+// representatives (uint64_t in [0, p)) and process them W lanes at a
+// time.
+//
+// Two backends:
+//  * scalar — portable, always compiled, the authoritative definition of
+//    every kernel (the AVX2 path is validated against it, never the
+//    other way around);
+//  * avx2 — 4x64-bit lanes via explicit intrinsics, compiled when the
+//    build enables CTAGG_SIMD on x86-64 and selected at runtime iff the
+//    CPU reports AVX2.
+//
+// Fp61 arithmetic is exact integer arithmetic, so the two backends are
+// bit-identical by construction: there is no rounding, no reassociation
+// hazard, and the dispatch can switch per call without affecting any
+// deterministic output.
+//
+// All spans must hold canonical values (< p). Outputs are canonical.
+// `out` may alias `a` or `b` elementwise (same offset), not partially.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace mpciot::field::fp61_batch {
+
+/// Which kernel implementation services batch calls.
+enum class Backend {
+  kScalar,
+  kAvx2,
+};
+
+/// True when `b` can run on this build + CPU.
+bool backend_supported(Backend b);
+
+/// The backend batch calls currently dispatch to.
+Backend active_backend();
+
+/// Testing/benchmark hook: force a specific backend. Returns false (and
+/// changes nothing) when the backend is not supported here. Pass
+/// kScalar to pin the portable path; the default at startup is the
+/// fastest supported backend.
+bool force_backend(Backend b);
+
+/// Human-readable name of the active backend ("scalar" / "avx2").
+const char* active_backend_name();
+
+/// out[i] = a[i] + b[i] mod p.
+void add(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
+         std::span<std::uint64_t> out);
+
+/// out[i] = a[i] - b[i] mod p.
+void sub(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
+         std::span<std::uint64_t> out);
+
+/// out[i] = a[i] * b[i] mod p.
+void mul(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
+         std::span<std::uint64_t> out);
+
+/// out[i] = a[i] * s mod p.
+void mul_scalar(std::span<const std::uint64_t> a, std::uint64_t s,
+                std::span<std::uint64_t> out);
+
+/// out[i] = s - a[i] mod p (broadcast minuend — the Lagrange
+/// denominator factor shape).
+void sub_from_scalar(std::uint64_t s, std::span<const std::uint64_t> a,
+                     std::span<std::uint64_t> out);
+
+/// Horner evaluation of one polynomial at many points:
+/// out[i] = sum_j coeffs[j] * xs[i]^j, coefficients low-degree-first.
+/// An empty coefficient span writes zeros.
+void horner_eval(std::span<const std::uint64_t> coeffs,
+                 std::span<const std::uint64_t> xs,
+                 std::span<std::uint64_t> out);
+
+/// Sum-reduce a span mod p. Exact field arithmetic: any summation order
+/// yields the same element, so the backends are free to tree-reduce.
+std::uint64_t sum(std::span<const std::uint64_t> a);
+
+}  // namespace mpciot::field::fp61_batch

@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "common/assert.hpp"
+#include "field/fp61_batch.hpp"
 
 namespace mpciot::field {
 
@@ -58,80 +59,86 @@ Polynomial interpolate(const std::vector<Sample>& samples) {
   return result;
 }
 
-Fp61 interpolate_at_zero(const std::vector<Sample>& samples) {
+Fp61 reconstruct_at_zero(std::span<const Sample> samples,
+                         LagrangeScratch& scratch) {
   MPCIOT_REQUIRE(!samples.empty(), "interpolate_at_zero: no samples");
-  check_distinct_x(samples);
-
-  // L_i(0) = prod_{j!=i} x_j / (x_j - x_i); result = sum_i y_i * L_i(0).
   const std::size_t k = samples.size();
-  std::vector<Fp61> denoms(k);
+
+  // De-interleave into the SoA views the batch kernels run over.
+  scratch.xs.resize(k);
+  scratch.ys.resize(k);
   for (std::size_t i = 0; i < k; ++i) {
     MPCIOT_REQUIRE(!samples[i].x.is_zero(),
                    "interpolate_at_zero: sample at x = 0");
-    Fp61 d = Fp61::one();
-    for (std::size_t j = 0; j < k; ++j) {
-      if (j == i) continue;
-      d *= samples[j].x - samples[i].x;
-    }
-    denoms[i] = d;
+    scratch.xs[i] = samples[i].x.value();
+    scratch.ys[i] = samples[i].y.value();
   }
-  const std::vector<Fp61> inv_denoms = batch_inverse(denoms);
 
-  Fp61 result = Fp61::zero();
-  for (std::size_t i = 0; i < k; ++i) {
-    Fp61 numer = Fp61::one();
-    for (std::size_t j = 0; j < k; ++j) {
-      if (j == i) continue;
-      numer *= samples[j].x;
-    }
-    result += samples[i].y * numer * inv_denoms[i];
+  // Denominators, column-wise: one pass per j updates every d_i with the
+  // factor (x_j - x_i) across the whole batch; the i == j lane (which
+  // would contribute the excluded zero factor) is patched to 1.
+  scratch.denom.assign(k, 1);
+  scratch.factor.resize(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    fp61_batch::sub_from_scalar(scratch.xs[j], scratch.xs, scratch.factor);
+    scratch.factor[j] = 1;
+    fp61_batch::mul(scratch.denom, scratch.factor, scratch.denom);
   }
-  return result;
+
+  // One Montgomery-style batch inversion: 1 Fermat inverse + 3(k-1)
+  // multiplications. A zero denominator (duplicate x) trips the same
+  // contract as the standalone batch_inverse helper.
+  scratch.inv_denom.resize(k);
+  scratch.prefix.resize(k);
+  std::uint64_t acc = 1;
+  for (std::size_t i = 0; i < k; ++i) {
+    MPCIOT_REQUIRE(scratch.denom[i] != 0, "batch_inverse: zero input");
+    acc = (Fp61{acc} * Fp61{scratch.denom[i]}).value();
+    scratch.prefix[i] = acc;
+  }
+  std::uint64_t inv_all = Fp61{scratch.prefix.back()}.inverse().value();
+  for (std::size_t i = k; i-- > 0;) {
+    const std::uint64_t left = i == 0 ? 1 : scratch.prefix[i - 1];
+    scratch.inv_denom[i] = (Fp61{inv_all} * Fp61{left}).value();
+    inv_all = (Fp61{inv_all} * Fp61{scratch.denom[i]}).value();
+  }
+
+  // Numerators n_i = prod_{j != i} x_j from prefix/suffix products:
+  // O(k) instead of re-scanning all other points per basis element.
+  scratch.numer_pre.resize(k);
+  scratch.numer_suf.resize(k);
+  acc = 1;
+  for (std::size_t i = 0; i < k; ++i) {
+    acc = (Fp61{acc} * Fp61{scratch.xs[i]}).value();
+    scratch.numer_pre[i] = acc;
+  }
+  acc = 1;
+  for (std::size_t i = k; i-- > 0;) {
+    scratch.numer_suf[i] = acc;  // product of x_j for j > i
+    acc = (Fp61{acc} * Fp61{scratch.xs[i]}).value();
+  }
+
+  // term_i = y_i * n_i * d_i^-1, reduced to the secret. The factor
+  // buffer is free again and hosts the terms.
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::uint64_t pre = i == 0 ? 1 : scratch.numer_pre[i - 1];
+    scratch.factor[i] = (Fp61{pre} * Fp61{scratch.numer_suf[i]}).value();
+  }
+  fp61_batch::mul(scratch.factor, scratch.ys, scratch.factor);
+  fp61_batch::mul(scratch.factor, scratch.inv_denom, scratch.factor);
+  return Fp61{fp61_batch::sum(scratch.factor)};
+}
+
+Fp61 interpolate_at_zero(const std::vector<Sample>& samples) {
+  MPCIOT_REQUIRE(!samples.empty(), "interpolate_at_zero: no samples");
+  check_distinct_x(samples);
+  LagrangeScratch scratch;
+  return reconstruct_at_zero(samples, scratch);
 }
 
 Fp61 interpolate_at_zero(const std::vector<Sample>& samples,
                          LagrangeScratch& scratch) {
-  MPCIOT_REQUIRE(!samples.empty(), "interpolate_at_zero: no samples");
-  // Same arithmetic as the allocating overload (denominators, one
-  // Montgomery batch inversion, numerator sweep), with every buffer —
-  // including the inversion's prefix-product table — drawn from scratch.
-  const std::size_t k = samples.size();
-  scratch.denoms.resize(k);
-  for (std::size_t i = 0; i < k; ++i) {
-    MPCIOT_REQUIRE(!samples[i].x.is_zero(),
-                   "interpolate_at_zero: sample at x = 0");
-    Fp61 d = Fp61::one();
-    for (std::size_t j = 0; j < k; ++j) {
-      if (j == i) continue;
-      d *= samples[j].x - samples[i].x;
-    }
-    scratch.denoms[i] = d;
-  }
-  scratch.inv_denoms.resize(k);
-  scratch.prefix.resize(k);
-  Fp61 acc = Fp61::one();
-  for (std::size_t i = 0; i < k; ++i) {
-    MPCIOT_REQUIRE(!scratch.denoms[i].is_zero(), "batch_inverse: zero input");
-    acc *= scratch.denoms[i];
-    scratch.prefix[i] = acc;
-  }
-  Fp61 inv_all = scratch.prefix.back().inverse();
-  for (std::size_t i = k; i-- > 0;) {
-    const Fp61 left = i == 0 ? Fp61::one() : scratch.prefix[i - 1];
-    scratch.inv_denoms[i] = inv_all * left;
-    inv_all *= scratch.denoms[i];
-  }
-
-  Fp61 result = Fp61::zero();
-  for (std::size_t i = 0; i < k; ++i) {
-    Fp61 numer = Fp61::one();
-    for (std::size_t j = 0; j < k; ++j) {
-      if (j == i) continue;
-      numer *= samples[j].x;
-    }
-    result += samples[i].y * numer * scratch.inv_denoms[i];
-  }
-  return result;
+  return reconstruct_at_zero(samples, scratch);
 }
 
 }  // namespace mpciot::field

@@ -8,6 +8,8 @@
 //    pass, which is what a Cortex-M-class node would run.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "field/fp61.hpp"
@@ -33,19 +35,42 @@ Fp61 interpolate_at_zero(const std::vector<Sample>& samples);
 
 /// Warm buffers for the allocation-free interpolation path. One scratch
 /// serves any number of sequential calls; buffers grow to the largest
-/// sample set seen and are reused thereafter.
+/// sample set seen and are reused thereafter. The uint64 vectors are the
+/// structure-of-arrays views the fp61_batch kernels run over.
 struct LagrangeScratch {
   std::vector<Sample> samples;
-  std::vector<Fp61> denoms;
-  std::vector<Fp61> inv_denoms;
-  std::vector<Fp61> prefix;
+  std::vector<std::uint64_t> xs;
+  std::vector<std::uint64_t> ys;
+  std::vector<std::uint64_t> factor;
+  std::vector<std::uint64_t> denom;
+  std::vector<std::uint64_t> inv_denom;
+  std::vector<std::uint64_t> prefix;
+  std::vector<std::uint64_t> numer_pre;
+  std::vector<std::uint64_t> numer_suf;
 };
 
 /// As interpolate_at_zero, but allocation-free once `scratch` is warm.
 /// Additional precondition (NOT checked here, unlike the overload
 /// above): x values pairwise distinct — Shamir holders are distinct by
-/// construction, so the streaming path skips the hash-set check.
+/// construction, so the streaming path skips the hash-set check. (A
+/// duplicate still cannot yield a wrong value silently: it zeroes a
+/// denominator and trips the batch-inversion contract.)
 Fp61 interpolate_at_zero(const std::vector<Sample>& samples,
+                         LagrangeScratch& scratch);
+
+/// The batched reconstruction kernel both interpolate_at_zero overloads
+/// run on: all k Lagrange basis coefficients at once —
+///   * denominators d_i = prod_{j != i}(x_j - x_i) built column-wise
+///     over the fp61_batch SoA kernels (SIMD when available),
+///   * ONE Montgomery-style batch inversion (1 field inverse + 3(k-1)
+///     multiplications) instead of k Fermat inversions,
+///   * numerators n_i = prod_{j != i} x_j from prefix/suffix product
+///     tables in O(k) instead of the O(k^2) rescan,
+///   * result = sum_i y_i * n_i * d_i^-1.
+/// Field arithmetic is exact, so the value is bit-identical to the
+/// historic per-basis formulation for any evaluation order.
+/// Preconditions: samples non-empty, x values distinct and non-zero.
+Fp61 reconstruct_at_zero(std::span<const Sample> samples,
                          LagrangeScratch& scratch);
 
 /// Batch-invert: out[i] = in[i]^-1 using Montgomery's trick (one field

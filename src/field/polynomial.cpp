@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "field/fp61_batch.hpp"
 
 namespace mpciot::field {
 
@@ -54,6 +55,25 @@ Fp61 Polynomial::evaluate(Fp61 x) const {
     acc = acc * x + *it;
   }
   return acc;
+}
+
+void Polynomial::evaluate_many(std::span<const Fp61> xs,
+                               std::span<Fp61> out) const {
+  MPCIOT_REQUIRE(xs.size() == out.size(),
+                 "evaluate_many: output size mismatch");
+  // Fp61 is a transparent wrapper over one canonical uint64_t, so the
+  // spans reinterpret directly as the raw-representative spans the
+  // batch kernels take (pinned by the static_asserts below).
+  static_assert(sizeof(Fp61) == sizeof(std::uint64_t));
+  static_assert(alignof(Fp61) == alignof(std::uint64_t));
+  fp61_batch::horner_eval(
+      std::span<const std::uint64_t>(
+          reinterpret_cast<const std::uint64_t*>(coeffs_.data()),
+          coeffs_.size()),
+      std::span<const std::uint64_t>(
+          reinterpret_cast<const std::uint64_t*>(xs.data()), xs.size()),
+      std::span<std::uint64_t>(reinterpret_cast<std::uint64_t*>(out.data()),
+                               out.size()));
 }
 
 Polynomial operator+(const Polynomial& a, const Polynomial& b) {

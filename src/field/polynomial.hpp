@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "field/fp61.hpp"
@@ -46,6 +47,12 @@ class Polynomial {
 
   /// Horner evaluation.
   Fp61 evaluate(Fp61 x) const;
+
+  /// Batched Horner evaluation: out[i] = P(xs[i]) for every point in one
+  /// structure-of-arrays pass through the fp61_batch kernels (SIMD when
+  /// available; bit-identical to calling evaluate() per point either
+  /// way). Requires out.size() == xs.size(); the spans may not overlap.
+  void evaluate_many(std::span<const Fp61> xs, std::span<Fp61> out) const;
 
   /// Constant term P(0) (zero for the zero polynomial).
   Fp61 constant_term() const {

@@ -95,5 +95,90 @@ TEST(Aes128, InPlaceSpanEncryption) {
   EXPECT_EQ(to_hex(buf), "69c4e0d86a7b0430d8cdb78070b4c55a");
 }
 
+// RAII guard restoring the default AES dispatch after a forced-backend
+// test, even on assertion failure.
+struct BackendGuard {
+  ~BackendGuard() {
+    aes_backend::force_aesni(aes_backend::aesni_supported());
+  }
+};
+
+TEST(Aes128Backend, ForceScalarAlwaysWorks) {
+  BackendGuard guard;
+  EXPECT_TRUE(aes_backend::force_aesni(false));
+  EXPECT_FALSE(aes_backend::aesni_active());
+  EXPECT_STREQ(aes_backend::active_name(), "scalar");
+  if (aes_backend::aesni_supported()) {
+    EXPECT_TRUE(aes_backend::force_aesni(true));
+    EXPECT_STREQ(aes_backend::active_name(), "aesni");
+  } else {
+    EXPECT_FALSE(aes_backend::force_aesni(true));
+    EXPECT_FALSE(aes_backend::aesni_active());
+  }
+}
+
+// The FIPS-197 KAT must hold on BOTH backends — the AES-NI path is the
+// same permutation, not an approximation.
+TEST(Aes128Backend, Fips197KatOnEveryBackend) {
+  BackendGuard guard;
+  const Aes128 aes(key_from_hex("000102030405060708090a0b0c0d0e0f"));
+  const auto pt = block_from_hex("00112233445566778899aabbccddeeff");
+  ASSERT_TRUE(aes_backend::force_aesni(false));
+  EXPECT_EQ(to_hex(aes.encrypt_block(pt)),
+            "69c4e0d86a7b0430d8cdb78070b4c55a");
+  if (aes_backend::aesni_supported()) {
+    ASSERT_TRUE(aes_backend::force_aesni(true));
+    EXPECT_EQ(to_hex(aes.encrypt_block(pt)),
+              "69c4e0d86a7b0430d8cdb78070b4c55a");
+  }
+}
+
+// encrypt_blocks == per-block encrypt_block for every count that
+// exercises the 8-wide main loop, its tail, and the empty call — on
+// every available backend, and identically across backends.
+TEST(Aes128Backend, EncryptBlocksMatchesPerBlockOnAllBackends) {
+  BackendGuard guard;
+  const Aes128 aes(key_from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  CtrDrbg filler(99, 0);
+  for (const std::size_t nblocks : {0u, 1u, 2u, 7u, 8u, 9u, 16u, 19u}) {
+    std::vector<std::uint8_t> in(nblocks * 16);
+    filler.fill(in.data(), in.size());
+    // Per-block reference on the scalar path.
+    ASSERT_TRUE(aes_backend::force_aesni(false));
+    std::vector<std::uint8_t> reference(nblocks * 16);
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      Aes128::Block one{};
+      std::copy_n(in.begin() + static_cast<std::ptrdiff_t>(16 * b), 16,
+                  one.begin());
+      const auto ct = aes.encrypt_block(one);
+      std::copy(ct.begin(), ct.end(),
+                reference.begin() + static_cast<std::ptrdiff_t>(16 * b));
+    }
+    std::vector<std::uint8_t> out(nblocks * 16, 0xEE);
+    aes.encrypt_blocks(in.data(), out.data(), nblocks);
+    EXPECT_EQ(out, reference) << "scalar, nblocks=" << nblocks;
+    if (aes_backend::aesni_supported()) {
+      ASSERT_TRUE(aes_backend::force_aesni(true));
+      std::fill(out.begin(), out.end(), 0xEE);
+      aes.encrypt_blocks(in.data(), out.data(), nblocks);
+      EXPECT_EQ(out, reference) << "aesni, nblocks=" << nblocks;
+    }
+  }
+}
+
+TEST(Aes128Backend, EncryptBlocksInPlace) {
+  BackendGuard guard;
+  const Aes128 aes(key_from_hex("000102030405060708090a0b0c0d0e0f"));
+  std::vector<std::uint8_t> buf(9 * 16, 0x42);
+  std::vector<std::uint8_t> expected(buf);
+  aes.encrypt_blocks(expected.data(), expected.data(), 0);  // no-op
+  EXPECT_EQ(expected, buf);
+  aes.encrypt_blocks(buf.data(), buf.data(), 9);
+  std::vector<std::uint8_t> copy(9 * 16, 0x42);
+  std::vector<std::uint8_t> out(9 * 16);
+  aes.encrypt_blocks(copy.data(), out.data(), 9);
+  EXPECT_EQ(buf, out);
+}
+
 }  // namespace
 }  // namespace mpciot::crypto
