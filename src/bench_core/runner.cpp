@@ -5,6 +5,7 @@
 #include <fstream>
 #include <ostream>
 
+#include "metrics/experiment.hpp"
 #include "metrics/table.hpp"
 
 namespace mpciot::bench_core {
@@ -25,8 +26,13 @@ std::vector<ScenarioRun> run_scenarios(
     run.wall_ms =
         std::chrono::duration<double, std::milli>(end - start).count();
     if (progress) {
+      // Peak RSS rides on the progress stream (stderr), never in the
+      // deterministic result document: it is a process-wide high-water
+      // mark that depends on host allocator behavior and job count.
       *progress << spec->name << ": " << run.rows.size() << " rows, reps="
-                << resolved.reps << ", wall " << run.wall_ms << " ms\n";
+                << resolved.reps << ", wall " << run.wall_ms << " ms"
+                << ", peak_rss_mb "
+                << metrics::peak_rss_bytes() / (1024.0 * 1024.0) << "\n";
     }
     runs.push_back(std::move(run));
   }

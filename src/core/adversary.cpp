@@ -171,6 +171,12 @@ bool JammerChannel::jam_active(NodeId jammer, std::uint64_t epoch) const {
 void JammerChannel::materialize(const net::Topology& topo,
                                 std::uint64_t epoch,
                                 net::LinkEpochTables& tables) const {
+  // The jam overlay zeroes whole receiver rows of the dense tables;
+  // adversary scenarios run on leaf-scale topologies where those rows
+  // exist. Sparse-tier jamming would need a word-run overlay nobody
+  // sweeps yet — fail loudly instead of silently not jamming.
+  MPCIOT_REQUIRE(!topo.sparse(),
+                 "jammer: sparse-tier topologies are not supported");
   const std::size_t n = topo.size();
   const std::size_t words = topo.node_words();
   if (inner_ != nullptr) {

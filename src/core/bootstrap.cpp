@@ -62,15 +62,21 @@ std::vector<NodeId> elect_share_holders(const net::Topology& topo,
     std::uint64_t score;
   };
   const std::uint64_t penalty = topo.diameter() + 3;
+  // Accumulate per source over whole hop rows (hops_from): the same
+  // integer sums as the candidate-major loop, but one BFS per source on
+  // the sparse tier instead of |sources| point queries per candidate.
+  std::vector<std::uint64_t> scores(topo.size(), 0);
+  for (NodeId src : sources) {
+    const std::uint32_t* row = topo.hops_from(src);
+    for (NodeId cand = 0; cand < topo.size(); ++cand) {
+      const std::uint32_t h = row[cand];
+      scores[cand] += (h == net::Topology::kInvalidHops) ? penalty : h;
+    }
+  }
   std::vector<Candidate> candidates;
   candidates.reserve(topo.size());
   for (NodeId cand = 0; cand < topo.size(); ++cand) {
-    std::uint64_t score = 0;
-    for (NodeId src : sources) {
-      const std::uint32_t h = topo.hops(src, cand);
-      score += (h == net::Topology::kInvalidHops) ? penalty : h;
-    }
-    candidates.push_back(Candidate{cand, score});
+    candidates.push_back(Candidate{cand, scores[cand]});
   }
   MPCIOT_REQUIRE(candidates.size() >= count,
                  "elect_share_holders: not enough candidates");

@@ -16,6 +16,8 @@ namespace {
 constexpr std::uint64_t kStreamGroupSim = 0x47525053ull;   // group-phase sims
 constexpr std::uint64_t kStreamKeystore = 0x474B4559ull;   // per-group keys
 constexpr std::uint64_t kStreamJamFlood = 0x41445648ull;   // flood jammers
+constexpr std::uint64_t kStreamNestedKeys = 0x4E4B4559ull; // subtree keys
+constexpr std::uint64_t kStreamNested = 0x4E455354ull;     // subtree sims
 
 /// Churn schedule of an induced subtopology: local ids looked up in the
 /// parent schedule. (Group rounds run on the trial clock, so times pass
@@ -121,6 +123,56 @@ HierarchicalProtocol::HierarchicalProtocol(const net::Topology& topo,
     }
     group.leader_local = group.sub->center_node();
     group.leader = group.members[group.leader_local];
+
+    // Deep groups become subtrees: a full hierarchical protocol over
+    // the group's subtopology, one level shallower, with its own
+    // partition, keystores (independent seed stream) and adversary
+    // mapping. Its result flood plays the role the batch rounds play in
+    // a leaf group — it leaves the group aggregate with the members
+    // that heard it, and the parent recombines as usual.
+    if (config_.depth > 1 &&
+        group.members.size() >= config_.min_nested_size) {
+      HierarchicalConfig ncfg;
+      ncfg.partition = net::partition::grid_blocks(*group.sub,
+                                                   config_.fanout);
+      ncfg.num_channels = config_.num_channels;
+      ncfg.max_batch = config_.max_batch;
+      ncfg.ntx_sharing = config_.ntx_sharing;
+      ncfg.ntx_reconstruction = config_.ntx_reconstruction;
+      ncfg.scale_ntx_with_diameter = config_.scale_ntx_with_diameter;
+      ncfg.result_flood_ntx = config_.result_flood_ntx;
+      ncfg.holder_slack = config_.holder_slack;
+      ncfg.early_radio_off = config_.early_radio_off;
+      ncfg.max_retries = config_.max_retries;
+      ncfg.max_chain_slots = config_.max_chain_slots;
+      ncfg.key_seed =
+          crypto::derive_seed(config_.key_seed, kStreamNestedKeys, g);
+      ncfg.feldman_vss = config_.feldman_vss;
+      ncfg.depth = config_.depth - 1;
+      ncfg.fanout = config_.fanout;
+      ncfg.min_nested_size = config_.min_nested_size;
+      ncfg.adversary = config_.adversary;
+      ncfg.adversary.attackers.clear();
+      for (std::size_t i = 0; i < group.members.size(); ++i) {
+        if (std::find(config_.adversary.attackers.begin(),
+                      config_.adversary.attackers.end(),
+                      group.members[i]) !=
+            config_.adversary.attackers.end()) {
+          ncfg.adversary.attackers.push_back(static_cast<NodeId>(i));
+        }
+      }
+      group.nested = std::make_unique<HierarchicalProtocol>(
+          *group.sub, std::move(ncfg), transport_);
+      groups_.push_back(std::move(group));
+      continue;
+    }
+
+    // Leaf groups run flat SSS rounds whose packets carry u16 local
+    // ids; a bigger group must nest (raise depth, or lower
+    // min_nested_size) rather than truncate ids on the wire.
+    MPCIOT_REQUIRE(group.members.size() <= 0x10000,
+                   "hierarchical: leaf group exceeds the u16 wire id "
+                   "range; increase depth or fanout");
     group.keys = std::make_unique<crypto::KeyStore>(
         crypto::derive_seed(config_.key_seed, kStreamKeystore, g),
         static_cast<std::uint32_t>(group.members.size()));
@@ -179,9 +231,16 @@ std::size_t HierarchicalProtocol::group_size(std::size_t g) const {
 }
 
 std::uint32_t HierarchicalProtocol::max_round_batches() const {
+  // The round-in-epoch id passes through subtree levels unchanged (the
+  // flattening r * batches + b happens per level), so the 16-bit wire
+  // window is governed by the largest batch count anywhere in the tree.
   std::size_t best = 1;
   for (const Group& group : groups_) {
-    best = std::max(best, group.batch_rounds.size());
+    best = std::max(best,
+                    group.nested != nullptr
+                        ? static_cast<std::size_t>(
+                              group.nested->max_round_batches())
+                        : group.batch_rounds.size());
   }
   return static_cast<std::uint32_t>(best);
 }
@@ -346,6 +405,93 @@ const HierarchicalResult& HierarchicalProtocol::run_round(
         g + (static_cast<std::uint64_t>(r_in_epoch) << 32));
     if (epoch != 0) {
       group_seed = crypto::derive_seed(group_seed, kStreamGroupSim, epoch);
+    }
+
+    // Subtree group: one nested hierarchical round stands in for the
+    // batch rounds (batch_rounds is empty, so the loop below no-ops).
+    // The subtree runs in classic mode on the trial clock — its own
+    // group phases, recombination floods and result flood are booked on
+    // its private timeline and land inside this group's channel
+    // booking, so every level threads through the shared clock.
+    if (group.nested != nullptr) {
+      out.batches =
+          static_cast<std::uint32_t>(group.nested->num_groups());
+      if (ws.nested.size() != groups_.size()) {
+        ws.nested.resize(groups_.size());
+      }
+      if (ws.nested[g] == nullptr) {
+        ws.nested[g] = std::make_unique<HierWorkspace>();
+      }
+      std::vector<field::Fp61>& sub_secrets = ws.batch_secrets;
+      sub_secrets.clear();
+      sub_secrets.reserve(group.members.size());
+      for (const NodeId m : group.members) {
+        sub_secrets.push_back(secrets[m]);
+      }
+      bool sub_ok = false;
+      for (std::uint32_t attempt = 0;
+           attempt <= config_.max_retries && !sub_ok; ++attempt) {
+        if (attempt > 0) ++out.retries;
+        const SimTime t0 = ch_start_abs + out.duration_us;
+        sim::Simulator nested_sim(
+            crypto::derive_seed(group_seed, kStreamNested, attempt));
+        RoundEnv nenv;
+        nenv.start_time_us = t0;
+        nenv.channel_model = env.channel_model;
+        nenv.liveness = mapped.has_value() ? &*mapped : nullptr;
+        nenv.scratch = trial_scratch;
+        nenv.round = r_in_epoch;
+        nenv.key_epoch = epoch;
+        const HierarchicalResult& nres = group.nested->run_round(
+            sub_secrets, nested_sim, nenv, *ws.nested[g]);
+        out.duration_us += nres.total_duration_us;
+        for (std::size_t local = 0; local < group.members.size();
+             ++local) {
+          result.radio_on_us[group.members[local]] +=
+              nres.radio_on_us[local];
+          if (nres.cheater_nodes[local] != 0) {
+            result.cheater_nodes[group.members[local]] = 1;
+          }
+        }
+        result.shares_rejected += nres.shares_rejected;
+        result.sums_rejected += nres.sums_rejected;
+        out.leader_reelections += nres.leader_reelections;
+        if (!nres.has_aggregate) continue;
+        sub_ok = true;
+        out.sum += nres.aggregate;
+        result.expected_sum += nres.expected_sum;
+        if (!nres.aggregate_correct) out.sum_correct = false;
+        // Members that heard the subtree's result flood hold the group
+        // aggregate — they are this group's deputies, and the group
+        // leader must be one of them so the recombination flood above
+        // this level carries the right value.
+        for (std::size_t local = 0; local < group.members.size();
+             ++local) {
+          deputies[local] = nres.has_result[local];
+        }
+        if (nres.has_result[lead_local] == 0) {
+          NodeId best = kInvalidNode;
+          std::uint32_t best_h = net::Topology::kInvalidHops;
+          const NodeId center = group.sub->center_node();
+          for (NodeId m = 0;
+               m < static_cast<NodeId>(group.members.size()); ++m) {
+            if (nres.has_result[m] == 0) continue;
+            const std::uint32_t h = group.sub->hops(m, center);
+            if (h < best_h || (h == best_h && m < best)) {
+              best_h = h;
+              best = m;
+            }
+          }
+          if (best != kInvalidNode && best != lead_local) {
+            lead_local = best;
+            ++out.leader_reelections;
+          }
+        }
+      }
+      if (!sub_ok) {
+        out.has_sum = false;
+        out.sum_correct = false;
+      }
     }
     sim::Simulator group_sim(group_seed);
     for (std::size_t b = 0; b < group.batch_rounds.size(); ++b) {

@@ -81,6 +81,25 @@ struct HierarchicalConfig {
   AdversaryConfig adversary;
   /// Feldman VSS inside every group round (see ProtocolConfig).
   bool feldman_vss = false;
+  /// Depth of the recursive group tree. 1 is the historic single level:
+  /// every group runs its SSS batch rounds directly. At depth d > 1 a
+  /// group with at least `min_nested_size` members becomes a *subtree*:
+  /// a nested HierarchicalProtocol over the group's subtopology
+  /// (partitioned into ~`fanout` subgroups by net::partition), running
+  /// at depth d - 1. The nested round's own result flood hands the
+  /// group aggregate to the group's deputies, and the parent level
+  /// recombines group aggregates exactly as it always did — so the
+  /// leader-tree recombination happens per level, and ChannelTimeline
+  /// bookings / ChannelView epoch walks thread through every level on
+  /// the shared trial clock.
+  std::uint32_t depth = 1;
+  /// Target subgroup count when a group nests (net::partition
+  /// target_groups at each inner level).
+  std::uint32_t fanout = 16;
+  /// Groups smaller than this run their batch rounds directly even when
+  /// depth allows nesting (a tiny subtree costs channel switches and
+  /// recombination floods without relieving any chain).
+  std::size_t min_nested_size = 256;
 };
 
 struct GroupOutcome {
@@ -174,6 +193,9 @@ struct HierWorkspace {
   /// (epoch 0 uses the construction keystores and leaves this empty).
   std::uint32_t cached_epoch = 0;
   std::vector<std::unique_ptr<crypto::KeyStore>> epoch_keys;
+  /// Per-group nested workspaces (depth > 1 only): entry g is the warm
+  /// state of group g's subtree and stays null for leaf groups.
+  std::vector<std::unique_ptr<HierWorkspace>> nested;
 };
 
 class HierarchicalProtocol {
@@ -244,6 +266,11 @@ class HierarchicalProtocol {
     const net::Topology* sub = nullptr;   // induced subtopology (or parent)
     std::unique_ptr<crypto::KeyStore> keys;
     std::vector<SssProtocol> batch_rounds;  // local-id configs
+    /// Non-null when this group is a subtree (depth > 1 and the group
+    /// is large enough): a full hierarchical protocol over `sub`, one
+    /// level shallower. batch_rounds/keys stay empty then — the subtree
+    /// runs its own groups, recombination and result flood.
+    std::unique_ptr<HierarchicalProtocol> nested;
     NodeId leader_local = 0;
     NodeId leader = 0;  // parent id
     std::uint16_t channel = 0;

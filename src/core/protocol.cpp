@@ -40,9 +40,12 @@ NodeId pick_phase_initiator(const net::Topology& topo, NodeId preferred,
   std::uint32_t best_h = net::Topology::kInvalidHops;
   NodeId fallback = kInvalidNode;
   std::uint32_t fallback_h = net::Topology::kInvalidHops;
+  // One hop row for the preferred source (row[preferred] == 0): on the
+  // sparse tier this is a single BFS, not |candidates| point queries.
+  const std::uint32_t* hops_row = topo.hops_from(preferred);
   for (NodeId c : candidates) {
     if (dead[c]) continue;
-    const std::uint32_t h = c == preferred ? 0 : topo.hops(preferred, c);
+    const std::uint32_t h = hops_row[c];
     if (h < fallback_h || (h == fallback_h && c < fallback)) {
       fallback_h = h;
       fallback = c;
@@ -121,6 +124,12 @@ SssProtocol::SssProtocol(const net::Topology& topo,
       engine_(config_.adversary, topo.size()),
       sharing_(),
       recon_() {
+  // SharePacket/SumPacket carry u16 node ids on the wire; a flat round
+  // over a larger (sub)topology would silently alias ids if encoding
+  // truncated. Reject at construction instead.
+  MPCIOT_REQUIRE(topo.size() <= 0x10000,
+                 "protocol: node ids are u16 on the wire; this topology "
+                 "needs hierarchical grouping");
   MPCIOT_REQUIRE(!config_.sources.empty(), "protocol: no sources");
   MPCIOT_REQUIRE(config_.sources.size() <= 64,
                  "protocol: at most 64 sources per round");

@@ -5,6 +5,10 @@
 #include <mutex>
 #include <thread>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "core/session.hpp"
 #include "crypto/prng.hpp"
 #include "sim/simulator.hpp"
@@ -134,6 +138,20 @@ TrialStats run_trials(const core::SssProtocol& protocol,
     stats.total_duration_ms.add(rec.total_duration_ms);
   }
   return stats;
+}
+
+std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
 }
 
 }  // namespace mpciot::metrics

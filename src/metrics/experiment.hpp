@@ -82,4 +82,10 @@ unsigned resolve_jobs(unsigned jobs, std::uint32_t repetitions);
 void parallel_for(std::size_t count, unsigned jobs,
                   const std::function<void(std::size_t)>& fn);
 
+/// Peak resident set size of this process in bytes (getrusage
+/// ru_maxrss), or 0 where the platform does not report it. A
+/// high-water mark, not a current figure — report it on stderr or in
+/// sidecar notes, never inside deterministic result documents.
+std::uint64_t peak_rss_bytes();
+
 }  // namespace mpciot::metrics

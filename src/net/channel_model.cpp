@@ -14,14 +14,20 @@ void ChannelView::bind(const Topology& topo, const ChannelModel* model) {
   const bool same = topo_ == &topo && model_ == model;
   topo_ = &topo;
   model_ = model;
+  sparse_ = topo.sparse();
   n_ = topo.size();
   words_ = topo.node_words();
   if (model_ == nullptr) {
     // Static channel: alias the frozen tables, nothing ever re-fills.
     tables_.epoch = LinkEpochTables::kNoEpoch;
-    prr_base_ = topo.prr_data();
-    prr_in_base_ = topo.prr_into(0);
-    rx_words_base_ = topo.audible_words(0);
+    if (sparse_) {
+      out_prr_base_ = topo.out_prr_data();
+      in_prr_base_ = topo.in_prr_data();
+    } else {
+      prr_base_ = topo.prr_data();
+      prr_in_base_ = topo.prr_into(0);
+      rx_words_base_ = topo.audible_words(0);
+    }
     return;
   }
   MPCIOT_REQUIRE(model_->epoch_us() > 0,
@@ -36,9 +42,7 @@ void ChannelView::bind(const Topology& topo, const ChannelModel* model) {
   }
   // Same binding with walked state: leave the cursor where it is — the
   // round's first seek() continues (or, if earlier, restarts) the walk.
-  prr_base_ = tables_.prr.data();
-  prr_in_base_ = tables_.prr_in.data();
-  rx_words_base_ = tables_.rx_words.data();
+  point_at_tables();
 }
 
 void ChannelView::seek(SimTime t) {
@@ -60,9 +64,18 @@ void ChannelView::seek(SimTime t) {
   }
   model_->materialize(*topo_, epoch, tables_);
   tables_.epoch = epoch;
-  prr_base_ = tables_.prr.data();
-  prr_in_base_ = tables_.prr_in.data();
-  rx_words_base_ = tables_.rx_words.data();
+  point_at_tables();
+}
+
+void ChannelView::point_at_tables() {
+  if (sparse_) {
+    out_prr_base_ = tables_.out_prr.data();
+    in_prr_base_ = tables_.in_prr.data();
+  } else {
+    prr_base_ = tables_.prr.data();
+    prr_in_base_ = tables_.prr_in.data();
+    rx_words_base_ = tables_.rx_words.data();
+  }
 }
 
 }  // namespace mpciot::net

@@ -23,13 +23,13 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/types.hpp"
+#include "net/topology.hpp"
 
 namespace mpciot::net {
-
-class Topology;
 
 /// Materialized link tables for one dynamics epoch, plus the opaque
 /// model state the epoch chain is walked with. Owned by a ChannelView
@@ -43,6 +43,14 @@ struct LinkEpochTables {
   std::vector<double> prr;               // [tx * n + rx]
   std::vector<double> prr_in;            // [rx * n + tx], transposed
   std::vector<std::uint64_t> rx_words;   // audibility bitmaps, like Topology
+  /// Sparse-tier epoch payloads, aligned with the topology's stored-link
+  /// orders (out_prr: link_index order; in_prr: the in_prr_data order
+  /// the audibility word runs index). The word runs themselves stay the
+  /// topology's frozen lists: a stored link whose epoch PRR decays to 0
+  /// keeps its audibility bit and contributes p = 0, and dynamics never
+  /// resurrect a link the sparse build culled (see ARCHITECTURE.md).
+  std::vector<double> out_prr;
+  std::vector<double> in_prr;
   /// Model scratch (e.g. per-link burst state / drift / stream keys):
   /// layout is the model's business, persistence across epochs is the
   /// view's.
@@ -104,22 +112,47 @@ class ChannelView {
 
   bool dynamic() const { return model_ != nullptr; }
 
-  /// Receiver-major PRR row at the current epoch (see Topology).
+  /// True when the bound topology stores the sparse tier: row accessors
+  /// (prr_into / audible_words) are unavailable — iterate
+  /// audible_entries + in_prr instead.
+  bool sparse() const { return sparse_; }
+
+  /// Receiver-major PRR row at the current epoch (see Topology). Dense
+  /// bindings only.
   const double* prr_into(NodeId r) const { return prr_in_base_ + r * n_; }
   /// Inbound audibility bitmap row at the current epoch (see Topology).
+  /// Dense bindings only.
   const std::uint64_t* audible_words(NodeId r) const {
     return rx_words_base_ + r * words_;
   }
+  /// Sparse bindings: the topology's frozen audibility word runs (their
+  /// prr_off fields index in_prr()).
+  std::span<const AudWord> audible_entries(NodeId r) const {
+    return topo_->audible_entries(r);
+  }
+  /// Sparse bindings: inbound PRR payloads at the current epoch, in the
+  /// order the audibility word runs index.
+  const double* in_prr() const { return in_prr_base_; }
   /// PRR a -> b at the current epoch.
-  double prr(NodeId a, NodeId b) const { return prr_base_[a * n_ + b]; }
+  double prr(NodeId a, NodeId b) const {
+    if (!sparse_) return prr_base_[a * n_ + b];
+    const std::size_t i = topo_->link_index(a, b);
+    return i == Topology::kNoLink ? 0.0 : out_prr_base_[i];
+  }
 
  private:
+  /// Re-point the tier-appropriate base pointers at tables_.
+  void point_at_tables();
+
   const Topology* topo_ = nullptr;
   const ChannelModel* model_ = nullptr;
   LinkEpochTables tables_;
   const double* prr_base_ = nullptr;
   const double* prr_in_base_ = nullptr;
   const std::uint64_t* rx_words_base_ = nullptr;
+  const double* out_prr_base_ = nullptr;
+  const double* in_prr_base_ = nullptr;
+  bool sparse_ = false;
   std::size_t n_ = 0;
   std::size_t words_ = 0;
 };

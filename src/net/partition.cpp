@@ -263,20 +263,24 @@ Partition greedy_radius(const Topology& topo, std::uint32_t target_groups,
   // farthest, so isolated pockets get their own seed first).
   std::vector<NodeId> seeds{topo.center_node()};
   std::vector<std::uint64_t> dist(n, 0);
-  const auto hop_or_max = [&](NodeId a, NodeId b) {
-    const std::uint32_t h = topo.hops(a, b);
+  // Whole rows via hops_from: on the sparse tier each seed costs one
+  // BFS instead of n point queries.
+  const auto hop_or_max = [](const std::uint32_t* row, NodeId b) {
+    const std::uint32_t h = row[b];
     return h == Topology::kInvalidHops ? std::uint64_t{1} << 32
                                        : std::uint64_t{h};
   };
-  for (NodeId i = 0; i < n; ++i) dist[i] = hop_or_max(seeds[0], i);
+  const std::uint32_t* row = topo.hops_from(seeds[0]);
+  for (NodeId i = 0; i < n; ++i) dist[i] = hop_or_max(row, i);
   while (seeds.size() < target_groups) {
     NodeId far = 0;
     for (NodeId i = 1; i < n; ++i) {
       if (dist[i] > dist[far]) far = i;
     }
     seeds.push_back(far);
+    row = topo.hops_from(far);
     for (NodeId i = 0; i < n; ++i) {
-      dist[i] = std::min(dist[i], hop_or_max(far, i));
+      dist[i] = std::min(dist[i], hop_or_max(row, i));
     }
   }
 

@@ -189,7 +189,8 @@ Topology dcube(std::uint64_t seed) {
 }
 
 Topology grid(std::uint32_t rows, std::uint32_t cols, double spacing_m,
-              std::uint64_t seed, RadioParams radio) {
+              std::uint64_t seed, RadioParams radio,
+              TopologyOptions options) {
   MPCIOT_REQUIRE(rows * cols >= 2, "grid: need at least 2 nodes");
   std::vector<Position> pos;
   pos.reserve(rows * cols);
@@ -201,7 +202,8 @@ Topology grid(std::uint32_t rows, std::uint32_t cols, double spacing_m,
       pos.push_back(Position{c * spacing_m + jx, r * spacing_m + jy});
     }
   }
-  return Topology(std::move(pos), radio, seed);
+  return Topology(std::move(pos), radio, seed, /*rx_noise_penalty_db=*/{},
+                  options);
 }
 
 Topology random_uniform(std::uint32_t count, double width_m, double height_m,

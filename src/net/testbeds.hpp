@@ -35,7 +35,8 @@ Topology dcube(std::uint64_t seed = 0xDC0B'E000ull);
 /// Parametric generators used by tests and scaling benches. All
 /// generators retry placement seeds until the topology is connected.
 Topology grid(std::uint32_t rows, std::uint32_t cols, double spacing_m,
-              std::uint64_t seed, RadioParams radio = {});
+              std::uint64_t seed, RadioParams radio = {},
+              TopologyOptions options = {});
 Topology random_uniform(std::uint32_t count, double width_m, double height_m,
                         std::uint64_t seed, RadioParams radio = {});
 Topology line(std::uint32_t count, double spacing_m, std::uint64_t seed,

@@ -1,17 +1,43 @@
 #include "net/topology.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstddef>
 #include <deque>
+#include <mutex>
+#include <unordered_map>
 
 #include "common/assert.hpp"
 #include "crypto/prng.hpp"
 #include "net/channel_model.hpp"
 
 namespace mpciot::net {
+namespace {
+
+/// Stream tag for keyed per-pair shadowing draws ("LINK").
+constexpr std::uint64_t kStreamLinkShadow = 0x4C494E4B;
+
+}  // namespace
+
+/// Lazily built good-link BFS rows (sparse tier). Forward rows answer
+/// hops_from(src); reverse rows answer hops(*, dst) for a hot target
+/// (e.g. "hops to the center" across the whole network). Node-based map
+/// storage keeps row pointers stable across later insertions.
+struct Topology::HopCache {
+  std::mutex mu;
+  std::unordered_map<NodeId, std::vector<std::uint32_t>> fwd;
+  std::unordered_map<NodeId, std::vector<std::uint32_t>> rev;
+};
+
+Topology::Topology(Topology&&) noexcept = default;
+Topology& Topology::operator=(Topology&&) noexcept = default;
+Topology::~Topology() = default;
 
 Topology::Topology(std::vector<Position> positions, RadioParams radio,
                    std::uint64_t shadow_seed,
-                   std::vector<double> rx_noise_penalty_db)
+                   std::vector<double> rx_noise_penalty_db,
+                   TopologyOptions options)
     : positions_(std::move(positions)),
       radio_(radio),
       rx_penalty_(std::move(rx_noise_penalty_db)) {
@@ -21,8 +47,27 @@ Topology::Topology(std::vector<Position> positions, RadioParams radio,
   if (rx_penalty_.empty()) rx_penalty_.assign(positions_.size(), 0.0);
   global_ids_.resize(positions_.size());
   for (NodeId i = 0; i < positions_.size(); ++i) global_ids_[i] = i;
-  build_link_tables(shadow_seed);
-  build_derived_tables();
+
+  const bool auto_dense = positions_.size() <= kDenseMaxNodes;
+  const bool dense = options.storage == TopologyStorage::kDense ||
+                     (options.storage == TopologyStorage::kAuto && auto_dense);
+  const bool sequential =
+      options.draw == LinkDraw::kSequential ||
+      (options.draw == LinkDraw::kAuto && auto_dense);
+  sparse_ = !dense;
+
+  if (dense && sequential) {
+    // The historic path, untouched: every derived byte is identical to
+    // the pre-split implementation.
+    build_link_tables(shadow_seed);
+    build_derived_tables();
+  } else if (dense) {
+    fill_dense_from_links(draw_links_keyed(shadow_seed));
+    build_derived_tables();
+  } else {
+    build_sparse_from_links(sequential ? draw_links_sequential(shadow_seed)
+                                       : draw_links_keyed(shadow_seed));
+  }
 }
 
 Topology Topology::induced(const Topology& parent,
@@ -45,16 +90,64 @@ Topology Topology::induced(const Topology& parent,
     sub.rx_penalty_.push_back(parent.rx_penalty_[p]);
     sub.global_ids_.push_back(parent.global_ids_[p]);
   }
-  sub.rssi_.assign(m * m, -200.0);
-  sub.prr_.assign(m * m, 0.0);
-  for (std::size_t a = 0; a < m; ++a) {
-    for (std::size_t b = 0; b < m; ++b) {
-      if (a == b) continue;
-      sub.rssi_[a * m + b] = parent.rssi(members[a], members[b]);
-      sub.prr_[a * m + b] = parent.prr(members[a], members[b]);
+  // The child picks its own tier by size: leaf groups of a sparse root
+  // come out dense (bit-identical hot paths), intermediate slices of a
+  // giant deployment stay sparse.
+  sub.sparse_ = m > kDenseMaxNodes;
+
+  if (!sub.sparse_ && !parent.sparse_) {
+    // Dense child of a dense parent: the historic O(m^2) row copy.
+    sub.rssi_.assign(m * m, -200.0);
+    sub.prr_.assign(m * m, 0.0);
+    for (std::size_t a = 0; a < m; ++a) {
+      for (std::size_t b = 0; b < m; ++b) {
+        if (a == b) continue;
+        sub.rssi_[a * m + b] = parent.rssi(members[a], members[b]);
+        sub.prr_[a * m + b] = parent.prr(members[a], members[b]);
+      }
+    }
+    sub.build_derived_tables();
+    return sub;
+  }
+
+  // Sparse parent (or a sparse child of a huge forced-dense parent):
+  // walk only the parent's stored links that stay inside the member
+  // set — O(members + links), never O(parent^2).
+  std::vector<NodeId> local_of(parent.size(), kInvalidNode);
+  for (std::size_t i = 0; i < m; ++i) {
+    local_of[members[i]] = static_cast<NodeId>(i);
+  }
+
+  std::vector<LinkDrawRecord> links;
+  if (parent.sparse_) {
+    for (std::size_t a = 0; a < m; ++a) {
+      const NodeId pa = members[a];
+      for (std::uint32_t i = parent.csr_offsets_[pa];
+           i < parent.csr_offsets_[pa + 1]; ++i) {
+        const NodeId lb = local_of[parent.csr_neighbors_[i]];
+        if (lb == kInvalidNode) continue;
+        links.push_back({static_cast<NodeId>(a), lb, parent.out_prr_[i],
+                         parent.out_rssi_[i]});
+      }
+    }
+  } else {
+    for (std::size_t a = 0; a < m; ++a) {
+      for (std::size_t b = 0; b < m; ++b) {
+        if (a == b) continue;
+        const double p = parent.prr(members[a], members[b]);
+        if (p <= 0.0) continue;
+        links.push_back({static_cast<NodeId>(a), static_cast<NodeId>(b), p,
+                         parent.rssi(members[a], members[b])});
+      }
     }
   }
-  sub.build_derived_tables();
+
+  if (sub.sparse_) {
+    sub.build_sparse_from_links(std::move(links));
+  } else {
+    sub.fill_dense_from_links(links);
+    sub.build_derived_tables();
+  }
   return sub;
 }
 
@@ -71,6 +164,44 @@ double Topology::distance(NodeId a, NodeId b) const {
   const double dx = positions_[a].x - positions_[b].x;
   const double dy = positions_[a].y - positions_[b].y;
   return std::sqrt(dx * dx + dy * dy);
+}
+
+double Topology::rssi(NodeId a, NodeId b) const {
+  if (!sparse_) return rssi_[idx(a, b)];
+  if (a == b) return -200.0;
+  // Shadowing is symmetric, so either stored direction carries the
+  // frozen power; unstored pairs report the never-drawn dense value.
+  std::size_t i = link_index(a, b);
+  if (i == kNoLink) i = link_index(b, a);
+  return i == kNoLink ? -200.0 : out_rssi_[i];
+}
+
+double Topology::prr(NodeId a, NodeId b) const {
+  if (!sparse_) return prr_[idx(a, b)];
+  if (a == b) return 0.0;
+  const std::size_t i = link_index(a, b);
+  return i == kNoLink ? 0.0 : out_prr_[i];
+}
+
+std::size_t Topology::link_index(NodeId a, NodeId b) const {
+  const NodeId* begin = csr_neighbors_.data() + csr_offsets_[a];
+  const NodeId* end = csr_neighbors_.data() + csr_offsets_[a + 1];
+  const NodeId* it = std::lower_bound(begin, end, b);
+  if (it == end || *it != b) return kNoLink;
+  return static_cast<std::size_t>(it - csr_neighbors_.data());
+}
+
+std::size_t Topology::in_index(NodeId r, NodeId t) const {
+  const auto entries = audible_entries(r);
+  const std::uint32_t w = t / 64;
+  const auto* it = std::lower_bound(
+      entries.data(), entries.data() + entries.size(), w,
+      [](const AudWord& e, std::uint32_t word) { return e.word < word; });
+  if (it == entries.data() + entries.size() || it->word != w) return kNoLink;
+  const std::uint64_t bit = std::uint64_t{1} << (t % 64);
+  if ((it->bits & bit) == 0) return kNoLink;
+  return it->prr_off +
+         static_cast<std::size_t>(std::popcount(it->bits & (bit - 1)));
 }
 
 void Topology::build_link_tables(std::uint64_t shadow_seed) {
@@ -100,6 +231,220 @@ void Topology::build_link_tables(std::uint64_t shadow_seed) {
   }
 }
 
+std::vector<Topology::LinkDrawRecord> Topology::draw_links_sequential(
+    std::uint64_t shadow_seed) {
+  // The exact RNG consumption and arithmetic of build_link_tables —
+  // every pair is drawn in (a, b) order from one stream — collected as
+  // sparse records instead of matrix writes. O(n^2) time, O(links)
+  // memory: usable up to a few hundred thousand nodes, and the anchor
+  // for the sparse-vs-dense bit-identity suite.
+  const std::size_t n = positions_.size();
+  crypto::Xoshiro256 rng(shadow_seed);
+  std::vector<LinkDrawRecord> links;
+
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) {
+      const double u1 = std::max(rng.next_double(), 1e-12);
+      const double u2 = rng.next_double();
+      const double gauss =
+          std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+      const double shadow = gauss * radio_.shadowing_sigma_db;
+      const double power = radio_.rx_power_dbm(distance(a, b), shadow);
+      double p_ab = radio_.prr_from_rssi(power - rx_penalty_[b]);
+      double p_ba = radio_.prr_from_rssi(power - rx_penalty_[a]);
+      if (p_ab < radio_.link_floor_prr) p_ab = 0.0;
+      if (p_ba < radio_.link_floor_prr) p_ba = 0.0;
+      if (p_ab > 0.0) links.push_back({a, b, p_ab, power});
+      if (p_ba > 0.0) links.push_back({b, a, p_ba, power});
+    }
+  }
+  return links;
+}
+
+std::vector<Topology::LinkDrawRecord> Topology::draw_links_keyed(
+    std::uint64_t shadow_seed) {
+  const std::size_t n = positions_.size();
+
+  // Cull radius: beyond this distance even a +kCullSigmas shadowing
+  // draw cannot lift received power to the PRR floor (receiver noise
+  // penalties only push links further down), so the pair can never
+  // produce a stored link and is skipped without drawing.
+  double span_x = 0.0, span_y = 0.0, min_x = 0.0, min_y = 0.0;
+  {
+    double max_x = positions_[0].x, max_y = positions_[0].y;
+    min_x = positions_[0].x;
+    min_y = positions_[0].y;
+    for (const Position& p : positions_) {
+      min_x = std::min(min_x, p.x);
+      min_y = std::min(min_y, p.y);
+      max_x = std::max(max_x, p.x);
+      max_y = std::max(max_y, p.y);
+    }
+    span_x = max_x - min_x;
+    span_y = max_y - min_y;
+  }
+  const double diagonal = std::sqrt(span_x * span_x + span_y * span_y);
+  double cull_m = diagonal + 1.0;  // no cull unless the floor gives one
+  if (radio_.link_floor_prr > 0.0 && radio_.link_floor_prr < 1.0) {
+    const double rssi_floor =
+        radio_.prr_mid_dbm +
+        radio_.prr_width_db *
+            std::log(radio_.link_floor_prr / (1.0 - radio_.link_floor_prr));
+    const double budget = radio_.tx_power_dbm - radio_.path_loss_at_1m_db +
+                          kCullSigmas * radio_.shadowing_sigma_db - rssi_floor;
+    cull_m = std::clamp(
+        std::pow(10.0, budget / (10.0 * radio_.path_loss_exponent)), 1.0,
+        diagonal + 1.0);
+  }
+
+  // Spatial hash with cell size == cull radius: candidates for node a
+  // live in the 3x3 cell block around it.
+  const double cell = cull_m;
+  auto cell_key =
+      [&](const Position& p) -> std::pair<std::int64_t, std::int64_t> {
+    return {static_cast<std::int64_t>(std::floor((p.x - min_x) / cell)),
+            static_cast<std::int64_t>(std::floor((p.y - min_y) / cell))};
+  };
+  std::unordered_map<std::uint64_t, std::vector<NodeId>> buckets;
+  buckets.reserve(n / 4 + 1);
+  auto bucket_of = [&](std::int64_t cx, std::int64_t cy) {
+    return (static_cast<std::uint64_t>(cx) << 32) ^
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(cy));
+  };
+  for (NodeId i = 0; i < n; ++i) {
+    const auto [cx, cy] = cell_key(positions_[i]);
+    buckets[bucket_of(cx, cy)].push_back(i);
+  }
+
+  std::vector<LinkDrawRecord> links;
+  for (NodeId a = 0; a < n; ++a) {
+    const auto [cx, cy] = cell_key(positions_[a]);
+    for (std::int64_t dx = -1; dx <= 1; ++dx) {
+      for (std::int64_t dy = -1; dy <= 1; ++dy) {
+        const auto it = buckets.find(bucket_of(cx + dx, cy + dy));
+        if (it == buckets.end()) continue;
+        for (const NodeId b : it->second) {
+          if (b <= a) continue;  // each unordered pair exactly once
+          if (distance(a, b) > cull_m) continue;
+          // Independent stream per *global* pair id: the draw depends
+          // only on the physical pair, not on enumeration order or on
+          // which slice of the deployment is being built.
+          const std::uint64_t lo = std::min(global_ids_[a], global_ids_[b]);
+          const std::uint64_t hi = std::max(global_ids_[a], global_ids_[b]);
+          crypto::Xoshiro256 rng(crypto::derive_seed(
+              shadow_seed, kStreamLinkShadow, (lo << 32) | hi));
+          const double u1 = std::max(rng.next_double(), 1e-12);
+          const double u2 = rng.next_double();
+          const double gauss =
+              std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+          const double shadow = gauss * radio_.shadowing_sigma_db;
+          const double power = radio_.rx_power_dbm(distance(a, b), shadow);
+          double p_ab = radio_.prr_from_rssi(power - rx_penalty_[b]);
+          double p_ba = radio_.prr_from_rssi(power - rx_penalty_[a]);
+          if (p_ab < radio_.link_floor_prr) p_ab = 0.0;
+          if (p_ba < radio_.link_floor_prr) p_ba = 0.0;
+          if (p_ab > 0.0) links.push_back({a, b, p_ab, power});
+          if (p_ba > 0.0) links.push_back({b, a, p_ba, power});
+        }
+      }
+    }
+  }
+  return links;
+}
+
+void Topology::fill_dense_from_links(const std::vector<LinkDrawRecord>& links) {
+  const std::size_t n = positions_.size();
+  rssi_.assign(n * n, -200.0);
+  prr_.assign(n * n, 0.0);
+  for (const LinkDrawRecord& l : links) {
+    prr_[idx(l.tx, l.rx)] = l.prr;
+    // Shadowing (and thus RSSI) is symmetric; both directions of a
+    // stored pair carry the same power.
+    rssi_[idx(l.tx, l.rx)] = rssi_[idx(l.rx, l.tx)] = l.rssi;
+  }
+}
+
+void Topology::build_sparse_from_links(std::vector<LinkDrawRecord> links) {
+  const std::size_t n = positions_.size();
+  std::sort(links.begin(), links.end(),
+            [](const LinkDrawRecord& x, const LinkDrawRecord& y) {
+              return x.tx != y.tx ? x.tx < y.tx : x.rx < y.rx;
+            });
+
+  // Outbound CSR with aligned PRR/RSSI payloads.
+  const std::size_t e = links.size();
+  csr_offsets_.assign(n + 1, 0);
+  csr_neighbors_.resize(e);
+  out_prr_.resize(e);
+  out_rssi_.resize(e);
+  for (std::size_t i = 0; i < e; ++i) {
+    ++csr_offsets_[links[i].tx + 1];
+    csr_neighbors_[i] = links[i].rx;
+    out_prr_[i] = links[i].prr;
+    out_rssi_[i] = links[i].rssi;
+  }
+  for (std::size_t i = 0; i < n; ++i) csr_offsets_[i + 1] += csr_offsets_[i];
+
+  // Inbound lists by counting sort on receiver. Walking the (tx, rx)-
+  // sorted records keeps each receiver's transmitters ascending — the
+  // order the dense bitmap-row scan visits them, which the CT
+  // arbitration identity depends on.
+  std::vector<std::uint32_t> in_off(n + 1, 0);
+  for (const LinkDrawRecord& l : links) ++in_off[l.rx + 1];
+  for (std::size_t i = 0; i < n; ++i) in_off[i + 1] += in_off[i];
+  std::vector<NodeId> in_tx(e);
+  in_prr_.resize(e);
+  {
+    std::vector<std::uint32_t> cursor(in_off.begin(), in_off.end() - 1);
+    for (const LinkDrawRecord& l : links) {
+      const std::uint32_t pos = cursor[l.rx]++;
+      in_tx[pos] = l.tx;
+      in_prr_[pos] = l.prr;
+    }
+  }
+
+  // Pack each receiver's transmitter list into audibility word runs.
+  node_words_ = (n + 63) / 64;
+  aud_offsets_.assign(n + 1, 0);
+  aud_words_.clear();
+  for (std::size_t r = 0; r < n; ++r) {
+    aud_offsets_[r] = static_cast<std::uint32_t>(aud_words_.size());
+    for (std::uint32_t k = in_off[r]; k < in_off[r + 1]; ++k) {
+      const NodeId t = in_tx[k];
+      const std::uint32_t w = t / 64;
+      if (aud_words_.empty() || aud_offsets_[r] == aud_words_.size() ||
+          aud_words_.back().word != w) {
+        aud_words_.push_back({w, k, 0});
+      }
+      aud_words_.back().bits |= std::uint64_t{1} << (t % 64);
+    }
+  }
+  aud_offsets_[n] = static_cast<std::uint32_t>(aud_words_.size());
+
+  // Connectivity over usable links must hold, as on the dense tier.
+  {
+    std::vector<bool> reachable(n, false);
+    std::deque<NodeId> queue{0};
+    reachable[0] = true;
+    std::size_t count = 1;
+    while (!queue.empty()) {
+      const NodeId cur = queue.front();
+      queue.pop_front();
+      for (NodeId nb : neighbors(cur)) {
+        if (!reachable[nb]) {
+          reachable[nb] = true;
+          ++count;
+          queue.push_back(nb);
+        }
+      }
+    }
+    MPCIOT_REQUIRE(count == n, "Topology: network is partitioned");
+  }
+
+  hop_cache_ = std::make_unique<HopCache>();
+  sparse_center_and_diameter();
+}
+
 void Topology::build_derived_tables() {
   const std::size_t n = positions_.size();
   prr_in_.assign(n * n, 0.0);
@@ -111,12 +456,15 @@ void Topology::build_derived_tables() {
   csr_offsets_.assign(n + 1, 0);
   csr_neighbors_.clear();
   csr_neighbors_.reserve(n * 4);
+  out_prr_.clear();
+  out_prr_.reserve(n * 4);
   node_words_ = (n + 63) / 64;
   rx_words_.assign(n * node_words_, 0);
   for (NodeId a = 0; a < n; ++a) {
     for (NodeId b = 0; b < n; ++b) {
       if (a != b && prr_[idx(a, b)] >= radio_.link_floor_prr) {
         csr_neighbors_.push_back(b);
+        out_prr_.push_back(prr_[idx(a, b)]);
       }
       if (a != b && prr_[idx(b, a)] > 0.0) {
         rx_words_[a * node_words_ + b / 64] |= std::uint64_t{1} << (b % 64);
@@ -176,6 +524,154 @@ void Topology::build_derived_tables() {
       center_ = a;
     }
   }
+}
+
+void Topology::bfs_row(NodeId start, bool reverse,
+                       std::vector<std::uint32_t>& dist,
+                       std::vector<NodeId>& queue) const {
+  const std::size_t n = positions_.size();
+  dist.assign(n, kInvalidHops);
+  dist[start] = 0;
+  queue.clear();
+  queue.push_back(start);
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const NodeId cur = queue[head++];
+    const std::uint32_t next = dist[cur] + 1;
+    if (!reverse) {
+      for (std::uint32_t i = csr_offsets_[cur]; i < csr_offsets_[cur + 1];
+           ++i) {
+        if (out_prr_[i] < 0.5) continue;
+        const NodeId nb = csr_neighbors_[i];
+        if (dist[nb] != kInvalidHops) continue;
+        dist[nb] = next;
+        queue.push_back(nb);
+      }
+    } else {
+      // In-edges of cur: decode the audibility word runs, reading each
+      // transmitter's inbound PRR by rank within its word.
+      for (const AudWord& e : audible_entries(cur)) {
+        std::uint64_t bits = e.bits;
+        std::uint32_t rank = 0;
+        while (bits != 0) {
+          const int b = std::countr_zero(bits);
+          bits &= bits - 1;
+          const NodeId t = e.word * 64 + static_cast<std::uint32_t>(b);
+          const double p = in_prr_[e.prr_off + rank];
+          ++rank;
+          if (p < 0.5 || dist[t] != kInvalidHops) continue;
+          dist[t] = next;
+          queue.push_back(t);
+        }
+      }
+    }
+  }
+}
+
+void Topology::sparse_center_and_diameter() {
+  const std::size_t n = positions_.size();
+  std::vector<std::uint32_t> dist;
+  std::vector<NodeId> queue;
+  diameter_ = 0;
+  center_ = 0;
+
+  if (n <= kDenseMaxNodes) {
+    // Exact eccentricities (n BFS runs), replicating the dense
+    // tie-break: strict improvement keeps the lowest node id.
+    std::uint32_t best_ecc = kInvalidHops;
+    for (NodeId a = 0; a < n; ++a) {
+      bfs_row(a, /*reverse=*/false, dist, queue);
+      std::uint32_t ecc = 0;
+      for (NodeId b = 0; b < n; ++b) {
+        const std::uint32_t h = dist[b];
+        if (h != kInvalidHops && h > ecc) ecc = h;
+        if (h != kInvalidHops && h > diameter_) diameter_ = h;
+      }
+      if (ecc < best_ecc) {
+        best_ecc = ecc;
+        center_ = a;
+      }
+    }
+    return;
+  }
+
+  // Double sweep: BFS from node 0 finds a far pole u; BFS from u finds
+  // the opposite pole w and a diameter lower bound; the center estimate
+  // minimizes the worse of the two pole distances. Exact on trees and
+  // close on geometric graphs — consumers scale NTX/slot budgets with
+  // it, they do not rely on exactness.
+  auto farthest = [&](const std::vector<std::uint32_t>& d) {
+    NodeId best = 0;
+    std::uint32_t best_h = 0;
+    for (NodeId i = 0; i < n; ++i) {
+      if (d[i] != kInvalidHops && d[i] > best_h) {
+        best_h = d[i];
+        best = i;
+      }
+    }
+    return std::pair<NodeId, std::uint32_t>{best, best_h};
+  };
+
+  bfs_row(0, false, dist, queue);
+  const auto [u, h0] = farthest(dist);
+  std::vector<std::uint32_t> du;
+  bfs_row(u, false, du, queue);
+  const auto [w, h1] = farthest(du);
+  bfs_row(w, false, dist, queue);  // dist == dw from here on
+  const auto [w2, h2] = farthest(dist);
+  (void)w2;
+  diameter_ = std::max({h0, h1, h2});
+
+  std::uint32_t best_ecc = kInvalidHops;
+  for (NodeId x = 0; x < n; ++x) {
+    const std::uint32_t a = du[x] == kInvalidHops ? 0 : du[x];
+    const std::uint32_t b = dist[x] == kInvalidHops ? 0 : dist[x];
+    const std::uint32_t ecc = std::max(a, b);
+    if (ecc < best_ecc) {
+      best_ecc = ecc;
+      center_ = x;
+    }
+  }
+}
+
+const std::uint32_t* Topology::hops_from(NodeId src) const {
+  if (!sparse_) {
+    return hops_.data() + static_cast<std::size_t>(src) * positions_.size();
+  }
+  HopCache& cache = *hop_cache_;
+  std::lock_guard<std::mutex> lock(cache.mu);
+  auto it = cache.fwd.find(src);
+  if (it == cache.fwd.end()) {
+    std::vector<std::uint32_t> dist;
+    std::vector<NodeId> queue;
+    bfs_row(src, /*reverse=*/false, dist, queue);
+    it = cache.fwd.emplace(src, std::move(dist)).first;
+  }
+  return it->second.data();
+}
+
+std::uint32_t Topology::hops(NodeId a, NodeId b) const {
+  if (!sparse_) return hops_[idx(a, b)];
+  return sparse_hops(a, b);
+}
+
+std::uint32_t Topology::sparse_hops(NodeId a, NodeId b) const {
+  HopCache& cache = *hop_cache_;
+  std::lock_guard<std::mutex> lock(cache.mu);
+  if (const auto it = cache.fwd.find(a); it != cache.fwd.end()) {
+    return it->second[b];
+  }
+  auto it = cache.rev.find(b);
+  if (it == cache.rev.end()) {
+    // Build the reverse row: the common sparse pattern is many sources
+    // asking about one hot target (the network center), so one reverse
+    // BFS answers them all.
+    std::vector<std::uint32_t> dist;
+    std::vector<NodeId> queue;
+    bfs_row(b, /*reverse=*/true, dist, queue);
+    it = cache.rev.emplace(b, std::move(dist)).first;
+  }
+  return it->second[a];
 }
 
 }  // namespace mpciot::net

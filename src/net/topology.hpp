@@ -5,12 +5,39 @@
 // The shadowing term is frozen per link at construction — the same
 // assumption testbed people make when they speak of "the" PRR of a link —
 // while fast fading is redrawn per packet by the reception model.
+//
+// Two storage tiers live behind one accessor surface (see
+// docs/ARCHITECTURE.md "Memory model & scaling"):
+//
+//  * **dense leaf** (n <= kDenseMaxNodes, or forced): the historic
+//    O(n^2) tables — full RSSI/PRR matrices, transposed PRR rows,
+//    audibility bitmap rows and the all-pairs hop matrix. Hot-path
+//    layout and every derived byte are unchanged from before the split.
+//  * **sparse root** (above the threshold, or forced): only links with
+//    non-zero PRR are stored — CSR outbound adjacency with per-link
+//    PRR/RSSI payloads, per-receiver audibility *word-lists* (64-bit
+//    word runs + an index into a flat inbound-PRR array) instead of
+//    n^2/64-bit rows, and lazy BFS hop rows (forward and reverse,
+//    cached per queried endpoint) instead of the n^2 hop matrix. At
+//    n = 10^5 the dense tables would be ~320 GB; the sparse form is
+//    O(n + links).
+//
+// Link draws are an orthogonal knob: the historic *sequential* stream
+// draws one Box–Muller shadowing value per (a < b) pair in order (exact
+// O(n^2) work, bit-identical to the dense seed for either storage), and
+// the *keyed* generator derives an independent stream per pair from the
+// pair's global ids and skips pairs beyond a conservative cull radius
+// (the distance at which even a +5 sigma shadowing draw cannot lift the
+// link above the audibility floor) — O(n) with a spatial hash, which is
+// what makes 10^5..10^6-node topologies constructible at all.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "common/types.hpp"
 #include "net/radio_model.hpp"
 
@@ -23,8 +50,44 @@ struct Position {
   double y = 0.0;
 };
 
+/// Storage tier selection (kAuto: dense up to kDenseMaxNodes).
+enum class TopologyStorage : std::uint8_t { kAuto, kDense, kSparse };
+
+/// Shadowing-draw generator selection (kAuto: sequential up to
+/// kDenseMaxNodes — the historic stream — keyed-and-culled above).
+enum class LinkDraw : std::uint8_t { kAuto, kSequential, kKeyed };
+
+struct TopologyOptions {
+  TopologyStorage storage = TopologyStorage::kAuto;
+  LinkDraw draw = LinkDraw::kAuto;
+};
+
+/// One 64-transmitter word of a receiver's inbound audibility bitmap
+/// (sparse storage only). Bit b of `bits` set means transmitter
+/// word*64+b is audible; its inbound PRR sits at
+/// in_prr_data()[prr_off + popcount(bits & ((1 << b) - 1))]. Scanning a
+/// receiver's word-list in order visits transmitters in ascending id
+/// order — exactly the dense bitmap-row scan order, so CT arbitration
+/// consumes identical float sequences and RNG draws on either tier.
+struct AudWord {
+  std::uint32_t word = 0;
+  std::uint32_t prr_off = 0;
+  std::uint64_t bits = 0;
+};
+
 class Topology {
  public:
+  /// Auto threshold: topologies at or below this node count store dense
+  /// tables (all pre-existing testbeds and scenarios are <= 1024, so
+  /// their bytes are untouched by the two-tier split).
+  static constexpr std::size_t kDenseMaxNodes = 2048;
+
+  /// Keyed-draw cull bound: pairs whose deterministic path loss cannot
+  /// reach the audibility floor even with a +kCullSigmas shadowing draw
+  /// are never drawn. P(gauss > 5 sigma) ~ 3e-7 per pair — a handful of
+  /// the weakest possible fringe links across millions of pairs.
+  static constexpr double kCullSigmas = 5.0;
+
   /// Build a topology from node positions. `shadow_seed` freezes the
   /// per-link shadowing draw. Postcondition: the PRR graph (links with
   /// prr >= link_floor_prr) is connected — throws otherwise, because a
@@ -35,17 +98,29 @@ class Topology {
   /// `penalty` dB worse while their transmissions are unaffected — link
   /// PRR becomes directional, as on real testbeds with local
   /// interference (e.g. DCube's JamLab generators).
+  ///
+  /// `options` selects the storage tier and draw generator; the
+  /// defaults reproduce the historic behaviour bit for bit at historic
+  /// sizes and switch to sparse/keyed above kDenseMaxNodes.
   Topology(std::vector<Position> positions, RadioParams radio,
            std::uint64_t shadow_seed,
-           std::vector<double> rx_noise_penalty_db = {});
+           std::vector<double> rx_noise_penalty_db = {},
+           TopologyOptions options = {});
+
+  Topology(Topology&&) noexcept;
+  Topology& operator=(Topology&&) noexcept;
+  ~Topology();
 
   /// Build the subtopology induced by `members` (ascending, unique parent
   /// node ids): node i of the result is members[i], and every link keeps
   /// the parent's frozen RSSI/PRR — the same radios, restricted to
   /// in-group traffic (e.g. one group of a hierarchical round on its own
   /// channel). Derived tables (CSR adjacency, hop distances, center) are
-  /// rebuilt for the subgraph. Throws like the main constructor when the
-  /// induced usable-link graph is not connected.
+  /// rebuilt for the subgraph. From a sparse parent this is
+  /// O(members + links); the child picks its own tier by size, so leaf
+  /// groups of a giant deployment come out dense (bit-identical hot
+  /// paths) while intermediate slices stay sparse. Throws like the main
+  /// constructor when the induced usable-link graph is not connected.
   static Topology induced(const Topology& parent,
                           const std::vector<NodeId>& members);
 
@@ -53,13 +128,19 @@ class Topology {
   const RadioParams& radio() const { return radio_; }
   const Position& position(NodeId n) const { return positions_[n]; }
 
+  /// True when this topology stores the sparse tier (no dense rows; use
+  /// the word-list / point-query / lazy-hop accessors).
+  bool sparse() const { return sparse_; }
+
   double distance(NodeId a, NodeId b) const;
 
-  /// Frozen received power on a -> b (symmetric shadowing).
-  double rssi(NodeId a, NodeId b) const { return rssi_[idx(a, b)]; }
+  /// Frozen received power on a -> b (symmetric shadowing). Sparse tier:
+  /// -200 dBm for pairs with no stored link in either direction (the
+  /// value dense tables hold for never-drawn pairs).
+  double rssi(NodeId a, NodeId b) const;
 
   /// Static packet reception rate a -> b; 0 for a == b.
-  double prr(NodeId a, NodeId b) const { return prr_[idx(a, b)]; }
+  double prr(NodeId a, NodeId b) const;
 
   /// Time-indexed PRR a -> b at simulated time `t` under `model`; the
   /// frozen snapshot is the degenerate static model (model == nullptr
@@ -72,7 +153,11 @@ class Topology {
 
   /// Raw row-major static PRR table: prr(a, b) == prr_data()[a*size()+b].
   /// Backing store for ChannelView's static (null-model) binding.
-  const double* prr_data() const { return prr_.data(); }
+  /// Dense tier only.
+  const double* prr_data() const {
+    MPCIOT_DCHECK(!sparse_, "Topology: prr_data is dense-only");
+    return prr_.data();
+  }
 
   /// Receiver-side noise penalty (dB) degrading node n's inbound links
   /// (see the constructor); 0 for quiet spots. Channel models re-apply
@@ -89,7 +174,10 @@ class Topology {
 
   /// Receiver-major PRR row: prr_into(r)[t] == prr(t, r). Contiguous per
   /// receiver, so per-sub-slot arbitration walks it cache-friendly.
+  /// Dense tier only (sparse arbitration walks audible_entries +
+  /// in_prr_data instead).
   const double* prr_into(NodeId r) const {
+    MPCIOT_DCHECK(!sparse_, "Topology: prr_into is dense-only");
     return prr_in_.data() + static_cast<std::size_t>(r) * positions_.size();
   }
 
@@ -98,11 +186,24 @@ class Topology {
   }
 
   /// Neighbours with a usable outbound link (prr(n, nb) >= floor), in
-  /// ascending id order. Backed by the CSR adjacency.
+  /// ascending id order. Backed by the CSR adjacency (both tiers).
   std::span<const NodeId> neighbors(NodeId n) const {
     return {csr_neighbors_.data() + csr_offsets_[n],
             csr_neighbors_.data() + csr_offsets_[n + 1]};
   }
+
+  /// Outbound link payloads aligned with neighbors(n): out_prr(n)[i] is
+  /// the PRR of the link to neighbors(n)[i] (both tiers).
+  std::span<const double> out_prr(NodeId n) const {
+    return {out_prr_.data() + csr_offsets_[n],
+            out_prr_.data() + csr_offsets_[n + 1]};
+  }
+
+  /// Flat base of the outbound PRR payloads (link_index order).
+  const double* out_prr_data() const { return out_prr_.data(); }
+
+  /// Total stored directed links (== sum of neighbor-list lengths).
+  std::size_t num_links() const { return csr_neighbors_.size(); }
 
   /// Words per node-indexed bitmap row (ceil(size / 64)).
   std::size_t node_words() const { return node_words_; }
@@ -111,50 +212,142 @@ class Topology {
   /// prr(t, r) > 0, i.e. transmitter t can be heard by r at all. One row
   /// of `node_words()` 64-bit words; the CT engines intersect it with
   /// the per-sub-slot transmitter set to skip deaf receivers without
-  /// scanning the transmitter list.
+  /// scanning the transmitter list. Dense tier only.
   const std::uint64_t* audible_words(NodeId r) const {
+    MPCIOT_DCHECK(!sparse_, "Topology: audible_words is dense-only");
     return rx_words_.data() + static_cast<std::size_t>(r) * node_words_;
   }
 
-  /// Hop distance over "good" links (prr >= 0.5); kInvalidHops if
-  /// unreachable over good links.
-  static constexpr std::uint32_t kInvalidHops = 0xFFFFFFFFu;
-  std::uint32_t hops(NodeId a, NodeId b) const { return hops_[idx(a, b)]; }
+  /// Sparse-tier audibility word-list of receiver `r` (see AudWord):
+  /// the non-zero words of the bitmap row audible_words would hold, in
+  /// ascending word order.
+  std::span<const AudWord> audible_entries(NodeId r) const {
+    return {aud_words_.data() + aud_offsets_[r],
+            aud_words_.data() + aud_offsets_[r + 1]};
+  }
 
-  /// Network diameter in good-link hops.
+  /// Flat inbound-PRR array the AudWord prr_off fields index (sparse
+  /// tier): receiver-major, ascending transmitter within a receiver.
+  const double* in_prr_data() const { return in_prr_.data(); }
+
+  /// Index of the directed link a -> b in the flat outbound payload
+  /// order (csr_neighbors_ / out_prr order), or kNoLink when the link
+  /// is not stored. Both tiers; used by sparse channel models to align
+  /// epoch payloads with the static CSR.
+  static constexpr std::size_t kNoLink = static_cast<std::size_t>(-1);
+  std::size_t link_index(NodeId a, NodeId b) const;
+
+  /// Index of the inbound link t -> r in the in_prr_data() order, or
+  /// kNoLink. Sparse tier only.
+  std::size_t in_index(NodeId r, NodeId t) const;
+
+  /// Hop distance over "good" links (prr >= 0.5); kInvalidHops if
+  /// unreachable over good links. Dense: an O(1) matrix read. Sparse:
+  /// served from the lazy per-endpoint BFS caches — a forward row for
+  /// `a` or a reverse row for `b` if either exists, else a reverse BFS
+  /// to `b` is run and cached (the common sparse pattern is many
+  /// sources asking about one target, e.g. hops to the center).
+  /// Thread-safe on both tiers.
+  static constexpr std::uint32_t kInvalidHops = 0xFFFFFFFFu;
+  std::uint32_t hops(NodeId a, NodeId b) const;
+
+  /// Row of hop distances from `src` to every node (source-major
+  /// callers: partition seeding, holder election, initiator choice).
+  /// Dense: the matrix row. Sparse: a lazily built, cached forward BFS
+  /// row. The pointer stays valid for the topology's lifetime;
+  /// thread-safe.
+  const std::uint32_t* hops_from(NodeId src) const;
+
+  /// Network diameter in good-link hops. Sparse tier above
+  /// kDenseMaxNodes: a double-sweep lower bound (exact on trees, within
+  /// a small factor on geometric graphs) — callers use it to scale NTX
+  /// and slot budgets, not for correctness.
   std::uint32_t diameter() const { return diameter_; }
 
   /// Node with the minimum eccentricity (typical CT initiator choice).
+  /// Sparse tier above kDenseMaxNodes: the minimizer of
+  /// max(dist to the two sweep poles) — a near-central node.
   NodeId center_node() const { return center_; }
 
  private:
   /// Uninitialized shell for induced(): link tables are filled by copy,
-  /// then build_derived_tables() completes construction.
+  /// then build_derived_tables() / build_sparse_derived() completes
+  /// construction.
   Topology() = default;
+
+  /// One stored directed link during construction (sorted into CSR /
+  /// word-list form by the sparse builders).
+  struct LinkDrawRecord {
+    NodeId tx = 0;
+    NodeId rx = 0;
+    double prr = 0.0;
+    double rssi = 0.0;
+  };
+  struct HopCache;
 
   std::size_t idx(NodeId a, NodeId b) const {
     return static_cast<std::size_t>(a) * positions_.size() + b;
   }
-  /// Draw the frozen per-link RSSI/PRR tables from the radio model.
+  /// Draw the frozen per-link RSSI/PRR tables from the radio model
+  /// (dense storage, sequential stream — the historic builder).
   void build_link_tables(std::uint64_t shadow_seed);
   /// Everything derivable from rssi_/prr_: transposed PRR, CSR adjacency,
   /// audibility bitmaps, hop distances, connectivity check, center.
   void build_derived_tables();
 
+  /// Sequential-stream link draws collected as sparse records (same RNG
+  /// consumption and floats as build_link_tables, different storage).
+  std::vector<LinkDrawRecord> draw_links_sequential(std::uint64_t shadow_seed);
+  /// Keyed-and-culled link draws: independent stream per global pair id,
+  /// spatial-hash candidate enumeration within the cull radius.
+  std::vector<LinkDrawRecord> draw_links_keyed(std::uint64_t shadow_seed);
+  /// Build the sparse tier (CSR + payloads + word-lists + center) from
+  /// a (tx, rx)-sorted record list; shared by construction and induced().
+  void build_sparse_from_links(std::vector<LinkDrawRecord> links);
+  /// Fill the dense tables from sparse records (forced-dense + keyed
+  /// draws, and dense children of sparse parents): unstored pairs keep
+  /// the never-drawn values (0 PRR, -200 dBm).
+  void fill_dense_from_links(const std::vector<LinkDrawRecord>& links);
+
+  /// Good-link BFS (prr >= 0.5) over the CSR, forward or reverse.
+  void bfs_row(NodeId start, bool reverse, std::vector<std::uint32_t>& dist,
+               std::vector<NodeId>& queue) const;
+  /// Sparse center/diameter: exact eccentricities up to kDenseMaxNodes,
+  /// double-sweep approximation above.
+  void sparse_center_and_diameter();
+  std::uint32_t sparse_hops(NodeId a, NodeId b) const;
+
   std::vector<Position> positions_;
   RadioParams radio_;
   std::vector<double> rx_penalty_;
   std::vector<NodeId> global_ids_;
+  bool sparse_ = false;
+
+  // --- dense tier ---
   std::vector<double> rssi_;
   std::vector<double> prr_;
   std::vector<double> prr_in_;  // transposed: [receiver][transmitter]
+  std::size_t node_words_ = 0;
+  std::vector<std::uint64_t> rx_words_;
+  std::vector<std::uint32_t> hops_;
+
+  // --- both tiers ---
   /// CSR adjacency over usable outbound links: neighbors of node n are
   /// csr_neighbors_[csr_offsets_[n] .. csr_offsets_[n+1]).
   std::vector<std::uint32_t> csr_offsets_;
   std::vector<NodeId> csr_neighbors_;
-  std::size_t node_words_ = 0;
-  std::vector<std::uint64_t> rx_words_;
-  std::vector<std::uint32_t> hops_;
+  /// Outbound link payloads aligned with csr_neighbors_ (sparse tier;
+  /// dense keeps the matrices authoritative but fills these too so
+  /// out_prr()/link_index() work uniformly).
+  std::vector<double> out_prr_;
+
+  // --- sparse tier ---
+  std::vector<double> out_rssi_;            // aligned with csr_neighbors_
+  std::vector<std::uint32_t> aud_offsets_;  // n+1 offsets into aud_words_
+  std::vector<AudWord> aud_words_;
+  std::vector<double> in_prr_;  // inbound PRRs, receiver-major
+  std::unique_ptr<HopCache> hop_cache_;
+
   std::uint32_t diameter_ = 0;
   NodeId center_ = 0;
 };

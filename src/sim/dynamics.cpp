@@ -1,7 +1,9 @@
 #include "sim/dynamics.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <utility>
 
 #include "common/assert.hpp"
 #include "crypto/prng.hpp"
@@ -47,7 +49,50 @@ LinkDynamics::LinkDynamics(LinkDynamicsParams params) : params_(params) {
 void LinkDynamics::materialize(const net::Topology& topo, std::uint64_t epoch,
                                net::LinkEpochTables& tables) const {
   const std::size_t n = topo.size();
-  const std::size_t pairs = n * (n - 1) / 2;
+  const bool sparse = topo.sparse();
+
+  // Sparse tier: the chain walks only the *stored* undirected pairs, in
+  // canonical ascending (a, b) order — a deterministic function of the
+  // topology, so re-enumeration on every call indexes the persisted
+  // state arrays identically. Links the sparse build culled never enter
+  // the walk: drift cannot resurrect a link that was never stored (see
+  // ARCHITECTURE.md).
+  std::vector<std::pair<NodeId, NodeId>> stored_pairs;
+  std::vector<NodeId> in_tmp;
+  if (sparse) {
+    stored_pairs.reserve(topo.num_links() / 2 + 1);
+    for (NodeId a = 0; a < n; ++a) {
+      // Ascending out-neighbors > a, merged (dedup) with ascending
+      // in-transmitters > a decoded from the audibility word runs.
+      in_tmp.clear();
+      for (const net::AudWord& e : topo.audible_entries(a)) {
+        std::uint64_t bits = e.bits;
+        while (bits != 0) {
+          const NodeId t = e.word * 64 +
+                           static_cast<NodeId>(std::countr_zero(bits));
+          bits &= bits - 1;
+          if (t > a) in_tmp.push_back(t);
+        }
+      }
+      const auto nbrs = topo.neighbors(a);
+      std::size_t i = 0;
+      while (i < nbrs.size() && nbrs[i] <= a) ++i;
+      std::size_t j = 0;
+      while (i < nbrs.size() || j < in_tmp.size()) {
+        NodeId b;
+        if (j >= in_tmp.size() || (i < nbrs.size() && nbrs[i] <= in_tmp[j])) {
+          b = nbrs[i];
+          if (j < in_tmp.size() && in_tmp[j] == b) ++j;
+          ++i;
+        } else {
+          b = in_tmp[j++];
+        }
+        stored_pairs.emplace_back(a, b);
+      }
+    }
+  }
+
+  const std::size_t pairs = sparse ? stored_pairs.size() : n * (n - 1) / 2;
   const std::size_t pair_words = (pairs + 63) / 64;
 
   // state_bits: one bad-state bit per undirected pair; state_reals: the
@@ -65,13 +110,22 @@ void LinkDynamics::materialize(const net::Topology& topo, std::uint64_t epoch,
     tables.state_bits.assign(pair_words, 0);
     tables.state_reals.assign(pairs, 0.0);
     tables.state_keys.resize(pairs);
-    for (std::size_t a = 0; a < n; ++a) {
-      for (std::size_t b = a + 1; b < n; ++b) {
-        tables.state_keys[pair_index(n, a, b)] =
-            (static_cast<std::uint64_t>(
-                 topo.global_id(static_cast<NodeId>(a)))
+    if (sparse) {
+      for (std::size_t p = 0; p < pairs; ++p) {
+        tables.state_keys[p] =
+            (static_cast<std::uint64_t>(topo.global_id(stored_pairs[p].first))
              << 32) |
-            topo.global_id(static_cast<NodeId>(b));
+            topo.global_id(stored_pairs[p].second);
+      }
+    } else {
+      for (std::size_t a = 0; a < n; ++a) {
+        for (std::size_t b = a + 1; b < n; ++b) {
+          tables.state_keys[pair_index(n, a, b)] =
+              (static_cast<std::uint64_t>(
+                   topo.global_id(static_cast<NodeId>(a)))
+               << 32) |
+              topo.global_id(static_cast<NodeId>(b));
+        }
       }
     }
     const double stationary_bad =
@@ -129,6 +183,38 @@ void LinkDynamics::materialize(const net::Topology& topo, std::uint64_t epoch,
   // logistic curve + receiver penalty + floor rule the frozen tables
   // used, so delta == 0 reproduces the static PRR exactly.
   const net::RadioParams& radio = topo.radio();
+  if (sparse) {
+    // Sparse payloads aligned with the topology's stored-link orders. A
+    // direction that was not stored statically is dropped even if its
+    // drifted PRR would clear the floor (no resurrection); a stored
+    // direction whose drifted PRR sinks below the floor stays in the
+    // lists with p = 0.
+    tables.out_prr.assign(topo.num_links(), 0.0);
+    tables.in_prr.assign(topo.num_links(), 0.0);
+    for (std::size_t p = 0; p < pairs; ++p) {
+      const auto [a, b] = stored_pairs[p];
+      const bool bad = (tables.state_bits[p / 64] &
+                        (std::uint64_t{1} << (p % 64))) != 0;
+      const double delta = tables.state_reals[p] -
+                           (bad ? params_.bad_extra_loss_db : 0.0);
+      const double power = topo.rssi(a, b) + delta;
+      double p_ab = radio.prr_from_rssi(power - topo.rx_noise_penalty_db(b));
+      double p_ba = radio.prr_from_rssi(power - topo.rx_noise_penalty_db(a));
+      if (p_ab < radio.link_floor_prr) p_ab = 0.0;
+      if (p_ba < radio.link_floor_prr) p_ba = 0.0;
+      const std::size_t iab = topo.link_index(a, b);
+      if (iab != net::Topology::kNoLink) {
+        tables.out_prr[iab] = p_ab;
+        tables.in_prr[topo.in_index(b, a)] = p_ab;
+      }
+      const std::size_t iba = topo.link_index(b, a);
+      if (iba != net::Topology::kNoLink) {
+        tables.out_prr[iba] = p_ba;
+        tables.in_prr[topo.in_index(a, b)] = p_ba;
+      }
+    }
+    return;
+  }
   tables.prr.assign(n * n, 0.0);
   tables.prr_in.assign(n * n, 0.0);
   tables.rx_words.assign(n * topo.node_words(), 0);

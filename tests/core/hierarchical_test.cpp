@@ -508,5 +508,90 @@ TEST(HierarchicalAdversary, FullDutyJammerBreaksItsNeighborhood) {
   EXPECT_EQ(res.sums_rejected, 0u);
 }
 
+// Recursive trees: a depth-2 run on the lossless grid must reproduce
+// the flat protocol's sum exactly — every level's leader-tree
+// recombination is sum-preserving when no flood fails.
+TEST(HierarchicalRecursive, Depth2MatchesFlatSumOnLosslessGrid) {
+  const net::Topology topo = lossless_grid16();
+  const std::vector<Fp61> secrets = secrets_1_to_n(topo.size());
+  const Fp61 expected{16 * 17 / 2};
+
+  core::HierarchicalConfig cfg;
+  cfg.partition = net::partition::grid_blocks(topo, 2);
+  cfg.num_channels = 2;
+  cfg.depth = 2;
+  cfg.fanout = 2;
+  cfg.min_nested_size = 4;  // force both 8-member groups to nest
+  const HierarchicalProtocol proto(topo, std::move(cfg));
+  EXPECT_EQ(proto.num_groups(), 2u);
+
+  sim::Simulator sim(11);
+  const HierarchicalResult res = session_round(proto, secrets, sim);
+  ASSERT_TRUE(res.has_aggregate);
+  EXPECT_EQ(res.aggregate, expected);
+  EXPECT_EQ(res.expected_sum, expected);
+  EXPECT_TRUE(res.aggregate_correct);
+  EXPECT_GT(res.success_ratio(), 0.99);
+  // Subtrees report their subgroup count as the group's batch count.
+  for (const GroupOutcome& out : res.groups) {
+    EXPECT_TRUE(out.has_sum);
+    EXPECT_GE(out.batches, 2u);
+  }
+}
+
+// Depth is capacity, not a mandate: groups below min_nested_size run
+// flat even at depth 2, and the historic depth-1 configuration is
+// byte-for-byte the single-level protocol.
+TEST(HierarchicalRecursive, SmallGroupsDoNotNestAndDepth1IsUnchanged) {
+  const net::Topology topo = lossless_grid16();
+  const std::vector<Fp61> secrets = secrets_1_to_n(topo.size());
+
+  core::HierarchicalConfig nested_cfg;
+  nested_cfg.partition = net::partition::grid_blocks(topo, 4);
+  nested_cfg.num_channels = 4;
+  nested_cfg.depth = 3;
+  nested_cfg.min_nested_size = 64;  // larger than any group: no nesting
+  core::HierarchicalConfig flat_cfg;
+  flat_cfg.partition = net::partition::grid_blocks(topo, 4);
+  flat_cfg.num_channels = 4;
+
+  const HierarchicalProtocol a(topo, std::move(nested_cfg));
+  const HierarchicalProtocol b(topo, std::move(flat_cfg));
+  sim::Simulator sim_a(31);
+  sim::Simulator sim_b(31);
+  const HierarchicalResult ra = session_round(a, secrets, sim_a);
+  const HierarchicalResult rb = session_round(b, secrets, sim_b);
+  ASSERT_TRUE(ra.has_aggregate);
+  ASSERT_TRUE(rb.has_aggregate);
+  EXPECT_EQ(ra.aggregate, rb.aggregate);
+  EXPECT_EQ(ra.total_duration_us, rb.total_duration_us);
+  EXPECT_EQ(ra.radio_on_us, rb.radio_on_us);
+  EXPECT_EQ(ra.latency_us, rb.latency_us);
+}
+
+// A recursive round is reproducible: same seed, same result object.
+TEST(HierarchicalRecursive, Depth2RunsAreDeterministic) {
+  const net::Topology topo = lossless_grid16();
+  const std::vector<Fp61> secrets = secrets_1_to_n(topo.size());
+  auto run_once = [&]() {
+    core::HierarchicalConfig cfg;
+    cfg.partition = net::partition::grid_blocks(topo, 2);
+    cfg.num_channels = 2;
+    cfg.depth = 2;
+    cfg.fanout = 2;
+    cfg.min_nested_size = 4;
+    const HierarchicalProtocol proto(topo, std::move(cfg));
+    sim::Simulator sim(43);
+    return session_round(proto, secrets, sim);
+  };
+  const HierarchicalResult a = run_once();
+  const HierarchicalResult b = run_once();
+  EXPECT_EQ(a.aggregate, b.aggregate);
+  EXPECT_EQ(a.total_duration_us, b.total_duration_us);
+  EXPECT_EQ(a.radio_on_us, b.radio_on_us);
+  EXPECT_EQ(a.latency_us, b.latency_us);
+  EXPECT_EQ(a.has_result, b.has_result);
+}
+
 }  // namespace
 }  // namespace mpciot::core

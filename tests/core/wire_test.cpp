@@ -142,5 +142,30 @@ TEST(SumPacketTest, WrongSizeRejected) {
   EXPECT_FALSE(SumPacket::decode(Bytes(22, 0)).has_value());
 }
 
+// Node ids are u16 on the wire while NodeId is u32: an id past 0xFFFF
+// must be a checked error, never a silent truncation that aliases some
+// other node.
+TEST_F(WireTest, SharePacketRejectsIdsBeyondTheU16WireRange) {
+  SharePacket pkt;
+  pkt.round = 0;
+  pkt.share = Fp61{7};
+  pkt.source = 0x10000;
+  pkt.destination = 1;
+  EXPECT_THROW(pkt.encode(keys_), ContractViolation);
+  pkt.source = 1;
+  pkt.destination = 0x10000;
+  EXPECT_THROW(pkt.encode(keys_), ContractViolation);
+}
+
+TEST(SumPacketTest, RejectsHolderBeyondTheU16WireRange) {
+  SumPacket pkt;
+  pkt.holder = 0x10000;
+  pkt.contribution_count = 1;
+  pkt.round = 0;
+  pkt.sum = Fp61{1};
+  pkt.contributors = 1;
+  EXPECT_THROW(pkt.encode(), ContractViolation);
+}
+
 }  // namespace
 }  // namespace mpciot::core
