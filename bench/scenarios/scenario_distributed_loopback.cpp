@@ -1,0 +1,122 @@
+// Distributed loopback: the rt runtime measured end to end on this
+// machine. Forks one real node process per deployed node (fork without
+// exec — each child runs rt::run_node and _exits with the daemon's
+// code), runs the rt::Coordinator in-process, and reports wall-clock
+// round throughput over loopback TCP next to the correctness verdict
+// (every group reconstructed and matched the expected sum).
+//
+// This is the one scenario whose rows carry wall-clock numbers — real
+// sockets, real processes, real scheduler — so it is registered
+// non-deterministic and excluded from the golden-JSON suite. The
+// coordinator's own report stays deterministic; see the distributed
+// integration test for the byte-identical pin.
+// Params: nodes (default 16), rounds (default 4).
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/prng.hpp"
+#include "rt/coordinator.hpp"
+#include "rt/event_loop.hpp"
+#include "rt/node.hpp"
+#include "scenarios/scenarios.hpp"
+
+namespace mpciot::bench {
+
+namespace {
+
+using bench_core::Row;
+using bench_core::Rows;
+using bench_core::ScenarioContext;
+
+constexpr std::uint64_t kStreamDeploy = 0x444C4F4Full;  // "DLO0"
+
+Rows run_distributed_loopback(const ScenarioContext& ctx) {
+  const std::uint32_t reps = std::max<std::uint32_t>(ctx.reps, 1);
+  const std::uint32_t nodes =
+      std::max<std::uint32_t>(ctx.param_u32("nodes", 16), 2);
+  const std::uint32_t rounds =
+      std::max<std::uint32_t>(ctx.param_u32("rounds", 4), 1);
+
+  Rows rows;
+  for (std::uint32_t rep = 0; rep < reps; ++rep) {
+    rt::CoordinatorConfig config;
+    config.node_count = nodes;
+    config.rounds = rounds;
+    config.deployment_seed = crypto::derive_seed(ctx.seed, kStreamDeploy, rep);
+    rt::Coordinator coordinator(config);
+    const std::uint16_t port = coordinator.bind();
+
+    std::vector<pid_t> children;
+    children.reserve(nodes);
+    for (NodeId n = 0; n < nodes; ++n) {
+      const pid_t pid = fork();
+      if (pid == 0) {
+        rt::NodeConfig node;
+        node.node = n;
+        node.node_count = nodes;
+        node.deployment_seed = config.deployment_seed;
+        node.port = port;
+        _exit(rt::run_node(node));
+      }
+      children.push_back(pid);
+    }
+
+    const std::int64_t start_ms = rt::steady_now_ms();
+    const int exit_code = coordinator.run(nullptr);
+    const std::int64_t elapsed_ms = rt::steady_now_ms() - start_ms;
+    std::uint32_t node_failures = 0;
+    for (const pid_t pid : children) {
+      int status = 0;
+      waitpid(pid, &status, 0);
+      if (!WIFEXITED(status) || WEXITSTATUS(status) != rt::kExitOk) {
+        ++node_failures;
+      }
+    }
+
+    std::uint32_t rounds_ok = 0;
+    std::uint32_t rounds_matched = 0;
+    for (const rt::RoundOutcome& outcome : coordinator.outcomes()) {
+      if (outcome.ok) ++rounds_ok;
+      if (outcome.aggregate == outcome.expected) ++rounds_matched;
+    }
+    const std::size_t groups =
+        coordinator.outcomes().empty()
+            ? 0
+            : coordinator.outcomes().front().groups.size();
+
+    Row row;
+    row.set("nodes", static_cast<std::uint64_t>(nodes))
+        .set("groups", static_cast<std::uint64_t>(groups))
+        .set("rounds", static_cast<std::uint64_t>(rounds))
+        .set("rounds_ok", static_cast<std::uint64_t>(rounds_ok))
+        .set("rounds_matched", static_cast<std::uint64_t>(rounds_matched))
+        .set("coordinator_exit", static_cast<std::uint64_t>(
+                                     static_cast<unsigned>(exit_code)))
+        .set("node_failures", static_cast<std::uint64_t>(node_failures))
+        .set("elapsed_ms", static_cast<std::uint64_t>(elapsed_ms))
+        .set("rounds_per_sec",
+             round3(elapsed_ms > 0
+                        ? 1000.0 * rounds / static_cast<double>(elapsed_ms)
+                        : 0.0));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace
+
+void register_distributed_loopback(bench_core::Registry& registry) {
+  registry.add(bench_core::ScenarioSpec{
+      "distributed_loopback",
+      "Real-socket rt runtime over loopback TCP: forks one node process "
+      "per deployed node, coordinator in-process; wall-clock round "
+      "throughput + correctness verdict (params: nodes, rounds)",
+      /*default_reps=*/3,
+      /*deterministic=*/false,
+      /*param_names=*/{"nodes", "rounds"}, run_distributed_loopback});
+}
+
+}  // namespace mpciot::bench

@@ -14,6 +14,7 @@ void register_all_scenarios(bench_core::Registry& registry) {
   register_adversary_sweep(registry);
   register_chain_scaling(registry);
   register_degree_sweep(registry);
+  register_distributed_loopback(registry);
   register_dynamics_sweep(registry);
   register_fault_tolerance(registry);
   register_he_vs_mpc(registry);

@@ -10,15 +10,16 @@
 namespace mpciot::bench {
 
 /// Register every scenario: fig1_flocklab, fig1_dcube, adversary_sweep,
-/// chain_scaling, degree_sweep, dynamics_sweep, fault_tolerance,
-/// he_vs_mpc, hierarchy_scaling, ntx_coverage, payload_size,
-/// sustained_load, transport_matrix, unicast_vs_ct.
+/// chain_scaling, degree_sweep, distributed_loopback, dynamics_sweep,
+/// fault_tolerance, he_vs_mpc, hierarchy_scaling, ntx_coverage,
+/// payload_size, sustained_load, transport_matrix, unicast_vs_ct.
 void register_all_scenarios(bench_core::Registry& registry);
 
 void register_fig1_scenarios(bench_core::Registry& registry);
 void register_adversary_sweep(bench_core::Registry& registry);
 void register_chain_scaling(bench_core::Registry& registry);
 void register_degree_sweep(bench_core::Registry& registry);
+void register_distributed_loopback(bench_core::Registry& registry);
 void register_dynamics_sweep(bench_core::Registry& registry);
 void register_fault_tolerance(bench_core::Registry& registry);
 void register_he_vs_mpc(bench_core::Registry& registry);

@@ -1,0 +1,200 @@
+#include "core/roles.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_set>
+
+#include "common/assert.hpp"
+
+namespace mpciot::core::roles {
+
+namespace {
+
+std::uint64_t mask_for(std::size_t source_count) {
+  return source_count == 64 ? ~std::uint64_t{0}
+                            : (std::uint64_t{1} << source_count) - 1;
+}
+
+}  // namespace
+
+void validate(const RoundSpec& spec) {
+  MPCIOT_REQUIRE(!spec.sources.empty(), "RoundSpec: no sources");
+  MPCIOT_REQUIRE(!spec.holders.empty(), "RoundSpec: no holders");
+  MPCIOT_REQUIRE(spec.sources.size() <= 64,
+                 "RoundSpec: the SumPacket contributor bitmap caps a round "
+                 "at 64 sources");
+  MPCIOT_REQUIRE(spec.degree >= 1, "RoundSpec: degree 0 would broadcast "
+                                   "the secret");
+  MPCIOT_REQUIRE(spec.degree + 1 <= spec.holders.size(),
+                 "RoundSpec: fewer holders than the reconstruction "
+                 "threshold");
+  std::unordered_set<NodeId> uniq(spec.sources.begin(), spec.sources.end());
+  MPCIOT_REQUIRE(uniq.size() == spec.sources.size(),
+                 "RoundSpec: duplicate source");
+  uniq.clear();
+  uniq.insert(spec.holders.begin(), spec.holders.end());
+  MPCIOT_REQUIRE(uniq.size() == spec.holders.size(),
+                 "RoundSpec: duplicate holder");
+}
+
+std::optional<std::size_t> index_of(const std::vector<NodeId>& list,
+                                    NodeId node) {
+  const auto it = std::find(list.begin(), list.end(), node);
+  if (it == list.end()) return std::nullopt;
+  return static_cast<std::size_t>(it - list.begin());
+}
+
+SourceRole::SourceRole(const RoundSpec& spec, NodeId self, field::Fp61 secret,
+                       crypto::CtrDrbg& drbg)
+    : spec_(spec), self_(self), dealer_(secret, spec.degree, drbg) {
+  validate(spec_);
+  MPCIOT_REQUIRE(index_of(spec_.sources, self).has_value(),
+                 "SourceRole: node is not a source of this round");
+}
+
+bool SourceRole::encode_share_for(std::size_t i, const crypto::KeyStore& keys,
+                                  Bytes& wire) const {
+  MPCIOT_REQUIRE(i < spec_.holders.size(), "SourceRole: holder index");
+  const NodeId holder = spec_.holders[i];
+  if (holder == self_) return false;
+  SharePacket pkt;
+  pkt.source = self_;
+  pkt.destination = holder;
+  pkt.round = spec_.round;
+  pkt.share = dealer_.share_for(holder).value;
+  pkt.encode_into(keys, wire);
+  return true;
+}
+
+field::Fp61 SourceRole::self_share() const {
+  return dealer_.share_for(self_).value;
+}
+
+HolderRole::HolderRole(const RoundSpec& spec, NodeId self)
+    : spec_(spec), self_(self), sum_(field::Fp61{0}) {
+  validate(spec_);
+  MPCIOT_REQUIRE(index_of(spec_.holders, self).has_value(),
+                 "HolderRole: node is not a holder of this round");
+}
+
+bool HolderRole::accept_local(NodeId source, field::Fp61 value) {
+  const auto idx = index_of(spec_.sources, source);
+  if (!idx) return false;
+  const std::uint64_t bit = std::uint64_t{1} << *idx;
+  if (mask_ & bit) return false;
+  mask_ |= bit;
+  sum_ = sum_ + value;
+  return true;
+}
+
+bool HolderRole::accept_wire(const Bytes& wire, const crypto::KeyStore& keys) {
+  const std::optional<SharePacket> pkt = SharePacket::decode(wire, keys);
+  if (!pkt) return false;
+  if (pkt->destination != self_) return false;
+  if (pkt->round != spec_.round) return false;
+  return accept_local(pkt->source, pkt->share);
+}
+
+bool HolderRole::complete() const {
+  return mask_ == mask_for(spec_.sources.size());
+}
+
+std::uint32_t HolderRole::contributions() const {
+  return static_cast<std::uint32_t>(std::popcount(mask_));
+}
+
+SumPacket HolderRole::sum_packet() const {
+  MPCIOT_REQUIRE(mask_ != 0, "HolderRole: no contributions to sum yet");
+  SumPacket pkt;
+  pkt.holder = self_;
+  pkt.contribution_count = static_cast<std::uint8_t>(std::popcount(mask_));
+  pkt.round = spec_.round;
+  pkt.sum = sum_;
+  pkt.contributors = mask_;
+  return pkt;
+}
+
+AggregatorRole::AggregatorRole(const RoundSpec& spec)
+    : spec_(spec),
+      full_mask_(mask_for(spec.sources.size())),
+      seen_(spec.holders.size(), 0),
+      sums_(spec.holders.size()),
+      masks_(spec.holders.size(), 0) {
+  validate(spec_);
+}
+
+bool AggregatorRole::accept(const SumPacket& pkt) {
+  if (pkt.round != spec_.round) return false;
+  if (pkt.contributors == 0) return false;
+  if ((pkt.contributors & ~full_mask_) != 0) return false;
+  const auto idx = index_of(spec_.holders, pkt.holder);
+  if (!idx) return false;
+  if (seen_[*idx]) return false;
+  seen_[*idx] = 1;
+  sums_[*idx] = pkt.sum;
+  masks_[*idx] = pkt.contributors;
+  return true;
+}
+
+std::uint32_t AggregatorRole::sums_received() const {
+  std::uint32_t n = 0;
+  for (const char s : seen_) n += s != 0;
+  return n;
+}
+
+bool AggregatorRole::full_mask_threshold() const {
+  std::size_t n = 0;
+  for (std::size_t h = 0; h < seen_.size(); ++h) {
+    if (seen_[h] && masks_[h] == full_mask_) ++n;
+  }
+  return n >= spec_.degree + 1;
+}
+
+std::optional<AggregateOutcome> AggregatorRole::try_reconstruct() const {
+  // Pick the winning mask: maximal popcount, then maximal count of sums
+  // carrying it, then numerically smallest. Holder lists are <= a group,
+  // so the quadratic scan is cheap and allocation-light.
+  std::uint64_t best_mask = 0;
+  std::size_t best_count = 0;
+  int best_pop = -1;
+  for (std::size_t h = 0; h < seen_.size(); ++h) {
+    if (!seen_[h]) continue;
+    const std::uint64_t m = masks_[h];
+    std::size_t count = 0;
+    for (std::size_t k = 0; k < seen_.size(); ++k) {
+      if (seen_[k] && masks_[k] == m) ++count;
+    }
+    if (count < spec_.degree + 1) continue;
+    const int pop = std::popcount(m);
+    if (pop > best_pop || (pop == best_pop && count > best_count) ||
+        (pop == best_pop && count == best_count && m < best_mask)) {
+      best_mask = m;
+      best_count = count;
+      best_pop = pop;
+    }
+  }
+  if (best_pop < 0) return std::nullopt;
+
+  // Interpolate the degree+1 sums of the winning mask with the smallest
+  // holder ids: spec.holders is not necessarily sorted, so order by id.
+  std::vector<std::size_t> idx;
+  for (std::size_t h = 0; h < seen_.size(); ++h) {
+    if (seen_[h] && masks_[h] == best_mask) idx.push_back(h);
+  }
+  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return spec_.holders[a] < spec_.holders[b];
+  });
+  idx.resize(spec_.degree + 1);
+  std::vector<Share> shares;
+  shares.reserve(idx.size());
+  for (const std::size_t h : idx) {
+    shares.push_back(Share{spec_.holders[h], sums_[h]});
+  }
+  AggregateOutcome out;
+  out.aggregate = reconstruct(shares, spec_.degree);
+  out.contributor_mask = best_mask;
+  out.sums_used = static_cast<std::uint32_t>(idx.size());
+  return out;
+}
+
+}  // namespace mpciot::core::roles

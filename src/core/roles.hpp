@@ -1,0 +1,159 @@
+// Single-node phase logic of one share+sum round, extracted so it is
+// callable outside the full-topology simulator: the rt layer's node
+// daemon plays exactly one of these roles per phase over real sockets,
+// while SssProtocol keeps simulating every node of a round at once.
+//
+// The three roles compose into the paper's round:
+//   * SourceRole      — deal a Shamir polynomial over the secret and
+//                       emit one AES-protected SharePacket per holder;
+//   * HolderRole      — authenticate + accumulate incoming shares into
+//                       a point-sum, emit one SumPacket;
+//   * AggregatorRole  — collect point-sums, pick the best consistent
+//                       contributor mask, Lagrange-reconstruct the
+//                       aggregate at x = 0.
+//
+// Reconstruction over any degree+1 sums with identical contributor
+// masks yields the same field element (exact arithmetic over points of
+// one polynomial), so the aggregate value is independent of message
+// timing — the property the distributed runtime's determinism tests
+// pin against the simulator.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/shamir.hpp"
+#include "core/wire.hpp"
+#include "crypto/keystore.hpp"
+#include "crypto/prng.hpp"
+#include "field/fp61.hpp"
+
+namespace mpciot::core::roles {
+
+/// One group's round assignment, as a node daemon receives it. Sources
+/// and holders are global node ids in schedule order; bit i of every
+/// contributor mask refers to sources[i].
+struct RoundSpec {
+  std::vector<NodeId> sources;
+  std::vector<NodeId> holders;
+  std::size_t degree = 1;
+  std::uint16_t round = 0;
+};
+
+/// Check the spec invariants (non-empty lists, <= 64 sources, unique
+/// ids, 1 <= degree, degree + 1 <= holders). Throws ContractViolation.
+void validate(const RoundSpec& spec);
+
+/// Index of `node` in `list`, or nullopt.
+std::optional<std::size_t> index_of(const std::vector<NodeId>& list,
+                                    NodeId node);
+
+/// Dealer side: shares `secret` out to the spec's holders.
+class SourceRole {
+ public:
+  /// Deals a fresh degree-`spec.degree` polynomial with constant term
+  /// `secret`, coefficients drawn from `drbg`. Precondition: `self` is
+  /// one of spec.sources.
+  SourceRole(const RoundSpec& spec, NodeId self, field::Fp61 secret,
+             crypto::CtrDrbg& drbg);
+
+  /// Encode the SharePacket for spec.holders[i] into `wire`. Returns
+  /// false (leaving `wire` untouched) when that holder is this node:
+  /// self-shares never travel — fetch the value via self_share().
+  bool encode_share_for(std::size_t i, const crypto::KeyStore& keys,
+                        Bytes& wire) const;
+
+  /// The share destined for this node itself (valid whether or not the
+  /// node is a holder this round).
+  field::Fp61 self_share() const;
+
+  const RoundSpec& spec() const { return spec_; }
+
+ private:
+  RoundSpec spec_;
+  NodeId self_;
+  ShamirDealer dealer_;
+};
+
+/// Share-collector side: accumulates authenticated shares into the
+/// point-sum at this node's public point.
+class HolderRole {
+ public:
+  /// Precondition: `self` is one of spec.holders.
+  HolderRole(const RoundSpec& spec, NodeId self);
+
+  /// Accept this node's own share without a wire round-trip (when the
+  /// node is both source and holder). Returns false if `source` is not
+  /// in the spec or already contributed.
+  bool accept_local(NodeId source, field::Fp61 value);
+
+  /// Decode + authenticate + validate one SharePacket addressed to this
+  /// node. Returns false on any reject: wrong size, failed tag, wrong
+  /// destination or round, unknown source, or a duplicate.
+  bool accept_wire(const Bytes& wire, const crypto::KeyStore& keys);
+
+  /// Every spec source has contributed.
+  bool complete() const;
+  std::uint32_t contributions() const;
+  std::uint64_t contributor_mask() const { return mask_; }
+
+  /// The current (partial or complete) point-sum. Precondition: at
+  /// least one contribution.
+  SumPacket sum_packet() const;
+
+  const RoundSpec& spec() const { return spec_; }
+
+ private:
+  RoundSpec spec_;
+  NodeId self_;
+  field::Fp61 sum_;
+  std::uint64_t mask_ = 0;
+};
+
+/// What a reconstruction produced.
+struct AggregateOutcome {
+  field::Fp61 aggregate;
+  /// Bit i set iff sources[i] is covered by the aggregate.
+  std::uint64_t contributor_mask = 0;
+  /// Point-sums actually interpolated (always degree + 1).
+  std::uint32_t sums_used = 0;
+};
+
+/// Reconstructor side: collects SumPackets and reconstructs the
+/// aggregate from the best consistent subset.
+class AggregatorRole {
+ public:
+  explicit AggregatorRole(const RoundSpec& spec);
+
+  /// Accept one point-sum. Returns false on a reject: wrong round,
+  /// unknown holder, a mask with bits beyond the source list, or a
+  /// duplicate holder (first packet wins).
+  bool accept(const SumPacket& pkt);
+
+  std::uint32_t sums_received() const;
+
+  /// True iff >= degree+1 sums carry the full all-sources mask (the
+  /// no-failure fast path: reconstruction cannot improve further).
+  bool full_mask_threshold() const;
+
+  /// Reconstruct from the best mask having >= degree+1 identical-mask
+  /// sums: maximal popcount, then maximal sum count, then numerically
+  /// smallest mask; the degree+1 sums of the winning mask with the
+  /// smallest holder ids are interpolated, making the outcome (value
+  /// AND bookkeeping) independent of arrival order. nullopt while no
+  /// mask reaches the threshold.
+  std::optional<AggregateOutcome> try_reconstruct() const;
+
+  const RoundSpec& spec() const { return spec_; }
+
+ private:
+  RoundSpec spec_;
+  std::uint64_t full_mask_ = 0;
+  std::vector<char> seen_;          // per holder index
+  std::vector<field::Fp61> sums_;   // per holder index
+  std::vector<std::uint64_t> masks_;
+};
+
+}  // namespace mpciot::core::roles

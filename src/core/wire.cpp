@@ -9,21 +9,24 @@ namespace mpciot::core {
 
 namespace {
 
+// All multi-byte wire fields are little-endian by explicit byte shifts
+// (never memcpy of a host integer), so frames decode identically on
+// heterogeneous hosts. Pinned by the FixedByteLayout regression tests.
 void put_u16(std::uint8_t* p, std::uint16_t v) {
-  p[0] = static_cast<std::uint8_t>(v >> 8);
-  p[1] = static_cast<std::uint8_t>(v);
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
 }
 std::uint16_t get_u16(const std::uint8_t* p) {
-  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
 }
 void put_u64(std::uint8_t* p, std::uint64_t v) {
   for (int i = 0; i < 8; ++i) {
-    p[i] = static_cast<std::uint8_t>(v >> (56 - 8 * i));
+    p[i] = static_cast<std::uint8_t>(v >> (8 * i));
   }
 }
 std::uint64_t get_u64(const std::uint8_t* p) {
   std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v = (v << 8) | p[i];
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
   return v;
 }
 

@@ -9,13 +9,21 @@
 namespace mpciot::crypto {
 
 namespace {
+void put_le64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
 Aes128::Key key_from_seed(std::uint64_t seed) {
   Aes128::Key key{};
   std::uint64_t sm = seed;
   const std::uint64_t a = splitmix64(sm);
   const std::uint64_t b = splitmix64(sm);
-  std::memcpy(key.data(), &a, 8);
-  std::memcpy(key.data() + 8, &b, 8);
+  // Explicit little-endian serialization: a memcpy of the host integers
+  // would derive different keys on a big-endian host, silently breaking
+  // cross-host deployments (bytes identical to the historic memcpy on
+  // little-endian machines, so existing golden outputs are unchanged).
+  put_le64(key.data(), a);
+  put_le64(key.data() + 8, b);
   return key;
 }
 

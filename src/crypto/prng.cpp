@@ -138,8 +138,14 @@ void CtrDrbg::fill(std::uint8_t* out, std::size_t len) {
 std::uint64_t CtrDrbg::next_u64() {
   std::uint8_t bytes[8];
   fill(bytes, sizeof bytes);
-  std::uint64_t v;
-  std::memcpy(&v, bytes, 8);
+  // Little-endian interpretation of the keystream bytes (not a memcpy
+  // into a host integer): heterogeneous hosts seeded identically must
+  // draw identical u64s, or distributed dealers would disagree with the
+  // simulator. Identical to the historic memcpy on little-endian hosts.
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+  }
   return v;
 }
 

@@ -1,0 +1,96 @@
+// mpciot-coordinator: accepts the deployment's node daemons, assigns
+// aggregation groups (net::partition over the seeded placement), and
+// drives share+sum rounds to completion. The deterministic campaign
+// report ("mpciot-bench/1" JSON, no wall-clock fields) goes to --out or
+// stdout; timing lines go to stderr. Exit 0 iff every round of every
+// group reconstructed its expected aggregate.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "bench_core/options.hpp"
+#include "rt/coordinator.hpp"
+
+int main(int argc, char** argv) {
+  using mpciot::bench_core::OptionParser;
+  std::uint32_t nodes = 0;
+  std::uint32_t rounds = 1;
+  std::uint32_t generation = 1;
+  std::uint64_t seed = 1;
+  std::uint32_t port = 0;
+  std::uint32_t t1_ms = 2000;
+  std::uint32_t t2_ms = 4000;
+  std::uint32_t join_timeout_ms = 60000;
+  std::string out_path;
+  std::string port_file;
+
+  OptionParser parser(
+      "mpciot-coordinator: distributed runtime coordinator daemon");
+  parser.add_u32("--nodes", &nodes, "deployment node count (required)");
+  parser.add_u32("--rounds", &rounds, "aggregation rounds to run (1)");
+  parser.add_u32("--generation", &generation, "deployment generation (1)");
+  parser.add_u64("--seed", &seed, "deployment seed (1)");
+  parser.add_u32("--port", &port, "TCP port on 127.0.0.1 (0 = ephemeral)");
+  parser.add_u32("--t1-ms", &t1_ms, "straggler re-request timeout (2000)");
+  parser.add_u32("--t2-ms", &t2_ms, "round finalize timeout (4000)");
+  parser.add_u32("--join-timeout-ms", &join_timeout_ms,
+                 "abort if nodes have not all joined (60000)");
+  parser.add_string("--out", &out_path, "report path (default: stdout)");
+  parser.add_string("--port-file", &port_file,
+                    "write the bound port here once listening");
+  if (!parser.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", parser.error().c_str(),
+                 parser.usage(argv[0]).c_str());
+    return 1;
+  }
+  if (nodes < 2 || rounds == 0 || rounds > 0xFFFF || port > 0xFFFF) {
+    std::fprintf(stderr,
+                 "mpciot-coordinator: --nodes >= 2 and 1 <= --rounds <= "
+                 "65535 are required\n");
+    return 1;
+  }
+
+  mpciot::rt::CoordinatorConfig config;
+  config.node_count = nodes;
+  config.rounds = rounds;
+  config.generation = generation;
+  config.deployment_seed = seed;
+  config.port = static_cast<std::uint16_t>(port);
+  config.t1_straggler_ms = t1_ms;
+  config.t2_finalize_ms = t2_ms;
+  config.join_timeout_ms = join_timeout_ms;
+
+  mpciot::rt::Coordinator coordinator(config);
+  const std::uint16_t bound = coordinator.bind();
+  if (!port_file.empty()) {
+    // The port file is the launcher handshake: written atomically
+    // enough for a same-host reader (tiny single write + close).
+    std::ofstream pf(port_file);
+    if (!pf) {
+      std::fprintf(stderr, "mpciot-coordinator: cannot write %s\n",
+                   port_file.c_str());
+      return 1;
+    }
+    pf << bound << "\n";
+  }
+  std::fprintf(stderr, "mpciot-coordinator: listening on 127.0.0.1:%u\n",
+               bound);
+
+  const int code = coordinator.run(&std::cerr);
+
+  if (out_path.empty()) {
+    coordinator.report().dump(std::cout, 2);
+    std::cout << "\n";
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "mpciot-coordinator: cannot write %s\n",
+                   out_path.c_str());
+      return 1;
+    }
+    coordinator.report().dump(out, 2);
+    out << "\n";
+  }
+  return code;
+}

@@ -1,0 +1,92 @@
+#include "rt/deployment.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "crypto/prng.hpp"
+#include "net/partition.hpp"
+#include "net/testbeds.hpp"
+
+namespace mpciot::rt {
+
+namespace {
+
+/// Target group size: one SumPacket bitmap comfortably covers it and a
+/// chain round stays short, while groups stay large enough that losing
+/// a node keeps the threshold reachable.
+constexpr std::uint32_t kTargetGroupSize = 48;
+constexpr std::uint32_t kMaxGroupSize = 64;
+constexpr std::uint32_t kMinGroupSize = 4;
+
+}  // namespace
+
+DeploymentPlan plan_deployment(std::uint64_t deployment_seed,
+                               std::uint32_t node_count) {
+  MPCIOT_REQUIRE(node_count >= 2, "rt: a deployment needs >= 2 nodes");
+  // Constant-density uniform placement (~8 m spacing), same generator
+  // the simulator testbeds use; random_uniform retries internally until
+  // the topology is connected.
+  const double side =
+      std::max(16.0, std::sqrt(static_cast<double>(node_count)) * 8.0);
+  const net::Topology topo = net::testbeds::random_uniform(
+      node_count, side, side,
+      crypto::derive_seed(deployment_seed, kStreamPlacement, node_count));
+
+  std::uint32_t target_groups =
+      std::max<std::uint32_t>(1, (node_count + kTargetGroupSize - 1) /
+                                     kTargetGroupSize);
+  net::partition::Partition part;
+  for (;;) {
+    part = net::partition::grid_blocks(
+        topo, target_groups,
+        std::min(kMinGroupSize, std::max(2u, node_count / 2)));
+    bool oversized = false;
+    for (const auto& g : part.groups) {
+      if (g.size() > kMaxGroupSize) oversized = true;
+    }
+    if (!oversized) break;
+    // grid_blocks may merge below the target; asking for more blocks
+    // strictly shrinks the largest group eventually (bounded by n).
+    ++target_groups;
+    MPCIOT_ENSURE(target_groups <= node_count,
+                  "rt: could not partition below the 64-source cap");
+  }
+
+  DeploymentPlan plan;
+  plan.group_of = part.group_of;
+  plan.groups.reserve(part.groups.size());
+  for (const auto& members : part.groups) {
+    core::roles::RoundSpec spec;
+    spec.sources = members;  // S3 arrangement: every member deals...
+    spec.holders = members;  // ...and every member holds a point-sum.
+    // Threshold degree+1 stays below the group size whenever the group
+    // has >= 3 members, so one holder crash never loses the group.
+    spec.degree = std::max<std::size_t>(
+        1, std::min<std::size_t>(2, members.size() - 2));
+    core::roles::validate(spec);
+    plan.groups.push_back(std::move(spec));
+  }
+  return plan;
+}
+
+field::Fp61 deterministic_secret(std::uint64_t deployment_seed,
+                                 std::uint32_t round, NodeId node) {
+  crypto::Xoshiro256 rng(crypto::derive_seed(
+      deployment_seed, kStreamSecret,
+      (static_cast<std::uint64_t>(round) << 32) | node));
+  return rng.next_fp61();
+}
+
+field::Fp61 expected_sum(std::uint64_t deployment_seed, std::uint32_t round,
+                         const core::roles::RoundSpec& spec,
+                         std::uint64_t contributor_mask) {
+  field::Fp61 sum{0};
+  for (std::size_t i = 0; i < spec.sources.size(); ++i) {
+    if (contributor_mask & (std::uint64_t{1} << i)) {
+      sum += deterministic_secret(deployment_seed, round, spec.sources[i]);
+    }
+  }
+  return sum;
+}
+
+}  // namespace mpciot::rt

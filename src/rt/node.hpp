@@ -1,0 +1,50 @@
+// The node daemon: one process per deployed node, speaking the rt
+// framing to the coordinator over loopback TCP. The coordinator is a
+// star relay only — SharePackets stay encrypted under the pairwise
+// (source, holder) AES keys end to end, so the daemon trusts it for
+// liveness, never for confidentiality.
+//
+// Per round the daemon plays the core::roles phases of its group:
+// SourceRole (deal + send ShareFwd per holder), HolderRole (accumulate
+// relayed shares, report the point-sum when complete or when the
+// coordinator re-requests), while the coordinator plays AggregatorRole.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "common/types.hpp"
+#include "core/roles.hpp"
+#include "crypto/keystore.hpp"
+#include "rt/event_loop.hpp"
+#include "rt/messages.hpp"
+
+namespace mpciot::rt {
+
+/// Node exit codes, distinguishable by the launcher and the tests.
+inline constexpr int kExitOk = 0;        ///< clean Shutdown
+inline constexpr int kExitError = 1;     ///< protocol/socket failure
+inline constexpr int kExitCrashed = 2;   ///< --crash-at-round fired
+inline constexpr int kExitRefused = 3;   ///< coordinator refused Hello
+
+struct NodeConfig {
+  NodeId node = 0;
+  std::uint32_t node_count = 0;
+  std::uint32_t generation = 1;
+  std::uint64_t deployment_seed = 1;
+  std::uint16_t port = 0;  ///< coordinator port on 127.0.0.1
+  /// Fault injection: on this round's RoundStart, deal shares to fewer
+  /// than degree+1 holders, then _exit(kExitCrashed) mid-round (so the
+  /// partial masks force the coordinator down the threshold-recovery
+  /// path). kNoCrash = never.
+  std::uint32_t crash_at_round = kNoCrash;
+
+  static constexpr std::uint32_t kNoCrash = 0xFFFFFFFFu;
+};
+
+/// Runs the full daemon life cycle (connect, Hello, Assign, rounds,
+/// Shutdown) and returns the process exit code.
+int run_node(const NodeConfig& config);
+
+}  // namespace mpciot::rt

@@ -1,0 +1,47 @@
+// mpciot-node: one deployed node of the distributed runtime. Connects
+// to the coordinator on 127.0.0.1, joins its generation, and plays the
+// share+sum rounds until Shutdown. Exit codes: 0 clean, 1 failure,
+// 2 injected crash, 3 Hello refused.
+#include <cstdio>
+#include <string>
+
+#include "bench_core/options.hpp"
+#include "rt/node.hpp"
+
+int main(int argc, char** argv) {
+  using mpciot::bench_core::OptionParser;
+  mpciot::rt::NodeConfig config;
+  std::uint32_t node = 0;
+  std::uint32_t port = 0;
+  std::uint32_t crash_at_round = mpciot::rt::NodeConfig::kNoCrash;
+  std::uint32_t generation = 1;
+  std::uint64_t seed = 1;
+  std::uint32_t node_count = 0;
+
+  OptionParser parser("mpciot-node: distributed runtime node daemon");
+  parser.add_u32("--node", &node, "this node's id (0-based, required)");
+  parser.add_u32("--nodes", &node_count, "deployment node count (required)");
+  parser.add_u32("--port", &port, "coordinator TCP port (required)");
+  parser.add_u32("--generation", &generation, "deployment generation (1)");
+  parser.add_u64("--seed", &seed, "deployment seed (1)");
+  parser.add_u32("--crash-at-round", &crash_at_round,
+                 "fault injection: die mid-round in this round (off)");
+  if (!parser.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", parser.error().c_str(),
+                 parser.usage(argv[0]).c_str());
+    return 1;
+  }
+  if (node_count < 2 || node >= node_count || port == 0 || port > 0xFFFF) {
+    std::fprintf(stderr,
+                 "mpciot-node: --nodes >= 2, --node < --nodes and a valid "
+                 "--port are required\n");
+    return 1;
+  }
+  config.node = node;
+  config.node_count = node_count;
+  config.generation = generation;
+  config.deployment_seed = seed;
+  config.port = static_cast<std::uint16_t>(port);
+  config.crash_at_round = crash_at_round;
+  return mpciot::rt::run_node(config);
+}

@@ -1,0 +1,250 @@
+// The extracted single-node roles (core/roles.hpp) must compose into
+// exactly the round the simulator runs: dealing, share transport,
+// point-sum accumulation and reconstruction through the roles yields
+// the same aggregate the full-topology engine computes for the same
+// secrets. This is the contract the distributed runtime builds on.
+#include "core/roles.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/assert.hpp"
+#include "core/protocol.hpp"
+#include "core/session.hpp"
+#include "crypto/prng.hpp"
+#include "net/testbeds.hpp"
+#include "sim/simulator.hpp"
+
+namespace mpciot::core::roles {
+namespace {
+
+using field::Fp61;
+
+constexpr std::uint64_t kSeed = 0x52304C45ull;  // "R0LE"
+
+RoundSpec make_spec(std::size_t n, std::size_t degree, std::uint16_t round) {
+  RoundSpec spec;
+  for (std::size_t i = 0; i < n; ++i) {
+    spec.sources.push_back(static_cast<NodeId>(i));
+    spec.holders.push_back(static_cast<NodeId>(i));
+  }
+  spec.degree = degree;
+  spec.round = round;
+  return spec;
+}
+
+/// Run a full round through the roles over a loss-free "wire": every
+/// source deals, every holder collects every share, `aggregator`
+/// collects the sums `holder_filter` lets through.
+std::optional<AggregateOutcome> run_roles_round(
+    const RoundSpec& spec, const std::vector<Fp61>& secrets,
+    const crypto::KeyStore& keys, AggregatorRole& aggregator,
+    const std::vector<char>* holder_filter = nullptr) {
+  std::vector<HolderRole> holders;
+  for (const NodeId h : spec.holders) holders.emplace_back(spec, h);
+
+  Bytes wire;
+  for (std::size_t s = 0; s < spec.sources.size(); ++s) {
+    crypto::CtrDrbg drbg(crypto::derive_seed(kSeed, 1, s), spec.round);
+    const SourceRole src(spec, spec.sources[s], secrets[s], drbg);
+    for (std::size_t h = 0; h < spec.holders.size(); ++h) {
+      if (src.encode_share_for(h, keys, wire)) {
+        EXPECT_TRUE(holders[h].accept_wire(wire, keys));
+      } else {
+        EXPECT_TRUE(
+            holders[h].accept_local(spec.sources[s], src.self_share()));
+      }
+    }
+  }
+  for (std::size_t h = 0; h < holders.size(); ++h) {
+    if (holder_filter && !(*holder_filter)[h]) continue;
+    EXPECT_TRUE(holders[h].complete());
+    EXPECT_TRUE(aggregator.accept(holders[h].sum_packet()));
+  }
+  return aggregator.try_reconstruct();
+}
+
+TEST(Roles, FullRoundReconstructsTheSumOfSecrets) {
+  const RoundSpec spec = make_spec(9, 2, 7);
+  const crypto::KeyStore keys(11, 9);
+  std::vector<Fp61> secrets;
+  Fp61 expected{0};
+  crypto::Xoshiro256 rng(crypto::derive_seed(kSeed, 2, 0));
+  for (std::size_t i = 0; i < spec.sources.size(); ++i) {
+    secrets.push_back(rng.next_fp61());
+    expected += secrets.back();
+  }
+  AggregatorRole agg(spec);
+  const auto out = run_roles_round(spec, secrets, keys, agg);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->aggregate, expected);
+  EXPECT_EQ(out->contributor_mask, (1ull << 9) - 1);
+  EXPECT_EQ(out->sums_used, 3u);
+  EXPECT_TRUE(agg.full_mask_threshold());
+}
+
+TEST(Roles, AnyThresholdSubsetOfHoldersReconstructsTheSameValue) {
+  const RoundSpec spec = make_spec(6, 2, 1);
+  const crypto::KeyStore keys(5, 6);
+  std::vector<Fp61> secrets;
+  Fp61 expected{0};
+  crypto::Xoshiro256 rng(crypto::derive_seed(kSeed, 3, 0));
+  for (std::size_t i = 0; i < 6; ++i) {
+    secrets.push_back(rng.next_fp61());
+    expected += secrets.back();
+  }
+  // Drop different holder subsets down to the threshold: same value.
+  for (int drop = 0; drop < 3; ++drop) {
+    std::vector<char> filter(6, 1);
+    filter[drop] = 0;
+    filter[5 - drop] = 0;
+    filter[(drop + 2) % 6] = 0;  // leaves 3 = degree+1 holders
+    AggregatorRole agg(spec);
+    const auto out = run_roles_round(spec, secrets, keys, agg, &filter);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->aggregate, expected);
+  }
+}
+
+TEST(Roles, MatchesTheSimulatorForTheSameSecrets) {
+  // The cross-check the distributed harness relies on: a simulator
+  // round over a loss-free deployment and a roles round over a perfect
+  // wire agree on expected sum AND reconstructed aggregate.
+  net::RadioParams radio;
+  radio.shadowing_sigma_db = 0.0;  // loss-free short links
+  const net::Topology topo = net::testbeds::grid(3, 3, 8.0, 0x9D, radio);
+  const crypto::KeyStore keys(21, topo.size());
+  std::vector<NodeId> all;
+  for (NodeId i = 0; i < topo.size(); ++i) all.push_back(i);
+  const auto cfg = make_s3_config(topo, all, /*degree=*/2, /*ntx_full=*/8);
+  const SssProtocol protocol(topo, keys, cfg);
+
+  std::vector<Fp61> secrets;
+  crypto::Xoshiro256 rng(crypto::derive_seed(kSeed, 4, 0));
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    secrets.push_back(rng.next_fp61());
+  }
+
+  sim::Simulator sim(3);
+  Session session(protocol);
+  const AggregationResult& sim_result =
+      *session.run_round(secrets, sim).flat;
+  ASSERT_EQ(sim_result.success_ratio(), 1.0);
+
+  RoundSpec spec;
+  spec.sources = cfg.sources;
+  spec.holders = cfg.share_holders;
+  spec.degree = cfg.degree;
+  spec.round = static_cast<std::uint16_t>(cfg.round);
+  AggregatorRole agg(spec);
+  const auto out = run_roles_round(spec, secrets, keys, agg);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->aggregate, sim_result.expected_sum);
+  EXPECT_EQ(out->aggregate, sim_result.nodes[0].aggregate);
+}
+
+TEST(Roles, HolderRejectsForeignWrongRoundAndDuplicateShares) {
+  const RoundSpec spec = make_spec(4, 1, 3);
+  const crypto::KeyStore keys(7, 4);
+  crypto::CtrDrbg drbg(crypto::derive_seed(kSeed, 5, 0), 0);
+  const SourceRole src(spec, 0, Fp61{123}, drbg);
+
+  HolderRole h1(spec, 1);
+  HolderRole h2(spec, 2);
+  Bytes wire;
+  ASSERT_TRUE(src.encode_share_for(1, keys, wire));
+  EXPECT_FALSE(h2.accept_wire(wire, keys));  // addressed to holder 1
+  EXPECT_TRUE(h1.accept_wire(wire, keys));
+  EXPECT_FALSE(h1.accept_wire(wire, keys));  // duplicate source
+
+  RoundSpec other = spec;
+  other.round = 4;
+  crypto::CtrDrbg drbg2(crypto::derive_seed(kSeed, 5, 1), 0);
+  const SourceRole src_other(other, 0, Fp61{123}, drbg2);
+  HolderRole h1b(spec, 1);
+  ASSERT_TRUE(src_other.encode_share_for(1, keys, wire));
+  EXPECT_FALSE(h1b.accept_wire(wire, keys));  // round mismatch
+  EXPECT_EQ(h1b.contributions(), 0u);
+}
+
+TEST(Roles, AggregatorRejectsBadSumsAndKeepsFirstPerHolder) {
+  const RoundSpec spec = make_spec(4, 1, 9);
+  AggregatorRole agg(spec);
+  SumPacket pkt;
+  pkt.holder = 2;
+  pkt.contribution_count = 2;
+  pkt.round = 9;
+  pkt.sum = Fp61{5};
+  pkt.contributors = 0b0011;
+  EXPECT_TRUE(agg.accept(pkt));
+  EXPECT_FALSE(agg.accept(pkt));  // duplicate holder
+  pkt.holder = 99;
+  EXPECT_FALSE(agg.accept(pkt));  // unknown holder
+  pkt.holder = 3;
+  pkt.round = 8;
+  EXPECT_FALSE(agg.accept(pkt));  // wrong round
+  pkt.round = 9;
+  pkt.contribution_count = 5;
+  pkt.contributors = 0b10011;  // bit beyond the 4-source list
+  EXPECT_FALSE(agg.accept(pkt));
+  EXPECT_EQ(agg.sums_received(), 1u);
+  EXPECT_FALSE(agg.try_reconstruct().has_value());  // below threshold
+}
+
+TEST(Roles, ReducedButConsistentMaskWinsOverFragmentedFullMasks) {
+  // Threshold recovery: three holders agree on a reduced mask (a source
+  // crashed), one straggler carries a different partial mask. The
+  // consistent trio reconstructs; the aggregate covers its mask.
+  const RoundSpec spec = make_spec(5, 2, 0);
+  const crypto::KeyStore keys(13, 5);
+  std::vector<Fp61> secrets;
+  crypto::Xoshiro256 rng(crypto::derive_seed(kSeed, 6, 0));
+  Fp61 reduced_sum{0};
+  for (std::size_t i = 0; i < 5; ++i) {
+    secrets.push_back(rng.next_fp61());
+    if (i != 4) reduced_sum += secrets[i];
+  }
+
+  std::vector<HolderRole> holders;
+  for (const NodeId h : spec.holders) holders.emplace_back(spec, h);
+  Bytes wire;
+  for (std::size_t s = 0; s < 5; ++s) {
+    crypto::CtrDrbg drbg(crypto::derive_seed(kSeed, 7, s), 0);
+    const SourceRole src(spec, spec.sources[s], secrets[s], drbg);
+    for (std::size_t h = 0; h < 5; ++h) {
+      if (s == 4 && h != 1) continue;  // source 4 "crashed" mid-deal:
+                                       // only holder 1 got its share
+      if (src.encode_share_for(h, keys, wire)) {
+        holders[h].accept_wire(wire, keys);
+      } else {
+        holders[h].accept_local(spec.sources[s], src.self_share());
+      }
+    }
+  }
+  AggregatorRole agg(spec);
+  for (auto& h : holders) agg.accept(h.sum_packet());
+  const auto out = agg.try_reconstruct();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->contributor_mask, 0b01111ull);
+  EXPECT_EQ(out->aggregate, reduced_sum);
+  EXPECT_FALSE(agg.full_mask_threshold());
+}
+
+TEST(Roles, SpecContractsAreChecked) {
+  RoundSpec spec = make_spec(3, 1, 0);
+  spec.degree = 0;
+  EXPECT_THROW(validate(spec), ContractViolation);
+  spec = make_spec(3, 3, 0);  // degree+1 > holders
+  EXPECT_THROW(validate(spec), ContractViolation);
+  spec = make_spec(3, 1, 0);
+  spec.sources.push_back(0);  // duplicate
+  EXPECT_THROW(validate(spec), ContractViolation);
+  crypto::CtrDrbg drbg(1, 0);
+  spec = make_spec(3, 1, 0);
+  EXPECT_THROW(SourceRole(spec, 99, Fp61{1}, drbg), ContractViolation);
+  EXPECT_THROW(HolderRole(spec, 99), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mpciot::core::roles

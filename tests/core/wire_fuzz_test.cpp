@@ -191,8 +191,9 @@ TEST(WireFuzz, SumDecoderRejectsNonCanonicalSum) {
     // non-canonical even though Fp61's constructor would reduce it.
     const std::uint64_t bad =
         Fp61::kModulus + rng.next_below(~std::uint64_t{0} - Fp61::kModulus);
+    // Fields are little-endian on the wire (pinned by wire_test).
     for (int i = 0; i < 8; ++i) {
-      wire[5 + i] = static_cast<std::uint8_t>(bad >> (56 - 8 * i));
+      wire[5 + i] = static_cast<std::uint8_t>(bad >> (8 * i));
     }
     EXPECT_FALSE(SumPacket::decode(wire).has_value()) << "case " << c;
   }

@@ -157,6 +157,43 @@ TEST_F(WireTest, SharePacketRejectsIdsBeyondTheU16WireRange) {
   EXPECT_THROW(pkt.encode(keys_), ContractViolation);
 }
 
+// Endianness regression: every multi-byte field travels little-endian,
+// byte for byte, so heterogeneous hosts decode identical frames. These
+// pin the exact layout — a host-endian memcpy sneaking back into the
+// codec fails here on any machine, not just a big-endian one.
+TEST(SumPacketTest, FixedByteLayoutIsLittleEndian) {
+  SumPacket pkt;
+  pkt.holder = 0x0102;             // LE bytes 02 01
+  pkt.contribution_count = 3;
+  pkt.round = 0x0304;              // LE bytes 04 03
+  pkt.sum = Fp61{0x1122334455667788ull};
+  pkt.contributors = 0x0000000000000007ull;  // popcount 3
+  const Bytes wire = pkt.encode();
+  const Bytes expect = {
+      0x02, 0x01,                                      // holder
+      0x03,                                            // count
+      0x04, 0x03,                                      // round
+      0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11,  // sum (LE u64)
+      0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // contributors
+  };
+  EXPECT_EQ(wire, expect);
+}
+
+TEST_F(WireTest, SharePacketHeaderIsLittleEndian) {
+  SharePacket pkt;
+  pkt.source = 3;
+  pkt.destination = 12;
+  pkt.round = 0x0506;
+  pkt.share = Fp61{42};
+  const Bytes wire = pkt.encode(keys_);
+  // Header u16s, little-endian (ciphertext + tag are key-dependent and
+  // covered by the round-trip tests). A big-endian regression would put
+  // the nonzero round byte at offset 4, not 5.
+  const Bytes header(wire.begin(), wire.begin() + 6);
+  const Bytes expect = {0x03, 0x00, 0x0C, 0x00, 0x06, 0x05};
+  EXPECT_EQ(header, expect);
+}
+
 TEST(SumPacketTest, RejectsHolderBeyondTheU16WireRange) {
   SumPacket pkt;
   pkt.holder = 0x10000;

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Loopback launcher for the distributed rt runtime.
+
+Spawns one `mpciot-coordinator` plus N `mpciot-node` processes on this
+machine (N can be hundreds), waits the campaign out, and prints a one-
+line verdict per round from the coordinator's JSON report. The report
+itself is deterministic — run the same deployment twice and `cmp` the
+two output files to check byte-identity.
+
+Usage:
+  tools/distributed_launch.py --nodes 64 --rounds 3 --seed 1 \
+      [--build-dir build] [--out report.json] [--crash NODE:ROUND ...] \
+      [--t1-ms 2000] [--t2-ms 4000]
+
+Exit codes: 0 campaign ok, 1 coordinator or node failure, 2 usage error.
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def parse_crash(spec):
+    try:
+        node, rnd = spec.split(":")
+        return int(node), int(rnd)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--crash wants NODE:ROUND, got {spec!r}")
+
+
+def wait_for_port(port_file, proc, timeout_s=15.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            sys.exit("coordinator exited before publishing its port")
+        try:
+            text = port_file.read_text().strip()
+            if text:
+                return int(text)
+        except FileNotFoundError:
+            pass
+        time.sleep(0.02)
+    sys.exit("timed out waiting for the coordinator port file")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Run a distributed rt campaign over loopback TCP.")
+    ap.add_argument("--nodes", type=int, default=64)
+    ap.add_argument("--rounds", type=int, default=1)
+    ap.add_argument("--seed", type=int, default=1)
+    ap.add_argument("--generation", type=int, default=1)
+    ap.add_argument("--build-dir", default="build",
+                    help="CMake build dir holding src/rt/mpciot-*")
+    ap.add_argument("--out", default=None,
+                    help="coordinator JSON report path (default: stdout)")
+    ap.add_argument("--crash", type=parse_crash, action="append", default=[],
+                    metavar="NODE:ROUND",
+                    help="inject a mid-round crash (repeatable)")
+    ap.add_argument("--t1-ms", type=int, default=2000)
+    ap.add_argument("--t2-ms", type=int, default=4000)
+    args = ap.parse_args()
+    if args.nodes < 2:
+        ap.error("--nodes must be >= 2")
+
+    rt_dir = pathlib.Path(args.build_dir) / "src" / "rt"
+    coordinator_bin = rt_dir / "mpciot-coordinator"
+    node_bin = rt_dir / "mpciot-node"
+    for binary in (coordinator_bin, node_bin):
+        if not binary.exists():
+            sys.exit(f"{binary} not built (cmake --build {args.build_dir} "
+                     "--target mpciot-node mpciot-coordinator)")
+
+    crash_of = dict(args.crash)
+    with tempfile.TemporaryDirectory(prefix="mpciot_rt_") as tmp:
+        port_file = pathlib.Path(tmp) / "port"
+        out_file = args.out or str(pathlib.Path(tmp) / "report.json")
+        coordinator = subprocess.Popen([
+            str(coordinator_bin), "--nodes", str(args.nodes),
+            "--rounds", str(args.rounds), "--seed", str(args.seed),
+            "--generation", str(args.generation),
+            "--t1-ms", str(args.t1_ms), "--t2-ms", str(args.t2_ms),
+            "--port-file", str(port_file), "--out", out_file,
+        ])
+        port = wait_for_port(port_file, coordinator)
+
+        nodes = []
+        for n in range(args.nodes):
+            cmd = [
+                str(node_bin), "--node", str(n), "--nodes", str(args.nodes),
+                "--port", str(port), "--seed", str(args.seed),
+                "--generation", str(args.generation),
+            ]
+            if n in crash_of:
+                cmd += ["--crash-at-round", str(crash_of[n])]
+            nodes.append(subprocess.Popen(cmd))
+
+        coordinator_exit = coordinator.wait()
+        node_failures = 0
+        for n, proc in enumerate(nodes):
+            code = proc.wait()
+            expected = 2 if n in crash_of else 0
+            if code != expected:
+                node_failures += 1
+                print(f"node {n}: unexpected exit {code}", file=sys.stderr)
+
+        report = json.loads(pathlib.Path(out_file).read_text())
+        for row in report["scenarios"][0]["rows"]:
+            verdict = "ok" if row["ok"] else "FAILED"
+            crashed = f" crashed={row['crashed']}" if row["crashed"] else ""
+            print(f"round {row['round']}: {verdict} "
+                  f"contributors={row['contributors']}/{row['nodes']} "
+                  f"aggregate={row['aggregate']}{crashed}")
+        if args.out is None:
+            print(json.dumps(report, indent=2))
+
+    ok = coordinator_exit == 0 and node_failures == 0
+    print(f"coordinator exit {coordinator_exit}, "
+          f"{node_failures} unexpected node exits")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
